@@ -1,0 +1,91 @@
+//! Shared cost accounting and the solver interface.
+
+use ppa_graph::{Weight, WeightMatrix};
+
+/// Result of one baseline MCP run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineResult {
+    /// Architecture label.
+    pub name: &'static str,
+    /// `dist[i]` — minimum cost `i -> dest` (`ppa_graph::INF` if
+    /// unreachable, 0 at the destination).
+    pub dist: Vec<Weight>,
+    /// Outer dynamic-program iterations executed.
+    pub iterations: usize,
+    /// SIMD controller steps assuming word-wide datapaths (every parallel
+    /// instruction, transfer or compare costs 1).
+    pub word_steps: u64,
+    /// The same run costed for bit-serial datapaths: word transfers and
+    /// compares cost `h` — the unit comparable to the PPA's bit-serial
+    /// bus primitives.
+    pub bit_steps: u64,
+}
+
+/// A single-destination MCP solver with step accounting.
+pub trait McpSolver {
+    /// Architecture label (stable, used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Solves all-vertices-to-`d` minimum cost paths.
+    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult;
+}
+
+/// Step counter distinguishing word-width-independent instructions from
+/// those a bit-serial datapath pays `h` for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Meter {
+    word_steps: u64,
+    bit_steps: u64,
+}
+
+impl Meter {
+    /// Fresh zeroed meter.
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Records `count` instructions operating on full `h`-bit words
+    /// (transfer, add, compare): 1 word-step each, `h` bit-steps each.
+    pub fn word_ops(&mut self, count: u64, h: u32) {
+        self.word_steps += count;
+        self.bit_steps += count * u64::from(h);
+    }
+
+    /// Records `count` single-bit / control instructions: 1 step under
+    /// either accounting.
+    pub fn flag_ops(&mut self, count: u64) {
+        self.word_steps += count;
+        self.bit_steps += count;
+    }
+
+    /// Word-step tally.
+    pub fn word_steps(&self) -> u64 {
+        self.word_steps
+    }
+
+    /// Bit-step tally.
+    pub fn bit_steps(&self) -> u64 {
+        self.bit_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_separates_accountings() {
+        let mut m = Meter::new();
+        m.word_ops(3, 8);
+        m.flag_ops(2);
+        assert_eq!(m.word_steps(), 5);
+        assert_eq!(m.bit_steps(), 3 * 8 + 2);
+    }
+
+    #[test]
+    fn meter_default_is_zero() {
+        let m = Meter::new();
+        assert_eq!(m.word_steps(), 0);
+        assert_eq!(m.bit_steps(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The Gated Connection Network baseline (paper reference \[5\]).
+//!
+//! Shu & Nash's GCN augments an SIMD array with gated tree interconnects
+//! purpose-built for dynamic programming: a row or column can broadcast in
+//! one (bit-serial) transfer and combine a minimum by the same
+//! most-significant-bit-first elimination the PPA uses — the gates open
+//! and close per bit plane. Per iteration the GCN therefore costs
+//! `O(h)` steps, the same class as the PPA; the absolute constants differ
+//! slightly (the GCN needs no head-forwarding pass because its tree root
+//! holds the combine result directly).
+//!
+//! Bit-serial hardware has no separate "word" mode, so both accountings
+//! of [`BaselineResult`] carry the same `O(h)`-per-iteration tally here.
+
+use crate::cost::{BaselineResult, McpSolver, Meter};
+use ppa_graph::{WeightMatrix, INF};
+
+/// GCN MCP solver.
+#[derive(Debug, Clone, Copy)]
+pub struct Gcn {
+    /// Word width `h` (every transfer/combine is a serial scan of `h`
+    /// bit planes).
+    pub word_bits: u32,
+}
+
+impl Gcn {
+    /// Creates a solver for `h`-bit words.
+    pub fn new(word_bits: u32) -> Self {
+        Gcn { word_bits }
+    }
+}
+
+impl McpSolver for Gcn {
+    fn name(&self) -> &'static str {
+        "gcn"
+    }
+
+    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+        let n = w.n();
+        assert!(d < n, "destination out of range");
+        let h = u64::from(self.word_bits);
+        let mut meter = Meter::new();
+
+        // Step 1: serial transfer of the one-edge costs into row d.
+        let mut dist: Vec<i64> = (0..n).map(|i| w.get(i, d)).collect();
+        dist[d] = 0;
+        meter.flag_ops(h);
+
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+
+            // Column broadcast through the gated tree: h bit planes.
+            meter.flag_ops(h);
+            // Local bit-serial add of W: h bit planes.
+            meter.flag_ops(h);
+            // Row minimum: MSB-first gated elimination, 2 gate settings
+            // per bit plane, plus one serial read-out of the root value.
+            meter.flag_ops(2 * h + h);
+            // Update + change detection (bit-serial compare) + global-or.
+            meter.flag_ops(h + 1);
+
+            let mut next = dist.clone();
+            let mut changed = false;
+            for i in 0..n {
+                if i == d {
+                    continue;
+                }
+                for j in 0..n {
+                    let wij = if i == j { 0 } else { w.get(i, j) };
+                    if wij == INF || dist[j] == INF {
+                        continue;
+                    }
+                    let cand = wij.saturating_add(dist[j]);
+                    if cand < next[i] {
+                        next[i] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            dist = next;
+            if !changed {
+                break;
+            }
+            assert!(iterations <= n, "non-negative weights must converge");
+        }
+
+        BaselineResult {
+            name: self.name(),
+            dist,
+            iterations,
+            word_steps: meter.word_steps(),
+            bit_steps: meter.bit_steps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_graph::reference::bellman_ford_to_dest;
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..8 {
+            let w = gen::random_digraph(10, 0.35, 14, seed);
+            let got = Gcn::new(16).solve(&w, 7);
+            assert_eq!(got.dist, bellman_ford_to_dest(&w, 7).dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cost_is_linear_in_h_and_flat_in_n() {
+        let small_h = Gcn::new(8).solve(&gen::star(16, 0, 5, 1), 0);
+        let big_h = Gcn::new(32).solve(&gen::star(16, 0, 5, 1), 0);
+        let ratio = big_h.bit_steps as f64 / small_h.bit_steps as f64;
+        assert!((3.0..5.0).contains(&ratio), "h ratio {ratio}");
+
+        let small_n = Gcn::new(16).solve(&gen::star(8, 0, 5, 1), 0);
+        let big_n = Gcn::new(16).solve(&gen::star(64, 0, 5, 1), 0);
+        assert_eq!(small_n.bit_steps, big_n.bit_steps, "GCN must be flat in n");
+    }
+
+    #[test]
+    fn same_complexity_class_as_ppa_iterations() {
+        // Both accountings agree for bit-serial hardware.
+        let r = Gcn::new(16).solve(&gen::ring(6), 0);
+        assert_eq!(r.word_steps, r.bit_steps);
+    }
+}

@@ -1,0 +1,76 @@
+//! # ppa-baselines — the architectures the paper compares against
+//!
+//! Section 1 and the concluding remarks of the paper position the PPA
+//! result against two machines: the hypercube interconnect of the
+//! **Connection Machine** (Hillis, reference \[4\]) and the **Gated
+//! Connection Network** (Shu & Nash, reference \[5\]) — "PPA delivers the
+//! same performance, in terms of computational complexity" as both. To
+//! make that claim measurable this crate implements the same
+//! single-destination MCP dynamic program on functional models of:
+//!
+//! * [`hypercube::Hypercube`] — an SIMD array whose rows/columns are
+//!   embedded in hypercubes; broadcast and min-reduction run in
+//!   `ceil(log2 n)` exchange steps (word-parallel PEs) or `h *
+//!   ceil(log2 n)` bit-steps (bit-serial PEs, CM-1 style);
+//! * [`gcn::Gcn`] — row/column gated tree buses: one-step broadcast and an
+//!   `O(h)` bit-serial combine, the same complexity class as the PPA;
+//! * [`mesh::PlainMesh`] — the same mesh as the PPA but *without*
+//!   reconfigurable buses: every broadcast/reduction decays to `n - 1`
+//!   nearest-neighbour shifts, making each iteration `O(n)`;
+//! * [`seq::SequentialBf`] — the CPU dynamic program, `O(n^2)` work per
+//!   round.
+//!
+//! All models implement [`cost::McpSolver`] and report two step tallies:
+//! `word_steps` (each SIMD instruction costs 1, word-wide datapaths) and
+//! `bit_steps` (word transfers/compares cost `h`, bit-serial datapaths —
+//! the right unit for comparing against the PPA's bit-serial buses).
+//! Experiment T4 tabulates all of them against the measured PPA run.
+//!
+//! These are *models built for step accounting*, not cycle-accurate
+//! recreations of 1980s hardware — DESIGN.md documents the substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Index-based loops over multiple parallel arrays are the dominant idiom in
+// this numeric code; the iterator rewrites clippy suggests obscure the
+// row/column index math that mirrors the paper's notation.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod cost;
+pub mod gcn;
+pub mod hypercube;
+pub mod mesh;
+pub mod seq;
+
+pub use cost::{BaselineResult, McpSolver};
+pub use gcn::Gcn;
+pub use hypercube::Hypercube;
+pub use mesh::PlainMesh;
+pub use seq::SequentialBf;
+
+/// Every baseline solver, boxed, for sweep-style experiments.
+pub fn all_solvers(word_bits: u32) -> Vec<Box<dyn McpSolver>> {
+    vec![
+        Box::new(SequentialBf::new()),
+        Box::new(PlainMesh::new(word_bits)),
+        Box::new(Hypercube::new(word_bits)),
+        Box::new(Gcn::new(word_bits)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_solvers_lists_four() {
+        let s = all_solvers(16);
+        assert_eq!(s.len(), 4);
+        let names: Vec<_> = s.iter().map(|x| x.name()).collect();
+        assert!(names.contains(&"sequential"));
+        assert!(names.contains(&"plain-mesh"));
+        assert!(names.contains(&"hypercube"));
+        assert!(names.contains(&"gcn"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The plain (non-reconfigurable) mesh baseline.
+//!
+//! Same `n x n` PE layout as the PPA, same dynamic program — but with only
+//! nearest-neighbour links. Every data movement the PPA does in one bus
+//! step decays into a pipeline of shifts:
+//!
+//! * spreading the destination row's costs down each column: up to `n - 1`
+//!   shift instructions in each vertical direction;
+//! * the row-wise minimum: a sweep of `n - 1` shift-and-compare
+//!   instructions, plus `n - 1` shifts to spread the result back.
+//!
+//! Each iteration is therefore `O(n)` word steps and the full run
+//! `O(p * n)` — the quantity experiment T4 contrasts with the PPA's
+//! `O(p * h)` to show what reconfigurable buses buy once `n >> h`.
+
+use crate::cost::{BaselineResult, McpSolver, Meter};
+use ppa_graph::{WeightMatrix, INF};
+
+/// Plain-mesh MCP solver.
+#[derive(Debug, Clone, Copy)]
+pub struct PlainMesh {
+    /// Word width used for the bit-serial accounting.
+    pub word_bits: u32,
+}
+
+impl PlainMesh {
+    /// Creates a solver that accounts bit-serial costs at width `h`.
+    pub fn new(word_bits: u32) -> Self {
+        PlainMesh { word_bits }
+    }
+}
+
+impl McpSolver for PlainMesh {
+    fn name(&self) -> &'static str {
+        "plain-mesh"
+    }
+
+    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+        let n = w.n();
+        assert!(d < n, "destination out of range");
+        let h = self.word_bits;
+        let mut meter = Meter::new();
+
+        // Step 1: one-edge costs, assembled in row d. Getting column d of W
+        // into row d costs one column sweep + one row sweep of shifts.
+        let mut dist: Vec<i64> = (0..n).map(|i| w.get(i, d)).collect();
+        dist[d] = 0;
+        meter.word_ops(2 * (n as u64 - 1).max(1), h);
+
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+
+            // Spread dist down/up each column: n-1 shifts per direction.
+            meter.word_ops(2 * (n as u64 - 1).max(1), h);
+            // Local add of W: one instruction.
+            meter.word_ops(1, h);
+            // Row-wise min: n-1 shift-and-compare, then n-1 to spread back.
+            meter.word_ops(2 * (n as u64 - 1).max(1), h);
+            // Update + change detection + global wired-AND test.
+            meter.word_ops(1, h);
+            meter.flag_ops(2);
+
+            // Functional effect of the above (the model computes exactly
+            // what the metered instructions would):
+            let mut next = dist.clone();
+            let mut changed = false;
+            for i in 0..n {
+                if i == d {
+                    continue;
+                }
+                for j in 0..n {
+                    let wij = if i == j { 0 } else { w.get(i, j) };
+                    if wij == INF || dist[j] == INF {
+                        continue;
+                    }
+                    let cand = wij.saturating_add(dist[j]);
+                    if cand < next[i] {
+                        next[i] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            dist = next;
+            if !changed {
+                break;
+            }
+            assert!(iterations <= n, "non-negative weights must converge");
+        }
+
+        BaselineResult {
+            name: self.name(),
+            dist,
+            iterations,
+            word_steps: meter.word_steps(),
+            bit_steps: meter.bit_steps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_graph::reference::bellman_ford_to_dest;
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..8 {
+            let w = gen::random_digraph(11, 0.3, 12, seed);
+            let got = PlainMesh::new(16).solve(&w, 3);
+            assert_eq!(got.dist, bellman_ford_to_dest(&w, 3).dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn per_iteration_cost_grows_linearly_in_n() {
+        // Stars keep p = 1 so total steps isolate the per-iteration term.
+        let a = PlainMesh::new(16).solve(&gen::star(8, 0, 5, 1), 0);
+        let b = PlainMesh::new(16).solve(&gen::star(32, 0, 5, 1), 0);
+        assert_eq!(a.iterations, b.iterations);
+        let ratio = b.word_steps as f64 / a.word_steps as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn cost_is_independent_of_h_in_word_accounting() {
+        let w = gen::ring(8);
+        let a = PlainMesh::new(8).solve(&w, 0);
+        let b = PlainMesh::new(32).solve(&w, 0);
+        assert_eq!(a.word_steps, b.word_steps);
+        assert!(b.bit_steps > a.bit_steps);
+    }
+}

@@ -1,0 +1,102 @@
+//! The sequential CPU baseline: the same dynamic program, one relaxation
+//! at a time — `O(n^2)` operations per round, `O(p * n^2)` total.
+
+use crate::cost::{BaselineResult, McpSolver, Meter};
+use ppa_graph::{WeightMatrix, INF};
+
+/// Sequential Bellman-Ford-style solver (destination-oriented).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialBf;
+
+impl SequentialBf {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        SequentialBf
+    }
+}
+
+impl McpSolver for SequentialBf {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+        let n = w.n();
+        assert!(d < n, "destination out of range");
+        let mut meter = Meter::new();
+        let mut dist: Vec<i64> = (0..n).map(|i| w.get(i, d)).collect();
+        dist[d] = 0;
+        meter.word_ops(n as u64, 64); // the initial copy touches n words
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            let mut next = dist.clone();
+            for i in 0..n {
+                if i == d {
+                    continue;
+                }
+                for j in 0..n {
+                    // One add + one compare per scanned pair; sequential
+                    // machines are word-wide, so bit-serial accounting is
+                    // irrelevant — use a nominal h of 64.
+                    meter.word_ops(2, 64);
+                    let wij = w.get(i, j);
+                    if wij == INF || dist[j] == INF {
+                        continue;
+                    }
+                    let cand = wij.saturating_add(dist[j]);
+                    if cand < next[i] {
+                        next[i] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            dist = next;
+            if !changed {
+                break;
+            }
+            assert!(iterations <= n, "non-negative weights must converge");
+        }
+        BaselineResult {
+            name: self.name(),
+            dist,
+            iterations,
+            word_steps: meter.word_steps(),
+            bit_steps: meter.bit_steps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_graph::reference::bellman_ford_to_dest;
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..10 {
+            let w = gen::random_digraph(12, 0.3, 15, seed);
+            let d = (seed as usize) % 12;
+            let got = SequentialBf::new().solve(&w, d);
+            assert_eq!(got.dist, bellman_ford_to_dest(&w, d).dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn step_count_scales_quadratically_in_n() {
+        let a = SequentialBf::new().solve(&gen::star(8, 0, 5, 1), 0);
+        let b = SequentialBf::new().solve(&gen::star(16, 0, 5, 1), 0);
+        // Same p (=1), four times the vertices-squared work.
+        let ratio = b.word_steps as f64 / a.word_steps as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn iterations_track_path_length() {
+        let r = SequentialBf::new().solve(&gen::ring(9), 0);
+        assert!(r.iterations >= 7, "{}", r.iterations);
+        assert_eq!(r.dist[1], 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench for experiment T4: all architectures, one workload.
+//!
+//! Wall-clock of the *simulations* (the step-count comparison lives in
+//! `report t4`); useful mainly to confirm the harness itself is not the
+//! bottleneck when sweeping sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppa_baselines::{Gcn, Hypercube, McpSolver, PlainMesh, SequentialBf};
+use ppa_graph::gen;
+use ppa_mcp::mcp::{fit_word_bits, minimum_cost_path};
+use ppa_ppc::Ppa;
+use std::hint::black_box;
+
+fn bench_architectures(c: &mut Criterion) {
+    let n = 24;
+    let w = gen::random_connected(n, 0.25, 20, 42);
+    let d = 0;
+    let h = 16u32;
+
+    let mut group = c.benchmark_group("architectures");
+    group.sample_size(10);
+
+    group.bench_function("ppa", |b| {
+        b.iter(|| {
+            let mut ppa = Ppa::square(n).with_word_bits(h.max(fit_word_bits(&w)));
+            black_box(minimum_cost_path(&mut ppa, black_box(&w), d).unwrap())
+        })
+    });
+    group.bench_function("gcn", |b| {
+        let s = Gcn::new(h);
+        b.iter(|| black_box(s.solve(black_box(&w), d)))
+    });
+    group.bench_function("hypercube", |b| {
+        let s = Hypercube::new(h);
+        b.iter(|| black_box(s.solve(black_box(&w), d)))
+    });
+    group.bench_function("plain_mesh", |b| {
+        let s = PlainMesh::new(h);
+        b.iter(|| black_box(s.solve(black_box(&w), d)))
+    });
+    group.bench_function("sequential", |b| {
+        let s = SequentialBf::new();
+        b.iter(|| black_box(s.solve(black_box(&w), d)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for experiments T2/T3: the full MCP run.
+//!
+//! Sweeps the three complexity knobs independently: array size `n`
+//! (host cost only — simulated steps stay flat), path length `p`
+//! (iterations), and word width `h` (per-iteration cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa_graph::gen;
+use ppa_mcp::mcp::minimum_cost_path;
+use ppa_ppc::Ppa;
+use std::hint::black_box;
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcp_vs_n");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32, 64] {
+        let w = gen::padded_path(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                let mut ppa = Ppa::square(n).with_word_bits(12);
+                black_box(minimum_cost_path(&mut ppa, black_box(w), 4).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcp_vs_p");
+    group.sample_size(10);
+    let n = 24;
+    for &p in &[2usize, 4, 8, 16] {
+        let w = gen::padded_path(n, p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &w, |b, w| {
+            b.iter(|| {
+                let mut ppa = Ppa::square(n).with_word_bits(12);
+                black_box(minimum_cost_path(&mut ppa, black_box(w), p).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_h(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcp_vs_h");
+    group.sample_size(10);
+    let n = 16;
+    let w = gen::ring(n);
+    for &h in &[8u32, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                let mut ppa = Ppa::square(n).with_word_bits(h);
+                black_box(minimum_cost_path(&mut ppa, black_box(&w), 0).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_p, bench_vs_h);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for experiment T1: the bit-serial `min` primitive.
+//!
+//! Wall-clock complements the step counts of `report t1`: simulated cost
+//! is O(h) steps; host cost per step is O(n^2) PE updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa_machine::Direction;
+use ppa_ppc::{Parallel, Ppa};
+use std::hint::black_box;
+
+fn bench_min(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_bitserial");
+    group.sample_size(20);
+    for &n in &[16usize, 64] {
+        for &h in &[8u32, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("h{h}")),
+                &(n, h),
+                |b, &(n, h)| {
+                    let mut ppa = Ppa::square(n).with_word_bits(h);
+                    let vals = Parallel::from_fn(ppa.dim(), |c| {
+                        ((c.row as u64 * 37 + c.col as u64 * 11) % 200) as i64
+                    });
+                    let col = ppa.col_index();
+                    let nm1 = ppa.constant(n as i64 - 1);
+                    let heads = ppa.eq(&col, &nm1).unwrap();
+                    b.iter(|| {
+                        black_box(ppa.min(black_box(&vals), Direction::West, &heads).unwrap())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_min_vs_word(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_vs_word_ablation");
+    group.sample_size(20);
+    let n = 32;
+    let mut ppa = Ppa::square(n).with_word_bits(16);
+    let vals = Parallel::from_fn(ppa.dim(), |c| ((c.row * 3 + c.col * 7) % 999) as i64);
+    let col = ppa.col_index();
+    let nm1 = ppa.constant(n as i64 - 1);
+    let heads = ppa.eq(&col, &nm1).unwrap();
+    group.bench_function("bit_serial", |b| {
+        b.iter(|| black_box(ppa.min(black_box(&vals), Direction::West, &heads).unwrap()))
+    });
+    group.bench_function("word_combining", |b| {
+        b.iter(|| black_box(ppa.min_word(black_box(&vals), Direction::West, &heads).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_min, bench_min_vs_word);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The experiment report binary.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p ppa-bench --bin report --release -- all
+//! cargo run -p ppa-bench --bin report --release -- t4 a2
+//! cargo run -p ppa-bench --bin report --release -- --list
+//! ```
+//!
+//! Renders the requested experiment tables to stdout and writes
+//! `.txt`/`.csv`/`.json` artifacts under `target/experiments/`.
+
+use ppa_bench::all_experiments;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        println!("available experiments:");
+        for (name, _) in &experiments {
+            println!("  {name}");
+        }
+        println!("  all");
+        return;
+    }
+
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let out_dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&out_dir).expect("create target/experiments");
+
+    let mut unknown = Vec::new();
+    for name in wanted {
+        let Some((_, run)) = experiments.iter().find(|(n, _)| *n == name) else {
+            unknown.push(name.to_owned());
+            continue;
+        };
+        eprintln!("running {name}...");
+        let table = run();
+        let rendered = table.render();
+        println!("{rendered}");
+        fs::write(out_dir.join(format!("{name}.txt")), &rendered).expect("write txt");
+        fs::write(out_dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+        fs::write(out_dir.join(format!("{name}.json")), table.to_json()).expect("write json");
+    }
+
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s): {unknown:?} (try --list)");
+        std::process::exit(2);
+    }
+    eprintln!("artifacts written to {}", out_dir.display());
+}

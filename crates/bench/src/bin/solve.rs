@@ -1,0 +1,191 @@
+//! `solve` — command-line front end for the PPA graph solvers.
+//!
+//! ```text
+//! solve <graph-file> --dest <d> [--problem shortest|widest|hops|reach]
+//!                                [--source] [--steps] [--paths]
+//! solve --demo --dest 0 --problem shortest --steps
+//! ```
+//!
+//! The graph file is either the native edge list (`n <count>` /
+//! `e <from> <to> <w>`) or DIMACS `.gr` (`p sp` / `a`), auto-detected.
+//! `--source` solves from `d` as a source instead of towards it as a
+//! destination (via graph reversal); `--demo` uses a built-in workload.
+
+use ppa_graph::{gen, io, WeightMatrix, INF};
+use ppa_mcp::closure::{hop_levels, reachability};
+use ppa_mcp::mcp::{fit_word_bits, minimum_cost_path};
+use ppa_mcp::path::extract_path;
+use ppa_mcp::widest::widest_path;
+use ppa_ppc::Ppa;
+use std::process::exit;
+
+struct Options {
+    file: Option<String>,
+    demo: bool,
+    dest: Option<usize>,
+    problem: String,
+    source_mode: bool,
+    show_steps: bool,
+    show_paths: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: solve <graph-file | --demo> --dest <d> \
+         [--problem shortest|widest|hops|reach] [--source] [--steps] [--paths]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: None,
+        demo: false,
+        dest: None,
+        problem: "shortest".into(),
+        source_mode: false,
+        show_steps: false,
+        show_paths: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--demo" => opts.demo = true,
+            "--dest" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.dest = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--problem" => opts.problem = args.next().unwrap_or_else(|| usage()),
+            "--source" => opts.source_mode = true,
+            "--steps" => opts.show_steps = true,
+            "--paths" => opts.show_paths = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && opts.file.is_none() => {
+                opts.file = Some(other.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn load(opts: &Options) -> WeightMatrix {
+    if opts.demo {
+        return gen::random_connected(12, 0.25, 20, 7);
+    }
+    let Some(file) = &opts.file else { usage() };
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1)
+    });
+    io::parse_auto(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {file}: {e}");
+        exit(1)
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut w = load(&opts);
+    let Some(d) = opts.dest else { usage() };
+    if d >= w.n() {
+        eprintln!("destination {d} out of range (graph has {} vertices)", w.n());
+        exit(1);
+    }
+    if opts.source_mode {
+        w = w.reversed();
+    }
+    let role = if opts.source_mode { "source" } else { "destination" };
+    println!(
+        "graph: {} vertices, {} edges; {role} {d}; problem: {}",
+        w.n(),
+        w.edge_count(),
+        opts.problem
+    );
+
+    match opts.problem.as_str() {
+        "shortest" => {
+            let mut ppa = Ppa::square(w.n()).with_word_bits(fit_word_bits(&w).clamp(2, 62));
+            let out = minimum_cost_path(&mut ppa, &w, d).unwrap_or_else(|e| {
+                eprintln!("solver error: {e}");
+                exit(1)
+            });
+            for i in 0..w.n() {
+                if out.sow[i] == INF {
+                    println!("  {i}: unreachable");
+                } else if opts.show_paths {
+                    let p = extract_path(&out, i)
+                        .map(|p| {
+                            p.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" -> ")
+                        })
+                        .unwrap_or_else(|| "?".into());
+                    println!("  {i}: cost {:5}  {}", out.sow[i], p);
+                } else {
+                    println!("  {i}: cost {:5}  next {}", out.sow[i], out.ptn[i]);
+                }
+            }
+            if opts.show_steps {
+                println!("{}", out.stats);
+            }
+        }
+        "widest" => {
+            let mut ppa = Ppa::square(w.n())
+                .with_word_bits(w.required_word_bits().clamp(4, 62));
+            let out = widest_path(&mut ppa, &w, d).unwrap_or_else(|e| {
+                eprintln!("solver error: {e}");
+                exit(1)
+            });
+            for i in 0..w.n() {
+                if i == d {
+                    continue;
+                }
+                if out.cap[i] == 0 {
+                    println!("  {i}: unreachable");
+                } else {
+                    println!("  {i}: capacity {:5}  next {}", out.cap[i], out.ptn[i]);
+                }
+            }
+            if opts.show_steps {
+                println!("{}", out.stats);
+            }
+        }
+        "hops" => {
+            let mut ppa = Ppa::square(w.n());
+            let out = hop_levels(&mut ppa, &w, d).unwrap_or_else(|e| {
+                eprintln!("solver error: {e}");
+                exit(1)
+            });
+            for (i, lvl) in out.level.iter().enumerate() {
+                match lvl {
+                    None => println!("  {i}: unreachable"),
+                    Some(h) => println!("  {i}: {h} hop(s)"),
+                }
+            }
+            if opts.show_steps {
+                println!("  total steps: {}", out.steps);
+            }
+        }
+        "reach" => {
+            let mut ppa = Ppa::square(w.n());
+            let out = reachability(&mut ppa, &w, d).unwrap_or_else(|e| {
+                eprintln!("solver error: {e}");
+                exit(1)
+            });
+            let members: Vec<String> = out
+                .reach
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| r)
+                .map(|(i, _)| i.to_string())
+                .collect();
+            println!("  can reach {d}: {{{}}}", members.join(", "));
+            if opts.show_steps {
+                println!("  total steps: {} ({} iterations)", out.steps, out.iterations);
+            }
+        }
+        other => {
+            eprintln!("unknown problem `{other}`");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Transitive closure (reachability) on the PPA.
+//!
+//! The boolean specialization of the MCP recurrence: replace `(min, +)` by
+//! `(OR, AND)`. Because the row combination is a plain wired-OR — one bus
+//! step instead of an `O(h)` bit-serial scan — each do-while iteration is
+//! `O(1)` steps and the whole single-destination reachability run is
+//! `O(p)`. This is the direction of the reconfigurable-bus transitive
+//! closure work the paper cites as reference \[6\] (Wang & Chen's PARBS
+//! algorithms), expressed in the PPA's more restricted row/column model.
+
+use crate::error::McpError;
+use crate::Result;
+use ppa_graph::WeightMatrix;
+use ppa_machine::Direction;
+use ppa_ppc::{Parallel, Ppa};
+
+/// Result of a single-destination reachability run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachOutput {
+    /// Destination vertex.
+    pub dest: usize,
+    /// `reach[i]` — whether some path `i -> ... -> dest` exists
+    /// (`reach[dest] == true` by the reflexive convention).
+    pub reach: Vec<bool>,
+    /// Do-while iterations executed.
+    pub iterations: usize,
+    /// Total SIMD steps of the run.
+    pub steps: u64,
+}
+
+/// Computes which vertices can reach `d`, on the PPA, in `O(p)` steps.
+pub fn reachability(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<ReachOutput> {
+    let n = w.n();
+    let dim = ppa.dim();
+    if dim.rows != n || dim.cols != n {
+        return Err(McpError::SizeMismatch {
+            n,
+            rows: dim.rows,
+            cols: dim.cols,
+        });
+    }
+    assert!(d < n, "destination {d} out of range");
+    let start = ppa.steps();
+
+    let row = ppa.row_index();
+    let col = ppa.col_index();
+    let d_imm = ppa.constant(d as i64);
+    let row_is_d = ppa.eq(&row, &d_imm)?;
+    let diag = ppa.eq(&row, &col)?;
+    let no_open = ppa.constant(false); // whole-line clusters for the row OR
+    let adj: Parallel<bool> = Parallel::from_fn(dim, |c| w.has_edge(c.row, c.col));
+
+    // Init: REACH[d][j] = "edge j -> d exists".
+    let mut reach = ppa.constant(false);
+    let adj_to_d: Parallel<bool> = Parallel::from_fn(dim, |c| w.has_edge(c.col, d));
+    ppa.where_(&row_is_d, |p| p.assign(&mut reach, &adj_to_d))??;
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        // Column j carries "j reaches d".
+        let bc = ppa.broadcast(&reach, Direction::South, &row_is_d)?;
+        // PE (i, j): "i steps to j and j reaches d".
+        let step = ppa.and(&adj, &bc)?;
+        // Row-wide OR: "some successor of i reaches d".
+        let row_or = ppa.bus_or(&step, Direction::West, &no_open)?;
+        // Fold back into row d via the diagonal, like MCP statement 16.
+        let via_diag = ppa.broadcast(&row_or, Direction::South, &diag)?;
+        let new_reach = ppa.or(&reach, &via_diag)?;
+        let changed = ppa.ne(&new_reach, &reach)?;
+        ppa.where_(&row_is_d, |p| p.assign(&mut reach, &new_reach))??;
+        let changed_row_d = ppa.and(&changed, &row_is_d)?;
+        if !ppa.any(&changed_row_d)? {
+            break;
+        }
+        if iterations > n {
+            return Err(McpError::NoConvergence { rounds: iterations });
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(i == d || *reach.at(d, i));
+    }
+    Ok(ReachOutput {
+        dest: d,
+        reach: out,
+        iterations,
+        steps: ppa.steps().since(&start).total(),
+    })
+}
+
+/// Result of a hop-level (unweighted BFS) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopLevels {
+    /// Destination vertex.
+    pub dest: usize,
+    /// `level[i]` — minimum number of edges on any path `i -> dest`
+    /// (`None` if unreachable; `Some(0)` at the destination).
+    pub level: Vec<Option<usize>>,
+    /// Total SIMD steps of the run.
+    pub steps: u64,
+}
+
+/// Minimum hop counts to `d` — unweighted BFS levels — in `O(p)` steps.
+///
+/// This is the cheap specialization of the MCP recurrence for unit
+/// weights: because "shorter" can only mean "discovered in an earlier
+/// round", no bit-serial comparison is needed at all. Each round costs
+/// `O(1)` steps (the same boolean data path as [`reachability`]) and the
+/// round number *is* the distance, so the whole run is `O(p)` versus the
+/// general algorithm's `O(p * h)`.
+pub fn hop_levels(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<HopLevels> {
+    let n = w.n();
+    let dim = ppa.dim();
+    if dim.rows != n || dim.cols != n {
+        return Err(McpError::SizeMismatch {
+            n,
+            rows: dim.rows,
+            cols: dim.cols,
+        });
+    }
+    assert!(d < n, "destination {d} out of range");
+    let start = ppa.steps();
+
+    let row = ppa.row_index();
+    let col = ppa.col_index();
+    let d_imm = ppa.constant(d as i64);
+    let row_is_d = ppa.eq(&row, &d_imm)?;
+    let diag = ppa.eq(&row, &col)?;
+    let no_open = ppa.constant(false);
+    let adj: Parallel<bool> = Parallel::from_fn(dim, |c| w.has_edge(c.row, c.col));
+
+    let unreach = -1i64;
+    let mut level = ppa.constant(unreach);
+    let mut reach = ppa.constant(false);
+    let adj_to_d: Parallel<bool> = Parallel::from_fn(dim, |c| w.has_edge(c.col, d));
+    let one = ppa.constant(1i64);
+    ppa.where_(&row_is_d, |p| -> ppa_ppc::Result<()> {
+        p.assign(&mut reach, &adj_to_d)?;
+        p.where_(&adj_to_d, |q| q.assign(&mut level, &one))??;
+        Ok(())
+    })??;
+
+    let mut round = 1usize;
+    loop {
+        round += 1;
+        let bc = ppa.broadcast(&reach, Direction::South, &row_is_d)?;
+        let step = ppa.and(&adj, &bc)?;
+        let row_or = ppa.bus_or(&step, Direction::West, &no_open)?;
+        let via_diag = ppa.broadcast(&row_or, Direction::South, &diag)?;
+        let not_reached = ppa.not(&reach)?;
+        let fresh = ppa.and(&via_diag, &not_reached)?;
+        let round_imm = ppa.constant(round as i64);
+        let changed = ppa.where_(&row_is_d, |p| -> ppa_ppc::Result<Parallel<bool>> {
+            p.where_(&fresh, |q| -> ppa_ppc::Result<()> {
+                q.assign(&mut level, &round_imm)?;
+                q.assign_imm(&mut reach, true)?;
+                Ok(())
+            })??;
+            Ok(fresh.clone())
+        })??;
+        let changed_row_d = ppa.and(&changed, &row_is_d)?;
+        if !ppa.any(&changed_row_d)? {
+            break;
+        }
+        if round > n + 1 {
+            return Err(McpError::NoConvergence { rounds: round });
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if i == d {
+            out.push(Some(0));
+        } else {
+            let v = *level.at(d, i);
+            out.push(if v < 0 { None } else { Some(v as usize) });
+        }
+    }
+    Ok(HopLevels {
+        dest: d,
+        level: out,
+        steps: ppa.steps().since(&start).total(),
+    })
+}
+
+/// The full transitive closure: `result[i][j]` = "some path i -> j exists"
+/// (reflexive), via `n` reachability runs.
+pub fn transitive_closure(ppa: &mut Ppa, w: &WeightMatrix) -> Result<Vec<Vec<bool>>> {
+    let n = w.n();
+    let mut cols = Vec::with_capacity(n);
+    for d in 0..n {
+        cols.push(reachability(ppa, w, d)?.reach);
+    }
+    Ok((0..n).map(|i| (0..n).map(|j| cols[j][i]).collect()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_graph::reference;
+
+    #[test]
+    fn chain_reachability() {
+        let w = gen::path(5);
+        let mut ppa = Ppa::square(5);
+        let r = reachability(&mut ppa, &w, 3).unwrap();
+        assert_eq!(r.reach, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn destination_is_reflexively_reachable() {
+        let w = WeightMatrix::new(3);
+        let mut ppa = Ppa::square(3);
+        let r = reachability(&mut ppa, &w, 1).unwrap();
+        assert_eq!(r.reach, vec![false, true, false]);
+    }
+
+    #[test]
+    fn closure_matches_sequential_oracle() {
+        for seed in 0..8 {
+            let w = gen::random_digraph(9, 0.2, 5, seed);
+            let mut ppa = Ppa::square(9);
+            let got = transitive_closure(&mut ppa, &w).unwrap();
+            let want = reference::transitive_closure(&w);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn iteration_cost_is_constant_not_h_dependent() {
+        let w = gen::ring(6);
+        let mut ppa8 = Ppa::square(6).with_word_bits(8);
+        let mut ppa32 = Ppa::square(6).with_word_bits(32);
+        let a = reachability(&mut ppa8, &w, 0).unwrap();
+        let b = reachability(&mut ppa32, &w, 0).unwrap();
+        assert_eq!(a.steps, b.steps, "reachability must not depend on h");
+        assert_eq!(a.reach, b.reach);
+    }
+
+    #[test]
+    fn reachability_is_cheaper_than_mcp() {
+        let w = gen::ring(6);
+        let mut ppa = Ppa::square(6).with_word_bits(16);
+        let r = reachability(&mut ppa, &w, 0).unwrap();
+        let m = crate::mcp::minimum_cost_path(&mut ppa, &w, 0).unwrap();
+        assert!(
+            r.steps < m.stats.total.total() / 2,
+            "O(p) reachability ({}) should be far below O(p*h) MCP ({})",
+            r.steps,
+            m.stats.total.total()
+        );
+    }
+
+    #[test]
+    fn hop_levels_match_bfs_oracle() {
+        for seed in 0..8u64 {
+            let w = gen::random_digraph(10, 0.2, 5, seed);
+            let d = seed as usize % 10;
+            let mut ppa = Ppa::square(10);
+            let got = hop_levels(&mut ppa, &w, d).unwrap();
+            let want = reference::hop_counts(&w, d);
+            assert_eq!(got.level, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hop_levels_on_ring_count_up_to_n_minus_one() {
+        let w = gen::ring(6);
+        let mut ppa = Ppa::square(6);
+        let got = hop_levels(&mut ppa, &w, 0).unwrap();
+        assert_eq!(
+            got.level,
+            vec![Some(0), Some(5), Some(4), Some(3), Some(2), Some(1)]
+        );
+    }
+
+    #[test]
+    fn hop_levels_are_h_independent_and_cheaper_than_mcp() {
+        let w = gen::ring(6);
+        let mut p8 = Ppa::square(6).with_word_bits(8);
+        let mut p32 = Ppa::square(6).with_word_bits(32);
+        let a = hop_levels(&mut p8, &w, 0).unwrap();
+        let b = hop_levels(&mut p32, &w, 0).unwrap();
+        assert_eq!(a.steps, b.steps);
+        let m = crate::mcp::minimum_cost_path(&mut p8, &w, 0).unwrap();
+        assert!(a.steps * 2 < m.stats.total.total());
+    }
+
+    #[test]
+    fn hop_levels_mark_unreachable() {
+        let w = gen::path(4);
+        let mut ppa = Ppa::square(4);
+        let got = hop_levels(&mut ppa, &w, 1).unwrap();
+        assert_eq!(got.level, vec![Some(1), Some(0), None, None]);
+    }
+
+    #[test]
+    fn ring_reaches_everything() {
+        let w = gen::ring(7);
+        let mut ppa = Ppa::square(7);
+        let tc = transitive_closure(&mut ppa, &w).unwrap();
+        assert!(tc.iter().all(|row| row.iter().all(|&b| b)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Errors of the MCP algorithms.
+
+use ppa_ppc::PpcError;
+use std::fmt;
+
+/// Errors raised by the PPA graph algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McpError {
+    /// A PPC runtime operation failed.
+    Ppc(PpcError),
+    /// The machine is `rows x cols` but the graph needs an `n x n` array.
+    SizeMismatch {
+        /// Vertices in the graph.
+        n: usize,
+        /// Machine rows.
+        rows: usize,
+        /// Machine columns.
+        cols: usize,
+    },
+    /// The machine's `h`-bit word cannot hold every possible path cost of
+    /// this input below `MAXINT`; costs would saturate and masquerade as
+    /// "unreachable". Use a wider word (see `fit_word_bits`).
+    WordWidthTooSmall {
+        /// Minimum width that is safe for this input.
+        required: u32,
+        /// Width the machine actually has.
+        actual: u32,
+    },
+    /// The iteration did not converge within `n` rounds — impossible for
+    /// non-negative weights, so this indicates a corrupted input matrix.
+    NoConvergence {
+        /// Rounds executed before giving up.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for McpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McpError::Ppc(e) => write!(f, "PPC runtime error: {e}"),
+            McpError::SizeMismatch { n, rows, cols } => write!(
+                f,
+                "graph has {n} vertices but the machine is {rows}x{cols}; an {n}x{n} array is required"
+            ),
+            McpError::WordWidthTooSmall { required, actual } => write!(
+                f,
+                "machine word width h={actual} is too small for this input; need h>={required}"
+            ),
+            McpError::NoConvergence { rounds } => {
+                write!(f, "MCP iteration did not converge after {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McpError::Ppc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PpcError> for McpError {
+    fn from(e: PpcError) -> Self {
+        McpError::Ppc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = McpError::SizeMismatch { n: 5, rows: 4, cols: 4 };
+        assert!(e.to_string().contains("5 vertices"));
+        let e = McpError::WordWidthTooSmall { required: 12, actual: 8 };
+        assert!(e.to_string().contains("h=8"));
+        assert!(e.to_string().contains("h>=12"));
+        let e = McpError::NoConvergence { rounds: 9 };
+        assert!(e.to_string().contains("9 rounds"));
+        let e = McpError::Ppc(PpcError::EmptySelection);
+        assert!(e.to_string().contains("PPC"));
+    }
+}

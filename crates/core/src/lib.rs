@@ -1,0 +1,80 @@
+//! # ppa-mcp — the IPPS'98 Minimum Cost Path algorithm on the PPA
+//!
+//! This crate is the paper's primary contribution: the parallel dynamic
+//! program of Section 3 that computes, on an `n x n` Polymorphic Processor
+//! Array, the minimum cost path from **every** vertex of a weighted digraph
+//! to one destination vertex `d`.
+//!
+//! The data layout matches the paper exactly: PE `(i, j)` holds `w_ij`, the
+//! weight of edge `i -> j` (`MAXINT` if absent). The two parallel outputs
+//! are `SOW` (*Sum Of Weights*) and `PTN` (*Pointer To Next*); only their
+//! `d`-th rows are meaningful: `SOW[d][i]` is the cost of a minimum cost
+//! path from `i` to `d` and `PTN[d][i]` the vertex following `i` on one
+//! such path.
+//!
+//! * [`mcp::minimum_cost_path`] — statements 1-21 of the paper, including
+//!   the `O(h)` bit-serial `min`/`selected_min` bus primitives, with full
+//!   SIMD step accounting (total cost `O(p * h)` for maximum path
+//!   hop-length `p` and word width `h`);
+//! * [`path`] — reconstruction of explicit vertex sequences from `PTN`;
+//! * [`apsp`] — all-pairs driver (one MCP run per destination) and the
+//!   single-source variant via graph reversal;
+//! * [`closure`] — the boolean specialization: transitive-closure
+//!   reachability on the PPA (the direction of the PARBS work the paper
+//!   cites as \[6\]);
+//! * [`stats`] — per-phase step breakdowns used by the experiment harness.
+//!
+//! ## Fidelity notes (also in DESIGN.md)
+//!
+//! 1. **Row-`d` selection repair.** The paper issues
+//!    `selected_min(COL, WEST, COL==n-1, MIN_SOW==SOW)` under
+//!    `where (ROW != d)`, but SIMD masking gates only register *writes* —
+//!    the bus transaction happens on every line, including row `d`, where
+//!    `MIN_SOW == SOW` can select nothing and leave that row's bus floating.
+//!    This implementation adds `ROW == d` to the selection (one extra ALU
+//!    step; the row-`d` result is masked away exactly as in the paper).
+//! 2. **`MIN_SOW` initialization.** PPC leaves it uninitialized; the
+//!    simulator initializes it to `MAXINT`, and because weight matrices
+//!    carry no self-loops, `SOW[d][d]` then stays `MAXINT` throughout and
+//!    never triggers a spurious "changed" iteration. The public output
+//!    reports `sow[d] = 0`, `ptn[d] = d` (the trivial empty path).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppa_graph::WeightMatrix;
+//! use ppa_mcp::mcp;
+//! use ppa_ppc::Ppa;
+//!
+//! // 0 --1--> 1 --1--> 2, plus a costly shortcut 0 --5--> 2.
+//! let w = WeightMatrix::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)]);
+//! let mut ppa = Ppa::square(3).with_word_bits(8);
+//! let out = mcp::minimum_cost_path(&mut ppa, &w, 2).unwrap();
+//! assert_eq!(out.sow, vec![2, 1, 0]);       // best 0 -> 2 goes via 1
+//! assert_eq!(out.ptn[0], 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Index-based loops over multiple parallel arrays are the dominant idiom in
+// this numeric code; the iterator rewrites clippy suggests obscure the
+// row/column index math that mirrors the paper's notation.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod apsp;
+pub mod closure;
+pub mod error;
+pub mod kernels;
+pub mod mcp;
+pub mod path;
+pub mod stats;
+pub mod variants;
+pub mod widest;
+
+pub use error::McpError;
+pub use mcp::{minimum_cost_path, McpOutput};
+pub use stats::McpStats;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, McpError>;

@@ -1,0 +1,406 @@
+//! The paper's `minimum_cost_path()` — statements 1-21 of Section 3.
+//!
+//! ```text
+//!  1: minimum_cost_path()
+//!  2: {
+//!  3:   parallel int OLD_SOW;
+//!  4:   where (ROW == d){
+//!  5:     SOW = W;
+//!  6:     PTN = d;
+//!  7:   }
+//!  8:   do
+//!  9:     where (ROW != d) {
+//! 10:       SOW = broadcast (SOW, SOUTH, ROW == d) + W;
+//! 11:       MIN_SOW = min (SOW, WEST, COL == (n - 1));
+//! 12:       PTN = selected_min (COL, WEST, COL == (n - 1), MIN_SOW == SOW);
+//! 13:     }
+//! 14:     where (ROW == d) {
+//! 15:       OLD_SOW = SOW;
+//! 16:       SOW = broadcast (MIN_SOW, SOUTH, ROW == COL);
+//! 17:       where (SOW != OLD_SOW)
+//! 18:         PTN = broadcast (PTN, SOUTH, ROW == COL);
+//! 19:     }
+//! 20:   while (at least one SOW in row d has changed);
+//! 21: }
+//! ```
+//!
+//! The implementation below follows this structure statement by statement
+//! (each block is labelled); the only deviations are the two fidelity
+//! repairs documented at the crate root (row-`d` selection, `MIN_SOW`
+//! initialization). Complexity: initialization `O(1)`, each iteration
+//! `O(h)` (two bit-serial bus minima), `max(1, p)` iterations — total
+//! `O(p * h)` SIMD steps, independent of `n`.
+
+use crate::error::McpError;
+use crate::stats::McpStats;
+use crate::Result;
+use ppa_graph::{Weight, WeightMatrix, INF};
+use ppa_machine::{Direction, StepReport};
+use ppa_ppc::{Parallel, Ppa};
+
+/// Result of one `minimum_cost_path` run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McpOutput {
+    /// Destination vertex `d`.
+    pub dest: usize,
+    /// `sow[i]` — cost of a minimum cost path `i -> ... -> d`
+    /// ([`INF`] if unreachable, `0` at the destination itself).
+    pub sow: Vec<Weight>,
+    /// `ptn[i]` — vertex following `i` on one minimum cost path to `d`
+    /// (`ptn[d] == d`; `ptn[i] == i` marks "no path").
+    pub ptn: Vec<usize>,
+    /// Do-while iterations executed (`max(1, p)`).
+    pub iterations: usize,
+    /// Step accounting for the run.
+    pub stats: McpStats,
+}
+
+/// The smallest machine word width `h` that can run `minimum_cost_path`
+/// on `w` without any real path cost saturating into `MAXINT`.
+pub fn fit_word_bits(w: &WeightMatrix) -> u32 {
+    w.required_word_bits()
+}
+
+/// Runs the paper's algorithm on an existing runtime.
+///
+/// Requirements checked up front: the machine must be `n x n` for an
+/// `n`-vertex graph, and the word width must satisfy
+/// `(n - 1) * max_weight < MAXINT` so that no genuine path cost collides
+/// with the "infinite" sentinel.
+///
+/// # Errors
+/// [`McpError::SizeMismatch`], [`McpError::WordWidthTooSmall`], or any
+/// PPC runtime failure.
+pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<McpOutput> {
+    let n = w.n();
+    let dim = ppa.dim();
+    if dim.rows != n || dim.cols != n {
+        return Err(McpError::SizeMismatch {
+            n,
+            rows: dim.rows,
+            cols: dim.cols,
+        });
+    }
+    assert!(d < n, "destination {d} out of range for {n} vertices");
+    let required = fit_word_bits(w);
+    if ppa.word_bits() < required {
+        return Err(McpError::WordWidthTooSmall {
+            required,
+            actual: ppa.word_bits(),
+        });
+    }
+
+    let maxint = ppa.maxint();
+    let start = ppa.steps();
+    ppa.set_phase(Some("setup"));
+
+    // --- plane setup: the hardwired registers and the input load ----------
+    let row = ppa.row_index();
+    let col = ppa.col_index();
+    let d_imm = ppa.constant(d as i64);
+    let nm1_imm = ppa.constant(n as i64 - 1);
+    let row_is_d = ppa.eq(&row, &d_imm)?;
+    let row_ne_d = ppa.not(&row_is_d)?;
+    let col_is_d = ppa.eq(&col, &d_imm)?;
+    let diag = ppa.eq(&row, &col)?; // ROW == COL
+    let last_col = ppa.eq(&col, &nm1_imm)?; // COL == n - 1
+    // `parallel int W` arrives preloaded in each PE's memory (host I/O,
+    // not a SIMD step). The diagonal is loaded as 0 — the dynamic-program
+    // convention the paper's statement 16 silently relies on: with
+    // `w_ii = 0` the candidate `j = i` of `min_j(w_ij + SOW_jd)` is the
+    // *old* `SOW_id`, which is how the pure overwrite of statement 16
+    // realizes the prose's "minimum between its old value and the new
+    // sums" (fidelity note 2 in DESIGN.md); it also pins `SOW_dd` to 0 so
+    // one-edge paths keep their `j = d` witness in later iterations.
+    let mut w_vec = w.to_saturated_vec(maxint);
+    for i in 0..n {
+        w_vec[i * n + i] = 0;
+    }
+    let w_plane: Parallel<i64> = Parallel::from_vec(dim, w_vec);
+
+    // Parallel variable declarations; PPC leaves them uninitialized, the
+    // simulator pins them to MAXINT (fidelity note 2 at the crate root).
+    let mut sow = ppa.constant(maxint);
+    let mut min_sow = ppa.constant(maxint);
+    let mut ptn = ppa.constant(0i64);
+    let mut old_sow = ppa.constant(maxint); // statement 3
+
+    // --- Step 1: statements 4-7 -------------------------------------------
+    ppa.set_phase(Some("step 1 (stmts 4-7)"));
+    // Statement 5 reads `SOW = W`, but the prose demands
+    // `SOW[d][i] = w_id` — the weight of the edge *from i to d*, which in
+    // the standard layout lives in W's d-th *column*, not its d-th row
+    // (fidelity note 3 in DESIGN.md). The intended initialization is
+    // realized with two O(1) bus steps: spread column d across each row,
+    // then fold the diagonal down into row d.
+    let in_weights = ppa.broadcast(&w_plane, Direction::East, &col_is_d)?; // [i][*] = w_id
+    let in_weights_t = ppa.broadcast(&in_weights, Direction::South, &diag)?; // [*][i] = w_id
+    ppa.where_(&row_is_d, |p| -> ppa_ppc::Result<()> {
+        p.assign(&mut sow, &in_weights_t)?; // 5 (intended): SOW[d][i] = w_id
+        p.assign(&mut ptn, &d_imm)?; // 6: PTN = d
+        // MIN_SOW is uninitialized in the paper; statement 16 reads its
+        // (d,d) element every iteration, so it must start at SOW_dd = 0
+        // for the destination column to stay pinned (fidelity note 2).
+        p.assign(&mut min_sow, &in_weights_t)?;
+        Ok(())
+    })??;
+
+    let init_report = ppa.steps().since(&start);
+
+    // --- Step 2: the do-while loop, statements 8-20 ------------------------
+    let mut per_iteration: Vec<StepReport> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        let iter_start = ppa.steps();
+        iterations += 1;
+
+        // ---- statements 9-13, under where (ROW != d) ----
+        // 10: SOW = broadcast(SOW, SOUTH, ROW == d) + W
+        //     (the bus transaction is global; the mask gates the write)
+        ppa.set_phase(Some("stmt 10: broadcast+add"));
+        let bsow = ppa.broadcast(&sow, Direction::South, &row_is_d)?;
+        let sum = ppa.sat_add(&bsow, &w_plane)?;
+        ppa.where_(&row_ne_d, |p| p.assign(&mut sow, &sum))??;
+
+        // 11: MIN_SOW = min(SOW, WEST, COL == n-1)
+        ppa.set_phase(Some("stmt 11: min"));
+        let rowmin = ppa.min(&sow, Direction::West, &last_col)?;
+        ppa.where_(&row_ne_d, |p| p.assign(&mut min_sow, &rowmin))??;
+
+        // 12: PTN = selected_min(COL, WEST, COL == n-1, MIN_SOW == SOW)
+        //     (+ fidelity repair: row d trivially selected so its bus
+        //      cluster never floats; its result is masked away below)
+        ppa.set_phase(Some("stmt 12: selected_min"));
+        let is_argmin = ppa.eq(&min_sow, &sow)?;
+        let sel = ppa.or(&is_argmin, &row_is_d)?;
+        let argmin_col = ppa.selected_min(&col, Direction::West, &last_col, &sel)?;
+        ppa.where_(&row_ne_d, |p| p.assign(&mut ptn, &argmin_col))??;
+
+        // ---- statements 14-18, under where (ROW == d) ----
+        ppa.set_phase(Some("stmts 14-18: fold into row d"));
+        let bc_min = ppa.broadcast(&min_sow, Direction::South, &diag)?; // 16 (read)
+        let bc_ptn = ppa.broadcast(&ptn, Direction::South, &diag)?; // 18 (read)
+        let changed = ppa.where_(&row_is_d, |p| -> ppa_ppc::Result<Parallel<bool>> {
+            p.assign(&mut old_sow, &sow)?; // 15
+            p.assign(&mut sow, &bc_min)?; // 16 (write)
+            let changed = p.ne(&sow, &old_sow)?; // 17 condition
+            p.where_(&changed, |q| q.assign(&mut ptn, &bc_ptn))??; // 17-18
+            Ok(changed)
+        })??;
+
+        per_iteration.push(ppa.steps().since(&iter_start));
+
+        // ---- statement 20: while at least one SOW in row d has changed ----
+        ppa.set_phase(Some("stmt 20: loop test"));
+        let changed_in_row_d = ppa.and(&changed, &row_is_d)?;
+        if !ppa.any(&changed_in_row_d)? {
+            break;
+        }
+        if iterations > n {
+            return Err(McpError::NoConvergence { rounds: iterations });
+        }
+    }
+
+    ppa.set_phase(None);
+
+    // --- read out row d -----------------------------------------------------
+    let mut out_sow: Vec<Weight> = Vec::with_capacity(n);
+    let mut out_ptn: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        let cost = *sow.at(d, i);
+        if i == d {
+            out_sow.push(0);
+            out_ptn.push(d);
+        } else if cost >= maxint {
+            out_sow.push(INF);
+            out_ptn.push(i);
+        } else {
+            out_sow.push(cost);
+            out_ptn.push(*ptn.at(d, i) as usize);
+        }
+    }
+
+    let total = ppa.steps().since(&start);
+    Ok(McpOutput {
+        dest: d,
+        sow: out_sow,
+        ptn: out_ptn,
+        iterations,
+        stats: McpStats {
+            init: init_report,
+            per_iteration,
+            total,
+        },
+    })
+}
+
+/// Convenience wrapper: builds a machine of the right size and word width
+/// for `w` and runs [`minimum_cost_path`].
+pub fn minimum_cost_path_auto(w: &WeightMatrix, d: usize) -> Result<McpOutput> {
+    let mut ppa = Ppa::square(w.n()).with_word_bits(fit_word_bits(w).clamp(2, 62));
+    minimum_cost_path(&mut ppa, w, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_graph::reference::bellman_ford_to_dest;
+    use ppa_graph::validate::{is_valid_solution, validate_solution};
+
+    #[test]
+    fn three_vertex_chain() {
+        let w = WeightMatrix::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)]);
+        let out = minimum_cost_path_auto(&w, 2).unwrap();
+        assert_eq!(out.sow, vec![2, 1, 0]);
+        assert_eq!(out.ptn, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn unreachable_vertices_report_inf() {
+        let w = WeightMatrix::from_edges(4, &[(0, 1, 3)]);
+        let out = minimum_cost_path_auto(&w, 1).unwrap();
+        assert_eq!(out.sow[0], 3);
+        assert_eq!(out.sow[2], INF);
+        assert_eq!(out.sow[3], INF);
+        assert_eq!(out.ptn[2], 2);
+    }
+
+    #[test]
+    fn destination_conventions() {
+        let w = gen::ring(5);
+        let out = minimum_cost_path_auto(&w, 3).unwrap();
+        assert_eq!(out.sow[3], 0);
+        assert_eq!(out.ptn[3], 3);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..15 {
+            let w = gen::random_digraph(10, 0.3, 20, seed);
+            let d = (seed as usize * 3) % 10;
+            let out = minimum_cost_path_auto(&w, d).unwrap();
+            assert!(
+                is_valid_solution(&w, d, &out.sow, &out.ptn),
+                "seed {seed}: {:?}",
+                validate_solution(&w, d, &out.sow, &out.ptn)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_every_family() {
+        for f in gen::Family::ALL {
+            let w = f.build(12, 15, 77);
+            let out = minimum_cost_path_auto(&w, 5).unwrap();
+            assert!(
+                is_valid_solution(&w, 5, &out.sow, &out.ptn),
+                "family {}: {:?}",
+                f.label(),
+                validate_solution(&w, 5, &out.sow, &out.ptn)
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_count_tracks_path_length() {
+        // Ring: the longest MCP to vertex 0 has n-1 hops.
+        let w = gen::ring(8);
+        let out = minimum_cost_path_auto(&w, 0).unwrap();
+        let oracle = bellman_ford_to_dest(&w, 0);
+        // do-while runs improving rounds + 1 detection round.
+        assert_eq!(out.iterations, oracle.rounds + 1);
+        assert_eq!(out.iterations, 7);
+        // Star: one-edge paths only; a single (no-change) iteration.
+        let w = gen::star(8, 2, 5, 1);
+        let out = minimum_cost_path_auto(&w, 2).unwrap();
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn per_iteration_step_cost_is_uniform_and_linear_in_h() {
+        let w = gen::ring(6);
+        let mut costs = Vec::new();
+        for h in [8u32, 16, 32] {
+            let mut ppa = Ppa::square(6).with_word_bits(h);
+            let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+            assert!(out.stats.iterations_uniform());
+            costs.push(out.stats.steps_per_iteration());
+        }
+        // Doubling h should roughly double the per-iteration cost
+        // (2 bit-serial scans of 4 steps/bit dominate).
+        assert!(costs[1] > costs[0] * 1.6, "{costs:?}");
+        assert!(costs[2] > costs[1] * 1.6, "{costs:?}");
+    }
+
+    #[test]
+    fn per_iteration_cost_is_independent_of_n() {
+        let mut baseline = None;
+        for n in [4usize, 8, 16] {
+            let w = gen::padded_path(n, 2);
+            let mut ppa = Ppa::square(n).with_word_bits(10);
+            let out = minimum_cost_path(&mut ppa, &w, 2).unwrap();
+            let per = out.stats.per_iteration[0].total();
+            match baseline {
+                None => baseline = Some(per),
+                Some(b) => assert_eq!(per, b, "n={n}"),
+            }
+        }
+    }
+
+    #[test]
+    fn word_width_guard_fires() {
+        let w = WeightMatrix::from_edges(4, &[(0, 1, 100), (1, 2, 100), (2, 3, 100)]);
+        let mut ppa = Ppa::square(4).with_word_bits(8); // 300 > 255
+        assert!(matches!(
+            minimum_cost_path(&mut ppa, &w, 3),
+            Err(McpError::WordWidthTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn size_guard_fires() {
+        let w = gen::ring(5);
+        let mut ppa = Ppa::square(4);
+        assert!(matches!(
+            minimum_cost_path(&mut ppa, &w, 0),
+            Err(McpError::SizeMismatch { n: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let w = WeightMatrix::new(1);
+        let out = minimum_cost_path_auto(&w, 0).unwrap();
+        assert_eq!(out.sow, vec![0]);
+        assert_eq!(out.ptn, vec![0]);
+    }
+
+    #[test]
+    fn two_vertex_graphs() {
+        let w = WeightMatrix::from_edges(2, &[(0, 1, 4)]);
+        let out = minimum_cost_path_auto(&w, 1).unwrap();
+        assert_eq!(out.sow, vec![4, 0]);
+        let out = minimum_cost_path_auto(&w, 0).unwrap();
+        assert_eq!(out.sow, vec![0, INF]);
+    }
+
+    #[test]
+    fn equal_cost_ties_yield_some_optimal_path() {
+        // Two cost-2 routes 0 -> 3: direct edge and via 1.
+        let w = WeightMatrix::from_edges(4, &[(0, 3, 2), (0, 1, 1), (1, 3, 1), (2, 3, 9)]);
+        let out = minimum_cost_path_auto(&w, 3).unwrap();
+        assert!(is_valid_solution(&w, 3, &out.sow, &out.ptn));
+        assert_eq!(out.sow[0], 2);
+    }
+
+    #[test]
+    fn reusing_a_machine_accumulates_but_reports_per_run() {
+        let w = gen::ring(5);
+        let mut ppa = Ppa::square(5).with_word_bits(8);
+        let a = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+        let b = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+        assert_eq!(a.stats.total, b.stats.total);
+        assert_eq!(a.sow, b.sow);
+    }
+}

@@ -1,0 +1,133 @@
+//! Explicit path reconstruction from the `PTN` output.
+//!
+//! The paper returns the MCP *structure* implicitly: `PTN[d][i]` is the
+//! vertex following `i` on a minimum cost path to `d`. Walking those
+//! pointers yields the explicit vertex sequence; this module does the walk
+//! defensively (bounded, cycle-detecting) so corrupted outputs surface as
+//! `None` instead of hanging.
+
+use crate::mcp::McpOutput;
+use ppa_graph::{Weight, WeightMatrix, INF};
+
+/// The explicit minimum cost path from `from` to the destination of `out`,
+/// as a vertex sequence starting at `from` and ending at the destination.
+///
+/// Returns `None` if `from` cannot reach the destination, or if the
+/// pointer chain is corrupt (self-pointing interior vertex or a cycle).
+pub fn extract_path(out: &McpOutput, from: usize) -> Option<Vec<usize>> {
+    let n = out.sow.len();
+    assert!(from < n, "vertex {from} out of range");
+    if out.sow[from] == INF {
+        return None;
+    }
+    let mut path = vec![from];
+    let mut cur = from;
+    while cur != out.dest {
+        let nxt = out.ptn[cur];
+        if nxt >= n || nxt == cur || path.len() > n {
+            return None;
+        }
+        path.push(nxt);
+        cur = nxt;
+    }
+    Some(path)
+}
+
+/// Sums the edge weights along `path` in `w`; `None` if some edge is
+/// missing.
+pub fn path_cost(w: &WeightMatrix, path: &[usize]) -> Option<Weight> {
+    let mut cost = 0;
+    for pair in path.windows(2) {
+        let e = w.get(pair[0], pair[1]);
+        if e == INF {
+            return None;
+        }
+        cost += e;
+    }
+    Some(cost)
+}
+
+/// All reachable-source paths of an output: `(source, path)` pairs for
+/// every vertex with a finite cost (the destination's trivial path
+/// included).
+pub fn all_paths(out: &McpOutput) -> Vec<(usize, Vec<usize>)> {
+    (0..out.sow.len())
+        .filter_map(|i| extract_path(out, i).map(|p| (i, p)))
+        .collect()
+}
+
+/// Maximum hop-length over all minimum cost paths of `out` — the paper's
+/// `p`, measured from the answer itself.
+pub fn max_hops(out: &McpOutput) -> usize {
+    all_paths(out)
+        .iter()
+        .map(|(_, p)| p.len().saturating_sub(1))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcp::minimum_cost_path_auto;
+    use ppa_graph::gen;
+
+    #[test]
+    fn extracts_the_chain() {
+        let w = WeightMatrix::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 9)]);
+        let out = minimum_cost_path_auto(&w, 3).unwrap();
+        assert_eq!(extract_path(&out, 0), Some(vec![0, 1, 2, 3]));
+        assert_eq!(path_cost(&w, &[0, 1, 2, 3]), Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let w = WeightMatrix::from_edges(3, &[(0, 1, 1)]);
+        let out = minimum_cost_path_auto(&w, 1).unwrap();
+        assert_eq!(extract_path(&out, 2), None);
+    }
+
+    #[test]
+    fn destination_path_is_trivial() {
+        let w = gen::ring(4);
+        let out = minimum_cost_path_auto(&w, 2).unwrap();
+        assert_eq!(extract_path(&out, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn corrupt_pointers_detected() {
+        let w = gen::ring(4);
+        let mut out = minimum_cost_path_auto(&w, 0).unwrap();
+        out.ptn[1] = 1; // self-pointing interior vertex
+        assert_eq!(extract_path(&out, 1), None);
+        out.ptn[1] = 2;
+        out.ptn[2] = 1; // cycle
+        assert_eq!(extract_path(&out, 1), None);
+    }
+
+    #[test]
+    fn path_cost_none_on_missing_edge() {
+        let w = WeightMatrix::from_edges(3, &[(0, 1, 1)]);
+        assert_eq!(path_cost(&w, &[0, 2]), None);
+        assert_eq!(path_cost(&w, &[0]), Some(0));
+    }
+
+    #[test]
+    fn every_extracted_path_resums_to_sow() {
+        let w = gen::random_connected(12, 0.25, 9, 3);
+        let out = minimum_cost_path_auto(&w, 7).unwrap();
+        for (src, p) in all_paths(&out) {
+            assert_eq!(path_cost(&w, &p), Some(out.sow[src]), "src {src}");
+        }
+    }
+
+    #[test]
+    fn max_hops_matches_ring_diameter() {
+        let w = gen::ring(6);
+        let out = minimum_cost_path_auto(&w, 0).unwrap();
+        assert_eq!(max_hops(&out), 5);
+        let w = gen::star(6, 1, 4, 9);
+        let out = minimum_cost_path_auto(&w, 1).unwrap();
+        assert_eq!(max_hops(&out), 1);
+    }
+}

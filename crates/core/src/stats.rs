@@ -1,0 +1,107 @@
+//! Per-phase SIMD step accounting for the MCP run.
+
+use ppa_machine::StepReport;
+use std::fmt;
+
+/// Step breakdown of one `minimum_cost_path` execution.
+///
+/// The paper's claim decomposes as: initialization is `O(1)` steps, each
+/// do-while iteration is `O(h)` steps (dominated by `min` and
+/// `selected_min`), and the loop runs `max(1, p)` times — hence the
+/// `O(p * h)` total. These fields let the experiment harness verify each
+/// part separately.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct McpStats {
+    /// Steps spent in Step 1 (statements 4-7) plus plane setup.
+    pub init: StepReport,
+    /// Steps of each do-while iteration, in order.
+    pub per_iteration: Vec<StepReport>,
+    /// Total steps of the whole call.
+    pub total: StepReport,
+}
+
+impl McpStats {
+    /// Number of do-while iterations executed (the paper's `t`; equals
+    /// `max(1, p)` where `p` is the maximum MCP hop-length).
+    pub fn iterations(&self) -> usize {
+        self.per_iteration.len()
+    }
+
+    /// Mean steps per iteration (0 if no iterations ran).
+    pub fn steps_per_iteration(&self) -> f64 {
+        if self.per_iteration.is_empty() {
+            0.0
+        } else {
+            let sum: u64 = self.per_iteration.iter().map(|r| r.total()).sum();
+            sum as f64 / self.per_iteration.len() as f64
+        }
+    }
+
+    /// Whether every iteration cost exactly the same number of steps —
+    /// true by construction for this algorithm (the body is straight-line),
+    /// asserted by the regression tests.
+    pub fn iterations_uniform(&self) -> bool {
+        match self.per_iteration.first() {
+            None => true,
+            Some(first) => self.per_iteration.iter().all(|r| r.total() == first.total()),
+        }
+    }
+}
+
+impl fmt::Display for McpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "MCP steps: total {}", self.total)?;
+        writeln!(f, "  init:           {}", self.init)?;
+        writeln!(
+            f,
+            "  iterations:     {} x {:.1} steps",
+            self.iterations(),
+            self.steps_per_iteration()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_machine::{Controller, Op};
+
+    fn report(alu: u64) -> StepReport {
+        let mut c = Controller::new();
+        for _ in 0..alu {
+            c.record(Op::Alu);
+        }
+        c.report()
+    }
+
+    #[test]
+    fn steps_per_iteration_averages() {
+        let s = McpStats {
+            init: report(2),
+            per_iteration: vec![report(10), report(10)],
+            total: report(22),
+        };
+        assert_eq!(s.iterations(), 2);
+        assert!((s.steps_per_iteration() - 10.0).abs() < 1e-9);
+        assert!(s.iterations_uniform());
+    }
+
+    #[test]
+    fn non_uniform_detected() {
+        let s = McpStats {
+            init: report(0),
+            per_iteration: vec![report(3), report(4)],
+            total: report(7),
+        };
+        assert!(!s.iterations_uniform());
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = McpStats::default();
+        assert_eq!(s.iterations(), 0);
+        assert_eq!(s.steps_per_iteration(), 0.0);
+        assert!(s.iterations_uniform());
+        let _ = s.to_string();
+    }
+}

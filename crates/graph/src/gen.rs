@@ -1,0 +1,446 @@
+//! Seeded workload generators.
+//!
+//! Every generator is deterministic in its `seed`, so the experiment
+//! harness and the property tests can regenerate identical inputs. Weights
+//! are drawn from `1..=max_w` (zero-weight edges are legal in the model but
+//! excluded by the generators so that "shorter cost" and "fewer hops"
+//! remain distinguishable in the tests).
+
+use crate::matrix::{Weight, WeightMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An Erdős–Rényi-style random digraph: every ordered non-loop pair gets an
+/// edge independently with probability `density`, weight uniform in
+/// `1..=max_w`.
+pub fn random_digraph(n: usize, density: f64, max_w: Weight, seed: u64) -> WeightMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    assert!(max_w >= 1, "max_w must be at least 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = WeightMatrix::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(density) {
+                m.set(i, j, rng.gen_range(1..=max_w));
+            }
+        }
+    }
+    m
+}
+
+/// Like [`random_digraph`], but additionally wires the cycle
+/// `0 -> 1 -> ... -> n-1 -> 0` so every vertex reaches every other — the
+/// workload used whenever an experiment needs all costs finite.
+pub fn random_connected(n: usize, density: f64, max_w: Weight, seed: u64) -> WeightMatrix {
+    let mut m = random_digraph(n, density, max_w, seed);
+    if n > 1 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        for i in 0..n {
+            m.set(i, (i + 1) % n, rng.gen_range(1..=max_w));
+        }
+    }
+    m
+}
+
+/// The directed ring `0 -> 1 -> ... -> n-1 -> 0` with unit weights: the
+/// worst case for iteration count, since the minimum-cost path from vertex
+/// `d+1` back to `d` has `n - 1` hops (`p = n - 1`).
+pub fn ring(n: usize) -> WeightMatrix {
+    let mut m = WeightMatrix::new(n);
+    if n > 1 {
+        for i in 0..n {
+            m.set(i, (i + 1) % n, 1);
+        }
+    }
+    m
+}
+
+/// The directed path `0 -> 1 -> ... -> n-1` with unit weights.
+pub fn path(n: usize) -> WeightMatrix {
+    let mut m = WeightMatrix::new(n);
+    for i in 0..n.saturating_sub(1) {
+        m.set(i, i + 1, 1);
+    }
+    m
+}
+
+/// A "controlled diameter" workload: the directed path `0 -> ... -> p`
+/// with unit weights, padded with `n - p - 1` extra vertices that all have
+/// a direct unit edge to vertex `p`. The maximum MCP hop-length to
+/// destination `p` is exactly `p`, independent of `n` — the input family
+/// behind experiment T2 (steps linear in `p`, flat in `n`).
+pub fn padded_path(n: usize, p: usize) -> WeightMatrix {
+    assert!(p < n, "need p < n (p={p}, n={n})");
+    let mut m = WeightMatrix::new(n);
+    for i in 0..p {
+        m.set(i, i + 1, 1);
+    }
+    for v in (p + 1)..n {
+        m.set(v, p, 1);
+    }
+    m
+}
+
+/// A 4-neighbour grid of `rows x cols` vertices (vertex `r * cols + c`),
+/// bidirectional edges with weights uniform in `1..=max_w` — the
+/// "weighted terrain" workload of the robot-navigation example.
+pub fn grid(rows: usize, cols: usize, max_w: Weight, seed: u64) -> WeightMatrix {
+    assert!(rows > 0 && cols > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut m = WeightMatrix::new(n);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                m.set(idx(r, c), idx(r, c + 1), rng.gen_range(1..=max_w));
+                m.set(idx(r, c + 1), idx(r, c), rng.gen_range(1..=max_w));
+            }
+            if r + 1 < rows {
+                m.set(idx(r, c), idx(r + 1, c), rng.gen_range(1..=max_w));
+                m.set(idx(r + 1, c), idx(r, c), rng.gen_range(1..=max_w));
+            }
+        }
+    }
+    m
+}
+
+/// A star: every satellite has one edge to the `center` (weight uniform in
+/// `1..=max_w`); all MCPs to the center are single edges (`p = 1`).
+pub fn star(n: usize, center: usize, max_w: Weight, seed: u64) -> WeightMatrix {
+    assert!(center < n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = WeightMatrix::new(n);
+    for i in 0..n {
+        if i != center {
+            m.set(i, center, rng.gen_range(1..=max_w));
+        }
+    }
+    m
+}
+
+/// A random DAG: edges only from lower to higher vertex indices, each
+/// present with probability `density`.
+pub fn random_dag(n: usize, density: f64, max_w: Weight, seed: u64) -> WeightMatrix {
+    assert!((0.0..=1.0).contains(&density));
+    assert!(max_w >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = WeightMatrix::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                m.set(i, j, rng.gen_range(1..=max_w));
+            }
+        }
+    }
+    m
+}
+
+/// A random geometric ("road-network-like") graph: `n` points uniform in
+/// the unit square, bidirectional edges between points within `radius`,
+/// weight = Euclidean distance scaled to an integer in `1..=max_w`.
+pub fn geometric(n: usize, radius: f64, max_w: Weight, seed: u64) -> WeightMatrix {
+    assert!(radius > 0.0);
+    assert!(max_w >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut m = WeightMatrix::new(n);
+    let scale = max_w as f64 / radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= radius {
+                let w = ((dist * scale).ceil() as Weight).max(1);
+                m.set(i, j, w);
+                m.set(j, i, w);
+            }
+        }
+    }
+    m
+}
+
+/// The complete digraph on `n` vertices, weights uniform in `1..=max_w`:
+/// all MCPs are short (`p` small), the easy case for the PPA iteration.
+pub fn complete(n: usize, max_w: Weight, seed: u64) -> WeightMatrix {
+    random_digraph(n, 1.0, max_w, seed)
+}
+
+/// A random rooted tree with every edge directed *towards the root*
+/// (vertex 0): each vertex `v > 0` picks a random parent among
+/// `0..v`. Exactly one path per vertex, so `PTN` is fully determined —
+/// the workload that pins pointer correctness hardest.
+pub fn tree(n: usize, max_w: Weight, seed: u64) -> WeightMatrix {
+    assert!(max_w >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = WeightMatrix::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        m.set(v, parent, rng.gen_range(1..=max_w));
+    }
+    m
+}
+
+/// A layered DAG: `layers` layers of roughly equal size, every vertex
+/// wired to 1-3 random vertices of the next layer. The maximum MCP
+/// hop-length to a layer-0 destination is `layers - 1` by construction —
+/// a second controlled-diameter family besides [`padded_path`].
+pub fn layered(n: usize, layers: usize, max_w: Weight, seed: u64) -> WeightMatrix {
+    assert!(layers >= 1 && layers <= n, "need 1 <= layers <= n");
+    assert!(max_w >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = WeightMatrix::new(n);
+    let per = n.div_ceil(layers);
+    let layer_of = |v: usize| (v / per).min(layers - 1);
+    for v in 0..n {
+        let l = layer_of(v);
+        if l == 0 {
+            continue;
+        }
+        // Vertices of layer l-1.
+        let lo = (l - 1) * per;
+        let hi = (l * per).min(n);
+        let fanout = rng.gen_range(1..=3usize);
+        for _ in 0..fanout {
+            let t = rng.gen_range(lo..hi);
+            if t != v {
+                m.set(v, t, rng.gen_range(1..=max_w));
+            }
+        }
+    }
+    m
+}
+
+/// Identifiers for the generator families, used by the experiment harness
+/// to sweep "all graph classes".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// [`random_digraph`] at density 0.25.
+    Sparse,
+    /// [`random_connected`] at density 0.1.
+    Connected,
+    /// [`ring`].
+    Ring,
+    /// [`grid`] (square-ish).
+    Grid,
+    /// [`star`] centred on vertex 0.
+    Star,
+    /// [`random_dag`] at density 0.3.
+    Dag,
+    /// [`geometric`] with radius 0.35.
+    Geometric,
+    /// [`complete`].
+    Complete,
+    /// [`tree`] rooted at vertex 0.
+    Tree,
+    /// [`layered`] with ~4 layers.
+    Layered,
+}
+
+impl Family {
+    /// Every family, in sweep order.
+    pub const ALL: [Family; 10] = [
+        Family::Sparse,
+        Family::Connected,
+        Family::Ring,
+        Family::Grid,
+        Family::Star,
+        Family::Dag,
+        Family::Geometric,
+        Family::Complete,
+        Family::Tree,
+        Family::Layered,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Sparse => "sparse",
+            Family::Connected => "connected",
+            Family::Ring => "ring",
+            Family::Grid => "grid",
+            Family::Star => "star",
+            Family::Dag => "dag",
+            Family::Geometric => "geometric",
+            Family::Complete => "complete",
+            Family::Tree => "tree",
+            Family::Layered => "layered",
+        }
+    }
+
+    /// Instantiates the family at `n` vertices with the given seed.
+    pub fn build(self, n: usize, max_w: Weight, seed: u64) -> WeightMatrix {
+        match self {
+            Family::Sparse => random_digraph(n, 0.25, max_w, seed),
+            Family::Connected => random_connected(n, 0.1, max_w, seed),
+            Family::Ring => ring(n),
+            Family::Grid => {
+                let rows = (n as f64).sqrt().floor().max(1.0) as usize;
+                let cols = n.div_ceil(rows);
+                let mut g = grid(rows, cols, max_w, seed);
+                // Trim to exactly n vertices by rebuilding if oversized.
+                if rows * cols != n {
+                    let mut m = WeightMatrix::new(n);
+                    for (i, j, w) in g.edges() {
+                        if i < n && j < n {
+                            m.set(i, j, w);
+                        }
+                    }
+                    g = m;
+                }
+                g
+            }
+            Family::Star => star(n, 0, max_w, seed),
+            Family::Dag => random_dag(n, 0.3, max_w, seed),
+            Family::Geometric => geometric(n, 0.35, max_w, seed),
+            Family::Complete => complete(n, max_w, seed),
+            Family::Tree => tree(n, max_w, seed),
+            Family::Layered => layered(n, 4.min(n), max_w, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::INF;
+
+    #[test]
+    fn random_digraph_is_seed_deterministic() {
+        let a = random_digraph(12, 0.3, 50, 7);
+        let b = random_digraph(12, 0.3, 50, 7);
+        assert_eq!(a, b);
+        let c = random_digraph(12, 0.3, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_digraph_density_roughly_holds() {
+        let m = random_digraph(40, 0.5, 10, 42);
+        let d = m.density();
+        assert!((0.4..0.6).contains(&d), "density {d}");
+    }
+
+    #[test]
+    fn ring_has_n_edges_and_unit_weights() {
+        let m = ring(6);
+        assert_eq!(m.edge_count(), 6);
+        for (_, _, w) in m.edges() {
+            assert_eq!(w, 1);
+        }
+        assert!(m.has_edge(5, 0));
+    }
+
+    #[test]
+    fn path_is_open() {
+        let m = path(5);
+        assert_eq!(m.edge_count(), 4);
+        assert!(!m.has_edge(4, 0));
+    }
+
+    #[test]
+    fn padded_path_has_diameter_p() {
+        let m = padded_path(10, 3);
+        assert!(m.has_edge(0, 1) && m.has_edge(2, 3));
+        // Extra vertices jump straight to vertex p.
+        for v in 4..10 {
+            assert!(m.has_edge(v, 3), "vertex {v}");
+            assert_eq!(m.out_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn grid_edges_are_bidirectional() {
+        let m = grid(3, 4, 9, 1);
+        for (i, j, _) in m.edges() {
+            assert!(m.has_edge(j, i), "missing reverse of {i}->{j}");
+        }
+        // Interior vertex degree 4.
+        assert_eq!(m.out_degree(5), 4);
+    }
+
+    #[test]
+    fn star_points_at_center() {
+        let m = star(7, 2, 5, 3);
+        assert_eq!(m.in_degree(2), 6);
+        assert_eq!(m.out_degree(2), 0);
+    }
+
+    #[test]
+    fn dag_has_no_back_edges() {
+        let m = random_dag(15, 0.5, 20, 11);
+        for (i, j, _) in m.edges() {
+            assert!(i < j);
+        }
+    }
+
+    #[test]
+    fn geometric_is_symmetric_with_positive_weights() {
+        let m = geometric(20, 0.5, 100, 5);
+        for (i, j, w) in m.edges() {
+            assert_eq!(m.get(j, i), w);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn connected_generator_reaches_everything() {
+        let m = random_connected(10, 0.05, 9, 2);
+        // The forced cycle guarantees a finite path i -> j for all pairs.
+        let dist = crate::reference::bellman_ford_to_dest(&m, 0).dist;
+        assert!(dist.iter().all(|&d| d != INF));
+    }
+
+    #[test]
+    fn families_build_at_requested_size() {
+        for f in Family::ALL {
+            let m = f.build(9, 10, 13);
+            assert_eq!(m.n(), 9, "{}", f.label());
+        }
+    }
+
+    #[test]
+    fn complete_has_all_edges() {
+        let m = complete(5, 10, 1);
+        assert_eq!(m.edge_count(), 20);
+    }
+
+    #[test]
+    fn tree_is_a_tree_towards_root() {
+        let m = tree(12, 9, 4);
+        assert_eq!(m.edge_count(), 11);
+        for (i, j, _) in m.edges() {
+            assert!(j < i, "edges point to lower indices (towards the root)");
+        }
+        // Every non-root vertex has exactly one out-edge, so everything
+        // reaches vertex 0.
+        for v in 1..12 {
+            assert_eq!(m.out_degree(v), 1, "vertex {v}");
+        }
+        let dist = crate::reference::bellman_ford_to_dest(&m, 0).dist;
+        assert!(dist.iter().all(|&d| d != INF));
+    }
+
+    #[test]
+    fn layered_edges_go_one_layer_down() {
+        let n = 16;
+        let layers = 4;
+        let m = layered(n, layers, 7, 2);
+        let per = n.div_ceil(layers);
+        for (i, j, _) in m.edges() {
+            let li = (i / per).min(layers - 1);
+            let lj = (j / per).min(layers - 1);
+            assert_eq!(li, lj + 1, "edge {i}->{j} skips layers");
+        }
+        // Destination in layer 0: path lengths bounded by layers - 1.
+        let r = crate::reference::bellman_ford_to_dest(&m, 0);
+        assert!(r.rounds < layers, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn layered_single_layer_is_edgeless() {
+        let m = layered(5, 1, 9, 3);
+        assert_eq!(m.edge_count(), 0);
+    }
+}

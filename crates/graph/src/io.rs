@@ -1,0 +1,284 @@
+//! Reading and writing weight matrices.
+//!
+//! Two formats:
+//!
+//! * the **native edge list** — a line-oriented text format:
+//!   ```text
+//!   # comment
+//!   n 5
+//!   e 0 1 7      # edge 0 -> 1 with weight 7
+//!   ```
+//! * a subset of the **DIMACS shortest-path format** (`.gr`), the common
+//!   interchange format for road-network benchmarks:
+//!   ```text
+//!   c comment
+//!   p sp 5 7
+//!   a 1 2 7      (vertices are 1-based)
+//!   ```
+//!
+//! Both parsers reject self-loops, repeated `n`/`p` headers, out-of-range
+//! endpoints and non-positive weights with positioned error messages.
+
+use crate::matrix::{Weight, WeightMatrix};
+use std::fmt;
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the native edge-list format.
+pub fn parse_edge_list(text: &str) -> Result<WeightMatrix, ParseError> {
+    let mut matrix: Option<WeightMatrix> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("n") => {
+                if matrix.is_some() {
+                    return Err(ParseError::new(lineno, "duplicate `n` header"));
+                }
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| ParseError::new(lineno, "`n` needs a vertex count"))?
+                    .parse()
+                    .map_err(|_| ParseError::new(lineno, "invalid vertex count"))?;
+                if n == 0 {
+                    return Err(ParseError::new(lineno, "vertex count must be positive"));
+                }
+                matrix = Some(WeightMatrix::new(n));
+            }
+            Some("e") => {
+                let m = matrix
+                    .as_mut()
+                    .ok_or_else(|| ParseError::new(lineno, "`e` before `n` header"))?;
+                let mut field = |what: &str| -> Result<i64, ParseError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| ParseError::new(lineno, format!("`e` missing {what}")))?
+                        .parse::<i64>()
+                        .map_err(|_| ParseError::new(lineno, format!("invalid {what}")))
+                };
+                let from = field("source")?;
+                let to = field("target")?;
+                let weight: Weight = field("weight")?;
+                let n = m.n() as i64;
+                if !(0..n).contains(&from) || !(0..n).contains(&to) {
+                    return Err(ParseError::new(lineno, "endpoint out of range"));
+                }
+                if from == to {
+                    return Err(ParseError::new(lineno, "self-loops are not allowed"));
+                }
+                if weight < 0 {
+                    return Err(ParseError::new(lineno, "weights must be non-negative"));
+                }
+                m.set(from as usize, to as usize, weight);
+            }
+            Some(other) => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("unknown record `{other}` (expected `n` or `e`)"),
+                ))
+            }
+            None => unreachable!("empty lines skipped"),
+        }
+    }
+    matrix.ok_or_else(|| ParseError::new(0, "missing `n` header"))
+}
+
+/// Serializes to the native edge-list format (stable ordering).
+pub fn to_edge_list(w: &WeightMatrix) -> String {
+    let mut out = format!("n {}\n", w.n());
+    for (i, j, weight) in w.edges() {
+        out.push_str(&format!("e {i} {j} {weight}\n"));
+    }
+    out
+}
+
+/// Parses the DIMACS `.gr` subset (`c` comments, one `p sp <n> <m>`
+/// header, `a <from> <to> <weight>` arcs with 1-based vertices).
+pub fn parse_dimacs(text: &str) -> Result<WeightMatrix, ParseError> {
+    let mut matrix: Option<WeightMatrix> = None;
+    let mut declared_arcs: Option<usize> = None;
+    let mut seen_arcs = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if matrix.is_some() {
+                    return Err(ParseError::new(lineno, "duplicate `p` header"));
+                }
+                if parts.next() != Some("sp") {
+                    return Err(ParseError::new(lineno, "expected `p sp <n> <m>`"));
+                }
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::new(lineno, "invalid vertex count"))?;
+                let m: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::new(lineno, "invalid arc count"))?;
+                if n == 0 {
+                    return Err(ParseError::new(lineno, "vertex count must be positive"));
+                }
+                matrix = Some(WeightMatrix::new(n));
+                declared_arcs = Some(m);
+            }
+            Some("a") => {
+                let m = matrix
+                    .as_mut()
+                    .ok_or_else(|| ParseError::new(lineno, "`a` before `p` header"))?;
+                let mut field = |what: &str| -> Result<i64, ParseError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| ParseError::new(lineno, format!("`a` missing {what}")))?
+                        .parse::<i64>()
+                        .map_err(|_| ParseError::new(lineno, format!("invalid {what}")))
+                };
+                let from = field("source")?;
+                let to = field("target")?;
+                let weight: Weight = field("weight")?;
+                let n = m.n() as i64;
+                if !(1..=n).contains(&from) || !(1..=n).contains(&to) {
+                    return Err(ParseError::new(lineno, "endpoint out of range (1-based)"));
+                }
+                if from == to {
+                    return Err(ParseError::new(lineno, "self-loops are not allowed"));
+                }
+                if weight < 0 {
+                    return Err(ParseError::new(lineno, "weights must be non-negative"));
+                }
+                m.set(from as usize - 1, to as usize - 1, weight);
+                seen_arcs += 1;
+            }
+            Some(other) => {
+                return Err(ParseError::new(lineno, format!("unknown record `{other}`")))
+            }
+            None => unreachable!("empty lines skipped"),
+        }
+    }
+    let matrix = matrix.ok_or_else(|| ParseError::new(0, "missing `p sp` header"))?;
+    if let Some(declared) = declared_arcs {
+        if declared != seen_arcs {
+            return Err(ParseError::new(
+                0,
+                format!("header declares {declared} arcs, file has {seen_arcs}"),
+            ));
+        }
+    }
+    Ok(matrix)
+}
+
+/// Auto-detects the format (`p sp` header => DIMACS, otherwise the
+/// native edge list).
+pub fn parse_auto(text: &str) -> Result<WeightMatrix, ParseError> {
+    let dimacs = text.lines().any(|l| l.trim_start().starts_with("p sp"));
+    if dimacs {
+        parse_dimacs(text)
+    } else {
+        parse_edge_list(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let w = crate::gen::random_digraph(9, 0.3, 20, 5);
+        let text = to_edge_list(&w);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_blanks() {
+        let w = parse_edge_list("# header\n\nn 3\ne 0 1 5 # inline\n\ne 2 0 1\n").unwrap();
+        assert_eq!(w.n(), 3);
+        assert_eq!(w.get(0, 1), 5);
+        assert_eq!(w.get(2, 0), 1);
+    }
+
+    #[test]
+    fn edge_list_errors_are_positioned() {
+        let e = parse_edge_list("n 3\ne 0 0 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("self-loop"));
+        let e = parse_edge_list("e 0 1 1\n").unwrap_err();
+        assert!(e.message.contains("before `n`"));
+        let e = parse_edge_list("n 2\ne 0 5 1\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_edge_list("n 2\ne 0 1 -3\n").unwrap_err();
+        assert!(e.message.contains("non-negative"));
+        let e = parse_edge_list("n 2\nn 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = parse_edge_list("x 1\n").unwrap_err();
+        assert!(e.message.contains("unknown record"));
+        let e = parse_edge_list("").unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn dimacs_parses_one_based_arcs() {
+        let w = parse_dimacs("c demo\np sp 4 2\na 1 2 9\na 4 1 3\n").unwrap();
+        assert_eq!(w.n(), 4);
+        assert_eq!(w.get(0, 1), 9);
+        assert_eq!(w.get(3, 0), 3);
+        assert_eq!(w.edge_count(), 2);
+    }
+
+    #[test]
+    fn dimacs_checks_arc_count() {
+        let e = parse_dimacs("p sp 3 2\na 1 2 1\n").unwrap_err();
+        assert!(e.message.contains("declares 2 arcs"), "{e}");
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_based_and_loops() {
+        let e = parse_dimacs("p sp 3 1\na 0 1 1\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_dimacs("p sp 3 1\na 2 2 1\n").unwrap_err();
+        assert!(e.message.contains("self-loop"));
+    }
+
+    #[test]
+    fn auto_detection() {
+        let native = parse_auto("n 2\ne 0 1 4\n").unwrap();
+        assert_eq!(native.get(0, 1), 4);
+        let dimacs = parse_auto("p sp 2 1\na 1 2 4\n").unwrap();
+        assert_eq!(dimacs.get(0, 1), 4);
+        assert_eq!(native, dimacs);
+    }
+}

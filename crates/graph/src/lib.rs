@@ -1,0 +1,37 @@
+//! # ppa-graph — graph substrate for the PPA minimum-cost-path suite
+//!
+//! The MCP problem of the paper takes a directed graph `G = (V, E)`
+//! represented by its dense weight matrix `W` (`w_ij` is the weight of the
+//! edge from vertex `i` to vertex `j`, `MAXINT` if absent) and one
+//! destination vertex `d`; it asks for the minimum-cost path from *every*
+//! vertex to `d`. This crate provides everything around that problem that
+//! is not the PPA itself:
+//!
+//! * [`WeightMatrix`] — the dense matrix with the paper's `MAXINT`
+//!   ("infinite") convention for absent edges ([`matrix`]);
+//! * [`gen`] — seeded workload generators (random digraphs, rings, paths,
+//!   grids, stars, DAGs, geometric/road-like graphs, complete graphs);
+//! * [`reference`](mod@reference) — sequential oracles: the Bellman-Ford dynamic program
+//!   the paper parallelizes, Dijkstra, and Floyd-Warshall;
+//! * [`validate`] — checkers proving a parallel result optimal: cost-vector
+//!   equality against the oracle plus walking the `PTN` successor pointers
+//!   and re-summing edge weights.
+//!
+//! Everything is deterministic given a seed, so every experiment in
+//! EXPERIMENTS.md regenerates bit-identical workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Index-based loops over multiple parallel arrays are the dominant idiom in
+// this numeric code; the iterator rewrites clippy suggests obscure the
+// row/column index math that mirrors the paper's notation.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod gen;
+pub mod io;
+pub mod matrix;
+pub mod reference;
+pub mod validate;
+
+pub use matrix::{Weight, WeightMatrix, INF};

@@ -1,0 +1,314 @@
+//! Sequential reference algorithms (oracles).
+//!
+//! [`bellman_ford_to_dest`] is *exactly* the dynamic program the paper
+//! parallelizes (Section 3): start from the one-edge costs to the
+//! destination and repeatedly allow paths one edge longer until nothing
+//! improves. Its per-round structure also yields `p` — the maximum MCP
+//! hop-length — which parameterizes every complexity claim.
+//! [`dijkstra_to_dest`] and [`floyd_warshall`] are independent oracles used
+//! to cross-check both the parallel algorithms and Bellman-Ford itself.
+
+use crate::matrix::{Weight, WeightMatrix, INF};
+
+/// Result of the single-destination shortest-path oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DestPaths {
+    /// Destination vertex.
+    pub dest: usize,
+    /// `dist[i]` = minimum cost of a path `i -> ... -> dest`
+    /// ([`INF`] if unreachable). `dist[dest] == 0` by convention.
+    pub dist: Vec<Weight>,
+    /// `next[i]` = successor of `i` on some minimum-cost path to `dest`
+    /// (`next[dest] == dest`; `next[i] == i` marks "no path").
+    pub next: Vec<usize>,
+    /// Number of improvement rounds performed: the maximum hop-length `p`
+    /// over all minimum-cost paths (0 for a star seen from its centre).
+    pub rounds: usize,
+}
+
+impl DestPaths {
+    /// Reconstructs the vertex sequence from `from` to the destination by
+    /// following `next` pointers; `None` if unreachable.
+    pub fn path_from(&self, from: usize) -> Option<Vec<usize>> {
+        if self.dist[from] == INF {
+            return None;
+        }
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != self.dest {
+            let nxt = self.next[cur];
+            if nxt == cur || path.len() > self.dist.len() {
+                return None; // corrupt pointers; callers treat as failure
+            }
+            path.push(nxt);
+            cur = nxt;
+        }
+        Some(path)
+    }
+}
+
+/// The paper's dynamic program, run sequentially: all-vertices-to-`d`
+/// minimum cost paths by repeated one-edge extension.
+///
+/// Complexity `O(p * n^2)` for `p` improvement rounds — the sequential
+/// baseline of experiment T4.
+///
+/// # Panics
+/// Panics if `d >= w.n()`.
+pub fn bellman_ford_to_dest(w: &WeightMatrix, d: usize) -> DestPaths {
+    let n = w.n();
+    assert!(d < n, "destination {d} out of range");
+    // Round 0: one-edge paths (the paper's Step 1).
+    let mut dist: Vec<Weight> = (0..n).map(|i| w.get(i, d)).collect();
+    let mut next: Vec<usize> = (0..n)
+        .map(|i| if w.get(i, d) != INF { d } else { i })
+        .collect();
+    dist[d] = 0;
+    next[d] = d;
+    let mut rounds = 0;
+    loop {
+        let mut changed = false;
+        let mut new_dist = dist.clone();
+        let mut new_next = next.clone();
+        for i in 0..n {
+            if i == d {
+                continue;
+            }
+            for j in 0..n {
+                let wij = w.get(i, j);
+                if wij == INF || dist[j] == INF {
+                    continue;
+                }
+                let cand = wij.saturating_add(dist[j]);
+                if cand < new_dist[i] {
+                    new_dist[i] = cand;
+                    new_next[i] = j;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        dist = new_dist;
+        next = new_next;
+        rounds += 1;
+        debug_assert!(rounds <= n, "non-negative weights must converge in n rounds");
+    }
+    DestPaths {
+        dest: d,
+        dist,
+        next,
+        rounds,
+    }
+}
+
+/// Dijkstra on the reverse graph: an independent oracle for the same
+/// all-to-one problem, `O(n^2)` with a dense priority scan.
+pub fn dijkstra_to_dest(w: &WeightMatrix, d: usize) -> Vec<Weight> {
+    let n = w.n();
+    assert!(d < n, "destination {d} out of range");
+    // Work on reversed edges so a forward Dijkstra from `d` gives costs
+    // *to* `d` in the original orientation.
+    let mut dist = vec![INF; n];
+    let mut done = vec![false; n];
+    dist[d] = 0;
+    for _ in 0..n {
+        let mut u = None;
+        let mut best = INF;
+        for v in 0..n {
+            if !done[v] && dist[v] < best {
+                best = dist[v];
+                u = Some(v);
+            }
+        }
+        let Some(u) = u else { break };
+        done[u] = true;
+        for v in 0..n {
+            // Reverse edge u <- v, i.e. original edge v -> u.
+            let wvu = w.get(v, u);
+            if wvu != INF && dist[u] != INF {
+                let cand = dist[u].saturating_add(wvu);
+                if cand < dist[v] {
+                    dist[v] = cand;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths; `result[i][j]` = min cost `i -> j`
+/// (`0` on the diagonal).
+pub fn floyd_warshall(w: &WeightMatrix) -> Vec<Vec<Weight>> {
+    let n = w.n();
+    let mut d: Vec<Vec<Weight>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 0 } else { w.get(i, j) }).collect())
+        .collect();
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k] == INF {
+                continue;
+            }
+            for j in 0..n {
+                if d[k][j] == INF {
+                    continue;
+                }
+                let cand = d[i][k].saturating_add(d[k][j]);
+                if cand < d[i][j] {
+                    d[i][j] = cand;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Minimum hop counts to `d` (unweighted BFS on reverse edges):
+/// `result[i]` = fewest edges on any path `i -> d`, `None` if unreachable,
+/// `Some(0)` at the destination. Oracle for the PPA `hop_levels` run.
+pub fn hop_counts(w: &WeightMatrix, d: usize) -> Vec<Option<usize>> {
+    let n = w.n();
+    assert!(d < n, "destination {d} out of range");
+    let mut level = vec![None; n];
+    level[d] = Some(0);
+    let mut frontier = vec![d];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for u in 0..n {
+                if level[u].is_none() && w.has_edge(u, v) {
+                    level[u] = Some(depth);
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+/// Boolean reachability closure: `result[i][j]` = "some path i -> j exists"
+/// (vertices reach themselves). Oracle for the PPA transitive-closure
+/// extension.
+pub fn transitive_closure(w: &WeightMatrix) -> Vec<Vec<bool>> {
+    let n = w.n();
+    let mut r: Vec<Vec<bool>> = (0..n)
+        .map(|i| (0..n).map(|j| i == j || w.has_edge(i, j)).collect())
+        .collect();
+    for k in 0..n {
+        for i in 0..n {
+            if r[i][k] {
+                for j in 0..n {
+                    if r[k][j] {
+                        r[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn bellman_ford_on_tiny_graph() {
+        // 0 -> 1 (1), 1 -> 2 (1), 0 -> 2 (5): best 0 -> 2 is via 1, cost 2.
+        let w = WeightMatrix::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)]);
+        let r = bellman_ford_to_dest(&w, 2);
+        assert_eq!(r.dist, vec![2, 1, 0]);
+        assert_eq!(r.next[0], 1);
+        assert_eq!(r.next[1], 2);
+        assert_eq!(r.path_from(0), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn bellman_ford_marks_unreachable() {
+        let w = WeightMatrix::from_edges(3, &[(0, 1, 1)]);
+        let r = bellman_ford_to_dest(&w, 1);
+        assert_eq!(r.dist[0], 1);
+        assert_eq!(r.dist[2], INF);
+        assert_eq!(r.path_from(2), None);
+    }
+
+    #[test]
+    fn ring_needs_n_minus_one_rounds_to_converge() {
+        let w = gen::ring(8);
+        let r = bellman_ford_to_dest(&w, 0);
+        // Vertex 1 is n-1 hops from 0; detecting convergence takes one
+        // extra no-change pass, but `rounds` counts only improving passes.
+        assert_eq!(r.dist[1], 7);
+        assert!(r.rounds >= 6, "rounds={}", r.rounds);
+        assert!(r.rounds <= 7, "rounds={}", r.rounds);
+    }
+
+    #[test]
+    fn star_converges_instantly() {
+        let w = gen::star(6, 0, 9, 3);
+        let r = bellman_ford_to_dest(&w, 0);
+        assert_eq!(r.rounds, 0);
+        assert!((1..6).all(|i| r.dist[i] != INF));
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bellman_ford() {
+        for seed in 0..10 {
+            let w = gen::random_digraph(15, 0.3, 30, seed);
+            let bf = bellman_ford_to_dest(&w, 4);
+            let dj = dijkstra_to_dest(&w, 4);
+            assert_eq!(bf.dist, dj, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_agrees_columnwise() {
+        let w = gen::random_connected(12, 0.2, 20, 99);
+        let fw = floyd_warshall(&w);
+        for d in 0..12 {
+            let bf = bellman_ford_to_dest(&w, d);
+            for i in 0..12 {
+                assert_eq!(fw[i][d], bf.dist[i], "i={i} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_resum_to_dist() {
+        let w = gen::random_connected(10, 0.3, 25, 5);
+        let r = bellman_ford_to_dest(&w, 3);
+        for i in 0..10 {
+            let p = r.path_from(i).expect("connected");
+            let mut cost = 0;
+            for k in 0..p.len() - 1 {
+                cost += w.get(p[k], p[k + 1]);
+            }
+            assert_eq!(cost, r.dist[i], "from {i}");
+        }
+    }
+
+    #[test]
+    fn closure_matches_finite_distances() {
+        let w = gen::random_digraph(12, 0.15, 9, 21);
+        let tc = transitive_closure(&w);
+        let fw = floyd_warshall(&w);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert_eq!(tc[i][j], fw[i][j] != INF, "{i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_from_dest_is_trivial() {
+        let w = gen::ring(5);
+        let r = bellman_ford_to_dest(&w, 2);
+        assert_eq!(r.path_from(2), Some(vec![2]));
+        assert_eq!(r.dist[2], 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Validation of single-destination shortest-path solutions.
+//!
+//! Minimum-cost paths are generally not unique, so comparing `PTN`
+//! pointers against an oracle's pointers would reject correct answers.
+//! The right check — used by every integration test and by experiment
+//! T5 — is two-fold:
+//!
+//! 1. the *cost vector* must equal the oracle's exactly, and
+//! 2. every finite-cost vertex's successor chain must reach the
+//!    destination with edge weights summing to its claimed cost
+//!    (which proves the pointers encode *some* optimal path).
+
+use crate::matrix::{Weight, WeightMatrix, INF};
+use crate::reference::bellman_ford_to_dest;
+use std::fmt;
+
+/// A reason a candidate solution failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Cost vector disagrees with the oracle at `vertex`.
+    WrongCost {
+        /// Vertex with the wrong cost.
+        vertex: usize,
+        /// Cost the candidate claims.
+        claimed: Weight,
+        /// Cost the oracle computes.
+        oracle: Weight,
+    },
+    /// The successor chain from `vertex` does not reach the destination
+    /// (missing edge, self-pointing interior vertex, or a cycle).
+    BrokenChain {
+        /// Vertex whose chain is broken.
+        vertex: usize,
+    },
+    /// The successor chain from `vertex` reaches the destination but its
+    /// edge weights sum to `actual`, not the claimed cost.
+    CostMismatch {
+        /// Vertex whose path re-sums differently.
+        vertex: usize,
+        /// Cost the candidate claims.
+        claimed: Weight,
+        /// Cost obtained by re-summing the chain's edges.
+        actual: Weight,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WrongCost {
+                vertex,
+                claimed,
+                oracle,
+            } => write!(
+                f,
+                "vertex {vertex}: claimed cost {claimed}, oracle says {oracle}"
+            ),
+            Violation::BrokenChain { vertex } => {
+                write!(f, "vertex {vertex}: successor chain does not reach the destination")
+            }
+            Violation::CostMismatch {
+                vertex,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "vertex {vertex}: path re-sums to {actual}, claimed {claimed}"
+            ),
+        }
+    }
+}
+
+/// Validates a candidate `(sow, ptn)` solution for destination `d`.
+///
+/// `sow[i]` is the claimed cost from `i` to `d` (`INF` = unreachable);
+/// `ptn[i]` the claimed successor. Conventions at the destination itself
+/// (`sow[d]`, `ptn[d]`) are not checked — the paper leaves them
+/// meaningless. Returns all violations found (empty = valid).
+pub fn validate_solution(
+    w: &WeightMatrix,
+    d: usize,
+    sow: &[Weight],
+    ptn: &[usize],
+) -> Vec<Violation> {
+    let n = w.n();
+    assert_eq!(sow.len(), n, "sow length mismatch");
+    assert_eq!(ptn.len(), n, "ptn length mismatch");
+    let oracle = bellman_ford_to_dest(w, d);
+    let mut violations = Vec::new();
+    for i in 0..n {
+        if i == d {
+            continue;
+        }
+        if sow[i] != oracle.dist[i] {
+            violations.push(Violation::WrongCost {
+                vertex: i,
+                claimed: sow[i],
+                oracle: oracle.dist[i],
+            });
+            continue;
+        }
+        if sow[i] == INF {
+            continue; // correctly unreachable; pointer is meaningless
+        }
+        // Walk the chain and re-sum.
+        let mut cur = i;
+        let mut cost: Weight = 0;
+        let mut hops = 0usize;
+        let mut ok = true;
+        while cur != d {
+            let nxt = ptn[cur];
+            if nxt >= n || !w.has_edge(cur, nxt) || hops > n {
+                violations.push(Violation::BrokenChain { vertex: i });
+                ok = false;
+                break;
+            }
+            cost += w.get(cur, nxt);
+            cur = nxt;
+            hops += 1;
+        }
+        if ok && cost != sow[i] {
+            violations.push(Violation::CostMismatch {
+                vertex: i,
+                claimed: sow[i],
+                actual: cost,
+            });
+        }
+    }
+    violations
+}
+
+/// `true` iff the candidate solution is optimal (no violations).
+pub fn is_valid_solution(w: &WeightMatrix, d: usize, sow: &[Weight], ptn: &[usize]) -> bool {
+    validate_solution(w, d, sow, ptn).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn fixture() -> (WeightMatrix, usize) {
+        (
+            WeightMatrix::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 3, 5), (2, 3, 2)]),
+            3,
+        )
+    }
+
+    #[test]
+    fn oracle_solution_validates() {
+        let (w, d) = fixture();
+        let r = bellman_ford_to_dest(&w, d);
+        assert!(is_valid_solution(&w, d, &r.dist, &r.next));
+    }
+
+    #[test]
+    fn alternative_optimal_pointers_validate() {
+        // Two equal-cost routes 0 -> 3: direct (cost 2) vs via 1 (cost 2).
+        let w = WeightMatrix::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 3, 2), (2, 3, 1)]);
+        let sow = vec![2, 1, 1, 0];
+        // Direct pointer...
+        assert!(is_valid_solution(&w, 3, &sow, &[3, 3, 3, 3]));
+        // ...and the detour pointer are both accepted.
+        assert!(is_valid_solution(&w, 3, &sow, &[1, 3, 3, 3]));
+    }
+
+    #[test]
+    fn wrong_cost_detected() {
+        let (w, d) = fixture();
+        let r = bellman_ford_to_dest(&w, d);
+        let mut sow = r.dist.clone();
+        sow[0] += 1;
+        let v = validate_solution(&w, d, &sow, &r.next);
+        assert!(matches!(v[0], Violation::WrongCost { vertex: 0, .. }));
+    }
+
+    #[test]
+    fn broken_chain_detected() {
+        let (w, d) = fixture();
+        let r = bellman_ford_to_dest(&w, d);
+        let mut ptn = r.next.clone();
+        ptn[0] = 2; // edge 0 -> 2 does not exist
+        let v = validate_solution(&w, d, &r.dist, &ptn);
+        assert!(v.iter().any(|x| matches!(x, Violation::BrokenChain { vertex: 0 })));
+    }
+
+    #[test]
+    fn cycle_in_pointers_detected() {
+        let w = WeightMatrix::from_edges(4, &[(0, 1, 1), (1, 0, 1), (1, 3, 1), (0, 3, 2)]);
+        let sow = vec![2, 1, INF, 0];
+        let ptn = vec![1, 0, 2, 3]; // 0 <-> 1 loop never reaches 3
+        let v = validate_solution(&w, 3, &sow, &ptn);
+        assert!(v.iter().any(|x| matches!(x, Violation::BrokenChain { .. })));
+    }
+
+    #[test]
+    fn suboptimal_but_consistent_path_detected_via_cost() {
+        let (w, d) = fixture();
+        // Claim the direct 0 -> 3 edge (cost 5) instead of the optimum (2).
+        let sow = vec![5, 1, 2, 0];
+        let ptn = vec![3, 3, 3, 3];
+        let v = validate_solution(&w, d, &sow, &ptn);
+        assert!(matches!(v[0], Violation::WrongCost { vertex: 0, .. }));
+    }
+
+    #[test]
+    fn unreachable_vertices_need_no_pointer() {
+        let w = WeightMatrix::from_edges(3, &[(0, 1, 1)]);
+        let sow = vec![1, 0, INF];
+        let ptn = vec![1, 1, 2];
+        assert!(is_valid_solution(&w, 1, &sow, &ptn));
+    }
+
+    #[test]
+    fn mismatched_resum_detected() {
+        let w = WeightMatrix::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 2)]);
+        // Cost vector is right, but pointer walks the 2-hop route while a
+        // doctored weight makes the claim unsummable: claim 2 via direct
+        // edge... instead corrupt pointer to a longer-cost chain.
+        let sow = vec![2, 1, 0];
+        let ptn_ok = vec![2, 2, 2];
+        assert!(is_valid_solution(&w, 2, &sow, &ptn_ok));
+        // Pointing 0 -> 1 also sums to 2 (1 + 1): still valid.
+        assert!(is_valid_solution(&w, 2, &sow, &[1, 2, 2]));
+    }
+
+    #[test]
+    fn random_oracles_always_validate() {
+        for seed in 0..20 {
+            let w = gen::random_digraph(14, 0.25, 30, seed);
+            let d = (seed as usize) % 14;
+            let r = bellman_ford_to_dest(&w, d);
+            assert!(
+                is_valid_solution(&w, d, &r.dist, &r.next),
+                "seed {seed}: {:?}",
+                validate_solution(&w, d, &r.dist, &r.next)
+            );
+        }
+    }
+}

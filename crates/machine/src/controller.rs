@@ -1,0 +1,363 @@
+//! The SIMD program controller: instruction classes and step accounting.
+//!
+//! The PPA executes one controller instruction per time step; all PEs obey
+//! it simultaneously (SIMD). The paper's complexity analysis counts these
+//! steps: "considering that all the statements have O(1) complexity, and
+//! that a h-iteration loop must be executed, the two \[min\] algorithms have
+//! O(h) complexity". The [`Controller`] is the measuring instrument that
+//! turns those claims into reproducible numbers: every primitive issued on
+//! a [`Machine`](crate::Machine) records exactly one step, classified by
+//! [`Op`], and a [`StepReport`] snapshots the tallies.
+
+use std::fmt;
+
+/// Classification of controller instructions, for step breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A parallel ALU/assignment operation (elementwise compute, masked
+    /// writes, immediate loads).
+    Alu,
+    /// A nearest-neighbour `shift` transfer.
+    Shift,
+    /// A reconfigurable-bus `broadcast`.
+    Broadcast,
+    /// A wired-OR over bus clusters.
+    BusOr,
+    /// The controller's global-OR ("did any PE raise its flag?") used for
+    /// data-dependent loop exits such as the MCP do-while condition.
+    GlobalOr,
+}
+
+impl Op {
+    /// All instruction classes, in the order used by reports.
+    pub const ALL: [Op; 5] = [Op::Alu, Op::Shift, Op::Broadcast, Op::BusOr, Op::GlobalOr];
+
+    fn slot(self) -> usize {
+        match self {
+            Op::Alu => 0,
+            Op::Shift => 1,
+            Op::Broadcast => 2,
+            Op::BusOr => 3,
+            Op::GlobalOr => 4,
+        }
+    }
+
+    /// Short lowercase label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Alu => "alu",
+            Op::Shift => "shift",
+            Op::Broadcast => "broadcast",
+            Op::BusOr => "bus-or",
+            Op::GlobalOr => "global-or",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Step tallies of a controller, frozen at some instant.
+///
+/// Subtracting two reports (`later.since(&earlier)`) isolates a phase, which
+/// is how the experiment harness attributes steps to initialization,
+/// iteration bodies, and `min`/`selected_min` invocations separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepReport {
+    counts: [u64; 5],
+}
+
+impl StepReport {
+    /// Steps recorded for one instruction class.
+    pub fn count(&self, op: Op) -> u64 {
+        self.counts[op.slot()]
+    }
+
+    /// Total steps across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The difference `self - earlier`, attributing steps to a phase.
+    ///
+    /// # Panics
+    /// Panics if `earlier` has more steps than `self` in any class (reports
+    /// must come from the same monotonically counting controller).
+    pub fn since(&self, earlier: &StepReport) -> StepReport {
+        let mut counts = [0u64; 5];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i]
+                .checked_sub(earlier.counts[i])
+                .expect("StepReport::since: earlier report is not a prefix of self");
+        }
+        StepReport { counts }
+    }
+
+    /// Adds another report's tallies to this one (for aggregating phases).
+    pub fn add(&self, other: &StepReport) -> StepReport {
+        let mut counts = [0u64; 5];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i] + other.counts[i];
+        }
+        StepReport { counts }
+    }
+}
+
+impl fmt::Display for StepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} steps (", self.total())?;
+        let mut first = true;
+        for op in Op::ALL {
+            let c = self.count(op);
+            if c > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}: {}", op.label(), c)?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// One trace record: which instruction ran, with an optional label supplied
+/// by the issuing primitive (e.g. `"mcp: statement 10"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Instruction class.
+    pub op: Op,
+    /// Sequence number (0-based step index at which it ran).
+    pub step: u64,
+    /// Human-readable label, if tracing with labels.
+    pub label: Option<String>,
+}
+
+/// The SIMD program controller: counts every issued instruction and can
+/// optionally keep a full trace.
+#[derive(Debug, Clone, Default)]
+pub struct Controller {
+    counts: [u64; 5],
+    trace: Option<Vec<TraceEntry>>,
+    /// Label attached to every recorded instruction while set (used by
+    /// algorithms to attribute steps to their phases, e.g. `"stmt 11"`).
+    phase: Option<&'static str>,
+}
+
+impl Controller {
+    /// A fresh controller with zeroed counters and tracing disabled.
+    pub fn new() -> Self {
+        Controller::default()
+    }
+
+    /// Enables instruction tracing (records every step until disabled).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Disables tracing and returns the collected trace, if any.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Records one instruction of class `op` (labelled with the current
+    /// phase, if one is set).
+    #[inline]
+    pub fn record(&mut self, op: Op) {
+        let phase = self.phase;
+        self.record_labeled(op, phase);
+    }
+
+    /// Records one instruction with an explicit label (kept only if
+    /// tracing; overrides the current phase).
+    #[inline]
+    pub fn record_labeled(&mut self, op: Op, label: Option<&str>) {
+        let step = self.total_steps();
+        self.counts[op.slot()] += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                op,
+                step,
+                label: label.map(str::to_owned),
+            });
+        }
+    }
+
+    /// Sets (or clears) the phase label attached to subsequent records.
+    /// Phases cost nothing and only surface in traces.
+    pub fn set_phase(&mut self, phase: Option<&'static str>) {
+        self.phase = phase;
+    }
+
+    /// The current phase label.
+    pub fn phase(&self) -> Option<&'static str> {
+        self.phase
+    }
+
+    /// Total instructions issued so far.
+    pub fn total_steps(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Instructions of one class issued so far.
+    pub fn steps(&self, op: Op) -> u64 {
+        self.counts[op.slot()]
+    }
+
+    /// Snapshot of the current tallies.
+    pub fn report(&self) -> StepReport {
+        StepReport { counts: self.counts }
+    }
+
+    /// Zeroes all counters (and drops any collected trace entries).
+    pub fn reset(&mut self) {
+        self.counts = [0; 5];
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+    }
+}
+
+/// Aggregates a trace into `(label, steps)` pairs in order of first
+/// appearance; unlabelled instructions fall into the `"(unattributed)"`
+/// bucket.
+pub fn phase_histogram(trace: &[TraceEntry]) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    for entry in trace {
+        let label = entry
+            .label
+            .clone()
+            .unwrap_or_else(|| "(unattributed)".to_owned());
+        match out.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => out.push((label, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_increments_counts() {
+        let mut c = Controller::new();
+        c.record(Op::Alu);
+        c.record(Op::Alu);
+        c.record(Op::Broadcast);
+        assert_eq!(c.steps(Op::Alu), 2);
+        assert_eq!(c.steps(Op::Broadcast), 1);
+        assert_eq!(c.total_steps(), 3);
+    }
+
+    #[test]
+    fn report_since_isolates_phase() {
+        let mut c = Controller::new();
+        c.record(Op::Alu);
+        let before = c.report();
+        c.record(Op::Shift);
+        c.record(Op::BusOr);
+        let phase = c.report().since(&before);
+        assert_eq!(phase.total(), 2);
+        assert_eq!(phase.count(Op::Alu), 0);
+        assert_eq!(phase.count(Op::Shift), 1);
+        assert_eq!(phase.count(Op::BusOr), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prefix")]
+    fn since_rejects_non_prefix() {
+        let mut c = Controller::new();
+        c.record(Op::Alu);
+        let later = c.report();
+        c.reset();
+        c.record(Op::Shift);
+        let other = c.report();
+        let _ = other.since(&later);
+    }
+
+    #[test]
+    fn add_merges_reports() {
+        let mut a = Controller::new();
+        a.record(Op::Alu);
+        let mut b = Controller::new();
+        b.record(Op::GlobalOr);
+        b.record(Op::Alu);
+        let sum = a.report().add(&b.report());
+        assert_eq!(sum.total(), 3);
+        assert_eq!(sum.count(Op::Alu), 2);
+    }
+
+    #[test]
+    fn trace_captures_labels_and_order() {
+        let mut c = Controller::new();
+        c.enable_trace();
+        c.record_labeled(Op::Broadcast, Some("stmt 10"));
+        c.record(Op::Alu);
+        let t = c.take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].op, Op::Broadcast);
+        assert_eq!(t[0].step, 0);
+        assert_eq!(t[0].label.as_deref(), Some("stmt 10"));
+        assert_eq!(t[1].step, 1);
+        assert_eq!(t[1].label, None);
+    }
+
+    #[test]
+    fn phases_label_records_and_histogram_aggregates() {
+        let mut c = Controller::new();
+        c.enable_trace();
+        c.set_phase(Some("init"));
+        c.record(Op::Alu);
+        c.record(Op::Broadcast);
+        c.set_phase(Some("loop"));
+        c.record(Op::BusOr);
+        c.set_phase(None);
+        c.record(Op::Alu);
+        assert_eq!(c.phase(), None);
+        let trace = c.take_trace();
+        let hist = phase_histogram(&trace);
+        assert_eq!(
+            hist,
+            vec![
+                ("init".to_owned(), 2),
+                ("loop".to_owned(), 1),
+                ("(unattributed)".to_owned(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn phases_without_tracing_cost_nothing() {
+        let mut c = Controller::new();
+        c.set_phase(Some("x"));
+        c.record(Op::Alu);
+        assert_eq!(c.total_steps(), 1);
+        assert!(c.take_trace().is_empty());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = Controller::new();
+        c.record(Op::Alu);
+        c.reset();
+        assert_eq!(c.total_steps(), 0);
+    }
+
+    #[test]
+    fn display_lists_nonzero_classes() {
+        let mut c = Controller::new();
+        c.record(Op::Alu);
+        c.record(Op::BusOr);
+        let s = c.report().to_string();
+        assert!(s.contains("alu: 1"), "{s}");
+        assert!(s.contains("bus-or: 1"), "{s}");
+        assert!(!s.contains("shift"), "{s}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Host-side execution engine for the data-parallel per-PE loops.
+//!
+//! Every simulated SIMD instruction touches all `rows * cols` PEs
+//! independently, so the simulator can execute the per-PE work either
+//! sequentially or chunked across OS threads (crossbeam scoped threads).
+//! The choice changes only the *host wall-clock*; the simulated step counts
+//! recorded by the [`Controller`](crate::Controller) are identical by
+//! construction, which the engine equivalence tests assert.
+
+use std::num::NonZeroUsize;
+
+/// How the per-PE loops of each simulated instruction run on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Single-threaded execution (the default; fastest for small arrays).
+    #[default]
+    Sequential,
+    /// Chunk the PE planes across this many OS threads.
+    Threaded(NonZeroUsize),
+}
+
+impl ExecMode {
+    /// A threaded mode using all available host parallelism (falls back to
+    /// [`ExecMode::Sequential`] when only one hardware thread exists).
+    pub fn auto() -> Self {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => ExecMode::Threaded(n),
+            _ => ExecMode::Sequential,
+        }
+    }
+
+    /// A threaded mode with exactly `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn threaded(threads: usize) -> Self {
+        ExecMode::Threaded(NonZeroUsize::new(threads).expect("thread count must be non-zero"))
+    }
+
+    /// Number of worker threads this mode uses.
+    pub fn thread_count(self) -> usize {
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Threaded(n) => n.get(),
+        }
+    }
+}
+
+/// Minimum number of work items per thread before the engine bothers
+/// spawning; tiny planes always run sequentially to avoid spawn overhead
+/// dominating.
+const MIN_CHUNK: usize = 1024;
+
+/// Builds a vector of `len` elements where element `i` is `f(i)`,
+/// using the requested execution mode.
+///
+/// This single entry point covers every per-PE loop in the simulator: maps,
+/// zips and gathers are all expressed as index functions over borrowed
+/// slices captured by `f`.
+pub fn build<T, F>(mode: ExecMode, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = mode.thread_count();
+    if threads <= 1 || len < MIN_CHUNK * 2 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let f = &f;
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            handles.push(scope.spawn(move |_| (start..end).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            parts.push(h.join().expect("engine worker panicked"));
+        }
+    })
+    .expect("engine scope panicked");
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Folds `f(i)` over `0..len` with a commutative, associative `combine`,
+/// seeded with `identity` — the engine-parallel reduction used by the
+/// global-OR instruction and by test oracles.
+pub fn reduce<T, F, C>(mode: ExecMode, len: usize, identity: T, f: F, combine: C) -> T
+where
+    T: Send + Clone,
+    F: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync + Send,
+{
+    let threads = mode.thread_count();
+    if threads <= 1 || len < MIN_CHUNK * 2 {
+        return (0..len).map(f).fold(identity, combine);
+    }
+    let chunk = len.div_ceil(threads);
+    let mut acc = identity.clone();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let f = &f;
+        let combine = &combine;
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let id = identity.clone();
+            handles.push(scope.spawn(move |_| (start..end).map(f).fold(id, combine)));
+        }
+        for h in handles {
+            let part = h.join().expect("engine worker panicked");
+            acc = combine(acc.clone(), part);
+        }
+    })
+    .expect("engine scope panicked");
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_build_matches_iterator() {
+        let v = build(ExecMode::Sequential, 10, |i| i * i);
+        assert_eq!(v, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential() {
+        let len = 10_000;
+        let seq = build(ExecMode::Sequential, len, |i| i as u64 * 3 + 1);
+        let par = build(ExecMode::threaded(4), len, |i| i as u64 * 3 + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn small_inputs_skip_spawning_but_agree() {
+        let seq = build(ExecMode::Sequential, 7, |i| i + 1);
+        let par = build(ExecMode::threaded(8), 7, |i| i + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn reduce_sums_correctly_in_both_modes() {
+        let len = 5_000;
+        let seq = reduce(ExecMode::Sequential, len, 0u64, |i| i as u64, |a, b| a + b);
+        let par = reduce(ExecMode::threaded(3), len, 0u64, |i| i as u64, |a, b| a + b);
+        let expect = (len as u64 - 1) * len as u64 / 2;
+        assert_eq!(seq, expect);
+        assert_eq!(par, expect);
+    }
+
+    #[test]
+    fn reduce_or_short_forms() {
+        let hit = reduce(
+            ExecMode::threaded(2),
+            4_000,
+            false,
+            |i| i == 3_999,
+            |a, b| a || b,
+        );
+        assert!(hit);
+    }
+
+    #[test]
+    fn auto_mode_is_valid() {
+        let m = ExecMode::auto();
+        assert!(m.thread_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_threads_rejected() {
+        let _ = ExecMode::threaded(0);
+    }
+}

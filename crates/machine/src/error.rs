@@ -1,0 +1,68 @@
+//! Machine-level error types.
+
+use crate::geometry::{Axis, Dim};
+use std::fmt;
+
+/// Errors raised by machine primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A broadcast was issued on an axis where at least one bus line has no
+    /// Open node: the sub-bus has no driver, so its value is undefined.
+    /// `lines` lists the offending line indices (row indices for the
+    /// horizontal buses, column indices for the vertical buses).
+    BusFault {
+        /// Which bus system had undriven lines.
+        axis: Axis,
+        /// Offending line indices (sorted ascending).
+        lines: Vec<usize>,
+    },
+    /// Two planes participating in one instruction had different shapes.
+    DimMismatch {
+        /// Shape the machine expected (its own geometry).
+        expected: Dim,
+        /// Shape actually supplied.
+        found: Dim,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::BusFault { axis, lines } => write!(
+                f,
+                "bus fault: {axis} bus line(s) {lines:?} have no Open node to drive them"
+            ),
+            MachineError::DimMismatch { expected, found } => {
+                write!(f, "plane dimension mismatch: machine is {expected}, plane is {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_lines() {
+        let e = MachineError::BusFault {
+            axis: Axis::Col,
+            lines: vec![0, 3],
+        };
+        let s = e.to_string();
+        assert!(s.contains("column"), "{s}");
+        assert!(s.contains("[0, 3]"), "{s}");
+    }
+
+    #[test]
+    fn display_mentions_dims() {
+        let e = MachineError::DimMismatch {
+            expected: Dim::new(4, 4),
+            found: Dim::new(2, 4),
+        };
+        assert!(e.to_string().contains("4x4"));
+        assert!(e.to_string().contains("2x4"));
+    }
+}

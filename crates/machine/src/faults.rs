@@ -1,0 +1,231 @@
+//! Switch-box fault injection.
+//!
+//! The PPA's practicality argument (paper reference \[2\]) rests on its
+//! switch boxes being simple enough to implement — and simple hardware
+//! still fails. This module models the two stuck-at failure modes of a
+//! switch box and lets the test suite ask the questions a bring-up team
+//! would: *which bus patterns still work with a given fault map, and does
+//! the algorithm layer notice when one doesn't?*
+//!
+//! * [`SwitchFault::StuckShort`] — the switch can no longer cut the bus:
+//!   the node is forced to propagate and can never inject. A cluster
+//!   head planted on such a node silently disappears, so downstream
+//!   nodes read the *previous* head's value.
+//! * [`SwitchFault::StuckOpen`] — the switch can no longer close: the
+//!   node always injects, splitting every line it sits on.
+//!
+//! [`FaultMap::apply`] rewrites an intended Open mask into the effective
+//! one; [`FaultMap::distorts`] reports whether a given instruction would
+//! be affected (the basis of the built-in self-test in the tests below).
+
+use crate::geometry::{Coord, Dim};
+use crate::plane::Plane;
+
+/// A stuck-at switch-box fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchFault {
+    /// The switch is stuck in the Short configuration (cannot inject).
+    StuckShort,
+    /// The switch is stuck in the Open configuration (always injects).
+    StuckOpen,
+}
+
+/// A set of faulty switch boxes.
+#[derive(Debug, Clone, Default)]
+pub struct FaultMap {
+    faults: Vec<(Coord, SwitchFault)>,
+}
+
+impl FaultMap {
+    /// An empty (healthy) map.
+    pub fn new() -> Self {
+        FaultMap::default()
+    }
+
+    /// Marks the switch box at `at` as faulty. A later fault at the same
+    /// coordinate replaces the earlier one.
+    pub fn inject(&mut self, at: Coord, fault: SwitchFault) -> &mut Self {
+        self.faults.retain(|(c, _)| *c != at);
+        self.faults.push((at, fault));
+        self
+    }
+
+    /// The fault at `at`, if any.
+    pub fn fault_at(&self, at: Coord) -> Option<SwitchFault> {
+        self.faults.iter().find(|(c, _)| *c == at).map(|(_, f)| *f)
+    }
+
+    /// Number of faulty switch boxes.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the map is healthy.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Rewrites an intended Open mask into the mask the faulty hardware
+    /// actually realizes.
+    pub fn apply(&self, intended: &Plane<bool>) -> Plane<bool> {
+        let mut effective = intended.clone();
+        for &(c, fault) in &self.faults {
+            if intended.dim().contains(c) {
+                effective.set(
+                    c,
+                    match fault {
+                        SwitchFault::StuckShort => false,
+                        SwitchFault::StuckOpen => true,
+                    },
+                );
+            }
+        }
+        effective
+    }
+
+    /// Whether this fault map changes the effect of an instruction that
+    /// would configure the switches as `intended` — i.e. whether any
+    /// fault disagrees with the intended setting at its location.
+    pub fn distorts(&self, intended: &Plane<bool>) -> bool {
+        self.faults.iter().any(|&(c, fault)| {
+            intended.dim().contains(c)
+                && match fault {
+                    SwitchFault::StuckShort => *intended.get(c),
+                    SwitchFault::StuckOpen => !*intended.get(c),
+                }
+        })
+    }
+
+    /// The coordinates whose intended configuration the map overrides.
+    pub fn distorted_nodes(&self, intended: &Plane<bool>) -> Vec<Coord> {
+        self.faults
+            .iter()
+            .filter(|&&(c, fault)| {
+                intended.dim().contains(c)
+                    && match fault {
+                        SwitchFault::StuckShort => *intended.get(c),
+                        SwitchFault::StuckOpen => !*intended.get(c),
+                    }
+            })
+            .map(|&(c, _)| c)
+            .collect()
+    }
+}
+
+/// A built-in self-test pattern sweep: returns, for an array of shape
+/// `dim`, a set of Open masks that together make every switch box both
+/// inject and propagate on both axes — any single stuck-at fault distorts
+/// at least one pattern.
+pub fn bist_patterns(dim: Dim) -> Vec<Plane<bool>> {
+    vec![
+        // Everyone opens: catches every StuckShort.
+        Plane::filled(dim, true),
+        // No one opens: catches every StuckOpen.
+        Plane::filled(dim, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus;
+    use crate::engine::ExecMode;
+    use crate::geometry::Direction;
+
+    fn dim() -> Dim {
+        Dim::square(4)
+    }
+
+    #[test]
+    fn inject_and_query() {
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(1, 2), SwitchFault::StuckOpen);
+        assert_eq!(fm.fault_at(Coord::new(1, 2)), Some(SwitchFault::StuckOpen));
+        assert_eq!(fm.fault_at(Coord::new(0, 0)), None);
+        assert_eq!(fm.len(), 1);
+        // Re-injection replaces.
+        fm.inject(Coord::new(1, 2), SwitchFault::StuckShort);
+        assert_eq!(fm.fault_at(Coord::new(1, 2)), Some(SwitchFault::StuckShort));
+        assert_eq!(fm.len(), 1);
+    }
+
+    #[test]
+    fn apply_overrides_intended_mask() {
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(0, 0), SwitchFault::StuckShort)
+            .inject(Coord::new(2, 2), SwitchFault::StuckOpen);
+        let intended = Plane::from_fn(dim(), |c| c.col == 0);
+        let effective = fm.apply(&intended);
+        assert!(!*effective.get(Coord::new(0, 0)), "stuck-short wins");
+        assert!(*effective.get(Coord::new(2, 2)), "stuck-open wins");
+        assert!(*effective.get(Coord::new(1, 0)), "healthy nodes keep intent");
+    }
+
+    #[test]
+    fn distortion_detection_is_exact() {
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(1, 1), SwitchFault::StuckOpen);
+        // A mask that already opens (1,1) is NOT distorted.
+        let agrees = Plane::from_fn(dim(), |c| c.row == 1);
+        assert!(!fm.distorts(&agrees));
+        // A mask that shorts (1,1) is distorted.
+        let disagrees = Plane::from_fn(dim(), |c| c.row == 0);
+        assert!(fm.distorts(&disagrees));
+        assert_eq!(fm.distorted_nodes(&disagrees), vec![Coord::new(1, 1)]);
+    }
+
+    #[test]
+    fn stuck_short_swallows_a_cluster_head() {
+        // Intended: heads at columns 0 and 2 (East movement). The head at
+        // (0,2) is stuck Short, so row 0 becomes a single cluster driven
+        // by column 0.
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(0, 2), SwitchFault::StuckShort);
+        let intended = Plane::from_fn(dim(), |c| c.col == 0 || c.col == 2);
+        let effective = fm.apply(&intended);
+        let src = Plane::from_fn(dim(), |c| c.col as i64);
+        let healthy = bus::broadcast(ExecMode::Sequential, dim(), &src, Direction::East, &intended).unwrap();
+        let faulty = bus::broadcast(ExecMode::Sequential, dim(), &src, Direction::East, &effective).unwrap();
+        assert_eq!(healthy.row(0), &[0, 0, 2, 2]);
+        assert_eq!(faulty.row(0), &[0, 0, 0, 0], "row 0 lost its second head");
+        assert_eq!(faulty.row(1), healthy.row(1), "other rows unaffected");
+    }
+
+    #[test]
+    fn stuck_open_splits_a_line() {
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(1, 2), SwitchFault::StuckOpen);
+        let intended = Plane::from_fn(dim(), |c| c.col == 0);
+        let effective = fm.apply(&intended);
+        let src = Plane::from_fn(dim(), |c| (c.row * 10 + c.col) as i64);
+        let faulty = bus::broadcast(ExecMode::Sequential, dim(), &src, Direction::East, &effective).unwrap();
+        // Row 1 now has heads at cols 0 and 2.
+        assert_eq!(faulty.row(1), &[10, 10, 12, 12]);
+    }
+
+    #[test]
+    fn bist_patterns_catch_any_single_fault() {
+        let patterns = bist_patterns(dim());
+        for r in 0..4 {
+            for c in 0..4 {
+                for fault in [SwitchFault::StuckShort, SwitchFault::StuckOpen] {
+                    let mut fm = FaultMap::new();
+                    fm.inject(Coord::new(r, c), fault);
+                    assert!(
+                        patterns.iter().any(|p| fm.distorts(p)),
+                        "fault {fault:?} at ({r},{c}) escapes the BIST sweep"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_faults_are_inert() {
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(9, 9), SwitchFault::StuckOpen);
+        let intended = Plane::filled(dim(), false);
+        assert!(!fm.distorts(&intended));
+        assert_eq!(fm.apply(&intended), intended);
+    }
+}

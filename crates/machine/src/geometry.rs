@@ -1,0 +1,339 @@
+//! Mesh geometry: dimensions, coordinates, directions and line/axis math.
+//!
+//! The PPA is a two-dimensional mesh. Rows are numbered top to bottom
+//! (row 0 is the northernmost row), columns left to right (column 0 is the
+//! westernmost column). Data moving **South** therefore travels towards
+//! increasing row indices and data moving **East** towards increasing column
+//! indices, matching Figure 1 of the paper.
+
+use std::fmt;
+
+/// Dimensions of a PE array (`rows x cols`).
+///
+/// The paper always uses square `n x n` arrays (one PE per weight-matrix
+/// entry), but the machine model supports rectangular arrays as well; the
+/// graph algorithms simply require `rows == cols == n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Dim {
+    /// Creates a new dimension descriptor.
+    ///
+    /// # Panics
+    /// Panics if either extent is zero — a bus needs at least one node.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "PPA dimensions must be non-zero");
+        Dim { rows, cols }
+    }
+
+    /// Creates a square `n x n` dimension descriptor.
+    pub fn square(n: usize) -> Self {
+        Dim::new(n, n)
+    }
+
+    /// Total number of processing elements.
+    pub fn len(self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the array is empty (never true: constructors reject it).
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the array is square.
+    pub fn is_square(self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Flat row-major index of a coordinate.
+    #[inline]
+    pub fn index(self, c: Coord) -> usize {
+        debug_assert!(c.row < self.rows && c.col < self.cols);
+        c.row * self.cols + c.col
+    }
+
+    /// Coordinate of a flat row-major index.
+    #[inline]
+    pub fn coord(self, idx: usize) -> Coord {
+        debug_assert!(idx < self.len());
+        Coord {
+            row: idx / self.cols,
+            col: idx % self.cols,
+        }
+    }
+
+    /// Whether the coordinate lies inside the array.
+    pub fn contains(self, c: Coord) -> bool {
+        c.row < self.rows && c.col < self.cols
+    }
+
+    /// Number of bus lines along the given axis: one horizontal bus per row,
+    /// one vertical bus per column.
+    pub fn lines(self, axis: Axis) -> usize {
+        match axis {
+            Axis::Row => self.rows,
+            Axis::Col => self.cols,
+        }
+    }
+
+    /// Number of nodes on each bus line of the given axis.
+    pub fn line_len(self, axis: Axis) -> usize {
+        match axis {
+            Axis::Row => self.cols,
+            Axis::Col => self.rows,
+        }
+    }
+
+    /// Flat index of the `pos`-th node of bus `line`, counted in the
+    /// direction of data movement `dir` (cyclic position `0` is the node a
+    /// moving datum would visit first on a non-wrapping bus).
+    #[inline]
+    pub fn line_index(self, dir: Direction, line: usize, pos: usize) -> usize {
+        let len = self.line_len(dir.axis());
+        debug_assert!(pos < len);
+        let along = if dir.is_increasing() { pos } else { len - 1 - pos };
+        match dir.axis() {
+            // Horizontal buses: `line` is the row, `along` the column.
+            Axis::Row => self.index(Coord::new(line, along)),
+            // Vertical buses: `line` is the column, `along` the row.
+            Axis::Col => self.index(Coord::new(along, line)),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Coordinate of a PE in the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Row index (0 = northernmost).
+    pub row: usize,
+    /// Column index (0 = westernmost).
+    pub col: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(row: usize, col: usize) -> Self {
+        Coord { row, col }
+    }
+
+    /// The neighbour of this coordinate one step towards `dir`, if it exists
+    /// (mesh edges are not wrapped for neighbour communication; the *buses*
+    /// wrap, point-to-point `shift` does not unless requested).
+    pub fn neighbor(self, dir: Direction, dim: Dim) -> Option<Coord> {
+        let (dr, dc) = dir.delta();
+        let row = self.row as isize + dr;
+        let col = self.col as isize + dc;
+        if row < 0 || col < 0 || row >= dim.rows as isize || col >= dim.cols as isize {
+            None
+        } else {
+            Some(Coord::new(row as usize, col as usize))
+        }
+    }
+
+    /// The neighbour one step towards `dir` with toroidal wrap-around.
+    pub fn neighbor_wrapping(self, dir: Direction, dim: Dim) -> Coord {
+        let (dr, dc) = dir.delta();
+        let row = (self.row as isize + dr).rem_euclid(dim.rows as isize) as usize;
+        let col = (self.col as isize + dc).rem_euclid(dim.cols as isize) as usize;
+        Coord::new(row, col)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// The four global data-movement directions selectable by the SIMD
+/// controller. All PEs move data the same way at any given instruction; only
+/// the switch-box configuration (Open/Short) is local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Towards decreasing row indices.
+    North,
+    /// Towards increasing column indices.
+    East,
+    /// Towards increasing row indices.
+    South,
+    /// Towards decreasing column indices.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in N/E/S/W order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The direction opposite to `self` (the paper's `opposite(x)`).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// Which bus system the direction travels on: East/West use the
+    /// horizontal (row) buses, North/South the vertical (column) buses.
+    pub fn axis(self) -> Axis {
+        match self {
+            Direction::East | Direction::West => Axis::Row,
+            Direction::North | Direction::South => Axis::Col,
+        }
+    }
+
+    /// Whether movement increases the coordinate along its axis
+    /// (East increases columns, South increases rows).
+    pub fn is_increasing(self) -> bool {
+        matches!(self, Direction::East | Direction::South)
+    }
+
+    /// Row/column delta of a single step in this direction.
+    pub fn delta(self) -> (isize, isize) {
+        match self {
+            Direction::North => (-1, 0),
+            Direction::East => (0, 1),
+            Direction::South => (1, 0),
+            Direction::West => (0, -1),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "North",
+            Direction::East => "East",
+            Direction::South => "South",
+            Direction::West => "West",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The two bus systems of the PPA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Horizontal buses: one per row, traversed by East/West movement.
+    Row,
+    /// Vertical buses: one per column, traversed by North/South movement.
+    Col,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Axis::Row => "row",
+            Axis::Col => "column",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_indexing_round_trips() {
+        let d = Dim::new(3, 5);
+        for idx in 0..d.len() {
+            assert_eq!(d.index(d.coord(idx)), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_rejected() {
+        let _ = Dim::new(0, 4);
+    }
+
+    #[test]
+    fn direction_opposites_are_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn axis_of_directions() {
+        assert_eq!(Direction::East.axis(), Axis::Row);
+        assert_eq!(Direction::West.axis(), Axis::Row);
+        assert_eq!(Direction::North.axis(), Axis::Col);
+        assert_eq!(Direction::South.axis(), Axis::Col);
+    }
+
+    #[test]
+    fn line_index_east_orders_columns_ascending() {
+        let d = Dim::new(2, 4);
+        let idxs: Vec<usize> = (0..4).map(|p| d.line_index(Direction::East, 1, p)).collect();
+        assert_eq!(idxs, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn line_index_west_orders_columns_descending() {
+        let d = Dim::new(2, 4);
+        let idxs: Vec<usize> = (0..4).map(|p| d.line_index(Direction::West, 0, p)).collect();
+        assert_eq!(idxs, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn line_index_south_orders_rows_ascending() {
+        let d = Dim::new(3, 2);
+        let idxs: Vec<usize> = (0..3).map(|p| d.line_index(Direction::South, 1, p)).collect();
+        assert_eq!(idxs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn line_index_north_orders_rows_descending() {
+        let d = Dim::new(3, 2);
+        let idxs: Vec<usize> = (0..3).map(|p| d.line_index(Direction::North, 0, p)).collect();
+        assert_eq!(idxs, vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let d = Dim::new(2, 2);
+        assert_eq!(Coord::new(0, 0).neighbor(Direction::North, d), None);
+        assert_eq!(Coord::new(0, 0).neighbor(Direction::West, d), None);
+        assert_eq!(
+            Coord::new(0, 0).neighbor(Direction::South, d),
+            Some(Coord::new(1, 0))
+        );
+        assert_eq!(
+            Coord::new(0, 0).neighbor(Direction::East, d),
+            Some(Coord::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn wrapping_neighbor_wraps() {
+        let d = Dim::new(3, 3);
+        assert_eq!(
+            Coord::new(0, 0).neighbor_wrapping(Direction::North, d),
+            Coord::new(2, 0)
+        );
+        assert_eq!(
+            Coord::new(2, 2).neighbor_wrapping(Direction::East, d),
+            Coord::new(2, 0)
+        );
+    }
+}

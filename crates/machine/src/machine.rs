@@ -1,0 +1,338 @@
+//! The assembled PPA machine: geometry + engine + controller.
+//!
+//! [`Machine`] exposes the *costed* instruction set: every method that
+//! corresponds to one SIMD controller instruction records exactly one step
+//! of the matching [`Op`] class before executing its per-PE
+//! effect through the [`crate::engine`]. Higher layers (the PPC
+//! runtime, the algorithms) are written exclusively against this interface,
+//! so the controller's tallies are a faithful census of the simulated
+//! machine's time steps.
+
+use crate::bus;
+use crate::controller::{Controller, Op};
+use crate::engine::ExecMode;
+use crate::error::MachineError;
+use crate::geometry::{Dim, Direction};
+use crate::plane::Plane;
+
+/// A Polymorphic Processor Array instance.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    dim: Dim,
+    mode: ExecMode,
+    controller: Controller,
+}
+
+impl Machine {
+    /// Creates a `rows x cols` machine running per-PE loops sequentially.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Machine::with_mode(Dim::new(rows, cols), ExecMode::Sequential)
+    }
+
+    /// Creates a square `n x n` machine (the shape used by all the graph
+    /// algorithms: one PE per weight-matrix element).
+    pub fn square(n: usize) -> Self {
+        Machine::new(n, n)
+    }
+
+    /// Creates a machine with an explicit host execution mode.
+    pub fn with_mode(dim: Dim, mode: ExecMode) -> Self {
+        Machine {
+            dim,
+            mode,
+            controller: Controller::new(),
+        }
+    }
+
+    /// The array dimensions.
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// The host execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Changes the host execution mode (does not affect step counts).
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// Read access to the step-counting controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Mutable access to the controller (for tracing or phase labels).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// Zeroes the step counters.
+    pub fn reset_steps(&mut self) {
+        self.controller.reset();
+    }
+
+    fn check<TP>(&self, p: &Plane<TP>) -> Result<(), MachineError> {
+        if p.dim() == self.dim {
+            Ok(())
+        } else {
+            Err(MachineError::DimMismatch {
+                expected: self.dim,
+                found: p.dim(),
+            })
+        }
+    }
+
+    // ----- communication instructions -------------------------------------
+
+    /// `broadcast(src, dir, L)`: one controller step; every PE receives the
+    /// `src` value of the Open node heading its bus cluster.
+    pub fn broadcast<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Plane<T>,
+        dir: Direction,
+        open: &Plane<bool>,
+    ) -> Result<Plane<T>, MachineError> {
+        self.controller.record(Op::Broadcast);
+        bus::broadcast(self.mode, self.dim, src, dir, open)
+    }
+
+    /// Wired-OR over bus clusters: one controller step.
+    pub fn bus_or(
+        &mut self,
+        values: &Plane<bool>,
+        dir: Direction,
+        open: &Plane<bool>,
+    ) -> Result<Plane<bool>, MachineError> {
+        self.controller.record(Op::BusOr);
+        bus::bus_or(self.mode, self.dim, values, dir, open)
+    }
+
+    /// `shift(src, dir)`: one controller step; data moves one PE towards
+    /// `dir`, upstream-edge PEs receive `fill`.
+    pub fn shift<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Plane<T>,
+        dir: Direction,
+        fill: T,
+    ) -> Result<Plane<T>, MachineError> {
+        self.controller.record(Op::Shift);
+        bus::shift(self.mode, self.dim, src, dir, fill)
+    }
+
+    /// Toroidal `shift`: one controller step.
+    pub fn shift_wrapping<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Plane<T>,
+        dir: Direction,
+    ) -> Result<Plane<T>, MachineError> {
+        self.controller.record(Op::Shift);
+        bus::shift_wrapping(self.mode, self.dim, src, dir)
+    }
+
+    /// Global-OR: one controller step; `true` iff any PE raises `flags`.
+    /// This is the controller-side condition read used by data-dependent
+    /// loops such as the MCP termination test (statement 20).
+    pub fn global_or(&mut self, flags: &Plane<bool>) -> Result<bool, MachineError> {
+        self.check(flags)?;
+        self.controller.record(Op::GlobalOr);
+        let f = flags.as_slice();
+        Ok(crate::engine::reduce(
+            self.mode,
+            self.dim.len(),
+            false,
+            |i| f[i],
+            |a, b| a || b,
+        ))
+    }
+
+    // ----- ALU instructions ------------------------------------------------
+
+    /// Elementwise unary operation: one controller step.
+    pub fn map<T, U, F>(&mut self, src: &Plane<T>, f: F) -> Result<Plane<U>, MachineError>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.check(src)?;
+        self.controller.record(Op::Alu);
+        let s = src.as_slice();
+        let data = crate::engine::build(self.mode, self.dim.len(), |i| f(&s[i]));
+        Ok(Plane::from_vec(self.dim, data))
+    }
+
+    /// Elementwise binary operation: one controller step.
+    pub fn zip<A, B, U, F>(
+        &mut self,
+        a: &Plane<A>,
+        b: &Plane<B>,
+        f: F,
+    ) -> Result<Plane<U>, MachineError>
+    where
+        A: Sync,
+        B: Sync,
+        U: Send,
+        F: Fn(&A, &B) -> U + Sync,
+    {
+        self.check(a)?;
+        self.check(b)?;
+        self.controller.record(Op::Alu);
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        let data = crate::engine::build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i]));
+        Ok(Plane::from_vec(self.dim, data))
+    }
+
+    /// Elementwise ternary operation: one controller step.
+    pub fn zip3<A, B, C, U, F>(
+        &mut self,
+        a: &Plane<A>,
+        b: &Plane<B>,
+        c: &Plane<C>,
+        f: F,
+    ) -> Result<Plane<U>, MachineError>
+    where
+        A: Sync,
+        B: Sync,
+        C: Sync,
+        U: Send,
+        F: Fn(&A, &B, &C) -> U + Sync,
+    {
+        self.check(a)?;
+        self.check(b)?;
+        self.check(c)?;
+        self.controller.record(Op::Alu);
+        let (sa, sb, sc) = (a.as_slice(), b.as_slice(), c.as_slice());
+        let data = crate::engine::build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i], &sc[i]));
+        Ok(Plane::from_vec(self.dim, data))
+    }
+
+    /// Loads an immediate into every PE: one controller step.
+    pub fn imm<T: Clone + Send + Sync>(&mut self, value: T) -> Plane<T> {
+        self.controller.record(Op::Alu);
+        Plane::filled(self.dim, value)
+    }
+
+    /// The hardwired `ROW` register (each PE knows its row index):
+    /// one controller step to copy it into a plane.
+    pub fn row_index(&mut self) -> Plane<i64> {
+        self.controller.record(Op::Alu);
+        Plane::from_fn(self.dim, |c| c.row as i64)
+    }
+
+    /// The hardwired `COL` register: one controller step.
+    pub fn col_index(&mut self) -> Plane<i64> {
+        self.controller.record(Op::Alu);
+        Plane::from_fn(self.dim, |c| c.col as i64)
+    }
+
+    /// Masked assignment `where (mask) dst = src`: one controller step.
+    /// PEs where `mask` is false keep their previous `dst` value — the
+    /// SIMD `where` construct gates register *writes*, not instruction
+    /// issue.
+    pub fn assign_masked<T>(
+        &mut self,
+        dst: &mut Plane<T>,
+        src: &Plane<T>,
+        mask: &Plane<bool>,
+    ) -> Result<(), MachineError>
+    where
+        T: Copy + Send + Sync,
+    {
+        self.check(dst)?;
+        self.check(src)?;
+        self.check(mask)?;
+        self.controller.record(Op::Alu);
+        let (d, s, m) = (dst.as_slice(), src.as_slice(), mask.as_slice());
+        let data = crate::engine::build(self.mode, self.dim.len(), |i| if m[i] { s[i] } else { d[i] });
+        *dst = Plane::from_vec(self.dim, data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Op;
+    use crate::geometry::Coord;
+
+    #[test]
+    fn every_primitive_costs_one_step() {
+        let mut m = Machine::square(4);
+        let p = m.imm(1i64);
+        assert_eq!(m.controller().steps(Op::Alu), 1);
+        let open = m.imm(true);
+        assert_eq!(m.controller().steps(Op::Alu), 2);
+        m.broadcast(&p, Direction::East, &open).unwrap();
+        assert_eq!(m.controller().steps(Op::Broadcast), 1);
+        let flags = m.map(&p, |&v| v > 0).unwrap();
+        m.bus_or(&flags, Direction::South, &open).unwrap();
+        assert_eq!(m.controller().steps(Op::BusOr), 1);
+        m.shift(&p, Direction::West, 0).unwrap();
+        assert_eq!(m.controller().steps(Op::Shift), 1);
+        m.global_or(&flags).unwrap();
+        assert_eq!(m.controller().steps(Op::GlobalOr), 1);
+    }
+
+    #[test]
+    fn zip_and_zip3_compute_elementwise() {
+        let mut m = Machine::square(3);
+        let a = Plane::from_fn(m.dim(), |c| c.row as i64);
+        let b = Plane::from_fn(m.dim(), |c| c.col as i64);
+        let s = m.zip(&a, &b, |x, y| x + y).unwrap();
+        assert_eq!(*s.at(2, 1), 3);
+        let mask = Plane::from_fn(m.dim(), |c| c.row == 0);
+        let t = m.zip3(&s, &a, &mask, |x, y, &k| if k { *x } else { *y }).unwrap();
+        assert_eq!(*t.at(0, 2), 2);
+        assert_eq!(*t.at(1, 2), 1);
+    }
+
+    #[test]
+    fn assign_masked_preserves_unmasked() {
+        let mut m = Machine::square(2);
+        let mut dst = Plane::filled(m.dim(), 0i64);
+        let src = Plane::filled(m.dim(), 9i64);
+        let mask = Plane::from_fn(m.dim(), |c| c.col == 1);
+        m.assign_masked(&mut dst, &src, &mask).unwrap();
+        assert_eq!(*dst.at(0, 0), 0);
+        assert_eq!(*dst.at(0, 1), 9);
+    }
+
+    #[test]
+    fn global_or_detects_single_flag() {
+        let mut m = Machine::square(5);
+        let mut flags = Plane::filled(m.dim(), false);
+        assert!(!m.global_or(&flags).unwrap());
+        flags.set(Coord::new(4, 4), true);
+        assert!(m.global_or(&flags).unwrap());
+    }
+
+    #[test]
+    fn row_col_index_registers() {
+        let mut m = Machine::new(2, 3);
+        let r = m.row_index();
+        let c = m.col_index();
+        assert_eq!(*r.at(1, 2), 1);
+        assert_eq!(*c.at(1, 2), 2);
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let mut m = Machine::square(3);
+        let wrong = Plane::filled(Dim::new(2, 3), 1i64);
+        assert!(matches!(
+            m.map(&wrong, |&v: &i64| v),
+            Err(MachineError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_steps_zeroes_counters() {
+        let mut m = Machine::square(2);
+        let _ = m.imm(0u8);
+        m.reset_steps();
+        assert_eq!(m.controller().total_steps(), 0);
+    }
+}

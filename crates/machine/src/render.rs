@@ -1,0 +1,144 @@
+//! ASCII rendering of switch configurations and bus clusters.
+//!
+//! Used by the `bus_partition` example and the experiment harness to
+//! reproduce the content of Figure 1 of the paper: how the Open/Short
+//! switch settings partition the two bus systems into independent
+//! sub-buses. Open nodes render as `[x]`, Short nodes as `-o-` (horizontal
+//! buses) or `|o|`-style glyphs, and [`render_clusters`] labels every PE
+//! with the identity of the cluster it belongs to.
+
+use crate::bus::cluster_heads;
+use crate::geometry::{Dim, Direction};
+use crate::plane::Plane;
+use std::fmt::Write as _;
+
+/// Renders the switch plane for one data-movement direction.
+///
+/// Open nodes (`true` in `open`) appear as `[x]`; Short nodes as `=o=` when
+/// the direction travels horizontal buses and `|o|` when vertical. Arrows in
+/// the header show the movement direction.
+pub fn render_switches(dim: Dim, dir: Direction, open: &Plane<bool>) -> String {
+    assert_eq!(open.dim(), dim, "mask dimension mismatch");
+    let mut out = String::new();
+    let arrow = match dir {
+        Direction::North => "^ (data moves North, along columns)",
+        Direction::South => "v (data moves South, along columns)",
+        Direction::East => "-> (data moves East, along rows)",
+        Direction::West => "<- (data moves West, along rows)",
+    };
+    let _ = writeln!(out, "direction: {dir} {arrow}");
+    for row in 0..dim.rows {
+        for col in 0..dim.cols {
+            let glyph = if *open.at(row, col) {
+                "[x]"
+            } else {
+                match dir.axis() {
+                    crate::geometry::Axis::Row => "=o=",
+                    crate::geometry::Axis::Col => "|o|",
+                }
+            };
+            let _ = write!(out, "{glyph} ");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the cluster partition induced by `open` for direction `dir`.
+///
+/// Every PE is labelled with a single character identifying its cluster
+/// (clusters are lettered `a`, `b`, ... in head order per line; `?` marks
+/// nodes on an undriven line). Two PEs share a letter on the same line iff
+/// the bus connects them in one sub-bus.
+pub fn render_clusters(dim: Dim, dir: Direction, open: &Plane<bool>) -> String {
+    assert_eq!(open.dim(), dim, "mask dimension mismatch");
+    let heads = cluster_heads(dim, dir, open);
+    let mut out = String::new();
+    let _ = writeln!(out, "clusters for movement {dir}:");
+    match heads {
+        Err(lines) => {
+            let _ = writeln!(out, "  undriven {} line(s): {lines:?}", dir.axis());
+            for _row in 0..dim.rows {
+                for _ in 0..dim.cols {
+                    let _ = write!(out, " ? ");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        Ok(heads) => {
+            // Assign letters per line, in order of first appearance.
+            let mut letters = vec![' '; dim.len()];
+            let lines = dim.lines(dir.axis());
+            let len = dim.line_len(dir.axis());
+            for line in 0..lines {
+                let mut next = b'a';
+                let mut seen: Vec<(usize, u8)> = Vec::new();
+                for pos in 0..len {
+                    let idx = dim.line_index(dir, line, pos);
+                    let head = heads[idx];
+                    let letter = match seen.iter().find(|(h, _)| *h == head) {
+                        Some(&(_, l)) => l,
+                        None => {
+                            let l = next;
+                            next = next.saturating_add(1);
+                            seen.push((head, l));
+                            l
+                        }
+                    };
+                    letters[idx] = letter as char;
+                }
+            }
+            for row in 0..dim.rows {
+                for col in 0..dim.cols {
+                    let idx = dim.index(crate::geometry::Coord::new(row, col));
+                    let _ = write!(out, " {} ", letters[idx]);
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_render_open_and_short() {
+        let dim = Dim::square(2);
+        let open = Plane::from_fn(dim, |c| c.col == 0);
+        let s = render_switches(dim, Direction::East, &open);
+        assert!(s.contains("[x]"), "{s}");
+        assert!(s.contains("=o="), "{s}");
+        assert!(s.contains("East"), "{s}");
+    }
+
+    #[test]
+    fn vertical_axis_uses_vertical_glyph() {
+        let dim = Dim::square(2);
+        let open = Plane::filled(dim, false);
+        let s = render_switches(dim, Direction::South, &open);
+        assert!(s.contains("|o|"), "{s}");
+    }
+
+    #[test]
+    fn clusters_letter_by_segment() {
+        let dim = Dim::square(4);
+        let open = Plane::from_fn(dim, |c| c.col == 0 || c.col == 2);
+        let s = render_clusters(dim, Direction::East, &open);
+        // Each row: cols 0-1 cluster 'a', cols 2-3 cluster 'b'.
+        for line in s.lines().skip(1) {
+            assert_eq!(line.trim(), "a  a  b  b");
+        }
+    }
+
+    #[test]
+    fn undriven_lines_render_question_marks() {
+        let dim = Dim::square(2);
+        let open = Plane::filled(dim, false);
+        let s = render_clusters(dim, Direction::East, &open);
+        assert!(s.contains('?'), "{s}");
+        assert!(s.contains("undriven"), "{s}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Switch-box configurations.
+//!
+//! Each PPA node contains a switch box traversed by the horizontal and the
+//! vertical bus. Per SIMD instruction the controller fixes the data-movement
+//! direction; each node then selects one of exactly two local
+//! configurations (Section 2 of the paper):
+//!
+//! * [`SwitchConfig::Open`] — the switch box *disconnects* the bus at this
+//!   node and connects the PE's output to the downstream port, so the PE
+//!   injects data into (drives) the sub-bus that starts here;
+//! * [`SwitchConfig::Short`] — the switch box lets data propagate through
+//!   the node; the PE cannot inject, it can only listen.
+//!
+//! In either configuration the PE *reads* from its upstream port (e.g. the
+//! West port when the movement direction is East).
+
+use crate::plane::Plane;
+use crate::geometry::Dim;
+use std::fmt;
+
+/// The two legal switch-box configurations of a PPA node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchConfig {
+    /// Bus cut here; this PE drives the downstream sub-bus.
+    Open,
+    /// Bus passes through; this PE only listens.
+    Short,
+}
+
+impl SwitchConfig {
+    /// `true` for [`SwitchConfig::Open`].
+    pub fn is_open(self) -> bool {
+        matches!(self, SwitchConfig::Open)
+    }
+
+    /// Converts the PPC convention — a *parallel logical* variable whose
+    /// `true` elements denote Open switches — into a configuration.
+    pub fn from_bool(open: bool) -> Self {
+        if open {
+            SwitchConfig::Open
+        } else {
+            SwitchConfig::Short
+        }
+    }
+}
+
+impl fmt::Display for SwitchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SwitchConfig::Open => "Open",
+            SwitchConfig::Short => "Short",
+        })
+    }
+}
+
+/// Builds a full switch plane from a boolean Open mask (the form every PPC
+/// communication primitive takes its `L` argument in).
+pub fn switch_plane(open: &Plane<bool>) -> Plane<SwitchConfig> {
+    open.map_free(|&b| SwitchConfig::from_bool(b))
+}
+
+/// Convenience: an all-`Short` switch mask (a single cluster per line once
+/// any node opens, or an undriven bus otherwise).
+pub fn all_short(dim: Dim) -> Plane<bool> {
+    Plane::filled(dim, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Coord, Dim};
+
+    #[test]
+    fn from_bool_maps_true_to_open() {
+        assert_eq!(SwitchConfig::from_bool(true), SwitchConfig::Open);
+        assert_eq!(SwitchConfig::from_bool(false), SwitchConfig::Short);
+        assert!(SwitchConfig::Open.is_open());
+        assert!(!SwitchConfig::Short.is_open());
+    }
+
+    #[test]
+    fn switch_plane_matches_mask() {
+        let dim = Dim::new(2, 2);
+        let open = Plane::from_fn(dim, |c| c.row == c.col);
+        let sw = switch_plane(&open);
+        assert_eq!(*sw.get(Coord::new(0, 0)), SwitchConfig::Open);
+        assert_eq!(*sw.get(Coord::new(0, 1)), SwitchConfig::Short);
+    }
+
+    #[test]
+    fn all_short_has_no_open() {
+        assert_eq!(all_short(Dim::new(3, 3)).count_true(), 0);
+    }
+}

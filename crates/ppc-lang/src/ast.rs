@@ -1,0 +1,228 @@
+//! Abstract syntax of the PPC subset.
+
+use crate::error::Span;
+
+/// A full PPC program: top-level items executed in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level declarations and statements.
+    pub items: Vec<Item>,
+}
+
+/// A top-level or block-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Variable declaration.
+    Decl(Decl),
+    /// Statement.
+    Stmt(Stmt),
+}
+
+/// Base types of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseType {
+    /// `int` — `h`-bit unsigned integers on PEs, `i64` in the controller.
+    Int,
+    /// `logical` — booleans.
+    Logical,
+}
+
+/// A variable declaration, e.g. `parallel int SOW;` or
+/// `logical go = true;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// `true` for the `parallel` memorization class.
+    pub parallel: bool,
+    /// Base type.
+    pub ty: BaseType,
+    /// Variable name.
+    pub name: String,
+    /// Optional initializer expression.
+    pub init: Option<Expr>,
+    /// Position of the declaration.
+    pub span: Span,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ ... }` with its own lexical scope.
+    Block(Vec<Item>),
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+        /// Position of the target.
+        span: Span,
+    },
+    /// `where (cond) then [elsewhere other]` — SIMD activity masking.
+    Where {
+        /// Parallel logical condition.
+        cond: Expr,
+        /// Active-set statement.
+        then_branch: Box<Stmt>,
+        /// Complement-set statement.
+        else_branch: Option<Box<Stmt>>,
+        /// Position of the `where`.
+        span: Span,
+    },
+    /// `if (cond) then [else other]` — controller-side branch.
+    If {
+        /// Scalar logical condition.
+        cond: Expr,
+        /// Taken branch.
+        then_branch: Box<Stmt>,
+        /// Otherwise branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Position of the `if`.
+        span: Span,
+    },
+    /// `while (cond) body` — controller-side loop.
+    While {
+        /// Scalar logical condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Position of the `while`.
+        span: Span,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body (runs at least once).
+        body: Box<Stmt>,
+        /// Scalar logical condition.
+        cond: Expr,
+        /// Position of the `do`.
+        span: Span,
+    },
+    /// `for (init; cond; step) body` — controller-side counted loop.
+    For {
+        /// Optional `name = expr` initializer.
+        init: Option<(String, Expr)>,
+        /// Optional scalar condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Optional `name = expr` step.
+        step: Option<(String, Expr)>,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Position of the `for`.
+        span: Span,
+    },
+    /// Lone `;`.
+    Empty,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (saturating at `MAXINT` on parallel operands).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `%`.
+    Rem,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    And,
+    /// `||`.
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator takes integer operands.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Rem)
+    }
+
+    /// Whether this operator compares integers (result logical).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether this operator combines logicals.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`.
+    Neg,
+    /// `!`.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// `true`/`false` literal.
+    Bool(bool, Span),
+    /// Variable or builtin-constant reference (`ROW`, `COL`, `N`, `H`,
+    /// `MAXINT`, direction names, or a declared variable).
+    Ident(String, Span),
+    /// Builtin call, e.g. `broadcast(SOW, SOUTH, ROW == d)`.
+    Call {
+        /// Builtin name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position of the callee.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Position of the operator.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Position of the operator.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source position of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Ident(_, s)
+            | Expr::Call { span: s, .. }
+            | Expr::Binary { span: s, .. }
+            | Expr::Unary { span: s, .. } => *s,
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Diagnostics with source positions.
+
+use std::fmt;
+
+/// A position in PPC source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Which phase produced the diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic checking.
+    Sema,
+    /// Execution.
+    Runtime,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "type",
+            Phase::Runtime => "runtime",
+        })
+    }
+}
+
+/// A PPC front-end or runtime diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Phase that raised it.
+    pub phase: Phase,
+    /// Source position (best effort for runtime errors).
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates a diagnostic.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        LangError {
+            phase,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Lexer diagnostic.
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        LangError::new(Phase::Lex, span, message)
+    }
+
+    /// Parser diagnostic.
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        LangError::new(Phase::Parse, span, message)
+    }
+
+    /// Type-checker diagnostic.
+    pub fn sema(span: Span, message: impl Into<String>) -> Self {
+        LangError::new(Phase::Sema, span, message)
+    }
+
+    /// Runtime diagnostic.
+    pub fn runtime(span: Span, message: impl Into<String>) -> Self {
+        LangError::new(Phase::Runtime, span, message)
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_span() {
+        let e = LangError::sema(Span::new(3, 14), "mismatched types");
+        assert_eq!(e.to_string(), "type error at 3:14: mismatched types");
+    }
+
+    #[test]
+    fn constructors_tag_phases() {
+        assert_eq!(LangError::lex(Span::default(), "x").phase, Phase::Lex);
+        assert_eq!(LangError::parse(Span::default(), "x").phase, Phase::Parse);
+        assert_eq!(LangError::runtime(Span::default(), "x").phase, Phase::Runtime);
+    }
+}

@@ -1,0 +1,316 @@
+//! The PPC lexer.
+//!
+//! Hand-rolled scanner producing a flat token vector. Supports `//` line
+//! comments and `/* ... */` block comments (non-nesting), decimal integer
+//! literals, and the operator set of the grammar.
+
+use crate::error::{LangError, Span};
+use crate::token::{Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(LangError::lex(open, "unterminated block comment"))
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> Token {
+        let span = self.span();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        let kind = match text {
+            "parallel" => TokenKind::Parallel,
+            "int" => TokenKind::KwInt,
+            "logical" => TokenKind::KwLogical,
+            "where" => TokenKind::Where,
+            "elsewhere" => TokenKind::Elsewhere,
+            "do" => TokenKind::Do,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            _ => TokenKind::Ident(text.to_owned()),
+        };
+        Token::new(kind, span)
+    }
+
+    fn number(&mut self) -> Result<Token, LangError> {
+        let span = self.span();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        let value: i64 = text
+            .parse()
+            .map_err(|_| LangError::lex(span, format!("integer literal `{text}` overflows")))?;
+        Ok(Token::new(TokenKind::Int(value), span))
+    }
+
+    fn next_token(&mut self) -> Result<Token, LangError> {
+        self.skip_trivia()?;
+        let span = self.span();
+        let Some(c) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, span));
+        };
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.ident_or_keyword());
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        self.bump();
+        let two = |l: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(second) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Bang),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(LangError::lex(span, "expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(LangError::lex(span, "expected `||`"));
+                }
+            }
+            other => {
+                return Err(LangError::lex(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Token::new(kind, span))
+    }
+}
+
+/// Tokenizes PPC source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        let tok = lexer.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("parallel int SOW;"),
+            vec![
+                TokenKind::Parallel,
+                TokenKind::KwInt,
+                TokenKind::Ident("SOW".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || ! = < > + - * %"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Percent,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // line\n /* block\n over lines */ b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("x\n  y").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn numbers_parse() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+    }
+
+    #[test]
+    fn number_overflow_reported() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflow"));
+    }
+
+    #[test]
+    fn unterminated_comment_reported() {
+        let err = lex("/* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_character_reported() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn single_ampersand_rejected() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("wherever")[0], TokenKind::Ident("wherever".into()));
+        assert_eq!(kinds("where")[0], TokenKind::Where);
+        assert_eq!(kinds("elsewhere")[0], TokenKind::Elsewhere);
+    }
+}

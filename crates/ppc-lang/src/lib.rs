@@ -1,0 +1,78 @@
+//! # ppc-lang — the Polymorphic Parallel C language front end
+//!
+//! The paper states that its algorithm "has been implemented using the
+//! Polymorphic Parallel C language and has been validated through
+//! simulation". This crate recreates that tool chain: a lexer, parser,
+//! semantic checker and tree-walking interpreter for the PPC subset the
+//! paper uses, executing on the [`ppa_ppc`] runtime so every interpreted
+//! statement issues the same costed SIMD instructions as native code.
+//!
+//! ## Language subset
+//!
+//! * **Storage classes** — `parallel int x;` / `parallel logical l;`
+//!   allocate one value per PE; plain `int` / `logical` live in the
+//!   controller. Declarations may carry initializers; uninitialized
+//!   variables default to `0` / `false`.
+//! * **Control** — `where (e) s [elsewhere s]` (SIMD activity masking,
+//!   nests by intersection), `do s while (e);`, `while (e) s`,
+//!   `for (x = e; e; x = e) s`, `if (e) s [else s]` (scalar condition),
+//!   blocks with lexical scoping.
+//! * **Expressions** — integer/logical arithmetic and comparisons with
+//!   scalar-to-parallel promotion; parallel `+` saturates at `MAXINT`
+//!   (the runtime's `h`-bit unsigned model, see `ppa-ppc`).
+//! * **Builtins** — the communication/combination primitives of Section 2
+//!   and 3 of the paper: `broadcast(src, dir, L)`, `shift(src, dir)`,
+//!   `min`/`max(src, dir, L)`, `selected_min`/`selected_max(src, dir, L,
+//!   sel)`, the wired `or(x, dir, L)`, `bit(x, j)`, `opposite(dir)`, the
+//!   controller reduction `any(x)`, the hardwired registers `ROW`/`COL`,
+//!   the direction constants `NORTH`/`EAST`/`SOUTH`/`WEST`, and the
+//!   machine parameters `N` (array side), `H` (word bits), `MAXINT`.
+//!
+//! User-defined functions are not in the subset: the paper itself treats
+//! `min`/`selected_min` as library routines, and its `minimum_cost_path`
+//! is a single top-level body (driven here through [`programs`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use ppa_ppc::Ppa;
+//! use ppc_lang::interp::Interpreter;
+//! use ppc_lang::Value;
+//!
+//! let src = r#"
+//!     parallel int x;
+//!     x = ROW * 10 + COL;
+//!     where (ROW == COL) x = 0;
+//! "#;
+//! let program = ppc_lang::parse(src).unwrap();
+//! let mut ppa = Ppa::square(4);
+//! let mut interp = Interpreter::new(&mut ppa);
+//! interp.run(&program).unwrap();
+//! let x = interp.get_parallel_int("x").unwrap();
+//! assert_eq!(*x.at(1, 1), 0);
+//! assert_eq!(*x.at(1, 2), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod programs;
+pub mod sema;
+pub mod token;
+
+pub use error::LangError;
+pub use interp::{Interpreter, Value};
+
+/// Parses and semantically checks a PPC source string.
+pub fn parse(src: &str) -> Result<ast::Program, LangError> {
+    let tokens = lexer::lex(src)?;
+    let program = parser::parse_tokens(&tokens)?;
+    sema::check(&program)?;
+    Ok(program)
+}

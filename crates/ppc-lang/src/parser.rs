@@ -1,0 +1,565 @@
+//! Recursive-descent parser for the PPC subset.
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use crate::token::{Token, TokenKind};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, LangError> {
+        if self.peek_kind() == kind {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                self.span(),
+                format!("expected `{kind}`, found `{}`", self.peek_kind()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), LangError> {
+        let span = self.span();
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(LangError::parse(
+                span,
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    // ----- items ------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut items = Vec::new();
+        while self.peek_kind() != &TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, LangError> {
+        match self.peek_kind() {
+            TokenKind::Parallel | TokenKind::KwInt | TokenKind::KwLogical => {
+                Ok(Item::Decl(self.decl()?))
+            }
+            _ => Ok(Item::Stmt(self.stmt()?)),
+        }
+    }
+
+    fn decl(&mut self) -> Result<Decl, LangError> {
+        let span = self.span();
+        let parallel = self.eat(&TokenKind::Parallel);
+        let ty = match self.peek_kind() {
+            TokenKind::KwInt => {
+                self.bump();
+                BaseType::Int
+            }
+            TokenKind::KwLogical => {
+                self.bump();
+                BaseType::Logical
+            }
+            other => {
+                return Err(LangError::parse(
+                    self.span(),
+                    format!("expected `int` or `logical` after storage class, found `{other}`"),
+                ))
+            }
+        };
+        let (name, _) = self.expect_ident()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(Decl {
+            parallel,
+            ty,
+            name,
+            init,
+            span,
+        })
+    }
+
+    // ----- statements --------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        match self.peek_kind() {
+            TokenKind::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                while self.peek_kind() != &TokenKind::RBrace {
+                    if self.peek_kind() == &TokenKind::Eof {
+                        return Err(LangError::parse(self.span(), "unterminated block"));
+                    }
+                    items.push(self.item()?);
+                }
+                self.bump();
+                Ok(Stmt::Block(items))
+            }
+            TokenKind::Where => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat(&TokenKind::Elsewhere) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::Where {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat(&TokenKind::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::Do => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                self.expect(&TokenKind::While)?;
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::DoWhile { body, cond, span })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if self.peek_kind() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.simple_assign()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                let cond = if self.peek_kind() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                let step = if self.peek_kind() == &TokenKind::RParen {
+                    None
+                } else {
+                    Some(self.simple_assign()?)
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                let (name, value) = self.simple_assign()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Assign { name, value, span })
+            }
+        }
+    }
+
+    fn simple_assign(&mut self) -> Result<(String, Expr), LangError> {
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let value = self.expr()?;
+        Ok((name, value))
+    }
+
+    // ----- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek_kind() == &TokenKind::OrOr {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek_kind() == &TokenKind::AndAnd {
+            let span = self.span();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let span = self.span();
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek_kind() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(self.unary_expr()?),
+                    span,
+                })
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(self.unary_expr()?),
+                    span,
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true, span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek_kind() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek_kind() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { name, args, span })
+                } else {
+                    Ok(Expr::Ident(name, span))
+                }
+            }
+            other => Err(LangError::parse(
+                span,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+/// Parses a token stream into a program (no semantic checks).
+pub fn parse_tokens(tokens: &[Token]) -> Result<Program, LangError> {
+    assert!(
+        !tokens.is_empty(),
+        "token stream must end with an Eof token"
+    );
+    Parser::new(tokens).program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Result<Program, LangError> {
+        parse_tokens(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse("parallel int SOW; logical go = true;").unwrap();
+        assert_eq!(p.items.len(), 2);
+        match &p.items[0] {
+            Item::Decl(d) => {
+                assert!(d.parallel);
+                assert_eq!(d.ty, BaseType::Int);
+                assert_eq!(d.name, "SOW");
+                assert!(d.init.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match &p.items[1] {
+            Item::Decl(d) => {
+                assert!(!d.parallel);
+                assert_eq!(d.ty, BaseType::Logical);
+                assert!(d.init.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_where_elsewhere() {
+        let p = parse("where (ROW == d) x = 1; elsewhere x = 2;").unwrap();
+        match &p.items[0] {
+            Item::Stmt(Stmt::Where {
+                else_branch: Some(_),
+                ..
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_while() {
+        let p = parse("do { x = x + 1; } while (go);").unwrap();
+        assert!(matches!(p.items[0], Item::Stmt(Stmt::DoWhile { .. })));
+    }
+
+    #[test]
+    fn parses_for_with_all_clauses() {
+        let p = parse("for (j = 7; j >= 0; j = j - 1) x = j;").unwrap();
+        match &p.items[0] {
+            Item::Stmt(Stmt::For {
+                init: Some(_),
+                cond: Some(_),
+                step: Some(_),
+                ..
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_calls_with_args() {
+        let p = parse("x = broadcast(SOW, SOUTH, ROW == d);").unwrap();
+        match &p.items[0] {
+            Item::Stmt(Stmt::Assign { value, .. }) => match value {
+                Expr::Call { name, args, .. } => {
+                    assert_eq!(name, "broadcast");
+                    assert_eq!(args.len(), 3);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        // a + b * c == d && e  parses as  ((a + (b*c)) == d) && e
+        let p = parse("x = a + b * c == d && e;").unwrap();
+        let Item::Stmt(Stmt::Assign { value, .. }) = &p.items[0] else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::And, lhs, .. } = value else {
+            panic!("top must be &&: {value:?}")
+        };
+        let Expr::Binary { op: BinOp::Eq, lhs: add, .. } = lhs.as_ref() else {
+            panic!("lhs must be ==")
+        };
+        assert!(matches!(add.as_ref(), Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse("x = !!a; y = --3;").unwrap();
+        assert_eq!(p.items.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse("x = ;").unwrap_err();
+        assert!(err.message.contains("expected expression"), "{err}");
+        assert_eq!(err.span.col, 5);
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let err = parse("x = 1").unwrap_err();
+        assert!(err.message.contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_block_reported() {
+        let err = parse("{ x = 1;").unwrap_err();
+        assert!(err.message.contains("unterminated block"), "{err}");
+    }
+
+    #[test]
+    fn empty_statement_allowed() {
+        let p = parse(";;").unwrap();
+        assert_eq!(p.items.len(), 2);
+    }
+
+    #[test]
+    fn nested_where_single_statement_bodies() {
+        let p = parse("where (a) where (b) x = 1;").unwrap();
+        let Item::Stmt(Stmt::Where { then_branch, .. }) = &p.items[0] else {
+            panic!()
+        };
+        assert!(matches!(then_branch.as_ref(), Stmt::Where { .. }));
+    }
+}

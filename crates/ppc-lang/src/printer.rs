@@ -1,0 +1,348 @@
+//! Pretty-printer for PPC programs.
+//!
+//! Produces canonical source from an AST. Guarantees the round-trip law
+//! `parse(print(p)) == parse(print(parse(print(p))))` — printing is
+//! injective up to re-parsing — which the tests check on the embedded
+//! paper programs and a corpus of constructs. Useful for diagnostics
+//! (echoing the checker's view of a program) and for testing the parser
+//! itself.
+
+use crate::ast::*;
+
+/// Pretty-prints a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        print_item(item, 0, &mut out);
+    }
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_item(item: &Item, level: usize, out: &mut String) {
+    match item {
+        Item::Decl(d) => {
+            indent(level, out);
+            if d.parallel {
+                out.push_str("parallel ");
+            }
+            out.push_str(match d.ty {
+                BaseType::Int => "int",
+                BaseType::Logical => "logical",
+            });
+            out.push(' ');
+            out.push_str(&d.name);
+            if let Some(init) = &d.init {
+                out.push_str(" = ");
+                out.push_str(&print_expr(init));
+            }
+            out.push_str(";\n");
+        }
+        Item::Stmt(s) => print_stmt(s, level, out),
+    }
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    match stmt {
+        Stmt::Empty => {
+            indent(level, out);
+            out.push_str(";\n");
+        }
+        Stmt::Block(items) => {
+            indent(level, out);
+            out.push_str("{\n");
+            for item in items {
+                print_item(item, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Assign { name, value, .. } => {
+            indent(level, out);
+            out.push_str(name);
+            out.push_str(" = ");
+            out.push_str(&print_expr(value));
+            out.push_str(";\n");
+        }
+        Stmt::Where {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            indent(level, out);
+            out.push_str("where (");
+            out.push_str(&print_expr(cond));
+            out.push_str(")\n");
+            print_stmt(then_branch, level + 1, out);
+            if let Some(e) = else_branch {
+                indent(level, out);
+                out.push_str("elsewhere\n");
+                print_stmt(e, level + 1, out);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            indent(level, out);
+            out.push_str("if (");
+            out.push_str(&print_expr(cond));
+            out.push_str(")\n");
+            print_stmt(then_branch, level + 1, out);
+            if let Some(e) = else_branch {
+                indent(level, out);
+                out.push_str("else\n");
+                print_stmt(e, level + 1, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(level, out);
+            out.push_str("while (");
+            out.push_str(&print_expr(cond));
+            out.push_str(")\n");
+            print_stmt(body, level + 1, out);
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            indent(level, out);
+            out.push_str("do\n");
+            print_stmt(body, level + 1, out);
+            indent(level, out);
+            out.push_str("while (");
+            out.push_str(&print_expr(cond));
+            out.push_str(");\n");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            indent(level, out);
+            out.push_str("for (");
+            if let Some((n, e)) = init {
+                out.push_str(n);
+                out.push_str(" = ");
+                out.push_str(&print_expr(e));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&print_expr(c));
+            }
+            out.push_str("; ");
+            if let Some((n, e)) = step {
+                out.push_str(n);
+                out.push_str(" = ");
+                out.push_str(&print_expr(e));
+            }
+            out.push_str(")\n");
+            print_stmt(body, level + 1, out);
+        }
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Pretty-prints one expression (fully parenthesized below the top
+/// level, so precedence never needs to be reconstructed).
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Ident(n, _) => n.clone(),
+        Expr::Call { name, args, .. } => {
+            let inner: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {} {})", print_expr(lhs), binop_str(*op), print_expr(rhs))
+        }
+        Expr::Unary { op, operand, .. } => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{o}({})", print_expr(operand))
+        }
+    }
+}
+
+/// Strips spans so ASTs can be compared structurally after a
+/// print/re-parse round trip.
+pub fn strip_spans(p: &Program) -> Program {
+    fn expr(e: &Expr) -> Expr {
+        let z = crate::error::Span::default();
+        match e {
+            Expr::Int(v, _) => Expr::Int(*v, z),
+            Expr::Bool(b, _) => Expr::Bool(*b, z),
+            Expr::Ident(n, _) => Expr::Ident(n.clone(), z),
+            Expr::Call { name, args, .. } => Expr::Call {
+                name: name.clone(),
+                args: args.iter().map(expr).collect(),
+                span: z,
+            },
+            Expr::Binary { op, lhs, rhs, .. } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(expr(lhs)),
+                rhs: Box::new(expr(rhs)),
+                span: z,
+            },
+            Expr::Unary { op, operand, .. } => Expr::Unary {
+                op: *op,
+                operand: Box::new(expr(operand)),
+                span: z,
+            },
+        }
+    }
+    fn stmt(s: &Stmt) -> Stmt {
+        let z = crate::error::Span::default();
+        match s {
+            Stmt::Empty => Stmt::Empty,
+            Stmt::Block(items) => Stmt::Block(items.iter().map(item).collect()),
+            Stmt::Assign { name, value, .. } => Stmt::Assign {
+                name: name.clone(),
+                value: expr(value),
+                span: z,
+            },
+            Stmt::Where {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => Stmt::Where {
+                cond: expr(cond),
+                then_branch: Box::new(stmt(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Box::new(stmt(e))),
+                span: z,
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => Stmt::If {
+                cond: expr(cond),
+                then_branch: Box::new(stmt(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Box::new(stmt(e))),
+                span: z,
+            },
+            Stmt::While { cond, body, .. } => Stmt::While {
+                cond: expr(cond),
+                body: Box::new(stmt(body)),
+                span: z,
+            },
+            Stmt::DoWhile { body, cond, .. } => Stmt::DoWhile {
+                body: Box::new(stmt(body)),
+                cond: expr(cond),
+                span: z,
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => Stmt::For {
+                init: init.as_ref().map(|(n, e)| (n.clone(), expr(e))),
+                cond: cond.as_ref().map(expr),
+                step: step.as_ref().map(|(n, e)| (n.clone(), expr(e))),
+                body: Box::new(stmt(body)),
+                span: z,
+            },
+        }
+    }
+    fn item(i: &Item) -> Item {
+        match i {
+            Item::Decl(d) => Item::Decl(Decl {
+                parallel: d.parallel,
+                ty: d.ty,
+                name: d.name.clone(),
+                init: d.init.as_ref().map(expr),
+                span: crate::error::Span::default(),
+            }),
+            Item::Stmt(s) => Item::Stmt(stmt(s)),
+        }
+    }
+    Program {
+        items: p.items.iter().map(item).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trips(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(
+            strip_spans(&p1),
+            strip_spans(&p2),
+            "round trip changed the AST:\n{printed}"
+        );
+        // Printing is a fixpoint after one round.
+        assert_eq!(printed, print_program(&p2));
+    }
+
+    #[test]
+    fn paper_programs_round_trip() {
+        round_trips(crate::programs::MINIMUM_COST_PATH);
+        round_trips(crate::programs::MIN_ROUTINE);
+        round_trips(crate::programs::WIDEST_PATH);
+    }
+
+    #[test]
+    fn construct_corpus_round_trips() {
+        round_trips("parallel int x; x = 1 + 2 * 3 - 4;");
+        round_trips("parallel logical l; l = !(ROW == COL) && (COL < N);");
+        round_trips("int j; for (j = 0; j < 10; j = j + 1) ;");
+        round_trips("parallel int x; where (ROW == 0) x = 1; elsewhere { x = 2; x = x + 1; }");
+        round_trips("logical g; do { g = any(ROW == 0); } while (g);");
+        round_trips("int s; if (s == 0) s = 1; else s = 2;");
+        round_trips("parallel int x; x = broadcast(x, opposite(WEST), COL == N - 1);");
+        round_trips("parallel int x; x = -(-3); x = --3;");
+        round_trips("while (false) { ; }");
+        round_trips("parallel int x; x = selected_min(COL, WEST, COL == N - 1, x == 0);");
+    }
+
+    #[test]
+    fn printer_parenthesizes_unambiguously() {
+        // (a - b) - c vs a - (b - c) must print differently.
+        let left = parse("int a; a = a - a - a;").unwrap(); // left assoc
+        let printed = print_program(&left);
+        assert!(printed.contains("((a - a) - a)"), "{printed}");
+    }
+
+    #[test]
+    fn strip_spans_ignores_positions_only() {
+        let a = parse("int x;\nx = 1;").unwrap();
+        let b = parse("int x; x = 1;").unwrap();
+        assert_ne!(a, b, "spans differ before stripping");
+        assert_eq!(strip_spans(&a), strip_spans(&b));
+    }
+}

@@ -1,0 +1,352 @@
+//! The paper's programs, as PPC source, with host drivers.
+//!
+//! [`MINIMUM_COST_PATH`] is the `minimum_cost_path()` of Section 3
+//! transcribed into the interpreted subset (the fidelity repairs of the
+//! `ppa-mcp` crate applied in source form, each marked with a comment).
+//! [`MIN_ROUTINE`] is the paper's bit-serial `min()` routine written out
+//! with `for`/`bit`/`or`/`broadcast` — the code the paper prints in
+//! Section 3 — used to cross-check the builtin `min` against a
+//! from-source implementation.
+
+use crate::error::LangError;
+use crate::interp::{Interpreter, Value};
+use ppa_graph::{Weight, WeightMatrix, INF};
+use ppa_ppc::{Parallel, Ppa};
+
+/// Section 3's `minimum_cost_path()`, in interpretable PPC.
+pub const MINIMUM_COST_PATH: &str = r#"
+// Inputs, preloaded by the host:
+//   W — weight plane, w_ij at PE (i,j); MAXINT marks a missing edge and
+//       the diagonal is 0 (the DP convention, fidelity note 2);
+//   d — the destination vertex.
+parallel int W;
+int d;
+
+// Outputs: row d of SOW and PTN.
+parallel int SOW;
+parallel int PTN;
+parallel int MIN_SOW;
+parallel int OLD_SOW;      // statement 3
+logical go;
+
+// --- Step 1: statements 4-7 (intended form, fidelity note 3) ---------
+// SOW[d][i] must become w_id: W's d-th *column*, folded into row d via
+// the diagonal with two bus steps.
+parallel int INW;
+SOW = MAXINT;
+MIN_SOW = MAXINT;
+INW = broadcast(W, EAST, COL == d);
+INW = broadcast(INW, SOUTH, ROW == COL);
+where (ROW == d) {
+    SOW = INW;             // statement 5 (intended)
+    PTN = d;               // statement 6
+    MIN_SOW = INW;         // pins MIN_SOW[d][d] = 0 (fidelity note 2)
+}
+
+// --- Step 2: statements 8-20 ------------------------------------------
+do {
+    where (ROW != d) {
+        SOW = broadcast(SOW, SOUTH, ROW == d) + W;                   // 10
+        MIN_SOW = min(SOW, WEST, COL == N - 1);                      // 11
+        // 12, with the row-d selection repair (fidelity note 1):
+        PTN = selected_min(COL, WEST, COL == N - 1,
+                           MIN_SOW == SOW || ROW == d);
+    }
+    where (ROW == d) {
+        OLD_SOW = SOW;                                               // 15
+        SOW = broadcast(MIN_SOW, SOUTH, ROW == COL);                 // 16
+        where (SOW != OLD_SOW)                                       // 17
+            PTN = broadcast(PTN, SOUTH, ROW == COL);                 // 18
+    }
+    go = any(SOW != OLD_SOW && ROW == d);                            // 20
+} while (go);
+"#;
+
+/// Section 3's `min()` routine, written from its printed source: the
+/// most-significant-bit-first elimination over `enable`, the forwarding
+/// of the survivors to the cluster heads (statements 11-12), and the
+/// final cluster broadcast (statement 13). Inputs: `src` (values) and
+/// the implied orientation WEST with clusters headed at `COL == N - 1`.
+/// Output: `RESULT`.
+pub const MIN_ROUTINE: &str = r#"
+parallel int src;          // input
+parallel int RESULT;       // output
+parallel logical L;
+parallel logical enable;
+int j;
+
+L = COL == N - 1;
+enable = true;                                               // statement 7
+for (j = H - 1; j >= 0; j = j - 1)                           // statement 8
+    where (broadcast(or(!bit(src, j) && enable, WEST, L), WEST, L)
+           && bit(src, j))                                   // statement 9
+        enable = false;                                      // statement 10
+where (L)                                                    // statement 11
+    src = broadcast(src, opposite(WEST), enable);            // statement 12
+RESULT = broadcast(src, WEST, L);                            // statement 13
+"#;
+
+/// The widest-path (maximum bottleneck capacity) variant, demonstrating
+/// the semiring swap in PPC source: `(min, +)` becomes `(max, min)`.
+/// Inputs: `C` (capacity plane: 0 = no link, diagonal = MAXINT) and `d`.
+/// Output: row `d` of `CAP`.
+pub const WIDEST_PATH: &str = r#"
+parallel int C;
+int d;
+parallel int CAP;
+parallel int MAX_CAP;
+parallel int OLD_CAP;
+logical go;
+
+parallel int INC;
+INC = broadcast(C, EAST, COL == d);
+INC = broadcast(INC, SOUTH, ROW == COL);
+CAP = 0;
+MAX_CAP = 0;
+where (ROW == d) {
+    CAP = INC;
+    MAX_CAP = INC;
+}
+
+do {
+    where (ROW != d) {
+        // Candidate bottleneck via j: min(capacity(i->j), CAP_jd).
+        CAP = broadcast(CAP, SOUTH, ROW == d);
+        where (C < CAP) CAP = C;          // per-PE min(C, CAP)
+        MAX_CAP = max(CAP, WEST, COL == N - 1);
+    }
+    where (ROW == d) {
+        OLD_CAP = CAP;
+        CAP = broadcast(MAX_CAP, SOUTH, ROW == COL);
+    }
+    go = any(CAP != OLD_CAP && ROW == d);
+} while (go);
+"#;
+
+/// Result of running [`MINIMUM_COST_PATH`] through the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpretedMcp {
+    /// Destination vertex.
+    pub dest: usize,
+    /// Costs, destination-row read-out (same conventions as `ppa-mcp`).
+    pub sow: Vec<Weight>,
+    /// Successor pointers.
+    pub ptn: Vec<usize>,
+    /// SIMD steps the interpreted program issued.
+    pub steps: u64,
+}
+
+/// Runs the interpreted `minimum_cost_path` on `ppa` for graph `w` and
+/// destination `d`.
+pub fn run_minimum_cost_path(
+    ppa: &mut Ppa,
+    w: &WeightMatrix,
+    d: usize,
+) -> Result<InterpretedMcp, LangError> {
+    let n = w.n();
+    assert!(d < n, "destination {d} out of range");
+    let program = crate::parse(MINIMUM_COST_PATH)?;
+    let maxint = ppa.maxint();
+    let mut w_vec = w.to_saturated_vec(maxint);
+    for i in 0..n {
+        w_vec[i * n + i] = 0; // the diagonal DP convention
+    }
+    let w_plane: Parallel<i64> = Parallel::from_vec(ppa.dim(), w_vec);
+    let before = ppa.steps().total();
+    let mut interp = Interpreter::new(ppa);
+    interp.bind("W", Value::PInt(w_plane));
+    interp.bind("d", Value::Int(d as i64));
+    interp.run(&program)?;
+    let sow_plane = interp
+        .get_parallel_int("SOW")
+        .expect("program declares SOW")
+        .clone();
+    let ptn_plane = interp
+        .get_parallel_int("PTN")
+        .expect("program declares PTN")
+        .clone();
+    let steps = interp.ppa().steps().total() - before;
+    let mut sow = Vec::with_capacity(n);
+    let mut ptn = Vec::with_capacity(n);
+    for i in 0..n {
+        let cost = *sow_plane.at(d, i);
+        if i == d {
+            sow.push(0);
+            ptn.push(d);
+        } else if cost >= maxint {
+            sow.push(INF);
+            ptn.push(i);
+        } else {
+            sow.push(cost);
+            ptn.push(*ptn_plane.at(d, i) as usize);
+        }
+    }
+    Ok(InterpretedMcp {
+        dest: d,
+        sow,
+        ptn,
+        steps,
+    })
+}
+
+/// Runs the interpreted [`WIDEST_PATH`] program; returns the bottleneck
+/// capacity from every vertex to `d` (`0` = unreachable, machine
+/// `MAXINT` at `d` itself).
+pub fn run_widest_path(
+    ppa: &mut Ppa,
+    w: &WeightMatrix,
+    d: usize,
+) -> Result<Vec<Weight>, LangError> {
+    let n = w.n();
+    assert!(d < n, "destination {d} out of range");
+    let program = crate::parse(WIDEST_PATH)?;
+    let maxint = ppa.maxint();
+    let cap_plane: Parallel<i64> = Parallel::from_fn(ppa.dim(), |c| {
+        if c.row == c.col {
+            maxint
+        } else {
+            let e = w.get(c.row, c.col);
+            if e == INF {
+                0
+            } else {
+                e
+            }
+        }
+    });
+    let mut interp = Interpreter::new(ppa);
+    interp.bind("C", Value::PInt(cap_plane));
+    interp.bind("d", Value::Int(d as i64));
+    interp.run(&program)?;
+    let cap = interp
+        .get_parallel_int("CAP")
+        .expect("program declares CAP")
+        .clone();
+    Ok((0..n)
+        .map(|i| if i == d { maxint } else { *cap.at(d, i) })
+        .collect())
+}
+
+/// Runs the from-source [`MIN_ROUTINE`] over `values` (row-wise, clusters
+/// spanning whole rows) and returns the per-PE results.
+pub fn run_min_routine(ppa: &mut Ppa, values: &Parallel<i64>) -> Result<Parallel<i64>, LangError> {
+    let program = crate::parse(MIN_ROUTINE)?;
+    let mut interp = Interpreter::new(ppa);
+    interp.bind("src", Value::PInt(values.clone()));
+    interp.run(&program)?;
+    Ok(interp
+        .get_parallel_int("RESULT")
+        .expect("program declares RESULT")
+        .clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_graph::validate::is_valid_solution;
+    use ppa_mcp::mcp;
+
+    fn machine_for(w: &WeightMatrix) -> Ppa {
+        Ppa::square(w.n()).with_word_bits(w.required_word_bits().clamp(2, 62))
+    }
+
+    #[test]
+    fn interpreted_mcp_matches_oracle() {
+        for seed in 0..6 {
+            let w = gen::random_digraph(8, 0.3, 9, seed);
+            let d = (seed as usize) % 8;
+            let mut ppa = machine_for(&w);
+            let out = run_minimum_cost_path(&mut ppa, &w, d).unwrap();
+            assert!(
+                is_valid_solution(&w, d, &out.sow, &out.ptn),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn interpreted_mcp_equals_native_mcp() {
+        for f in [gen::Family::Ring, gen::Family::Sparse, gen::Family::Grid] {
+            let w = f.build(7, 8, 21);
+            let mut ippa = machine_for(&w);
+            let interp = run_minimum_cost_path(&mut ippa, &w, 3).unwrap();
+            let mut nppa = machine_for(&w);
+            let native = mcp::minimum_cost_path(&mut nppa, &w, 3).unwrap();
+            assert_eq!(interp.sow, native.sow, "{}", f.label());
+            // Pointers may differ among ties, so validate rather than
+            // compare; costs must be identical.
+            assert!(is_valid_solution(&w, 3, &interp.sow, &interp.ptn));
+        }
+    }
+
+    #[test]
+    fn interpreted_steps_are_same_order_as_native() {
+        let w = gen::ring(6);
+        let mut ippa = machine_for(&w);
+        let interp = run_minimum_cost_path(&mut ippa, &w, 0).unwrap();
+        let mut nppa = machine_for(&w);
+        let native = mcp::minimum_cost_path(&mut nppa, &w, 0).unwrap();
+        let ratio = interp.steps as f64 / native.stats.total.total() as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "interpreted {} vs native {}",
+            interp.steps,
+            native.stats.total.total()
+        );
+    }
+
+    #[test]
+    fn min_routine_source_matches_builtin() {
+        let mut ppa = Ppa::square(5).with_word_bits(8);
+        let values = Parallel::from_fn(ppa.dim(), |c| ((c.row * 37 + c.col * 11) % 200) as i64);
+        let from_source = run_min_routine(&mut ppa, &values).unwrap();
+        for r in 0..5 {
+            let expect = *values.row(r).iter().min().unwrap();
+            assert!(
+                from_source.row(r).iter().all(|&v| v == expect),
+                "row {r}: {:?}",
+                from_source.row(r)
+            );
+        }
+    }
+
+    #[test]
+    fn min_routine_handles_ties() {
+        let mut ppa = Ppa::square(4).with_word_bits(6);
+        let values = Parallel::filled(ppa.dim(), 9i64);
+        let out = run_min_routine(&mut ppa, &values).unwrap();
+        assert!(out.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn sources_parse_and_check() {
+        crate::parse(MINIMUM_COST_PATH).unwrap();
+        crate::parse(MIN_ROUTINE).unwrap();
+        crate::parse(WIDEST_PATH).unwrap();
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn interpreted_widest_matches_oracle_and_native() {
+        use ppa_mcp::widest::{widest_path, widest_path_oracle};
+        for seed in 0..6u64 {
+            let w = gen::random_digraph(8, 0.3, 20, seed);
+            let d = seed as usize % 8;
+            let mut ippa = machine_for(&w);
+            let interp = run_widest_path(&mut ippa, &w, d).unwrap();
+            let oracle = widest_path_oracle(&w, d);
+            for i in 0..8 {
+                if i != d {
+                    assert_eq!(interp[i], oracle[i], "seed {seed} vertex {i}");
+                }
+            }
+            let mut nppa = machine_for(&w);
+            let native = widest_path(&mut nppa, &w, d).unwrap();
+            for i in 0..8 {
+                if i != d {
+                    assert_eq!(interp[i], native.cap[i], "seed {seed} vertex {i} (native)");
+                }
+            }
+        }
+    }
+}

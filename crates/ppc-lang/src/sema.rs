@@ -1,0 +1,539 @@
+//! Semantic checking: name resolution, storage classes, and types.
+//!
+//! PPC's key static rules, enforced here before execution:
+//!
+//! * `where` conditions must be *parallel logical*; `if`/`while`/`do`/`for`
+//!   conditions must be *scalar logical* (the controller branches on them);
+//! * scalars silently promote to parallel values (each PE receives the
+//!   broadcast constant), but a parallel value never demotes to a scalar —
+//!   reducing requires an explicit `any(...)`-style primitive;
+//! * builtins have fixed signatures (directions are a distinct type, so
+//!   `broadcast(SOW, ROW == d, SOUTH)` is caught statically).
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use std::collections::HashMap;
+
+/// Static type of an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// Controller-resident value.
+    Scalar(BaseType),
+    /// One value per PE.
+    Par(BaseType),
+    /// A data-movement direction constant.
+    Dir,
+}
+
+impl Type {
+    fn describe(self) -> String {
+        match self {
+            Type::Scalar(BaseType::Int) => "int".into(),
+            Type::Scalar(BaseType::Logical) => "logical".into(),
+            Type::Par(BaseType::Int) => "parallel int".into(),
+            Type::Par(BaseType::Logical) => "parallel logical".into(),
+            Type::Dir => "direction".into(),
+        }
+    }
+
+    fn base(self) -> Option<BaseType> {
+        match self {
+            Type::Scalar(b) | Type::Par(b) => Some(b),
+            Type::Dir => None,
+        }
+    }
+
+    fn is_parallel(self) -> bool {
+        matches!(self, Type::Par(_))
+    }
+}
+
+/// The builtin environment shared by the checker and the interpreter.
+pub fn builtin_constants() -> HashMap<&'static str, Type> {
+    HashMap::from([
+        ("ROW", Type::Par(BaseType::Int)),
+        ("COL", Type::Par(BaseType::Int)),
+        ("N", Type::Scalar(BaseType::Int)),
+        ("H", Type::Scalar(BaseType::Int)),
+        ("MAXINT", Type::Scalar(BaseType::Int)),
+        ("NORTH", Type::Dir),
+        ("EAST", Type::Dir),
+        ("SOUTH", Type::Dir),
+        ("WEST", Type::Dir),
+    ])
+}
+
+struct Checker {
+    scopes: Vec<HashMap<String, Type>>,
+}
+
+impl Checker {
+    fn new() -> Self {
+        let globals = builtin_constants()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        Checker {
+            scopes: vec![globals],
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, decl: &Decl) -> Result<(), LangError> {
+        if builtin_constants().contains_key(decl.name.as_str()) {
+            return Err(LangError::sema(
+                decl.span,
+                format!("`{}` is a builtin and cannot be redeclared", decl.name),
+            ));
+        }
+        let ty = if decl.parallel {
+            Type::Par(decl.ty)
+        } else {
+            Type::Scalar(decl.ty)
+        };
+        if let Some(init) = &decl.init {
+            let it = self.expr(init)?;
+            self.check_assignable(ty, it, init.span())?;
+        }
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(decl.name.clone(), ty);
+        Ok(())
+    }
+
+    /// `target = value` legality: equal base types; scalar promotes to
+    /// parallel; parallel never demotes.
+    fn check_assignable(&self, target: Type, value: Type, span: Span) -> Result<(), LangError> {
+        let ok = match (target, value) {
+            (Type::Dir, _) | (_, Type::Dir) => false,
+            (t, v) => {
+                t.base() == v.base() && (t.is_parallel() || !v.is_parallel())
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(LangError::sema(
+                span,
+                format!(
+                    "cannot assign `{}` to `{}`",
+                    value.describe(),
+                    target.describe()
+                ),
+            ))
+        }
+    }
+
+    fn item(&mut self, item: &Item) -> Result<(), LangError> {
+        match item {
+            Item::Decl(d) => self.declare(d),
+            Item::Stmt(s) => self.stmt(s),
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        match stmt {
+            Stmt::Block(items) => {
+                self.scopes.push(HashMap::new());
+                for it in items {
+                    self.item(it)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Assign { name, value, span } => {
+                let target = self.lookup(name).ok_or_else(|| {
+                    LangError::sema(*span, format!("undeclared variable `{name}`"))
+                })?;
+                if builtin_constants().contains_key(name.as_str()) {
+                    return Err(LangError::sema(
+                        *span,
+                        format!("builtin `{name}` is read-only"),
+                    ));
+                }
+                let vt = self.expr(value)?;
+                self.check_assignable(target, vt, value.span())
+            }
+            Stmt::Where {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let ct = self.expr(cond)?;
+                if ct != Type::Par(BaseType::Logical) {
+                    return Err(LangError::sema(
+                        cond.span(),
+                        format!(
+                            "`where` needs a parallel logical condition, found `{}`",
+                            ct.describe()
+                        ),
+                    ));
+                }
+                self.stmt(then_branch)?;
+                if let Some(e) = else_branch {
+                    self.stmt(e)?;
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.scalar_logical(cond, "if")?;
+                self.stmt(then_branch)?;
+                if let Some(e) = else_branch {
+                    self.stmt(e)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.scalar_logical(cond, "while")?;
+                self.stmt(body)
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.stmt(body)?;
+                self.scalar_logical(cond, "do-while")
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
+                for (name, value) in init.iter().chain(step.iter()) {
+                    let target = self.lookup(name).ok_or_else(|| {
+                        LangError::sema(*span, format!("undeclared loop variable `{name}`"))
+                    })?;
+                    let vt = self.expr(value)?;
+                    self.check_assignable(target, vt, value.span())?;
+                }
+                if let Some(c) = cond {
+                    self.scalar_logical(c, "for")?;
+                }
+                self.stmt(body)
+            }
+            Stmt::Empty => Ok(()),
+        }
+    }
+
+    fn scalar_logical(&mut self, cond: &Expr, what: &str) -> Result<(), LangError> {
+        let t = self.expr(cond)?;
+        if t != Type::Scalar(BaseType::Logical) {
+            return Err(LangError::sema(
+                cond.span(),
+                format!(
+                    "`{what}` needs a scalar logical condition (the controller branches on it), found `{}`",
+                    t.describe()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<Type, LangError> {
+        match expr {
+            Expr::Int(_, _) => Ok(Type::Scalar(BaseType::Int)),
+            Expr::Bool(_, _) => Ok(Type::Scalar(BaseType::Logical)),
+            Expr::Ident(name, span) => self
+                .lookup(name)
+                .ok_or_else(|| LangError::sema(*span, format!("undeclared variable `{name}`"))),
+            Expr::Unary { op, operand, span } => {
+                let t = self.expr(operand)?;
+                match (op, t.base()) {
+                    (UnOp::Not, Some(BaseType::Logical)) => Ok(t),
+                    (UnOp::Neg, Some(BaseType::Int)) => Ok(t),
+                    _ => Err(LangError::sema(
+                        *span,
+                        format!("operator cannot apply to `{}`", t.describe()),
+                    )),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let lt = self.expr(lhs)?;
+                let rt = self.expr(rhs)?;
+                let (Some(lb), Some(rb)) = (lt.base(), rt.base()) else {
+                    return Err(LangError::sema(
+                        *span,
+                        "directions cannot be combined with operators",
+                    ));
+                };
+                let par = lt.is_parallel() || rt.is_parallel();
+                let need = if op.is_logical() {
+                    BaseType::Logical
+                } else {
+                    BaseType::Int
+                };
+                if lb != need || rb != need {
+                    return Err(LangError::sema(
+                        *span,
+                        format!(
+                            "operator needs {} operands, found `{}` and `{}`",
+                            Type::Scalar(need).describe(),
+                            lt.describe(),
+                            rt.describe()
+                        ),
+                    ));
+                }
+                let out_base = if op.is_arithmetic() {
+                    BaseType::Int
+                } else {
+                    BaseType::Logical
+                };
+                Ok(if par {
+                    Type::Par(out_base)
+                } else {
+                    Type::Scalar(out_base)
+                })
+            }
+            Expr::Call { name, args, span } => self.call(name, args, *span),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], span: Span) -> Result<Type, LangError> {
+        use BaseType::*;
+        let arg_types: Vec<Type> = args
+            .iter()
+            .map(|a| self.expr(a))
+            .collect::<Result<_, _>>()?;
+        let arity = |want: usize| -> Result<(), LangError> {
+            if args.len() == want {
+                Ok(())
+            } else {
+                Err(LangError::sema(
+                    span,
+                    format!("`{name}` takes {want} argument(s), found {}", args.len()),
+                ))
+            }
+        };
+        // Accept scalars where parallel values are expected (promotion).
+        let want_par = |t: Type, b: BaseType, i: usize| -> Result<(), LangError> {
+            if t.base() == Some(b) {
+                Ok(())
+            } else {
+                Err(LangError::sema(
+                    args[i].span(),
+                    format!(
+                        "`{name}` argument {} must be parallel {}, found `{}`",
+                        i + 1,
+                        Type::Scalar(b).describe(),
+                        t.describe()
+                    ),
+                ))
+            }
+        };
+        let want_dir = |t: Type, i: usize| -> Result<(), LangError> {
+            if t == Type::Dir {
+                Ok(())
+            } else {
+                Err(LangError::sema(
+                    args[i].span(),
+                    format!("`{name}` argument {} must be a direction", i + 1),
+                ))
+            }
+        };
+        match name {
+            "broadcast" => {
+                arity(3)?;
+                let b = arg_types[0].base().ok_or_else(|| {
+                    LangError::sema(args[0].span(), "cannot broadcast a direction")
+                })?;
+                want_dir(arg_types[1], 1)?;
+                want_par(arg_types[2], Logical, 2)?;
+                Ok(Type::Par(b))
+            }
+            "shift" => {
+                arity(2)?;
+                let b = arg_types[0].base().ok_or_else(|| {
+                    LangError::sema(args[0].span(), "cannot shift a direction")
+                })?;
+                want_dir(arg_types[1], 1)?;
+                Ok(Type::Par(b))
+            }
+            "min" | "max" => {
+                arity(3)?;
+                want_par(arg_types[0], Int, 0)?;
+                want_dir(arg_types[1], 1)?;
+                want_par(arg_types[2], Logical, 2)?;
+                Ok(Type::Par(Int))
+            }
+            "selected_min" | "selected_max" => {
+                arity(4)?;
+                want_par(arg_types[0], Int, 0)?;
+                want_dir(arg_types[1], 1)?;
+                want_par(arg_types[2], Logical, 2)?;
+                want_par(arg_types[3], Logical, 3)?;
+                Ok(Type::Par(Int))
+            }
+            "or" => {
+                arity(3)?;
+                want_par(arg_types[0], Logical, 0)?;
+                want_dir(arg_types[1], 1)?;
+                want_par(arg_types[2], Logical, 2)?;
+                Ok(Type::Par(Logical))
+            }
+            "bit" => {
+                arity(2)?;
+                want_par(arg_types[0], Int, 0)?;
+                if arg_types[1] != Type::Scalar(Int) {
+                    return Err(LangError::sema(
+                        args[1].span(),
+                        "`bit` position must be a scalar int",
+                    ));
+                }
+                Ok(Type::Par(Logical))
+            }
+            "any" => {
+                arity(1)?;
+                want_par(arg_types[0], Logical, 0)?;
+                Ok(Type::Scalar(Logical))
+            }
+            "opposite" => {
+                arity(1)?;
+                want_dir(arg_types[0], 0)?;
+                Ok(Type::Dir)
+            }
+            _ => Err(LangError::sema(span, format!("unknown builtin `{name}`"))),
+        }
+    }
+}
+
+/// Checks a parsed program; returns the first error found.
+pub fn check(program: &Program) -> Result<(), LangError> {
+    let mut checker = Checker::new();
+    for item in &program.items {
+        checker.item(item)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_tokens;
+
+    fn check_src(src: &str) -> Result<(), LangError> {
+        check(&parse_tokens(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check_src(
+            r#"
+            parallel int x;
+            int d;
+            x = ROW * 10 + COL;
+            where (ROW == d) x = 0;
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = check_src("x = 1;").unwrap_err();
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_parallel_to_scalar_assignment() {
+        let e = check_src("int s; s = ROW;").unwrap_err();
+        assert!(e.message.contains("cannot assign"), "{e}");
+    }
+
+    #[test]
+    fn allows_scalar_to_parallel_promotion() {
+        check_src("parallel int x; int k; k = 3; x = k;").unwrap();
+    }
+
+    #[test]
+    fn where_requires_parallel_condition() {
+        let e = check_src("logical g; g = true; where (g) ;").unwrap_err();
+        assert!(e.message.contains("parallel logical"), "{e}");
+    }
+
+    #[test]
+    fn if_requires_scalar_condition() {
+        let e = check_src("if (ROW == 0) ;").unwrap_err();
+        assert!(e.message.contains("scalar logical"), "{e}");
+    }
+
+    #[test]
+    fn builtin_signatures_enforced() {
+        let e = check_src("parallel int x; x = broadcast(x, ROW == 0, SOUTH);").unwrap_err();
+        assert!(e.message.contains("direction"), "{e}");
+        let e = check_src("parallel int x; x = min(x, WEST);").unwrap_err();
+        assert!(e.message.contains("3 argument"), "{e}");
+        let e = check_src("parallel int x; x = frobnicate(x);").unwrap_err();
+        assert!(e.message.contains("unknown builtin"), "{e}");
+    }
+
+    #[test]
+    fn builtins_are_read_only() {
+        let e = check_src("ROW = 3;").unwrap_err();
+        assert!(e.message.contains("read-only"), "{e}");
+        let e = check_src("parallel int ROW;").unwrap_err();
+        assert!(e.message.contains("redeclared"), "{e}");
+    }
+
+    #[test]
+    fn logical_ops_need_logicals() {
+        let e = check_src("parallel int x; x = x && x;").unwrap_err();
+        assert!(e.message.contains("logical operands"), "{e}");
+    }
+
+    #[test]
+    fn arithmetic_needs_ints() {
+        let e = check_src("parallel logical l; l = l + l;").unwrap_err();
+        assert!(e.message.contains("int operands"), "{e}");
+    }
+
+    #[test]
+    fn directions_are_not_values() {
+        let e = check_src("parallel int x; x = NORTH;").unwrap_err();
+        assert!(e.message.contains("cannot assign"), "{e}");
+        let e = check_src("int s; s = NORTH + 1;").unwrap_err();
+        assert!(e.message.contains("direction"), "{e}");
+    }
+
+    #[test]
+    fn block_scoping_hides_inner_declarations() {
+        let e = check_src("{ int inner; inner = 1; } inner = 2;").unwrap_err();
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn any_reduces_to_scalar() {
+        check_src(
+            r#"
+            logical go;
+            go = any(ROW == 0);
+            while (go) { go = false; }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn for_loop_over_scalar_int() {
+        check_src(
+            r#"
+            int j;
+            parallel logical e;
+            parallel int src;
+            for (j = H - 1; j >= 0; j = j - 1)
+                where (or(!bit(src, j) && e, WEST, COL == N - 1) && bit(src, j))
+                    e = false;
+            "#,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! Token definitions.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals & identifiers
+    /// Integer literal.
+    Int(i64),
+    /// Identifier (also carries keyword-like builtin names).
+    Ident(String),
+
+    // Keywords
+    /// `parallel` storage class.
+    Parallel,
+    /// `int` type.
+    KwInt,
+    /// `logical` type.
+    KwLogical,
+    /// `where`.
+    Where,
+    /// `elsewhere`.
+    Elsewhere,
+    /// `do`.
+    Do,
+    /// `while`.
+    While,
+    /// `for`.
+    For,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+
+    // Punctuation & operators
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `%`.
+    Percent,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Parallel => write!(f, "parallel"),
+            TokenKind::KwInt => write!(f, "int"),
+            TokenKind::KwLogical => write!(f, "logical"),
+            TokenKind::Where => write!(f, "where"),
+            TokenKind::Elsewhere => write!(f, "elsewhere"),
+            TokenKind::Do => write!(f, "do"),
+            TokenKind::While => write!(f, "while"),
+            TokenKind::For => write!(f, "for"),
+            TokenKind::If => write!(f, "if"),
+            TokenKind::Else => write!(f, "else"),
+            TokenKind::True => write!(f, "true"),
+            TokenKind::False => write!(f, "false"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::Eq => write!(f, "=="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind (and payload for literals/identifiers).
+    pub kind: TokenKind,
+    /// Position of the first character.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

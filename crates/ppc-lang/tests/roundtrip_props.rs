@@ -1,0 +1,179 @@
+//! Generative round-trip property tests: arbitrary ASTs survive
+//! `print -> lex -> parse` structurally intact.
+//!
+//! This drives the printer and parser against each other over the whole
+//! grammar (not just the hand-written corpus): any tree the printer can
+//! emit must re-parse to the same tree, which pins operator precedence,
+//! statement nesting (including the dangling-`elsewhere` rule), literal
+//! forms and call syntax all at once. Semantic checking is bypassed —
+//! these trees reference undeclared names freely; only syntax is under
+//! test.
+
+use ppc_lang::ast::*;
+use ppc_lang::error::Span;
+use ppc_lang::printer::{print_program, strip_spans};
+use ppc_lang::{lexer, parser};
+use proptest::prelude::*;
+
+fn z() -> Span {
+    Span::default()
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords and builtin constants.
+    "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
+        ![
+            "parallel", "int", "logical", "where", "elsewhere", "do", "while", "for", "if",
+            "else", "true", "false",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Rem),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| Expr::Int(v, z())),
+        any::<bool>().prop_map(|b| Expr::Bool(b, z())),
+        ident().prop_map(|n| Expr::Ident(n, z())),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+                span: z(),
+            }),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(
+                |(op, e)| Expr::Unary {
+                    op,
+                    operand: Box::new(e),
+                    span: z(),
+                }
+            ),
+            (ident(), proptest::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
+                Expr::Call {
+                    name,
+                    args,
+                    span: z(),
+                }
+            }),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Empty),
+        (ident(), expr()).prop_map(|(name, value)| Stmt::Assign {
+            name,
+            value,
+            span: z(),
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone().prop_map(Item::Stmt), 0..3)
+                .prop_map(Stmt::Block),
+            // NOTE: a `where` with an else-branch whose then-branch is
+            // itself a where would re-associate under the dangling-
+            // elsewhere rule, so then-branches are wrapped in blocks.
+            (expr(), inner.clone(), proptest::option::of(inner.clone())).prop_map(
+                |(cond, t, e)| Stmt::Where {
+                    cond,
+                    then_branch: Box::new(Stmt::Block(vec![Item::Stmt(t)])),
+                    else_branch: e.map(|s| Box::new(s)),
+                    span: z(),
+                }
+            ),
+            (expr(), inner.clone(), proptest::option::of(inner.clone())).prop_map(
+                |(cond, t, e)| Stmt::If {
+                    cond,
+                    then_branch: Box::new(Stmt::Block(vec![Item::Stmt(t)])),
+                    else_branch: e.map(|s| Box::new(s)),
+                    span: z(),
+                }
+            ),
+            (expr(), inner.clone()).prop_map(|(cond, body)| Stmt::While {
+                cond,
+                body: Box::new(body),
+                span: z(),
+            }),
+            (inner.clone(), expr()).prop_map(|(body, cond)| Stmt::DoWhile {
+                body: Box::new(body),
+                cond,
+                span: z(),
+            }),
+            (
+                proptest::option::of((ident(), expr())),
+                proptest::option::of(expr()),
+                proptest::option::of((ident(), expr())),
+                inner,
+            )
+                .prop_map(|(init, cond, step, body)| Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body: Box::new(body),
+                    span: z(),
+                }),
+        ]
+    })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    let decl = (any::<bool>(), any::<bool>(), ident(), proptest::option::of(expr())).prop_map(
+        |(parallel, is_int, name, init)| {
+            Item::Decl(Decl {
+                parallel,
+                ty: if is_int { BaseType::Int } else { BaseType::Logical },
+                name,
+                init,
+                span: z(),
+            })
+        },
+    );
+    proptest::collection::vec(
+        prop_oneof![decl, stmt().prop_map(Item::Stmt)],
+        0..6,
+    )
+    .prop_map(|items| Program { items })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_then_parse_is_identity(p in program()) {
+        let printed = print_program(&p);
+        let tokens = lexer::lex(&printed)
+            .unwrap_or_else(|e| panic!("lex failed: {e}\n--- printed ---\n{printed}"));
+        let reparsed = parser::parse_tokens(&tokens)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n--- printed ---\n{printed}"));
+        prop_assert_eq!(
+            strip_spans(&p),
+            strip_spans(&reparsed),
+            "round trip changed the AST\n--- printed ---\n{}",
+            printed
+        );
+        // And the printer is a fixpoint.
+        prop_assert_eq!(printed, print_program(&reparsed));
+    }
+}

@@ -1,0 +1,250 @@
+//! Additional collective operations on rows and columns.
+//!
+//! The paper's algorithm needs only `broadcast`, the wired OR and the
+//! bit-serial extrema — but a usable PPA library wants the rest of the
+//! collective toolbox. Everything here is built from the costed machine
+//! primitives, and the *honest* cost of each routine is part of its
+//! contract:
+//!
+//! * [`Ppa::leader`] — first selected node per cluster: `O(h)` (a
+//!   `selected_min` over the hardwired index register);
+//! * [`Ppa::prefix_min`] / [`Ppa::prefix_sum`] — running minimum/sum
+//!   along the movement direction: `O(n)` steps. The row/column-only PPA
+//!   has no shortcut here — unlike the fully reconfigurable meshes of
+//!   the paper's reference \[1\], its buses cannot split per bit plane to
+//!   do logarithmic prefix; this is exactly the "less powerful but
+//!   hardware-implementable" trade-off Section 4 concedes;
+//! * [`Ppa::sum_line`] — line-wide sum (`O(n)`: prefix + one broadcast);
+//! * [`Ppa::count_line`] — per-line population count of a flag plane
+//!   (`O(n)`).
+
+use crate::ppa::{Parallel, Ppa};
+use crate::Result;
+use ppa_machine::{Axis, Direction};
+
+impl Ppa {
+    /// Per-cluster leader election: every node receives the index (along
+    /// the movement axis) of the *first* selected node of its cluster in
+    /// ascending index order.
+    ///
+    /// Cost: `O(h)` — one `selected_min` over the `ROW`/`COL` register.
+    ///
+    /// # Errors
+    /// [`crate::PpcError::EmptySelection`] if a cluster selects no node.
+    pub fn leader(
+        &mut self,
+        sel: &Parallel<bool>,
+        dir: Direction,
+        l: &Parallel<bool>,
+    ) -> Result<Parallel<i64>> {
+        let idx = match dir.axis() {
+            Axis::Row => self.col_index(),
+            Axis::Col => self.row_index(),
+        };
+        self.selected_min(&idx, dir, l, sel)
+    }
+
+    /// Running minimum along `dir`: each PE receives the minimum of `src`
+    /// over itself and every PE upstream of it on its line (no wrap;
+    /// upstream fill is `MAXINT`).
+    ///
+    /// Cost: `2(n - 1)` steps (`n - 1` shifts, `n - 1` ALU) — `O(n)`.
+    pub fn prefix_min(&mut self, src: &Parallel<i64>, dir: Direction) -> Result<Parallel<i64>> {
+        let fill = self.maxint();
+        let len = self.dim().line_len(dir.axis());
+        let mut acc = src.clone();
+        let mut carrier = src.clone();
+        for _ in 1..len {
+            carrier = self.shift(&carrier, dir, fill)?;
+            acc = self.min2(&acc, &carrier)?;
+        }
+        Ok(acc)
+    }
+
+    /// Running maximum along `dir` (no wrap). Unlike [`Ppa::prefix_min`],
+    /// the upstream identity is caller-supplied: the natural identity for
+    /// `max` over raw values is `0`, but callers scanning *marker* planes
+    /// (e.g. "`col` where a feature sits, else sentinel") need their
+    /// sentinel injected at the boundary instead. `O(n)`.
+    pub fn prefix_max(
+        &mut self,
+        src: &Parallel<i64>,
+        dir: Direction,
+        fill: i64,
+    ) -> Result<Parallel<i64>> {
+        let len = self.dim().line_len(dir.axis());
+        let mut acc = src.clone();
+        let mut carrier = src.clone();
+        for _ in 1..len {
+            carrier = self.shift(&carrier, dir, fill)?;
+            acc = self.max2(&acc, &carrier)?;
+        }
+        Ok(acc)
+    }
+
+    /// Running (inclusive) sum along `dir` (no wrap; upstream fill is 0).
+    /// Sums saturate at `MAXINT` like all parallel integer addition.
+    ///
+    /// Cost: `2(n - 1)` steps — `O(n)`.
+    pub fn prefix_sum(&mut self, src: &Parallel<i64>, dir: Direction) -> Result<Parallel<i64>> {
+        let len = self.dim().line_len(dir.axis());
+        let mut acc = src.clone();
+        let mut carrier = src.clone();
+        for _ in 1..len {
+            carrier = self.shift(&carrier, dir, 0)?;
+            acc = self.sat_add(&acc, &carrier)?;
+        }
+        Ok(acc)
+    }
+
+    /// Line-wide sum: every PE receives the (saturating) sum of `src`
+    /// over its whole row (East/West) or column (North/South).
+    ///
+    /// Cost: `O(n)` (a prefix sum, then one bus broadcast from the last
+    /// node in movement order).
+    pub fn sum_line(&mut self, src: &Parallel<i64>, dir: Direction) -> Result<Parallel<i64>> {
+        let prefix = self.prefix_sum(src, dir)?;
+        // The last node in movement order holds the full sum.
+        let len = self.dim().line_len(dir.axis()) as i64;
+        let idx = match dir.axis() {
+            Axis::Row => self.col_index(),
+            Axis::Col => self.row_index(),
+        };
+        let target = if dir.is_increasing() { len - 1 } else { 0 };
+        let t = self.constant(target);
+        let last = self.eq(&idx, &t)?;
+        self.broadcast(&prefix, dir, &last)
+    }
+
+    /// Per-line population count: every PE receives how many `true`
+    /// elements its line holds. `O(n)`.
+    pub fn count_line(&mut self, flags: &Parallel<bool>, dir: Direction) -> Result<Parallel<i64>> {
+        let ints = self.to_int(flags)?;
+        self.sum_line(&ints, dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_finds_first_selected_per_cluster() {
+        let mut ppa = Ppa::square(4).with_word_bits(8);
+        // Whole-row clusters (heads at col 3, movement West).
+        let col = ppa.col_index();
+        let nm1 = ppa.constant(3i64);
+        let l = ppa.eq(&col, &nm1).unwrap();
+        let sel = Parallel::from_fn(ppa.dim(), |c| c.col >= c.row.min(2));
+        let lead = ppa.leader(&sel, Direction::West, &l).unwrap();
+        // Row r's first selected column is min(r, 2).
+        for r in 0..4 {
+            let expect = r.min(2) as i64;
+            assert!(lead.row(r).iter().all(|&v| v == expect), "row {r}");
+        }
+    }
+
+    #[test]
+    fn prefix_min_matches_scan() {
+        let mut ppa = Ppa::square(5).with_word_bits(8);
+        let v = Parallel::from_fn(ppa.dim(), |c| ((c.row * 7 + 11 * c.col) % 40) as i64);
+        let p = ppa.prefix_min(&v, Direction::East).unwrap();
+        for r in 0..5 {
+            let mut running = i64::MAX;
+            for c in 0..5 {
+                running = running.min(*v.at(r, c));
+                assert_eq!(*p.at(r, c), running, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_min_against_direction_scans_backwards() {
+        let mut ppa = Ppa::square(4).with_word_bits(8);
+        let v = Parallel::from_fn(ppa.dim(), |c| c.col as i64);
+        let p = ppa.prefix_min(&v, Direction::West).unwrap();
+        // Moving West: node c sees columns >= c.
+        for c in 0..4 {
+            assert_eq!(*p.at(0, c), c as i64);
+        }
+    }
+
+    #[test]
+    fn prefix_max_with_sentinel_fill() {
+        let mut ppa = Ppa::square(4).with_word_bits(8);
+        // Marker plane: col where row == col, else -1.
+        let v = Parallel::from_fn(ppa.dim(), |c| if c.row == c.col { c.col as i64 } else { -1 });
+        let p = ppa.prefix_max(&v, Direction::East, -1).unwrap();
+        // Row r: positions before col r stay -1, from col r on it's r.
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = if c >= r { r as i64 } else { -1 };
+                assert_eq!(*p.at(r, c), expect, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_scan() {
+        let mut ppa = Ppa::square(4).with_word_bits(10);
+        let v = Parallel::from_fn(ppa.dim(), |c| (c.col + 1) as i64);
+        let p = ppa.prefix_sum(&v, Direction::East).unwrap();
+        assert_eq!(p.row(2), &[1, 3, 6, 10]);
+        // Column version.
+        let v = Parallel::from_fn(ppa.dim(), |c| (c.row + 1) as i64);
+        let p = ppa.prefix_sum(&v, Direction::South).unwrap();
+        assert_eq!(p.col(1), vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn prefix_sum_saturates() {
+        let mut ppa = Ppa::square(3).with_word_bits(4); // MAXINT = 15
+        let v = Parallel::filled(ppa.dim(), 9i64);
+        let p = ppa.prefix_sum(&v, Direction::East).unwrap();
+        assert_eq!(p.row(0), &[9, 15, 15]);
+    }
+
+    #[test]
+    fn sum_line_broadcasts_the_total() {
+        let mut ppa = Ppa::square(4).with_word_bits(10);
+        let v = Parallel::from_fn(ppa.dim(), |c| (c.row + c.col) as i64);
+        let s = ppa.sum_line(&v, Direction::East).unwrap();
+        for r in 0..4 {
+            let expect: i64 = (0..4).map(|c| (r + c) as i64).sum();
+            assert!(s.row(r).iter().all(|&x| x == expect), "row {r}");
+        }
+        // Decreasing direction too.
+        let s = ppa.sum_line(&v, Direction::North).unwrap();
+        for c in 0..4 {
+            let expect: i64 = (0..4).map(|r| (r + c) as i64).sum();
+            assert!(s.col(c).into_iter().all(|x| x == expect), "col {c}");
+        }
+    }
+
+    #[test]
+    fn count_line_counts_flags() {
+        let mut ppa = Ppa::square(4).with_word_bits(8);
+        let flags = Parallel::from_fn(ppa.dim(), |c| c.col <= c.row);
+        let counts = ppa.count_line(&flags, Direction::East).unwrap();
+        for r in 0..4 {
+            assert!(counts.row(r).iter().all(|&v| v == r as i64 + 1), "row {r}");
+        }
+    }
+
+    #[test]
+    fn prefix_cost_is_linear_in_line_length() {
+        let mut small = Ppa::square(4).with_word_bits(8);
+        let v4 = Parallel::filled(small.dim(), 1i64);
+        small.reset_steps();
+        let _ = small.prefix_sum(&v4, Direction::East).unwrap();
+        let s4 = small.steps().total();
+
+        let mut big = Ppa::square(8).with_word_bits(8);
+        let v8 = Parallel::filled(big.dim(), 1i64);
+        big.reset_steps();
+        let _ = big.prefix_sum(&v8, Direction::East).unwrap();
+        let s8 = big.steps().total();
+        assert_eq!(s4, 6); // 2 * (4 - 1)
+        assert_eq!(s8, 14); // 2 * (8 - 1)
+    }
+}

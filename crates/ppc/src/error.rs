@@ -1,0 +1,90 @@
+//! PPC runtime errors.
+
+use ppa_machine::MachineError;
+use std::fmt;
+
+/// Errors raised by PPC runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PpcError {
+    /// An underlying machine primitive failed (bus fault, shape mismatch).
+    Machine(MachineError),
+    /// A `selected_min` was issued with a bus cluster containing no selected
+    /// node: the result on that cluster would be an arbitrary value leaked
+    /// from a neighbouring cluster, so the simulator rejects the call. The
+    /// paper's usage (statement 12 of `minimum_cost_path`) always selects at
+    /// least the argmin node of each cluster.
+    EmptySelection,
+    /// A value does not fit the machine's `h`-bit unsigned word: the
+    /// bit-serial `min`/`max` routines scan exactly `h` bit planes and
+    /// require `0 <= v < 2^h`. Carries the offending value.
+    ValueOutOfRange(i64),
+    /// An operation that requires a square array (e.g. the `ROW == COL`
+    /// diagonal masks) was issued on a rectangular machine.
+    NotSquare {
+        /// Rows of the offending machine.
+        rows: usize,
+        /// Columns of the offending machine.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for PpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpcError::Machine(e) => write!(f, "machine error: {e}"),
+            PpcError::EmptySelection => {
+                write!(f, "selected_min: a bus cluster has no selected node")
+            }
+            PpcError::ValueOutOfRange(v) => {
+                write!(f, "value {v} does not fit the machine's h-bit word")
+            }
+            PpcError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square array, machine is {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PpcError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for PpcError {
+    fn from(e: MachineError) -> Self {
+        PpcError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_machine::{Axis, Dim};
+
+    #[test]
+    fn machine_errors_convert() {
+        let e: PpcError = MachineError::DimMismatch {
+            expected: Dim::new(2, 2),
+            found: Dim::new(3, 3),
+        }
+        .into();
+        assert!(matches!(e, PpcError::Machine(_)));
+        assert!(e.to_string().contains("machine error"));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(PpcError::EmptySelection.to_string().contains("no selected node"));
+        assert!(PpcError::ValueOutOfRange(300).to_string().contains("300"));
+        assert!(PpcError::NotSquare { rows: 2, cols: 5 }.to_string().contains("2x5"));
+        let bus = PpcError::Machine(MachineError::BusFault {
+            axis: Axis::Row,
+            lines: vec![1],
+        });
+        assert!(bus.to_string().contains("bus fault"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # ppa-ppc — the Polymorphic Parallel C runtime
+//!
+//! The paper programs the PPA in *Polymorphic Parallel C* (PPC), a C
+//! dialect with three extensions (Section 2):
+//!
+//! 1. a **`parallel` memorization class** — variables allocated in every
+//!    PE's local memory instead of the controller's memory. Here a parallel
+//!    variable is a [`Parallel<T>`] (one value per PE); scalar variables are
+//!    ordinary Rust values living "in the controller".
+//! 2. a **`where`/`elsewhere` control structure** — partitions the PEs into
+//!    the set satisfying a parallel condition and its complement; each set
+//!    executes its own instruction group. [`Ppa::where_`] /
+//!    [`Ppa::where_else`] reproduce this as masked-write scopes (SIMD
+//!    semantics: every PE sees every instruction, the mask gates register
+//!    writes), including correct nesting.
+//! 3. **communication primitives** — `shift(src, dir)` and
+//!    `broadcast(src, dir, L)` ([`Ppa::shift`], [`Ppa::broadcast`]), plus
+//!    the bus *combination* routines built from them: the bit-serial
+//!    [`Ppa::min`] and [`Ppa::selected_min`] of Section 3 (cost `O(h)`
+//!    controller steps for `h`-bit integers), [`Ppa::max`], and the wired
+//!    OR [`Ppa::bus_or`].
+//!
+//! The runtime wraps a [`ppa_machine::Machine`]; every PPC operation issues
+//! the corresponding costed machine instructions, so the controller's
+//! [`StepReport`](ppa_machine::StepReport) measures exactly the time steps
+//! the paper's complexity analysis counts.
+//!
+//! ## Example: row-wise minimum in `O(h)` steps
+//!
+//! ```
+//! use ppa_ppc::prelude::*;
+//!
+//! let mut ppa = Ppa::square(4).with_word_bits(8);
+//! let v = Parallel::from_fn(ppa.dim(), |c| ((c.row * 4 + c.col) % 7) as i64);
+//! // One cluster per row, headed at the last column, data moving West —
+//! // exactly the configuration of statement 11 of the MCP algorithm.
+//! let col = ppa.col_index();
+//! let nm1 = ppa.constant(3);
+//! let heads = ppa.eq(&col, &nm1).unwrap();
+//! let m = ppa.min(&v, Direction::West, &heads).unwrap();
+//! for r in 0..4 {
+//!     let expect = (0..4).map(|c| ((r * 4 + c) % 7) as i64).min().unwrap();
+//!     assert!(m.row(r).iter().all(|&x| x == expect));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod combine;
+pub mod error;
+pub mod ops;
+pub mod ppa;
+pub mod prelude;
+
+pub use error::PpcError;
+pub use ppa::{Parallel, Ppa};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PpcError>;

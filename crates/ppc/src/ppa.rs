@@ -1,0 +1,388 @@
+//! The PPC virtual machine: parallel variables, activity masks and the
+//! `where`/`elsewhere` control structure.
+
+use crate::error::PpcError;
+use crate::Result;
+use ppa_machine::{Dim, Direction, ExecMode, Machine, Plane, StepReport};
+
+/// A PPC `parallel` variable: one value per PE.
+///
+/// This is exactly a machine register [`Plane`]; the alias documents the
+/// PPC memorization class (`parallel int X;` becomes
+/// `let mut x: Parallel<i64> = ...`). Scalar PPC variables are ordinary
+/// Rust values held "in the controller".
+pub type Parallel<T> = Plane<T>;
+
+/// The PPC runtime: a PPA machine plus the SIMD activity-mask stack that
+/// implements `where`/`elsewhere`.
+///
+/// All computation methods (in [`ops`](crate::ops)) execute on **all** PEs —
+/// SIMD hardware cannot skip an instruction per PE — while the *assignment*
+/// methods ([`Ppa::assign`], [`Ppa::assign_imm`]) write only to the PEs
+/// active under the current mask, matching the semantics of the paper's
+/// `where (expression) <group1>; elsewhere <group2>;` construct.
+#[derive(Debug, Clone)]
+pub struct Ppa {
+    machine: Machine,
+    /// Stack of effective (pre-ANDed) activity masks; empty = all active.
+    masks: Vec<Plane<bool>>,
+    word_bits: u32,
+}
+
+/// Default integer width `h`: wide enough for every workload in the
+/// experiment suite while keeping the bit-serial routines honest.
+pub const DEFAULT_WORD_BITS: u32 = 16;
+
+impl Ppa {
+    /// Creates a square `n x n` PPC runtime with the default word width.
+    pub fn square(n: usize) -> Self {
+        Ppa::from_machine(Machine::square(n))
+    }
+
+    /// Creates a runtime on an explicit machine.
+    pub fn from_machine(machine: Machine) -> Self {
+        Ppa {
+            machine,
+            masks: Vec::new(),
+            word_bits: DEFAULT_WORD_BITS,
+        }
+    }
+
+    /// Creates a square runtime with a host execution mode.
+    pub fn square_with_mode(n: usize, mode: ExecMode) -> Self {
+        Ppa::from_machine(Machine::with_mode(Dim::square(n), mode))
+    }
+
+    /// Sets the machine integer width `h` (bits scanned by `min`).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= h <= 62` (values must stay representable as
+    /// non-negative `i64`).
+    pub fn with_word_bits(mut self, h: u32) -> Self {
+        assert!((1..=62).contains(&h), "word width must be in 1..=62");
+        self.word_bits = h;
+        self
+    }
+
+    /// The machine integer width `h`.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// The largest representable value, `2^h - 1`. The paper uses this as
+    /// `MAXINT`, the "infinite" weight marking absent edges; the saturating
+    /// adder ([`Ppa::sat_add`](crate::ops)) keeps it absorbing.
+    pub fn maxint(&self) -> i64 {
+        (1i64 << self.word_bits) - 1
+    }
+
+    /// Array dimensions.
+    pub fn dim(&self) -> Dim {
+        self.machine.dim()
+    }
+
+    /// Side length, for square machines.
+    ///
+    /// # Errors
+    /// [`PpcError::NotSquare`] on rectangular machines.
+    pub fn n(&self) -> Result<usize> {
+        let d = self.dim();
+        if d.is_square() {
+            Ok(d.rows)
+        } else {
+            Err(PpcError::NotSquare {
+                rows: d.rows,
+                cols: d.cols,
+            })
+        }
+    }
+
+    /// Borrow the underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutably borrow the underlying machine (advanced use: tracing,
+    /// issuing raw instructions).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Snapshot of the controller's step tallies.
+    pub fn steps(&self) -> StepReport {
+        self.machine.controller().report()
+    }
+
+    /// Zeroes the step counters.
+    pub fn reset_steps(&mut self) {
+        self.machine.reset_steps();
+    }
+
+    /// Enables instruction tracing on the controller.
+    pub fn enable_trace(&mut self) {
+        self.machine.controller_mut().enable_trace();
+    }
+
+    /// Stops tracing and returns the collected trace.
+    pub fn take_trace(&mut self) -> Vec<ppa_machine::controller::TraceEntry> {
+        self.machine.controller_mut().take_trace()
+    }
+
+    /// Labels subsequent instructions with `phase` (trace-only, free).
+    pub fn set_phase(&mut self, phase: Option<&'static str>) {
+        self.machine.controller_mut().set_phase(phase);
+    }
+
+    // ----- activity masks ---------------------------------------------------
+
+    /// The effective activity mask (`None` when all PEs are active).
+    pub fn current_mask(&self) -> Option<&Plane<bool>> {
+        self.masks.last()
+    }
+
+    /// Executes `body` with the PEs satisfying `cond` active — the PPC
+    /// `where (cond) { body }` construct. Nested `where`s intersect.
+    /// Entering the scope costs one controller step (the activity-bit
+    /// write); leaving is free (the previous mask is restored from the
+    /// controller's stack).
+    pub fn where_<R>(&mut self, cond: &Parallel<bool>, body: impl FnOnce(&mut Ppa) -> R) -> Result<R> {
+        self.push_mask(cond)?;
+        let r = body(self);
+        self.masks.pop();
+        Ok(r)
+    }
+
+    /// The full `where (cond) { then } elsewhere { other }` construct:
+    /// `then` runs with the satisfying PEs active, `other` with the
+    /// complementary set (still intersected with any enclosing mask).
+    pub fn where_else<R, S>(
+        &mut self,
+        cond: &Parallel<bool>,
+        then_body: impl FnOnce(&mut Ppa) -> R,
+        else_body: impl FnOnce(&mut Ppa) -> S,
+    ) -> Result<(R, S)> {
+        self.push_mask(cond)?;
+        let r = then_body(self);
+        self.masks.pop();
+        let ncond = self.machine.map(cond, |&b| !b)?;
+        self.push_mask(&ncond)?;
+        let s = else_body(self);
+        self.masks.pop();
+        Ok((r, s))
+    }
+
+    fn push_mask(&mut self, cond: &Parallel<bool>) -> Result<()> {
+        let effective = match self.masks.last() {
+            None => {
+                self.machine.controller_mut().record(ppa_machine::Op::Alu);
+                cond.clone()
+            }
+            Some(parent) => self.machine.zip(parent, cond, |&a, &b| a && b)?,
+        };
+        self.masks.push(effective);
+        Ok(())
+    }
+
+    // ----- masked assignment -----------------------------------------------
+
+    /// Masked assignment `dst = src` under the current activity mask:
+    /// one controller step. Inactive PEs keep their previous value.
+    pub fn assign<T: Copy + Send + Sync>(
+        &mut self,
+        dst: &mut Parallel<T>,
+        src: &Parallel<T>,
+    ) -> Result<()> {
+        match self.masks.last() {
+            None => {
+                // All active: plain register copy.
+                let all = Plane::filled(self.dim(), true);
+                self.machine.assign_masked(dst, src, &all)?;
+            }
+            Some(mask) => {
+                let mask = mask.clone();
+                self.machine.assign_masked(dst, src, &mask)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Masked assignment of an immediate (`dst = k`): one controller step
+    /// for the immediate load plus one for the masked write.
+    pub fn assign_imm<T: Copy + Send + Sync>(&mut self, dst: &mut Parallel<T>, value: T) -> Result<()> {
+        let imm = self.machine.imm(value);
+        self.assign(dst, &imm)
+    }
+
+    // ----- hardwired registers & immediates ---------------------------------
+
+    /// The `ROW` register as a parallel value (one step).
+    pub fn row_index(&mut self) -> Parallel<i64> {
+        self.machine.row_index()
+    }
+
+    /// The `COL` register as a parallel value (one step).
+    pub fn col_index(&mut self) -> Parallel<i64> {
+        self.machine.col_index()
+    }
+
+    /// Broadcast of a controller scalar into every PE (one step).
+    pub fn constant<T: Clone + Send + Sync>(&mut self, value: T) -> Parallel<T> {
+        self.machine.imm(value)
+    }
+
+    // ----- communication ----------------------------------------------------
+
+    /// The PPC `shift(src, dir)` primitive (one step). Upstream-edge PEs
+    /// receive `fill` (PPC leaves them implementation-defined; the
+    /// algorithms in this suite never read them).
+    pub fn shift<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Parallel<T>,
+        dir: Direction,
+        fill: T,
+    ) -> Result<Parallel<T>> {
+        Ok(self.machine.shift(src, dir, fill)?)
+    }
+
+    /// The PPC `broadcast(src, dir, L)` primitive (one step): `L` is the
+    /// parallel logical variable whose `true` elements configure their
+    /// switch boxes Open; every PE receives the value injected by the Open
+    /// head of its bus cluster.
+    pub fn broadcast<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Parallel<T>,
+        dir: Direction,
+        open: &Parallel<bool>,
+    ) -> Result<Parallel<T>> {
+        Ok(self.machine.broadcast(src, dir, open)?)
+    }
+
+    /// Cluster-wide wired-OR (one step): the `or(x, dir, L)` routine used
+    /// inside the paper's `min` (statement 9 of the routine).
+    pub fn bus_or(
+        &mut self,
+        values: &Parallel<bool>,
+        dir: Direction,
+        open: &Parallel<bool>,
+    ) -> Result<Parallel<bool>> {
+        Ok(self.machine.bus_or(values, dir, open)?)
+    }
+
+    /// Controller-side global OR (one step): `true` iff any PE raises
+    /// `flags`. Used for data-dependent loop exits (MCP statement 20:
+    /// "while at least one SOW in row d has changed").
+    pub fn any(&mut self, flags: &Parallel<bool>) -> Result<bool> {
+        Ok(self.machine.global_or(flags)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn where_masks_assignment() {
+        let mut ppa = Ppa::square(3);
+        let mut x = Parallel::filled(ppa.dim(), 0i64);
+        let row = ppa.row_index();
+        let one = ppa.constant(1i64);
+        let cond = ppa.machine_mut().zip(&row, &one, |a, b| a == b).unwrap();
+        ppa.where_(&cond, |p| {
+            let nine = p.constant(9i64);
+            p.assign(&mut x, &nine).unwrap();
+        })
+        .unwrap();
+        assert_eq!(x.row(0), &[0, 0, 0]);
+        assert_eq!(x.row(1), &[9, 9, 9]);
+        assert_eq!(x.row(2), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn where_else_partitions() {
+        let mut ppa = Ppa::square(2);
+        let mut x = Parallel::filled(ppa.dim(), 0i64);
+        let cond = Parallel::from_fn(ppa.dim(), |c| c.col == 0);
+        // The two branches run sequentially; Rust's borrow rules want
+        // disjoint captures, so branches that assign the *same* variable
+        // stage into fresh planes and the caller merges afterwards (the
+        // MCP implementation instead uses two successive `where_` scopes).
+        let (a, b) = ppa
+            .where_else(
+                &cond,
+                |p| {
+                    let mut y = Parallel::filled(p.dim(), 0i64);
+                    p.assign_imm(&mut y, 1).unwrap();
+                    y
+                },
+                |p| {
+                    let mut y = Parallel::filled(p.dim(), 0i64);
+                    p.assign_imm(&mut y, 2).unwrap();
+                    y
+                },
+            )
+            .unwrap();
+        let merged = ppa.add(&a, &b).unwrap();
+        ppa.assign(&mut x, &merged).unwrap();
+        assert_eq!(x.row(0), &[1, 2]);
+        assert_eq!(x.row(1), &[1, 2]);
+    }
+
+    #[test]
+    fn nested_where_intersects() {
+        let mut ppa = Ppa::square(3);
+        let mut x = Parallel::filled(ppa.dim(), 0i64);
+        let rows = Parallel::from_fn(ppa.dim(), |c| c.row >= 1);
+        let cols = Parallel::from_fn(ppa.dim(), |c| c.col >= 1);
+        ppa.where_(&rows, |p| {
+            p.where_(&cols, |q| q.assign_imm(&mut x, 5).unwrap()).unwrap();
+        })
+        .unwrap();
+        let lit: usize = x.iter().filter(|&&v| v == 5).count();
+        assert_eq!(lit, 4); // the 2x2 bottom-right block
+        assert_eq!(*x.at(0, 0), 0);
+        assert_eq!(*x.at(1, 0), 0);
+        assert_eq!(*x.at(1, 1), 5);
+    }
+
+    #[test]
+    fn mask_restored_after_scope() {
+        let mut ppa = Ppa::square(2);
+        let cond = Parallel::filled(ppa.dim(), false);
+        ppa.where_(&cond, |_| {}).unwrap();
+        assert!(ppa.current_mask().is_none());
+        let mut x = Parallel::filled(ppa.dim(), 0i64);
+        ppa.assign_imm(&mut x, 7).unwrap();
+        assert!(x.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn maxint_tracks_word_bits() {
+        let ppa = Ppa::square(2).with_word_bits(8);
+        assert_eq!(ppa.maxint(), 255);
+        let ppa = Ppa::square(2).with_word_bits(16);
+        assert_eq!(ppa.maxint(), 65_535);
+    }
+
+    #[test]
+    #[should_panic(expected = "word width")]
+    fn word_bits_bounds_enforced() {
+        let _ = Ppa::square(2).with_word_bits(63);
+    }
+
+    #[test]
+    fn n_requires_square() {
+        let ppa = Ppa::from_machine(Machine::new(2, 3));
+        assert!(matches!(ppa.n(), Err(PpcError::NotSquare { .. })));
+        assert_eq!(Ppa::square(5).n().unwrap(), 5);
+    }
+
+    #[test]
+    fn steps_accumulate_across_operations() {
+        let mut ppa = Ppa::square(2);
+        let before = ppa.steps().total();
+        let x = ppa.constant(1i64);
+        let open = ppa.constant(true);
+        ppa.broadcast(&x, Direction::East, &open).unwrap();
+        assert_eq!(ppa.steps().total(), before + 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests of the PPC runtime: combination-primitive laws,
+//! saturating arithmetic, activity-mask algebra and the collective ops.
+
+use ppa_machine::Direction;
+use ppa_ppc::{Parallel, Ppa};
+use proptest::prelude::*;
+
+fn direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::North),
+        Just(Direction::East),
+        Just(Direction::South),
+        Just(Direction::West),
+    ]
+}
+
+/// Values plus a legal cluster-head mask (one head forced per line).
+fn values_and_heads(
+    n: usize,
+    h: u32,
+) -> impl Strategy<Value = (Vec<i64>, Vec<bool>, Direction)> {
+    let max = (1i64 << h) - 1;
+    (
+        proptest::collection::vec(0..=max, n * n),
+        proptest::collection::vec(any::<bool>(), n * n),
+        direction(),
+    )
+}
+
+fn force_heads(n: usize, dir: Direction, mask: &mut [bool]) {
+    let dim = ppa_machine::Dim::square(n);
+    for line in 0..dim.lines(dir.axis()) {
+        let mut any = false;
+        for pos in 0..dim.line_len(dir.axis()) {
+            if mask[dim.line_index(dir, line, pos)] {
+                any = true;
+            }
+        }
+        if !any {
+            mask[dim.line_index(dir, line, 0)] = true;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn min_of_min_is_idempotent((vals, mut mask, dir) in values_and_heads(5, 8)) {
+        let n = 5;
+        force_heads(n, dir, &mut mask);
+        let mut ppa = Ppa::square(n).with_word_bits(8);
+        let src = Parallel::from_vec(ppa.dim(), vals);
+        let l = Parallel::from_vec(ppa.dim(), mask);
+        let once = ppa.min(&src, dir, &l).unwrap();
+        let twice = ppa.min(&once, dir, &l).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn min_le_all_and_attained((vals, mut mask, dir) in values_and_heads(5, 8)) {
+        let n = 5;
+        force_heads(n, dir, &mut mask);
+        let mut ppa = Ppa::square(n).with_word_bits(8);
+        let src = Parallel::from_vec(ppa.dim(), vals);
+        let l = Parallel::from_vec(ppa.dim(), mask);
+        let m = ppa.min(&src, dir, &l).unwrap();
+        let heads = ppa_machine::bus::cluster_heads(ppa.dim(), dir, &l).unwrap();
+        // m[i] <= src[i] everywhere and m is attained within the cluster.
+        for i in 0..ppa.dim().len() {
+            prop_assert!(m.as_slice()[i] <= src.as_slice()[i]);
+        }
+        for i in 0..ppa.dim().len() {
+            let attained = (0..ppa.dim().len())
+                .any(|j| heads[j] == heads[i] && src.as_slice()[j] == m.as_slice()[i]);
+            prop_assert!(attained, "min not attained at {}", i);
+        }
+    }
+
+    #[test]
+    fn selected_min_bounded_by_unselected((vals, mut mask, dir) in values_and_heads(4, 6)) {
+        let n = 4;
+        force_heads(n, dir, &mut mask);
+        let mut ppa = Ppa::square(n).with_word_bits(6);
+        let src = Parallel::from_vec(ppa.dim(), vals);
+        let l = Parallel::from_vec(ppa.dim(), mask);
+        let all = ppa.constant(true);
+        let sel_min = ppa.selected_min(&src, dir, &l, &all).unwrap();
+        let plain = ppa.min(&src, dir, &l).unwrap();
+        prop_assert_eq!(sel_min, plain, "all-selected selected_min == min");
+    }
+
+    #[test]
+    fn max_min_sandwich((vals, mut mask, dir) in values_and_heads(5, 8)) {
+        let n = 5;
+        force_heads(n, dir, &mut mask);
+        let mut ppa = Ppa::square(n).with_word_bits(8);
+        let src = Parallel::from_vec(ppa.dim(), vals);
+        let l = Parallel::from_vec(ppa.dim(), mask);
+        let lo = ppa.min(&src, dir, &l).unwrap();
+        let hi = ppa.max(&src, dir, &l).unwrap();
+        for i in 0..ppa.dim().len() {
+            prop_assert!(lo.as_slice()[i] <= src.as_slice()[i]);
+            prop_assert!(src.as_slice()[i] <= hi.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn sat_add_is_commutative_and_absorbing(a in 0i64..=255, b in 0i64..=255) {
+        let mut ppa = Ppa::square(2).with_word_bits(8);
+        let pa = ppa.constant(a);
+        let pb = ppa.constant(b);
+        let ab = ppa.sat_add(&pa, &pb).unwrap();
+        let ba = ppa.sat_add(&pb, &pa).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        let inf = ppa.constant(ppa.maxint());
+        let with_inf = ppa.sat_add(&pa, &inf).unwrap();
+        prop_assert!(with_inf.iter().all(|&v| v == ppa.maxint()));
+    }
+
+    #[test]
+    fn masked_assignment_touches_exactly_the_mask(
+        (vals, mask, _) in values_and_heads(4, 8),
+    ) {
+        let mut ppa = Ppa::square(4).with_word_bits(8);
+        let mut dst = Parallel::filled(ppa.dim(), -1i64);
+        let src = Parallel::from_vec(ppa.dim(), vals);
+        let cond = Parallel::from_vec(ppa.dim(), mask);
+        ppa.where_(&cond, |p| p.assign(&mut dst, &src)).unwrap().unwrap();
+        for i in 0..ppa.dim().len() {
+            if cond.as_slice()[i] {
+                prop_assert_eq!(dst.as_slice()[i], src.as_slice()[i]);
+            } else {
+                prop_assert_eq!(dst.as_slice()[i], -1);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_min_is_monotone_along_direction((vals, _, dir) in values_and_heads(5, 8)) {
+        let n = 5;
+        let mut ppa = Ppa::square(n).with_word_bits(8);
+        let src = Parallel::from_vec(ppa.dim(), vals);
+        let p = ppa.prefix_min(&src, dir).unwrap();
+        let dim = ppa.dim();
+        for line in 0..dim.lines(dir.axis()) {
+            let mut prev: Option<i64> = None;
+            for pos in 0..dim.line_len(dir.axis()) {
+                let v = p.as_slice()[dim.line_index(dir, line, pos)];
+                if let Some(pv) = prev {
+                    prop_assert!(v <= pv, "prefix min must be non-increasing");
+                }
+                prev = Some(v);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_line_is_direction_invariant_on_the_axis((vals, _, _) in values_and_heads(4, 12)) {
+        let mut ppa = Ppa::square(4).with_word_bits(12);
+        let src = Parallel::from_vec(ppa.dim(), vals.iter().map(|v| v % 50).collect());
+        let east = ppa.sum_line(&src, Direction::East).unwrap();
+        let west = ppa.sum_line(&src, Direction::West).unwrap();
+        prop_assert_eq!(east, west, "row sums cannot depend on sweep direction");
+    }
+
+    #[test]
+    fn bit_planes_reassemble_the_value(v in 0i64..1024) {
+        let mut ppa = Ppa::square(2).with_word_bits(10);
+        let p = ppa.constant(v);
+        let mut rebuilt = 0i64;
+        for j in 0..10 {
+            let plane = ppa.bit(&p, j).unwrap();
+            if *plane.at(0, 0) {
+                rebuilt |= 1 << j;
+            }
+        }
+        prop_assert_eq!(rebuilt, v);
+    }
+}

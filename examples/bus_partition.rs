@@ -1,0 +1,63 @@
+//! Figure-1 companion: how switch boxes partition the PPA buses.
+//!
+//! Renders the switch configurations and the resulting bus clusters for
+//! the exact patterns the MCP algorithm programs: the destination-row
+//! broadcast of statement 10, the row-minimum clusters of statement 11,
+//! and the diagonal fold of statement 16.
+//!
+//! Run with: `cargo run --example bus_partition`
+
+use ppa_machine::{render, Dim, Direction, Plane};
+
+fn show(title: &str, dim: Dim, dir: Direction, open: &Plane<bool>) {
+    println!("=== {title} ===");
+    print!("{}", render::render_switches(dim, dir, open));
+    print!("{}", render::render_clusters(dim, dir, open));
+    println!();
+}
+
+fn main() {
+    let dim = Dim::square(8);
+    let d = 2; // destination vertex of the running example
+
+    // Statement 10: `broadcast(SOW, SOUTH, ROW == d)` — the destination
+    // row opens its switches and drives every (circular) column bus.
+    let row_d = Plane::from_fn(dim, |c| c.row == d);
+    show(
+        "statement 10: ROW == d opens, data moves South (one cluster per column)",
+        dim,
+        Direction::South,
+        &row_d,
+    );
+
+    // Statement 11: `min(SOW, WEST, COL == n-1)` — the last column heads
+    // one whole-row cluster per row.
+    let last_col = Plane::from_fn(dim, |c| c.col == dim.cols - 1);
+    show(
+        "statement 11: COL == n-1 opens, data moves West (one cluster per row)",
+        dim,
+        Direction::West,
+        &last_col,
+    );
+
+    // Statement 16: `broadcast(MIN_SOW, SOUTH, ROW == COL)` — the diagonal
+    // drives the columns; note row d reads values injected *below* it,
+    // which is why the model needs circular buses.
+    let diag = Plane::from_fn(dim, |c| c.row == c.col);
+    show(
+        "statement 16: ROW == COL opens, data moves South (diagonal drives columns)",
+        dim,
+        Direction::South,
+        &diag,
+    );
+
+    // A free-form pattern: multiple clusters per line, like the paper's
+    // Figure 1 discussion of dynamic partitioning.
+    let stripes = Plane::from_fn(dim, |c| c.col % 3 == 0);
+    show(
+        "dynamic partitioning: every third column opens, data moves East",
+        dim,
+        Direction::East,
+        &stripes,
+    );
+}

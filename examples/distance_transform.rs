@@ -1,0 +1,59 @@
+//! City-block distance transform of a binary image on the PPA.
+//!
+//! The companion image kernel of the PPC toolchain (the paper mentions
+//! the primitives were used to implement the EDT algorithm): one pixel
+//! per PE, two separable 1-D passes, `O(n)` SIMD steps with **no**
+//! bit-serial scans — the distance transform on this machine is
+//! communication-bound, the shortest-path solver comparison-bound.
+//!
+//! Run with: `cargo run --example distance_transform`
+
+use ppa_mcp::kernels::{distance_transform_l1, distance_transform_oracle};
+use ppa_suite::prelude::*;
+
+fn main() {
+    let n = 12;
+    let mut ppa = Ppa::square(n).with_word_bits(8);
+
+    // A binary image: two blobs and a diagonal scratch.
+    let image = Parallel::from_fn(ppa.dim(), |c| {
+        let blob1 = c.row.abs_diff(2) + c.col.abs_diff(3) <= 1;
+        let blob2 = c.row.abs_diff(8) + c.col.abs_diff(9) <= 1;
+        let scratch = c.row + 4 == c.col + 8 && c.row >= 6;
+        blob1 || blob2 || scratch
+    });
+
+    println!("input image (# = feature pixel):");
+    for r in 0..n {
+        print!("  ");
+        for c in 0..n {
+            print!("{}", if *image.at(r, c) { " #" } else { " ." });
+        }
+        println!();
+    }
+
+    ppa.reset_steps();
+    let dt = distance_transform_l1(&mut ppa, &image)
+        .expect("word width fits")
+        .expect("image has features");
+    let steps = ppa.steps();
+
+    println!("\nL1 distance transform:");
+    for r in 0..n {
+        print!("  ");
+        for c in 0..n {
+            print!("{:2}", dt.at(r, c));
+        }
+        println!();
+    }
+
+    let oracle = distance_transform_oracle(&image).expect("non-empty");
+    assert_eq!(dt, oracle);
+    println!("\nverified against the brute-force oracle.");
+    println!(
+        "cost: {} SIMD steps total — {} shift, {} alu, 0 bus scans (O(n), not O(n*h))",
+        steps.total(),
+        steps.count(ppa_machine::Op::Shift),
+        steps.count(ppa_machine::Op::Alu),
+    );
+}

@@ -1,0 +1,139 @@
+//! Integration: every architecture computes the same answer, and the
+//! step counts show the complexity shapes of the paper's comparison
+//! (the substance behind experiment T4).
+
+#![allow(clippy::needless_range_loop)]
+use ppa_baselines::{all_solvers, Gcn, Hypercube, PlainMesh, SequentialBf};
+use ppa_suite::prelude::*;
+
+#[test]
+fn all_architectures_agree_with_ppa_on_random_graphs() {
+    for seed in 0..12u64 {
+        let n = 7 + seed as usize % 8;
+        let w = gen::random_digraph(n, 0.3, 12, seed);
+        let d = seed as usize % n;
+        let mut ppa = Ppa::square(n).with_word_bits(fit_word_bits(&w));
+        let out = minimum_cost_path(&mut ppa, &w, d).unwrap();
+        let mut expect = out.sow.clone();
+        expect[d] = 0;
+        for solver in all_solvers(16) {
+            let mut got = solver.solve(&w, d).dist;
+            got[d] = 0;
+            assert_eq!(got, expect, "{} seed {seed}", solver.name());
+        }
+    }
+}
+
+#[test]
+fn all_architectures_agree_on_iteration_counts() {
+    // The outer dynamic program is identical everywhere, so the number of
+    // improving rounds must match across every model.
+    let w = gen::random_connected(14, 0.12, 10, 3);
+    let seq = SequentialBf::new().solve(&w, 2);
+    let mesh = PlainMesh::new(12).solve(&w, 2);
+    let cube = Hypercube::new(12).solve(&w, 2);
+    let gcn = Gcn::new(12).solve(&w, 2);
+    assert_eq!(seq.iterations, mesh.iterations);
+    assert_eq!(seq.iterations, cube.iterations);
+    assert_eq!(seq.iterations, gcn.iterations);
+}
+
+/// Fits `ln`-scaling family: measures step growth from n to 4n on a
+/// p-fixed workload and classifies it.
+fn growth(word_steps: impl Fn(usize) -> u64) -> f64 {
+    let a = word_steps(8) as f64;
+    let b = word_steps(32) as f64;
+    b / a
+}
+
+#[test]
+fn complexity_shapes_flat_log_linear_quadratic() {
+    let star = |n: usize| gen::star(n, 0, 5, 1); // p = 1 for every n
+    let h = 16;
+
+    // PPA (bit-serial buses): flat in n.
+    let ppa_steps = |n: usize| {
+        let w = star(n);
+        let mut ppa = Ppa::square(n).with_word_bits(h);
+        minimum_cost_path(&mut ppa, &w, 0).unwrap().stats.total.total()
+    };
+    let g = growth(ppa_steps);
+    assert!((0.9..1.1).contains(&g), "PPA growth {g}");
+
+    // GCN: flat in n.
+    let g = growth(|n| Gcn::new(h).solve(&star(n), 0).bit_steps);
+    assert!((0.9..1.1).contains(&g), "GCN growth {g}");
+
+    // Hypercube: log n — steps grow by ~log(32)/log(8) = 5/3.
+    let g = growth(|n| Hypercube::new(h).solve(&star(n), 0).word_steps);
+    assert!((1.2..2.2).contains(&g), "hypercube growth {g}");
+
+    // Plain mesh: linear — about 4x.
+    let g = growth(|n| PlainMesh::new(h).solve(&star(n), 0).word_steps);
+    assert!((3.0..5.0).contains(&g), "mesh growth {g}");
+
+    // Sequential: quadratic — about 16x.
+    let g = growth(|n| SequentialBf::new().solve(&star(n), 0).word_steps);
+    assert!((12.0..20.0).contains(&g), "sequential growth {g}");
+}
+
+#[test]
+fn ppa_and_gcn_share_the_h_scaling() {
+    // The paper's equivalence claim, in bit-steps: both scale linearly
+    // with the word width.
+    let w = gen::ring(10);
+    let mut ppa8 = Ppa::square(10).with_word_bits(8);
+    let mut ppa32 = Ppa::square(10).with_word_bits(32);
+    let p8 = minimum_cost_path(&mut ppa8, &w, 0).unwrap().stats.total.total() as f64;
+    let p32 = minimum_cost_path(&mut ppa32, &w, 0).unwrap().stats.total.total() as f64;
+    let ppa_ratio = p32 / p8;
+
+    let g8 = Gcn::new(8).solve(&w, 0).bit_steps as f64;
+    let g32 = Gcn::new(32).solve(&w, 0).bit_steps as f64;
+    let gcn_ratio = g32 / g8;
+
+    assert!((1.5..4.2).contains(&ppa_ratio), "ppa {ppa_ratio}");
+    assert!((1.5..4.2).contains(&gcn_ratio), "gcn {gcn_ratio}");
+    // And they track each other within a factor.
+    assert!((ppa_ratio / gcn_ratio - 1.0).abs() < 0.5, "{ppa_ratio} vs {gcn_ratio}");
+}
+
+#[test]
+fn crossover_hypercube_vs_ppa_depends_on_h_vs_log_n() {
+    // In bit-steps: PPA costs ~c1 * p * h; bit-serial hypercube costs
+    // ~c2 * p * h * log n. The hypercube should therefore lose ground as
+    // n grows with h fixed.
+    let h = 16;
+    let per_iter = |n: usize| {
+        let w = gen::star(n, 0, 5, 1);
+        let mut ppa = Ppa::square(n).with_word_bits(h);
+        let ppa_steps = minimum_cost_path(&mut ppa, &w, 0).unwrap().stats.total.total();
+        let cube = Hypercube::new(h).solve(&w, 0).bit_steps;
+        cube as f64 / ppa_steps as f64
+    };
+    let small = per_iter(8);
+    let large = per_iter(64);
+    assert!(
+        large > small,
+        "hypercube/PPA bit-step ratio must grow with n: {small} -> {large}"
+    );
+}
+
+#[test]
+fn unreachable_vertices_agree_everywhere() {
+    let w = gen::path(9); // strictly one-directional chain
+    let d = 4;
+    let mut ppa = Ppa::square(9).with_word_bits(8);
+    let out = minimum_cost_path(&mut ppa, &w, d).unwrap();
+    for solver in all_solvers(8) {
+        let r = solver.solve(&w, d);
+        for i in 0..9 {
+            assert_eq!(
+                r.dist[i] == INF,
+                out.sow[i] == INF && i != d,
+                "{} vertex {i}",
+                solver.name()
+            );
+        }
+    }
+}

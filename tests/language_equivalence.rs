@@ -1,0 +1,174 @@
+//! Integration: the interpreted PPC programs against the native runtime.
+//!
+//! The paper's validation path was "write it in PPC, simulate it"; ours
+//! adds a second, independently coded implementation (the native Rust one)
+//! and demands agreement between the two on every workload.
+
+#![allow(clippy::needless_range_loop)]
+use ppa_suite::prelude::*;
+use ppc_lang::programs;
+
+fn machine_for(w: &WeightMatrix) -> Ppa {
+    Ppa::square(w.n()).with_word_bits(fit_word_bits(w).clamp(2, 62))
+}
+
+#[test]
+fn interpreted_and_native_agree_across_families() {
+    for family in gen::Family::ALL {
+        let w = family.build(8, 10, 31);
+        for d in [0, 3, 7] {
+            let mut ippa = machine_for(&w);
+            let interp = programs::run_minimum_cost_path(&mut ippa, &w, d).unwrap();
+            let mut nppa = machine_for(&w);
+            let native = minimum_cost_path(&mut nppa, &w, d).unwrap();
+            assert_eq!(
+                interp.sow,
+                native.sow,
+                "family {} dest {d}",
+                family.label()
+            );
+            assert!(
+                validate::is_valid_solution(&w, d, &interp.sow, &interp.ptn),
+                "family {} dest {d}",
+                family.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn interpreted_iteration_structure_matches_native() {
+    // Same do-while structure => same number of global-or step records.
+    let w = gen::ring(7);
+    let mut ippa = machine_for(&w);
+    programs::run_minimum_cost_path(&mut ippa, &w, 0).unwrap();
+    let mut nppa = machine_for(&w);
+    minimum_cost_path(&mut nppa, &w, 0).unwrap();
+    use ppa_machine::Op;
+    assert_eq!(
+        ippa.machine().controller().steps(Op::GlobalOr),
+        nppa.machine().controller().steps(Op::GlobalOr),
+        "both must run the same number of do-while iterations"
+    );
+    assert_eq!(
+        ippa.machine().controller().steps(Op::BusOr),
+        nppa.machine().controller().steps(Op::BusOr),
+        "bit-serial scans must issue identical wired-OR counts"
+    );
+}
+
+#[test]
+fn min_routine_from_source_equals_builtin_across_shapes() {
+    for (n, h, salt) in [(3usize, 6u32, 1u64), (5, 8, 2), (8, 10, 3)] {
+        let mut spa = Ppa::square(n).with_word_bits(h);
+        let values =
+            Parallel::from_fn(spa.dim(), |c| ((c.row as u64 * 97 + c.col as u64 * 31 + salt) % (1 << h.min(10))) as i64);
+        let from_source = programs::run_min_routine(&mut spa, &values).unwrap();
+
+        let mut bpa = Ppa::square(n).with_word_bits(h);
+        let col = bpa.col_index();
+        let nm1 = bpa.constant(n as i64 - 1);
+        let l = bpa.eq(&col, &nm1).unwrap();
+        let builtin = bpa.min(&values, Direction::West, &l).unwrap();
+        assert_eq!(from_source, builtin, "n={n} h={h}");
+    }
+}
+
+#[test]
+fn source_programs_type_check() {
+    ppc_lang::parse(programs::MINIMUM_COST_PATH).unwrap();
+    ppc_lang::parse(programs::MIN_ROUTINE).unwrap();
+}
+
+#[test]
+fn lexer_parser_sema_reject_malformed_variants() {
+    // A sweep of broken versions of the real program must fail in the
+    // right phase.
+    let bad_token = programs::MIN_ROUTINE.replace("enable", "en$able");
+    assert!(matches!(
+        ppc_lang::parse(&bad_token),
+        Err(e) if e.phase == ppc_lang::error::Phase::Lex
+    ));
+
+    let bad_syntax = programs::MIN_ROUTINE.replace("for (", "for ((");
+    assert!(matches!(
+        ppc_lang::parse(&bad_syntax),
+        Err(e) if e.phase == ppc_lang::error::Phase::Parse
+    ));
+
+    let bad_types = programs::MIN_ROUTINE.replace("L = COL == N - 1;", "L = COL + 1;");
+    assert!(matches!(
+        ppc_lang::parse(&bad_types),
+        Err(e) if e.phase == ppc_lang::error::Phase::Sema
+    ));
+}
+
+#[test]
+fn interpreter_surfaces_bus_faults_with_positions() {
+    // Broadcasting with an all-Short mask leaves every line undriven.
+    let src = "parallel int x; x = broadcast(x, SOUTH, ROW == N);";
+    let program = ppc_lang::parse(src).unwrap();
+    let mut ppa = Ppa::square(3);
+    let mut interp = ppc_lang::Interpreter::new(&mut ppa);
+    let err = interp.run(&program).unwrap_err();
+    assert_eq!(err.phase, ppc_lang::error::Phase::Runtime);
+    assert!(err.message.contains("bus fault"), "{err}");
+}
+
+#[test]
+fn interpreted_reachability_program() {
+    // The boolean DP written directly in PPC: does j reach d?
+    let src = r#"
+        parallel logical A;      // adjacency, preloaded: A[i][j] = edge i -> j
+        int d;
+        parallel logical REACH;
+        parallel logical NEW;
+        logical go;
+        // Init: REACH[d][i] = edge i -> d (column d folded through the
+        // diagonal into row d, as in the MCP initialization).
+        where (ROW == d)
+            REACH = broadcast(broadcast(A, EAST, COL == d), SOUTH, ROW == COL);
+        do {
+            // Column j carries "j reaches d"; a row-wide wired-OR asks
+            // "does any successor of i reach d?".
+            NEW = or(A && broadcast(REACH, SOUTH, ROW == d), WEST, COL == N - 1);
+            NEW = broadcast(NEW, SOUTH, ROW == COL);
+            go = any(NEW && !REACH && ROW == d);
+            where (ROW == d) REACH = REACH || NEW;
+        } while (go);
+    "#;
+    let program = ppc_lang::parse(src).unwrap();
+    let w = gen::random_digraph(7, 0.22, 5, 13);
+    let d = 2usize;
+    let mut ppa = Ppa::square(7);
+    // A[i][j] = edge j -> i? No: A[i][j] = edge i -> j, and the broadcast
+    // of REACH along columns carries "j reaches d".
+    let adj = Parallel::from_fn(ppa.dim(), |c| w.has_edge(c.row, c.col));
+    let mut interp = ppc_lang::Interpreter::new(&mut ppa);
+    interp.bind("A", ppc_lang::Value::PBool(adj));
+    interp.bind("d", ppc_lang::Value::Int(d as i64));
+    interp.run(&program).unwrap();
+    let reach = interp.get_parallel_bool("REACH").unwrap().clone();
+    let oracle = reference::transitive_closure(&w);
+    for j in 0..7 {
+        if j != d {
+            assert_eq!(*reach.at(d, j), oracle[j][d], "vertex {j}");
+        }
+    }
+}
+
+#[test]
+fn scalar_programs_cost_zero_simd_steps() {
+    let src = r#"
+        int total;
+        int i;
+        for (i = 1; i <= 100; i = i + 1) total = total + i;
+        if (total == 5050) total = 1; else total = 0;
+    "#;
+    let program = ppc_lang::parse(src).unwrap();
+    let mut ppa = Ppa::square(4);
+    let mut interp = ppc_lang::Interpreter::new(&mut ppa);
+    interp.run(&program).unwrap();
+    assert_eq!(interp.get_int("total"), Some(1));
+    assert_eq!(interp.ppa().steps().total(), 0);
+}
