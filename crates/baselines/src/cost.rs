@@ -1,6 +1,14 @@
 //! Shared cost accounting and the solver interface.
+//!
+//! Observability: every solver can run with a [`Recorder`] attached
+//! ([`McpSolver::solve_observed`]), in which case the [`Meter`] mirrors
+//! its tallies into the recorder as trace events and `steps.*` counters.
+//! The recorder clock advances in **bit-steps** — the unit directly
+//! comparable to the PPA's bit-serial controller steps — so profiles from
+//! all architectures share one time axis.
 
 use ppa_graph::{Weight, WeightMatrix};
+use ppa_obs::Recorder;
 
 /// Result of one baseline MCP run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,22 +34,82 @@ pub trait McpSolver {
     /// Architecture label (stable, used in experiment tables).
     fn name(&self) -> &'static str;
 
-    /// Solves all-vertices-to-`d` minimum cost paths.
-    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult;
+    /// Solves all-vertices-to-`d` minimum cost paths, optionally emitting
+    /// a trace and metrics through `rec` (spans per iteration, events per
+    /// metered instruction batch, clock in bit-steps).
+    fn solve_observed(
+        &self,
+        w: &WeightMatrix,
+        d: usize,
+        rec: Option<&mut Recorder>,
+    ) -> BaselineResult;
+
+    /// Solves without observation.
+    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+        self.solve_observed(w, d, None)
+    }
 }
 
 /// Step counter distinguishing word-width-independent instructions from
-/// those a bit-serial datapath pays `h` for.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Meter {
+/// those a bit-serial datapath pays `h` for. When built with
+/// [`Meter::observed`] it also forwards every tally to a [`Recorder`]
+/// (events classed `word-op`/`flag-op`, clock advancing in bit-steps).
+#[derive(Debug, Default)]
+pub struct Meter<'a> {
     word_steps: u64,
     bit_steps: u64,
+    /// Bit-step tally at the last [`Meter::mark_iteration`] call.
+    iter_mark: u64,
+    rec: Option<&'a mut Recorder>,
 }
 
-impl Meter {
-    /// Fresh zeroed meter.
-    pub fn new() -> Self {
+impl<'a> Meter<'a> {
+    /// Fresh zeroed meter with no observer.
+    pub fn new() -> Meter<'static> {
         Meter::default()
+    }
+
+    /// Fresh meter mirroring its tallies into `rec` (if `Some`).
+    pub fn observed(rec: Option<&'a mut Recorder>) -> Meter<'a> {
+        Meter {
+            rec,
+            ..Meter::default()
+        }
+    }
+
+    /// Whether a recorder is attached (solvers use this to skip building
+    /// span names on unobserved runs).
+    pub fn observing(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Opens a span in the attached recorder (no-op unobserved).
+    pub fn enter(&mut self, name: &str) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.enter(name);
+        }
+    }
+
+    /// Closes the innermost recorder span (no-op unobserved).
+    pub fn exit(&mut self) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.exit();
+        }
+    }
+
+    /// Records the bit-steps since the previous mark into the
+    /// `solver.steps_per_iteration` histogram (no-op unobserved).
+    pub fn mark_iteration(&mut self) {
+        let delta = self.bit_steps - self.iter_mark;
+        self.iter_mark = self.bit_steps;
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.metrics.observe("solver.steps_per_iteration", delta);
+        }
+    }
+
+    /// The attached recorder's metrics registry, if observing.
+    pub fn metrics_mut(&mut self) -> Option<&mut ppa_obs::Metrics> {
+        self.rec.as_deref_mut().map(|r| &mut r.metrics)
     }
 
     /// Records `count` instructions operating on full `h`-bit words
@@ -49,6 +117,9 @@ impl Meter {
     pub fn word_ops(&mut self, count: u64, h: u32) {
         self.word_steps += count;
         self.bit_steps += count * u64::from(h);
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.advance("word-op", count * u64::from(h));
+        }
     }
 
     /// Records `count` single-bit / control instructions: 1 step under
@@ -56,6 +127,9 @@ impl Meter {
     pub fn flag_ops(&mut self, count: u64) {
         self.word_steps += count;
         self.bit_steps += count;
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.advance("flag-op", count);
+        }
     }
 
     /// Word-step tally.
@@ -87,5 +161,29 @@ mod tests {
         let m = Meter::new();
         assert_eq!(m.word_steps(), 0);
         assert_eq!(m.bit_steps(), 0);
+        assert!(!m.observing());
+    }
+
+    #[test]
+    fn observed_meter_mirrors_into_recorder() {
+        let sink = ppa_obs::MemorySink::new();
+        let mut rec = Recorder::new(sink.clone());
+        {
+            let mut m = Meter::observed(Some(&mut rec));
+            m.enter("solve");
+            m.word_ops(2, 8);
+            m.flag_ops(3);
+            m.mark_iteration();
+            m.exit();
+            assert_eq!(m.bit_steps(), 19);
+        }
+        let metrics = rec.finish();
+        assert!(sink.balanced());
+        assert_eq!(sink.total_steps(), 19);
+        assert_eq!(metrics.counter("steps.word-op"), 16);
+        assert_eq!(metrics.counter("steps.flag-op"), 3);
+        assert_eq!(metrics.counter("steps.total"), 19);
+        let h = metrics.histogram("solver.steps_per_iteration").unwrap();
+        assert_eq!((h.count, h.sum), (1, 19));
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::cost::{BaselineResult, McpSolver, Meter};
 use ppa_graph::{WeightMatrix, INF};
+use ppa_obs::Recorder;
 
 /// GCN MCP solver.
 #[derive(Debug, Clone, Copy)]
@@ -35,11 +36,17 @@ impl McpSolver for Gcn {
         "gcn"
     }
 
-    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+    fn solve_observed(
+        &self,
+        w: &WeightMatrix,
+        d: usize,
+        rec: Option<&mut Recorder>,
+    ) -> BaselineResult {
         let n = w.n();
         assert!(d < n, "destination out of range");
         let h = u64::from(self.word_bits);
-        let mut meter = Meter::new();
+        let mut meter = Meter::observed(rec);
+        meter.enter(self.name());
 
         // Step 1: serial transfer of the one-edge costs into row d.
         let mut dist: Vec<i64> = (0..n).map(|i| w.get(i, d)).collect();
@@ -48,6 +55,9 @@ impl McpSolver for Gcn {
 
         let mut iterations = 0usize;
         loop {
+            if meter.observing() {
+                meter.enter(&format!("iteration[{iterations}]"));
+            }
             iterations += 1;
 
             // Column broadcast through the gated tree: h bit planes.
@@ -79,11 +89,17 @@ impl McpSolver for Gcn {
                 }
             }
             dist = next;
+            meter.mark_iteration();
+            meter.exit(); // iteration[i]
             if !changed {
                 break;
             }
             assert!(iterations <= n, "non-negative weights must converge");
         }
+        if let Some(m) = meter.metrics_mut() {
+            m.inc("solver.iterations", iterations as u64);
+        }
+        meter.exit(); // solver span
 
         BaselineResult {
             name: self.name(),

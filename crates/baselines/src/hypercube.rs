@@ -17,6 +17,7 @@
 
 use crate::cost::{BaselineResult, McpSolver, Meter};
 use ppa_graph::{WeightMatrix, INF};
+use ppa_obs::Recorder;
 
 /// Hypercube MCP solver.
 #[derive(Debug, Clone, Copy)]
@@ -42,13 +43,19 @@ impl McpSolver for Hypercube {
         "hypercube"
     }
 
-    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+    fn solve_observed(
+        &self,
+        w: &WeightMatrix,
+        d: usize,
+        rec: Option<&mut Recorder>,
+    ) -> BaselineResult {
         let n = w.n();
         assert!(d < n, "destination out of range");
         let h = self.word_bits;
         let dims = Self::log2_ceil(n.max(2));
         let padded = 1usize << dims;
-        let mut meter = Meter::new();
+        let mut meter = Meter::observed(rec);
+        meter.enter(self.name());
 
         // Step 1: one-edge costs (a log-depth gather of column d into the
         // replicated dist register).
@@ -58,6 +65,9 @@ impl McpSolver for Hypercube {
 
         let mut iterations = 0usize;
         loop {
+            if meter.observing() {
+                meter.enter(&format!("iteration[{iterations}]"));
+            }
             iterations += 1;
 
             // Column broadcast of dist by recursive doubling: `dims`
@@ -131,11 +141,17 @@ impl McpSolver for Hypercube {
                 }
             }
             dist = next;
+            meter.mark_iteration();
+            meter.exit(); // iteration[i]
             if !changed {
                 break;
             }
             assert!(iterations <= n, "non-negative weights must converge");
         }
+        if let Some(m) = meter.metrics_mut() {
+            m.inc("solver.iterations", iterations as u64);
+        }
+        meter.exit(); // solver span
 
         BaselineResult {
             name: self.name(),

@@ -36,7 +36,6 @@
 // row/column index math that mirrors the paper's notation.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod cost;
 pub mod gcn;
 pub mod hypercube;
@@ -62,6 +61,7 @@ pub fn all_solvers(word_bits: u32) -> Vec<Box<dyn McpSolver>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ppa_obs::{MemorySink, Recorder};
 
     #[test]
     fn all_solvers_lists_four() {
@@ -72,5 +72,39 @@ mod tests {
         assert!(names.contains(&"plain-mesh"));
         assert!(names.contains(&"hypercube"));
         assert!(names.contains(&"gcn"));
+    }
+
+    #[test]
+    fn every_solver_emits_a_profile_through_the_same_api() {
+        let w = ppa_graph::gen::ring(6);
+        for solver in all_solvers(12) {
+            let sink = MemorySink::new();
+            let mut rec = Recorder::new(sink.clone());
+            let observed = solver.solve_observed(&w, 0, Some(&mut rec));
+            let metrics = rec.finish();
+            let plain = solver.solve(&w, 0);
+
+            // Observation must not perturb the result or the accounting.
+            assert_eq!(observed, plain, "{}", solver.name());
+            assert!(sink.balanced(), "{}", solver.name());
+            // The trace clock and `steps.total` both tick in bit-steps.
+            assert_eq!(sink.total_steps(), observed.bit_steps, "{}", solver.name());
+            assert_eq!(metrics.counter("steps.total"), observed.bit_steps);
+            assert_eq!(
+                metrics.counter("solver.iterations"),
+                observed.iterations as u64
+            );
+            // Every iteration shows up as a span under the solver's name.
+            let totals = sink.span_totals();
+            assert!(
+                totals
+                    .iter()
+                    .any(|(p, _)| p.starts_with(solver.name()) && p.contains("iteration[0]")),
+                "{}: {totals:?}",
+                solver.name()
+            );
+            let hist = metrics.histogram("solver.steps_per_iteration").unwrap();
+            assert_eq!(hist.count, observed.iterations as u64, "{}", solver.name());
+        }
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::cost::{BaselineResult, McpSolver, Meter};
 use ppa_graph::{WeightMatrix, INF};
+use ppa_obs::Recorder;
 
 /// Plain-mesh MCP solver.
 #[derive(Debug, Clone, Copy)]
@@ -35,11 +36,17 @@ impl McpSolver for PlainMesh {
         "plain-mesh"
     }
 
-    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+    fn solve_observed(
+        &self,
+        w: &WeightMatrix,
+        d: usize,
+        rec: Option<&mut Recorder>,
+    ) -> BaselineResult {
         let n = w.n();
         assert!(d < n, "destination out of range");
         let h = self.word_bits;
-        let mut meter = Meter::new();
+        let mut meter = Meter::observed(rec);
+        meter.enter(self.name());
 
         // Step 1: one-edge costs, assembled in row d. Getting column d of W
         // into row d costs one column sweep + one row sweep of shifts.
@@ -49,6 +56,9 @@ impl McpSolver for PlainMesh {
 
         let mut iterations = 0usize;
         loop {
+            if meter.observing() {
+                meter.enter(&format!("iteration[{iterations}]"));
+            }
             iterations += 1;
 
             // Spread dist down/up each column: n-1 shifts per direction.
@@ -82,11 +92,17 @@ impl McpSolver for PlainMesh {
                 }
             }
             dist = next;
+            meter.mark_iteration();
+            meter.exit(); // iteration[i]
             if !changed {
                 break;
             }
             assert!(iterations <= n, "non-negative weights must converge");
         }
+        if let Some(m) = meter.metrics_mut() {
+            m.inc("solver.iterations", iterations as u64);
+        }
+        meter.exit(); // solver span
 
         BaselineResult {
             name: self.name(),

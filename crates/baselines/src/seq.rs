@@ -3,6 +3,7 @@
 
 use crate::cost::{BaselineResult, McpSolver, Meter};
 use ppa_graph::{WeightMatrix, INF};
+use ppa_obs::Recorder;
 
 /// Sequential Bellman-Ford-style solver (destination-oriented).
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,15 +21,24 @@ impl McpSolver for SequentialBf {
         "sequential"
     }
 
-    fn solve(&self, w: &WeightMatrix, d: usize) -> BaselineResult {
+    fn solve_observed(
+        &self,
+        w: &WeightMatrix,
+        d: usize,
+        rec: Option<&mut Recorder>,
+    ) -> BaselineResult {
         let n = w.n();
         assert!(d < n, "destination out of range");
-        let mut meter = Meter::new();
+        let mut meter = Meter::observed(rec);
+        meter.enter(self.name());
         let mut dist: Vec<i64> = (0..n).map(|i| w.get(i, d)).collect();
         dist[d] = 0;
         meter.word_ops(n as u64, 64); // the initial copy touches n words
         let mut iterations = 0usize;
         loop {
+            if meter.observing() {
+                meter.enter(&format!("iteration[{iterations}]"));
+            }
             iterations += 1;
             let mut changed = false;
             let mut next = dist.clone();
@@ -53,11 +63,17 @@ impl McpSolver for SequentialBf {
                 }
             }
             dist = next;
+            meter.mark_iteration();
+            meter.exit(); // iteration[i]
             if !changed {
                 break;
             }
             assert!(iterations <= n, "non-negative weights must converge");
         }
+        if let Some(m) = meter.metrics_mut() {
+            m.inc("solver.iterations", iterations as u64);
+        }
+        meter.exit(); // solver span
         BaselineResult {
             name: self.name(),
             dist,

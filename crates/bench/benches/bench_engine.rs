@@ -16,7 +16,12 @@ fn bench_broadcast(c: &mut Criterion) {
             let mut m = Machine::square(n);
             let src = Plane::from_fn(m.dim(), |c| (c.row * 31 + c.col) as i64);
             let open = Plane::from_fn(m.dim(), |c| c.row == 0);
-            b.iter(|| black_box(m.broadcast(black_box(&src), Direction::South, &open).unwrap()));
+            b.iter(|| {
+                black_box(
+                    m.broadcast(black_box(&src), Direction::South, &open)
+                        .unwrap(),
+                )
+            });
         });
     }
     group.finish();

@@ -47,7 +47,12 @@ fn bench_min_vs_word(c: &mut Criterion) {
         b.iter(|| black_box(ppa.min(black_box(&vals), Direction::West, &heads).unwrap()))
     });
     group.bench_function("word_combining", |b| {
-        b.iter(|| black_box(ppa.min_word(black_box(&vals), Direction::West, &heads).unwrap()))
+        b.iter(|| {
+            black_box(
+                ppa.min_word(black_box(&vals), Direction::West, &heads)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

@@ -4,15 +4,37 @@
 //! ```text
 //! cargo run -p ppa-bench --bin report --release -- all
 //! cargo run -p ppa-bench --bin report --release -- t4 a2
+//! cargo run -p ppa-bench --bin report --release -- profile --trace-out target/experiments
 //! cargo run -p ppa-bench --bin report --release -- --list
 //! ```
 //!
 //! Renders the requested experiment tables to stdout and writes
-//! `.txt`/`.csv`/`.json` artifacts under `target/experiments/`.
+//! `.txt`/`.csv`/`.json` artifacts under `target/experiments/`. The
+//! `profile` experiment additionally writes `profile.trace.json` (Chrome
+//! `trace_event`, Perfetto-loadable) and `profile.json` (metrics
+//! snapshot) to the `--trace-out` directory (default: the artifact dir).
+//!
+//! Experiment names are validated *before* anything runs: a typo exits
+//! with status 2 immediately instead of after minutes of computation.
 
-use ppa_bench::all_experiments;
+use ppa_bench::{all_experiments, profile_run, Table};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+fn write_table(dir: &Path, name: &str, table: &Table) -> String {
+    let rendered = table.render();
+    fs::write(dir.join(format!("{name}.txt")), &rendered).expect("write txt");
+    fs::write(dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+    // `profile.json` is reserved for the metrics snapshot; the table JSON
+    // of the profile experiment goes to `profile.table.json`.
+    let json_name = if name == "profile" {
+        "profile.table.json".to_owned()
+    } else {
+        format!("{name}.json")
+    };
+    fs::write(dir.join(json_name), table.to_json()).expect("write json");
+    rendered
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,33 +49,83 @@ fn main() {
         return;
     }
 
-    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        experiments.iter().map(|(n, _)| *n).collect()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
-
-    let out_dir = PathBuf::from("target/experiments");
-    fs::create_dir_all(&out_dir).expect("create target/experiments");
-
-    let mut unknown = Vec::new();
-    for name in wanted {
-        let Some((_, run)) = experiments.iter().find(|(n, _)| *n == name) else {
-            unknown.push(name.to_owned());
-            continue;
-        };
-        eprintln!("running {name}...");
-        let table = run();
-        let rendered = table.render();
-        println!("{rendered}");
-        fs::write(out_dir.join(format!("{name}.txt")), &rendered).expect("write txt");
-        fs::write(out_dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
-        fs::write(out_dir.join(format!("{name}.json")), table.to_json()).expect("write json");
+    let mut trace_out: Option<PathBuf> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--trace-out requires a directory argument");
+                    std::process::exit(2);
+                };
+                trace_out = Some(PathBuf::from(dir));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other} (try --list)");
+                std::process::exit(2);
+            }
+            other => names.push(other.to_owned()),
+        }
     }
 
+    let wanted: Vec<&str> = if names.is_empty() || names.iter().any(|a| a == "all") {
+        experiments.iter().map(|(n, _)| *n).collect()
+    } else {
+        names.iter().map(String::as_str).collect()
+    };
+
+    // Validate every requested name up front — nothing runs on a typo.
+    let unknown: Vec<&str> = wanted
+        .iter()
+        .copied()
+        .filter(|name| !experiments.iter().any(|(n, _)| n == name))
+        .collect();
     if !unknown.is_empty() {
         eprintln!("unknown experiment(s): {unknown:?} (try --list)");
         std::process::exit(2);
     }
+
+    let out_dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&out_dir).expect("create target/experiments");
+    let trace_dir = trace_out.unwrap_or_else(|| out_dir.clone());
+    fs::create_dir_all(&trace_dir).expect("create trace-out directory");
+
+    for name in wanted {
+        eprintln!("running {name}...");
+        if name == "profile" {
+            // One observed run feeds the table AND the trace/metrics
+            // artifacts (running the registered closure would profile a
+            // second, unrelated run).
+            let run = profile_run();
+            let rendered = write_table(&out_dir, name, &run.table);
+            println!("{rendered}");
+            fs::write(
+                trace_dir.join("profile.trace.json"),
+                run.chrome_trace.to_string_pretty(),
+            )
+            .expect("write chrome trace");
+            fs::write(
+                trace_dir.join("profile.json"),
+                run.metrics.to_json().to_string_pretty(),
+            )
+            .expect("write metrics");
+            eprintln!(
+                "profile artifacts: {} and {}",
+                trace_dir.join("profile.trace.json").display(),
+                trace_dir.join("profile.json").display()
+            );
+            continue;
+        }
+        let run = experiments
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f)
+            .expect("validated above");
+        let table = run();
+        let rendered = write_table(&out_dir, name, &table);
+        println!("{rendered}");
+    }
+
     eprintln!("artifacts written to {}", out_dir.display());
 }

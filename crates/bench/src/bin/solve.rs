@@ -3,6 +3,7 @@
 //! ```text
 //! solve <graph-file> --dest <d> [--problem shortest|widest|hops|reach]
 //!                                [--source] [--steps] [--paths]
+//!                                [--trace FILE] [--metrics FILE]
 //! solve --demo --dest 0 --problem shortest --steps
 //! ```
 //!
@@ -10,6 +11,9 @@
 //! `e <from> <to> <w>`) or DIMACS `.gr` (`p sp` / `a`), auto-detected.
 //! `--source` solves from `d` as a source instead of towards it as a
 //! destination (via graph reversal); `--demo` uses a built-in workload.
+//! `--trace FILE` writes a Chrome `trace_event` document of the run
+//! (load in Perfetto; timestamps are controller step indices) and
+//! `--metrics FILE` a metrics snapshot JSON.
 
 use ppa_graph::{gen, io, WeightMatrix, INF};
 use ppa_mcp::closure::{hop_levels, reachability};
@@ -27,12 +31,15 @@ struct Options {
     source_mode: bool,
     show_steps: bool,
     show_paths: bool,
+    trace_file: Option<String>,
+    metrics_file: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: solve <graph-file | --demo> --dest <d> \
-         [--problem shortest|widest|hops|reach] [--source] [--steps] [--paths]"
+         [--problem shortest|widest|hops|reach] [--source] [--steps] [--paths] \
+         [--trace FILE] [--metrics FILE]"
     );
     exit(2)
 }
@@ -46,6 +53,8 @@ fn parse_args() -> Options {
         source_mode: false,
         show_steps: false,
         show_paths: false,
+        trace_file: None,
+        metrics_file: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +68,8 @@ fn parse_args() -> Options {
             "--source" => opts.source_mode = true,
             "--steps" => opts.show_steps = true,
             "--paths" => opts.show_paths = true,
+            "--trace" => opts.trace_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics" => opts.metrics_file = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_owned());
@@ -84,18 +95,61 @@ fn load(opts: &Options) -> WeightMatrix {
     })
 }
 
+/// Installs the observers requested by `--trace`/`--metrics` on a freshly
+/// built machine; returns the trace sink handle for harvesting.
+fn attach_observers(ppa: &mut Ppa, opts: &Options) -> Option<ppa_obs::ChromeTraceSink> {
+    if opts.metrics_file.is_some() {
+        ppa.enable_metrics();
+    }
+    opts.trace_file.as_ref().map(|_| {
+        let sink = ppa_obs::ChromeTraceSink::new();
+        ppa.install_sink(sink.clone());
+        sink
+    })
+}
+
+/// Writes the trace/metrics artifacts after the run.
+fn write_observations(ppa: &mut Ppa, sink: Option<ppa_obs::ChromeTraceSink>, opts: &Options) {
+    let final_step = ppa.steps().total();
+    if let Some(sink) = sink {
+        let _ = ppa.take_sink(); // closes any open spans first
+        let path = opts.trace_file.as_ref().expect("sink implies --trace");
+        let doc = sink.finish(final_step);
+        std::fs::write(path, doc.to_string_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        println!("trace written to {path} (Chrome trace_event; ts = controller step)");
+    }
+    if let Some(path) = &opts.metrics_file {
+        let m = ppa.take_metrics();
+        std::fs::write(path, m.to_json().to_string_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        println!("metrics written to {path}");
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let mut w = load(&opts);
     let Some(d) = opts.dest else { usage() };
     if d >= w.n() {
-        eprintln!("destination {d} out of range (graph has {} vertices)", w.n());
+        eprintln!(
+            "destination {d} out of range (graph has {} vertices)",
+            w.n()
+        );
         exit(1);
     }
     if opts.source_mode {
         w = w.reversed();
     }
-    let role = if opts.source_mode { "source" } else { "destination" };
+    let role = if opts.source_mode {
+        "source"
+    } else {
+        "destination"
+    };
     println!(
         "graph: {} vertices, {} edges; {role} {d}; problem: {}",
         w.n(),
@@ -106,6 +160,7 @@ fn main() {
     match opts.problem.as_str() {
         "shortest" => {
             let mut ppa = Ppa::square(w.n()).with_word_bits(fit_word_bits(&w).clamp(2, 62));
+            let sink = attach_observers(&mut ppa, &opts);
             let out = minimum_cost_path(&mut ppa, &w, d).unwrap_or_else(|e| {
                 eprintln!("solver error: {e}");
                 exit(1)
@@ -116,7 +171,10 @@ fn main() {
                 } else if opts.show_paths {
                     let p = extract_path(&out, i)
                         .map(|p| {
-                            p.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" -> ")
+                            p.iter()
+                                .map(|v| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" -> ")
                         })
                         .unwrap_or_else(|| "?".into());
                     println!("  {i}: cost {:5}  {}", out.sow[i], p);
@@ -127,10 +185,11 @@ fn main() {
             if opts.show_steps {
                 println!("{}", out.stats);
             }
+            write_observations(&mut ppa, sink, &opts);
         }
         "widest" => {
-            let mut ppa = Ppa::square(w.n())
-                .with_word_bits(w.required_word_bits().clamp(4, 62));
+            let mut ppa = Ppa::square(w.n()).with_word_bits(w.required_word_bits().clamp(4, 62));
+            let sink = attach_observers(&mut ppa, &opts);
             let out = widest_path(&mut ppa, &w, d).unwrap_or_else(|e| {
                 eprintln!("solver error: {e}");
                 exit(1)
@@ -148,9 +207,11 @@ fn main() {
             if opts.show_steps {
                 println!("{}", out.stats);
             }
+            write_observations(&mut ppa, sink, &opts);
         }
         "hops" => {
             let mut ppa = Ppa::square(w.n());
+            let sink = attach_observers(&mut ppa, &opts);
             let out = hop_levels(&mut ppa, &w, d).unwrap_or_else(|e| {
                 eprintln!("solver error: {e}");
                 exit(1)
@@ -164,9 +225,11 @@ fn main() {
             if opts.show_steps {
                 println!("  total steps: {}", out.steps);
             }
+            write_observations(&mut ppa, sink, &opts);
         }
         "reach" => {
             let mut ppa = Ppa::square(w.n());
+            let sink = attach_observers(&mut ppa, &opts);
             let out = reachability(&mut ppa, &w, d).unwrap_or_else(|e| {
                 eprintln!("solver error: {e}");
                 exit(1)
@@ -180,8 +243,12 @@ fn main() {
                 .collect();
             println!("  can reach {d}: {{{}}}", members.join(", "));
             if opts.show_steps {
-                println!("  total steps: {} ({} iterations)", out.steps, out.iterations);
+                println!(
+                    "  total steps: {} ({} iterations)",
+                    out.steps, out.iterations
+                );
             }
+            write_observations(&mut ppa, sink, &opts);
         }
         other => {
             eprintln!("unknown problem `{other}`");

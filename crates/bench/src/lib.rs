@@ -20,7 +20,7 @@ pub use table::Table;
 
 use ppa_baselines::{Gcn, Hypercube, McpSolver, PlainMesh, SequentialBf};
 use ppa_graph::{gen, validate, WeightMatrix};
-use ppa_machine::{render, Dim, Direction, ExecMode, Plane};
+use ppa_machine::{render, Dim, Direction, ExecMode, Op, Plane, StepReport};
 use ppa_mcp::mcp::{fit_word_bits, minimum_cost_path};
 use ppa_mcp::variants::{minimum_cost_path_variant, BusModel, MinModel, VariantConfig};
 use ppa_ppc::{Parallel, Ppa};
@@ -38,7 +38,11 @@ pub fn fig1() -> Table {
     let mut t = Table::new(
         "F1",
         "Figure 1 companion: switch-box patterns and the bus clusters they induce (8x8, d = 2)",
-        vec!["pattern".into(), "direction".into(), "clusters per line".into()],
+        vec![
+            "pattern".into(),
+            "direction".into(),
+            "clusters per line".into(),
+        ],
     );
     let patterns: Vec<(&str, Direction, Plane<bool>)> = vec![
         (
@@ -477,13 +481,21 @@ pub fn t8_faults() -> Table {
     let dim = Dim::square(n);
     let d = 2;
     let patterns: Vec<(&str, Direction, Plane<bool>)> = vec![
-        ("stmt 10 (ROW==d)", Direction::South, Plane::from_fn(dim, |c| c.row == d)),
+        (
+            "stmt 10 (ROW==d)",
+            Direction::South,
+            Plane::from_fn(dim, |c| c.row == d),
+        ),
         (
             "stmt 11 (COL==n-1)",
             Direction::West,
             Plane::from_fn(dim, |c| c.col == dim.cols - 1),
         ),
-        ("stmt 16 (ROW==COL)", Direction::South, Plane::from_fn(dim, |c| c.row == c.col)),
+        (
+            "stmt 16 (ROW==COL)",
+            Direction::South,
+            Plane::from_fn(dim, |c| c.row == c.col),
+        ),
     ];
     let bist = bist_patterns(dim);
     let mut t = Table::new(
@@ -588,6 +600,112 @@ pub fn t9_phase_profile() -> Table {
     t
 }
 
+/// Everything the `profile` experiment produces: the summary [`Table`]
+/// plus the machine-readable artifacts the `report` binary writes next to
+/// it (`profile.trace.json`, `profile.json`).
+pub struct ProfileRun {
+    /// Summary table, rendered like any other experiment.
+    pub table: Table,
+    /// Chrome `trace_event` document (Perfetto / `chrome://tracing`
+    /// loadable; timestamps are controller step indices).
+    pub chrome_trace: ppa_obs::Json,
+    /// Metrics snapshot of the observed run.
+    pub metrics: ppa_obs::Metrics,
+    /// Step totals of the same run — `metrics` must reconcile with this
+    /// exactly (asserted by the integration tests).
+    pub report: StepReport,
+    /// Host wall-clock engine profile of the run.
+    pub engine: Option<ppa_obs::EngineProfile>,
+}
+
+/// The `profile` experiment (supersedes the text-only T9 attribution):
+/// one MCP run with every observer attached — hierarchical trace spans
+/// (`mcp > iteration[i] > <statement> > bit[j]`), the metrics registry,
+/// and engine wall-clock profiling.
+pub fn profile_run() -> ProfileRun {
+    let n = 10usize;
+    let h = 16u32;
+    let w = gen::ring(n);
+    let mut ppa = Ppa::square(n).with_word_bits(h);
+    let chrome = ppa_obs::ChromeTraceSink::new();
+    ppa.install_sink(chrome.clone());
+    ppa.enable_metrics();
+    ppa_machine::engine::enable_profiling();
+    let out = minimum_cost_path(&mut ppa, &w, 0).expect("profile workload solves");
+    let engine = ppa_machine::engine::take_profile();
+    let _ = ppa.take_sink();
+    let metrics = ppa.take_metrics();
+    let report = out.stats.total;
+    let chrome_trace = chrome.finish(report.total());
+
+    let mut t = Table::new(
+        "profile",
+        format!(
+            "fully observed MCP run (ring n = {n}, h = {h}, {} iterations, {} steps): \
+             counters vs controller report",
+            out.iterations,
+            report.total()
+        ),
+        vec!["metric".into(), "value".into(), "controller report".into()],
+    );
+    for op in Op::ALL {
+        t.row(vec![
+            op.metric_name().into(),
+            metrics.counter(op.metric_name()).to_string(),
+            report.count(op).to_string(),
+        ]);
+    }
+    t.row(vec![
+        "steps.total".into(),
+        metrics.counter("steps.total").to_string(),
+        report.total().to_string(),
+    ]);
+    t.row(vec![
+        "mcp.iterations".into(),
+        metrics.counter("mcp.iterations").to_string(),
+        out.iterations.to_string(),
+    ]);
+    for counter in [
+        "bus.transactions",
+        "bus.clusters",
+        "mask.writes",
+        "mask.active_pes",
+    ] {
+        t.row(vec![
+            counter.into(),
+            metrics.counter(counter).to_string(),
+            "-".into(),
+        ]);
+    }
+    if let Some(hist) = metrics.histogram("mcp.steps_per_iteration") {
+        t.row(vec![
+            "mcp.steps_per_iteration (mean)".into(),
+            format!("{:.1}", hist.mean()),
+            format!("{:.1}", out.stats.steps_per_iteration()),
+        ]);
+    }
+    if let Some(p) = &engine {
+        t.note(format!(
+            "engine wall-clock: {} build + {} reduce calls, {:.2} ms sequential, {:.2} ms threaded",
+            p.build_calls,
+            p.reduce_calls,
+            p.sequential_nanos as f64 / 1e6,
+            p.threaded_nanos as f64 / 1e6,
+        ));
+    }
+    t.note("artifacts: profile.trace.json (Chrome trace_event, load in Perfetto; ts = step");
+    t.note("index) and profile.json (metrics snapshot). Every `steps.*` counter must equal");
+    t.note("the controller report column exactly — the integration tests assert it.");
+
+    ProfileRun {
+        table: t,
+        chrome_trace,
+        metrics,
+        report,
+        engine,
+    }
+}
+
 /// A named experiment runner.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -606,6 +724,9 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("t9", t9_phase_profile),
         ("a1", a1_bus_ablation),
         ("a2", a2_min_ablation),
+        // The report binary intercepts this entry to also write the trace
+        // and metrics artifacts from the same run (see `profile_run`).
+        ("profile", || profile_run().table),
     ]
 }
 

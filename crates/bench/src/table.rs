@@ -1,11 +1,11 @@
 //! Rendering and serialization of experiment tables.
 
-use serde::Serialize;
+use ppa_obs::Json;
 use std::fmt::Write as _;
 
 /// One experiment's output: a labelled grid plus free-form notes
 /// (renders as aligned ASCII, CSV, or JSON).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (`T1`, `A2`, ...).
     pub id: String,
@@ -105,7 +105,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -117,9 +121,24 @@ impl Table {
         out
     }
 
+    /// The JSON value form (`{id, title, headers, rows, notes}`).
+    pub fn to_json_value(&self) -> Json {
+        let strings = |v: &[String]| Json::Array(v.iter().map(|s| s.as_str().into()).collect());
+        Json::obj(vec![
+            ("id", self.id.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("headers", strings(&self.headers)),
+            (
+                "rows",
+                Json::Array(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+            ("notes", strings(&self.notes)),
+        ])
+    }
+
     /// Renders the JSON form.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        self.to_json_value().to_string_pretty()
     }
 }
 
@@ -162,8 +181,8 @@ mod tests {
     #[test]
     fn json_round_trips_shape() {
         let j = sample().to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["id"], "T9");
-        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        let v = ppa_obs::Json::parse(&j).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("T9"));
+        assert_eq!(v.get("rows").unwrap().as_array().unwrap().len(), 2);
     }
 }

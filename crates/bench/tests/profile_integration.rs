@@ -1,0 +1,59 @@
+//! Integration test of the `report profile` experiment: the artifacts that
+//! `profile_run` produces must be internally consistent — every per-Op
+//! metrics counter exactly matches the run's [`StepReport`], the Chrome
+//! trace is Perfetto-loadable (balanced `B`/`E` pairs), and the metrics
+//! snapshot survives a JSON round-trip byte-exactly.
+
+use ppa_bench::profile_run;
+use ppa_machine::Op;
+use ppa_obs::{validate_chrome_trace, Json, Metrics};
+
+#[test]
+fn profile_artifacts_reconcile_and_validate() {
+    let run = profile_run();
+
+    // Acceptance criterion: the metrics JSON's per-Op counters equal the
+    // run's StepReport totals, class by class.
+    for op in Op::ALL {
+        assert_eq!(
+            run.metrics.counter(op.metric_name()),
+            run.report.count(op),
+            "counter mismatch for {}",
+            op.label()
+        );
+    }
+    assert_eq!(run.metrics.counter("steps.total"), run.report.total());
+    assert!(run.report.total() > 0, "profile workload ran nothing");
+
+    // The iteration histogram accounts for every loop pass.
+    let iterations = run.metrics.counter("mcp.iterations");
+    assert!(iterations > 0);
+    let hist = run
+        .metrics
+        .histogram("mcp.steps_per_iteration")
+        .expect("per-iteration histogram");
+    assert_eq!(hist.count, iterations);
+
+    // Bus/mask activity metrics fired (the workload broadcasts heavily).
+    assert!(run.metrics.counter("bus.transactions") > 0);
+    assert!(run.metrics.counter("mask.writes") > 0);
+
+    // The Chrome trace is well-formed and stays so through the text form
+    // that `report profile --trace-out` writes to disk.
+    let pairs = validate_chrome_trace(&run.chrome_trace).expect("well-formed trace");
+    assert!(pairs > 0, "trace has no spans");
+    let reparsed = Json::parse(&run.chrome_trace.to_string_pretty()).unwrap();
+    assert_eq!(validate_chrome_trace(&reparsed), Ok(pairs));
+
+    // The metrics snapshot round-trips exactly through its JSON encoding.
+    let text = run.metrics.to_json().to_string_pretty();
+    let back = Metrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, run.metrics);
+
+    // The wall-clock engine hooks observed the same run.
+    let engine = run
+        .engine
+        .expect("engine profiling enabled during profile_run");
+    assert!(engine.build_calls > 0);
+    assert!(engine.reduce_calls > 0);
+}

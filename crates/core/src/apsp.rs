@@ -59,7 +59,9 @@ impl AllPairs {
     /// The full distance matrix, `result[i][j] = dist(i, j)`.
     pub fn matrix(&self) -> Vec<Vec<Weight>> {
         let n = self.runs.len();
-        (0..n).map(|i| (0..n).map(|j| self.dist(i, j)).collect()).collect()
+        (0..n)
+            .map(|i| (0..n).map(|j| self.dist(i, j)).collect())
+            .collect()
     }
 
     /// Total do-while iterations across all runs.

@@ -193,7 +193,9 @@ pub fn transitive_closure(ppa: &mut Ppa, w: &WeightMatrix) -> Result<Vec<Vec<boo
     for d in 0..n {
         cols.push(reachability(ppa, w, d)?.reach);
     }
-    Ok((0..n).map(|i| (0..n).map(|j| cols[j][i]).collect()).collect())
+    Ok((0..n)
+        .map(|i| (0..n).map(|j| cols[j][i]).collect())
+        .collect())
 }
 
 #[cfg(test)]

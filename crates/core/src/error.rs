@@ -74,9 +74,16 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = McpError::SizeMismatch { n: 5, rows: 4, cols: 4 };
+        let e = McpError::SizeMismatch {
+            n: 5,
+            rows: 4,
+            cols: 4,
+        };
         assert!(e.to_string().contains("5 vertices"));
-        let e = McpError::WordWidthTooSmall { required: 12, actual: 8 };
+        let e = McpError::WordWidthTooSmall {
+            required: 12,
+            actual: 8,
+        };
         assert!(e.to_string().contains("h=8"));
         assert!(e.to_string().contains("h>=12"));
         let e = McpError::NoConvergence { rounds: 9 };

@@ -178,7 +178,12 @@ mod tests {
 
     #[test]
     fn all_features_is_zero() {
-        let dt = run(4, &(0..4).flat_map(|r| (0..4).map(move |c| (r, c))).collect::<Vec<_>>());
+        let dt = run(
+            4,
+            &(0..4)
+                .flat_map(|r| (0..4).map(move |c| (r, c)))
+                .collect::<Vec<_>>(),
+        );
         assert!(dt.iter().all(|&v| v == 0));
     }
 
@@ -191,7 +196,11 @@ mod tests {
             ppa.reset_steps();
             let _ = distance_transform_l1(&mut ppa, &plane).unwrap().unwrap();
             let report = ppa.steps();
-            assert_eq!(report.count(ppa_machine::Op::BusOr), 0, "no bit-serial scans");
+            assert_eq!(
+                report.count(ppa_machine::Op::BusOr),
+                0,
+                "no bit-serial scans"
+            );
             steps.push(report.total());
         }
         // Roughly linear: doubling n roughly doubles steps.

@@ -61,7 +61,6 @@
 // row/column index math that mirrors the paper's notation.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod apsp;
 pub mod closure;
 pub mod error;

@@ -92,6 +92,13 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
 
     let maxint = ppa.maxint();
     let start = ppa.steps();
+    // When a sink or metrics registry is attached, the run is wrapped in a
+    // `mcp` span with one `iteration[i]` child per do-while pass; the
+    // `set_phase` labels below become the statement-level frames inside.
+    let observed = ppa.observing();
+    if observed {
+        ppa.enter_span("mcp");
+    }
     ppa.set_phase(Some("setup"));
 
     // --- plane setup: the hardwired registers and the input load ----------
@@ -104,14 +111,14 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
     let col_is_d = ppa.eq(&col, &d_imm)?;
     let diag = ppa.eq(&row, &col)?; // ROW == COL
     let last_col = ppa.eq(&col, &nm1_imm)?; // COL == n - 1
-    // `parallel int W` arrives preloaded in each PE's memory (host I/O,
-    // not a SIMD step). The diagonal is loaded as 0 — the dynamic-program
-    // convention the paper's statement 16 silently relies on: with
-    // `w_ii = 0` the candidate `j = i` of `min_j(w_ij + SOW_jd)` is the
-    // *old* `SOW_id`, which is how the pure overwrite of statement 16
-    // realizes the prose's "minimum between its old value and the new
-    // sums" (fidelity note 2 in DESIGN.md); it also pins `SOW_dd` to 0 so
-    // one-edge paths keep their `j = d` witness in later iterations.
+                                            // `parallel int W` arrives preloaded in each PE's memory (host I/O,
+                                            // not a SIMD step). The diagonal is loaded as 0 — the dynamic-program
+                                            // convention the paper's statement 16 silently relies on: with
+                                            // `w_ii = 0` the candidate `j = i` of `min_j(w_ij + SOW_jd)` is the
+                                            // *old* `SOW_id`, which is how the pure overwrite of statement 16
+                                            // realizes the prose's "minimum between its old value and the new
+                                            // sums" (fidelity note 2 in DESIGN.md); it also pins `SOW_dd` to 0 so
+                                            // one-edge paths keep their `j = d` witness in later iterations.
     let mut w_vec = w.to_saturated_vec(maxint);
     for i in 0..n {
         w_vec[i * n + i] = 0;
@@ -138,20 +145,25 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
     ppa.where_(&row_is_d, |p| -> ppa_ppc::Result<()> {
         p.assign(&mut sow, &in_weights_t)?; // 5 (intended): SOW[d][i] = w_id
         p.assign(&mut ptn, &d_imm)?; // 6: PTN = d
-        // MIN_SOW is uninitialized in the paper; statement 16 reads its
-        // (d,d) element every iteration, so it must start at SOW_dd = 0
-        // for the destination column to stay pinned (fidelity note 2).
+                                     // MIN_SOW is uninitialized in the paper; statement 16 reads its
+                                     // (d,d) element every iteration, so it must start at SOW_dd = 0
+                                     // for the destination column to stay pinned (fidelity note 2).
         p.assign(&mut min_sow, &in_weights_t)?;
         Ok(())
     })??;
 
-    let init_report = ppa.steps().since(&start);
+    // The counters are monotonic within the run, so the subtraction cannot
+    // fail; `checked_since` keeps the stats path panic-free regardless.
+    let init_report = ppa.steps().checked_since(&start).unwrap_or_default();
 
     // --- Step 2: the do-while loop, statements 8-20 ------------------------
     let mut per_iteration: Vec<StepReport> = Vec::new();
     let mut iterations = 0usize;
     loop {
         let iter_start = ppa.steps();
+        if observed {
+            ppa.enter_span(&format!("iteration[{iterations}]"));
+        }
         iterations += 1;
 
         // ---- statements 9-13, under where (ROW != d) ----
@@ -188,12 +200,16 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
             Ok(changed)
         })??;
 
-        per_iteration.push(ppa.steps().since(&iter_start));
+        per_iteration.push(ppa.steps().checked_since(&iter_start).unwrap_or_default());
 
         // ---- statement 20: while at least one SOW in row d has changed ----
         ppa.set_phase(Some("stmt 20: loop test"));
         let changed_in_row_d = ppa.and(&changed, &row_is_d)?;
-        if !ppa.any(&changed_in_row_d)? {
+        let keep_going = ppa.any(&changed_in_row_d)?;
+        if observed {
+            ppa.exit_span(); // iteration[i] (includes the loop test)
+        }
+        if !keep_going {
             break;
         }
         if iterations > n {
@@ -202,6 +218,15 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
     }
 
     ppa.set_phase(None);
+    if observed {
+        ppa.exit_span(); // mcp
+    }
+    if let Some(m) = ppa.metrics_mut() {
+        for r in &per_iteration {
+            m.observe("mcp.steps_per_iteration", r.total());
+        }
+        m.inc("mcp.iterations", iterations as u64);
+    }
 
     // --- read out row d -----------------------------------------------------
     let mut out_sow: Vec<Weight> = Vec::with_capacity(n);
@@ -220,7 +245,7 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
         }
     }
 
-    let total = ppa.steps().since(&start);
+    let total = ppa.steps().checked_since(&start).unwrap_or_default();
     Ok(McpOutput {
         dest: d,
         sow: out_sow,
@@ -392,6 +417,42 @@ mod tests {
         let out = minimum_cost_path_auto(&w, 3).unwrap();
         assert!(is_valid_solution(&w, 3, &out.sow, &out.ptn));
         assert_eq!(out.sow[0], 2);
+    }
+
+    #[test]
+    fn observed_run_yields_balanced_spans_and_reconciled_metrics() {
+        let w = gen::ring(5);
+        let mut ppa = Ppa::square(5).with_word_bits(8);
+        let sink = ppa_obs::MemorySink::new();
+        ppa.install_sink(sink.clone());
+        ppa.enable_metrics();
+        let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+        let _ = ppa.take_sink();
+        let m = ppa.take_metrics();
+
+        assert!(sink.balanced());
+        assert_eq!(sink.total_steps(), out.stats.total.total());
+        // Every step is attributed somewhere under the `mcp` span.
+        let totals = sink.span_totals();
+        assert!(!totals.is_empty());
+        assert!(
+            totals.iter().all(|(path, _)| path.starts_with("mcp")),
+            "{totals:?}"
+        );
+        // The bit-serial scans surface as `min`/`selected_min > bit[j]`.
+        assert!(
+            totals
+                .iter()
+                .any(|(p, _)| p.contains("selected_min > bit[")),
+            "{totals:?}"
+        );
+
+        assert_eq!(m.counter("steps.total"), out.stats.total.total());
+        assert_eq!(m.counter("mcp.iterations"), out.iterations as u64);
+        let h = m.histogram("mcp.steps_per_iteration").unwrap();
+        assert_eq!(h.count, out.iterations as u64);
+        let per_iter_sum: u64 = out.stats.per_iteration.iter().map(|r| r.total()).sum();
+        assert_eq!(h.sum, per_iter_sum);
     }
 
     #[test]

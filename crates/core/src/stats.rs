@@ -43,7 +43,10 @@ impl McpStats {
     pub fn iterations_uniform(&self) -> bool {
         match self.per_iteration.first() {
             None => true,
-            Some(first) => self.per_iteration.iter().all(|r| r.total() == first.total()),
+            Some(first) => self
+                .per_iteration
+                .iter()
+                .all(|r| r.total() == first.total()),
         }
     }
 }

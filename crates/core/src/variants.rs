@@ -114,29 +114,31 @@ pub fn minimum_cost_path_variant(
     // A fold broadcast: from the Open nodes of `open`, deliver to every
     // node of the line. On circular buses this is one instruction; on
     // linear buses it takes a pass in each direction plus a select.
-    let fold =
-        |ppa: &mut Ppa, src: &Parallel<i64>, open: &Parallel<bool>| -> ppa_ppc::Result<Parallel<i64>> {
-            match config.bus {
-                BusModel::Circular => ppa.broadcast(src, Direction::South, open),
-                BusModel::Linear => {
-                    // Down-pass reaches nodes below the injector...
-                    let down = ppa.broadcast(src, Direction::South, open)?;
-                    // ...the up-pass reaches nodes above it...
-                    let up = ppa.broadcast(src, Direction::North, open)?;
-                    // ...and each node keeps the copy that really came
-                    // from its line's injector. With exactly one Open
-                    // node per column (all uses here), "below or at the
-                    // injector" is decided by comparing against the
-                    // injector's row, itself folded the same way; the
-                    // hardware equivalent is a one-bit valid flag riding
-                    // with each pass. We charge one select step.
-                    let ri = ppa.row_index();
-                    let rows_down = ppa.broadcast(&ri, Direction::South, open)?;
-                    let below = ppa.le(&rows_down, &ri)?;
-                    ppa.select(&below, &down, &up)
-                }
+    let fold = |ppa: &mut Ppa,
+                src: &Parallel<i64>,
+                open: &Parallel<bool>|
+     -> ppa_ppc::Result<Parallel<i64>> {
+        match config.bus {
+            BusModel::Circular => ppa.broadcast(src, Direction::South, open),
+            BusModel::Linear => {
+                // Down-pass reaches nodes below the injector...
+                let down = ppa.broadcast(src, Direction::South, open)?;
+                // ...the up-pass reaches nodes above it...
+                let up = ppa.broadcast(src, Direction::North, open)?;
+                // ...and each node keeps the copy that really came
+                // from its line's injector. With exactly one Open
+                // node per column (all uses here), "below or at the
+                // injector" is decided by comparing against the
+                // injector's row, itself folded the same way; the
+                // hardware equivalent is a one-bit valid flag riding
+                // with each pass. We charge one select step.
+                let ri = ppa.row_index();
+                let rows_down = ppa.broadcast(&ri, Direction::South, open)?;
+                let below = ppa.le(&rows_down, &ri)?;
+                ppa.select(&below, &down, &up)
             }
-        };
+        }
+    };
 
     let rowmin = |ppa: &mut Ppa, src: &Parallel<i64>, heads: &Parallel<bool>| match config.min {
         MinModel::BitSerial => ppa.min(src, Direction::West, heads),
@@ -261,7 +263,8 @@ mod tests {
         for seed in 0..6u64 {
             let w = gen::random_digraph(9, 0.3, 10, seed);
             let mut a = machine_for(&w);
-            let circ = minimum_cost_path_variant(&mut a, &w, 2, VariantConfig::reference()).unwrap();
+            let circ =
+                minimum_cost_path_variant(&mut a, &w, 2, VariantConfig::reference()).unwrap();
             let mut b = machine_for(&w);
             let lin = minimum_cost_path_variant(
                 &mut b,
@@ -301,7 +304,8 @@ mod tests {
         );
         // And both match the bit-serial answer.
         let mut r = Ppa::square(8).with_word_bits(8);
-        let reference = minimum_cost_path_variant(&mut r, &w, 0, VariantConfig::reference()).unwrap();
+        let reference =
+            minimum_cost_path_variant(&mut r, &w, 0, VariantConfig::reference()).unwrap();
         assert_eq!(a.sow, reference.sow);
         assert!(a.stats.total.total() < reference.stats.total.total());
     }
@@ -320,6 +324,8 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(ppa_graph::validate::is_valid_solution(&w, 3, &out.sow, &out.ptn));
+        assert!(ppa_graph::validate::is_valid_solution(
+            &w, 3, &out.sow, &out.ptn
+        ));
     }
 }

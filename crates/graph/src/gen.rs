@@ -143,7 +143,9 @@ pub fn geometric(n: usize, radius: f64, max_w: Weight, seed: u64) -> WeightMatri
     assert!(radius > 0.0);
     assert!(max_w >= 1);
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut m = WeightMatrix::new(n);
     let scale = max_w as f64 / radius;
     for i in 0..n {

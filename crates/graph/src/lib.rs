@@ -27,7 +27,6 @@
 // row/column index math that mirrors the paper's notation.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod gen;
 pub mod io;
 pub mod matrix;

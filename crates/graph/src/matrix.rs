@@ -74,7 +74,10 @@ impl WeightMatrix {
     pub fn set(&mut self, i: usize, j: usize, w: Weight) {
         assert!(i < self.n && j < self.n, "edge ({i},{j}) out of range");
         assert_ne!(i, j, "self-loops are not representable (vertex {i})");
-        assert!((0..INF).contains(&w), "edge weight must be finite and non-negative, got {w}");
+        assert!(
+            (0..INF).contains(&w),
+            "edge weight must be finite and non-negative, got {w}"
+        );
         self.w[i * self.n + j] = w;
     }
 

@@ -93,7 +93,10 @@ pub fn bellman_ford_to_dest(w: &WeightMatrix, d: usize) -> DestPaths {
         dist = new_dist;
         next = new_next;
         rounds += 1;
-        debug_assert!(rounds <= n, "non-negative weights must converge in n rounds");
+        debug_assert!(
+            rounds <= n,
+            "non-negative weights must converge in n rounds"
+        );
     }
     DestPaths {
         dest: d,
@@ -143,7 +146,11 @@ pub fn dijkstra_to_dest(w: &WeightMatrix, d: usize) -> Vec<Weight> {
 pub fn floyd_warshall(w: &WeightMatrix) -> Vec<Vec<Weight>> {
     let n = w.n();
     let mut d: Vec<Vec<Weight>> = (0..n)
-        .map(|i| (0..n).map(|j| if i == j { 0 } else { w.get(i, j) }).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0 } else { w.get(i, j) })
+                .collect()
+        })
         .collect();
     for k in 0..n {
         for i in 0..n {

@@ -56,7 +56,10 @@ impl fmt::Display for Violation {
                 "vertex {vertex}: claimed cost {claimed}, oracle says {oracle}"
             ),
             Violation::BrokenChain { vertex } => {
-                write!(f, "vertex {vertex}: successor chain does not reach the destination")
+                write!(
+                    f,
+                    "vertex {vertex}: successor chain does not reach the destination"
+                )
             }
             Violation::CostMismatch {
                 vertex,
@@ -181,7 +184,9 @@ mod tests {
         let mut ptn = r.next.clone();
         ptn[0] = 2; // edge 0 -> 2 does not exist
         let v = validate_solution(&w, d, &r.dist, &ptn);
-        assert!(v.iter().any(|x| matches!(x, Violation::BrokenChain { vertex: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::BrokenChain { vertex: 0 })));
     }
 
     #[test]

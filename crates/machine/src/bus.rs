@@ -28,7 +28,11 @@ use crate::plane::Plane;
 /// Returns a vector mapping every flat PE index to the flat index of the
 /// Open node driving its sub-bus. Lines without any Open node are returned
 /// in the error variant (sorted ascending) since they have no driver.
-pub fn cluster_heads(dim: Dim, dir: Direction, open: &Plane<bool>) -> Result<Vec<usize>, Vec<usize>> {
+pub fn cluster_heads(
+    dim: Dim,
+    dir: Direction,
+    open: &Plane<bool>,
+) -> Result<Vec<usize>, Vec<usize>> {
     let axis = dir.axis();
     let lines = dim.lines(axis);
     let len = dim.line_len(axis);

@@ -9,6 +9,7 @@
 //! a [`Machine`](crate::Machine) records exactly one step, classified by
 //! [`Op`], and a [`StepReport`] snapshots the tallies.
 
+use ppa_obs::{Event, Metrics, TraceSink};
 use std::fmt;
 
 /// Classification of controller instructions, for step breakdowns.
@@ -52,6 +53,17 @@ impl Op {
             Op::GlobalOr => "global-or",
         }
     }
+
+    /// The metrics counter name for this class (`steps.<label>`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Op::Alu => "steps.alu",
+            Op::Shift => "steps.shift",
+            Op::Broadcast => "steps.broadcast",
+            Op::BusOr => "steps.bus-or",
+            Op::GlobalOr => "steps.global-or",
+        }
+    }
 }
 
 impl fmt::Display for Op {
@@ -85,15 +97,22 @@ impl StepReport {
     ///
     /// # Panics
     /// Panics if `earlier` has more steps than `self` in any class (reports
-    /// must come from the same monotonically counting controller).
+    /// must come from the same monotonically counting controller). Use
+    /// [`StepReport::checked_since`] to handle that case without panicking.
     pub fn since(&self, earlier: &StepReport) -> StepReport {
+        self.checked_since(earlier)
+            .expect("StepReport::since: earlier report is not a prefix of self")
+    }
+
+    /// The difference `self - earlier`, or `None` if `earlier` exceeds
+    /// `self` in any class (i.e. the reports do not come from the same
+    /// monotonically counting controller, typically after a reset).
+    pub fn checked_since(&self, earlier: &StepReport) -> Option<StepReport> {
         let mut counts = [0u64; 5];
         for (i, c) in counts.iter_mut().enumerate() {
-            *c = self.counts[i]
-                .checked_sub(earlier.counts[i])
-                .expect("StepReport::since: earlier report is not a prefix of self");
+            *c = self.counts[i].checked_sub(earlier.counts[i])?;
         }
-        StepReport { counts }
+        Some(StepReport { counts })
     }
 
     /// Adds another report's tallies to this one (for aggregating phases).
@@ -136,21 +155,171 @@ pub struct TraceEntry {
     pub label: Option<String>,
 }
 
-/// The SIMD program controller: counts every issued instruction and can
-/// optionally keep a full trace.
-#[derive(Debug, Clone, Default)]
+/// The SIMD program controller: counts every issued instruction, can
+/// optionally keep a full trace, and — when observability is enabled —
+/// feeds a [`TraceSink`] with hierarchical spans and a [`Metrics`]
+/// registry with per-class step counters.
+///
+/// Observation is structured as:
+/// * **named spans** ([`Controller::enter_span`]/[`Controller::exit_span`])
+///   for algorithm structure (`mcp`, `iteration[3]`, ...);
+/// * **phase frames** ([`Controller::set_phase`]) for paper-statement
+///   labels; a phase frame always lives at the top of the span stack, so
+///   setting a new phase replaces the previous one and entering a named
+///   span closes any open phase frame first.
+#[derive(Default)]
 pub struct Controller {
     counts: [u64; 5],
     trace: Option<Vec<TraceEntry>>,
     /// Label attached to every recorded instruction while set (used by
     /// algorithms to attribute steps to their phases, e.g. `"stmt 11"`).
     phase: Option<&'static str>,
+    sink: Option<Box<dyn TraceSink>>,
+    metrics: Option<Metrics>,
+    /// Named spans currently open in the sink (excludes the phase frame).
+    span_depth: u64,
+    /// Whether a phase frame is open in the sink.
+    phase_open: bool,
+}
+
+impl fmt::Debug for Controller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Controller")
+            .field("counts", &self.counts)
+            .field("trace", &self.trace)
+            .field("phase", &self.phase)
+            .field("sink", &self.sink.as_ref().map(|_| "<dyn TraceSink>"))
+            .field("metrics", &self.metrics)
+            .field("span_depth", &self.span_depth)
+            .finish()
+    }
+}
+
+impl Clone for Controller {
+    /// Clones counters, trace, phase label, and metrics. The trace sink is
+    /// **not** cloned — a clone starts un-observed (sinks are single-writer
+    /// by design; install a fresh handle on the clone to observe it).
+    fn clone(&self) -> Self {
+        Controller {
+            counts: self.counts,
+            trace: self.trace.clone(),
+            phase: self.phase,
+            sink: None,
+            metrics: self.metrics.clone(),
+            span_depth: 0,
+            phase_open: false,
+        }
+    }
 }
 
 impl Controller {
     /// A fresh controller with zeroed counters and tracing disabled.
     pub fn new() -> Self {
         Controller::default()
+    }
+
+    // ----- observability ---------------------------------------------------
+
+    /// Installs a trace sink: every subsequent instruction is emitted as an
+    /// event, and spans/phases are forwarded as the span hierarchy.
+    /// Replaces (and drops) any previously installed sink.
+    pub fn install_sink(&mut self, sink: impl TraceSink + 'static) {
+        self.sink = Some(Box::new(sink));
+        self.span_depth = 0;
+        self.phase_open = false;
+        if let Some(p) = self.phase {
+            self.open_phase_frame(p);
+        }
+    }
+
+    /// Removes the sink, closing any spans it still has open at the current
+    /// step (so sinks like the Chrome exporter see balanced frames).
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.close_phase_frame();
+        while self.span_depth > 0 {
+            self.span_depth -= 1;
+            let step = self.total_steps();
+            if let Some(s) = &mut self.sink {
+                s.exit_span(step);
+            }
+        }
+        self.sink.take()
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Starts collecting metrics (per-class step counters; the machine adds
+    /// bus/mask activity). No-op if already collecting.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Metrics::new());
+        }
+    }
+
+    /// Stops collecting and returns the metrics gathered so far.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.metrics.take().unwrap_or_default()
+    }
+
+    /// The live metrics registry, if collecting (for emitters that record
+    /// their own counters/histograms, e.g. bus cluster sizes).
+    pub fn metrics_mut(&mut self) -> Option<&mut Metrics> {
+        self.metrics.as_mut()
+    }
+
+    /// Whether any observer (sink or metrics) is attached — primitives use
+    /// this to skip computing occupancy/cluster statistics on hot paths.
+    pub fn observing(&self) -> bool {
+        self.sink.is_some() || self.metrics.is_some()
+    }
+
+    /// Opens a named span (e.g. `"iteration[3]"`) at the current step.
+    /// Closes any open phase frame first, so phases never span structural
+    /// boundaries.
+    pub fn enter_span(&mut self, name: &str) {
+        self.close_phase_frame();
+        if let Some(s) = &mut self.sink {
+            s.enter_span(name, self.counts.iter().sum());
+            self.span_depth += 1;
+        }
+    }
+
+    /// Closes the innermost named span (and any phase frame inside it).
+    /// If a phase is still set, its frame reopens at the outer level, so
+    /// steps issued after a nested routine under the same statement stay
+    /// attributed to it.
+    pub fn exit_span(&mut self) {
+        self.close_phase_frame();
+        if self.span_depth > 0 {
+            self.span_depth -= 1;
+            let step = self.total_steps();
+            if let Some(s) = &mut self.sink {
+                s.exit_span(step);
+            }
+        }
+        if let Some(p) = self.phase {
+            self.open_phase_frame(p);
+        }
+    }
+
+    fn open_phase_frame(&mut self, name: &str) {
+        if let Some(s) = &mut self.sink {
+            s.enter_span(name, self.counts.iter().sum());
+            self.phase_open = true;
+        }
+    }
+
+    fn close_phase_frame(&mut self) {
+        if self.phase_open {
+            self.phase_open = false;
+            let step = self.total_steps();
+            if let Some(s) = &mut self.sink {
+                s.exit_span(step);
+            }
+        }
     }
 
     /// Enables instruction tracing (records every step until disabled).
@@ -170,13 +339,28 @@ impl Controller {
     #[inline]
     pub fn record(&mut self, op: Op) {
         let phase = self.phase;
-        self.record_labeled(op, phase);
+        self.record_observed(op, phase, None, None);
     }
 
     /// Records one instruction with an explicit label (kept only if
-    /// tracing; overrides the current phase).
+    /// tracing or observing; overrides the current phase).
     #[inline]
     pub fn record_labeled(&mut self, op: Op, label: Option<&str>) {
+        self.record_observed(op, label, None, None);
+    }
+
+    /// Records one instruction with activity statistics attached: the
+    /// fraction of PEs active under the instruction's mask and/or the
+    /// number of bus clusters driven. The statistics flow to the trace
+    /// sink only; primitives compute them only when
+    /// [`Controller::observing`].
+    pub fn record_observed(
+        &mut self,
+        op: Op,
+        label: Option<&str>,
+        occupancy: Option<f64>,
+        clusters: Option<u64>,
+    ) {
         let step = self.total_steps();
         self.counts[op.slot()] += 1;
         if let Some(trace) = &mut self.trace {
@@ -186,11 +370,32 @@ impl Controller {
                 label: label.map(str::to_owned),
             });
         }
+        if let Some(s) = &mut self.sink {
+            s.event(&Event {
+                class: op.label(),
+                step,
+                dur: 1,
+                label,
+                occupancy,
+                clusters,
+            });
+        }
+        if let Some(m) = &mut self.metrics {
+            m.inc(op.metric_name(), 1);
+            m.inc("steps.total", 1);
+        }
     }
 
     /// Sets (or clears) the phase label attached to subsequent records.
-    /// Phases cost nothing and only surface in traces.
+    /// Phases cost no steps; they surface in traces and, when a sink is
+    /// installed, as the innermost span frame.
     pub fn set_phase(&mut self, phase: Option<&'static str>) {
+        if self.phase != phase {
+            self.close_phase_frame();
+            if let Some(p) = phase {
+                self.open_phase_frame(p);
+            }
+        }
         self.phase = phase;
     }
 
@@ -211,10 +416,15 @@ impl Controller {
 
     /// Snapshot of the current tallies.
     pub fn report(&self) -> StepReport {
-        StepReport { counts: self.counts }
+        StepReport {
+            counts: self.counts,
+        }
     }
 
     /// Zeroes all counters (and drops any collected trace entries).
+    ///
+    /// The step clock restarts at 0, so install sinks *after* resetting —
+    /// an already-installed sink would see time move backwards.
     pub fn reset(&mut self) {
         self.counts = [0; 5];
         if let Some(t) = &mut self.trace {
@@ -348,6 +558,106 @@ mod tests {
         c.record(Op::Alu);
         c.reset();
         assert_eq!(c.total_steps(), 0);
+    }
+
+    #[test]
+    fn checked_since_returns_none_instead_of_panicking() {
+        let mut c = Controller::new();
+        c.record(Op::Alu);
+        let later = c.report();
+        c.reset();
+        c.record(Op::Shift);
+        assert_eq!(c.report().checked_since(&later), None);
+        c.record(Op::Alu);
+        let diff = c.report().checked_since(&later).unwrap();
+        assert_eq!(diff.count(Op::Shift), 1);
+        assert_eq!(diff.count(Op::Alu), 0);
+    }
+
+    #[test]
+    fn sink_sees_spans_phases_and_events() {
+        let sink = ppa_obs::MemorySink::new();
+        let mut c = Controller::new();
+        c.install_sink(sink.clone());
+        c.enter_span("mcp");
+        c.set_phase(Some("setup"));
+        c.record(Op::Alu);
+        c.record(Op::Broadcast);
+        c.enter_span("iteration[0]");
+        c.set_phase(Some("stmt 11"));
+        c.record(Op::BusOr);
+        c.exit_span();
+        c.set_phase(None);
+        c.exit_span();
+        let _ = c.take_sink();
+        assert!(sink.balanced());
+        assert_eq!(sink.total_steps(), c.total_steps());
+        assert_eq!(
+            sink.span_totals(),
+            vec![
+                ("mcp > setup".to_owned(), 2),
+                ("mcp > iteration[0] > stmt 11".to_owned(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn take_sink_closes_open_frames() {
+        let sink = ppa_obs::MemorySink::new();
+        let mut c = Controller::new();
+        c.install_sink(sink.clone());
+        c.enter_span("left");
+        c.set_phase(Some("open"));
+        c.record(Op::Alu);
+        assert!(!sink.balanced());
+        let _ = c.take_sink();
+        assert!(sink.balanced());
+        assert!(!c.has_sink());
+    }
+
+    #[test]
+    fn metrics_count_steps_by_class() {
+        let mut c = Controller::new();
+        c.enable_metrics();
+        c.record(Op::Alu);
+        c.record(Op::Alu);
+        c.record(Op::GlobalOr);
+        let m = c.take_metrics();
+        assert_eq!(m.counter("steps.alu"), 2);
+        assert_eq!(m.counter("steps.global-or"), 1);
+        assert_eq!(m.counter("steps.total"), 3);
+        for op in Op::ALL {
+            assert_eq!(m.counter(op.metric_name()), c.report().count(op));
+        }
+    }
+
+    #[test]
+    fn clone_drops_sink_but_keeps_counters() {
+        let sink = ppa_obs::MemorySink::new();
+        let mut c = Controller::new();
+        c.install_sink(sink);
+        c.record(Op::Alu);
+        let clone = c.clone();
+        assert!(!clone.has_sink());
+        assert_eq!(clone.total_steps(), 1);
+    }
+
+    #[test]
+    fn repeated_set_phase_replaces_frame() {
+        let sink = ppa_obs::MemorySink::new();
+        let mut c = Controller::new();
+        c.install_sink(sink.clone());
+        c.set_phase(Some("a"));
+        c.record(Op::Alu);
+        c.set_phase(Some("b"));
+        c.record(Op::Shift);
+        c.set_phase(None);
+        let _ = c.take_sink();
+        assert!(sink.balanced());
+        assert_eq!(
+            sink.span_totals(),
+            vec![("a".to_owned(), 1), ("b".to_owned(), 1)]
+        );
     }
 
     #[test]

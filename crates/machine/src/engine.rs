@@ -6,8 +6,65 @@
 //! The choice changes only the *host wall-clock*; the simulated step counts
 //! recorded by the [`Controller`](crate::Controller) are identical by
 //! construction, which the engine equivalence tests assert.
+//!
+//! ## Profiling
+//!
+//! [`enable_profiling`] turns on process-wide wall-clock accounting:
+//! every `build`/`reduce` call adds its host time to an
+//! [`EngineProfile`], including per-worker chunk timings in threaded
+//! mode (which expose chunk imbalance). [`take_profile`] stops
+//! accounting and returns the totals. The flag is a relaxed atomic read
+//! on the hot path, so the disabled cost is negligible.
 
+use ppa_obs::EngineProfile;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static PROFILE: Mutex<Option<EngineProfile>> = Mutex::new(None);
+
+/// Starts wall-clock profiling of every engine call, process-wide,
+/// resetting any previous totals.
+pub fn enable_profiling() {
+    *PROFILE.lock().expect("engine profile poisoned") = Some(EngineProfile::default());
+    PROFILING.store(true, Ordering::SeqCst);
+}
+
+/// Stops profiling and returns the accumulated totals (`None` if
+/// profiling was never enabled).
+pub fn take_profile() -> Option<EngineProfile> {
+    PROFILING.store(false, Ordering::SeqCst);
+    PROFILE.lock().expect("engine profile poisoned").take()
+}
+
+/// Whether engine profiling is currently enabled.
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+fn note_call(is_build: bool, threaded: bool, elapsed: Duration, chunks: &[(usize, u64)]) {
+    let mut guard = PROFILE.lock().expect("engine profile poisoned");
+    let Some(p) = guard.as_mut() else { return };
+    if is_build {
+        p.build_calls += 1;
+    } else {
+        p.reduce_calls += 1;
+    }
+    let ns = elapsed.as_nanos() as u64;
+    if threaded {
+        p.threaded_nanos += ns;
+    } else {
+        p.sequential_nanos += ns;
+    }
+    for &(slot, n) in chunks {
+        if p.per_thread_nanos.len() <= slot {
+            p.per_thread_nanos.resize(slot + 1, 0);
+        }
+        p.per_thread_nanos[slot] += n;
+    }
+}
 
 /// How the per-PE loops of each simulated instruction run on the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,12 +119,19 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let profiling = profiling_enabled();
+    let call_start = profiling.then(Instant::now);
     let threads = mode.thread_count();
     if threads <= 1 || len < MIN_CHUNK * 2 {
-        return (0..len).map(f).collect();
+        let out: Vec<T> = (0..len).map(f).collect();
+        if let Some(t0) = call_start {
+            note_call(true, false, t0.elapsed(), &[]);
+        }
+        return out;
     }
     let chunk = len.div_ceil(threads);
     let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut chunk_times: Vec<(usize, u64)> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         let f = &f;
@@ -77,16 +141,27 @@ where
             if start >= end {
                 break;
             }
-            handles.push(scope.spawn(move |_| (start..end).map(f).collect::<Vec<T>>()));
+            handles.push(scope.spawn(move |_| {
+                let w0 = profiling.then(Instant::now);
+                let part = (start..end).map(f).collect::<Vec<T>>();
+                (part, w0.map_or(0, |t0| t0.elapsed().as_nanos() as u64))
+            }));
         }
-        for h in handles {
-            parts.push(h.join().expect("engine worker panicked"));
+        for (slot, h) in handles.into_iter().enumerate() {
+            let (part, nanos) = h.join().expect("engine worker panicked");
+            parts.push(part);
+            if profiling {
+                chunk_times.push((slot, nanos));
+            }
         }
     })
     .expect("engine scope panicked");
     let mut out = Vec::with_capacity(len);
     for p in parts {
         out.extend(p);
+    }
+    if let Some(t0) = call_start {
+        note_call(true, true, t0.elapsed(), &chunk_times);
     }
     out
 }
@@ -100,12 +175,19 @@ where
     F: Fn(usize) -> T + Sync,
     C: Fn(T, T) -> T + Sync + Send,
 {
+    let profiling = profiling_enabled();
+    let call_start = profiling.then(Instant::now);
     let threads = mode.thread_count();
     if threads <= 1 || len < MIN_CHUNK * 2 {
-        return (0..len).map(f).fold(identity, combine);
+        let out = (0..len).map(f).fold(identity, combine);
+        if let Some(t0) = call_start {
+            note_call(false, false, t0.elapsed(), &[]);
+        }
+        return out;
     }
     let chunk = len.div_ceil(threads);
     let mut acc = identity.clone();
+    let mut chunk_times: Vec<(usize, u64)> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         let f = &f;
@@ -117,14 +199,24 @@ where
                 break;
             }
             let id = identity.clone();
-            handles.push(scope.spawn(move |_| (start..end).map(f).fold(id, combine)));
+            handles.push(scope.spawn(move |_| {
+                let w0 = profiling.then(Instant::now);
+                let part = (start..end).map(f).fold(id, combine);
+                (part, w0.map_or(0, |t0| t0.elapsed().as_nanos() as u64))
+            }));
         }
-        for h in handles {
-            let part = h.join().expect("engine worker panicked");
+        for (slot, h) in handles.into_iter().enumerate() {
+            let (part, nanos) = h.join().expect("engine worker panicked");
             acc = combine(acc.clone(), part);
+            if profiling {
+                chunk_times.push((slot, nanos));
+            }
         }
     })
     .expect("engine scope panicked");
+    if let Some(t0) = call_start {
+        note_call(false, true, t0.elapsed(), &chunk_times);
+    }
     acc
 }
 
@@ -185,5 +277,26 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_threads_rejected() {
         let _ = ExecMode::threaded(0);
+    }
+
+    #[test]
+    fn profiling_accounts_calls_and_worker_chunks() {
+        enable_profiling();
+        let _ = build(ExecMode::Sequential, 100, |i| i);
+        let _ = build(ExecMode::threaded(3), 10_000, |i| i as u64);
+        let _ = reduce(
+            ExecMode::threaded(3),
+            10_000,
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        let p = take_profile().expect("profile collected");
+        // Other tests may run concurrently and add their own calls, so
+        // assert lower bounds only.
+        assert!(p.build_calls >= 2, "{p:?}");
+        assert!(p.reduce_calls >= 1, "{p:?}");
+        assert!(p.per_thread_nanos.len() >= 3, "{p:?}");
+        assert!(take_profile().is_none());
     }
 }

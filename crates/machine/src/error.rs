@@ -33,7 +33,10 @@ impl fmt::Display for MachineError {
                 "bus fault: {axis} bus line(s) {lines:?} have no Open node to drive them"
             ),
             MachineError::DimMismatch { expected, found } => {
-                write!(f, "plane dimension mismatch: machine is {expected}, plane is {found}")
+                write!(
+                    f,
+                    "plane dimension mismatch: machine is {expected}, plane is {found}"
+                )
             }
         }
     }

@@ -97,7 +97,11 @@ impl Dim {
     pub fn line_index(self, dir: Direction, line: usize, pos: usize) -> usize {
         let len = self.line_len(dir.axis());
         debug_assert!(pos < len);
-        let along = if dir.is_increasing() { pos } else { len - 1 - pos };
+        let along = if dir.is_increasing() {
+            pos
+        } else {
+            len - 1 - pos
+        };
         match dir.axis() {
             // Horizontal buses: `line` is the row, `along` the column.
             Axis::Row => self.index(Coord::new(line, along)),
@@ -284,28 +288,36 @@ mod tests {
     #[test]
     fn line_index_east_orders_columns_ascending() {
         let d = Dim::new(2, 4);
-        let idxs: Vec<usize> = (0..4).map(|p| d.line_index(Direction::East, 1, p)).collect();
+        let idxs: Vec<usize> = (0..4)
+            .map(|p| d.line_index(Direction::East, 1, p))
+            .collect();
         assert_eq!(idxs, vec![4, 5, 6, 7]);
     }
 
     #[test]
     fn line_index_west_orders_columns_descending() {
         let d = Dim::new(2, 4);
-        let idxs: Vec<usize> = (0..4).map(|p| d.line_index(Direction::West, 0, p)).collect();
+        let idxs: Vec<usize> = (0..4)
+            .map(|p| d.line_index(Direction::West, 0, p))
+            .collect();
         assert_eq!(idxs, vec![3, 2, 1, 0]);
     }
 
     #[test]
     fn line_index_south_orders_rows_ascending() {
         let d = Dim::new(3, 2);
-        let idxs: Vec<usize> = (0..3).map(|p| d.line_index(Direction::South, 1, p)).collect();
+        let idxs: Vec<usize> = (0..3)
+            .map(|p| d.line_index(Direction::South, 1, p))
+            .collect();
         assert_eq!(idxs, vec![1, 3, 5]);
     }
 
     #[test]
     fn line_index_north_orders_rows_descending() {
         let d = Dim::new(3, 2);
-        let idxs: Vec<usize> = (0..3).map(|p| d.line_index(Direction::North, 0, p)).collect();
+        let idxs: Vec<usize> = (0..3)
+            .map(|p| d.line_index(Direction::North, 0, p))
+            .collect();
         assert_eq!(idxs, vec![4, 2, 0]);
     }
 

@@ -85,6 +85,48 @@ impl Machine {
         }
     }
 
+    /// Fraction of `true` cells in a mask plane, computed only when an
+    /// observer is attached (the count is O(p) host work the simulated
+    /// machine would not perform).
+    fn occupancy_of(&self, mask: &Plane<bool>) -> Option<f64> {
+        if !self.controller.observing() {
+            return None;
+        }
+        let active = mask.as_slice().iter().filter(|&&b| b).count();
+        Some(active as f64 / self.dim.len().max(1) as f64)
+    }
+
+    /// Number of bus clusters the Open mask induces for `dir` (only when
+    /// observing). `None` when some line has no driver — the primitive
+    /// itself reports that case as a fault or a single cluster.
+    fn clusters_of(&self, dir: Direction, open: &Plane<bool>) -> Option<u64> {
+        if !self.controller.observing() {
+            return None;
+        }
+        match bus::cluster_heads(self.dim, dir, open) {
+            Ok(heads) => Some(heads.iter().enumerate().filter(|&(i, &h)| i == h).count() as u64),
+            Err(_) => None,
+        }
+    }
+
+    /// Records one bus-class instruction with activity statistics and the
+    /// shared bus metrics counters.
+    fn record_bus(&mut self, op: Op, occupancy: Option<f64>, clusters: Option<u64>) {
+        let label = self.controller.phase();
+        self.controller
+            .record_observed(op, label, occupancy, clusters);
+        let len = self.dim.len();
+        if let Some(m) = self.controller.metrics_mut() {
+            m.inc("bus.transactions", 1);
+            if let Some(k) = clusters {
+                m.inc("bus.clusters", k);
+            }
+            if let Some(o) = occupancy {
+                m.inc("mask.active_pes", (o * len as f64).round() as u64);
+            }
+        }
+    }
+
     // ----- communication instructions -------------------------------------
 
     /// `broadcast(src, dir, L)`: one controller step; every PE receives the
@@ -95,7 +137,8 @@ impl Machine {
         dir: Direction,
         open: &Plane<bool>,
     ) -> Result<Plane<T>, MachineError> {
-        self.controller.record(Op::Broadcast);
+        let (occ, clusters) = (self.occupancy_of(open), self.clusters_of(dir, open));
+        self.record_bus(Op::Broadcast, occ, clusters);
         bus::broadcast(self.mode, self.dim, src, dir, open)
     }
 
@@ -106,7 +149,8 @@ impl Machine {
         dir: Direction,
         open: &Plane<bool>,
     ) -> Result<Plane<bool>, MachineError> {
-        self.controller.record(Op::BusOr);
+        let (occ, clusters) = (self.occupancy_of(open), self.clusters_of(dir, open));
+        self.record_bus(Op::BusOr, occ, clusters);
         bus::bus_or(self.mode, self.dim, values, dir, open)
     }
 
@@ -137,7 +181,10 @@ impl Machine {
     /// loops such as the MCP termination test (statement 20).
     pub fn global_or(&mut self, flags: &Plane<bool>) -> Result<bool, MachineError> {
         self.check(flags)?;
-        self.controller.record(Op::GlobalOr);
+        let occ = self.occupancy_of(flags);
+        let label = self.controller.phase();
+        self.controller
+            .record_observed(Op::GlobalOr, label, occ, None);
         let f = flags.as_slice();
         Ok(crate::engine::reduce(
             self.mode,
@@ -244,9 +291,22 @@ impl Machine {
         self.check(dst)?;
         self.check(src)?;
         self.check(mask)?;
-        self.controller.record(Op::Alu);
+        let occ = self.occupancy_of(mask);
+        let label = self.controller.phase();
+        self.controller.record_observed(Op::Alu, label, occ, None);
+        let len = self.dim.len();
+        if let Some(mx) = self.controller.metrics_mut() {
+            mx.inc("mask.writes", 1);
+            if let Some(o) = occ {
+                mx.inc("mask.active_pes", (o * len as f64).round() as u64);
+            }
+        }
         let (d, s, m) = (dst.as_slice(), src.as_slice(), mask.as_slice());
-        let data = crate::engine::build(self.mode, self.dim.len(), |i| if m[i] { s[i] } else { d[i] });
+        let data = crate::engine::build(
+            self.mode,
+            self.dim.len(),
+            |i| if m[i] { s[i] } else { d[i] },
+        );
         *dst = Plane::from_vec(self.dim, data);
         Ok(())
     }
@@ -284,7 +344,9 @@ mod tests {
         let s = m.zip(&a, &b, |x, y| x + y).unwrap();
         assert_eq!(*s.at(2, 1), 3);
         let mask = Plane::from_fn(m.dim(), |c| c.row == 0);
-        let t = m.zip3(&s, &a, &mask, |x, y, &k| if k { *x } else { *y }).unwrap();
+        let t = m
+            .zip3(&s, &a, &mask, |x, y, &k| if k { *x } else { *y })
+            .unwrap();
         assert_eq!(*t.at(0, 2), 2);
         assert_eq!(*t.at(1, 2), 1);
     }

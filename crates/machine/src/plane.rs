@@ -91,7 +91,10 @@ impl<T> Plane<T> {
     /// Iterates over `(Coord, &T)` pairs row-major.
     pub fn enumerate(&self) -> impl Iterator<Item = (Coord, &T)> {
         let dim = self.dim;
-        self.data.iter().enumerate().map(move |(i, v)| (dim.coord(i), v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (dim.coord(i), v))
     }
 
     /// Borrow one row as a slice.
@@ -122,7 +125,9 @@ impl<T: Clone> Plane<T> {
     /// Collects one column as a vector (rows top to bottom).
     pub fn col(&self, col: usize) -> Vec<T> {
         assert!(col < self.dim.cols, "column {col} out of bounds");
-        (0..self.dim.rows).map(|r| self.at(r, col).clone()).collect()
+        (0..self.dim.rows)
+            .map(|r| self.at(r, col).clone())
+            .collect()
     }
 
     /// Returns the transposed plane (structural helper; the real machine

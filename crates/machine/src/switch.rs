@@ -14,8 +14,8 @@
 //! In either configuration the PE *reads* from its upstream port (e.g. the
 //! West port when the movement direction is East).
 
-use crate::plane::Plane;
 use crate::geometry::Dim;
+use crate::plane::Plane;
 use std::fmt;
 
 /// The two legal switch-box configurations of a PPA node.

@@ -1,0 +1,105 @@
+//! Property tests of the observability layer: under *arbitrary* interleavings
+//! of instructions, named spans, and phase labels, the trace a sink observes
+//! must stay balanced and its span-aggregated step totals must reconcile
+//! exactly with the controller's own [`StepReport`] — the invariant behind
+//! the `report profile` experiment's cross-checked table.
+
+use ppa_machine::{Controller, Op, StepReport};
+use ppa_obs::{validate_chrome_trace, ChromeTraceSink, MemorySink};
+use proptest::prelude::*;
+
+/// Phase labels must be `&'static str`, so the generator draws from a pool.
+const PHASES: [&str; 3] = ["stmt 5", "stmt 11", "stmt 18"];
+
+/// Decodes one draw into an action against the controller. The encoding
+/// weights plain instructions heaviest (like real programs), but still
+/// exercises span pushes/pops — including spurious pops past the bottom —
+/// and phase changes, including redundant ones.
+fn apply(c: &mut Controller, b: u32) {
+    match b % 12 {
+        0..=4 => c.record(Op::ALL[(b % 5) as usize]),
+        5 => c.record(Op::Alu),
+        6 => c.enter_span(&format!("span[{}]", b / 12)),
+        7 => c.exit_span(),
+        8 | 9 => c.set_phase(Some(PHASES[(b / 12) as usize % PHASES.len()])),
+        10 => c.set_phase(None),
+        _ => c.record_labeled(Op::BusOr, Some("explicit")),
+    }
+}
+
+fn actions() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..256, 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn span_totals_reconcile_with_step_report(seq in actions()) {
+        let sink = MemorySink::new();
+        let mut c = Controller::new();
+        c.install_sink(sink.clone());
+        c.enable_metrics();
+        for &b in &seq {
+            apply(&mut c, b);
+        }
+        let report = c.report();
+        let metrics = c.take_metrics();
+        let _ = c.take_sink();
+
+        // The sink saw a balanced trace with every step accounted for.
+        prop_assert!(sink.balanced());
+        prop_assert_eq!(sink.total_steps(), report.total());
+        let span_sum: u64 = sink.span_totals().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(span_sum, report.total());
+
+        // The metrics counters are an exact per-class mirror of the report.
+        for op in Op::ALL {
+            prop_assert_eq!(metrics.counter(op.metric_name()), report.count(op));
+        }
+        prop_assert_eq!(metrics.counter("steps.total"), report.total());
+    }
+
+    #[test]
+    fn chrome_export_is_well_formed_for_any_sequence(seq in actions()) {
+        let sink = ChromeTraceSink::new();
+        let mut c = Controller::new();
+        c.install_sink(sink.clone());
+        for &b in &seq {
+            apply(&mut c, b);
+        }
+        let final_step = c.total_steps();
+        let _ = c.take_sink();
+        let doc = sink.finish(final_step);
+        prop_assert!(
+            validate_chrome_trace(&doc).is_ok(),
+            "{:?}",
+            validate_chrome_trace(&doc)
+        );
+    }
+
+    #[test]
+    fn checked_since_agrees_with_since_on_any_split(
+        seq in actions(),
+        split in 0usize..300,
+    ) {
+        let mut c = Controller::new();
+        let mut earlier = StepReport::default();
+        for (i, &b) in seq.iter().enumerate() {
+            if i == split {
+                earlier = c.report();
+            }
+            apply(&mut c, b);
+        }
+        let later = c.report();
+        // A snapshot taken mid-run is always a prefix of the final report.
+        let diff = later.checked_since(&earlier);
+        prop_assert!(diff.is_some());
+        prop_assert_eq!(diff.unwrap(), later.since(&earlier));
+        prop_assert_eq!(later.checked_since(&later), Some(StepReport::default()));
+        // And the reverse direction only succeeds when nothing happened
+        // in between.
+        let reverse = earlier.checked_since(&later);
+        prop_assert_eq!(reverse.is_some(), earlier == later);
+    }
+}

@@ -1,0 +1,339 @@
+//! The metrics registry: named counters and histograms, snapshotable to
+//! JSON and reconstructible from it (exact round-trip).
+//!
+//! Counter naming convention used across the workspace:
+//! * `steps.<op>` — controller steps by instruction class (`steps.alu`,
+//!   `steps.broadcast`, ...); their sum reconciles with
+//!   `Controller::report().total()`.
+//! * `bus.transactions` / `bus.clusters` — reconfigurable-bus activity.
+//! * `mask.active_pes` / `mask.writes` — PE-activity occupancy accounting.
+//!
+//! Histograms use log2 buckets: bucket `i` counts samples `v` with
+//! `floor(log2(v)) == i` (`v == 0` goes to bucket 0), enough resolution to
+//! see "steps per iteration is flat" at a glance.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets (covers u64 range).
+pub const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    buckets: Box<[u64; BUCKETS]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Box::new([0; BUCKETS]),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (63 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            (
+                "min",
+                if self.count == 0 {
+                    Json::Null
+                } else {
+                    self.min.into()
+                },
+            ),
+            ("max", self.max.into()),
+            ("mean", self.mean().into()),
+            (
+                "buckets",
+                Json::Array(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(i, c)| Json::Array(vec![i.into(), c.into()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Histogram, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("histogram missing `{k}`"));
+        let num = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("`{k}` not a u64"));
+        let mut h = Histogram {
+            count: num("count")?,
+            sum: num("sum")?,
+            min: match field("min")? {
+                Json::Null => u64::MAX,
+                other => other.as_u64().ok_or("`min` not a u64")?,
+            },
+            max: num("max")?,
+            buckets: Box::new([0; BUCKETS]),
+        };
+        let buckets = field("buckets")?
+            .as_array()
+            .ok_or("`buckets` not an array")?;
+        for b in buckets {
+            let pair = b.as_array().ok_or("bucket not a pair")?;
+            let [i, c] = pair else {
+                return Err("bucket pair wrong arity".into());
+            };
+            let i = i.as_u64().ok_or("bucket index not a u64")? as usize;
+            if i >= BUCKETS {
+                return Err(format!("bucket index {i} out of range"));
+            }
+            h.buckets[i] = c.as_u64().ok_or("bucket count not a u64")?;
+        }
+        Ok(h)
+    }
+}
+
+/// The metrics registry: named counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_owned(), by);
+        }
+    }
+
+    /// Current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds another registry into this one (counters add, histograms
+    /// merge sample-exactly at bucket resolution).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_default();
+            mine.count += h.count;
+            mine.sum += h.sum;
+            mine.min = mine.min.min(h.min);
+            mine.max = mine.max.max(h.max);
+            for i in 0..BUCKETS {
+                mine.buckets[i] += h.buckets[i];
+            }
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the registry to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), v.into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstructs a registry from [`Metrics::to_json`] output.
+    ///
+    /// # Errors
+    /// A description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<Metrics, String> {
+        let mut m = Metrics::new();
+        let counters = v.get("counters").ok_or("missing `counters`")?;
+        let Json::Object(pairs) = counters else {
+            return Err("`counters` not an object".into());
+        };
+        for (k, v) in pairs {
+            m.counters.insert(
+                k.clone(),
+                v.as_u64()
+                    .ok_or_else(|| format!("counter `{k}` not a u64"))?,
+            );
+        }
+        let hists = v.get("histograms").ok_or("missing `histograms`")?;
+        let Json::Object(pairs) = hists else {
+            return Err("`histograms` not an object".into());
+        };
+        for (k, v) in pairs {
+            m.histograms.insert(k.clone(), Histogram::from_json(v)?);
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("steps.alu", 2);
+        m.inc("steps.alu", 3);
+        assert_eq!(m.counter("steps.alu"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_stats_and_buckets() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 900] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 906);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 900);
+        assert!((h.mean() - 181.2).abs() < 1e-9);
+        // 0 and 1 share bucket 0; 2 and 3 share bucket 1; 900 in bucket 9.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2), (1, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let mut m = Metrics::new();
+        m.inc("steps.alu", 41);
+        m.inc("bus.transactions", 7);
+        m.observe("mcp.steps_per_iteration", 131);
+        m.observe("mcp.steps_per_iteration", 131);
+        m.observe("cluster.size", 0);
+        let text = m.to_json().to_string_pretty();
+        let back = Metrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let m = Metrics::new();
+        let back = Metrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = Metrics::new();
+        a.inc("x", 1);
+        a.observe("h", 4);
+        let mut b = Metrics::new();
+        b.inc("x", 2);
+        b.inc("y", 5);
+        b.observe("h", 8);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 12);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Metrics::from_json(&Json::Null).is_err());
+        let bad = Json::obj(vec![
+            ("counters", Json::obj(vec![("k", Json::Str("no".into()))])),
+            ("histograms", Json::obj(vec![])),
+        ]);
+        assert!(Metrics::from_json(&bad).is_err());
+    }
+}

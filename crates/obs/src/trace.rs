@@ -1,0 +1,546 @@
+//! Hierarchical trace spans and the sinks that consume them.
+//!
+//! The simulated machine's notion of time is the *controller step index* —
+//! the unit the paper's complexity claims are stated in — so every span and
+//! event here is timestamped in steps, not wall-clock. Rendering a trace in
+//! Perfetto therefore draws the complexity analysis literally: a `min` span
+//! is `4h + 4` units wide no matter how long the host took to simulate it.
+//!
+//! Three sinks cover the use cases:
+//! * [`MemorySink`] — in-memory record list, for tests and aggregation;
+//! * [`JsonLinesSink`] — one JSON object per record, for streaming tools;
+//! * [`ChromeTraceSink`] — Chrome `trace_event` format, loadable in
+//!   Perfetto / `chrome://tracing`.
+//!
+//! All sinks are cheap-to-clone shared handles (`Arc<Mutex<_>>`): the
+//! emitting side (a controller, a baseline meter) owns one clone while the
+//! caller keeps another to harvest the result afterwards.
+
+use crate::json::Json;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// One instruction-level trace event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Instruction class label (e.g. `"alu"`, `"broadcast"`).
+    pub class: &'a str,
+    /// Controller step index at which the event starts.
+    pub step: u64,
+    /// Steps the event accounts for (1 for single instructions; batched
+    /// emitters such as the baseline meters use larger spans).
+    pub dur: u64,
+    /// Statement/phase label, if the emitter attributes finer than spans.
+    pub label: Option<&'a str>,
+    /// Fraction of PEs active under the current mask, when known.
+    pub occupancy: Option<f64>,
+    /// Number of bus clusters driven, for bus transactions.
+    pub clusters: Option<u64>,
+}
+
+impl<'a> Event<'a> {
+    /// A bare event of `class` at `step` covering one step.
+    pub fn new(class: &'a str, step: u64) -> Self {
+        Event {
+            class,
+            step,
+            dur: 1,
+            label: None,
+            occupancy: None,
+            clusters: None,
+        }
+    }
+}
+
+/// Receiver of hierarchical spans and instruction events.
+///
+/// Implementations must tolerate unbalanced exits (an `exit_span` with no
+/// matching `enter_span` is ignored) so emitters can be defensive.
+pub trait TraceSink: Send {
+    /// Opens a span named `name` at step `step`.
+    fn enter_span(&mut self, name: &str, step: u64);
+    /// Closes the innermost open span at step `step`.
+    fn exit_span(&mut self, step: u64);
+    /// Records one instruction-level event.
+    fn event(&mut self, ev: &Event<'_>);
+}
+
+/// One record kept by [`MemorySink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// Span opened.
+    Enter {
+        /// Span name.
+        name: String,
+        /// Step at which it opened.
+        step: u64,
+    },
+    /// Span closed.
+    Exit {
+        /// Step at which it closed.
+        step: u64,
+    },
+    /// Instruction event.
+    Event {
+        /// Instruction class label.
+        class: String,
+        /// Step index.
+        step: u64,
+        /// Steps accounted for.
+        dur: u64,
+        /// Optional statement label.
+        label: Option<String>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct MemoryInner {
+    records: Vec<TraceRecord>,
+}
+
+/// In-memory sink: records everything for later inspection.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink(Arc<Mutex<MemoryInner>>);
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of all records so far.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.0.lock().expect("memory sink poisoned").records.clone()
+    }
+
+    /// Whether every `Exit` matches an `Enter` and nothing is left open.
+    pub fn balanced(&self) -> bool {
+        let mut depth = 0i64;
+        for r in self.records() {
+            match r {
+                TraceRecord::Enter { .. } => depth += 1,
+                TraceRecord::Exit { .. } => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                TraceRecord::Event { .. } => {}
+            }
+        }
+        depth == 0
+    }
+
+    /// Aggregates event durations per span *path* (`"a > b"`), in order of
+    /// first appearance. Events outside any span fall under `"(root)"`.
+    pub fn span_totals(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        let mut stack: Vec<String> = Vec::new();
+        for r in self.records() {
+            match r {
+                TraceRecord::Enter { name, .. } => stack.push(name),
+                TraceRecord::Exit { .. } => {
+                    stack.pop();
+                }
+                TraceRecord::Event { dur, .. } => {
+                    let path = if stack.is_empty() {
+                        "(root)".to_owned()
+                    } else {
+                        stack.join(" > ")
+                    };
+                    match out.iter_mut().find(|(p, _)| *p == path) {
+                        Some((_, n)) => *n += dur,
+                        None => out.push((path, dur)),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total event duration across all records (= controller steps seen).
+    pub fn total_steps(&self) -> u64 {
+        self.records()
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Event { dur, .. } => *dur,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn enter_span(&mut self, name: &str, step: u64) {
+        self.0
+            .lock()
+            .expect("memory sink poisoned")
+            .records
+            .push(TraceRecord::Enter {
+                name: name.to_owned(),
+                step,
+            });
+    }
+
+    fn exit_span(&mut self, step: u64) {
+        self.0
+            .lock()
+            .expect("memory sink poisoned")
+            .records
+            .push(TraceRecord::Exit { step });
+    }
+
+    fn event(&mut self, ev: &Event<'_>) {
+        self.0
+            .lock()
+            .expect("memory sink poisoned")
+            .records
+            .push(TraceRecord::Event {
+                class: ev.class.to_owned(),
+                step: ev.step,
+                dur: ev.dur,
+                label: ev.label.map(str::to_owned),
+            });
+    }
+}
+
+#[derive(Debug, Default)]
+struct JsonLinesInner {
+    lines: Vec<String>,
+}
+
+/// JSON-lines sink: one compact JSON object per span edge / event.
+#[derive(Debug, Clone, Default)]
+pub struct JsonLinesSink(Arc<Mutex<JsonLinesInner>>);
+
+impl JsonLinesSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        JsonLinesSink::default()
+    }
+
+    fn push(&self, value: Json) {
+        self.0
+            .lock()
+            .expect("jsonl sink poisoned")
+            .lines
+            .push(value.to_string_compact());
+    }
+
+    /// A copy of the emitted lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.0.lock().expect("jsonl sink poisoned").lines.clone()
+    }
+
+    /// Writes all lines, newline-terminated, to `w`.
+    pub fn write_to(&self, w: &mut impl io::Write) -> io::Result<()> {
+        for line in self.lines() {
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for JsonLinesSink {
+    fn enter_span(&mut self, name: &str, step: u64) {
+        self.push(Json::obj(vec![
+            ("kind", "enter".into()),
+            ("name", name.into()),
+            ("step", step.into()),
+        ]));
+    }
+
+    fn exit_span(&mut self, step: u64) {
+        self.push(Json::obj(vec![
+            ("kind", "exit".into()),
+            ("step", step.into()),
+        ]));
+    }
+
+    fn event(&mut self, ev: &Event<'_>) {
+        let mut pairs = vec![
+            ("kind", Json::from("event")),
+            ("class", ev.class.into()),
+            ("step", ev.step.into()),
+            ("dur", ev.dur.into()),
+        ];
+        if let Some(l) = ev.label {
+            pairs.push(("label", l.into()));
+        }
+        if let Some(o) = ev.occupancy {
+            pairs.push(("occupancy", o.into()));
+        }
+        if let Some(c) = ev.clusters {
+            pairs.push(("clusters", c.into()));
+        }
+        self.push(Json::obj(pairs));
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChromeInner {
+    events: Vec<Json>,
+    open: u64,
+}
+
+/// Chrome `trace_event` sink (Perfetto / `chrome://tracing` compatible).
+///
+/// Span enters/exits become `"B"`/`"E"` duration events and instructions
+/// become `"X"` complete events; the microsecond timestamp field carries
+/// the *controller step index*, so span widths in the viewer are exactly
+/// the step counts of the complexity analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink(Arc<Mutex<ChromeInner>>);
+
+/// Process id used in exported Chrome traces.
+const PID: u64 = 1;
+/// Thread id used in exported Chrome traces (one SIMD controller).
+const TID: u64 = 1;
+
+impl ChromeTraceSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        ChromeTraceSink::default()
+    }
+
+    fn push(&self, value: Json, delta_open: i64) {
+        let mut inner = self.0.lock().expect("chrome sink poisoned");
+        inner.events.push(value);
+        inner.open = inner.open.saturating_add_signed(delta_open);
+    }
+
+    /// The trace document as a JSON value: closes any still-open spans at
+    /// `final_step` and wraps everything in `{"traceEvents": [...]}`.
+    pub fn finish(&self, final_step: u64) -> Json {
+        let mut inner = self.0.lock().expect("chrome sink poisoned");
+        let open = inner.open;
+        for _ in 0..open {
+            inner.events.push(Json::obj(vec![
+                ("ph", "E".into()),
+                ("pid", PID.into()),
+                ("tid", TID.into()),
+                ("ts", final_step.into()),
+            ]));
+        }
+        inner.open = 0;
+        let mut events = vec![Json::obj(vec![
+            ("ph", "M".into()),
+            ("pid", PID.into()),
+            ("tid", TID.into()),
+            ("name", "process_name".into()),
+            (
+                "args",
+                Json::obj(vec![(
+                    "name",
+                    "ppa simulation (ts = controller step)".into(),
+                )]),
+            ),
+        ])];
+        events.extend(inner.events.iter().cloned());
+        Json::obj(vec![
+            ("traceEvents", Json::Array(events)),
+            ("displayTimeUnit", "ms".into()),
+        ])
+    }
+
+    /// Number of events recorded so far (excluding the metadata record).
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("chrome sink poisoned").events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn enter_span(&mut self, name: &str, step: u64) {
+        self.push(
+            Json::obj(vec![
+                ("ph", "B".into()),
+                ("pid", PID.into()),
+                ("tid", TID.into()),
+                ("ts", step.into()),
+                ("name", name.into()),
+            ]),
+            1,
+        );
+    }
+
+    fn exit_span(&mut self, step: u64) {
+        let open = self.0.lock().expect("chrome sink poisoned").open;
+        if open == 0 {
+            return; // tolerate unbalanced exits
+        }
+        self.push(
+            Json::obj(vec![
+                ("ph", "E".into()),
+                ("pid", PID.into()),
+                ("tid", TID.into()),
+                ("ts", step.into()),
+            ]),
+            -1,
+        );
+    }
+
+    fn event(&mut self, ev: &Event<'_>) {
+        let mut args = vec![("class", Json::from(ev.class))];
+        if let Some(l) = ev.label {
+            args.push(("label", l.into()));
+        }
+        if let Some(o) = ev.occupancy {
+            args.push(("occupancy", o.into()));
+        }
+        if let Some(c) = ev.clusters {
+            args.push(("clusters", c.into()));
+        }
+        self.push(
+            Json::obj(vec![
+                ("ph", "X".into()),
+                ("pid", PID.into()),
+                ("tid", TID.into()),
+                ("ts", ev.step.into()),
+                ("dur", ev.dur.into()),
+                ("name", ev.class.into()),
+                ("args", Json::obj(args)),
+            ]),
+            0,
+        );
+    }
+}
+
+/// Checks a parsed Chrome trace document for well-formedness: every `"E"`
+/// matches an open `"B"` and all spans are closed. Returns the number of
+/// `B`/`E` pairs, or an error description.
+pub fn validate_chrome_trace(doc: &Json) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut depth = 0i64;
+    let mut pairs = 0usize;
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("B") => {
+                if ev.get("name").and_then(Json::as_str).is_none() {
+                    return Err("B event without name".into());
+                }
+                depth += 1;
+            }
+            Some("E") => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("E without matching B".into());
+                }
+                pairs += 1;
+            }
+            Some("X") => {
+                if ev.get("dur").and_then(Json::as_u64).is_none() {
+                    return Err("X event without dur".into());
+                }
+            }
+            Some("M") => {}
+            other => return Err(format!("unexpected ph {other:?}")),
+        }
+        if ev.get("ts").and_then(Json::as_u64).is_none()
+            && ev.get("ph").and_then(Json::as_str) != Some("M")
+        {
+            return Err("event without numeric ts".into());
+        }
+    }
+    if depth != 0 {
+        return Err(format!("{depth} span(s) left open"));
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(sink: &mut dyn TraceSink) {
+        sink.enter_span("mcp", 0);
+        sink.enter_span("iteration[0]", 0);
+        sink.event(&Event::new("alu", 0));
+        sink.event(&Event {
+            occupancy: Some(0.5),
+            clusters: Some(6),
+            label: Some("stmt 11"),
+            ..Event::new("broadcast", 1)
+        });
+        sink.exit_span(2);
+        sink.exit_span(2);
+    }
+
+    #[test]
+    fn memory_sink_balances_and_aggregates() {
+        let mut sink = MemorySink::new();
+        drive(&mut sink);
+        assert!(sink.balanced());
+        assert_eq!(sink.total_steps(), 2);
+        let totals = sink.span_totals();
+        assert_eq!(totals, vec![("mcp > iteration[0]".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn memory_sink_detects_imbalance() {
+        let mut sink = MemorySink::new();
+        sink.enter_span("x", 0);
+        assert!(!sink.balanced());
+        let mut sink = MemorySink::new();
+        sink.exit_span(0);
+        assert!(!sink.balanced());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let mut sink = JsonLinesSink::new();
+        drive(&mut sink);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            let v = Json::parse(line).unwrap();
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+        let mut buf = Vec::new();
+        sink.write_to(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 6);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let mut sink = ChromeTraceSink::new();
+        drive(&mut sink);
+        let doc = sink.finish(2);
+        assert_eq!(validate_chrome_trace(&doc), Ok(2));
+        // Round-trips through text.
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(validate_chrome_trace(&parsed), Ok(2));
+    }
+
+    #[test]
+    fn chrome_finish_closes_open_spans() {
+        let mut sink = ChromeTraceSink::new();
+        sink.enter_span("left-open", 0);
+        sink.event(&Event::new("alu", 0));
+        let doc = sink.finish(5);
+        assert_eq!(validate_chrome_trace(&doc), Ok(1));
+    }
+
+    #[test]
+    fn chrome_ignores_spurious_exits() {
+        let mut sink = ChromeTraceSink::new();
+        sink.exit_span(0);
+        let doc = sink.finish(0);
+        assert_eq!(validate_chrome_trace(&doc), Ok(0));
+    }
+
+    #[test]
+    fn shared_handles_see_the_same_records() {
+        let sink = MemorySink::new();
+        let mut emitter = sink.clone();
+        emitter.event(&Event::new("alu", 0));
+        assert_eq!(sink.total_steps(), 1);
+    }
+}

@@ -112,6 +112,9 @@ mod tests {
     fn constructors_tag_phases() {
         assert_eq!(LangError::lex(Span::default(), "x").phase, Phase::Lex);
         assert_eq!(LangError::parse(Span::default(), "x").phase, Phase::Parse);
-        assert_eq!(LangError::runtime(Span::default(), "x").phase, Phase::Runtime);
+        assert_eq!(
+            LangError::runtime(Span::default(), "x").phase,
+            Phase::Runtime
+        );
     }
 }

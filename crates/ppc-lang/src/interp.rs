@@ -207,7 +207,10 @@ impl<'a> Interpreter<'a> {
                     other => {
                         return Err(LangError::runtime(
                             cond.span(),
-                            format!("`where` condition must be parallel logical, got {}", other.describe()),
+                            format!(
+                                "`where` condition must be parallel logical, got {}",
+                                other.describe()
+                            ),
                         ))
                     }
                 };
@@ -216,10 +219,7 @@ impl<'a> Interpreter<'a> {
                 self.masks.pop();
                 r?;
                 if let Some(else_b) = else_branch {
-                    let nc = self
-                        .ppa
-                        .not(&c)
-                        .map_err(|e| rt(*span, e))?;
+                    let nc = self.ppa.not(&c).map_err(|e| rt(*span, e))?;
                     self.push_mask(&nc, *span)?;
                     let r = self.stmt(else_b);
                     self.masks.pop();
@@ -247,14 +247,12 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(())
             }
-            Stmt::DoWhile { body, cond, .. } => {
-                loop {
-                    self.stmt(body)?;
-                    if !self.scalar_bool(cond)? {
-                        return Ok(());
-                    }
+            Stmt::DoWhile { body, cond, .. } => loop {
+                self.stmt(body)?;
+                if !self.scalar_bool(cond)? {
+                    return Ok(());
                 }
-            }
+            },
             Stmt::For {
                 init,
                 cond,
@@ -287,7 +285,10 @@ impl<'a> Interpreter<'a> {
             Value::Bool(b) => Ok(b),
             other => Err(LangError::runtime(
                 cond.span(),
-                format!("controller condition must be scalar logical, got {}", other.describe()),
+                format!(
+                    "controller condition must be scalar logical, got {}",
+                    other.describe()
+                ),
             )),
         }
     }
@@ -382,13 +383,14 @@ impl<'a> Interpreter<'a> {
                 other => {
                     return Err(LangError::runtime(
                         span,
-                        format!("cannot assign {} to scalar logical `{name}`", other.describe()),
+                        format!(
+                            "cannot assign {} to scalar logical `{name}`",
+                            other.describe()
+                        ),
                     ))
                 }
             },
-            Value::Dir(_) => {
-                return Err(LangError::runtime(span, "directions are read-only"))
-            }
+            Value::Dir(_) => return Err(LangError::runtime(span, "directions are read-only")),
         };
         self.scopes[idx].insert(name.to_owned(), new_value);
         Ok(())
@@ -415,7 +417,10 @@ impl<'a> Interpreter<'a> {
                 Value::Bool(_) => Ok(v),
                 other => Err(LangError::runtime(
                     span,
-                    format!("initializer must be scalar logical, got {}", other.describe()),
+                    format!(
+                        "initializer must be scalar logical, got {}",
+                        other.describe()
+                    ),
                 )),
             },
         }
@@ -536,12 +541,7 @@ impl<'a> Interpreter<'a> {
                     BinOp::Or => Bool(a || b),
                     BinOp::Eq => Bool(a == b),
                     BinOp::Ne => Bool(a != b),
-                    _ => {
-                        return Err(LangError::runtime(
-                            span,
-                            "arithmetic on scalar logicals",
-                        ))
-                    }
+                    _ => return Err(LangError::runtime(span, "arithmetic on scalar logicals")),
                 });
             }
             _ => {}
@@ -561,12 +561,7 @@ impl<'a> Interpreter<'a> {
                 BinOp::Or => self.ppa.or(&a, &b),
                 BinOp::Eq => self.ppa.eq(&a, &b),
                 BinOp::Ne => self.ppa.ne(&a, &b),
-                _ => {
-                    return Err(LangError::runtime(
-                        span,
-                        "arithmetic on parallel logicals",
-                    ))
-                }
+                _ => return Err(LangError::runtime(span, "arithmetic on parallel logicals")),
             }
             .map_err(|e| rt(span, e))?;
             return Ok(PBool(out));
@@ -614,7 +609,11 @@ impl<'a> Interpreter<'a> {
                 Value::Dir(d) => Ok(*d),
                 other => Err(LangError::runtime(
                     args[i].span(),
-                    format!("argument {} must be a direction, got {}", i + 1, other.describe()),
+                    format!(
+                        "argument {} must be a direction, got {}",
+                        i + 1,
+                        other.describe()
+                    ),
                 )),
             }
         };
@@ -830,7 +829,9 @@ mod tests {
             for (j = 0; j < 5; j = j + 1) acc = acc + j;
             "#,
         );
-        assert!(g.iter().any(|(k, v)| k == "acc" && matches!(v, Value::Int(10))));
+        assert!(g
+            .iter()
+            .any(|(k, v)| k == "acc" && matches!(v, Value::Int(10))));
         // Controller arithmetic is free: no SIMD steps at all.
         assert_eq!(ppa.steps().total(), 0);
     }
@@ -854,10 +855,7 @@ mod tests {
 
     #[test]
     fn parallel_add_saturates_at_maxint() {
-        let (ppa, g) = run(
-            2,
-            "parallel int x; x = MAXINT; x = x + 5;",
-        );
+        let (ppa, g) = run(2, "parallel int x; x = MAXINT; x = x + 5;");
         let x = pint(&g, "x");
         assert!(x.iter().all(|&v| v == ppa.maxint()));
     }
@@ -887,8 +885,8 @@ mod tests {
     #[test]
     fn runtime_error_carries_ppc_failure() {
         // min with values exceeding the word width.
-        let program = parse("parallel int x; x = MAXINT + 0; x = min(x * 2, WEST, COL == N - 1);")
-            .unwrap();
+        let program =
+            parse("parallel int x; x = MAXINT + 0; x = min(x * 2, WEST, COL == N - 1);").unwrap();
         let mut ppa = Ppa::square(2).with_word_bits(4);
         let mut interp = Interpreter::new(&mut ppa);
         let err = interp.run(&program).unwrap_err();
@@ -932,7 +930,9 @@ mod tests {
             x = x + 1;
             "#,
         );
-        assert!(g.iter().any(|(k, v)| k == "x" && matches!(v, Value::Int(2))));
+        assert!(g
+            .iter()
+            .any(|(k, v)| k == "x" && matches!(v, Value::Int(2))));
     }
 
     #[test]

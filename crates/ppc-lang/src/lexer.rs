@@ -68,9 +68,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     loop {
                         match self.peek() {
-                            None => {
-                                return Err(LangError::lex(open, "unterminated block comment"))
-                            }
+                            None => return Err(LangError::lex(open, "unterminated block comment")),
                             Some(b'*') if self.peek2() == Some(b'/') => {
                                 self.bump();
                                 self.bump();

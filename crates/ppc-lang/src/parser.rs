@@ -514,10 +514,20 @@ mod tests {
         let Item::Stmt(Stmt::Assign { value, .. }) = &p.items[0] else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::And, lhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = value
+        else {
             panic!("top must be &&: {value:?}")
         };
-        let Expr::Binary { op: BinOp::Eq, lhs: add, .. } = lhs.as_ref() else {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            lhs: add,
+            ..
+        } = lhs.as_ref()
+        else {
             panic!("lhs must be ==")
         };
         assert!(matches!(add.as_ref(), Expr::Binary { op: BinOp::Add, .. }));

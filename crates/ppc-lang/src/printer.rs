@@ -178,7 +178,12 @@ pub fn print_expr(expr: &Expr) -> String {
             format!("{name}({})", inner.join(", "))
         }
         Expr::Binary { op, lhs, rhs, .. } => {
-            format!("({} {} {})", print_expr(lhs), binop_str(*op), print_expr(rhs))
+            format!(
+                "({} {} {})",
+                print_expr(lhs),
+                binop_str(*op),
+                print_expr(rhs)
+            )
         }
         Expr::Unary { op, operand, .. } => {
             let o = match op {

@@ -257,10 +257,7 @@ mod tests {
             let d = (seed as usize) % 8;
             let mut ppa = machine_for(&w);
             let out = run_minimum_cost_path(&mut ppa, &w, d).unwrap();
-            assert!(
-                is_valid_solution(&w, d, &out.sow, &out.ptn),
-                "seed {seed}"
-            );
+            assert!(is_valid_solution(&w, d, &out.sow, &out.ptn), "seed {seed}");
         }
     }
 

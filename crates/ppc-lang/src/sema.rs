@@ -110,9 +110,7 @@ impl Checker {
     fn check_assignable(&self, target: Type, value: Type, span: Span) -> Result<(), LangError> {
         let ok = match (target, value) {
             (Type::Dir, _) | (_, Type::Dir) => false,
-            (t, v) => {
-                t.base() == v.base() && (t.is_parallel() || !v.is_parallel())
-            }
+            (t, v) => t.base() == v.base() && (t.is_parallel() || !v.is_parallel()),
         };
         if ok {
             Ok(())
@@ -351,9 +349,9 @@ impl Checker {
             }
             "shift" => {
                 arity(2)?;
-                let b = arg_types[0].base().ok_or_else(|| {
-                    LangError::sema(args[0].span(), "cannot shift a direction")
-                })?;
+                let b = arg_types[0]
+                    .base()
+                    .ok_or_else(|| LangError::sema(args[0].span(), "cannot shift a direction"))?;
                 want_dir(arg_types[1], 1)?;
                 Ok(Type::Par(b))
             }

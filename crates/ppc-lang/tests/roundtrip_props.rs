@@ -23,8 +23,18 @@ fn ident() -> impl Strategy<Value = String> {
     // Avoid keywords and builtin constants.
     "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
         ![
-            "parallel", "int", "logical", "where", "elsewhere", "do", "while", "for", "if",
-            "else", "true", "false",
+            "parallel",
+            "int",
+            "logical",
+            "where",
+            "elsewhere",
+            "do",
+            "while",
+            "for",
+            "if",
+            "else",
+            "true",
+            "false",
         ]
         .contains(&s.as_str())
     })
@@ -61,13 +71,13 @@ fn expr() -> impl Strategy<Value = Expr> {
                 rhs: Box::new(r),
                 span: z(),
             }),
-            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(
-                |(op, e)| Expr::Unary {
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(|(op, e)| {
+                Expr::Unary {
                     op,
                     operand: Box::new(e),
                     span: z(),
                 }
-            ),
+            }),
             (ident(), proptest::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
                 Expr::Call {
                     name,
@@ -99,7 +109,7 @@ fn stmt() -> impl Strategy<Value = Stmt> {
                 |(cond, t, e)| Stmt::Where {
                     cond,
                     then_branch: Box::new(Stmt::Block(vec![Item::Stmt(t)])),
-                    else_branch: e.map(|s| Box::new(s)),
+                    else_branch: e.map(Box::new),
                     span: z(),
                 }
             ),
@@ -107,7 +117,7 @@ fn stmt() -> impl Strategy<Value = Stmt> {
                 |(cond, t, e)| Stmt::If {
                     cond,
                     then_branch: Box::new(Stmt::Block(vec![Item::Stmt(t)])),
-                    else_branch: e.map(|s| Box::new(s)),
+                    else_branch: e.map(Box::new),
                     span: z(),
                 }
             ),
@@ -139,22 +149,27 @@ fn stmt() -> impl Strategy<Value = Stmt> {
 }
 
 fn program() -> impl Strategy<Value = Program> {
-    let decl = (any::<bool>(), any::<bool>(), ident(), proptest::option::of(expr())).prop_map(
-        |(parallel, is_int, name, init)| {
+    let decl = (
+        any::<bool>(),
+        any::<bool>(),
+        ident(),
+        proptest::option::of(expr()),
+    )
+        .prop_map(|(parallel, is_int, name, init)| {
             Item::Decl(Decl {
                 parallel,
-                ty: if is_int { BaseType::Int } else { BaseType::Logical },
+                ty: if is_int {
+                    BaseType::Int
+                } else {
+                    BaseType::Logical
+                },
                 name,
                 init,
                 span: z(),
             })
-        },
-    );
-    proptest::collection::vec(
-        prop_oneof![decl, stmt().prop_map(Item::Stmt)],
-        0..6,
-    )
-    .prop_map(|items| Program { items })
+        });
+    proptest::collection::vec(prop_oneof![decl, stmt().prop_map(Item::Stmt)], 0..6)
+        .prop_map(|items| Program { items })
 }
 
 proptest! {

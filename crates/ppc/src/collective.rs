@@ -173,7 +173,10 @@ mod tests {
     fn prefix_max_with_sentinel_fill() {
         let mut ppa = Ppa::square(4).with_word_bits(8);
         // Marker plane: col where row == col, else -1.
-        let v = Parallel::from_fn(ppa.dim(), |c| if c.row == c.col { c.col as i64 } else { -1 });
+        let v = Parallel::from_fn(
+            ppa.dim(),
+            |c| if c.row == c.col { c.col as i64 } else { -1 },
+        );
         let p = ppa.prefix_max(&v, Direction::East, -1).unwrap();
         // Row r: positions before col r stay -1, from col r on it's r.
         for r in 0..4 {

@@ -37,7 +37,12 @@ impl Ppa {
     ///
     /// Costs `O(h)` controller steps (`4h + 4` exactly, measured by the
     /// step-count tests). Values must fit the `h`-bit unsigned word.
-    pub fn min(&mut self, src: &Parallel<i64>, dir: Direction, l: &Parallel<bool>) -> Result<Parallel<i64>> {
+    pub fn min(
+        &mut self,
+        src: &Parallel<i64>,
+        dir: Direction,
+        l: &Parallel<bool>,
+    ) -> Result<Parallel<i64>> {
         self.bitserial_extreme(src, dir, l, None, Extreme::Min)
     }
 
@@ -58,7 +63,12 @@ impl Ppa {
     }
 
     /// Order dual of [`Ppa::min`]: cluster-wide maximum in `O(h)` steps.
-    pub fn max(&mut self, src: &Parallel<i64>, dir: Direction, l: &Parallel<bool>) -> Result<Parallel<i64>> {
+    pub fn max(
+        &mut self,
+        src: &Parallel<i64>,
+        dir: Direction,
+        l: &Parallel<bool>,
+    ) -> Result<Parallel<i64>> {
         self.bitserial_extreme(src, dir, l, None, Extreme::Max)
     }
 
@@ -86,11 +96,25 @@ impl Ppa {
         // otherwise statements 11-12 would leak a value across clusters.
         if let Some(sel) = sel {
             let machine = self.machine();
-            let covered = bus::bus_or(machine.mode(), machine.dim(), sel, dir, l)
-                .map_err(PpcError::from)?;
+            let covered =
+                bus::bus_or(machine.mode(), machine.dim(), sel, dir, l).map_err(PpcError::from)?;
             if !covered.all_free() {
                 return Err(PpcError::EmptySelection);
             }
+        }
+
+        // Span bookkeeping (free when unobserved): the routine and each
+        // bit of the scan become nested spans, so a trace shows e.g.
+        // `... > selected_min > bit[7]`.
+        let observed = self.observing();
+        if observed {
+            let name = match (which, sel.is_some()) {
+                (Extreme::Min, false) => "min",
+                (Extreme::Min, true) => "selected_min",
+                (Extreme::Max, false) => "max",
+                (Extreme::Max, true) => "selected_max",
+            };
+            self.enter_span(name);
         }
 
         // Statement 7: `parallel logical enable = 1;` (or the selection).
@@ -102,6 +126,9 @@ impl Ppa {
         // Statements 8-10: the most-significant-first bit scan.
         let h = self.word_bits();
         for j in (0..h).rev() {
+            if observed {
+                self.enter_span(&format!("bit[{j}]"));
+            }
             let bitj = self.bit(src, j)?;
             // A candidate "votes" if it is enabled and could win this bit:
             // for min, a 0 at position j beats any 1; for max, vice versa.
@@ -112,23 +139,36 @@ impl Ppa {
             let present = self.bus_or(&votes, dir, l)?;
             // Statements 9-10: knock out every candidate beaten at bit j.
             enable = match which {
-                Extreme::Min => self
-                    .machine_mut()
-                    .zip3(&enable, &present, &bitj, |&e, &p, &b| e && !(p && b))?,
-                Extreme::Max => self
-                    .machine_mut()
-                    .zip3(&enable, &present, &bitj, |&e, &p, &b| e && (!p || b))?,
+                Extreme::Min => {
+                    self.machine_mut()
+                        .zip3(&enable, &present, &bitj, |&e, &p, &b| e && !(p && b))?
+                }
+                Extreme::Max => {
+                    self.machine_mut()
+                        .zip3(&enable, &present, &bitj, |&e, &p, &b| e && (!p || b))?
+                }
             };
+            if observed {
+                self.exit_span();
+            }
         }
 
         // Statements 11-12: survivors drive the bus *against* the
         // orientation so the cluster heads (the L nodes) latch the value.
+        if observed {
+            self.enter_span("resolve");
+        }
         let to_head = self.broadcast(src, dir.opposite(), &enable)?;
         let mut staged = src.clone();
         self.machine_mut().assign_masked(&mut staged, &to_head, l)?;
 
         // Statement 13: the heads re-broadcast to their whole cluster.
-        self.broadcast(&staged, dir, l)
+        let out = self.broadcast(&staged, dir, l);
+        if observed {
+            self.exit_span(); // resolve
+            self.exit_span(); // the routine span
+        }
+        out
     }
 
     /// Hypothetical *word-parallel* cluster minimum: a single-step

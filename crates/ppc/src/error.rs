@@ -39,7 +39,10 @@ impl fmt::Display for PpcError {
                 write!(f, "value {v} does not fit the machine's h-bit word")
             }
             PpcError::NotSquare { rows, cols } => {
-                write!(f, "operation requires a square array, machine is {rows}x{cols}")
+                write!(
+                    f,
+                    "operation requires a square array, machine is {rows}x{cols}"
+                )
             }
         }
     }
@@ -78,9 +81,13 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(PpcError::EmptySelection.to_string().contains("no selected node"));
+        assert!(PpcError::EmptySelection
+            .to_string()
+            .contains("no selected node"));
         assert!(PpcError::ValueOutOfRange(300).to_string().contains("300"));
-        assert!(PpcError::NotSquare { rows: 2, cols: 5 }.to_string().contains("2x5"));
+        assert!(PpcError::NotSquare { rows: 2, cols: 5 }
+            .to_string()
+            .contains("2x5"));
         let bus = PpcError::Machine(MachineError::BusFault {
             axis: Axis::Row,
             lines: vec![1],

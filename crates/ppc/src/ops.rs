@@ -106,7 +106,9 @@ impl Ppa {
         a: &Parallel<T>,
         b: &Parallel<T>,
     ) -> Result<Parallel<T>> {
-        Ok(self.machine_mut().zip3(m, a, b, |&k, &x, &y| if k { x } else { y })?)
+        Ok(self
+            .machine_mut()
+            .zip3(m, a, b, |&k, &x, &y| if k { x } else { y })?)
     }
 
     /// Elementwise conversion from logical to integer (one step).

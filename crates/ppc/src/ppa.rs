@@ -133,6 +133,54 @@ impl Ppa {
         self.machine.controller_mut().set_phase(phase);
     }
 
+    // ----- observability ----------------------------------------------------
+
+    /// Installs a trace sink on the controller: spans, phase labels and
+    /// per-instruction events (with occupancy/cluster statistics) flow to
+    /// it, timestamped in controller steps.
+    pub fn install_sink(&mut self, sink: impl ppa_obs::TraceSink + 'static) {
+        self.machine.controller_mut().install_sink(sink);
+    }
+
+    /// Removes the sink, closing any spans still open.
+    pub fn take_sink(&mut self) -> Option<Box<dyn ppa_obs::TraceSink>> {
+        self.machine.controller_mut().take_sink()
+    }
+
+    /// Starts collecting metrics (per-class step counters, bus and mask
+    /// activity).
+    pub fn enable_metrics(&mut self) {
+        self.machine.controller_mut().enable_metrics();
+    }
+
+    /// Stops collecting and returns the metrics gathered so far.
+    pub fn take_metrics(&mut self) -> ppa_obs::Metrics {
+        self.machine.controller_mut().take_metrics()
+    }
+
+    /// The live metrics registry, if collecting (algorithms use this to
+    /// record their own histograms, e.g. steps per iteration).
+    pub fn metrics_mut(&mut self) -> Option<&mut ppa_obs::Metrics> {
+        self.machine.controller_mut().metrics_mut()
+    }
+
+    /// Opens a named span (`"mcp"`, `"iteration[3]"`, ...) at the current
+    /// step. Free when no sink is installed.
+    pub fn enter_span(&mut self, name: &str) {
+        self.machine.controller_mut().enter_span(name);
+    }
+
+    /// Closes the innermost named span.
+    pub fn exit_span(&mut self) {
+        self.machine.controller_mut().exit_span();
+    }
+
+    /// Whether any observer (sink or metrics) is attached. Routines use
+    /// this to skip building span names on unobserved hot paths.
+    pub fn observing(&self) -> bool {
+        self.machine.controller().observing()
+    }
+
     // ----- activity masks ---------------------------------------------------
 
     /// The effective activity mask (`None` when all PEs are active).
@@ -145,7 +193,11 @@ impl Ppa {
     /// Entering the scope costs one controller step (the activity-bit
     /// write); leaving is free (the previous mask is restored from the
     /// controller's stack).
-    pub fn where_<R>(&mut self, cond: &Parallel<bool>, body: impl FnOnce(&mut Ppa) -> R) -> Result<R> {
+    pub fn where_<R>(
+        &mut self,
+        cond: &Parallel<bool>,
+        body: impl FnOnce(&mut Ppa) -> R,
+    ) -> Result<R> {
         self.push_mask(cond)?;
         let r = body(self);
         self.masks.pop();
@@ -208,7 +260,11 @@ impl Ppa {
 
     /// Masked assignment of an immediate (`dst = k`): one controller step
     /// for the immediate load plus one for the masked write.
-    pub fn assign_imm<T: Copy + Send + Sync>(&mut self, dst: &mut Parallel<T>, value: T) -> Result<()> {
+    pub fn assign_imm<T: Copy + Send + Sync>(
+        &mut self,
+        dst: &mut Parallel<T>,
+        value: T,
+    ) -> Result<()> {
         let imm = self.machine.imm(value);
         self.assign(dst, &imm)
     }
@@ -334,7 +390,8 @@ mod tests {
         let rows = Parallel::from_fn(ppa.dim(), |c| c.row >= 1);
         let cols = Parallel::from_fn(ppa.dim(), |c| c.col >= 1);
         ppa.where_(&rows, |p| {
-            p.where_(&cols, |q| q.assign_imm(&mut x, 5).unwrap()).unwrap();
+            p.where_(&cols, |q| q.assign_imm(&mut x, 5).unwrap())
+                .unwrap();
         })
         .unwrap();
         let lit: usize = x.iter().filter(|&&v| v == 5).count();

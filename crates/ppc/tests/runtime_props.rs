@@ -15,10 +15,7 @@ fn direction() -> impl Strategy<Value = Direction> {
 }
 
 /// Values plus a legal cluster-head mask (one head forced per line).
-fn values_and_heads(
-    n: usize,
-    h: u32,
-) -> impl Strategy<Value = (Vec<i64>, Vec<bool>, Direction)> {
+fn values_and_heads(n: usize, h: u32) -> impl Strategy<Value = (Vec<i64>, Vec<bool>, Direction)> {
     let max = (1i64 << h) - 1;
     (
         proptest::collection::vec(0..=max, n * n),

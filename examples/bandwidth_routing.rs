@@ -24,7 +24,10 @@ fn main() {
     let mut ppa2 = Ppa::square(n).with_word_bits(fit_word_bits(&w));
     let cheap = minimum_cost_path(&mut ppa2, &w, uplink).expect("fabric fits the machine");
 
-    println!("fabric: {n} switches, {} links; uplink at switch {uplink}\n", w.edge_count());
+    println!(
+        "fabric: {n} switches, {} links; uplink at switch {uplink}\n",
+        w.edge_count()
+    );
     println!("  switch | widest route: capacity, next hop | cheapest route: cost, next hop");
     println!("  ------ | --------------------------------- | ------------------------------");
     let mut diverge = 0;

@@ -22,7 +22,13 @@ fn corrupted_reads(dim: Dim, d: usize, fm: &FaultMap) -> usize {
     let healthy =
         bus::broadcast(ExecMode::Sequential, dim, &src, Direction::South, &intended).unwrap();
     let effective = fm.apply(&intended);
-    match bus::broadcast(ExecMode::Sequential, dim, &src, Direction::South, &effective) {
+    match bus::broadcast(
+        ExecMode::Sequential,
+        dim,
+        &src,
+        Direction::South,
+        &effective,
+    ) {
         // Undriven lines float: every PE on them reads garbage.
         Err(ppa_machine::MachineError::BusFault { lines, .. }) => {
             lines.len() * dim.line_len(ppa_machine::Axis::Col)
@@ -45,9 +51,21 @@ fn main() {
     println!("  fault                    | PEs reading wrong data | detected by BIST");
     println!("  ------------------------ | ---------------------- | ----------------");
     let cases = [
-        (Coord::new(d, 3), SwitchFault::StuckShort, "head (2,3) stuck Short"),
-        (Coord::new(5, 1), SwitchFault::StuckOpen, "node (5,1) stuck Open"),
-        (Coord::new(0, 0), SwitchFault::StuckShort, "node (0,0) stuck Short"),
+        (
+            Coord::new(d, 3),
+            SwitchFault::StuckShort,
+            "head (2,3) stuck Short",
+        ),
+        (
+            Coord::new(5, 1),
+            SwitchFault::StuckOpen,
+            "node (5,1) stuck Open",
+        ),
+        (
+            Coord::new(0, 0),
+            SwitchFault::StuckShort,
+            "node (0,0) stuck Short",
+        ),
     ];
     let patterns = bist_patterns(dim);
     for (at, fault, label) in cases {
@@ -55,7 +73,10 @@ fn main() {
         fm.inject(at, fault);
         let bad = corrupted_reads(dim, d, &fm);
         let detected = patterns.iter().any(|p| fm.distorts(p));
-        println!("  {label:<24} | {bad:>22} | {}", if detected { "yes" } else { "NO" });
+        println!(
+            "  {label:<24} | {bad:>22} | {}",
+            if detected { "yes" } else { "NO" }
+        );
     }
 
     // End to end: a stuck-Short head on the destination row breaks the
@@ -80,7 +101,10 @@ fn main() {
         fm.distorts(&intended)
     );
     let wrong = corrupted_reads(dim, d, &fm);
-    println!("  corrupted reads in one broadcast: {wrong} of {} PEs", dim.len());
+    println!(
+        "  corrupted reads in one broadcast: {wrong} of {} PEs",
+        dim.len()
+    );
     println!(
         "  BIST sweep ({} patterns) detects it before any algorithm runs: {}",
         patterns.len(),

@@ -36,13 +36,15 @@ fn main() {
     println!("destination {d}: costs from each vertex");
     println!("  vertex   interpreted   native");
     for i in 0..w.n() {
-        println!(
-            "  {i:6}   {:11}   {:6}",
-            interpreted.sow[i], native.sow[i]
-        );
+        println!("  {i:6}   {:11}   {:6}", interpreted.sow[i], native.sow[i]);
     }
     assert_eq!(interpreted.sow, native.sow);
-    assert!(validate::is_valid_solution(&w, d, &interpreted.sow, &interpreted.ptn));
+    assert!(validate::is_valid_solution(
+        &w,
+        d,
+        &interpreted.sow,
+        &interpreted.ptn
+    ));
     println!("\ncosts identical; interpreted PTN validates optimal.");
     println!(
         "SIMD steps — interpreted: {}, native: {} (same O(p*h) shape)",
@@ -61,10 +63,7 @@ fn main() {
     for r in 0..5 {
         let expect = *values.row(r).iter().min().unwrap();
         assert!(result.row(r).iter().all(|&v| v == expect));
-        println!(
-            "  row {r}: values {:?} -> min {expect}",
-            values.row(r)
-        );
+        println!("  row {r}: values {:?} -> min {expect}", values.row(r));
     }
     println!("  routine cost: {steps} steps for h = 8 — O(h) as derived in Section 3.");
 }

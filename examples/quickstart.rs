@@ -51,7 +51,10 @@ fn main() {
         }
     }
 
-    println!("\niterations (max MCP hop-length + detection): {}", out.iterations);
+    println!(
+        "\niterations (max MCP hop-length + detection): {}",
+        out.iterations
+    );
     println!("{}", out.stats);
     println!(
         "per-iteration cost is O(h): {} steps for h = {} (independent of n)",

@@ -1,0 +1,82 @@
+//! Offline shim for the `crossbeam` API surface this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal, API-compatible implementation of
+//! `crossbeam::thread::scope` on top of `std::thread::scope` (stable since
+//! Rust 1.63). Only the calls the engine makes are provided.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (the `crossbeam::thread` subset).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std_thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    /// The scope passed to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std_thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Matching crossbeam's signature, the
+        /// closure receives the scope (so it can spawn further threads).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before returning.
+    ///
+    /// crossbeam returns `Err` only when a spawned thread panicked *and*
+    /// was not joined; with `std::thread::scope` an unjoined panicking
+    /// child re-raises the panic instead, so the `Err` arm here is
+    /// unreachable in practice — callers' `.expect(...)` stays valid.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = scope.spawn(move |_| a.iter().sum::<u64>());
+            let hb = scope.spawn(move |_| b.iter().sum::<u64>());
+            ha.join().unwrap() + hb.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let r = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

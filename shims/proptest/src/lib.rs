@@ -1,0 +1,117 @@
+//! Offline shim for the `proptest` API surface this workspace uses.
+//!
+//! The build container cannot reach crates.io, so this crate provides an
+//! API-compatible subset: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_recursive` / `boxed`,
+//! range/tuple/collection/option/regex-literal strategies, and the
+//! `proptest!` / `prop_oneof!` / `prop_assert!` / `prop_assert_eq!`
+//! macros backed by a deterministic random-case runner.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its seed instead of a
+//!   minimized input;
+//! * value distributions differ (uniform rather than size-biased), which
+//!   changes *which* random cases run, not what the properties assert;
+//! * the regex strategy supports only the literal/class/`{m,n}` subset
+//!   the test suite uses and panics on anything fancier.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every test file starts from.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// becomes a regular test that runs the body over `config.cases`
+/// deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}

@@ -1,0 +1,50 @@
+//! `Option` strategies (the subset used: `of`).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An `Option` strategy; generates `Some` three times out of four,
+/// mirroring upstream's default weighting.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Some` of a value from `inner`, or `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(Just(7u64));
+        let mut r = TestRng::for_case("option", 0);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..200 {
+            match s.generate(&mut r) {
+                Some(7) => some = true,
+                None => none = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,462 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`generate`) plus `Sized` combinators, so strategies
+/// can be boxed ([`BoxedStrategy`]) for recursion and heterogeneous
+/// unions.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates with a strategy derived from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Regenerates until `pred` accepts the value. `reason` matches the
+    /// upstream signature; it is reported if generation keeps failing.
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: std::fmt::Display,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.to_string(),
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into the composite case, nested at most
+    /// `depth` levels. `desired_size` and `expected_branch_size` are
+    /// accepted for API compatibility; the shim bounds size by depth
+    /// alone.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            cur = Union::new(vec![leaf.clone(), recurse(cur).boxed()]).boxed();
+        }
+        cur
+    }
+
+    /// Erases the strategy type (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 1000 candidates in a row",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a non-empty list of alternatives.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, `any`, regex string literals, tuples.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, usize);
+
+/// Types with a canonical full-domain strategy (the `Arbitrary` subset).
+pub trait ArbitraryValue: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl ArbitraryValue for i64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl ArbitraryValue for usize {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// An arbitrary value of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// String-literal strategies generate strings matching the literal as a
+/// regex. Supported subset: literal characters, `[...]` classes with
+/// ranges, and `{m}` / `{m,n}` quantifiers — everything the test suite's
+/// patterns use. Unsupported syntax panics at generation time.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_regex(self, rng)
+    }
+}
+
+fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a class or a literal character.
+        let class: Vec<(char, char)> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("regex shim: unclosed '[' in {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "regex shim: empty class in {pattern:?}");
+                i = close + 1;
+                ranges
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("regex shim: trailing '\\' in {pattern:?}"));
+                i += 2;
+                vec![(c, c)]
+            }
+            c @ (']' | '{' | '}' | '(' | ')' | '*' | '+' | '?' | '|' | '.' | '^' | '$') => {
+                panic!("regex shim: unsupported syntax {c:?} in {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Parse an optional {m} / {m,n} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("regex shim: unclosed '{{' in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().unwrap(),
+                    n.trim().parse::<usize>().unwrap(),
+                ),
+                None => {
+                    let m = body.trim().parse::<usize>().unwrap();
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let reps = rng.gen_range(lo..=hi);
+        for _ in 0..reps {
+            let (a, b) = class[rng.gen_range(0..class.len())];
+            let span = b as u32 - a as u32;
+            let c = char::from_u32(a as u32 + rng.gen_range(0..=span))
+                .unwrap_or_else(|| panic!("regex shim: bad class range in {pattern:?}"));
+            out.push(c);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let (a, b) = (0i64..10, 5usize..=6).generate(&mut r);
+            assert!((0..10).contains(&a));
+            assert!((5..=6).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let u = Union::new(vec![
+            Just(1u64).boxed(),
+            Just(2u64).boxed(),
+            Just(3u64).boxed(),
+        ]);
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[u.generate(&mut r) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let s = (0i64..100)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_map(|v| v + 1);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_eq!(s.generate(&mut r) % 2, 1);
+        }
+    }
+
+    #[test]
+    fn regex_literal_matches_ident_shape() {
+        let s = "[a-z][a-z0-9_]{0,6}";
+        let mut r = rng();
+        for _ in 0..300 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!((1..=7).contains(&v.len()), "{v:?}");
+            let mut cs = v.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 24, 3, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        let mut saw_node = false;
+        for _ in 0..200 {
+            if matches!(s.generate(&mut r), Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+}

@@ -1,0 +1,87 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating one case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Builds the RNG for one case, derived from the test name and case
+    /// index so every run of the suite sees the same inputs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration (the subset used: `cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs over.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `body` over `config.cases` deterministic cases, panicking (as a
+/// normal test failure) on the first case whose assertions fail.
+pub fn run(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "property '{test_name}' failed at case {case}/{}:\n{e}",
+                config.cases
+            );
+        }
+    }
+}

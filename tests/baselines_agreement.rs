@@ -55,7 +55,11 @@ fn complexity_shapes_flat_log_linear_quadratic() {
     let ppa_steps = |n: usize| {
         let w = star(n);
         let mut ppa = Ppa::square(n).with_word_bits(h);
-        minimum_cost_path(&mut ppa, &w, 0).unwrap().stats.total.total()
+        minimum_cost_path(&mut ppa, &w, 0)
+            .unwrap()
+            .stats
+            .total
+            .total()
     };
     let g = growth(ppa_steps);
     assert!((0.9..1.1).contains(&g), "PPA growth {g}");
@@ -84,8 +88,16 @@ fn ppa_and_gcn_share_the_h_scaling() {
     let w = gen::ring(10);
     let mut ppa8 = Ppa::square(10).with_word_bits(8);
     let mut ppa32 = Ppa::square(10).with_word_bits(32);
-    let p8 = minimum_cost_path(&mut ppa8, &w, 0).unwrap().stats.total.total() as f64;
-    let p32 = minimum_cost_path(&mut ppa32, &w, 0).unwrap().stats.total.total() as f64;
+    let p8 = minimum_cost_path(&mut ppa8, &w, 0)
+        .unwrap()
+        .stats
+        .total
+        .total() as f64;
+    let p32 = minimum_cost_path(&mut ppa32, &w, 0)
+        .unwrap()
+        .stats
+        .total
+        .total() as f64;
     let ppa_ratio = p32 / p8;
 
     let g8 = Gcn::new(8).solve(&w, 0).bit_steps as f64;
@@ -95,7 +107,10 @@ fn ppa_and_gcn_share_the_h_scaling() {
     assert!((1.5..4.2).contains(&ppa_ratio), "ppa {ppa_ratio}");
     assert!((1.5..4.2).contains(&gcn_ratio), "gcn {gcn_ratio}");
     // And they track each other within a factor.
-    assert!((ppa_ratio / gcn_ratio - 1.0).abs() < 0.5, "{ppa_ratio} vs {gcn_ratio}");
+    assert!(
+        (ppa_ratio / gcn_ratio - 1.0).abs() < 0.5,
+        "{ppa_ratio} vs {gcn_ratio}"
+    );
 }
 
 #[test]
@@ -107,7 +122,11 @@ fn crossover_hypercube_vs_ppa_depends_on_h_vs_log_n() {
     let per_iter = |n: usize| {
         let w = gen::star(n, 0, 5, 1);
         let mut ppa = Ppa::square(n).with_word_bits(h);
-        let ppa_steps = minimum_cost_path(&mut ppa, &w, 0).unwrap().stats.total.total();
+        let ppa_steps = minimum_cost_path(&mut ppa, &w, 0)
+            .unwrap()
+            .stats
+            .total
+            .total();
         let cube = Hypercube::new(h).solve(&w, 0).bit_steps;
         cube as f64 / ppa_steps as f64
     };

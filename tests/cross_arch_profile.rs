@@ -1,0 +1,105 @@
+//! Cross-architecture observability: the PPA and every comparator model
+//! (hypercube, GCN, plain mesh, sequential) emit profiles through the
+//! *same* ppa-obs API, on the same bit-step time axis, with the same
+//! structural invariants — balanced span traces whose step totals match
+//! the architecture's own accounting, and a `steps.total` counter that
+//! agrees with the trace clock.
+
+use ppa_obs::{MemorySink, Metrics, Recorder};
+use ppa_suite::prelude::*;
+
+/// One architecture's observed run: its trace, its metrics, the step total
+/// it reports through its native accounting, and its distance vector.
+struct Profile {
+    name: &'static str,
+    sink: MemorySink,
+    metrics: Metrics,
+    native_steps: u64,
+    dist: Vec<Weight>,
+}
+
+fn ppa_profile(w: &WeightMatrix, d: usize) -> Profile {
+    let mut ppa = Ppa::square(w.n()).with_word_bits(fit_word_bits(w).clamp(4, 62));
+    let sink = MemorySink::new();
+    ppa.install_sink(sink.clone());
+    ppa.enable_metrics();
+    let out = minimum_cost_path(&mut ppa, w, d).unwrap();
+    let metrics = ppa.take_metrics();
+    let _ = ppa.take_sink();
+    let mut dist = out.sow.clone();
+    dist[d] = 0;
+    Profile {
+        name: "ppa",
+        sink,
+        metrics,
+        native_steps: out.stats.total.total(),
+        dist,
+    }
+}
+
+fn baseline_profile(solver: &dyn McpSolver, w: &WeightMatrix, d: usize) -> Profile {
+    let sink = MemorySink::new();
+    let mut rec = Recorder::new(sink.clone());
+    let out = solver.solve_observed(w, d, Some(&mut rec));
+    let mut dist = out.dist.clone();
+    dist[d] = 0;
+    Profile {
+        name: solver.name(),
+        sink,
+        metrics: rec.finish(),
+        native_steps: out.bit_steps,
+        dist,
+    }
+}
+
+#[test]
+fn every_architecture_profiles_through_the_same_api() {
+    let w = gen::random_connected(9, 0.3, 15, 11);
+    let d = 4;
+
+    let mut profiles = vec![ppa_profile(&w, d)];
+    for solver in all_solvers(fit_word_bits(&w).clamp(4, 62)) {
+        profiles.push(baseline_profile(solver.as_ref(), &w, d));
+    }
+    assert_eq!(profiles.len(), 5);
+
+    let reference = profiles[0].dist.clone();
+    for p in &profiles {
+        // Observation never perturbs the answer.
+        assert_eq!(p.dist, reference, "{} disagrees", p.name);
+
+        // The trace is balanced and its clock covers exactly the steps the
+        // architecture accounts for natively (controller steps for the
+        // PPA, bit-steps for the baselines — one shared time axis).
+        assert!(p.sink.balanced(), "{}: unbalanced trace", p.name);
+        assert_eq!(p.sink.total_steps(), p.native_steps, "{}", p.name);
+        assert_eq!(
+            p.metrics.counter("steps.total"),
+            p.native_steps,
+            "{}",
+            p.name
+        );
+        assert!(p.native_steps > 0, "{}: nothing ran", p.name);
+
+        // Every architecture exposes its outer loop as iteration spans...
+        let totals = p.sink.span_totals();
+        assert!(
+            totals.iter().any(|(path, _)| path.contains("iteration[0]")),
+            "{}: no iteration span in {totals:?}",
+            p.name
+        );
+        // ...and a steps-per-iteration histogram under the shared naming
+        // scheme (`mcp.*` for the PPA controller, `solver.*` for the
+        // self-clocked baseline recorders).
+        let hist = p
+            .metrics
+            .histogram("mcp.steps_per_iteration")
+            .or_else(|| p.metrics.histogram("solver.steps_per_iteration"))
+            .unwrap_or_else(|| panic!("{}: no iteration histogram", p.name));
+        assert!(hist.count > 0, "{}", p.name);
+
+        // The snapshot every architecture produces is the same JSON shape.
+        let back = Metrics::from_json(&p.metrics.to_json()).unwrap();
+        assert_eq!(back, p.metrics, "{}", p.name);
+    }
+}

@@ -128,7 +128,11 @@ fn ablation_variants_agree_on_all_families() {
             min: MinModel::Word,
         },
     ];
-    for family in [gen::Family::Sparse, gen::Family::Ring, gen::Family::Geometric] {
+    for family in [
+        gen::Family::Sparse,
+        gen::Family::Ring,
+        gen::Family::Geometric,
+    ] {
         let w = family.build(8, 12, 55);
         let mut reference: Option<Vec<Weight>> = None;
         for config in configs {
@@ -168,14 +172,9 @@ fn faulty_statement_10_configuration_is_detected_or_corrupts() {
     let d = 2;
     let intended = ppa_machine::Plane::from_fn(dim, |c| c.row == d);
     let src = ppa_machine::Plane::from_fn(dim, |c| (c.row * 5 + c.col) as i64);
-    let healthy = ppa_machine::bus::broadcast(
-        ExecMode::Sequential,
-        dim,
-        &src,
-        Direction::South,
-        &intended,
-    )
-    .unwrap();
+    let healthy =
+        ppa_machine::bus::broadcast(ExecMode::Sequential, dim, &src, Direction::South, &intended)
+            .unwrap();
     for r in 0..5 {
         for c in 0..5 {
             for fault in [SwitchFault::StuckShort, SwitchFault::StuckOpen] {

@@ -150,7 +150,10 @@ fn threaded_engine_is_bit_identical_to_sequential() {
     let b = minimum_cost_path(&mut thr, &w, 5).unwrap();
     assert_eq!(a.sow, b.sow);
     assert_eq!(a.ptn, b.ptn);
-    assert_eq!(a.stats.total, b.stats.total, "step counts must not depend on host threads");
+    assert_eq!(
+        a.stats.total, b.stats.total,
+        "step counts must not depend on host threads"
+    );
 }
 
 #[test]

@@ -21,12 +21,7 @@ fn interpreted_and_native_agree_across_families() {
             let interp = programs::run_minimum_cost_path(&mut ippa, &w, d).unwrap();
             let mut nppa = machine_for(&w);
             let native = minimum_cost_path(&mut nppa, &w, d).unwrap();
-            assert_eq!(
-                interp.sow,
-                native.sow,
-                "family {} dest {d}",
-                family.label()
-            );
+            assert_eq!(interp.sow, native.sow, "family {} dest {d}", family.label());
             assert!(
                 validate::is_valid_solution(&w, d, &interp.sow, &interp.ptn),
                 "family {} dest {d}",
@@ -61,8 +56,9 @@ fn interpreted_iteration_structure_matches_native() {
 fn min_routine_from_source_equals_builtin_across_shapes() {
     for (n, h, salt) in [(3usize, 6u32, 1u64), (5, 8, 2), (8, 10, 3)] {
         let mut spa = Ppa::square(n).with_word_bits(h);
-        let values =
-            Parallel::from_fn(spa.dim(), |c| ((c.row as u64 * 97 + c.col as u64 * 31 + salt) % (1 << h.min(10))) as i64);
+        let values = Parallel::from_fn(spa.dim(), |c| {
+            ((c.row as u64 * 97 + c.col as u64 * 31 + salt) % (1 << h.min(10))) as i64
+        });
         let from_source = programs::run_min_routine(&mut spa, &values).unwrap();
 
         let mut bpa = Ppa::square(n).with_word_bits(h);

@@ -28,10 +28,7 @@ fn direction() -> impl Strategy<Value = Direction> {
 /// An arbitrary small weighted digraph as an edge list.
 fn digraph(max_n: usize) -> impl Strategy<Value = WeightMatrix> {
     (2..=max_n).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n, 0..n, 1i64..30),
-            0..(n * n),
-        );
+        let edges = proptest::collection::vec((0..n, 0..n, 1i64..30), 0..(n * n));
         edges.prop_map(move |es| {
             let mut m = WeightMatrix::new(n);
             for (i, j, w) in es {
@@ -46,9 +43,7 @@ fn digraph(max_n: usize) -> impl Strategy<Value = WeightMatrix> {
 
 /// A value plane and an Open mask guaranteed to drive every line for the
 /// given direction (at least the first line position is open).
-fn plane_and_mask(
-    n: usize,
-) -> impl Strategy<Value = (Vec<i64>, Vec<bool>)> {
+fn plane_and_mask(n: usize) -> impl Strategy<Value = (Vec<i64>, Vec<bool>)> {
     (
         proptest::collection::vec(0i64..=255, n * n),
         proptest::collection::vec(any::<bool>(), n * n),
