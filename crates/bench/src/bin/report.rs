@@ -5,6 +5,7 @@
 //! cargo run -p ppa-bench --bin report --release -- all
 //! cargo run -p ppa-bench --bin report --release -- t4 a2
 //! cargo run -p ppa-bench --bin report --release -- profile --trace-out target/experiments
+//! cargo run -p ppa-bench --bin report --release -- faults --seed 7
 //! cargo run -p ppa-bench --bin report --release -- --list
 //! ```
 //!
@@ -13,11 +14,13 @@
 //! `profile` experiment additionally writes `profile.trace.json` (Chrome
 //! `trace_event`, Perfetto-loadable) and `profile.json` (metrics
 //! snapshot) to the `--trace-out` directory (default: the artifact dir).
+//! The `faults` experiment honours `--seed N` (default 7) to re-roll the
+//! fault campaign deterministically.
 //!
 //! Experiment names are validated *before* anything runs: a typo exits
 //! with status 2 immediately instead of after minutes of computation.
 
-use ppa_bench::{all_experiments, profile_run, Table};
+use ppa_bench::{all_experiments, faults_campaign, profile_run, Table};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -50,6 +53,7 @@ fn main() {
     }
 
     let mut trace_out: Option<PathBuf> = None;
+    let mut seed: u64 = 7;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -60,6 +64,19 @@ fn main() {
                     std::process::exit(2);
                 };
                 trace_out = Some(PathBuf::from(dir));
+            }
+            "--seed" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--seed requires an integer argument");
+                    std::process::exit(2);
+                };
+                seed = match value.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("--seed requires an integer argument, got {value:?}");
+                        std::process::exit(2);
+                    }
+                };
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other} (try --list)");
@@ -115,6 +132,13 @@ fn main() {
                 trace_dir.join("profile.trace.json").display(),
                 trace_dir.join("profile.json").display()
             );
+            continue;
+        }
+        if name == "faults" {
+            // The registered closure runs the default seed; honour --seed.
+            let table = faults_campaign(seed);
+            let rendered = write_table(&out_dir, name, &table);
+            println!("{rendered}");
             continue;
         }
         let run = experiments

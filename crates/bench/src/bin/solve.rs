@@ -96,26 +96,32 @@ fn load(opts: &Options) -> WeightMatrix {
 }
 
 /// Installs the observers requested by `--trace`/`--metrics` on a freshly
-/// built machine; returns the trace sink handle for harvesting.
-fn attach_observers(ppa: &mut Ppa, opts: &Options) -> Option<ppa_obs::ChromeTraceSink> {
+/// built machine. The returned sink is paired with its output path, so a
+/// sink can never exist without a destination — the inconsistency that
+/// used to be an `expect` panic in `write_observations` is
+/// unrepresentable.
+fn attach_observers(ppa: &mut Ppa, opts: &Options) -> Option<(ppa_obs::ChromeTraceSink, String)> {
     if opts.metrics_file.is_some() {
         ppa.enable_metrics();
     }
-    opts.trace_file.as_ref().map(|_| {
+    opts.trace_file.as_ref().map(|path| {
         let sink = ppa_obs::ChromeTraceSink::new();
         ppa.install_sink(sink.clone());
-        sink
+        (sink, path.clone())
     })
 }
 
 /// Writes the trace/metrics artifacts after the run.
-fn write_observations(ppa: &mut Ppa, sink: Option<ppa_obs::ChromeTraceSink>, opts: &Options) {
+fn write_observations(
+    ppa: &mut Ppa,
+    sink: Option<(ppa_obs::ChromeTraceSink, String)>,
+    opts: &Options,
+) {
     let final_step = ppa.steps().total();
-    if let Some(sink) = sink {
+    if let Some((sink, path)) = sink {
         let _ = ppa.take_sink(); // closes any open spans first
-        let path = opts.trace_file.as_ref().expect("sink implies --trace");
         let doc = sink.finish(final_step);
-        std::fs::write(path, doc.to_string_pretty()).unwrap_or_else(|e| {
+        std::fs::write(&path, doc.to_string_pretty()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             exit(1)
         });

@@ -19,10 +19,11 @@ pub mod table;
 pub use table::Table;
 
 use ppa_baselines::{Gcn, Hypercube, McpSolver, PlainMesh, SequentialBf};
-use ppa_graph::{gen, validate, WeightMatrix};
-use ppa_machine::{render, Dim, Direction, ExecMode, Op, Plane, StepReport};
+use ppa_graph::{gen, reference, validate, WeightMatrix, INF};
+use ppa_machine::{render, Dim, Direction, ExecMode, FaultMap, Op, Plane, StepReport};
 use ppa_mcp::mcp::{fit_word_bits, minimum_cost_path};
 use ppa_mcp::variants::{minimum_cost_path_variant, BusModel, MinModel, VariantConfig};
+use ppa_mcp::{solve_with_recovery, RecoveryPolicy};
 use ppa_ppc::{Parallel, Ppa};
 use std::time::Instant;
 
@@ -706,6 +707,176 @@ pub fn profile_run() -> ProfileRun {
     }
 }
 
+/// The `faults` experiment: a seeded fault-tolerance campaign over a
+/// fault-count × array-size grid.
+///
+/// Each trial attaches a reproducible random [`FaultMap`] to a live
+/// machine, runs the recovering solver
+/// ([`RecoveryPolicy::Degrade`]), and classifies the trial:
+///
+/// * **recovered** — the solver returned a result and the host verified
+///   it against the sequential reference (on the full graph, or on the
+///   induced healthy subgraph when degradation excluded vertices);
+/// * **reported** — the solver returned a typed error
+///   (`McpError::FaultyArray`, or the corruption error itself);
+/// * **silent-wrong** — the solver returned a result the reference
+///   refutes. This row must never appear; the integration tests assert
+///   its absence.
+///
+/// Recovery overhead is reported twice — from the solver's own
+/// [`ppa_mcp::RecoveryStats`] and from the `recovery.overhead_steps`
+/// metrics counter — so the two accounting paths can be reconciled row
+/// by row.
+pub fn faults_campaign(seed: u64) -> Table {
+    let mut t = Table::new(
+        "faults",
+        format!(
+            "fault-tolerance campaign (seed {seed}): seeded stuck-at maps on live machines, \
+             RecoveryPolicy::Degrade, verified against the sequential reference"
+        ),
+        vec![
+            "n".into(),
+            "faults".into(),
+            "trial".into(),
+            "outcome".into(),
+            "located".into(),
+            "excluded".into(),
+            "self-tests".into(),
+            "overhead steps".into(),
+            "metrics overhead".into(),
+            "healthy steps".into(),
+        ],
+    );
+    let mut trials = 0u32;
+    let mut recovered = 0u32;
+    let mut reported = 0u32;
+    let mut silent_wrong = 0u32;
+    let mut detected_trials = 0u32;
+    let mut corrupt_trials = 0u32;
+    for &n in &[4usize, 6, 8] {
+        for &k in &[1usize, 2, 4] {
+            for trial in 0..3u64 {
+                let trial_seed = seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add((n * 100 + k * 10) as u64 + trial);
+                let w = gen::random_connected(n, 0.5, 9, trial_seed);
+                let d = (trial as usize) % n;
+                // Healthy baseline for the overhead comparison.
+                let mut healthy_ppa = machine_for(&w, 10);
+                let healthy_steps = minimum_cost_path(&mut healthy_ppa, &w, d)
+                    .expect("healthy baseline solves")
+                    .stats
+                    .total
+                    .total();
+
+                let mut ppa = machine_for(&w, 10);
+                ppa.enable_metrics();
+                let fm = FaultMap::random(ppa.dim(), k, trial_seed ^ 0x5eed);
+                ppa.machine_mut().attach_faults(fm);
+                let result = solve_with_recovery(
+                    &mut ppa,
+                    &w,
+                    d,
+                    RecoveryPolicy::Degrade { max_retries: 2 },
+                );
+                let metrics = ppa.take_metrics();
+                let metrics_overhead = metrics.counter("recovery.overhead_steps");
+                trials += 1;
+                if metrics.counter("recovery.self_tests") > 0 {
+                    corrupt_trials += 1;
+                    if metrics.counter("faults.detected") > 0 {
+                        detected_trials += 1;
+                    }
+                }
+                let (outcome, located, excluded, self_tests, overhead) = match &result {
+                    Ok(r) => {
+                        let valid = if r.recovery.excluded.is_empty() {
+                            validate::is_valid_solution(&w, d, &r.output.sow, &r.output.ptn)
+                        } else {
+                            degraded_matches_reference(&w, d, r)
+                        };
+                        if valid {
+                            recovered += 1;
+                        } else {
+                            silent_wrong += 1;
+                        }
+                        (
+                            if valid { "recovered" } else { "silent-wrong" },
+                            r.recovery.located.len() as u64,
+                            r.recovery.excluded.len() as u64,
+                            r.recovery.self_tests as u64,
+                            r.recovery.overhead.total(),
+                        )
+                    }
+                    Err(_) => {
+                        reported += 1;
+                        (
+                            "reported",
+                            metrics.counter("faults.detected"),
+                            0,
+                            metrics.counter("recovery.self_tests"),
+                            metrics_overhead,
+                        )
+                    }
+                };
+                t.row(vec![
+                    n.to_string(),
+                    k.to_string(),
+                    trial.to_string(),
+                    outcome.into(),
+                    located.to_string(),
+                    excluded.to_string(),
+                    self_tests.to_string(),
+                    overhead.to_string(),
+                    metrics_overhead.to_string(),
+                    healthy_steps.to_string(),
+                ]);
+            }
+        }
+    }
+    t.note(format!(
+        "{trials} trials: {recovered} recovered, {reported} reported, {silent_wrong} silent-wrong \
+         (recovery rate {:.0}%)",
+        recovered as f64 / trials as f64 * 100.0
+    ));
+    t.note(format!(
+        "corruption surfaced in {corrupt_trials} trials; BIST localized faults in {detected_trials} \
+         of them (detection rate {:.0}%)",
+        if corrupt_trials == 0 {
+            100.0
+        } else {
+            detected_trials as f64 / corrupt_trials as f64 * 100.0
+        }
+    ));
+    t.note("overhead = failed solve attempts + self-test sweeps, in controller steps; the");
+    t.note("'metrics overhead' column is the ppa-obs counter and must equal it row by row.");
+    t
+}
+
+/// Host-side check that a degraded result is exact for the induced
+/// healthy subgraph (excluded vertices report [`INF`]).
+fn degraded_matches_reference(w: &WeightMatrix, d: usize, r: &ppa_mcp::RecoveredMcp) -> bool {
+    let n = w.n();
+    let excluded = &r.recovery.excluded;
+    let mut pruned = w.clone();
+    for &v in excluded {
+        for u in 0..n {
+            if u != v {
+                pruned.remove(v, u);
+                pruned.remove(u, v);
+            }
+        }
+    }
+    let oracle = reference::bellman_ford_to_dest(&pruned, d);
+    (0..n).all(|v| {
+        if excluded.contains(&v) {
+            r.output.sow[v] == INF && r.output.ptn[v] == v
+        } else {
+            r.output.sow[v] == oracle.dist[v]
+        }
+    })
+}
+
 /// A named experiment runner.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -727,6 +898,9 @@ pub fn all_experiments() -> Vec<Experiment> {
         // The report binary intercepts this entry to also write the trace
         // and metrics artifacts from the same run (see `profile_run`).
         ("profile", || profile_run().table),
+        // The report binary intercepts this entry to honour `--seed`
+        // (see `faults_campaign`); 7 is the documented default.
+        ("faults", || faults_campaign(7)),
     ]
 }
 

@@ -1,5 +1,6 @@
 //! Errors of the MCP algorithms.
 
+use ppa_machine::Coord;
 use ppa_ppc::PpcError;
 use std::fmt;
 
@@ -32,6 +33,22 @@ pub enum McpError {
         /// Rounds executed before giving up.
         rounds: usize,
     },
+    /// A result-verification invariant failed: the run produced values a
+    /// correct execution cannot produce (e.g. a row-`d` cost increased
+    /// across iterations, or the destination's own cost is non-zero),
+    /// signalling hardware corruption on an unverified run.
+    InvariantViolation {
+        /// Which invariant tripped.
+        invariant: &'static str,
+    },
+    /// The array is faulty and the recovery policy could not produce a
+    /// verified result (self-test localization attached).
+    FaultyArray {
+        /// Faulty switch-box coordinates located by the runtime self-test
+        /// (empty when BIST could not localize the corruption, e.g. for
+        /// transient glitches that did not recur under retry).
+        located: Vec<Coord>,
+    },
 }
 
 impl fmt::Display for McpError {
@@ -48,6 +65,23 @@ impl fmt::Display for McpError {
             ),
             McpError::NoConvergence { rounds } => {
                 write!(f, "MCP iteration did not converge after {rounds} rounds")
+            }
+            McpError::InvariantViolation { invariant } => {
+                write!(f, "result verification failed: {invariant}")
+            }
+            McpError::FaultyArray { located } => {
+                if located.is_empty() {
+                    write!(f, "faulty array: corruption detected but not localized")
+                } else {
+                    write!(f, "faulty array: {} switch box(es) at [", located.len())?;
+                    for (i, c) in located.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "({},{})", c.row, c.col)?;
+                    }
+                    write!(f, "]")
+                }
             }
         }
     }
@@ -90,5 +124,15 @@ mod tests {
         assert!(e.to_string().contains("9 rounds"));
         let e = McpError::Ppc(PpcError::EmptySelection);
         assert!(e.to_string().contains("PPC"));
+        let e = McpError::InvariantViolation {
+            invariant: "destination cost must be zero",
+        };
+        assert!(e.to_string().contains("destination cost"));
+        let e = McpError::FaultyArray {
+            located: vec![Coord::new(1, 2)],
+        };
+        assert!(e.to_string().contains("(1,2)"));
+        let e = McpError::FaultyArray { located: vec![] };
+        assert!(e.to_string().contains("not localized"));
     }
 }

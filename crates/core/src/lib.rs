@@ -22,6 +22,9 @@
 //! * [`closure`] — the boolean specialization: transitive-closure
 //!   reachability on the PPA (the direction of the PARBS work the paper
 //!   cites as \[6\]);
+//! * [`recovery`] — fault-tolerant execution: host-side result
+//!   verification, runtime BIST on corruption, retry for transient
+//!   glitches, and graceful degradation onto the healthy sub-array;
 //! * [`stats`] — per-phase step breakdowns used by the experiment harness.
 //!
 //! ## Fidelity notes (also in DESIGN.md)
@@ -67,12 +70,14 @@ pub mod error;
 pub mod kernels;
 pub mod mcp;
 pub mod path;
+pub mod recovery;
 pub mod stats;
 pub mod variants;
 pub mod widest;
 
 pub use error::McpError;
-pub use mcp::{minimum_cost_path, McpOutput};
+pub use mcp::{minimum_cost_path, minimum_cost_path_verified, McpOutput};
+pub use recovery::{solve_with_recovery, RecoveredMcp, RecoveryPolicy, RecoveryStats};
 pub use stats::McpStats;
 
 /// Crate-wide result alias.

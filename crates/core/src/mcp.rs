@@ -72,6 +72,30 @@ pub fn fit_word_bits(w: &WeightMatrix) -> u32 {
 /// [`McpError::SizeMismatch`], [`McpError::WordWidthTooSmall`], or any
 /// PPC runtime failure.
 pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<McpOutput> {
+    mcp_run(ppa, w, d, false)
+}
+
+/// [`minimum_cost_path`] with host-side result verification: cheap
+/// invariants a correct execution cannot violate, checked by the
+/// controller host with **zero extra SIMD steps** (reads of the register
+/// planes it already holds):
+///
+/// 1. every row-`d` cost is monotonically non-increasing across
+///    iterations (each pass takes a `min` whose candidate set includes
+///    the old value via `w_ii = 0`);
+/// 2. the destination's own cost is zero;
+/// 3. the final costs satisfy the Bellman fixpoint
+///    `sow[i] == min_j(w_ij + sow[j])` against the input matrix.
+///
+/// A violation returns [`McpError::InvariantViolation`] — the signal the
+/// recovery layer (`crate::recovery`) uses to trigger a runtime self-test.
+/// On a healthy machine this function is result- and step-identical to
+/// [`minimum_cost_path`].
+pub fn minimum_cost_path_verified(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<McpOutput> {
+    mcp_run(ppa, w, d, true)
+}
+
+fn mcp_run(ppa: &mut Ppa, w: &WeightMatrix, d: usize, verify: bool) -> Result<McpOutput> {
     let n = w.n();
     let dim = ppa.dim();
     if dim.rows != n || dim.cols != n {
@@ -159,6 +183,9 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
     // --- Step 2: the do-while loop, statements 8-20 ------------------------
     let mut per_iteration: Vec<StepReport> = Vec::new();
     let mut iterations = 0usize;
+    // Invariant 1 state: the row-d cost snapshot of the previous pass
+    // (host-side copy; never touches the array).
+    let mut prev_row_d: Option<Vec<i64>> = verify.then(|| (0..n).map(|i| *sow.at(d, i)).collect());
     loop {
         let iter_start = ppa.steps();
         if observed {
@@ -202,6 +229,22 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
 
         per_iteration.push(ppa.steps().checked_since(&iter_start).unwrap_or_default());
 
+        // ---- invariant 1: row-d costs never increase ----
+        if let Some(prev) = prev_row_d.as_mut() {
+            let now: Vec<i64> = (0..n).map(|i| *sow.at(d, i)).collect();
+            if now.iter().zip(prev.iter()).any(|(new, old)| new > old) {
+                ppa.set_phase(None);
+                if observed {
+                    ppa.exit_span(); // iteration[i]
+                    ppa.exit_span(); // mcp
+                }
+                return Err(McpError::InvariantViolation {
+                    invariant: "a row-d cost increased across an iteration",
+                });
+            }
+            *prev = now;
+        }
+
         // ---- statement 20: while at least one SOW in row d has changed ----
         ppa.set_phase(Some("stmt 20: loop test"));
         let changed_in_row_d = ppa.and(&changed, &row_is_d)?;
@@ -242,6 +285,37 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
         } else {
             out_sow.push(cost);
             out_ptn.push(*ptn.at(d, i) as usize);
+        }
+    }
+
+    if verify {
+        // ---- invariant 2: the destination's own cost is zero ----
+        if *sow.at(d, d) != 0 {
+            return Err(McpError::InvariantViolation {
+                invariant: "destination cost must be zero",
+            });
+        }
+        // ---- invariant 3: the Bellman fixpoint against the input ----
+        // `sow[i] = min_j(w_ij + sow[j])` for i != d, in host arithmetic
+        // with INF absorbing. The word-width guard above rules out
+        // saturation, so a correct run matches exactly.
+        for i in 0..n {
+            if i == d {
+                continue;
+            }
+            let mut best = INF;
+            for j in 0..n {
+                let wij = w.get(i, j);
+                if j == i || wij == INF || out_sow[j] == INF {
+                    continue;
+                }
+                best = best.min(wij + out_sow[j]);
+            }
+            if out_sow[i] != best {
+                return Err(McpError::InvariantViolation {
+                    invariant: "row-d costs must satisfy the Bellman fixpoint",
+                });
+            }
         }
     }
 
@@ -453,6 +527,38 @@ mod tests {
         assert_eq!(h.count, out.iterations as u64);
         let per_iter_sum: u64 = out.stats.per_iteration.iter().map(|r| r.total()).sum();
         assert_eq!(h.sum, per_iter_sum);
+    }
+
+    #[test]
+    fn verified_run_is_bit_identical_on_a_healthy_machine() {
+        for seed in 0..5 {
+            let w = gen::random_digraph(8, 0.4, 12, seed);
+            let mut plain = Ppa::square(8).with_word_bits(12);
+            let mut checked = Ppa::square(8).with_word_bits(12);
+            let a = minimum_cost_path(&mut plain, &w, 1).unwrap();
+            let b = minimum_cost_path_verified(&mut checked, &w, 1).unwrap();
+            assert_eq!(a, b, "seed {seed}: verification must be free");
+        }
+    }
+
+    #[test]
+    fn empty_fault_map_is_bit_identical_to_the_pre_fault_path() {
+        // Attaching an *empty* FaultMap must not perturb the solver at
+        // all: same SOW/PTN, same iteration count, same step accounting
+        // down to the per-phase breakdown.
+        for seed in 0..5 {
+            let w = gen::random_digraph(7, 0.45, 15, seed);
+            let d = seed as usize % 7;
+            let mut plain = Ppa::square(7).with_word_bits(12);
+            let mut faulted = Ppa::square(7).with_word_bits(12);
+            faulted
+                .machine_mut()
+                .attach_faults(ppa_machine::FaultMap::new());
+            let a = minimum_cost_path(&mut plain, &w, d).unwrap();
+            let b = minimum_cost_path(&mut faulted, &w, d).unwrap();
+            assert_eq!(a, b, "seed {seed}: an empty fault map must be free");
+            assert_eq!(plain.steps(), faulted.steps(), "seed {seed}");
+        }
     }
 
     #[test]

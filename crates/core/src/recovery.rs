@@ -1,0 +1,457 @@
+//! Fault recovery and graceful degradation for the MCP solver.
+//!
+//! The inject → detect → recover → degrade pipeline on top of
+//! [`minimum_cost_path_verified`]:
+//!
+//! 1. run the solver with host-side result verification;
+//! 2. on a corruption signal (invariant violation, a dead bus line, a
+//!    non-converging iteration) run the machine's built-in self-test
+//!    ([`ppa_machine::Machine::self_test`]) to *localize* the trouble;
+//! 3. if the self-test comes back healthy the corruption was transient —
+//!    retry, up to the policy's budget;
+//! 4. if switch boxes are localized, either report them
+//!    ([`McpError::FaultyArray`]) or **degrade**: logically exclude every
+//!    faulty row and column, re-map the problem onto the healthy
+//!    sub-array, and solve there.
+//!
+//! Degradation is honest about its semantics: excluding row/column `k`
+//! removes *vertex* `k` from the graph (PE `(i, j)` holds edge `i -> j`,
+//! so a faulty row poisons all of vertex `row`'s outgoing edges and a
+//! faulty column all of vertex `col`'s incoming ones). The degraded
+//! answer is the exact MCP solution of the induced healthy subgraph —
+//! paths through excluded vertices are genuinely unavailable on the
+//! broken hardware. Excluded sources report [`INF`]/no-path.
+//!
+//! All recovery overhead is accounted in the paper's currency — SIMD
+//! controller steps — split into failed solve attempts and self-test
+//! sweeps, and mirrored into the `ppa-obs` metrics registry
+//! (`recovery.*`, `faults.*` counters) when one is attached.
+
+use crate::error::McpError;
+use crate::mcp::{minimum_cost_path_verified, McpOutput};
+use crate::Result;
+use ppa_graph::{Weight, WeightMatrix, INF};
+use ppa_machine::{Coord, MachineError, StepReport};
+use ppa_ppc::{Ppa, PpcError};
+
+/// What the solver does when a run fails verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Propagate the first corruption signal as an error (no self-test,
+    /// no retry). The verified solver still guarantees no silently wrong
+    /// answer escapes.
+    FailFast,
+    /// Self-test on corruption; retry while the array tests healthy
+    /// (transient glitches), report [`McpError::FaultyArray`] as soon as
+    /// permanent faults are localized.
+    RetrySelfTest {
+        /// Additional solve attempts allowed after the first.
+        max_retries: usize,
+    },
+    /// Like `RetrySelfTest`, but when permanent faults are localized the
+    /// solver excludes the faulty rows/columns and re-solves on the
+    /// healthy sub-array instead of giving up.
+    Degrade {
+        /// Additional solve attempts allowed after the first.
+        max_retries: usize,
+    },
+}
+
+impl RecoveryPolicy {
+    fn max_retries(self) -> usize {
+        match self {
+            RecoveryPolicy::FailFast => 0,
+            RecoveryPolicy::RetrySelfTest { max_retries } => max_retries,
+            RecoveryPolicy::Degrade { max_retries } => max_retries,
+        }
+    }
+}
+
+/// Accounting for one recovered solve.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Solve attempts, including the successful one.
+    pub attempts: usize,
+    /// Self-test sweeps executed.
+    pub self_tests: usize,
+    /// Faulty switch boxes localized by the self-tests (sorted, unique).
+    pub located: Vec<Coord>,
+    /// Vertices excluded by degradation (empty unless degraded).
+    pub excluded: Vec<usize>,
+    /// Controller steps that bought no answer: failed solve attempts plus
+    /// all self-test sweeps. The successful attempt's own steps live in
+    /// [`McpOutput::stats`] as usual.
+    pub overhead: StepReport,
+}
+
+impl RecoveryStats {
+    /// Whether the answer comes from a degraded (sub-array) run.
+    pub fn degraded(&self) -> bool {
+        !self.excluded.is_empty()
+    }
+}
+
+/// A verified MCP result plus how much recovery it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredMcp {
+    /// The verified solution. Under degradation, costs are exact for the
+    /// induced healthy subgraph and excluded vertices report [`INF`].
+    pub output: McpOutput,
+    /// Recovery accounting.
+    pub recovery: RecoveryStats,
+}
+
+/// Whether an error means "the hardware corrupted this run" (worth a
+/// self-test) rather than a caller mistake (worth propagating).
+fn is_corruption(e: &McpError) -> bool {
+    match e {
+        McpError::InvariantViolation { .. } | McpError::NoConvergence { .. } => true,
+        // A dead bus line or an impossible empty selection can only come
+        // from switch boxes disobeying the controller.
+        McpError::Ppc(PpcError::Machine(MachineError::BusFault { .. }))
+        | McpError::Ppc(PpcError::EmptySelection) => true,
+        _ => false,
+    }
+}
+
+/// Runs [`minimum_cost_path_verified`] under a [`RecoveryPolicy`].
+///
+/// Guarantee: the returned costs are verified (invariants plus, for
+/// degraded runs, verification on the sub-array) — a faulty machine
+/// yields either a recovered answer or a typed error, never a silently
+/// wrong path cost.
+///
+/// # Errors
+/// Caller mistakes ([`McpError::SizeMismatch`], …) propagate unchanged.
+/// Unrecovered corruption surfaces as [`McpError::FaultyArray`] carrying
+/// whatever the self-test localized, or as the original corruption error
+/// under [`RecoveryPolicy::FailFast`].
+pub fn solve_with_recovery(
+    ppa: &mut Ppa,
+    w: &WeightMatrix,
+    d: usize,
+    policy: RecoveryPolicy,
+) -> Result<RecoveredMcp> {
+    let mut stats = RecoveryStats::default();
+    let max_retries = policy.max_retries();
+    loop {
+        stats.attempts += 1;
+        let before = ppa.steps();
+        match minimum_cost_path_verified(ppa, w, d) {
+            Ok(output) => {
+                note_outcome(ppa, &stats, true);
+                return Ok(RecoveredMcp {
+                    output,
+                    recovery: stats,
+                });
+            }
+            Err(e) if !is_corruption(&e) => return Err(e),
+            Err(first_error) => {
+                // The failed attempt's steps are pure overhead.
+                let wasted = ppa.steps().checked_since(&before).unwrap_or_default();
+                stats.overhead = stats.overhead.add(&wasted);
+                if policy == RecoveryPolicy::FailFast {
+                    note_outcome(ppa, &stats, false);
+                    return Err(first_error);
+                }
+                let report = ppa.machine_mut().self_test();
+                stats.self_tests += 1;
+                stats.overhead = stats.overhead.add(&report.steps);
+                for c in report.coords() {
+                    if !stats.located.contains(&c) {
+                        stats.located.push(c);
+                    }
+                }
+                stats.located.sort();
+                if report.is_healthy() {
+                    // Transient corruption: the array tests fine, retry.
+                    if stats.attempts <= max_retries {
+                        continue;
+                    }
+                    note_outcome(ppa, &stats, false);
+                    return Err(McpError::FaultyArray {
+                        located: stats.located,
+                    });
+                }
+                match policy {
+                    RecoveryPolicy::Degrade { .. } => {
+                        return degrade(ppa, w, d, stats);
+                    }
+                    _ => {
+                        note_outcome(ppa, &stats, false);
+                        return Err(McpError::FaultyArray {
+                            located: stats.located,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Solves on the healthy sub-array after excluding every faulty row and
+/// column, then maps the answer back to the original vertex ids.
+fn degrade(
+    ppa: &mut Ppa,
+    w: &WeightMatrix,
+    d: usize,
+    mut stats: RecoveryStats,
+) -> Result<RecoveredMcp> {
+    let n = w.n();
+    // PE (i, j) holds w_ij: a faulty row r poisons vertex r's outgoing
+    // edges, a faulty column c poisons vertex c's incoming edges — either
+    // way vertex min(index, n) is unusable.
+    let mut excluded: Vec<usize> = stats
+        .located
+        .iter()
+        .flat_map(|c| [c.row, c.col])
+        .filter(|&v| v < n)
+        .collect();
+    excluded.sort_unstable();
+    excluded.dedup();
+    if excluded.contains(&d) || excluded.len() >= n {
+        note_outcome(ppa, &stats, false);
+        return Err(McpError::FaultyArray {
+            located: stats.located,
+        });
+    }
+    let healthy: Vec<usize> = (0..n).filter(|v| !excluded.contains(v)).collect();
+    let m = healthy.len();
+    let mut sub_w = WeightMatrix::new(m);
+    for (ia, &a) in healthy.iter().enumerate() {
+        for (ib, &b) in healthy.iter().enumerate() {
+            if a != b {
+                let wab = w.get(a, b);
+                if wab != INF {
+                    sub_w.set(ia, ib, wab);
+                }
+            }
+        }
+    }
+    let sub_d = healthy.iter().position(|&v| v == d).expect("d is healthy");
+
+    // A fresh healthy m x m machine stands in for the working sub-array;
+    // its word width matches the parent so costs agree bit for bit.
+    let mut sub = Ppa::square(m).with_word_bits(ppa.word_bits());
+    let collect_metrics = ppa.metrics_mut().is_some();
+    if collect_metrics {
+        sub.enable_metrics();
+    }
+    let sub_out = minimum_cost_path_verified(&mut sub, &sub_w, sub_d)?;
+    if collect_metrics {
+        let sub_metrics = sub.take_metrics();
+        if let Some(parent) = ppa.metrics_mut() {
+            parent.merge(&sub_metrics);
+        }
+    }
+
+    // Map back to the original vertex ids; excluded vertices are
+    // unreachable on the degraded hardware.
+    let mut sow: Vec<Weight> = vec![INF; n];
+    let mut ptn: Vec<usize> = (0..n).collect();
+    for (ia, &a) in healthy.iter().enumerate() {
+        sow[a] = sub_out.sow[ia];
+        ptn[a] = if sub_out.sow[ia] == INF {
+            a
+        } else {
+            healthy[sub_out.ptn[ia]]
+        };
+    }
+    stats.excluded = excluded;
+    note_outcome(ppa, &stats, true);
+    if let Some(mx) = ppa.metrics_mut() {
+        mx.inc("recovery.degraded", 1);
+        mx.inc("recovery.excluded_vertices", stats.excluded.len() as u64);
+    }
+    Ok(RecoveredMcp {
+        output: McpOutput {
+            dest: d,
+            sow,
+            ptn,
+            iterations: sub_out.iterations,
+            stats: sub_out.stats,
+        },
+        recovery: stats,
+    })
+}
+
+/// Mirrors the recovery accounting into the attached metrics registry.
+fn note_outcome(ppa: &mut Ppa, stats: &RecoveryStats, recovered: bool) {
+    if let Some(m) = ppa.metrics_mut() {
+        m.inc("recovery.attempts", stats.attempts as u64);
+        m.inc("recovery.self_tests", stats.self_tests as u64);
+        m.inc("recovery.overhead_steps", stats.overhead.total());
+        if recovered && (stats.attempts > 1 || stats.self_tests > 0) {
+            m.inc("faults.recovered", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_graph::reference::bellman_ford_to_dest;
+    use ppa_graph::validate::is_valid_solution;
+    use ppa_machine::{FaultMap, SwitchFault, TransientFaults};
+
+    fn ring_ppa(n: usize) -> (Ppa, WeightMatrix) {
+        let w = gen::ring(n);
+        let ppa = Ppa::square(n).with_word_bits(10);
+        (ppa, w)
+    }
+
+    #[test]
+    fn healthy_machine_recovers_trivially() {
+        let (mut ppa, w) = ring_ppa(6);
+        let r = solve_with_recovery(&mut ppa, &w, 0, RecoveryPolicy::FailFast).unwrap();
+        assert_eq!(r.recovery.attempts, 1);
+        assert_eq!(r.recovery.self_tests, 0);
+        assert_eq!(r.recovery.overhead.total(), 0);
+        assert!(!r.recovery.degraded());
+        assert!(is_valid_solution(&w, 0, &r.output.sow, &r.output.ptn));
+    }
+
+    #[test]
+    fn fail_fast_propagates_corruption_without_self_test() {
+        let (mut ppa, w) = ring_ppa(6);
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(0, 3), SwitchFault::StuckOpen);
+        ppa.machine_mut().attach_faults(fm);
+        let err = solve_with_recovery(&mut ppa, &w, 0, RecoveryPolicy::FailFast).unwrap_err();
+        assert!(is_corruption(&err), "{err}");
+    }
+
+    #[test]
+    fn retry_self_test_reports_permanent_faults() {
+        let (mut ppa, w) = ring_ppa(6);
+        let at = Coord::new(2, 4);
+        let mut fm = FaultMap::new();
+        fm.inject(at, SwitchFault::StuckOpen);
+        ppa.machine_mut().attach_faults(fm);
+        let err = solve_with_recovery(
+            &mut ppa,
+            &w,
+            0,
+            RecoveryPolicy::RetrySelfTest { max_retries: 2 },
+        )
+        .unwrap_err();
+        match err {
+            McpError::FaultyArray { located } => assert_eq!(located, vec![at]),
+            other => panic!("expected FaultyArray, got {other}"),
+        }
+    }
+
+    #[test]
+    fn transient_glitches_are_retried_away() {
+        let (mut ppa, w) = ring_ppa(6);
+        // One guaranteed glitch early on, then quiet: seed 1 with p = 0.02
+        // corrupts some early transfer but later attempts run clean with
+        // high probability; retries absorb it. To make the test
+        // deterministic, use a probability of 0 after a forced first hit:
+        // simplest reliable setup is a modest probability and a generous
+        // retry budget — verification catches any corrupted attempt, so
+        // the final answer is correct whenever Ok is returned.
+        ppa.machine_mut()
+            .attach_transient_faults(TransientFaults::new(0.01, 5));
+        let r = solve_with_recovery(
+            &mut ppa,
+            &w,
+            0,
+            RecoveryPolicy::RetrySelfTest { max_retries: 50 },
+        );
+        if let Ok(r) = r {
+            assert!(is_valid_solution(&w, 0, &r.output.sow, &r.output.ptn));
+            if r.recovery.attempts > 1 {
+                assert!(r.recovery.overhead.total() > 0);
+            }
+        }
+        // An Err(FaultyArray { located: [] }) after exhausting retries is
+        // also acceptable — never a wrong answer.
+    }
+
+    #[test]
+    fn degrade_solves_on_the_healthy_sub_array() {
+        // Ring 0 -> 1 -> ... -> 7 -> 0, destination 0. A stuck-Open switch
+        // at (2,4) splits column 4's southward broadcast, so vertex 3's
+        // only candidate (j = 4) reads garbage — the Bellman invariant
+        // trips deterministically and degradation excludes vertices 2
+        // (faulty row) and 4 (faulty column).
+        let n = 8;
+        let w = gen::ring(n);
+        let mut ppa = Ppa::square(n).with_word_bits(12);
+        let at = Coord::new(2, 4);
+        let mut fm = FaultMap::new();
+        fm.inject(at, SwitchFault::StuckOpen);
+        ppa.machine_mut().attach_faults(fm);
+        let d = 0;
+        let r = solve_with_recovery(&mut ppa, &w, d, RecoveryPolicy::Degrade { max_retries: 1 })
+            .unwrap();
+        assert!(r.recovery.degraded());
+        assert_eq!(r.recovery.excluded, vec![2, 4]);
+        assert_eq!(r.recovery.located, vec![at]);
+        // Exact against the sequential reference on the induced subgraph.
+        let mut pruned = w.clone();
+        for v in [2usize, 4] {
+            for u in 0..n {
+                if u != v {
+                    pruned.remove(v, u);
+                    pruned.remove(u, v);
+                }
+            }
+        }
+        let oracle = bellman_ford_to_dest(&pruned, d);
+        for v in 0..n {
+            if v == 2 || v == 4 {
+                assert_eq!(r.output.sow[v], INF, "excluded vertex {v}");
+                assert_eq!(r.output.ptn[v], v);
+            } else {
+                assert_eq!(r.output.sow[v], oracle.dist[v], "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn degrade_refuses_when_destination_is_faulty() {
+        let (mut ppa, w) = ring_ppa(6);
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(0, 0), SwitchFault::StuckShort);
+        ppa.machine_mut().attach_faults(fm);
+        let err = solve_with_recovery(&mut ppa, &w, 0, RecoveryPolicy::Degrade { max_retries: 0 })
+            .unwrap_err();
+        assert!(matches!(err, McpError::FaultyArray { .. }), "{err}");
+    }
+
+    #[test]
+    fn caller_mistakes_bypass_recovery() {
+        let w = gen::ring(5);
+        let mut ppa = Ppa::square(4); // wrong size
+        let err = solve_with_recovery(&mut ppa, &w, 0, RecoveryPolicy::Degrade { max_retries: 3 })
+            .unwrap_err();
+        assert!(matches!(err, McpError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn recovery_metrics_reconcile_with_stats() {
+        let (mut ppa, w) = ring_ppa(6);
+        ppa.enable_metrics();
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(1, 3), SwitchFault::StuckOpen);
+        ppa.machine_mut().attach_faults(fm);
+        let r = solve_with_recovery(&mut ppa, &w, 0, RecoveryPolicy::Degrade { max_retries: 0 })
+            .unwrap();
+        let m = ppa.take_metrics();
+        assert_eq!(m.counter("recovery.attempts"), r.recovery.attempts as u64);
+        assert_eq!(
+            m.counter("recovery.self_tests"),
+            r.recovery.self_tests as u64
+        );
+        assert_eq!(
+            m.counter("recovery.overhead_steps"),
+            r.recovery.overhead.total()
+        );
+        assert_eq!(m.counter("recovery.degraded"), 1);
+        assert!(m.counter("faults.detected") >= 1);
+        assert_eq!(m.counter("faults.recovered"), 1);
+    }
+}

@@ -25,10 +25,18 @@ use std::time::{Duration, Instant};
 static PROFILING: AtomicBool = AtomicBool::new(false);
 static PROFILE: Mutex<Option<EngineProfile>> = Mutex::new(None);
 
+/// Locks the profile store, recovering from poisoning: a panicking worker
+/// must not turn every later profiled run into a panic. The stored
+/// `EngineProfile` is plain counters, valid regardless of where a panic
+/// interrupted an update.
+fn profile_lock() -> std::sync::MutexGuard<'static, Option<EngineProfile>> {
+    PROFILE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Starts wall-clock profiling of every engine call, process-wide,
 /// resetting any previous totals.
 pub fn enable_profiling() {
-    *PROFILE.lock().expect("engine profile poisoned") = Some(EngineProfile::default());
+    *profile_lock() = Some(EngineProfile::default());
     PROFILING.store(true, Ordering::SeqCst);
 }
 
@@ -36,7 +44,7 @@ pub fn enable_profiling() {
 /// profiling was never enabled).
 pub fn take_profile() -> Option<EngineProfile> {
     PROFILING.store(false, Ordering::SeqCst);
-    PROFILE.lock().expect("engine profile poisoned").take()
+    profile_lock().take()
 }
 
 /// Whether engine profiling is currently enabled.
@@ -45,7 +53,7 @@ pub fn profiling_enabled() -> bool {
 }
 
 fn note_call(is_build: bool, threaded: bool, elapsed: Duration, chunks: &[(usize, u64)]) {
-    let mut guard = PROFILE.lock().expect("engine profile poisoned");
+    let mut guard = profile_lock();
     let Some(p) = guard.as_mut() else { return };
     if is_build {
         p.build_calls += 1;
@@ -277,6 +285,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_threads_rejected() {
         let _ = ExecMode::threaded(0);
+    }
+
+    #[test]
+    fn profile_survives_a_poisoned_mutex() {
+        // Poison PROFILE by panicking while holding its guard, then check
+        // the profiling API keeps working instead of propagating the
+        // poison forever.
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = profile_lock();
+            panic!("poison the profile mutex");
+        });
+        enable_profiling();
+        let _ = build(ExecMode::Sequential, 100, |i| i);
+        let p = take_profile().expect("profiling recovered after poisoning");
+        assert!(p.build_calls >= 1, "{p:?}");
     }
 
     #[test]

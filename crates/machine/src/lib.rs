@@ -78,6 +78,7 @@ pub mod switch;
 pub use controller::{Controller, Op, StepReport};
 pub use engine::ExecMode;
 pub use error::MachineError;
+pub use faults::{FaultMap, FaultReport, SwitchFault, TransientFaults};
 pub use geometry::{Axis, Coord, Dim, Direction};
 pub use machine::Machine;
 pub use plane::Plane;

@@ -12,6 +12,7 @@ use crate::bus;
 use crate::controller::{Controller, Op};
 use crate::engine::ExecMode;
 use crate::error::MachineError;
+use crate::faults::{bist_sweep, FaultMap, FaultReport, SwitchFault, TransientFaults};
 use crate::geometry::{Dim, Direction};
 use crate::plane::Plane;
 
@@ -21,6 +22,8 @@ pub struct Machine {
     dim: Dim,
     mode: ExecMode,
     controller: Controller,
+    faults: FaultMap,
+    transient: Option<TransientFaults>,
 }
 
 impl Machine {
@@ -41,7 +44,64 @@ impl Machine {
             dim,
             mode,
             controller: Controller::new(),
+            faults: FaultMap::new(),
+            transient: None,
         }
+    }
+
+    // ----- fault attachment ------------------------------------------------
+
+    /// Attaches a permanent stuck-at fault map: from now on every
+    /// switch-configuring instruction passes its intended Open mask through
+    /// [`FaultMap::apply`] before the bus executes. A healthy (empty) map
+    /// leaves the instruction path bit-identical to an unfaulted machine.
+    pub fn attach_faults(&mut self, faults: FaultMap) {
+        if let Some(m) = self.controller.metrics_mut() {
+            m.inc("faults.injected", faults.len() as u64);
+        }
+        self.faults = faults;
+    }
+
+    /// The currently attached permanent fault map.
+    pub fn faults(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// Attaches a seeded transient-glitch process sampled once per bus
+    /// transfer (see [`TransientFaults`]).
+    pub fn attach_transient_faults(&mut self, transient: TransientFaults) {
+        self.transient = Some(transient);
+    }
+
+    /// Detaches all fault models, restoring a healthy machine.
+    pub fn clear_faults(&mut self) {
+        self.faults = FaultMap::new();
+        self.transient = None;
+    }
+
+    /// The Open mask the (possibly faulty) hardware realizes for one bus
+    /// transfer, or `None` when the machine is healthy and the intended
+    /// mask applies unchanged. Samples the transient process, so each call
+    /// is one transfer.
+    fn effective_open(&mut self, intended: &Plane<bool>) -> Option<Plane<bool>> {
+        let glitch = self.transient.as_mut().and_then(|t| t.sample(self.dim));
+        if self.faults.is_empty() && glitch.is_none() {
+            return None;
+        }
+        let mut effective = self.faults.apply(intended);
+        if let Some(c) = glitch {
+            let flipped = !*effective.get(c);
+            effective.set(c, flipped);
+            if let Some(m) = self.controller.metrics_mut() {
+                m.inc("faults.transient_flips", 1);
+            }
+        }
+        if effective != *intended {
+            if let Some(m) = self.controller.metrics_mut() {
+                m.inc("faults.distorted_transfers", 1);
+            }
+        }
+        Some(effective)
     }
 
     /// The array dimensions.
@@ -137,6 +197,8 @@ impl Machine {
         dir: Direction,
         open: &Plane<bool>,
     ) -> Result<Plane<T>, MachineError> {
+        let effective = self.effective_open(open);
+        let open = effective.as_ref().unwrap_or(open);
         let (occ, clusters) = (self.occupancy_of(open), self.clusters_of(dir, open));
         self.record_bus(Op::Broadcast, occ, clusters);
         bus::broadcast(self.mode, self.dim, src, dir, open)
@@ -149,6 +211,8 @@ impl Machine {
         dir: Direction,
         open: &Plane<bool>,
     ) -> Result<Plane<bool>, MachineError> {
+        let effective = self.effective_open(open);
+        let open = effective.as_ref().unwrap_or(open);
         let (occ, clusters) = (self.occupancy_of(open), self.clusters_of(dir, open));
         self.record_bus(Op::BusOr, occ, clusters);
         bus::bus_or(self.mode, self.dim, values, dir, open)
@@ -193,6 +257,101 @@ impl Machine {
             |i| f[i],
             |a, b| a || b,
         ))
+    }
+
+    // ----- runtime self-test ----------------------------------------------
+
+    /// Runs the executable built-in self-test on the live machine.
+    ///
+    /// Executes the [`bist_sweep`] patterns as real (costed, fault-applied)
+    /// broadcasts of the flat-index identity plane, compares each readback
+    /// against the healthy expectation computed host-side, and localizes
+    /// every disagreeing switch box:
+    ///
+    /// * a node reading a value driven by an intended-Short neighbour names
+    ///   that neighbour **stuck-Open** (the identity source makes the wrong
+    ///   value *name* the rogue driver);
+    /// * a node reading past its intended cluster head convicts that head
+    ///   as **stuck-short**;
+    /// * an undriven-line [`MachineError::BusFault`] convicts every
+    ///   intended head of the dead line as **stuck-short**.
+    ///
+    /// Localization is exact for any single fault per bus cluster;
+    /// overlapping faults are still detected but may be attributed to a
+    /// neighbour. Transient glitches sampled during the sweep show up like
+    /// permanent faults for the affected transfer — re-running the test
+    /// distinguishes the two. The controller steps the sweep consumes are
+    /// returned in [`FaultReport::steps`].
+    pub fn self_test(&mut self) -> FaultReport {
+        let before = self.controller.report();
+        let observed = self.controller.observing();
+        if observed {
+            self.controller.enter_span("self_test");
+        }
+        let mut report = FaultReport::default();
+        // Identity plane built with real instructions: ROW * cols + COL.
+        let cols = self.dim.cols as i64;
+        let ri = self.row_index();
+        let ci = self.col_index();
+        let ident = self
+            .zip(&ri, &ci, move |r, c| r * cols + c)
+            .expect("index planes share the machine dim");
+        for pattern in bist_sweep(self.dim) {
+            report.patterns_run += 1;
+            // The healthy expectation is computed by the controller host on
+            // the *intended* mask — no array steps, no fault application.
+            let expected = bus::broadcast(self.mode, self.dim, &ident, pattern.dir, &pattern.open)
+                .expect("bist patterns drive every line");
+            let heads = bus::cluster_heads(self.dim, pattern.dir, &pattern.open)
+                .expect("bist patterns drive every line");
+            match self.broadcast(&ident, pattern.dir, &pattern.open) {
+                Ok(actual) => {
+                    for (idx, &head) in heads.iter().enumerate() {
+                        let at = self.dim.coord(idx);
+                        let got = *actual.get(at);
+                        if got == *expected.get(at) {
+                            continue;
+                        }
+                        // The identity source means `got` is the flat index
+                        // of the node that actually drove this cluster.
+                        let driver = self.dim.coord(got as usize);
+                        if !*pattern.open.get(driver) {
+                            report.note(driver, SwitchFault::StuckOpen);
+                        } else {
+                            // The intended head upstream of `at` failed to
+                            // inject.
+                            report.note(self.dim.coord(head), SwitchFault::StuckShort);
+                        }
+                    }
+                }
+                Err(MachineError::BusFault { axis, lines }) => {
+                    // A dead line means every intended head on it is stuck
+                    // Short.
+                    for idx in 0..self.dim.len() {
+                        let at = self.dim.coord(idx);
+                        let line = match axis {
+                            crate::geometry::Axis::Row => at.row,
+                            crate::geometry::Axis::Col => at.col,
+                        };
+                        if lines.contains(&line) && *pattern.open.get(at) {
+                            report.note(at, SwitchFault::StuckShort);
+                        }
+                    }
+                }
+                Err(e) => unreachable!("self-test broadcast cannot fail with {e}"),
+            }
+        }
+        if observed {
+            self.controller.exit_span();
+        }
+        report.steps = self.controller.report().since(&before);
+        if let Some(m) = self.controller.metrics_mut() {
+            m.inc("bist.runs", 1);
+            m.inc("bist.patterns", report.patterns_run as u64);
+            m.inc("faults.detected", report.located.len() as u64);
+            m.inc("bist.steps", report.steps.total());
+        }
+        report
     }
 
     // ----- ALU instructions ------------------------------------------------
@@ -396,5 +555,108 @@ mod tests {
         let _ = m.imm(0u8);
         m.reset_steps();
         assert_eq!(m.controller().total_steps(), 0);
+    }
+
+    #[test]
+    fn attached_faults_corrupt_live_broadcasts() {
+        let mut m = Machine::square(4);
+        let src = Plane::from_fn(m.dim(), |c| (c.row * 4 + c.col) as i64);
+        let open = Plane::from_fn(m.dim(), |c| c.col == 0 || c.col == 2);
+        let healthy = m.broadcast(&src, Direction::East, &open).unwrap();
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(0, 2), SwitchFault::StuckShort);
+        m.attach_faults(fm);
+        let faulty = m.broadcast(&src, Direction::East, &open).unwrap();
+        assert_ne!(healthy.row(0), faulty.row(0), "fault reaches the bus");
+        assert_eq!(faulty.row(0), &[0, 0, 0, 0], "head at (0,2) swallowed");
+        assert_eq!(healthy.row(1), faulty.row(1));
+        m.clear_faults();
+        let again = m.broadcast(&src, Direction::East, &open).unwrap();
+        assert_eq!(again.as_slice(), healthy.as_slice());
+    }
+
+    #[test]
+    fn transient_glitches_are_one_shot() {
+        let mut m = Machine::square(4);
+        let src = Plane::from_fn(m.dim(), |c| (c.row * 4 + c.col) as i64);
+        let open = Plane::filled(m.dim(), true);
+        let healthy = m.broadcast(&src, Direction::East, &open).unwrap();
+        // p = 1: every transfer glitches exactly one switch.
+        m.attach_transient_faults(TransientFaults::new(1.0, 3));
+        let glitched = m.broadcast(&src, Direction::East, &open).unwrap();
+        let wrong = glitched
+            .as_slice()
+            .iter()
+            .zip(healthy.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(wrong, 1, "one flipped switch corrupts exactly one PE");
+        m.clear_faults();
+        let again = m.broadcast(&src, Direction::East, &open).unwrap();
+        assert_eq!(again.as_slice(), healthy.as_slice());
+    }
+
+    #[test]
+    fn self_test_on_healthy_machine_reports_healthy() {
+        let mut m = Machine::square(4);
+        let report = m.self_test();
+        assert!(report.is_healthy(), "{report}");
+        assert_eq!(report.patterns_run, 6);
+        assert!(report.steps.total() > 0, "the sweep costs real steps");
+        assert_eq!(m.controller().total_steps(), report.steps.total());
+    }
+
+    #[test]
+    fn self_test_localizes_every_single_stuck_fault() {
+        for idx in 0..16 {
+            for fault in [SwitchFault::StuckShort, SwitchFault::StuckOpen] {
+                let mut m = Machine::square(4);
+                let at = m.dim().coord(idx);
+                let mut fm = FaultMap::new();
+                fm.inject(at, fault);
+                m.attach_faults(fm);
+                let report = m.self_test();
+                assert_eq!(
+                    report.located,
+                    vec![(at, fault)],
+                    "fault {fault:?} at {at:?} mislocalized: {report}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_test_detects_multiple_faults() {
+        let mut m = Machine::square(6);
+        let fm = FaultMap::random(m.dim(), 4, 99);
+        let expected: Vec<Coord> = fm.iter().map(|(c, _)| c).collect();
+        m.attach_faults(fm);
+        let report = m.self_test();
+        // Overlapping faults may be attributed to a cluster neighbour, but
+        // with 4 faults on 36 nodes the sweep must at least detect trouble;
+        // in the common disjoint case it localizes all of them exactly.
+        assert!(!report.is_healthy());
+        for c in report.coords() {
+            assert!(m.dim().contains(c));
+        }
+        if report.located.len() == expected.len() {
+            assert_eq!(report.coords(), expected);
+        }
+    }
+
+    #[test]
+    fn empty_fault_map_leaves_instruction_path_bit_identical() {
+        let src = Plane::from_fn(Dim::square(5), |c| (c.row * 5 + c.col) as i64);
+        let open = Plane::from_fn(Dim::square(5), |c| (c.row + c.col) % 3 == 0);
+        let mut plain = Machine::square(5);
+        let mut attached = Machine::square(5);
+        attached.attach_faults(FaultMap::new());
+        let a = plain.broadcast(&src, Direction::South, &open).unwrap();
+        let b = attached.broadcast(&src, Direction::South, &open).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(
+            plain.controller().total_steps(),
+            attached.controller().total_steps()
+        );
     }
 }
