@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! solve <graph-file> --dest <d> [--problem shortest|widest|hops|reach]
+//!                                [--backend scalar|packed]
 //!                                [--source] [--steps] [--paths]
 //!                                [--trace FILE] [--metrics FILE]
 //! solve --demo --dest 0 --problem shortest --steps
@@ -13,13 +14,18 @@
 //! destination (via graph reversal); `--demo` uses a built-in workload.
 //! `--trace FILE` writes a Chrome `trace_event` document of the run
 //! (load in Perfetto; timestamps are controller step indices) and
-//! `--metrics FILE` a metrics snapshot JSON.
+//! `--metrics FILE` a metrics snapshot JSON. `--backend` selects the
+//! execution backend: `scalar` (the reference) or `packed` (u64 bit-plane
+//! masks with bus-plan caching) — results and step counts are identical,
+//! only host wall-clock differs.
 
 use ppa_graph::{gen, io, WeightMatrix, INF};
+use ppa_machine::{Executor, PackedBackend};
 use ppa_mcp::closure::{hop_levels, reachability};
-use ppa_mcp::mcp::{fit_word_bits, minimum_cost_path};
+use ppa_mcp::mcp::fit_word_bits;
 use ppa_mcp::path::extract_path;
 use ppa_mcp::widest::widest_path;
+use ppa_mcp::McpSession;
 use ppa_ppc::Ppa;
 use std::process::exit;
 
@@ -29,6 +35,7 @@ struct Options {
     dest: Option<usize>,
     problem: String,
     source_mode: bool,
+    backend: String,
     show_steps: bool,
     show_paths: bool,
     trace_file: Option<String>,
@@ -38,8 +45,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: solve <graph-file | --demo> --dest <d> \
-         [--problem shortest|widest|hops|reach] [--source] [--steps] [--paths] \
-         [--trace FILE] [--metrics FILE]"
+         [--problem shortest|widest|hops|reach] [--backend scalar|packed] \
+         [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE]"
     );
     exit(2)
 }
@@ -51,6 +58,7 @@ fn parse_args() -> Options {
         dest: None,
         problem: "shortest".into(),
         source_mode: false,
+        backend: "scalar".into(),
         show_steps: false,
         show_paths: false,
         trace_file: None,
@@ -65,6 +73,7 @@ fn parse_args() -> Options {
                 opts.dest = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--problem" => opts.problem = args.next().unwrap_or_else(|| usage()),
+            "--backend" => opts.backend = args.next().unwrap_or_else(|| usage()),
             "--source" => opts.source_mode = true,
             "--steps" => opts.show_steps = true,
             "--paths" => opts.show_paths = true,
@@ -100,7 +109,10 @@ fn load(opts: &Options) -> WeightMatrix {
 /// sink can never exist without a destination — the inconsistency that
 /// used to be an `expect` panic in `write_observations` is
 /// unrepresentable.
-fn attach_observers(ppa: &mut Ppa, opts: &Options) -> Option<(ppa_obs::ChromeTraceSink, String)> {
+fn attach_observers<E: Executor>(
+    ppa: &mut Ppa<E>,
+    opts: &Options,
+) -> Option<(ppa_obs::ChromeTraceSink, String)> {
     if opts.metrics_file.is_some() {
         ppa.enable_metrics();
     }
@@ -112,8 +124,8 @@ fn attach_observers(ppa: &mut Ppa, opts: &Options) -> Option<(ppa_obs::ChromeTra
 }
 
 /// Writes the trace/metrics artifacts after the run.
-fn write_observations(
-    ppa: &mut Ppa,
+fn write_observations<E: Executor>(
+    ppa: &mut Ppa<E>,
     sink: Option<(ppa_obs::ChromeTraceSink, String)>,
     opts: &Options,
 ) {
@@ -163,102 +175,160 @@ fn main() {
         opts.problem
     );
 
+    let packed = match opts.backend.as_str() {
+        "scalar" => false,
+        "packed" => true,
+        other => {
+            eprintln!("unknown backend `{other}`");
+            usage()
+        }
+    };
     match opts.problem.as_str() {
         "shortest" => {
-            let mut ppa = Ppa::square(w.n()).with_word_bits(fit_word_bits(&w).clamp(2, 62));
-            let sink = attach_observers(&mut ppa, &opts);
-            let out = minimum_cost_path(&mut ppa, &w, d).unwrap_or_else(|e| {
-                eprintln!("solver error: {e}");
-                exit(1)
-            });
-            for i in 0..w.n() {
-                if out.sow[i] == INF {
-                    println!("  {i}: unreachable");
-                } else if opts.show_paths {
-                    let p = extract_path(&out, i)
-                        .map(|p| {
-                            p.iter()
-                                .map(|v| v.to_string())
-                                .collect::<Vec<_>>()
-                                .join(" -> ")
-                        })
-                        .unwrap_or_else(|| "?".into());
-                    println!("  {i}: cost {:5}  {}", out.sow[i], p);
-                } else {
-                    println!("  {i}: cost {:5}  next {}", out.sow[i], out.ptn[i]);
-                }
+            let h = fit_word_bits(&w).clamp(2, 62);
+            if packed {
+                run_shortest(
+                    Ppa::<PackedBackend>::packed(w.n()).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                );
+            } else {
+                run_shortest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts);
             }
-            if opts.show_steps {
-                println!("{}", out.stats);
-            }
-            write_observations(&mut ppa, sink, &opts);
         }
         "widest" => {
-            let mut ppa = Ppa::square(w.n()).with_word_bits(w.required_word_bits().clamp(4, 62));
-            let sink = attach_observers(&mut ppa, &opts);
-            let out = widest_path(&mut ppa, &w, d).unwrap_or_else(|e| {
-                eprintln!("solver error: {e}");
-                exit(1)
-            });
-            for i in 0..w.n() {
-                if i == d {
-                    continue;
-                }
-                if out.cap[i] == 0 {
-                    println!("  {i}: unreachable");
-                } else {
-                    println!("  {i}: capacity {:5}  next {}", out.cap[i], out.ptn[i]);
-                }
+            let h = w.required_word_bits().clamp(4, 62);
+            if packed {
+                run_widest(
+                    Ppa::<PackedBackend>::packed(w.n()).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                );
+            } else {
+                run_widest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts);
             }
-            if opts.show_steps {
-                println!("{}", out.stats);
-            }
-            write_observations(&mut ppa, sink, &opts);
         }
         "hops" => {
-            let mut ppa = Ppa::square(w.n());
-            let sink = attach_observers(&mut ppa, &opts);
-            let out = hop_levels(&mut ppa, &w, d).unwrap_or_else(|e| {
-                eprintln!("solver error: {e}");
-                exit(1)
-            });
-            for (i, lvl) in out.level.iter().enumerate() {
-                match lvl {
-                    None => println!("  {i}: unreachable"),
-                    Some(h) => println!("  {i}: {h} hop(s)"),
-                }
+            if packed {
+                run_hops(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts);
+            } else {
+                run_hops(Ppa::square(w.n()), &w, d, &opts);
             }
-            if opts.show_steps {
-                println!("  total steps: {}", out.steps);
-            }
-            write_observations(&mut ppa, sink, &opts);
         }
         "reach" => {
-            let mut ppa = Ppa::square(w.n());
-            let sink = attach_observers(&mut ppa, &opts);
-            let out = reachability(&mut ppa, &w, d).unwrap_or_else(|e| {
-                eprintln!("solver error: {e}");
-                exit(1)
-            });
-            let members: Vec<String> = out
-                .reach
-                .iter()
-                .enumerate()
-                .filter(|(_, &r)| r)
-                .map(|(i, _)| i.to_string())
-                .collect();
-            println!("  can reach {d}: {{{}}}", members.join(", "));
-            if opts.show_steps {
-                println!(
-                    "  total steps: {} ({} iterations)",
-                    out.steps, out.iterations
-                );
+            if packed {
+                run_reach(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts);
+            } else {
+                run_reach(Ppa::square(w.n()), &w, d, &opts);
             }
-            write_observations(&mut ppa, sink, &opts);
         }
         other => {
             eprintln!("unknown problem `{other}`");
             usage()
         }
     }
+}
+
+/// Shortest-path runner, generic over the execution backend. Uses an
+/// [`McpSession`] so the destination-independent setup is prepared once —
+/// the CLI is a batched consumer like the all-pairs driver.
+fn run_shortest<E: Executor>(ppa: Ppa<E>, w: &WeightMatrix, d: usize, opts: &Options) {
+    let mut session = McpSession::from_ppa(ppa, w).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1)
+    });
+    let sink = attach_observers(session.ppa_mut(), opts);
+    let out = session.solve(d).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1)
+    });
+    for i in 0..w.n() {
+        if out.sow[i] == INF {
+            println!("  {i}: unreachable");
+        } else if opts.show_paths {
+            let p = extract_path(&out, i)
+                .map(|p| {
+                    p.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                })
+                .unwrap_or_else(|| "?".into());
+            println!("  {i}: cost {:5}  {}", out.sow[i], p);
+        } else {
+            println!("  {i}: cost {:5}  next {}", out.sow[i], out.ptn[i]);
+        }
+    }
+    if opts.show_steps {
+        println!("{}", out.stats);
+    }
+    write_observations(session.ppa_mut(), sink, opts);
+}
+
+/// Widest-path runner, generic over the execution backend.
+fn run_widest<E: Executor>(mut ppa: Ppa<E>, w: &WeightMatrix, d: usize, opts: &Options) {
+    let sink = attach_observers(&mut ppa, opts);
+    let out = widest_path(&mut ppa, w, d).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1)
+    });
+    for i in 0..w.n() {
+        if i == d {
+            continue;
+        }
+        if out.cap[i] == 0 {
+            println!("  {i}: unreachable");
+        } else {
+            println!("  {i}: capacity {:5}  next {}", out.cap[i], out.ptn[i]);
+        }
+    }
+    if opts.show_steps {
+        println!("{}", out.stats);
+    }
+    write_observations(&mut ppa, sink, opts);
+}
+
+/// Hop-level (BFS) runner, generic over the execution backend.
+fn run_hops<E: Executor>(mut ppa: Ppa<E>, w: &WeightMatrix, d: usize, opts: &Options) {
+    let sink = attach_observers(&mut ppa, opts);
+    let out = hop_levels(&mut ppa, w, d).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1)
+    });
+    for (i, lvl) in out.level.iter().enumerate() {
+        match lvl {
+            None => println!("  {i}: unreachable"),
+            Some(h) => println!("  {i}: {h} hop(s)"),
+        }
+    }
+    if opts.show_steps {
+        println!("  total steps: {}", out.steps);
+    }
+    write_observations(&mut ppa, sink, opts);
+}
+
+/// Reachability runner, generic over the execution backend.
+fn run_reach<E: Executor>(mut ppa: Ppa<E>, w: &WeightMatrix, d: usize, opts: &Options) {
+    let sink = attach_observers(&mut ppa, opts);
+    let out = reachability(&mut ppa, w, d).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1)
+    });
+    let members: Vec<String> = out
+        .reach
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r)
+        .map(|(i, _)| i.to_string())
+        .collect();
+    println!("  can reach {d}: {{{}}}", members.join(", "));
+    if opts.show_steps {
+        println!(
+            "  total steps: {} ({} iterations)",
+            out.steps, out.iterations
+        );
+    }
+    write_observations(&mut ppa, sink, opts);
 }

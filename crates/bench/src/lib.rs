@@ -322,6 +322,92 @@ pub fn t6_engine() -> Table {
     t
 }
 
+/// BK — execution-backend comparison: the scalar reference backend vs the
+/// packed u64 bit-plane backend on the T6 MCP workload. Both backends run
+/// the same micro-op stream; the table asserts they produce identical
+/// outputs and identical controller step reports, then compares host
+/// wall-clock and shows the packed backend's bus-plan cache and mask
+/// arena counters.
+pub fn backend_table() -> Table {
+    use ppa_machine::PackedBackend;
+    let mut t = Table::new(
+        "BK",
+        "execution backends, single-destination MCP (T6 workload: random connected, density 0.2, h >= 16)",
+        vec![
+            "n".into(),
+            "backend".into(),
+            "steps".into(),
+            "wall ms (best of 5)".into(),
+            "speedup".into(),
+            "plan hit rate".into(),
+            "arena fresh".into(),
+            "arena reused".into(),
+        ],
+    );
+    for &n in &[16usize, 32, 64] {
+        let w = gen::random_connected(n, 0.2, 25, 99);
+        let h = 16.max(fit_word_bits(&w)).clamp(2, 62);
+
+        let mut scalar_wall = f64::INFINITY;
+        let mut scalar_out = None;
+        for _ in 0..5 {
+            let mut ppa = Ppa::square(n).with_word_bits(h);
+            let start = Instant::now();
+            let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+            scalar_wall = scalar_wall.min(start.elapsed().as_secs_f64());
+            scalar_out = Some(out);
+        }
+        let scalar_out = scalar_out.unwrap();
+
+        let mut packed_wall = f64::INFINITY;
+        let mut packed_out = None;
+        let mut packed_stats = ppa_machine::ExecStats::default();
+        for _ in 0..5 {
+            let mut ppa = Ppa::<PackedBackend>::packed(n).with_word_bits(h);
+            let start = Instant::now();
+            let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+            packed_wall = packed_wall.min(start.elapsed().as_secs_f64());
+            packed_stats = ppa.exec_stats();
+            packed_out = Some(out);
+        }
+        let packed_out = packed_out.unwrap();
+
+        // The backends must be observationally identical: same outputs,
+        // same controller step report down to the per-class counts.
+        assert_eq!(scalar_out.sow, packed_out.sow, "n = {n}: SOW diverged");
+        assert_eq!(scalar_out.ptn, packed_out.ptn, "n = {n}: PTN diverged");
+        assert_eq!(
+            scalar_out.stats.total, packed_out.stats.total,
+            "n = {n}: step reports diverged"
+        );
+
+        t.row(vec![
+            n.to_string(),
+            "scalar".into(),
+            scalar_out.stats.total.total().to_string(),
+            format!("{:.2}", scalar_wall * 1e3),
+            "1.00x".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        t.row(vec![
+            n.to_string(),
+            "packed".into(),
+            packed_out.stats.total.total().to_string(),
+            format!("{:.2}", packed_wall * 1e3),
+            format!("{:.2}x", scalar_wall / packed_wall),
+            format!("{:.1}%", packed_stats.plan_hit_rate() * 100.0),
+            packed_stats.arena_fresh.to_string(),
+            packed_stats.arena_reused.to_string(),
+        ]);
+    }
+    t.note("outputs and per-class step reports are asserted identical before timing is");
+    t.note("reported; the packed backend executes mask logic 64 PEs per u64 word and");
+    t.note("reuses cached bus plans keyed by (switch-pattern fingerprint, direction).");
+    t
+}
+
 /// A1 — bus-model ablation: circular vs linear buses.
 pub fn a1_bus_ablation() -> Table {
     let mut t = Table::new(
@@ -895,6 +981,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("t9", t9_phase_profile),
         ("a1", a1_bus_ablation),
         ("a2", a2_min_ablation),
+        ("backend", backend_table),
         // The report binary intercepts this entry to also write the trace
         // and metrics artifacts from the same run (see `profile_run`).
         ("profile", || profile_run().table),
@@ -973,6 +1060,22 @@ mod tests {
             let u: u32 = row[3].parse().unwrap();
             assert_eq!(d, w + u, "{row:?}");
         }
+    }
+
+    #[test]
+    fn backend_rows_agree_and_cache_is_warm() {
+        let t = backend_table();
+        assert_eq!(t.rows.len(), 6);
+        for pair in t.rows.chunks(2) {
+            // Same n, same step count on both backend rows.
+            assert_eq!(pair[0][0], pair[1][0]);
+            assert_eq!(pair[0][2], pair[1][2], "{pair:?}");
+        }
+        // The n = 64 packed row keeps the bus-plan cache hot.
+        let row = t.rows.last().unwrap();
+        assert_eq!(row[1], "packed");
+        let rate: f64 = row[5].trim_end_matches('%').parse().unwrap();
+        assert!(rate > 90.0, "plan hit rate {rate}%");
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! * **all pairs**: run the solver once per destination (`n` runs of
 //!   `O(p * h)` steps each on the same machine).
 
-use crate::mcp::{minimum_cost_path, McpOutput};
+use crate::mcp::{minimum_cost_path, McpOutput, Prepared};
 use crate::Result;
 use ppa_graph::{Weight, WeightMatrix};
+use ppa_machine::Executor;
 use ppa_ppc::Ppa;
 
 /// Minimum cost *from one source* to every vertex.
@@ -33,7 +34,11 @@ pub struct SourcePaths {
 /// Note the output's `prev` pointers: the destination-oriented `PTN`
 /// of the reversed run *is* the predecessor function of the forward
 /// problem.
-pub fn single_source(ppa: &mut Ppa, w: &WeightMatrix, s: usize) -> Result<SourcePaths> {
+pub fn single_source<E: Executor>(
+    ppa: &mut Ppa<E>,
+    w: &WeightMatrix,
+    s: usize,
+) -> Result<SourcePaths> {
     let out = minimum_cost_path(ppa, &w.reversed(), s)?;
     Ok(SourcePaths {
         source: s,
@@ -71,10 +76,18 @@ impl AllPairs {
 }
 
 /// All-pairs shortest paths: `n` destination runs on one machine.
-pub fn all_pairs(ppa: &mut Ppa, w: &WeightMatrix) -> Result<AllPairs> {
+///
+/// This is a *batched* consumer of the solver: the destination-independent
+/// planes (`ROW`, `COL`, the diagonal and last-column masks, and the `W`
+/// layout) are prepared once and shared by all `n` runs, so only the four
+/// destination masks are rebuilt per run — and on a plan-caching backend
+/// the switch-pattern plans and mask buffers warmed up by the first run
+/// are reused by every later one.
+pub fn all_pairs<E: Executor>(ppa: &mut Ppa<E>, w: &WeightMatrix) -> Result<AllPairs> {
+    let prep = Prepared::build(ppa, w)?;
     let mut runs = Vec::with_capacity(w.n());
     for d in 0..w.n() {
-        runs.push(minimum_cost_path(ppa, w, d)?);
+        runs.push(prep.solve(ppa, w, d, false)?);
     }
     Ok(AllPairs { runs })
 }

@@ -12,6 +12,7 @@ use crate::error::McpError;
 use crate::Result;
 use ppa_graph::WeightMatrix;
 use ppa_machine::Direction;
+use ppa_machine::Executor;
 use ppa_ppc::{Parallel, Ppa};
 
 /// Result of a single-destination reachability run.
@@ -29,7 +30,11 @@ pub struct ReachOutput {
 }
 
 /// Computes which vertices can reach `d`, on the PPA, in `O(p)` steps.
-pub fn reachability(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<ReachOutput> {
+pub fn reachability<E: Executor>(
+    ppa: &mut Ppa<E>,
+    w: &WeightMatrix,
+    d: usize,
+) -> Result<ReachOutput> {
     let n = w.n();
     let dim = ppa.dim();
     if dim.rows != n || dim.cols != n {
@@ -110,7 +115,7 @@ pub struct HopLevels {
 /// `O(1)` steps (the same boolean data path as [`reachability`]) and the
 /// round number *is* the distance, so the whole run is `O(p)` versus the
 /// general algorithm's `O(p * h)`.
-pub fn hop_levels(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<HopLevels> {
+pub fn hop_levels<E: Executor>(ppa: &mut Ppa<E>, w: &WeightMatrix, d: usize) -> Result<HopLevels> {
     let n = w.n();
     let dim = ppa.dim();
     if dim.rows != n || dim.cols != n {
@@ -187,7 +192,10 @@ pub fn hop_levels(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<HopLevels
 
 /// The full transitive closure: `result[i][j]` = "some path i -> j exists"
 /// (reflexive), via `n` reachability runs.
-pub fn transitive_closure(ppa: &mut Ppa, w: &WeightMatrix) -> Result<Vec<Vec<bool>>> {
+pub fn transitive_closure<E: Executor>(
+    ppa: &mut Ppa<E>,
+    w: &WeightMatrix,
+) -> Result<Vec<Vec<bool>>> {
     let n = w.n();
     let mut cols = Vec::with_capacity(n);
     for d in 0..n {

@@ -47,7 +47,7 @@ pub fn distance_transform_l1(
             actual: ppa.word_bits(),
         });
     }
-    if !features.any_free() {
+    if !features.any() {
         return Ok(None);
     }
 
@@ -159,7 +159,7 @@ mod tests {
             let plane = Parallel::from_fn(ppa.dim(), |c| {
                 (c.row as u64 * 31 + c.col as u64 * 17 + seed).is_multiple_of(5)
             });
-            if !plane.any_free() {
+            if !plane.any() {
                 continue;
             }
             let got = distance_transform_l1(&mut ppa, &plane).unwrap().unwrap();

@@ -19,6 +19,9 @@
 //! * [`path`] — reconstruction of explicit vertex sequences from `PTN`;
 //! * [`apsp`] — all-pairs driver (one MCP run per destination) and the
 //!   single-source variant via graph reversal;
+//! * [`session`] — reusable solver sessions: prepare the
+//!   destination-independent planes once, then solve many destinations on
+//!   the same machine/backend (the batched form of the all-pairs driver);
 //! * [`closure`] — the boolean specialization: transitive-closure
 //!   reachability on the PPA (the direction of the PARBS work the paper
 //!   cites as \[6\]);
@@ -71,6 +74,7 @@ pub mod kernels;
 pub mod mcp;
 pub mod path;
 pub mod recovery;
+pub mod session;
 pub mod stats;
 pub mod variants;
 pub mod widest;
@@ -78,6 +82,7 @@ pub mod widest;
 pub use error::McpError;
 pub use mcp::{minimum_cost_path, minimum_cost_path_verified, McpOutput};
 pub use recovery::{solve_with_recovery, RecoveredMcp, RecoveryPolicy, RecoveryStats};
+pub use session::McpSession;
 pub use stats::McpStats;
 
 /// Crate-wide result alias.

@@ -35,7 +35,7 @@ use crate::error::McpError;
 use crate::stats::McpStats;
 use crate::Result;
 use ppa_graph::{Weight, WeightMatrix, INF};
-use ppa_machine::{Direction, StepReport};
+use ppa_machine::{Direction, Executor, StepReport};
 use ppa_ppc::{Parallel, Ppa};
 
 /// Result of one `minimum_cost_path` run.
@@ -71,7 +71,11 @@ pub fn fit_word_bits(w: &WeightMatrix) -> u32 {
 /// # Errors
 /// [`McpError::SizeMismatch`], [`McpError::WordWidthTooSmall`], or any
 /// PPC runtime failure.
-pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<McpOutput> {
+pub fn minimum_cost_path<E: Executor>(
+    ppa: &mut Ppa<E>,
+    w: &WeightMatrix,
+    d: usize,
+) -> Result<McpOutput> {
     mcp_run(ppa, w, d, false)
 }
 
@@ -91,11 +95,356 @@ pub fn minimum_cost_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<Mc
 /// recovery layer (`crate::recovery`) uses to trigger a runtime self-test.
 /// On a healthy machine this function is result- and step-identical to
 /// [`minimum_cost_path`].
-pub fn minimum_cost_path_verified(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<McpOutput> {
+pub fn minimum_cost_path_verified<E: Executor>(
+    ppa: &mut Ppa<E>,
+    w: &WeightMatrix,
+    d: usize,
+) -> Result<McpOutput> {
     mcp_run(ppa, w, d, true)
 }
 
-fn mcp_run(ppa: &mut Ppa, w: &WeightMatrix, d: usize, verify: bool) -> Result<McpOutput> {
+/// The destination-independent register planes of `minimum_cost_path`:
+/// everything the do-while body reads that does not depend on `d`, plus
+/// the preloaded `W` plane. Building one costs five ALU steps (`ROW`,
+/// `COL`, the `n - 1` immediate and the two derived masks); the `W` load
+/// itself is host I/O, not a SIMD step. The struct holds plain register
+/// planes — no machine borrow — so one build can serve any number of
+/// destination solves on the same runtime. The batched consumers are
+/// [`crate::apsp::all_pairs`] and [`crate::session::McpSession`]; the
+/// one-shot entry points below simply build and solve in one go.
+#[derive(Debug)]
+pub(crate) struct Prepared {
+    n: usize,
+    maxint: i64,
+    row: Parallel<i64>,
+    col: Parallel<i64>,
+    diag: Parallel<bool>,
+    last_col: Parallel<bool>,
+    w_plane: Parallel<i64>,
+}
+
+/// The four destination-dependent masks (4 ALU steps per destination).
+struct DestMasks {
+    d_imm: Parallel<i64>,
+    row_is_d: Parallel<bool>,
+    row_ne_d: Parallel<bool>,
+    col_is_d: Parallel<bool>,
+}
+
+impl Prepared {
+    /// Checks the size/word-width contract and builds the shared planes
+    /// under the caller's current span and phase.
+    pub(crate) fn build<E: Executor>(ppa: &mut Ppa<E>, w: &WeightMatrix) -> Result<Self> {
+        let n = w.n();
+        let dim = ppa.dim();
+        if dim.rows != n || dim.cols != n {
+            return Err(McpError::SizeMismatch {
+                n,
+                rows: dim.rows,
+                cols: dim.cols,
+            });
+        }
+        let required = fit_word_bits(w);
+        if ppa.word_bits() < required {
+            return Err(McpError::WordWidthTooSmall {
+                required,
+                actual: ppa.word_bits(),
+            });
+        }
+        let maxint = ppa.maxint();
+
+        // --- plane setup: the hardwired registers and the input load ------
+        let row = ppa.row_index();
+        let col = ppa.col_index();
+        let nm1_imm = ppa.constant(n as i64 - 1);
+        let diag = ppa.eq(&row, &col)?; // ROW == COL
+        let last_col = ppa.eq(&col, &nm1_imm)?; // COL == n - 1
+                                                // `parallel int W` arrives preloaded in each PE's memory (host I/O,
+                                                // not a SIMD step). The diagonal is loaded as 0 — the dynamic-program
+                                                // convention the paper's statement 16 silently relies on: with
+                                                // `w_ii = 0` the candidate `j = i` of `min_j(w_ij + SOW_jd)` is the
+                                                // *old* `SOW_id`, which is how the pure overwrite of statement 16
+                                                // realizes the prose's "minimum between its old value and the new
+                                                // sums" (fidelity note 2 in DESIGN.md); it also pins `SOW_dd` to 0 so
+                                                // one-edge paths keep their `j = d` witness in later iterations.
+        let mut w_vec = w.to_saturated_vec(maxint);
+        for i in 0..n {
+            w_vec[i * n + i] = 0;
+        }
+        let w_plane: Parallel<i64> = Parallel::from_vec(dim, w_vec);
+
+        Ok(Prepared {
+            n,
+            maxint,
+            row,
+            col,
+            diag,
+            last_col,
+            w_plane,
+        })
+    }
+
+    /// Builds the destination masks for `d`.
+    fn dest_masks<E: Executor>(&self, ppa: &mut Ppa<E>, d: usize) -> Result<DestMasks> {
+        let n = self.n;
+        assert!(d < n, "destination {d} out of range for {n} vertices");
+        let d_imm = ppa.constant(d as i64);
+        let row_is_d = ppa.eq(&self.row, &d_imm)?;
+        let row_ne_d = ppa.not(&row_is_d)?;
+        let col_is_d = ppa.eq(&self.col, &d_imm)?;
+        Ok(DestMasks {
+            d_imm,
+            row_is_d,
+            row_ne_d,
+            col_is_d,
+        })
+    }
+
+    /// One complete solve against the prepared planes. Step accounting
+    /// starts here, so the shared prepare cost is amortized out of every
+    /// per-destination report; only the four destination masks are
+    /// rebuilt per call.
+    pub(crate) fn solve<E: Executor>(
+        &self,
+        ppa: &mut Ppa<E>,
+        w: &WeightMatrix,
+        d: usize,
+        verify: bool,
+    ) -> Result<McpOutput> {
+        let start = ppa.steps();
+        let observed = ppa.observing();
+        if observed {
+            ppa.enter_span("mcp");
+        }
+        ppa.set_phase(Some("setup"));
+        let masks = self.dest_masks(ppa, d)?;
+        self.run(ppa, &masks, w, d, start, observed, verify)
+    }
+
+    /// Statements 4-20 plus readout and (optionally) verification,
+    /// assuming the caller has already entered the `mcp` span (when
+    /// observed) and set the `setup` phase.
+    #[allow(clippy::too_many_arguments)]
+    fn run<E: Executor>(
+        &self,
+        ppa: &mut Ppa<E>,
+        masks: &DestMasks,
+        w: &WeightMatrix,
+        d: usize,
+        start: StepReport,
+        observed: bool,
+        verify: bool,
+    ) -> Result<McpOutput> {
+        let n = self.n;
+        let maxint = self.maxint;
+        let Prepared {
+            diag,
+            last_col,
+            w_plane,
+            ..
+        } = self;
+        let DestMasks {
+            d_imm,
+            row_is_d,
+            row_ne_d,
+            col_is_d,
+        } = masks;
+        let col = &self.col;
+
+        // Parallel variable declarations; PPC leaves them uninitialized, the
+        // simulator pins them to MAXINT (fidelity note 2 at the crate root).
+        let mut sow = ppa.constant(maxint);
+        let mut min_sow = ppa.constant(maxint);
+        let mut ptn = ppa.constant(0i64);
+        let mut old_sow = ppa.constant(maxint); // statement 3
+
+        // --- Step 1: statements 4-7 -------------------------------------------
+        ppa.set_phase(Some("step 1 (stmts 4-7)"));
+        // Statement 5 reads `SOW = W`, but the prose demands
+        // `SOW[d][i] = w_id` — the weight of the edge *from i to d*, which in
+        // the standard layout lives in W's d-th *column*, not its d-th row
+        // (fidelity note 3 in DESIGN.md). The intended initialization is
+        // realized with two O(1) bus steps: spread column d across each row,
+        // then fold the diagonal down into row d.
+        let in_weights = ppa.broadcast(w_plane, Direction::East, col_is_d)?; // [i][*] = w_id
+        let in_weights_t = ppa.broadcast(&in_weights, Direction::South, diag)?; // [*][i] = w_id
+        ppa.where_(row_is_d, |p| -> ppa_ppc::Result<()> {
+            p.assign(&mut sow, &in_weights_t)?; // 5 (intended): SOW[d][i] = w_id
+            p.assign(&mut ptn, d_imm)?; // 6: PTN = d
+                                        // MIN_SOW is uninitialized in the paper; statement 16 reads its
+                                        // (d,d) element every iteration, so it must start at SOW_dd = 0
+                                        // for the destination column to stay pinned (fidelity note 2).
+            p.assign(&mut min_sow, &in_weights_t)?;
+            Ok(())
+        })??;
+
+        // The counters are monotonic within the run, so the subtraction cannot
+        // fail; `checked_since` keeps the stats path panic-free regardless.
+        let init_report = ppa.steps().checked_since(&start).unwrap_or_default();
+
+        // --- Step 2: the do-while loop, statements 8-20 ------------------------
+        let mut per_iteration: Vec<StepReport> = Vec::new();
+        let mut iterations = 0usize;
+        // Invariant 1 state: the row-d cost snapshot of the previous pass
+        // (host-side copy; never touches the array).
+        let mut prev_row_d: Option<Vec<i64>> =
+            verify.then(|| (0..n).map(|i| *sow.at(d, i)).collect());
+        loop {
+            let iter_start = ppa.steps();
+            if observed {
+                ppa.enter_span(&format!("iteration[{iterations}]"));
+            }
+            iterations += 1;
+
+            // ---- statements 9-13, under where (ROW != d) ----
+            // 10: SOW = broadcast(SOW, SOUTH, ROW == d) + W
+            //     (the bus transaction is global; the mask gates the write)
+            ppa.set_phase(Some("stmt 10: broadcast+add"));
+            let bsow = ppa.broadcast(&sow, Direction::South, row_is_d)?;
+            let sum = ppa.sat_add(&bsow, w_plane)?;
+            ppa.where_(row_ne_d, |p| p.assign(&mut sow, &sum))??;
+
+            // 11: MIN_SOW = min(SOW, WEST, COL == n-1)
+            ppa.set_phase(Some("stmt 11: min"));
+            let rowmin = ppa.min(&sow, Direction::West, last_col)?;
+            ppa.where_(row_ne_d, |p| p.assign(&mut min_sow, &rowmin))??;
+
+            // 12: PTN = selected_min(COL, WEST, COL == n-1, MIN_SOW == SOW)
+            //     (+ fidelity repair: row d trivially selected so its bus
+            //      cluster never floats; its result is masked away below)
+            ppa.set_phase(Some("stmt 12: selected_min"));
+            let is_argmin = ppa.eq(&min_sow, &sow)?;
+            let sel = ppa.or(&is_argmin, row_is_d)?;
+            let argmin_col = ppa.selected_min(col, Direction::West, last_col, &sel)?;
+            ppa.where_(row_ne_d, |p| p.assign(&mut ptn, &argmin_col))??;
+
+            // ---- statements 14-18, under where (ROW == d) ----
+            ppa.set_phase(Some("stmts 14-18: fold into row d"));
+            let bc_min = ppa.broadcast(&min_sow, Direction::South, diag)?; // 16 (read)
+            let bc_ptn = ppa.broadcast(&ptn, Direction::South, diag)?; // 18 (read)
+            let changed = ppa.where_(row_is_d, |p| -> ppa_ppc::Result<Parallel<bool>> {
+                p.assign(&mut old_sow, &sow)?; // 15
+                p.assign(&mut sow, &bc_min)?; // 16 (write)
+                let changed = p.ne(&sow, &old_sow)?; // 17 condition
+                p.where_(&changed, |q| q.assign(&mut ptn, &bc_ptn))??; // 17-18
+                Ok(changed)
+            })??;
+
+            per_iteration.push(ppa.steps().checked_since(&iter_start).unwrap_or_default());
+
+            // ---- invariant 1: row-d costs never increase ----
+            if let Some(prev) = prev_row_d.as_mut() {
+                let now: Vec<i64> = (0..n).map(|i| *sow.at(d, i)).collect();
+                if now.iter().zip(prev.iter()).any(|(new, old)| new > old) {
+                    ppa.set_phase(None);
+                    if observed {
+                        ppa.exit_span(); // iteration[i]
+                        ppa.exit_span(); // mcp
+                    }
+                    return Err(McpError::InvariantViolation {
+                        invariant: "a row-d cost increased across an iteration",
+                    });
+                }
+                *prev = now;
+            }
+
+            // ---- statement 20: while at least one SOW in row d has changed ----
+            ppa.set_phase(Some("stmt 20: loop test"));
+            let changed_in_row_d = ppa.and(&changed, row_is_d)?;
+            let keep_going = ppa.any(&changed_in_row_d)?;
+            if observed {
+                ppa.exit_span(); // iteration[i] (includes the loop test)
+            }
+            if !keep_going {
+                break;
+            }
+            if iterations > n {
+                return Err(McpError::NoConvergence { rounds: iterations });
+            }
+        }
+
+        ppa.set_phase(None);
+        if observed {
+            ppa.exit_span(); // mcp
+        }
+        if let Some(m) = ppa.metrics_mut() {
+            for r in &per_iteration {
+                m.observe("mcp.steps_per_iteration", r.total());
+            }
+            m.inc("mcp.iterations", iterations as u64);
+        }
+
+        // --- read out row d -----------------------------------------------------
+        let mut out_sow: Vec<Weight> = Vec::with_capacity(n);
+        let mut out_ptn: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            let cost = *sow.at(d, i);
+            if i == d {
+                out_sow.push(0);
+                out_ptn.push(d);
+            } else if cost >= maxint {
+                out_sow.push(INF);
+                out_ptn.push(i);
+            } else {
+                out_sow.push(cost);
+                out_ptn.push(*ptn.at(d, i) as usize);
+            }
+        }
+
+        if verify {
+            // ---- invariant 2: the destination's own cost is zero ----
+            if *sow.at(d, d) != 0 {
+                return Err(McpError::InvariantViolation {
+                    invariant: "destination cost must be zero",
+                });
+            }
+            // ---- invariant 3: the Bellman fixpoint against the input ----
+            // `sow[i] = min_j(w_ij + sow[j])` for i != d, in host arithmetic
+            // with INF absorbing. The word-width guard above rules out
+            // saturation, so a correct run matches exactly.
+            for i in 0..n {
+                if i == d {
+                    continue;
+                }
+                let mut best = INF;
+                for j in 0..n {
+                    let wij = w.get(i, j);
+                    if j == i || wij == INF || out_sow[j] == INF {
+                        continue;
+                    }
+                    best = best.min(wij + out_sow[j]);
+                }
+                if out_sow[i] != best {
+                    return Err(McpError::InvariantViolation {
+                        invariant: "row-d costs must satisfy the Bellman fixpoint",
+                    });
+                }
+            }
+        }
+
+        let total = ppa.steps().checked_since(&start).unwrap_or_default();
+        Ok(McpOutput {
+            dest: d,
+            sow: out_sow,
+            ptn: out_ptn,
+            iterations,
+            stats: McpStats {
+                init: init_report,
+                per_iteration,
+                total,
+            },
+        })
+    }
+}
+
+fn mcp_run<E: Executor>(
+    ppa: &mut Ppa<E>,
+    w: &WeightMatrix,
+    d: usize,
+    verify: bool,
+) -> Result<McpOutput> {
+    // Keep the historical guard order of the one-shot entry point: size,
+    // destination range, word width — all before any observation starts.
     let n = w.n();
     let dim = ppa.dim();
     if dim.rows != n || dim.cols != n {
@@ -114,7 +463,6 @@ fn mcp_run(ppa: &mut Ppa, w: &WeightMatrix, d: usize, verify: bool) -> Result<Mc
         });
     }
 
-    let maxint = ppa.maxint();
     let start = ppa.steps();
     // When a sink or metrics registry is attached, the run is wrapped in a
     // `mcp` span with one `iteration[i]` child per do-while pass; the
@@ -124,213 +472,9 @@ fn mcp_run(ppa: &mut Ppa, w: &WeightMatrix, d: usize, verify: bool) -> Result<Mc
         ppa.enter_span("mcp");
     }
     ppa.set_phase(Some("setup"));
-
-    // --- plane setup: the hardwired registers and the input load ----------
-    let row = ppa.row_index();
-    let col = ppa.col_index();
-    let d_imm = ppa.constant(d as i64);
-    let nm1_imm = ppa.constant(n as i64 - 1);
-    let row_is_d = ppa.eq(&row, &d_imm)?;
-    let row_ne_d = ppa.not(&row_is_d)?;
-    let col_is_d = ppa.eq(&col, &d_imm)?;
-    let diag = ppa.eq(&row, &col)?; // ROW == COL
-    let last_col = ppa.eq(&col, &nm1_imm)?; // COL == n - 1
-                                            // `parallel int W` arrives preloaded in each PE's memory (host I/O,
-                                            // not a SIMD step). The diagonal is loaded as 0 — the dynamic-program
-                                            // convention the paper's statement 16 silently relies on: with
-                                            // `w_ii = 0` the candidate `j = i` of `min_j(w_ij + SOW_jd)` is the
-                                            // *old* `SOW_id`, which is how the pure overwrite of statement 16
-                                            // realizes the prose's "minimum between its old value and the new
-                                            // sums" (fidelity note 2 in DESIGN.md); it also pins `SOW_dd` to 0 so
-                                            // one-edge paths keep their `j = d` witness in later iterations.
-    let mut w_vec = w.to_saturated_vec(maxint);
-    for i in 0..n {
-        w_vec[i * n + i] = 0;
-    }
-    let w_plane: Parallel<i64> = Parallel::from_vec(dim, w_vec);
-
-    // Parallel variable declarations; PPC leaves them uninitialized, the
-    // simulator pins them to MAXINT (fidelity note 2 at the crate root).
-    let mut sow = ppa.constant(maxint);
-    let mut min_sow = ppa.constant(maxint);
-    let mut ptn = ppa.constant(0i64);
-    let mut old_sow = ppa.constant(maxint); // statement 3
-
-    // --- Step 1: statements 4-7 -------------------------------------------
-    ppa.set_phase(Some("step 1 (stmts 4-7)"));
-    // Statement 5 reads `SOW = W`, but the prose demands
-    // `SOW[d][i] = w_id` — the weight of the edge *from i to d*, which in
-    // the standard layout lives in W's d-th *column*, not its d-th row
-    // (fidelity note 3 in DESIGN.md). The intended initialization is
-    // realized with two O(1) bus steps: spread column d across each row,
-    // then fold the diagonal down into row d.
-    let in_weights = ppa.broadcast(&w_plane, Direction::East, &col_is_d)?; // [i][*] = w_id
-    let in_weights_t = ppa.broadcast(&in_weights, Direction::South, &diag)?; // [*][i] = w_id
-    ppa.where_(&row_is_d, |p| -> ppa_ppc::Result<()> {
-        p.assign(&mut sow, &in_weights_t)?; // 5 (intended): SOW[d][i] = w_id
-        p.assign(&mut ptn, &d_imm)?; // 6: PTN = d
-                                     // MIN_SOW is uninitialized in the paper; statement 16 reads its
-                                     // (d,d) element every iteration, so it must start at SOW_dd = 0
-                                     // for the destination column to stay pinned (fidelity note 2).
-        p.assign(&mut min_sow, &in_weights_t)?;
-        Ok(())
-    })??;
-
-    // The counters are monotonic within the run, so the subtraction cannot
-    // fail; `checked_since` keeps the stats path panic-free regardless.
-    let init_report = ppa.steps().checked_since(&start).unwrap_or_default();
-
-    // --- Step 2: the do-while loop, statements 8-20 ------------------------
-    let mut per_iteration: Vec<StepReport> = Vec::new();
-    let mut iterations = 0usize;
-    // Invariant 1 state: the row-d cost snapshot of the previous pass
-    // (host-side copy; never touches the array).
-    let mut prev_row_d: Option<Vec<i64>> = verify.then(|| (0..n).map(|i| *sow.at(d, i)).collect());
-    loop {
-        let iter_start = ppa.steps();
-        if observed {
-            ppa.enter_span(&format!("iteration[{iterations}]"));
-        }
-        iterations += 1;
-
-        // ---- statements 9-13, under where (ROW != d) ----
-        // 10: SOW = broadcast(SOW, SOUTH, ROW == d) + W
-        //     (the bus transaction is global; the mask gates the write)
-        ppa.set_phase(Some("stmt 10: broadcast+add"));
-        let bsow = ppa.broadcast(&sow, Direction::South, &row_is_d)?;
-        let sum = ppa.sat_add(&bsow, &w_plane)?;
-        ppa.where_(&row_ne_d, |p| p.assign(&mut sow, &sum))??;
-
-        // 11: MIN_SOW = min(SOW, WEST, COL == n-1)
-        ppa.set_phase(Some("stmt 11: min"));
-        let rowmin = ppa.min(&sow, Direction::West, &last_col)?;
-        ppa.where_(&row_ne_d, |p| p.assign(&mut min_sow, &rowmin))??;
-
-        // 12: PTN = selected_min(COL, WEST, COL == n-1, MIN_SOW == SOW)
-        //     (+ fidelity repair: row d trivially selected so its bus
-        //      cluster never floats; its result is masked away below)
-        ppa.set_phase(Some("stmt 12: selected_min"));
-        let is_argmin = ppa.eq(&min_sow, &sow)?;
-        let sel = ppa.or(&is_argmin, &row_is_d)?;
-        let argmin_col = ppa.selected_min(&col, Direction::West, &last_col, &sel)?;
-        ppa.where_(&row_ne_d, |p| p.assign(&mut ptn, &argmin_col))??;
-
-        // ---- statements 14-18, under where (ROW == d) ----
-        ppa.set_phase(Some("stmts 14-18: fold into row d"));
-        let bc_min = ppa.broadcast(&min_sow, Direction::South, &diag)?; // 16 (read)
-        let bc_ptn = ppa.broadcast(&ptn, Direction::South, &diag)?; // 18 (read)
-        let changed = ppa.where_(&row_is_d, |p| -> ppa_ppc::Result<Parallel<bool>> {
-            p.assign(&mut old_sow, &sow)?; // 15
-            p.assign(&mut sow, &bc_min)?; // 16 (write)
-            let changed = p.ne(&sow, &old_sow)?; // 17 condition
-            p.where_(&changed, |q| q.assign(&mut ptn, &bc_ptn))??; // 17-18
-            Ok(changed)
-        })??;
-
-        per_iteration.push(ppa.steps().checked_since(&iter_start).unwrap_or_default());
-
-        // ---- invariant 1: row-d costs never increase ----
-        if let Some(prev) = prev_row_d.as_mut() {
-            let now: Vec<i64> = (0..n).map(|i| *sow.at(d, i)).collect();
-            if now.iter().zip(prev.iter()).any(|(new, old)| new > old) {
-                ppa.set_phase(None);
-                if observed {
-                    ppa.exit_span(); // iteration[i]
-                    ppa.exit_span(); // mcp
-                }
-                return Err(McpError::InvariantViolation {
-                    invariant: "a row-d cost increased across an iteration",
-                });
-            }
-            *prev = now;
-        }
-
-        // ---- statement 20: while at least one SOW in row d has changed ----
-        ppa.set_phase(Some("stmt 20: loop test"));
-        let changed_in_row_d = ppa.and(&changed, &row_is_d)?;
-        let keep_going = ppa.any(&changed_in_row_d)?;
-        if observed {
-            ppa.exit_span(); // iteration[i] (includes the loop test)
-        }
-        if !keep_going {
-            break;
-        }
-        if iterations > n {
-            return Err(McpError::NoConvergence { rounds: iterations });
-        }
-    }
-
-    ppa.set_phase(None);
-    if observed {
-        ppa.exit_span(); // mcp
-    }
-    if let Some(m) = ppa.metrics_mut() {
-        for r in &per_iteration {
-            m.observe("mcp.steps_per_iteration", r.total());
-        }
-        m.inc("mcp.iterations", iterations as u64);
-    }
-
-    // --- read out row d -----------------------------------------------------
-    let mut out_sow: Vec<Weight> = Vec::with_capacity(n);
-    let mut out_ptn: Vec<usize> = Vec::with_capacity(n);
-    for i in 0..n {
-        let cost = *sow.at(d, i);
-        if i == d {
-            out_sow.push(0);
-            out_ptn.push(d);
-        } else if cost >= maxint {
-            out_sow.push(INF);
-            out_ptn.push(i);
-        } else {
-            out_sow.push(cost);
-            out_ptn.push(*ptn.at(d, i) as usize);
-        }
-    }
-
-    if verify {
-        // ---- invariant 2: the destination's own cost is zero ----
-        if *sow.at(d, d) != 0 {
-            return Err(McpError::InvariantViolation {
-                invariant: "destination cost must be zero",
-            });
-        }
-        // ---- invariant 3: the Bellman fixpoint against the input ----
-        // `sow[i] = min_j(w_ij + sow[j])` for i != d, in host arithmetic
-        // with INF absorbing. The word-width guard above rules out
-        // saturation, so a correct run matches exactly.
-        for i in 0..n {
-            if i == d {
-                continue;
-            }
-            let mut best = INF;
-            for j in 0..n {
-                let wij = w.get(i, j);
-                if j == i || wij == INF || out_sow[j] == INF {
-                    continue;
-                }
-                best = best.min(wij + out_sow[j]);
-            }
-            if out_sow[i] != best {
-                return Err(McpError::InvariantViolation {
-                    invariant: "row-d costs must satisfy the Bellman fixpoint",
-                });
-            }
-        }
-    }
-
-    let total = ppa.steps().checked_since(&start).unwrap_or_default();
-    Ok(McpOutput {
-        dest: d,
-        sow: out_sow,
-        ptn: out_ptn,
-        iterations,
-        stats: McpStats {
-            init: init_report,
-            per_iteration,
-            total,
-        },
-    })
+    let prep = Prepared::build(ppa, w)?;
+    let masks = prep.dest_masks(ppa, d)?;
+    prep.run(ppa, &masks, w, d, start, observed, verify)
 }
 
 /// Convenience wrapper: builds a machine of the right size and word width

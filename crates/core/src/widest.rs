@@ -21,6 +21,7 @@ use crate::error::McpError;
 use crate::stats::McpStats;
 use crate::Result;
 use ppa_graph::{Weight, WeightMatrix};
+use ppa_machine::Executor;
 use ppa_machine::{Direction, StepReport};
 use ppa_ppc::{Parallel, Ppa};
 
@@ -82,7 +83,11 @@ pub fn widest_path_oracle(w: &WeightMatrix, d: usize) -> Vec<Weight> {
 ///
 /// Requirements: square `n x n` machine; all finite capacities must fit
 /// strictly below the machine's `MAXINT` (which plays "unlimited").
-pub fn widest_path(ppa: &mut Ppa, w: &WeightMatrix, d: usize) -> Result<WidestOutput> {
+pub fn widest_path<E: Executor>(
+    ppa: &mut Ppa<E>,
+    w: &WeightMatrix,
+    d: usize,
+) -> Result<WidestOutput> {
     let n = w.n();
     let dim = ppa.dim();
     if dim.rows != n || dim.cols != n {

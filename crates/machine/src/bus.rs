@@ -21,6 +21,7 @@
 use crate::engine::{self, ExecMode};
 use crate::error::MachineError;
 use crate::geometry::{Dim, Direction};
+use crate::isa::Fill;
 use crate::plane::Plane;
 
 /// Per-node cluster heads for direction `dir` under the Open mask `open`.
@@ -90,6 +91,51 @@ pub fn broadcast<T: Copy + Send + Sync>(
     Ok(Plane::from_vec(dim, data))
 }
 
+/// Per-node cluster *keys* for direction `dir` under the Open mask `open`,
+/// tolerating driverless lines.
+///
+/// The key of a node is the flat index of the Open node driving its
+/// sub-bus — identical to [`cluster_heads`] on driven lines. A line with no
+/// Open node is keyed by its first node in movement order (the floating
+/// segment spans the whole line) and reported in the returned `driverless`
+/// list (sorted ascending). [`bus_or`] uses the keys directly; [`broadcast`]
+/// treats a non-empty `driverless` list as a [`MachineError::BusFault`].
+/// The packed backend's bus-plan cache stores exactly this derivation.
+pub fn cluster_keys(dim: Dim, dir: Direction, open: &[bool]) -> (Vec<u32>, Vec<usize>) {
+    let axis = dir.axis();
+    let lines = dim.lines(axis);
+    let len = dim.line_len(axis);
+    let mut key = vec![0u32; dim.len()];
+    let mut driverless = Vec::new();
+    for line in 0..lines {
+        let mut driver: Option<usize> = None;
+        for pos in (0..len).rev() {
+            let idx = dim.line_index(dir, line, pos);
+            if open[idx] {
+                driver = Some(idx);
+                break;
+            }
+        }
+        // With no Open node the whole line is one floating segment; use the
+        // first node in movement order as its key.
+        let mut drv = match driver {
+            Some(d) => d,
+            None => {
+                driverless.push(line);
+                dim.line_index(dir, line, 0)
+            }
+        };
+        for pos in 0..len {
+            let idx = dim.line_index(dir, line, pos);
+            if open[idx] {
+                drv = idx;
+            }
+            key[idx] = drv as u32;
+        }
+    }
+    (key, driverless)
+}
+
 /// The wired-OR primitive: every node receives the OR of `values` over all
 /// nodes of its cluster. A line with no Open node forms a single cluster.
 pub fn bus_or(
@@ -101,44 +147,45 @@ pub fn bus_or(
 ) -> Result<Plane<bool>, MachineError> {
     check_dim(dim, values.dim())?;
     check_dim(dim, open.dim())?;
-    let axis = dir.axis();
-    let lines = dim.lines(axis);
-    let len = dim.line_len(axis);
+    let (key, _) = cluster_keys(dim, dir, open.as_slice());
     let v = values.as_slice();
-    let o = open.as_slice();
-    // Cluster key per node plus OR accumulation, line by line.
-    let mut key = vec![0usize; dim.len()];
     let mut acc = vec![false; dim.len()]; // indexed by cluster key (head idx)
-    for line in 0..lines {
-        let mut driver: Option<usize> = None;
-        for pos in (0..len).rev() {
-            let idx = dim.line_index(dir, line, pos);
-            if o[idx] {
-                driver = Some(idx);
-                break;
-            }
-        }
-        // With no Open node the whole line is one floating segment; use the
-        // first node in movement order as its key.
-        let mut drv = driver.unwrap_or_else(|| dim.line_index(dir, line, 0));
-        for pos in 0..len {
-            let idx = dim.line_index(dir, line, pos);
-            if o[idx] {
-                drv = idx;
-            }
-            key[idx] = drv;
-            if v[idx] {
-                acc[drv] = true;
-            }
+    for (idx, &set) in v.iter().enumerate() {
+        if set {
+            acc[key[idx] as usize] = true;
         }
     }
-    let data = engine::build(mode, dim.len(), |i| acc[key[i]]);
+    let data = engine::build(mode, dim.len(), |i| acc[key[i] as usize]);
     Ok(Plane::from_vec(dim, data))
 }
 
-/// The `shift(src, dir)` primitive: every node receives the value of its
-/// nearest neighbour *against* `dir` (i.e. data moves one step towards
-/// `dir`); nodes on the upstream edge receive `fill`.
+/// The nearest-neighbour transfer with an explicit edge [`Fill`] policy:
+/// every node receives the value of its nearest neighbour *against* `dir`
+/// (i.e. data moves one step towards `dir`); upstream-edge nodes receive
+/// the fill value, or the wrapped neighbour's value under [`Fill::Wrap`].
+pub fn shift_with<T: Copy + Send + Sync>(
+    mode: ExecMode,
+    dim: Dim,
+    src: &Plane<T>,
+    dir: Direction,
+    fill: Fill<T>,
+) -> Result<Plane<T>, MachineError> {
+    check_dim(dim, src.dim())?;
+    let s = src.as_slice();
+    let data = engine::build(mode, dim.len(), |i| {
+        let c = dim.coord(i);
+        match fill {
+            Fill::Value(v) => match c.neighbor(dir.opposite(), dim) {
+                Some(n) => s[dim.index(n)],
+                None => v,
+            },
+            Fill::Wrap => s[dim.index(c.neighbor_wrapping(dir.opposite(), dim))],
+        }
+    });
+    Ok(Plane::from_vec(dim, data))
+}
+
+/// The `shift(src, dir)` primitive with a constant edge fill.
 pub fn shift<T: Copy + Send + Sync>(
     mode: ExecMode,
     dim: Dim,
@@ -146,16 +193,7 @@ pub fn shift<T: Copy + Send + Sync>(
     dir: Direction,
     fill: T,
 ) -> Result<Plane<T>, MachineError> {
-    check_dim(dim, src.dim())?;
-    let s = src.as_slice();
-    let data = engine::build(mode, dim.len(), |i| {
-        let c = dim.coord(i);
-        match c.neighbor(dir.opposite(), dim) {
-            Some(n) => s[dim.index(n)],
-            None => fill,
-        }
-    });
-    Ok(Plane::from_vec(dim, data))
+    shift_with(mode, dim, src, dir, Fill::Value(fill))
 }
 
 /// Toroidal variant of [`shift`]: edge nodes receive the wrapped neighbour's
@@ -166,13 +204,7 @@ pub fn shift_wrapping<T: Copy + Send + Sync>(
     src: &Plane<T>,
     dir: Direction,
 ) -> Result<Plane<T>, MachineError> {
-    check_dim(dim, src.dim())?;
-    let s = src.as_slice();
-    let data = engine::build(mode, dim.len(), |i| {
-        let c = dim.coord(i);
-        s[dim.index(c.neighbor_wrapping(dir.opposite(), dim))]
-    });
-    Ok(Plane::from_vec(dim, data))
+    shift_with(mode, dim, src, dir, Fill::Wrap)
 }
 
 fn check_dim(expected: Dim, found: Dim) -> Result<(), MachineError> {

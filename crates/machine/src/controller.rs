@@ -9,7 +9,7 @@
 //! a [`Machine`](crate::Machine) records exactly one step, classified by
 //! [`Op`], and a [`StepReport`] snapshots the tallies.
 
-use ppa_obs::{Event, Metrics, TraceSink};
+use ppa_obs::{Event, Metrics, OccupancySampling, TraceSink};
 use std::fmt;
 
 /// Classification of controller instructions, for step breakdowns.
@@ -180,6 +180,10 @@ pub struct Controller {
     span_depth: u64,
     /// Whether a phase frame is open in the sink.
     phase_open: bool,
+    /// How often observed instructions compute activity statistics.
+    sampling: OccupancySampling,
+    /// Eligible instructions seen by the sampler so far.
+    sample_tick: u64,
 }
 
 impl fmt::Debug for Controller {
@@ -208,6 +212,8 @@ impl Clone for Controller {
             metrics: self.metrics.clone(),
             span_depth: 0,
             phase_open: false,
+            sampling: self.sampling,
+            sample_tick: self.sample_tick,
         }
     }
 }
@@ -274,6 +280,29 @@ impl Controller {
     /// this to skip computing occupancy/cluster statistics on hot paths.
     pub fn observing(&self) -> bool {
         self.sink.is_some() || self.metrics.is_some()
+    }
+
+    /// Sets how often observed instructions compute activity statistics
+    /// (mask occupancy and bus cluster counts). The default,
+    /// [`OccupancySampling::EveryStep`], is the historical behavior; step
+    /// counters are never affected by this policy.
+    pub fn set_occupancy_sampling(&mut self, sampling: OccupancySampling) {
+        self.sampling = sampling;
+        self.sample_tick = 0;
+    }
+
+    /// The current activity-sampling policy.
+    pub fn occupancy_sampling(&self) -> OccupancySampling {
+        self.sampling
+    }
+
+    /// One sampling decision for the instruction about to be issued.
+    /// Callers make exactly one call per eligible (observed) instruction;
+    /// the decision gates *all* of that instruction's activity statistics.
+    pub fn sample_activity(&mut self) -> bool {
+        let tick = self.sample_tick;
+        self.sample_tick += 1;
+        self.sampling.samples_at(tick)
     }
 
     /// Opens a named span (e.g. `"iteration[3]"`) at the current step.

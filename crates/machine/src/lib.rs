@@ -70,7 +70,9 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod geometry;
+pub mod isa;
 pub mod machine;
+pub mod packed;
 pub mod plane;
 pub mod render;
 pub mod switch;
@@ -80,6 +82,9 @@ pub use engine::ExecMode;
 pub use error::MachineError;
 pub use faults::{FaultMap, FaultReport, SwitchFault, TransientFaults};
 pub use geometry::{Axis, Coord, Dim, Direction};
+pub use isa::{ExecStats, Executor, Fill, MicroOp, ScalarBackend};
 pub use machine::Machine;
+pub use packed::{PackedBackend, PackedMask};
 pub use plane::Plane;
+pub use ppa_obs::OccupancySampling;
 pub use switch::SwitchConfig;

@@ -1,32 +1,36 @@
-//! The assembled PPA machine: geometry + engine + controller.
+//! The assembled PPA machine: geometry + issue logic + controller.
 //!
 //! [`Machine`] exposes the *costed* instruction set: every method that
-//! corresponds to one SIMD controller instruction records exactly one step
-//! of the matching [`Op`] class before executing its per-PE
-//! effect through the [`crate::engine`]. Higher layers (the PPC
-//! runtime, the algorithms) are written exclusively against this interface,
-//! so the controller's tallies are a faithful census of the simulated
-//! machine's time steps.
+//! corresponds to one SIMD controller instruction issues exactly one
+//! [`MicroOp`] — recording a step of the matching [`Op`] class, applying
+//! the fault models to switch patterns, and feeding observers — before
+//! delegating the per-PE mechanics to its [`Executor`] backend. Higher
+//! layers (the PPC runtime, the algorithms) are written exclusively
+//! against this interface, so the controller's tallies are a faithful
+//! census of the simulated machine's time steps regardless of backend.
 
 use crate::bus;
-use crate::controller::{Controller, Op};
+use crate::controller::Controller;
 use crate::engine::ExecMode;
 use crate::error::MachineError;
 use crate::faults::{bist_sweep, FaultMap, FaultReport, SwitchFault, TransientFaults};
-use crate::geometry::{Dim, Direction};
+use crate::geometry::{Axis, Dim, Direction};
+use crate::isa::{ExecStats, Executor, Fill, MicroOp, ScalarBackend};
 use crate::plane::Plane;
 
-/// A Polymorphic Processor Array instance.
+/// A Polymorphic Processor Array instance, parameterized over its
+/// execution backend (the scalar reference backend by default).
 #[derive(Debug, Clone)]
-pub struct Machine {
+pub struct Machine<E: Executor = ScalarBackend> {
     dim: Dim,
     mode: ExecMode,
     controller: Controller,
     faults: FaultMap,
     transient: Option<TransientFaults>,
+    exec: E,
 }
 
-impl Machine {
+impl Machine<ScalarBackend> {
     /// Creates a `rows x cols` machine running per-PE loops sequentially.
     pub fn new(rows: usize, cols: usize) -> Self {
         Machine::with_mode(Dim::new(rows, cols), ExecMode::Sequential)
@@ -40,12 +44,20 @@ impl Machine {
 
     /// Creates a machine with an explicit host execution mode.
     pub fn with_mode(dim: Dim, mode: ExecMode) -> Self {
+        Machine::with_backend(dim, mode, ScalarBackend)
+    }
+}
+
+impl<E: Executor> Machine<E> {
+    /// Creates a machine on an explicit execution backend.
+    pub fn with_backend(dim: Dim, mode: ExecMode, exec: E) -> Self {
         Machine {
             dim,
             mode,
             controller: Controller::new(),
             faults: FaultMap::new(),
             transient: None,
+            exec,
         }
     }
 
@@ -77,6 +89,13 @@ impl Machine {
     pub fn clear_faults(&mut self) {
         self.faults = FaultMap::new();
         self.transient = None;
+    }
+
+    /// Whether any bus transfer must route through the fault models.
+    /// When false, the healthy fast path is bit-identical (the transient
+    /// process would not be sampled either way).
+    fn fault_routed(&self) -> bool {
+        !self.faults.is_empty() || self.transient.is_some()
     }
 
     /// The Open mask the (possibly faulty) hardware realizes for one bus
@@ -129,6 +148,21 @@ impl Machine {
         &mut self.controller
     }
 
+    /// Read access to the execution backend.
+    pub fn exec(&self) -> &E {
+        &self.exec
+    }
+
+    /// The backend's resource counters (plan-cache hits, arena recycling).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec.stats()
+    }
+
+    /// Zeroes the backend's resource counters.
+    pub fn reset_exec_stats(&mut self) {
+        self.exec.reset_stats();
+    }
+
     /// Zeroes the step counters.
     pub fn reset_steps(&mut self) {
         self.controller.reset();
@@ -145,45 +179,90 @@ impl Machine {
         }
     }
 
-    /// Fraction of `true` cells in a mask plane, computed only when an
-    /// observer is attached (the count is O(p) host work the simulated
-    /// machine would not perform).
-    fn occupancy_of(&self, mask: &Plane<bool>) -> Option<f64> {
-        if !self.controller.observing() {
-            return None;
+    /// One activity-sampling decision for the instruction being issued
+    /// (false outright when no observer is attached).
+    fn sample_now(&mut self) -> bool {
+        self.controller.observing() && self.controller.sample_activity()
+    }
+
+    /// Activity statistics for an instruction masked by a plane: occupancy
+    /// (fraction of `true` cells) and, when a direction is given, the bus
+    /// cluster count its Open mask induces. Computed only when the
+    /// sampling policy elects this instruction — the scan is O(p) host
+    /// work the simulated machine would not perform.
+    fn plane_activity(
+        &mut self,
+        dir: Option<Direction>,
+        mask: &Plane<bool>,
+    ) -> (Option<f64>, Option<u64>) {
+        if !self.sample_now() {
+            return (None, None);
         }
         let active = mask.as_slice().iter().filter(|&&b| b).count();
-        Some(active as f64 / self.dim.len().max(1) as f64)
-    }
-
-    /// Number of bus clusters the Open mask induces for `dir` (only when
-    /// observing). `None` when some line has no driver — the primitive
-    /// itself reports that case as a fault or a single cluster.
-    fn clusters_of(&self, dir: Direction, open: &Plane<bool>) -> Option<u64> {
-        if !self.controller.observing() {
-            return None;
-        }
-        match bus::cluster_heads(self.dim, dir, open) {
+        let occ = active as f64 / self.dim.len().max(1) as f64;
+        // `None` clusters when some line has no driver — the primitive
+        // itself reports that case as a fault or a single cluster.
+        let clusters = dir.and_then(|d| match bus::cluster_heads(self.dim, d, mask) {
             Ok(heads) => Some(heads.iter().enumerate().filter(|&(i, &h)| i == h).count() as u64),
             Err(_) => None,
-        }
+        });
+        (Some(occ), clusters)
     }
 
-    /// Records one bus-class instruction with activity statistics and the
-    /// shared bus metrics counters.
-    fn record_bus(&mut self, op: Op, occupancy: Option<f64>, clusters: Option<u64>) {
+    /// [`Machine::plane_activity`] for a backend mask; the values are
+    /// identical across backends (popcount occupancy, cluster derivation
+    /// on the unpacked mask).
+    fn mask_activity(
+        &mut self,
+        dir: Option<Direction>,
+        mask: &E::Mask,
+    ) -> (Option<f64>, Option<u64>) {
+        if !self.sample_now() {
+            return (None, None);
+        }
+        let active = self.exec.mask_count(self.dim, mask);
+        let occ = active as f64 / self.dim.len().max(1) as f64;
+        let clusters = dir.and_then(|d| {
+            let plane = self.exec.mask_to_plane(self.dim, mask);
+            match bus::cluster_heads(self.dim, d, &plane) {
+                Ok(heads) => {
+                    Some(heads.iter().enumerate().filter(|&(i, &h)| i == h).count() as u64)
+                }
+                Err(_) => None,
+            }
+        });
+        (Some(occ), clusters)
+    }
+
+    /// The single issue choke point: records one controller step for the
+    /// micro-op's class (with the current phase label and any activity
+    /// statistics) and feeds the shared metrics counters the variant owns.
+    fn issue(&mut self, u: MicroOp, occupancy: Option<f64>, clusters: Option<u64>) {
         let label = self.controller.phase();
         self.controller
-            .record_observed(op, label, occupancy, clusters);
+            .record_observed(u.class(), label, occupancy, clusters);
         let len = self.dim.len();
-        if let Some(m) = self.controller.metrics_mut() {
-            m.inc("bus.transactions", 1);
-            if let Some(k) = clusters {
-                m.inc("bus.clusters", k);
+        match u {
+            MicroOp::Broadcast(_) | MicroOp::BusOr(_) => {
+                if let Some(m) = self.controller.metrics_mut() {
+                    m.inc("bus.transactions", 1);
+                    if let Some(k) = clusters {
+                        m.inc("bus.clusters", k);
+                    }
+                    if let Some(o) = occupancy {
+                        m.inc("mask.active_pes", (o * len as f64).round() as u64);
+                    }
+                }
             }
-            if let Some(o) = occupancy {
-                m.inc("mask.active_pes", (o * len as f64).round() as u64);
+            MicroOp::AssignMasked => {
+                if let Some(m) = self.controller.metrics_mut() {
+                    m.inc("mask.writes", 1);
+                    if let Some(o) = occupancy {
+                        m.inc("mask.active_pes", (o * len as f64).round() as u64);
+                    }
+                }
             }
+            _ => {}
         }
     }
 
@@ -199,9 +278,9 @@ impl Machine {
     ) -> Result<Plane<T>, MachineError> {
         let effective = self.effective_open(open);
         let open = effective.as_ref().unwrap_or(open);
-        let (occ, clusters) = (self.occupancy_of(open), self.clusters_of(dir, open));
-        self.record_bus(Op::Broadcast, occ, clusters);
-        bus::broadcast(self.mode, self.dim, src, dir, open)
+        let (occ, clusters) = self.plane_activity(Some(dir), open);
+        self.issue(MicroOp::Broadcast(dir), occ, clusters);
+        self.exec.broadcast(self.mode, self.dim, src, dir, open)
     }
 
     /// Wired-OR over bus clusters: one controller step.
@@ -213,21 +292,82 @@ impl Machine {
     ) -> Result<Plane<bool>, MachineError> {
         let effective = self.effective_open(open);
         let open = effective.as_ref().unwrap_or(open);
-        let (occ, clusters) = (self.occupancy_of(open), self.clusters_of(dir, open));
-        self.record_bus(Op::BusOr, occ, clusters);
-        bus::bus_or(self.mode, self.dim, values, dir, open)
+        let (occ, clusters) = self.plane_activity(Some(dir), open);
+        self.issue(MicroOp::BusOr(dir), occ, clusters);
+        self.exec.bus_or(self.mode, self.dim, values, dir, open)
     }
 
-    /// `shift(src, dir)`: one controller step; data moves one PE towards
-    /// `dir`, upstream-edge PEs receive `fill`.
+    /// `broadcast` with the switch pattern held as a backend mask; same
+    /// step cost, fault routing, and observability as the plane form.
+    pub fn broadcast_open<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Plane<T>,
+        dir: Direction,
+        open: &E::Mask,
+    ) -> Result<Plane<T>, MachineError> {
+        if !self.fault_routed() {
+            let (occ, clusters) = self.mask_activity(Some(dir), open);
+            self.issue(MicroOp::Broadcast(dir), occ, clusters);
+            return self
+                .exec
+                .broadcast_masked(self.mode, self.dim, src, dir, open);
+        }
+        let intended = self.exec.mask_to_plane(self.dim, open);
+        let effective = self.effective_open(&intended);
+        let open_plane = effective.as_ref().unwrap_or(&intended);
+        let (occ, clusters) = self.plane_activity(Some(dir), open_plane);
+        self.issue(MicroOp::Broadcast(dir), occ, clusters);
+        self.exec
+            .broadcast(self.mode, self.dim, src, dir, open_plane)
+    }
+
+    /// Wired-OR with both the value set and the switch pattern held as
+    /// backend masks; same step cost, fault routing, and observability as
+    /// the plane form.
+    pub fn mask_bus_or(
+        &mut self,
+        values: &E::Mask,
+        dir: Direction,
+        open: &E::Mask,
+    ) -> Result<E::Mask, MachineError> {
+        if !self.fault_routed() {
+            let (occ, clusters) = self.mask_activity(Some(dir), open);
+            self.issue(MicroOp::BusOr(dir), occ, clusters);
+            return self
+                .exec
+                .mask_bus_or(self.mode, self.dim, values, dir, open);
+        }
+        let intended = self.exec.mask_to_plane(self.dim, open);
+        let effective = self.effective_open(&intended);
+        let open_plane = effective.as_ref().unwrap_or(&intended);
+        let (occ, clusters) = self.plane_activity(Some(dir), open_plane);
+        self.issue(MicroOp::BusOr(dir), occ, clusters);
+        let routed = self.exec.mask_from_plane(self.dim, open_plane);
+        self.exec
+            .mask_bus_or(self.mode, self.dim, values, dir, &routed)
+    }
+
+    /// `shift(src, dir)` with an explicit edge fill policy: one controller
+    /// step; data moves one PE towards `dir`.
+    pub fn shift_with<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Plane<T>,
+        dir: Direction,
+        fill: Fill<T>,
+    ) -> Result<Plane<T>, MachineError> {
+        self.issue(MicroOp::Shift(dir), None, None);
+        self.exec.shift(self.mode, self.dim, src, dir, fill)
+    }
+
+    /// `shift(src, dir)`: one controller step; upstream-edge PEs receive
+    /// `fill`.
     pub fn shift<T: Copy + Send + Sync>(
         &mut self,
         src: &Plane<T>,
         dir: Direction,
         fill: T,
     ) -> Result<Plane<T>, MachineError> {
-        self.controller.record(Op::Shift);
-        bus::shift(self.mode, self.dim, src, dir, fill)
+        self.shift_with(src, dir, Fill::Value(fill))
     }
 
     /// Toroidal `shift`: one controller step.
@@ -236,8 +376,7 @@ impl Machine {
         src: &Plane<T>,
         dir: Direction,
     ) -> Result<Plane<T>, MachineError> {
-        self.controller.record(Op::Shift);
-        bus::shift_wrapping(self.mode, self.dim, src, dir)
+        self.shift_with(src, dir, Fill::Wrap)
     }
 
     /// Global-OR: one controller step; `true` iff any PE raises `flags`.
@@ -245,10 +384,8 @@ impl Machine {
     /// loops such as the MCP termination test (statement 20).
     pub fn global_or(&mut self, flags: &Plane<bool>) -> Result<bool, MachineError> {
         self.check(flags)?;
-        let occ = self.occupancy_of(flags);
-        let label = self.controller.phase();
-        self.controller
-            .record_observed(Op::GlobalOr, label, occ, None);
+        let (occ, _) = self.plane_activity(None, flags);
+        self.issue(MicroOp::GlobalOr, occ, None);
         let f = flags.as_slice();
         Ok(crate::engine::reduce(
             self.mode,
@@ -257,6 +394,70 @@ impl Machine {
             |i| f[i],
             |a, b| a || b,
         ))
+    }
+
+    // ----- mask instructions (bit-serial scan support) ---------------------
+
+    /// Converts a plane into the backend mask representation without
+    /// issuing an instruction (a register *view*, not an operation; use
+    /// [`Machine::load_mask`] for the costed copy).
+    pub fn pack_mask(&mut self, src: &Plane<bool>) -> Result<E::Mask, MachineError> {
+        self.check(src)?;
+        Ok(self.exec.mask_from_plane(self.dim, src))
+    }
+
+    /// Converts a backend mask back to a plane (uncosted, host-side).
+    pub fn unpack_mask(&self, mask: &E::Mask) -> Plane<bool> {
+        self.exec.mask_to_plane(self.dim, mask)
+    }
+
+    /// Number of set PEs in a backend mask (uncosted, host-side).
+    pub fn mask_count(&self, mask: &E::Mask) -> usize {
+        self.exec.mask_count(self.dim, mask)
+    }
+
+    /// Loads an immediate into every PE of a mask register: one step.
+    pub fn mask_imm(&mut self, value: bool) -> E::Mask {
+        self.issue(MicroOp::Imm, None, None);
+        self.exec.mask_filled(self.dim, value)
+    }
+
+    /// Copies a plane into a mask register: one step (the mask analogue of
+    /// an identity [`Machine::map`]).
+    pub fn load_mask(&mut self, src: &Plane<bool>) -> Result<E::Mask, MachineError> {
+        self.check(src)?;
+        self.issue(MicroOp::Map, None, None);
+        Ok(self.exec.mask_from_plane(self.dim, src))
+    }
+
+    /// Extracts bit `j` of every (non-negative) PE value: one step.
+    pub fn mask_bit(&mut self, src: &Plane<i64>, j: u32) -> Result<E::Mask, MachineError> {
+        debug_assert!(j < 63, "i64 sign bit is not addressable");
+        self.check(src)?;
+        self.issue(MicroOp::Map, None, None);
+        Ok(self.exec.bit_plane(self.mode, self.dim, src, j))
+    }
+
+    /// The bit-serial voting step (`keep_low` selects the Min rule
+    /// `enable && !bit`, otherwise the Max rule `enable && bit`): one step.
+    pub fn mask_vote(&mut self, enable: &E::Mask, bit: &E::Mask, keep_low: bool) -> E::Mask {
+        self.issue(MicroOp::Zip, None, None);
+        self.exec.vote(self.mode, self.dim, enable, bit, keep_low)
+    }
+
+    /// The bit-serial knockout step (`keep_low` selects the Min rule
+    /// `enable && !(present && bit)`, otherwise the Max rule
+    /// `enable && (!present || bit)`): one step.
+    pub fn mask_knockout(
+        &mut self,
+        enable: &E::Mask,
+        present: &E::Mask,
+        bit: &E::Mask,
+        keep_low: bool,
+    ) -> E::Mask {
+        self.issue(MicroOp::Zip3, None, None);
+        self.exec
+            .knockout(self.mode, self.dim, enable, present, bit, keep_low)
     }
 
     // ----- runtime self-test ----------------------------------------------
@@ -364,9 +565,9 @@ impl Machine {
         F: Fn(&T) -> U + Sync,
     {
         self.check(src)?;
-        self.controller.record(Op::Alu);
+        self.issue(MicroOp::Map, None, None);
         let s = src.as_slice();
-        let data = crate::engine::build(self.mode, self.dim.len(), |i| f(&s[i]));
+        let data = self.exec.build(self.mode, self.dim.len(), |i| f(&s[i]));
         Ok(Plane::from_vec(self.dim, data))
     }
 
@@ -385,9 +586,11 @@ impl Machine {
     {
         self.check(a)?;
         self.check(b)?;
-        self.controller.record(Op::Alu);
+        self.issue(MicroOp::Zip, None, None);
         let (sa, sb) = (a.as_slice(), b.as_slice());
-        let data = crate::engine::build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i]));
+        let data = self
+            .exec
+            .build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i]));
         Ok(Plane::from_vec(self.dim, data))
     }
 
@@ -409,28 +612,30 @@ impl Machine {
         self.check(a)?;
         self.check(b)?;
         self.check(c)?;
-        self.controller.record(Op::Alu);
+        self.issue(MicroOp::Zip3, None, None);
         let (sa, sb, sc) = (a.as_slice(), b.as_slice(), c.as_slice());
-        let data = crate::engine::build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i], &sc[i]));
+        let data = self
+            .exec
+            .build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i], &sc[i]));
         Ok(Plane::from_vec(self.dim, data))
     }
 
     /// Loads an immediate into every PE: one controller step.
     pub fn imm<T: Clone + Send + Sync>(&mut self, value: T) -> Plane<T> {
-        self.controller.record(Op::Alu);
+        self.issue(MicroOp::Imm, None, None);
         Plane::filled(self.dim, value)
     }
 
     /// The hardwired `ROW` register (each PE knows its row index):
     /// one controller step to copy it into a plane.
     pub fn row_index(&mut self) -> Plane<i64> {
-        self.controller.record(Op::Alu);
+        self.issue(MicroOp::Index(Axis::Row), None, None);
         Plane::from_fn(self.dim, |c| c.row as i64)
     }
 
     /// The hardwired `COL` register: one controller step.
     pub fn col_index(&mut self) -> Plane<i64> {
-        self.controller.record(Op::Alu);
+        self.issue(MicroOp::Index(Axis::Col), None, None);
         Plane::from_fn(self.dim, |c| c.col as i64)
     }
 
@@ -450,18 +655,10 @@ impl Machine {
         self.check(dst)?;
         self.check(src)?;
         self.check(mask)?;
-        let occ = self.occupancy_of(mask);
-        let label = self.controller.phase();
-        self.controller.record_observed(Op::Alu, label, occ, None);
-        let len = self.dim.len();
-        if let Some(mx) = self.controller.metrics_mut() {
-            mx.inc("mask.writes", 1);
-            if let Some(o) = occ {
-                mx.inc("mask.active_pes", (o * len as f64).round() as u64);
-            }
-        }
+        let (occ, _) = self.plane_activity(None, mask);
+        self.issue(MicroOp::AssignMasked, occ, None);
         let (d, s, m) = (dst.as_slice(), src.as_slice(), mask.as_slice());
-        let data = crate::engine::build(
+        let data = self.exec.build(
             self.mode,
             self.dim.len(),
             |i| if m[i] { s[i] } else { d[i] },
@@ -493,6 +690,45 @@ mod tests {
         assert_eq!(m.controller().steps(Op::Shift), 1);
         m.global_or(&flags).unwrap();
         assert_eq!(m.controller().steps(Op::GlobalOr), 1);
+    }
+
+    #[test]
+    fn mask_instructions_cost_like_their_plane_twins() {
+        let mut m = Machine::square(4);
+        let open = Plane::from_fn(m.dim(), |c| c.col == 0);
+        let values = Plane::from_fn(m.dim(), |c| c.row == c.col);
+        let src = Plane::from_fn(m.dim(), |c| (c.row * 4 + c.col) as i64);
+        let l = m.pack_mask(&open).unwrap();
+        assert_eq!(m.controller().total_steps(), 0, "pack is a view");
+        let e = m.load_mask(&values).unwrap();
+        assert_eq!(m.controller().steps(Op::Alu), 1);
+        let b = m.mask_bit(&src, 1).unwrap();
+        assert_eq!(m.controller().steps(Op::Alu), 2);
+        let v = m.mask_vote(&e, &b, true);
+        assert_eq!(m.controller().steps(Op::Alu), 3);
+        let _k = m.mask_knockout(&e, &v, &b, true);
+        assert_eq!(m.controller().steps(Op::Alu), 4);
+        m.mask_bus_or(&v, Direction::West, &l).unwrap();
+        assert_eq!(m.controller().steps(Op::BusOr), 1);
+        m.broadcast_open(&src, Direction::East, &l).unwrap();
+        assert_eq!(m.controller().steps(Op::Broadcast), 1);
+    }
+
+    #[test]
+    fn mask_ops_match_plane_semantics() {
+        let mut m = Machine::square(4);
+        let open = Plane::from_fn(m.dim(), |c| c.col == 0 || c.col == 2);
+        let values = Plane::from_fn(m.dim(), |c| c.row == 0 && c.col == 1);
+        let l = m.pack_mask(&open).unwrap();
+        let v = m.pack_mask(&values).unwrap();
+        let or_masked = m.mask_bus_or(&v, Direction::East, &l).unwrap();
+        let or_plane = m.bus_or(&values, Direction::East, &open).unwrap();
+        assert_eq!(m.unpack_mask(&or_masked), or_plane);
+        let src = Plane::from_fn(m.dim(), |c| (c.row * 4 + c.col) as i64);
+        let bc_masked = m.broadcast_open(&src, Direction::East, &l).unwrap();
+        let bc_plane = m.broadcast(&src, Direction::East, &open).unwrap();
+        assert_eq!(bc_masked, bc_plane);
+        assert_eq!(m.mask_count(&l), open.count_true());
     }
 
     #[test]
@@ -555,6 +791,21 @@ mod tests {
         let _ = m.imm(0u8);
         m.reset_steps();
         assert_eq!(m.controller().total_steps(), 0);
+    }
+
+    #[test]
+    fn shift_fill_policies_share_one_instruction_path() {
+        let mut m = Machine::square(4);
+        let src = Plane::from_fn(m.dim(), |c| c.col as i64);
+        let filled = m.shift(&src, Direction::East, -7).unwrap();
+        let wrapped = m.shift_wrapping(&src, Direction::East).unwrap();
+        assert_eq!(m.controller().steps(Op::Shift), 2);
+        assert_eq!(filled.row(1), &[-7, 0, 1, 2]);
+        assert_eq!(wrapped.row(0), &[3, 0, 1, 2]);
+        let explicit = m
+            .shift_with(&src, Direction::East, Fill::Value(-7))
+            .unwrap();
+        assert_eq!(explicit, filled);
     }
 
     #[test]
@@ -658,5 +909,22 @@ mod tests {
             plain.controller().total_steps(),
             attached.controller().total_steps()
         );
+    }
+
+    #[test]
+    fn occupancy_sampling_off_skips_statistics_but_not_steps() {
+        use ppa_obs::OccupancySampling;
+        let mut m = Machine::square(4);
+        m.controller_mut().enable_metrics();
+        m.controller_mut()
+            .set_occupancy_sampling(OccupancySampling::Off);
+        let src = m.imm(1i64);
+        let open = m.imm(true);
+        m.broadcast(&src, Direction::East, &open).unwrap();
+        let metrics = m.controller_mut().take_metrics();
+        assert_eq!(metrics.counter("steps.broadcast"), 1);
+        assert_eq!(metrics.counter("bus.transactions"), 1);
+        assert_eq!(metrics.counter("bus.clusters"), 0, "statistics gated off");
+        assert_eq!(metrics.counter("mask.active_pes"), 0);
     }
 }

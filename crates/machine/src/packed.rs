@@ -1,0 +1,681 @@
+//! The packed execution backend: u64-word bitset masks, a recycling plane
+//! arena, and a bus-plan cache.
+//!
+//! [`PackedBackend`] implements [`Executor`] with three wall-clock levers
+//! the scalar reference backend lacks:
+//!
+//! * **Packed masks** — every `Plane<bool>` mask inside the bit-serial
+//!   `min`/`selected_min` loop is a [`PackedMask`]: 64 PEs per u64 word, so
+//!   votes, knockouts, bit-plane extraction and occupancy counting are word
+//!   ops and popcounts instead of per-PE byte walks.
+//! * **Plane arena** — mask words are recycled through a shared
+//!   [`WordPool`]; after warm-up the O(h) scan loop allocates nothing.
+//! * **Bus-plan cache** — cluster resolution (`bus::cluster_keys`) is
+//!   computed once per distinct (direction, Open-mask) switch configuration
+//!   and reused; the MCP inner loop replays the same configuration across
+//!   all h bit passes, so nearly every bus instruction hits the cache.
+//!
+//! Semantics are bit-identical to [`ScalarBackend`](crate::ScalarBackend):
+//! the differential suite in `tests/backend_diff.rs` asserts values *and*
+//! step counts across backends.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::bus;
+use crate::engine::{self, ExecMode};
+use crate::error::MachineError;
+use crate::geometry::{Axis, Dim, Direction};
+use crate::isa::{ExecStats, Executor};
+use crate::machine::Machine;
+use crate::plane::Plane;
+
+const WORD_BITS: usize = 64;
+/// Retained bus plans; the MCP loop needs ~5 distinct configurations, so a
+/// small LRU never evicts a live plan while tolerating mask churn.
+const PLAN_CACHE_CAP: usize = 32;
+
+fn words_for(dim: Dim) -> usize {
+    dim.len().div_ceil(WORD_BITS)
+}
+
+/// Whether any bit in `start..end` of a flat bitset is set.
+fn range_any(words: &[u64], start: usize, end: usize) -> bool {
+    let mut i = start;
+    while i < end {
+        let wi = i / WORD_BITS;
+        let off = i % WORD_BITS;
+        let take = (WORD_BITS - off).min(end - i);
+        let mask = if take == WORD_BITS {
+            !0u64
+        } else {
+            ((1u64 << take) - 1) << off
+        };
+        if words[wi] & mask != 0 {
+            return true;
+        }
+        i += take;
+    }
+    false
+}
+
+/// Sets every bit in `start..end` of a flat bitset.
+fn set_range(words: &mut [u64], start: usize, end: usize) {
+    let mut i = start;
+    while i < end {
+        let wi = i / WORD_BITS;
+        let off = i % WORD_BITS;
+        let take = (WORD_BITS - off).min(end - i);
+        let mask = if take == WORD_BITS {
+            !0u64
+        } else {
+            ((1u64 << take) - 1) << off
+        };
+        words[wi] |= mask;
+        i += take;
+    }
+}
+
+/// The shared mask arena: spent word buffers waiting to be reissued.
+#[derive(Debug, Default)]
+struct WordPool {
+    free: Vec<Vec<u64>>,
+    fresh: u64,
+    reused: u64,
+}
+
+impl WordPool {
+    /// A zeroed buffer of exactly `words` words, recycled when possible.
+    fn get(&mut self, words: usize) -> Vec<u64> {
+        while let Some(mut buf) = self.free.pop() {
+            if buf.len() == words {
+                self.reused += 1;
+                buf.fill(0);
+                return buf;
+            }
+            // Stale geometry (machine rebuilt with another dim): discard.
+        }
+        self.fresh += 1;
+        vec![0u64; words]
+    }
+
+    fn put(&mut self, buf: Vec<u64>) {
+        if !buf.is_empty() {
+            self.free.push(buf);
+        }
+    }
+}
+
+/// A boolean mask plane packed 64 PEs per u64 word (row-major flat order).
+///
+/// Buffers are leased from the backend's [`WordPool`]: dropping or cloning
+/// a mask goes through the arena, so steady-state mask traffic allocates
+/// nothing. Bits at positions `>= dim.len()` in the last word are always
+/// zero (every producing operation maintains the invariant).
+pub struct PackedMask {
+    dim: Dim,
+    words: Vec<u64>,
+    pool: Rc<RefCell<WordPool>>,
+}
+
+impl PackedMask {
+    /// Whether the bit for flat PE index `i` is set.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, i: usize) {
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Number of set PEs (a popcount per word).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The mask geometry.
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Zeroes any bits at positions `>= dim.len()` in the last word.
+    fn trim(&mut self) {
+        let rem = self.dim.len() % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl Drop for PackedMask {
+    fn drop(&mut self) {
+        self.pool.borrow_mut().put(std::mem::take(&mut self.words));
+    }
+}
+
+impl Clone for PackedMask {
+    fn clone(&self) -> Self {
+        let mut words = self.pool.borrow_mut().get(self.words.len());
+        words.copy_from_slice(&self.words);
+        PackedMask {
+            dim: self.dim,
+            words,
+            pool: Rc::clone(&self.pool),
+        }
+    }
+}
+
+impl PartialEq for PackedMask {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.words == other.words
+    }
+}
+
+impl std::fmt::Debug for PackedMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedMask")
+            .field("dim", &self.dim)
+            .field("set", &self.count())
+            .finish()
+    }
+}
+
+/// A cached bus-cluster resolution for one (direction, Open mask) pair.
+#[derive(Debug)]
+struct BusPlan {
+    /// Flat index of the driving Open node, per PE (floating-segment key on
+    /// driverless lines — see [`bus::cluster_keys`]).
+    keys: Vec<u32>,
+    /// Lines with no Open node (broadcast faults on these; wired-OR spans).
+    driverless: Vec<usize>,
+    /// Maximal runs of equal key as `(start, end, key)` flat-index ranges —
+    /// populated only for row-axis plans, where each line's positions are
+    /// contiguous in row-major order. A cluster that wraps around its line
+    /// contributes two runs with the same key; the wired-OR fast path
+    /// accumulates per key, so that is handled naturally.
+    segs: Vec<(u32, u32, u32)>,
+}
+
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    dir: Direction,
+    fp: u64,
+    words: Vec<u64>,
+    plan: Rc<BusPlan>,
+}
+
+fn fingerprint(dir: Direction, words: &[u64]) -> u64 {
+    // FNV-1a over the packed words, seeded with the direction.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (dir as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The packed bit-plane execution backend (see module docs).
+#[derive(Debug, Clone)]
+pub struct PackedBackend {
+    pool: Rc<RefCell<WordPool>>,
+    plans: Vec<PlanEntry>,
+    plan_hits: u64,
+    plan_misses: u64,
+    scratch: Vec<u64>,
+}
+
+impl PackedBackend {
+    /// A fresh backend with an empty arena and plan cache.
+    pub fn new() -> Self {
+        PackedBackend {
+            pool: Rc::new(RefCell::new(WordPool::default())),
+            plans: Vec::new(),
+            plan_hits: 0,
+            plan_misses: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn alloc_mask(&mut self, dim: Dim) -> PackedMask {
+        let words = self.pool.borrow_mut().get(words_for(dim));
+        PackedMask {
+            dim,
+            words,
+            pool: Rc::clone(&self.pool),
+        }
+    }
+
+    /// The cached cluster plan for `open` given as packed words.
+    fn plan_for_words(&mut self, dim: Dim, dir: Direction, words: &[u64]) -> Rc<BusPlan> {
+        let fp = fingerprint(dir, words);
+        if let Some(pos) = self
+            .plans
+            .iter()
+            .position(|e| e.dir == dir && e.fp == fp && e.words == words)
+        {
+            self.plan_hits += 1;
+            let entry = self.plans.remove(pos);
+            let plan = Rc::clone(&entry.plan);
+            self.plans.push(entry); // LRU: most recent at the back
+            return plan;
+        }
+        self.plan_misses += 1;
+        let mut open = vec![false; dim.len()];
+        for (i, o) in open.iter_mut().enumerate() {
+            *o = (words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1;
+        }
+        let (keys, driverless) = bus::cluster_keys(dim, dir, &open);
+        let segs = if dir.axis() == Axis::Row {
+            let mut segs = Vec::new();
+            for r in 0..dim.rows {
+                let base = r * dim.cols;
+                let mut s = base;
+                for p in base + 1..base + dim.cols {
+                    if keys[p] != keys[s] {
+                        segs.push((s as u32, p as u32, keys[s]));
+                        s = p;
+                    }
+                }
+                segs.push((s as u32, (base + dim.cols) as u32, keys[s]));
+            }
+            segs
+        } else {
+            Vec::new()
+        };
+        let plan = Rc::new(BusPlan {
+            keys,
+            driverless,
+            segs,
+        });
+        if self.plans.len() >= PLAN_CACHE_CAP {
+            self.plans.remove(0);
+        }
+        self.plans.push(PlanEntry {
+            dir,
+            fp,
+            words: words.to_vec(),
+            plan: Rc::clone(&plan),
+        });
+        plan
+    }
+
+    /// The cached cluster plan for `open` given as a plane.
+    fn plan_for_plane(&mut self, dim: Dim, dir: Direction, open: &Plane<bool>) -> Rc<BusPlan> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.resize(words_for(dim), 0);
+        for (i, &o) in open.as_slice().iter().enumerate() {
+            if o {
+                scratch[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+            }
+        }
+        let plan = self.plan_for_words(dim, dir, &scratch);
+        self.scratch = scratch;
+        plan
+    }
+}
+
+impl Default for PackedBackend {
+    fn default() -> Self {
+        PackedBackend::new()
+    }
+}
+
+impl Executor for PackedBackend {
+    type Mask = PackedMask;
+
+    fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> PackedMask {
+        let mut mask = self.alloc_mask(dim);
+        for (i, &b) in plane.as_slice().iter().enumerate() {
+            if b {
+                mask.set_bit(i);
+            }
+        }
+        mask
+    }
+
+    fn mask_to_plane(&self, dim: Dim, mask: &PackedMask) -> Plane<bool> {
+        Plane::from_vec(dim, (0..dim.len()).map(|i| mask.bit(i)).collect())
+    }
+
+    fn mask_filled(&mut self, dim: Dim, value: bool) -> PackedMask {
+        let mut mask = self.alloc_mask(dim);
+        if value {
+            mask.words.fill(!0u64);
+            mask.trim();
+        }
+        mask
+    }
+
+    fn mask_count(&self, _dim: Dim, mask: &PackedMask) -> usize {
+        mask.count()
+    }
+
+    fn bit_plane(&mut self, _mode: ExecMode, dim: Dim, src: &Plane<i64>, j: u32) -> PackedMask {
+        let mut mask = self.alloc_mask(dim);
+        for (wi, chunk) in src.as_slice().chunks(WORD_BITS).enumerate() {
+            let mut word = 0u64;
+            for (b, &x) in chunk.iter().enumerate() {
+                debug_assert!(x >= 0, "bit-serial scan expects non-negative values");
+                word |= (((x >> j) & 1) as u64) << b;
+            }
+            mask.words[wi] = word;
+        }
+        mask
+    }
+
+    fn vote(
+        &mut self,
+        _mode: ExecMode,
+        dim: Dim,
+        enable: &PackedMask,
+        bit: &PackedMask,
+        keep_low: bool,
+    ) -> PackedMask {
+        let mut out = self.alloc_mask(dim);
+        for (o, (&e, &b)) in out
+            .words
+            .iter_mut()
+            .zip(enable.words.iter().zip(bit.words.iter()))
+        {
+            // `enable` has zero trailing bits, so `e & ...` preserves the
+            // trim invariant even through the negation.
+            *o = if keep_low { e & !b } else { e & b };
+        }
+        out
+    }
+
+    fn knockout(
+        &mut self,
+        _mode: ExecMode,
+        dim: Dim,
+        enable: &PackedMask,
+        present: &PackedMask,
+        bit: &PackedMask,
+        keep_low: bool,
+    ) -> PackedMask {
+        let mut out = self.alloc_mask(dim);
+        for (i, o) in out.words.iter_mut().enumerate() {
+            let (e, p, b) = (enable.words[i], present.words[i], bit.words[i]);
+            *o = if keep_low { e & !(p & b) } else { e & (!p | b) };
+        }
+        out
+    }
+
+    fn mask_bus_or(
+        &mut self,
+        _mode: ExecMode,
+        dim: Dim,
+        values: &PackedMask,
+        dir: Direction,
+        open: &PackedMask,
+    ) -> Result<PackedMask, MachineError> {
+        let plan = self.plan_for_words(dim, dir, &open.words);
+        let nwords = words_for(dim);
+        let mut out = self.alloc_mask(dim);
+        // Accumulator bitset indexed by cluster key: pass 1 deposits set
+        // value bits at their cluster key, pass 2 reads each PE's key back.
+        let mut acc = self.pool.borrow_mut().get(nwords);
+        if !plan.segs.is_empty() {
+            // Row-axis fast path: each cluster is a handful of contiguous
+            // runs, so both passes are word-masked range ops instead of
+            // per-PE bit walks.
+            for &(s, e, k) in &plan.segs {
+                if range_any(&values.words, s as usize, e as usize) {
+                    let k = k as usize;
+                    acc[k / WORD_BITS] |= 1u64 << (k % WORD_BITS);
+                }
+            }
+            for &(s, e, k) in &plan.segs {
+                let k = k as usize;
+                if (acc[k / WORD_BITS] >> (k % WORD_BITS)) & 1 == 1 {
+                    set_range(&mut out.words, s as usize, e as usize);
+                }
+            }
+        } else {
+            for (wi, &w) in values.words.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    let k = plan.keys[wi * WORD_BITS + b] as usize;
+                    acc[k / WORD_BITS] |= 1u64 << (k % WORD_BITS);
+                    bits &= bits - 1;
+                }
+            }
+            let len = dim.len();
+            for wi in 0..nwords {
+                let base = wi * WORD_BITS;
+                let top = WORD_BITS.min(len - base);
+                let mut word = 0u64;
+                for b in 0..top {
+                    let k = plan.keys[base + b] as usize;
+                    word |= ((acc[k / WORD_BITS] >> (k % WORD_BITS)) & 1) << b;
+                }
+                out.words[wi] = word;
+            }
+        }
+        self.pool.borrow_mut().put(acc);
+        Ok(out)
+    }
+
+    fn broadcast<T: Copy + Send + Sync>(
+        &mut self,
+        mode: ExecMode,
+        dim: Dim,
+        src: &Plane<T>,
+        dir: Direction,
+        open: &Plane<bool>,
+    ) -> Result<Plane<T>, MachineError> {
+        if src.dim() != dim {
+            return Err(MachineError::DimMismatch {
+                expected: dim,
+                found: src.dim(),
+            });
+        }
+        if open.dim() != dim {
+            return Err(MachineError::DimMismatch {
+                expected: dim,
+                found: open.dim(),
+            });
+        }
+        let plan = self.plan_for_plane(dim, dir, open);
+        if !plan.driverless.is_empty() {
+            return Err(MachineError::BusFault {
+                axis: dir.axis(),
+                lines: plan.driverless.clone(),
+            });
+        }
+        let s = src.as_slice();
+        let keys = &plan.keys;
+        let data = engine::build(mode, dim.len(), |i| s[keys[i] as usize]);
+        Ok(Plane::from_vec(dim, data))
+    }
+
+    fn broadcast_masked<T: Copy + Send + Sync>(
+        &mut self,
+        mode: ExecMode,
+        dim: Dim,
+        src: &Plane<T>,
+        dir: Direction,
+        open: &PackedMask,
+    ) -> Result<Plane<T>, MachineError> {
+        if src.dim() != dim {
+            return Err(MachineError::DimMismatch {
+                expected: dim,
+                found: src.dim(),
+            });
+        }
+        let plan = self.plan_for_words(dim, dir, &open.words);
+        if !plan.driverless.is_empty() {
+            return Err(MachineError::BusFault {
+                axis: dir.axis(),
+                lines: plan.driverless.clone(),
+            });
+        }
+        let s = src.as_slice();
+        let keys = &plan.keys;
+        let data = engine::build(mode, dim.len(), |i| s[keys[i] as usize]);
+        Ok(Plane::from_vec(dim, data))
+    }
+
+    fn bus_or(
+        &mut self,
+        mode: ExecMode,
+        dim: Dim,
+        values: &Plane<bool>,
+        dir: Direction,
+        open: &Plane<bool>,
+    ) -> Result<Plane<bool>, MachineError> {
+        if values.dim() != dim {
+            return Err(MachineError::DimMismatch {
+                expected: dim,
+                found: values.dim(),
+            });
+        }
+        if open.dim() != dim {
+            return Err(MachineError::DimMismatch {
+                expected: dim,
+                found: open.dim(),
+            });
+        }
+        let plan = self.plan_for_plane(dim, dir, open);
+        let v = values.as_slice();
+        let keys = &plan.keys;
+        let mut acc = vec![false; dim.len()];
+        for (i, &set) in v.iter().enumerate() {
+            if set {
+                acc[keys[i] as usize] = true;
+            }
+        }
+        let data = engine::build(mode, dim.len(), |i| acc[keys[i] as usize]);
+        Ok(Plane::from_vec(dim, data))
+    }
+
+    fn stats(&self) -> ExecStats {
+        let pool = self.pool.borrow();
+        ExecStats {
+            plan_hits: self.plan_hits,
+            plan_misses: self.plan_misses,
+            arena_fresh: pool.fresh,
+            arena_reused: pool.reused,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.plan_hits = 0;
+        self.plan_misses = 0;
+        let mut pool = self.pool.borrow_mut();
+        pool.fresh = 0;
+        pool.reused = 0;
+    }
+}
+
+impl Machine<PackedBackend> {
+    /// Creates a `rows x cols` machine on the packed backend.
+    pub fn new_packed(rows: usize, cols: usize) -> Self {
+        Machine::with_backend(
+            Dim::new(rows, cols),
+            ExecMode::Sequential,
+            PackedBackend::new(),
+        )
+    }
+
+    /// Creates a square `n x n` machine on the packed backend.
+    pub fn packed_square(n: usize) -> Self {
+        Machine::new_packed(n, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ScalarBackend;
+
+    fn plane_of(dim: Dim, f: impl Fn(usize) -> bool) -> Plane<bool> {
+        Plane::from_vec(dim, (0..dim.len()).map(f).collect())
+    }
+
+    #[test]
+    fn pack_roundtrip_preserves_bits() {
+        let dim = Dim::new(5, 13); // 65 PEs: crosses a word boundary
+        let plane = plane_of(dim, |i| i % 3 == 0 || i == 64);
+        let mut be = PackedBackend::new();
+        let mask = be.mask_from_plane(dim, &plane);
+        assert_eq!(mask.count(), plane.count_true());
+        assert_eq!(be.mask_to_plane(dim, &mask), plane);
+    }
+
+    #[test]
+    fn filled_mask_trims_trailing_bits() {
+        let dim = Dim::new(3, 3);
+        let mut be = PackedBackend::new();
+        let mask = be.mask_filled(dim, true);
+        assert_eq!(mask.count(), 9);
+        assert_eq!(mask.words[0], 0x1ff);
+    }
+
+    #[test]
+    fn packed_bus_or_matches_scalar_reference() {
+        let dim = Dim::square(9);
+        let mut packed = PackedBackend::new();
+        let mut scalar = ScalarBackend;
+        for (seed, dir) in [(3usize, Direction::East), (7, Direction::South)] {
+            let open = plane_of(dim, |i| (i * seed + 1) % 4 == 0);
+            let vals = plane_of(dim, |i| (i * seed) % 5 == 0);
+            let pm = packed.mask_from_plane(dim, &open);
+            let pv = packed.mask_from_plane(dim, &vals);
+            let got = packed
+                .mask_bus_or(ExecMode::Sequential, dim, &pv, dir, &pm)
+                .unwrap();
+            let want = scalar
+                .mask_bus_or(ExecMode::Sequential, dim, &vals, dir, &open)
+                .unwrap();
+            assert_eq!(packed.mask_to_plane(dim, &got), want, "dir {dir:?}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_configurations() {
+        let dim = Dim::square(8);
+        let mut be = PackedBackend::new();
+        let open = plane_of(dim, |i| i % 8 == 0);
+        let src = Plane::from_vec(dim, (0..dim.len() as i64).collect());
+        for _ in 0..5 {
+            be.broadcast(ExecMode::Sequential, dim, &src, Direction::East, &open)
+                .unwrap();
+        }
+        let stats = be.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 4);
+        assert!(stats.plan_hit_rate() > 0.75);
+    }
+
+    #[test]
+    fn arena_recycles_mask_buffers() {
+        let dim = Dim::square(16);
+        let mut be = PackedBackend::new();
+        for _ in 0..10 {
+            let m = be.mask_filled(dim, true);
+            drop(m);
+        }
+        let stats = be.stats();
+        assert_eq!(stats.arena_fresh, 1, "one physical buffer serves the loop");
+        assert_eq!(stats.arena_reused, 9);
+    }
+
+    #[test]
+    fn driverless_broadcast_faults_like_scalar() {
+        let dim = Dim::square(4);
+        let mut be = PackedBackend::new();
+        let open = plane_of(dim, |_| false);
+        let src = Plane::filled(dim, 1i64);
+        match be.broadcast(ExecMode::Sequential, dim, &src, Direction::East, &open) {
+            Err(MachineError::BusFault { lines, .. }) => assert_eq!(lines, vec![0, 1, 2, 3]),
+            other => panic!("expected BusFault, got {other:?}"),
+        }
+    }
+}

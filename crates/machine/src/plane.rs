@@ -146,12 +146,12 @@ impl Plane<bool> {
 
     /// Whether any element is `true` (structural helper; the *costed*
     /// global-OR is [`Machine::global_or`](crate::Machine::global_or)).
-    pub fn any_free(&self) -> bool {
+    pub fn any(&self) -> bool {
         self.data.iter().any(|&b| b)
     }
 
     /// Whether all elements are `true`.
-    pub fn all_free(&self) -> bool {
+    pub fn all(&self) -> bool {
         self.data.iter().all(|&b| b)
     }
 }
@@ -220,8 +220,8 @@ mod tests {
     fn bool_plane_counts() {
         let p = Plane::from_fn(d23(), |c| c.col == 1);
         assert_eq!(p.count_true(), 2);
-        assert!(p.any_free());
-        assert!(!p.all_free());
+        assert!(p.any());
+        assert!(!p.all());
     }
 
     #[test]

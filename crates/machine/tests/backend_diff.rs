@@ -1,0 +1,163 @@
+//! Differential suite: [`PackedBackend`] must be bit-identical to
+//! [`ScalarBackend`] — same results *and* same step counts — over
+//! arbitrary switch patterns, masks, directions and word widths, with and
+//! without fault injection. The backends share the issue side of the
+//! machine, so any divergence here is an execution-side bug.
+
+use ppa_machine::{Direction, FaultMap, Machine, Plane, ScalarBackend, TransientFaults};
+use proptest::prelude::*;
+
+fn direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::North),
+        Just(Direction::East),
+        Just(Direction::South),
+        Just(Direction::West),
+    ]
+}
+
+fn bool_plane(rows: usize, cols: usize) -> impl Strategy<Value = Plane<bool>> {
+    proptest::collection::vec(any::<bool>(), rows * cols)
+        .prop_map(move |v| Plane::from_vec(ppa_machine::Dim::new(rows, cols), v))
+}
+
+fn value_plane(rows: usize, cols: usize) -> impl Strategy<Value = Plane<i64>> {
+    proptest::collection::vec(0i64..=1023, rows * cols)
+        .prop_map(move |v| Plane::from_vec(ppa_machine::Dim::new(rows, cols), v))
+}
+
+// The first property runs one full bit-serial scan step sequence (enable,
+// bit extraction, vote, wired-OR, knockout, head resolution) on both
+// backends and asserts every intermediate mask, every result, every error,
+// and the step report agree.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn scan_primitives_are_bit_identical(
+        // Non-square dims crossing the 64-bit word boundary are the
+        // interesting packing cases, so sizes run past 8x8.
+        args in (1usize..=9, 1usize..=11).prop_flat_map(|(r, c)| {
+            (Just((r, c)), value_plane(r, c), bool_plane(r, c), bool_plane(r, c))
+        }),
+        dir in direction(),
+        j in 0u32..10,
+        keep_low in any::<bool>(),
+    ) {
+        let ((rows, cols), src, open, sel) = args;
+        let mut s = Machine::<ScalarBackend>::new(rows, cols);
+        let mut p = Machine::new_packed(rows, cols);
+
+        let l_s = s.pack_mask(&open).unwrap();
+        let l_p = p.pack_mask(&open).unwrap();
+
+        let en_s = s.load_mask(&sel).unwrap();
+        let en_p = p.load_mask(&sel).unwrap();
+        prop_assert_eq!(s.unpack_mask(&en_s), p.unpack_mask(&en_p));
+
+        let bit_s = s.mask_bit(&src, j).unwrap();
+        let bit_p = p.mask_bit(&src, j).unwrap();
+        prop_assert_eq!(s.unpack_mask(&bit_s), p.unpack_mask(&bit_p));
+
+        let votes_s = s.mask_vote(&en_s, &bit_s, keep_low);
+        let votes_p = p.mask_vote(&en_p, &bit_p, keep_low);
+        prop_assert_eq!(s.unpack_mask(&votes_s), p.unpack_mask(&votes_p));
+
+        let present_s = s.mask_bus_or(&votes_s, dir, &l_s).unwrap();
+        let present_p = p.mask_bus_or(&votes_p, dir, &l_p).unwrap();
+        prop_assert_eq!(s.unpack_mask(&present_s), p.unpack_mask(&present_p));
+
+        let out_s = s.mask_knockout(&en_s, &present_s, &bit_s, keep_low);
+        let out_p = p.mask_knockout(&en_p, &present_p, &bit_p, keep_low);
+        prop_assert_eq!(s.unpack_mask(&out_s), p.unpack_mask(&out_p));
+        prop_assert_eq!(s.mask_count(&out_s), p.mask_count(&out_p));
+
+        // Head resolution: the Open mask may leave lines driverless, so
+        // errors must agree exactly too.
+        let head_s = s.broadcast_open(&src, dir, &out_s);
+        let head_p = p.broadcast_open(&src, dir, &out_p);
+        match (head_s, head_p) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a, b),
+        }
+
+        // Identical instruction streams must cost identical step reports.
+        prop_assert_eq!(s.controller().report(), p.controller().report());
+    }
+
+    #[test]
+    fn plane_level_bus_ops_are_bit_identical(
+        args in (2usize..=9, 2usize..=9).prop_flat_map(|(r, c)| {
+            (Just((r, c)), value_plane(r, c), bool_plane(r, c), bool_plane(r, c))
+        }),
+        dir in direction(),
+    ) {
+        let ((rows, cols), src, open, vals) = args;
+        let mut s = Machine::<ScalarBackend>::new(rows, cols);
+        let mut p = Machine::new_packed(rows, cols);
+
+        match (s.broadcast(&src, dir, &open), p.broadcast(&src, dir, &open)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a, b),
+        }
+        let or_s = s.bus_or(&vals, dir, &open).unwrap();
+        let or_p = p.bus_or(&vals, dir, &open).unwrap();
+        prop_assert_eq!(or_s, or_p);
+
+        let sh_s = s.shift(&src, dir, -1).unwrap();
+        let sh_p = p.shift(&src, dir, -1).unwrap();
+        prop_assert_eq!(sh_s, sh_p);
+        let shw_s = s.shift_wrapping(&src, dir).unwrap();
+        let shw_p = p.shift_wrapping(&src, dir).unwrap();
+        prop_assert_eq!(shw_s, shw_p);
+
+        prop_assert_eq!(s.global_or(&vals).unwrap(), p.global_or(&vals).unwrap());
+        prop_assert_eq!(s.controller().report(), p.controller().report());
+    }
+
+    #[test]
+    fn fault_injection_bites_identically(
+        args in (3usize..=8).prop_flat_map(|n| {
+            (Just(n), value_plane(n, n), bool_plane(n, n), bool_plane(n, n))
+        }),
+        dir in direction(),
+        k in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let (n, src, open, vals) = args;
+        let mut s = Machine::<ScalarBackend>::new(n, n);
+        let mut p = Machine::new_packed(n, n);
+        let fm = FaultMap::random(s.dim(), k, seed);
+        s.attach_faults(fm.clone());
+        p.attach_faults(fm);
+        // Same per-transfer glitch probability, same RNG seed: the two
+        // machines must sample the same transient sequence because the
+        // backends issue the same bus instructions in the same order.
+        s.attach_transient_faults(TransientFaults::new(0.2, seed ^ 0xdead));
+        p.attach_transient_faults(TransientFaults::new(0.2, seed ^ 0xdead));
+
+        for round in 0..3 {
+            let d = if round % 2 == 0 { dir } else { dir.opposite() };
+            match (s.broadcast(&src, d, &open), p.broadcast(&src, d, &open)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a, b),
+            }
+            let or_s = s.bus_or(&vals, d, &open).unwrap();
+            let or_p = p.bus_or(&vals, d, &open).unwrap();
+            prop_assert_eq!(or_s, or_p);
+
+            // The masked path routes through the same fault model.
+            let lm_s = s.pack_mask(&open).unwrap();
+            let lm_p = p.pack_mask(&open).unwrap();
+            let vm_s = s.load_mask(&vals).unwrap();
+            let vm_p = p.load_mask(&vals).unwrap();
+            let mo_s = s.mask_bus_or(&vm_s, d, &lm_s).unwrap();
+            let mo_p = p.mask_bus_or(&vm_p, d, &lm_p).unwrap();
+            prop_assert_eq!(s.unpack_mask(&mo_s), p.unpack_mask(&mo_p));
+        }
+        prop_assert_eq!(s.controller().report(), p.controller().report());
+    }
+}

@@ -26,12 +26,14 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
+pub mod sampling;
 pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, Metrics};
 pub use profile::{EngineProfile, PhaseWall, WallProfile};
 pub use recorder::Recorder;
+pub use sampling::OccupancySampling;
 pub use trace::{
     validate_chrome_trace, ChromeTraceSink, Event, JsonLinesSink, MemorySink, TraceRecord,
     TraceSink,

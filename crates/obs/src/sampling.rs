@@ -1,0 +1,67 @@
+//! Sampling policy for per-instruction activity statistics.
+//!
+//! When an observer (trace sink or metrics registry) is attached, the
+//! machine annotates every bus/mask instruction with its mask occupancy
+//! (fraction of active PEs) and bus cluster count. Computing those numbers
+//! is host-side work the simulated machine never performs — an `O(n^2)`
+//! scan per instruction — so observed runs pay a wall-clock tax that pure
+//! step counting does not. [`OccupancySampling`] makes that tax
+//! configurable without changing any step counter: the policy gates only
+//! the *statistics annotations*, never the step accounting itself.
+
+/// How often an observed run computes per-instruction occupancy/cluster
+/// statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OccupancySampling {
+    /// Never compute activity statistics (cheapest observed runs; the
+    /// per-class step counters are unaffected).
+    Off,
+    /// Compute activity statistics on every `k`-th eligible instruction.
+    /// `Sampled(1)` behaves like [`OccupancySampling::EveryStep`];
+    /// `Sampled(0)` behaves like [`OccupancySampling::Off`].
+    Sampled(u32),
+    /// Compute activity statistics on every eligible instruction (the
+    /// default, and the historical behavior).
+    #[default]
+    EveryStep,
+}
+
+impl OccupancySampling {
+    /// Whether the `tick`-th eligible instruction (0-based) samples.
+    pub fn samples_at(self, tick: u64) -> bool {
+        match self {
+            OccupancySampling::Off => false,
+            OccupancySampling::Sampled(0) => false,
+            OccupancySampling::Sampled(k) => tick % u64::from(k) == 0,
+            OccupancySampling::EveryStep => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_step_always_samples() {
+        for t in 0..10 {
+            assert!(OccupancySampling::EveryStep.samples_at(t));
+        }
+    }
+
+    #[test]
+    fn off_never_samples() {
+        for t in 0..10 {
+            assert!(!OccupancySampling::Off.samples_at(t));
+        }
+    }
+
+    #[test]
+    fn sampled_hits_every_kth() {
+        let s = OccupancySampling::Sampled(3);
+        let hits: Vec<bool> = (0..7).map(|t| s.samples_at(t)).collect();
+        assert_eq!(hits, vec![true, false, false, true, false, false, true]);
+        assert!(!OccupancySampling::Sampled(0).samples_at(0));
+        assert!(OccupancySampling::Sampled(1).samples_at(5));
+    }
+}

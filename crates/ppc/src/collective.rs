@@ -20,9 +20,9 @@
 
 use crate::ppa::{Parallel, Ppa};
 use crate::Result;
-use ppa_machine::{Axis, Direction};
+use ppa_machine::{Axis, Direction, Executor};
 
-impl Ppa {
+impl<E: Executor> Ppa<E> {
     /// Per-cluster leader election: every node receives the index (along
     /// the movement axis) of the *first* selected node of its cluster in
     /// ascending index order.

@@ -22,7 +22,7 @@
 use crate::error::PpcError;
 use crate::ppa::{Parallel, Ppa};
 use crate::Result;
-use ppa_machine::{bus, Direction, Op, Plane};
+use ppa_machine::{bus, Direction, Executor, Op, Plane};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Extreme {
@@ -30,7 +30,7 @@ enum Extreme {
     Max,
 }
 
-impl Ppa {
+impl<E: Executor> Ppa<E> {
     /// The paper's `min(src, orientation, L)`: every PE receives the
     /// minimum of `src` over the bus cluster it belongs to (clusters
     /// defined by the Open mask `l` for movement direction `dir`).
@@ -98,7 +98,7 @@ impl Ppa {
             let machine = self.machine();
             let covered =
                 bus::bus_or(machine.mode(), machine.dim(), sel, dir, l).map_err(PpcError::from)?;
-            if !covered.all_free() {
+            if !covered.all() {
                 return Err(PpcError::EmptySelection);
             }
         }
@@ -117,10 +117,17 @@ impl Ppa {
             self.enter_span(name);
         }
 
+        // The switch pattern is loop-invariant: pack it once (a register
+        // view, uncosted) so every bus instruction of the scan can reuse
+        // the backend's cached cluster plan for it.
+        let l_mask = self.machine_mut().pack_mask(l)?;
+        // `keep_low` selects the Min voting/knockout rules in the backend.
+        let keep_low = which == Extreme::Min;
+
         // Statement 7: `parallel logical enable = 1;` (or the selection).
-        let mut enable: Parallel<bool> = match sel {
-            None => self.constant(true),
-            Some(s) => self.machine_mut().map(s, |&b| b)?,
+        let mut enable = match sel {
+            None => self.machine_mut().mask_imm(true),
+            Some(s) => self.machine_mut().load_mask(s)?,
         };
 
         // Statements 8-10: the most-significant-first bit scan.
@@ -129,25 +136,15 @@ impl Ppa {
             if observed {
                 self.enter_span(&format!("bit[{j}]"));
             }
-            let bitj = self.bit(src, j)?;
+            let bitj = self.machine_mut().mask_bit(src, j)?;
             // A candidate "votes" if it is enabled and could win this bit:
             // for min, a 0 at position j beats any 1; for max, vice versa.
-            let votes = match which {
-                Extreme::Min => self.machine_mut().zip(&enable, &bitj, |&e, &b| e && !b)?,
-                Extreme::Max => self.machine_mut().zip(&enable, &bitj, |&e, &b| e && b)?,
-            };
-            let present = self.bus_or(&votes, dir, l)?;
+            let votes = self.machine_mut().mask_vote(&enable, &bitj, keep_low);
+            let present = self.machine_mut().mask_bus_or(&votes, dir, &l_mask)?;
             // Statements 9-10: knock out every candidate beaten at bit j.
-            enable = match which {
-                Extreme::Min => {
-                    self.machine_mut()
-                        .zip3(&enable, &present, &bitj, |&e, &p, &b| e && !(p && b))?
-                }
-                Extreme::Max => {
-                    self.machine_mut()
-                        .zip3(&enable, &present, &bitj, |&e, &p, &b| e && (!p || b))?
-                }
-            };
+            enable = self
+                .machine_mut()
+                .mask_knockout(&enable, &present, &bitj, keep_low);
             if observed {
                 self.exit_span();
             }
@@ -158,7 +155,9 @@ impl Ppa {
         if observed {
             self.enter_span("resolve");
         }
-        let to_head = self.broadcast(src, dir.opposite(), &enable)?;
+        let to_head = self
+            .machine_mut()
+            .broadcast_open(src, dir.opposite(), &enable)?;
         let mut staged = src.clone();
         self.machine_mut().assign_masked(&mut staged, &to_head, l)?;
 

@@ -12,8 +12,9 @@
 
 use crate::ppa::{Parallel, Ppa};
 use crate::Result;
+use ppa_machine::Executor;
 
-impl Ppa {
+impl<E: Executor> Ppa<E> {
     /// Elementwise wrapping addition (one step). Prefer [`Ppa::sat_add`]
     /// for path costs.
     pub fn add(&mut self, a: &Parallel<i64>, b: &Parallel<i64>) -> Result<Parallel<i64>> {

@@ -3,7 +3,10 @@
 
 use crate::error::PpcError;
 use crate::Result;
-use ppa_machine::{Dim, Direction, ExecMode, Machine, Plane, StepReport};
+use ppa_machine::{
+    Dim, Direction, ExecMode, ExecStats, Executor, Machine, OccupancySampling, PackedBackend,
+    Plane, ScalarBackend, StepReport,
+};
 
 /// A PPC `parallel` variable: one value per PE.
 ///
@@ -22,8 +25,8 @@ pub type Parallel<T> = Plane<T>;
 /// active under the current mask, matching the semantics of the paper's
 /// `where (expression) <group1>; elsewhere <group2>;` construct.
 #[derive(Debug, Clone)]
-pub struct Ppa {
-    machine: Machine,
+pub struct Ppa<E: Executor = ScalarBackend> {
+    machine: Machine<E>,
     /// Stack of effective (pre-ANDed) activity masks; empty = all active.
     masks: Vec<Plane<bool>>,
     word_bits: u32,
@@ -33,24 +36,42 @@ pub struct Ppa {
 /// experiment suite while keeping the bit-serial routines honest.
 pub const DEFAULT_WORD_BITS: u32 = 16;
 
-impl Ppa {
+impl Ppa<ScalarBackend> {
     /// Creates a square `n x n` PPC runtime with the default word width.
     pub fn square(n: usize) -> Self {
         Ppa::from_machine(Machine::square(n))
     }
 
+    /// Creates a square runtime with a host execution mode.
+    pub fn square_with_mode(n: usize, mode: ExecMode) -> Self {
+        Ppa::from_machine(Machine::with_mode(Dim::square(n), mode))
+    }
+}
+
+impl Ppa<PackedBackend> {
+    /// Creates a square `n x n` runtime on the packed bit-plane backend.
+    pub fn packed(n: usize) -> Self {
+        Ppa::from_machine(Machine::packed_square(n))
+    }
+
+    /// Creates a packed-backend runtime with a host execution mode.
+    pub fn packed_with_mode(n: usize, mode: ExecMode) -> Self {
+        Ppa::from_machine(Machine::with_backend(
+            Dim::square(n),
+            mode,
+            PackedBackend::new(),
+        ))
+    }
+}
+
+impl<E: Executor> Ppa<E> {
     /// Creates a runtime on an explicit machine.
-    pub fn from_machine(machine: Machine) -> Self {
+    pub fn from_machine(machine: Machine<E>) -> Self {
         Ppa {
             machine,
             masks: Vec::new(),
             word_bits: DEFAULT_WORD_BITS,
         }
-    }
-
-    /// Creates a square runtime with a host execution mode.
-    pub fn square_with_mode(n: usize, mode: ExecMode) -> Self {
-        Ppa::from_machine(Machine::with_mode(Dim::square(n), mode))
     }
 
     /// Sets the machine integer width `h` (bits scanned by `min`).
@@ -98,14 +119,28 @@ impl Ppa {
     }
 
     /// Borrow the underlying machine.
-    pub fn machine(&self) -> &Machine {
+    pub fn machine(&self) -> &Machine<E> {
         &self.machine
     }
 
     /// Mutably borrow the underlying machine (advanced use: tracing,
     /// issuing raw instructions).
-    pub fn machine_mut(&mut self) -> &mut Machine {
+    pub fn machine_mut(&mut self) -> &mut Machine<E> {
         &mut self.machine
+    }
+
+    /// The execution backend's resource counters (plan-cache hits, arena
+    /// recycling; all zero on the scalar backend).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.machine.exec_stats()
+    }
+
+    /// Sets how often observed instructions compute activity statistics
+    /// (mask occupancy / bus clusters). Step counters are unaffected.
+    pub fn set_occupancy_sampling(&mut self, sampling: OccupancySampling) {
+        self.machine
+            .controller_mut()
+            .set_occupancy_sampling(sampling);
     }
 
     /// Snapshot of the controller's step tallies.
@@ -196,7 +231,7 @@ impl Ppa {
     pub fn where_<R>(
         &mut self,
         cond: &Parallel<bool>,
-        body: impl FnOnce(&mut Ppa) -> R,
+        body: impl FnOnce(&mut Ppa<E>) -> R,
     ) -> Result<R> {
         self.push_mask(cond)?;
         let r = body(self);
@@ -210,8 +245,8 @@ impl Ppa {
     pub fn where_else<R, S>(
         &mut self,
         cond: &Parallel<bool>,
-        then_body: impl FnOnce(&mut Ppa) -> R,
-        else_body: impl FnOnce(&mut Ppa) -> S,
+        then_body: impl FnOnce(&mut Ppa<E>) -> R,
+        else_body: impl FnOnce(&mut Ppa<E>) -> S,
     ) -> Result<(R, S)> {
         self.push_mask(cond)?;
         let r = then_body(self);

@@ -1,0 +1,144 @@
+//! Differential suite at the PPC level: the bit-serial `min` /
+//! `selected_min` / `max` / `selected_max` collectives must produce the
+//! same results, the same errors, and the same step reports on
+//! [`PackedBackend`] as on the scalar backend, over arbitrary switch
+//! patterns, selections, and word widths.
+
+use ppa_machine::{Dim, Direction, PackedBackend};
+use ppa_ppc::{Parallel, Ppa};
+use proptest::prelude::*;
+
+fn direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::North),
+        Just(Direction::East),
+        Just(Direction::South),
+        Just(Direction::West),
+    ]
+}
+
+/// Ensures every line has at least one Open node so the collectives never
+/// trip the all-lines-driven guardrail (that error path is exercised
+/// separately below).
+fn force_driver(dim: Dim, dir: Direction, open: &mut Parallel<bool>) {
+    let axis = dir.axis();
+    for line in 0..dim.lines(axis) {
+        let mut any = false;
+        for pos in 0..dim.line_len(axis) {
+            let idx = dim.line_index(dir, line, pos);
+            if open.as_slice()[idx] {
+                any = true;
+                break;
+            }
+        }
+        if !any {
+            let idx = dim.line_index(dir, line, 0);
+            open.as_mut_slice()[idx] = true;
+        }
+    }
+}
+
+fn pair(n: usize, h: u32) -> (Ppa, Ppa<PackedBackend>) {
+    (
+        Ppa::square(n).with_word_bits(h),
+        Ppa::<PackedBackend>::packed(n).with_word_bits(h),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn min_and_max_match_scalar(
+        args in (3usize..=7).prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(0i64..=255, n * n),
+                proptest::collection::vec(any::<bool>(), n * n),
+            )
+        }),
+        dir in direction(),
+        h in 4u32..=12,
+    ) {
+        let (n, vals, mask) = args;
+        let dim = Dim::square(n);
+        let (mut s, mut p) = pair(n, h);
+        // Clamp the values into the h-bit range the scan assumes.
+        let cap = (1i64 << h) - 1;
+        let vals: Vec<i64> = vals.into_iter().map(|v| v.min(cap)).collect();
+        let src = Parallel::from_vec(dim, vals);
+        let mut open = Parallel::from_vec(dim, mask);
+        force_driver(dim, dir, &mut open);
+
+        let min_s = s.min(&src, dir, &open).unwrap();
+        let min_p = p.min(&src, dir, &open).unwrap();
+        prop_assert_eq!(&min_s, &min_p);
+
+        let max_s = s.max(&src, dir, &open).unwrap();
+        let max_p = p.max(&src, dir, &open).unwrap();
+        prop_assert_eq!(&max_s, &max_p);
+
+        // 2 x (4h + 4) steps on both machines, class by class.
+        prop_assert_eq!(s.steps(), p.steps());
+    }
+
+    #[test]
+    fn selected_extremes_match_scalar_including_errors(
+        args in (3usize..=6).prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(0i64..=63, n * n),
+                proptest::collection::vec(any::<bool>(), n * n),
+                proptest::collection::vec(any::<bool>(), n * n),
+            )
+        }),
+        dir in direction(),
+        keep_low in any::<bool>(),
+    ) {
+        let (n, vals, mask, sel_bits) = args;
+        let dim = Dim::square(n);
+        let (mut s, mut p) = pair(n, 6);
+        let src = Parallel::from_vec(dim, vals);
+        let mut open = Parallel::from_vec(dim, mask);
+        force_driver(dim, dir, &mut open);
+        // The selection is NOT repaired: clusters whose selection is empty
+        // must raise EmptySelection identically on both backends.
+        let sel = Parallel::from_vec(dim, sel_bits);
+
+        let (got_s, got_p) = if keep_low {
+            (s.selected_min(&src, dir, &open, &sel), p.selected_min(&src, dir, &open, &sel))
+        } else {
+            (s.selected_max(&src, dir, &open, &sel), p.selected_max(&src, dir, &open, &sel))
+        };
+        match (got_s, got_p) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a, b),
+        }
+        prop_assert_eq!(s.steps(), p.steps());
+    }
+
+    #[test]
+    fn min_word_matches_scalar(
+        args in (3usize..=6).prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(0i64..=100, n * n),
+                proptest::collection::vec(any::<bool>(), n * n),
+            )
+        }),
+        dir in direction(),
+    ) {
+        let (n, vals, mask) = args;
+        let dim = Dim::square(n);
+        let (mut s, mut p) = pair(n, 8);
+        let src = Parallel::from_vec(dim, vals);
+        let mut open = Parallel::from_vec(dim, mask);
+        force_driver(dim, dir, &mut open);
+
+        let a = s.min_word(&src, dir, &open).unwrap();
+        let b = p.min_word(&src, dir, &open).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(s.steps(), p.steps());
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration checks for the pluggable-backend acceptance criteria:
+//! the packed backend solves MCP bit-identically to the scalar backend
+//! (outputs *and* step counters), sessions match the one-shot drivers,
+//! and a session reuses its plan cache and mask arena across
+//! destinations instead of re-allocating.
+
+use ppa_graph::gen;
+use ppa_machine::PackedBackend;
+use ppa_mcp::{apsp, mcp::minimum_cost_path, McpSession};
+use ppa_ppc::Ppa;
+
+#[test]
+fn packed_mcp_matches_scalar_mcp_exactly() {
+    for (n, seed) in [(8usize, 1u64), (12, 7), (16, 42)] {
+        let w = gen::random_connected(n, 0.3, 20, seed);
+        let h = ppa_mcp::mcp::fit_word_bits(&w).clamp(2, 62);
+
+        let mut scalar = Ppa::square(n).with_word_bits(h);
+        let mut packed = Ppa::<PackedBackend>::packed(n).with_word_bits(h);
+        let a = minimum_cost_path(&mut scalar, &w, 0).unwrap();
+        let b = minimum_cost_path(&mut packed, &w, 0).unwrap();
+
+        assert_eq!(a.sow, b.sow, "n={n} seed={seed}");
+        assert_eq!(a.ptn, b.ptn, "n={n} seed={seed}");
+        assert_eq!(a.iterations, b.iterations, "n={n} seed={seed}");
+        // The acceptance bar: identical instruction streams, class by
+        // class, not just identical answers.
+        assert_eq!(scalar.steps(), packed.steps(), "n={n} seed={seed}");
+    }
+}
+
+#[test]
+fn packed_session_all_pairs_matches_scalar_apsp_driver() {
+    let w = gen::random_connected(10, 0.3, 15, 9);
+    let mut session = McpSession::new_packed(&w).unwrap();
+    let by_session = session.all_pairs().unwrap();
+
+    let mut ppa = Ppa::square(10).with_word_bits(session.ppa().word_bits());
+    let by_driver = apsp::all_pairs(&mut ppa, &w).unwrap();
+
+    assert_eq!(by_session.matrix(), by_driver.matrix());
+    assert_eq!(by_session.total_iterations(), by_driver.total_iterations());
+}
+
+#[test]
+fn session_reuses_planes_and_plans_across_destinations() {
+    let n = 12;
+    let w = gen::random_connected(n, 0.25, 18, 17);
+    let ppa = Ppa::<PackedBackend>::packed(n).with_word_bits(16);
+    let mut session = McpSession::from_ppa(ppa, &w).unwrap();
+
+    session.solve(0).unwrap();
+    let warm = session.exec_stats();
+    assert!(warm.arena_fresh > 0, "first solve must populate the arena");
+
+    for d in 1..n {
+        session.solve(d).unwrap();
+    }
+    let done = session.exec_stats();
+    assert_eq!(
+        done.arena_fresh, warm.arena_fresh,
+        "destinations after the first must not allocate new planes"
+    );
+    assert!(done.arena_reused > warm.arena_reused);
+    assert!(
+        done.plan_hit_rate() > 0.9,
+        "bus-plan cache should be warm across destinations: {done:?}"
+    );
+}
