@@ -6,6 +6,7 @@
 //! cargo run -p ppa-bench --bin report --release -- t4 a2
 //! cargo run -p ppa-bench --bin report --release -- profile --trace-out target/experiments
 //! cargo run -p ppa-bench --bin report --release -- faults --seed 7
+//! cargo run -p ppa-bench --bin report --release -- serve --seed 7
 //! cargo run -p ppa-bench --bin report --release -- --list
 //! ```
 //!
@@ -20,7 +21,7 @@
 //! Experiment names are validated *before* anything runs: a typo exits
 //! with status 2 immediately instead of after minutes of computation.
 
-use ppa_bench::{all_experiments, faults_campaign, profile_run, Table};
+use ppa_bench::{all_experiments, faults_campaign, profile_run, serve_campaign, Table};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -137,6 +138,13 @@ fn main() {
         if name == "faults" {
             // The registered closure runs the default seed; honour --seed.
             let table = faults_campaign(seed);
+            let rendered = write_table(&out_dir, name, &table);
+            println!("{rendered}");
+            continue;
+        }
+        if name == "serve" {
+            // Same: the serving stress campaign honours --seed.
+            let table = serve_campaign(seed);
             let rendered = write_table(&out_dir, name, &table);
             println!("{rendered}");
             continue;

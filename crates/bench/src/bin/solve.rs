@@ -5,6 +5,8 @@
 //!                                [--backend scalar|packed]
 //!                                [--source] [--steps] [--paths]
 //!                                [--trace FILE] [--metrics FILE]
+//! solve <graph-file> --dest <d> --serve [--workers N] [--deadline-ms D]
+//!                                [--budget STEPS]
 //! solve --demo --dest 0 --problem shortest --steps
 //! ```
 //!
@@ -18,6 +20,13 @@
 //! execution backend: `scalar` (the reference) or `packed` (u64 bit-plane
 //! masks with bus-plan caching) — results and step counts are identical,
 //! only host wall-clock differs.
+//!
+//! `--serve` routes the job through the hardened [`ppa_serve`] service
+//! instead of solving inline: a worker pool with deadlines (cooperative
+//! cancellation), controller step budgets, retry-with-backoff, and a
+//! packed→scalar circuit breaker. Serve mode handles `shortest`,
+//! `widest`, and `apsp` (all destinations, with checkpointing); it
+//! prints the job report plus the service's `serve.*` counters.
 
 use ppa_graph::{gen, io, WeightMatrix, INF};
 use ppa_machine::{Executor, PackedBackend};
@@ -40,13 +49,18 @@ struct Options {
     show_paths: bool,
     trace_file: Option<String>,
     metrics_file: Option<String>,
+    serve: bool,
+    workers: usize,
+    deadline_ms: Option<u64>,
+    budget: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: solve <graph-file | --demo> --dest <d> \
          [--problem shortest|widest|hops|reach] [--backend scalar|packed] \
-         [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE]"
+         [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE] \
+         [--serve [--workers N] [--deadline-ms D] [--budget STEPS]]"
     );
     exit(2)
 }
@@ -63,6 +77,10 @@ fn parse_args() -> Options {
         show_paths: false,
         trace_file: None,
         metrics_file: None,
+        serve: false,
+        workers: 3,
+        deadline_ms: None,
+        budget: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,6 +97,19 @@ fn parse_args() -> Options {
             "--paths" => opts.show_paths = true,
             "--trace" => opts.trace_file = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics" => opts.metrics_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--serve" => opts.serve = true,
+            "--workers" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.workers = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--deadline-ms" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.deadline_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--budget" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_owned());
@@ -183,6 +214,10 @@ fn main() {
             usage()
         }
     };
+    if opts.serve {
+        run_serve(w, d, packed, &opts);
+        return;
+    }
     match opts.problem.as_str() {
         "shortest" => {
             let h = fit_word_bits(&w).clamp(2, 62);
@@ -228,6 +263,111 @@ fn main() {
             eprintln!("unknown problem `{other}`");
             usage()
         }
+    }
+}
+
+/// Serve-mode runner: one job through a [`ppa_serve::SolveService`]
+/// worker pool, then the job report and the service's own counters.
+fn run_serve(w: WeightMatrix, d: usize, packed: bool, opts: &Options) {
+    use ppa_serve::{ApspCheckpoint, JobKind, JobOutcome, JobSpec, ServeConfig, SolveService};
+    use std::time::Duration;
+
+    let kind = match opts.problem.as_str() {
+        "shortest" => JobKind::Shortest { dest: d },
+        "widest" => JobKind::Widest { dest: d },
+        "apsp" => JobKind::Apsp {
+            resume_from: None,
+            checkpoint_every: 1,
+        },
+        other => {
+            eprintln!("problem `{other}` is not served (serve mode handles shortest|widest|apsp)");
+            exit(2)
+        }
+    };
+    let svc = SolveService::start(ServeConfig {
+        workers: opts.workers.max(1),
+        prefer_packed: packed,
+        ..ServeConfig::default()
+    });
+    let mut spec = JobSpec::new(w.clone(), kind);
+    spec.deadline = opts.deadline_ms.map(Duration::from_millis);
+    spec.step_budget = opts.budget;
+    let report = svc
+        .submit(spec)
+        .unwrap_or_else(|e| {
+            eprintln!("submit failed: {e}");
+            exit(1)
+        })
+        .wait();
+    println!(
+        "job {}: {} attempt(s), backend {}, latency {:?}",
+        report.id,
+        report.attempts,
+        report
+            .backend
+            .map_or_else(|| "-".into(), |b| format!("{b:?}")),
+        report.latency
+    );
+    match report.outcome {
+        Ok(JobOutcome::Shortest(out)) => {
+            for i in 0..w.n() {
+                if out.sow[i] == INF {
+                    println!("  {i}: unreachable");
+                } else {
+                    println!("  {i}: cost {:5}  next {}", out.sow[i], out.ptn[i]);
+                }
+            }
+        }
+        Ok(JobOutcome::Widest(out)) => {
+            for i in 0..w.n() {
+                if i == d {
+                    continue;
+                }
+                if out.cap[i] == 0 {
+                    println!("  {i}: unreachable");
+                } else {
+                    println!("  {i}: capacity {:5}  next {}", out.cap[i], out.ptn[i]);
+                }
+            }
+        }
+        Ok(JobOutcome::Apsp(doc)) => match ApspCheckpoint::from_json(&doc) {
+            Ok(cp) => {
+                println!(
+                    "  all-pairs campaign complete: {} destinations",
+                    cp.completed().len()
+                );
+                for r in cp.completed() {
+                    let reachable = r.sow.iter().filter(|&&c| c != INF).count();
+                    println!(
+                        "  dest {:3}: {} reachable, {} iteration(s)",
+                        r.dest, reachable, r.iterations
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("malformed campaign document: {e}");
+                exit(1)
+            }
+        },
+        Err(e) => {
+            eprintln!("job failed: {e}");
+            let metrics = svc.shutdown();
+            print_serve_counters(&metrics);
+            exit(1)
+        }
+    }
+    let metrics = svc.shutdown();
+    print_serve_counters(&metrics);
+}
+
+fn print_serve_counters(metrics: &ppa_obs::Metrics) {
+    let mut counters: Vec<(&str, u64)> = metrics
+        .counters()
+        .filter(|(name, _)| name.starts_with("serve."))
+        .collect();
+    counters.sort();
+    for (name, value) in counters {
+        println!("  {name}: {value}");
     }
 }
 

@@ -939,6 +939,358 @@ pub fn faults_campaign(seed: u64) -> Table {
     t
 }
 
+/// SRV — the serving stress campaign: a seeded job mix (shortest /
+/// widest / all-pairs / chaos) across a deadline grid, step-budget grid,
+/// injected transient faults, and forced worker panics, pushed through a
+/// [`ppa_serve::SolveService`] pool.
+///
+/// Each scenario row reports throughput, p50/p99 latency (from the
+/// `serve.latency_us` histogram's [`quantile_bound`]
+/// [`ppa_obs::Histogram::quantile_bound`]), and the failure-class counts
+/// — and every count is **reconciled 1:1** against what the client
+/// observed on its tickets (`reconciled` column). Completed results are
+/// re-verified against the host-side references, so the summary notes
+/// carry the two invariants CI greps for: `lost_jobs: 0` (every accepted
+/// job produced exactly one report) and `silent_wrong: 0` (no completed
+/// job returned a refutable answer). A final kill+resume drill interrupts
+/// an all-pairs campaign with a step budget, tears the service down, and
+/// resumes the checkpoint on a fresh pool — the resumed document must be
+/// byte-identical to an uninterrupted run (`resume_byte_identical`).
+pub fn serve_campaign(seed: u64) -> Table {
+    use ppa_serve::{
+        ApspCheckpoint, JobKind, JobOutcome, JobSpec, JobTicket, RetryPolicy, ServeConfig,
+        ServeError, SolveService,
+    };
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Duration;
+
+    struct Scenario {
+        name: &'static str,
+        jobs: usize,
+        chaos_pct: u32,
+        fault_pct: u32,
+        fault_p: f64,
+        deadlines: Vec<Option<Duration>>,
+        budgets: Vec<Option<u64>>,
+    }
+    let scenarios = [
+        Scenario {
+            name: "clean mix",
+            jobs: 30,
+            chaos_pct: 0,
+            fault_pct: 0,
+            fault_p: 0.0,
+            deadlines: vec![None],
+            budgets: vec![None],
+        },
+        Scenario {
+            name: "deadline grid",
+            jobs: 30,
+            chaos_pct: 0,
+            fault_pct: 0,
+            fault_p: 0.0,
+            deadlines: vec![
+                None,
+                Some(Duration::from_millis(5)),
+                Some(Duration::from_micros(250)),
+            ],
+            budgets: vec![None],
+        },
+        Scenario {
+            name: "injected faults",
+            jobs: 30,
+            chaos_pct: 0,
+            fault_pct: 50,
+            fault_p: 0.01,
+            deadlines: vec![None],
+            budgets: vec![None],
+        },
+        Scenario {
+            name: "forced panics",
+            jobs: 30,
+            chaos_pct: 20,
+            fault_pct: 0,
+            fault_p: 0.0,
+            deadlines: vec![None],
+            budgets: vec![None],
+        },
+        Scenario {
+            name: "combined stress",
+            jobs: 40,
+            chaos_pct: 10,
+            fault_pct: 30,
+            fault_p: 0.01,
+            deadlines: vec![
+                None,
+                Some(Duration::from_millis(2)),
+                Some(Duration::from_micros(250)),
+            ],
+            budgets: vec![None, Some(150), Some(100_000)],
+        },
+    ];
+
+    let mut t = Table::new(
+        "serve",
+        format!(
+            "serving stress campaign (seed {seed}): 4 workers, queue 12, job mix x deadline grid \
+             x step budgets x transient faults x chaos panics; counts reconciled against serve.* metrics"
+        ),
+        vec![
+            "scenario".into(),
+            "jobs".into(),
+            "accepted".into(),
+            "rejected".into(),
+            "completed".into(),
+            "failed".into(),
+            "deadline miss".into(),
+            "budget out".into(),
+            "panics".into(),
+            "retries".into(),
+            "p50 us".into(),
+            "p99 us".into(),
+            "jobs/s".into(),
+            "reconciled".into(),
+        ],
+    );
+
+    let graphs: Vec<WeightMatrix> = (0..3)
+        .map(|i| {
+            gen::random_connected(
+                5 + 2 * i,
+                0.45,
+                9,
+                seed.wrapping_mul(13).wrapping_add(i as u64),
+            )
+        })
+        .collect();
+    let root_cause = |e: &ServeError| -> ServeError {
+        match e {
+            ServeError::Interrupted { cause, .. } => (**cause).clone(),
+            other => other.clone(),
+        }
+    };
+
+    let mut lost_jobs = 0u64;
+    let mut silent_wrong = 0u64;
+    for (si, sc) in scenarios.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(1_000_003).wrapping_add(si as u64));
+        let svc = SolveService::start(ServeConfig {
+            workers: 4,
+            queue_capacity: 12,
+            retry: RetryPolicy {
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(400),
+                ..RetryPolicy::default()
+            },
+            seed: seed ^ si as u64,
+            ..ServeConfig::default()
+        });
+        let start = Instant::now();
+        let mut pending: Vec<(JobSpec, JobTicket)> = Vec::new();
+        let mut rejected = 0u64;
+        for j in 0..sc.jobs {
+            let g = graphs[rng.gen_range(0..graphs.len())].clone();
+            let n = g.n();
+            let kind = if rng.gen_range(0..100u32) < sc.chaos_pct {
+                JobKind::Chaos
+            } else {
+                match rng.gen_range(0..10) {
+                    0 | 1 => JobKind::Widest {
+                        dest: rng.gen_range(0..n),
+                    },
+                    2 => JobKind::Apsp {
+                        resume_from: None,
+                        checkpoint_every: 2,
+                    },
+                    _ => JobKind::Shortest {
+                        dest: rng.gen_range(0..n),
+                    },
+                }
+            };
+            let mut spec = JobSpec::new(g, kind);
+            spec.deadline = sc.deadlines[j % sc.deadlines.len()];
+            spec.step_budget = sc.budgets[j % sc.budgets.len()];
+            if rng.gen_range(0..100u32) < sc.fault_pct {
+                spec.transient_faults = Some((sc.fault_p, seed.wrapping_add(j as u64)));
+            }
+            // Backpressure is part of the experiment: count every
+            // rejection, back off briefly, and shed the job after a few
+            // refusals (a well-behaved client under load-shedding).
+            let mut submitted = false;
+            for _ in 0..8 {
+                match svc.submit(spec.clone()) {
+                    Ok(ticket) => {
+                        pending.push((spec.clone(), ticket));
+                        submitted = true;
+                        break;
+                    }
+                    Err(ServeError::Rejected { .. }) => {
+                        rejected += 1;
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(other) => panic!("unexpected submit failure: {other}"),
+                }
+            }
+            let _ = submitted;
+        }
+        let accepted = pending.len() as u64;
+        let metrics = svc.shutdown();
+        let wall = start.elapsed();
+
+        let (mut completed, mut failed) = (0u64, 0u64);
+        let (mut dl_miss, mut budget_out, mut panics, mut retries) = (0u64, 0u64, 0u64, 0u64);
+        let mut reports = 0u64;
+        for (spec, ticket) in pending {
+            let report = ticket.wait();
+            reports += 1;
+            retries += u64::from(report.attempts.saturating_sub(1));
+            match &report.outcome {
+                Ok(out) => {
+                    completed += 1;
+                    if !serve_outcome_is_correct(&spec, out) {
+                        silent_wrong += 1;
+                    }
+                }
+                Err(e) => {
+                    failed += 1;
+                    match root_cause(e) {
+                        ServeError::DeadlineExceeded
+                        | ServeError::DeadlineExpiredInQueue { .. } => dl_miss += 1,
+                        ServeError::StepBudgetExhausted { .. } => budget_out += 1,
+                        ServeError::WorkerPanicked { .. } => panics += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        lost_jobs += accepted - reports;
+
+        let reconciled = metrics.counter("serve.accepted") == accepted
+            && metrics.counter("serve.rejected_queue_full") == rejected
+            && metrics.counter("serve.completed") == completed
+            && metrics.counter("serve.failed") == failed
+            && metrics.counter("serve.deadline_exceeded") == dl_miss
+            && metrics.counter("serve.budget_exhausted") == budget_out
+            && metrics.counter("serve.worker_panics") == panics
+            && metrics.counter("serve.retries") == retries;
+        let latency = metrics.histogram("serve.latency_us");
+        let quantile = |q: f64| -> String {
+            latency
+                .and_then(|h| h.quantile_bound(q))
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(vec![
+            sc.name.into(),
+            sc.jobs.to_string(),
+            accepted.to_string(),
+            rejected.to_string(),
+            completed.to_string(),
+            failed.to_string(),
+            dl_miss.to_string(),
+            budget_out.to_string(),
+            panics.to_string(),
+            retries.to_string(),
+            quantile(0.5),
+            quantile(0.99),
+            format!("{:.0}", reports as f64 / wall.as_secs_f64()),
+            if reconciled {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+
+    // Kill+resume drill: interrupt an all-pairs campaign with a step
+    // budget, tear the whole service down, resume on a fresh pool.
+    let w = gen::random_connected(7, 0.4, 9, seed.wrapping_add(101));
+    let apsp = |resume_from| JobKind::Apsp {
+        resume_from,
+        checkpoint_every: 1,
+    };
+    let svc = SolveService::start(ServeConfig::default());
+    let full = svc
+        .submit(JobSpec::new(w.clone(), apsp(None)))
+        .expect("reference campaign accepted")
+        .wait();
+    svc.shutdown();
+    let reference = match full.outcome {
+        Ok(JobOutcome::Apsp(doc)) => doc.to_string_compact(),
+        other => panic!("reference campaign must complete, got {other:?}"),
+    };
+    let mut session = ppa_mcp::McpSession::new(&w).expect("session builds");
+    session.ppa_mut().limit_steps(1_000_000);
+    session.all_pairs().expect("campaign solves");
+    let used = 1_000_000 - session.ppa_mut().steps_remaining().expect("budget armed");
+    let svc = SolveService::start(ServeConfig::default());
+    let mut partial = JobSpec::new(w.clone(), apsp(None));
+    partial.step_budget = Some(used / 2);
+    let interrupted = svc.submit(partial).expect("accepted").wait();
+    svc.shutdown();
+    let resume_identical = match interrupted.outcome {
+        Err(ServeError::Interrupted { checkpoint, .. }) => {
+            let progress = ApspCheckpoint::from_json(&checkpoint).expect("checkpoint parses");
+            let midway = progress.next_dest() > 0 && !progress.is_complete();
+            let svc = SolveService::start(ServeConfig::default());
+            let resumed = svc
+                .submit(JobSpec::new(w, apsp(Some(checkpoint))))
+                .expect("accepted")
+                .wait();
+            svc.shutdown();
+            midway
+                && matches!(
+                    &resumed.outcome,
+                    Ok(JobOutcome::Apsp(doc)) if doc.to_string_compact() == reference
+                )
+        }
+        _ => false,
+    };
+
+    t.note(format!(
+        "lost_jobs: {lost_jobs} (accepted jobs that never produced a report)"
+    ));
+    t.note(format!(
+        "silent_wrong: {silent_wrong} (completed jobs refuted by the host-side reference)"
+    ));
+    t.note(format!(
+        "resume_byte_identical: {resume_identical} (kill mid-campaign via step budget, resume \
+         checkpoint on a fresh service, compare to an uninterrupted run)"
+    ));
+    t.note("`reconciled` = every failure-class count observed on client tickets equals the");
+    t.note("corresponding serve.* metrics counter exactly; latency quantiles are log2-bucket");
+    t.note("upper bounds from the serve.latency_us histogram.");
+    t
+}
+
+/// Host-side refutation check for a completed serve job.
+fn serve_outcome_is_correct(spec: &ppa_serve::JobSpec, out: &ppa_serve::JobOutcome) -> bool {
+    use ppa_serve::{ApspCheckpoint, JobKind, JobOutcome};
+    match (&spec.kind, out) {
+        (JobKind::Shortest { dest }, JobOutcome::Shortest(o)) => {
+            validate::is_valid_solution(&spec.graph, *dest, &o.sow, &o.ptn)
+        }
+        (JobKind::Widest { dest }, JobOutcome::Widest(o)) => {
+            // cap[dest] is MAXINT on the array and Weight::MAX in the
+            // oracle; only the off-destination entries are comparable.
+            let oracle = ppa_mcp::widest::widest_path_oracle(&spec.graph, *dest);
+            (0..spec.graph.n()).all(|i| i == *dest || o.cap[i] == oracle[i])
+        }
+        (JobKind::Apsp { .. }, JobOutcome::Apsp(doc)) => {
+            let Ok(cp) = ApspCheckpoint::from_json(doc) else {
+                return false;
+            };
+            cp.is_complete()
+                && cp
+                    .completed()
+                    .iter()
+                    .all(|r| validate::is_valid_solution(&spec.graph, r.dest, &r.sow, &r.ptn))
+        }
+        _ => false,
+    }
+}
+
 /// Host-side check that a degraded result is exact for the induced
 /// healthy subgraph (excluded vertices report [`INF`]).
 fn degraded_matches_reference(w: &WeightMatrix, d: usize, r: &ppa_mcp::RecoveredMcp) -> bool {
@@ -988,6 +1340,8 @@ pub fn all_experiments() -> Vec<Experiment> {
         // The report binary intercepts this entry to honour `--seed`
         // (see `faults_campaign`); 7 is the documented default.
         ("faults", || faults_campaign(7)),
+        // Likewise intercepted for `--seed` (see `serve_campaign`).
+        ("serve", || serve_campaign(7)),
     ]
 }
 

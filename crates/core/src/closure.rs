@@ -44,7 +44,9 @@ pub fn reachability<E: Executor>(
             cols: dim.cols,
         });
     }
-    assert!(d < n, "destination {d} out of range");
+    if d >= n {
+        return Err(McpError::DestinationOutOfRange { d, n });
+    }
     let start = ppa.steps();
 
     let row = ppa.row_index();
@@ -125,7 +127,9 @@ pub fn hop_levels<E: Executor>(ppa: &mut Ppa<E>, w: &WeightMatrix, d: usize) -> 
             cols: dim.cols,
         });
     }
-    assert!(d < n, "destination {d} out of range");
+    if d >= n {
+        return Err(McpError::DestinationOutOfRange { d, n });
+    }
     let start = ppa.steps();
 
     let row = ppa.row_index();

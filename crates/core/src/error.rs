@@ -1,6 +1,7 @@
 //! Errors of the MCP algorithms.
 
-use ppa_machine::Coord;
+use ppa_graph::MatrixError;
+use ppa_machine::{Coord, MachineError};
 use ppa_ppc::PpcError;
 use std::fmt;
 
@@ -41,6 +42,18 @@ pub enum McpError {
         /// Which invariant tripped.
         invariant: &'static str,
     },
+    /// The destination index does not name a vertex of the graph.
+    DestinationOutOfRange {
+        /// The requested destination vertex.
+        d: usize,
+        /// Vertices in the graph.
+        n: usize,
+    },
+    /// The weight matrix was rejected at the solver boundary: a weight
+    /// overflows the machine's `h`-bit representation or an edge is
+    /// malformed (see [`MatrixError`]). Raised instead of a panic so
+    /// untrusted job payloads can never abort a serving worker.
+    InvalidWeights(MatrixError),
     /// The array is faulty and the recovery policy could not produce a
     /// verified result (self-test localization attached).
     FaultyArray {
@@ -69,6 +82,10 @@ impl fmt::Display for McpError {
             McpError::InvariantViolation { invariant } => {
                 write!(f, "result verification failed: {invariant}")
             }
+            McpError::DestinationOutOfRange { d, n } => {
+                write!(f, "destination {d} out of range for {n} vertices")
+            }
+            McpError::InvalidWeights(e) => write!(f, "invalid weight matrix: {e}"),
             McpError::FaultyArray { located } => {
                 if located.is_empty() {
                     write!(f, "faulty array: corruption detected but not localized")
@@ -91,6 +108,7 @@ impl std::error::Error for McpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             McpError::Ppc(e) => Some(e),
+            McpError::InvalidWeights(e) => Some(e),
             _ => None,
         }
     }
@@ -99,6 +117,53 @@ impl std::error::Error for McpError {
 impl From<PpcError> for McpError {
     fn from(e: PpcError) -> Self {
         McpError::Ppc(e)
+    }
+}
+
+impl From<MatrixError> for McpError {
+    fn from(e: MatrixError) -> Self {
+        McpError::InvalidWeights(e)
+    }
+}
+
+impl McpError {
+    /// Whether this failure is the machine's cooperative step budget
+    /// running out
+    /// ([`MachineError::StepBudgetExhausted`]) — a resource-limit
+    /// outcome, not a corruption signal: the partial work is simply
+    /// over budget and retrying without a bigger budget cannot succeed.
+    pub fn is_step_budget_exhausted(&self) -> bool {
+        matches!(
+            self,
+            McpError::Ppc(PpcError::Machine(MachineError::StepBudgetExhausted { .. }))
+        )
+    }
+
+    /// Whether this failure is a raised [`CancelToken`](ppa_machine::CancelToken)
+    /// ([`MachineError::Cancelled`]) — the supervisor asked the run to
+    /// stop (deadline, shutdown); not a corruption signal.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self,
+            McpError::Ppc(PpcError::Machine(MachineError::Cancelled))
+        )
+    }
+
+    /// Whether this failure indicates hardware corruption — values a
+    /// correct execution cannot produce, a dead bus line, an impossible
+    /// empty selection. These are the failures worth a self-test and a
+    /// retry ([`RecoveryPolicy`](crate::RecoveryPolicy) semantics): a
+    /// transient glitch clears on the next attempt, a permanent fault is
+    /// localized by BIST. Resource-limit and input-validation failures
+    /// are *not* corruption; retrying them cannot succeed.
+    pub fn indicates_corruption(&self) -> bool {
+        matches!(
+            self,
+            McpError::InvariantViolation { .. }
+                | McpError::NoConvergence { .. }
+                | McpError::Ppc(PpcError::Machine(MachineError::BusFault { .. }))
+                | McpError::Ppc(PpcError::EmptySelection)
+        )
     }
 }
 

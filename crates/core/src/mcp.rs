@@ -167,7 +167,7 @@ impl Prepared {
                                                 // realizes the prose's "minimum between its old value and the new
                                                 // sums" (fidelity note 2 in DESIGN.md); it also pins `SOW_dd` to 0 so
                                                 // one-edge paths keep their `j = d` witness in later iterations.
-        let mut w_vec = w.to_saturated_vec(maxint);
+        let mut w_vec = w.try_saturated_vec(maxint)?;
         for i in 0..n {
             w_vec[i * n + i] = 0;
         }
@@ -187,7 +187,9 @@ impl Prepared {
     /// Builds the destination masks for `d`.
     fn dest_masks<E: Executor>(&self, ppa: &mut Ppa<E>, d: usize) -> Result<DestMasks> {
         let n = self.n;
-        assert!(d < n, "destination {d} out of range for {n} vertices");
+        if d >= n {
+            return Err(McpError::DestinationOutOfRange { d, n });
+        }
         let d_imm = ppa.constant(d as i64);
         let row_is_d = ppa.eq(&self.row, &d_imm)?;
         let row_ne_d = ppa.not(&row_is_d)?;
@@ -454,7 +456,9 @@ fn mcp_run<E: Executor>(
             cols: dim.cols,
         });
     }
-    assert!(d < n, "destination {d} out of range for {n} vertices");
+    if d >= n {
+        return Err(McpError::DestinationOutOfRange { d, n });
+    }
     let required = fit_word_bits(w);
     if ppa.word_bits() < required {
         return Err(McpError::WordWidthTooSmall {
@@ -713,5 +717,59 @@ mod tests {
         let b = minimum_cost_path(&mut ppa, &w, 0).unwrap();
         assert_eq!(a.stats.total, b.stats.total);
         assert_eq!(a.sow, b.sow);
+    }
+
+    #[test]
+    fn out_of_range_destination_is_a_typed_error() {
+        let w = gen::ring(4);
+        let mut ppa = Ppa::square(4).with_word_bits(8);
+        // Both the one-shot entry point and the session path reject it.
+        assert!(matches!(
+            minimum_cost_path(&mut ppa, &w, 4),
+            Err(McpError::DestinationOutOfRange { d: 4, n: 4 })
+        ));
+        let mut session = crate::McpSession::new(&w).unwrap();
+        assert!(matches!(
+            session.solve(9),
+            Err(McpError::DestinationOutOfRange { d: 9, n: 4 })
+        ));
+        // The session stays usable after the rejection.
+        assert!(session.solve(1).is_ok());
+    }
+
+    #[test]
+    fn weight_boundary_at_machine_maxint() {
+        // On an h-bit machine MAXINT = 2^h - 1 is the "infinite" sentinel.
+        // A weight of MAXINT - 1 (with n = 2, so the worst path cost
+        // equals the edge weight) is the largest solvable input...
+        let h = 6u32;
+        let maxint = (1i64 << h) - 1;
+        let fits = WeightMatrix::from_edges(2, &[(0, 1, maxint - 1)]);
+        let mut ppa = Ppa::square(2).with_word_bits(h);
+        let out = minimum_cost_path(&mut ppa, &fits, 1).unwrap();
+        assert_eq!(out.sow, vec![maxint - 1, 0]);
+        // ...while a weight equal to MAXINT would collide with the
+        // sentinel and is rejected with a typed error, not a panic or a
+        // silent wraparound.
+        let collides = WeightMatrix::from_edges(2, &[(0, 1, maxint)]);
+        let mut ppa = Ppa::square(2).with_word_bits(h);
+        assert!(matches!(
+            minimum_cost_path(&mut ppa, &collides, 1),
+            Err(McpError::WordWidthTooSmall { required, actual })
+                if required == h + 1 && actual == h
+        ));
+    }
+
+    #[test]
+    fn solver_under_step_budget_fails_typed_with_counters_intact() {
+        let w = gen::ring(5);
+        let mut ppa = Ppa::square(5).with_word_bits(8);
+        ppa.limit_steps(20);
+        let err = minimum_cost_path(&mut ppa, &w, 0).unwrap_err();
+        assert!(err.is_step_budget_exhausted(), "{err}");
+        assert_eq!(ppa.steps().total(), 20, "stopped exactly at the budget");
+        ppa.clear_step_limit();
+        let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+        assert!(out.iterations > 0, "machine recovers once the limit lifts");
     }
 }

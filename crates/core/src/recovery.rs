@@ -31,8 +31,8 @@ use crate::error::McpError;
 use crate::mcp::{minimum_cost_path_verified, McpOutput};
 use crate::Result;
 use ppa_graph::{Weight, WeightMatrix, INF};
-use ppa_machine::{Coord, MachineError, StepReport};
-use ppa_ppc::{Ppa, PpcError};
+use ppa_machine::{Coord, StepReport};
+use ppa_ppc::Ppa;
 
 /// What the solver does when a run fails verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,14 +104,8 @@ pub struct RecoveredMcp {
 /// Whether an error means "the hardware corrupted this run" (worth a
 /// self-test) rather than a caller mistake (worth propagating).
 fn is_corruption(e: &McpError) -> bool {
-    match e {
-        McpError::InvariantViolation { .. } | McpError::NoConvergence { .. } => true,
-        // A dead bus line or an impossible empty selection can only come
-        // from switch boxes disobeying the controller.
-        McpError::Ppc(PpcError::Machine(MachineError::BusFault { .. }))
-        | McpError::Ppc(PpcError::EmptySelection) => true,
-        _ => false,
-    }
+    // Shared with the serving layer's retry classification.
+    e.indicates_corruption()
 }
 
 /// Runs [`minimum_cost_path_verified`] under a [`RecoveryPolicy`].
@@ -293,12 +287,32 @@ mod tests {
     use ppa_graph::gen;
     use ppa_graph::reference::bellman_ford_to_dest;
     use ppa_graph::validate::is_valid_solution;
-    use ppa_machine::{FaultMap, SwitchFault, TransientFaults};
+    use ppa_machine::{FaultMap, MachineError, SwitchFault, TransientFaults};
+    use ppa_ppc::PpcError;
 
     fn ring_ppa(n: usize) -> (Ppa, WeightMatrix) {
         let w = gen::ring(n);
         let ppa = Ppa::square(n).with_word_bits(10);
         (ppa, w)
+    }
+
+    #[test]
+    fn budget_and_cancel_outcomes_are_not_corruption() {
+        // A spent budget or a raised cancel token is a supervisor
+        // decision: retrying or degrading cannot help, and treating it as
+        // hardware corruption would burn self-tests for nothing.
+        let budget = McpError::Ppc(PpcError::Machine(MachineError::StepBudgetExhausted {
+            budget: 5,
+        }));
+        let cancelled = McpError::Ppc(PpcError::Machine(MachineError::Cancelled));
+        assert!(!is_corruption(&budget));
+        assert!(!is_corruption(&cancelled));
+        assert!(budget.is_step_budget_exhausted());
+        assert!(cancelled.is_cancelled());
+        assert!(!budget.is_cancelled());
+        assert!(!cancelled.is_step_budget_exhausted());
+        // The corruption classification itself is unchanged.
+        assert!(is_corruption(&McpError::NoConvergence { rounds: 3 }));
     }
 
     #[test]

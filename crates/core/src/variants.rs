@@ -83,7 +83,9 @@ pub fn minimum_cost_path_variant(
             cols: dim.cols,
         });
     }
-    assert!(d < n, "destination {d} out of range");
+    if d >= n {
+        return Err(McpError::DestinationOutOfRange { d, n });
+    }
     let required = fit_word_bits(w);
     if ppa.word_bits() < required {
         return Err(McpError::WordWidthTooSmall {
@@ -105,7 +107,7 @@ pub fn minimum_cost_path_variant(
     let diag = ppa.eq(&row, &col)?;
     let last_col = ppa.eq(&col, &nm1_imm)?;
 
-    let mut w_vec = w.to_saturated_vec(maxint);
+    let mut w_vec = w.try_saturated_vec(maxint)?;
     for i in 0..n {
         w_vec[i * n + i] = 0;
     }

@@ -97,7 +97,9 @@ pub fn widest_path<E: Executor>(
             cols: dim.cols,
         });
     }
-    assert!(d < n, "destination {d} out of range");
+    if d >= n {
+        return Err(McpError::DestinationOutOfRange { d, n });
+    }
     let maxint = ppa.maxint();
     let max_cap = w.max_finite_weight().unwrap_or(0);
     if max_cap >= maxint || (n as i64 - 1) >= maxint {

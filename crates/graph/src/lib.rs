@@ -33,4 +33,4 @@ pub mod matrix;
 pub mod reference;
 pub mod validate;
 
-pub use matrix::{Weight, WeightMatrix, INF};
+pub use matrix::{MatrixError, Weight, WeightMatrix, INF};

@@ -14,6 +14,83 @@ pub type Weight = i64;
 /// machine's own `MAXINT = 2^h - 1`.
 pub const INF: Weight = i64::MAX;
 
+/// A typed rejection of untrusted matrix input.
+///
+/// The panicking mutators ([`WeightMatrix::set`],
+/// [`WeightMatrix::from_edges`], [`WeightMatrix::to_saturated_vec`]) are
+/// the right contract for programmatic construction, where a violation is
+/// a caller bug. Input that crosses a trust boundary — files, job
+/// payloads handed to a serving worker — goes through the `try_*`
+/// variants instead, which return this error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// An edge endpoint does not name a vertex of the `n`-vertex graph.
+    EdgeOutOfRange {
+        /// Source vertex of the offending edge.
+        from: usize,
+        /// Target vertex of the offending edge.
+        to: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `i -> i` (not representable; the diagonal is pinned to
+    /// [`INF`]).
+    SelfLoop {
+        /// The looping vertex.
+        vertex: usize,
+    },
+    /// A weight outside the finite non-negative range `0..INF`.
+    BadWeight {
+        /// Source vertex of the offending edge.
+        from: usize,
+        /// Target vertex of the offending edge.
+        to: usize,
+        /// The rejected weight.
+        weight: Weight,
+    },
+    /// A finite weight does not fit below the target machine's `MAXINT`
+    /// (`2^h - 1` for an `h`-bit machine): the matrix cannot be loaded at
+    /// that word width without colliding with the "infinite" sentinel.
+    WeightOverflow {
+        /// Source vertex of the offending edge.
+        from: usize,
+        /// Target vertex of the offending edge.
+        to: usize,
+        /// The weight that does not fit.
+        weight: Weight,
+        /// The machine `MAXINT` it was checked against.
+        maxint: Weight,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::EdgeOutOfRange { from, to, n } => {
+                write!(f, "edge ({from},{to}) out of range for {n} vertices")
+            }
+            MatrixError::SelfLoop { vertex } => {
+                write!(f, "self-loops are not representable (vertex {vertex})")
+            }
+            MatrixError::BadWeight { from, to, weight } => write!(
+                f,
+                "edge ({from},{to}): weight must be finite and non-negative, got {weight}"
+            ),
+            MatrixError::WeightOverflow {
+                from,
+                to,
+                weight,
+                maxint,
+            } => write!(
+                f,
+                "edge ({from},{to}): weight {weight} does not fit below the machine MAXINT {maxint}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
 /// A dense `n x n` weight matrix of a directed graph.
 ///
 /// Invariants enforced by construction:
@@ -55,6 +132,25 @@ impl WeightMatrix {
         m
     }
 
+    /// [`WeightMatrix::from_edges`] for untrusted input: the first
+    /// malformed edge is reported as a typed [`MatrixError`] instead of a
+    /// panic.
+    ///
+    /// # Errors
+    /// [`MatrixError::EdgeOutOfRange`], [`MatrixError::SelfLoop`], or
+    /// [`MatrixError::BadWeight`] for the first offending edge.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (an empty graph is unrepresentable, not
+    /// untrusted-input-dependent).
+    pub fn try_from_edges(n: usize, edges: &[(usize, usize, Weight)]) -> Result<Self, MatrixError> {
+        let mut m = WeightMatrix::new(n);
+        for &(i, j, w) in edges {
+            m.try_set(i, j, w)?;
+        }
+        Ok(m)
+    }
+
     /// Number of vertices.
     pub fn n(&self) -> usize {
         self.n
@@ -79,6 +175,34 @@ impl WeightMatrix {
             "edge weight must be finite and non-negative, got {w}"
         );
         self.w[i * self.n + j] = w;
+    }
+
+    /// [`WeightMatrix::set`] for untrusted input: a typed [`MatrixError`]
+    /// instead of a panic; the matrix is unchanged on rejection.
+    ///
+    /// # Errors
+    /// [`MatrixError::EdgeOutOfRange`], [`MatrixError::SelfLoop`], or
+    /// [`MatrixError::BadWeight`].
+    pub fn try_set(&mut self, i: usize, j: usize, w: Weight) -> Result<(), MatrixError> {
+        if i >= self.n || j >= self.n {
+            return Err(MatrixError::EdgeOutOfRange {
+                from: i,
+                to: j,
+                n: self.n,
+            });
+        }
+        if i == j {
+            return Err(MatrixError::SelfLoop { vertex: i });
+        }
+        if !(0..INF).contains(&w) {
+            return Err(MatrixError::BadWeight {
+                from: i,
+                to: j,
+                weight: w,
+            });
+        }
+        self.w[i * self.n + j] = w;
+        Ok(())
     }
 
     /// Removes the edge `i -> j` (sets it back to [`INF`]).
@@ -159,17 +283,36 @@ impl WeightMatrix {
     /// Panics if any finite weight exceeds `maxint` — the matrix does not
     /// fit the target word width.
     pub fn to_saturated_vec(&self, maxint: Weight) -> Vec<Weight> {
+        match self.try_saturated_vec(maxint) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`WeightMatrix::to_saturated_vec`] for untrusted input: the first
+    /// finite weight at or above `maxint` is reported as a typed
+    /// [`MatrixError::WeightOverflow`] instead of a panic. The largest
+    /// loadable weight is therefore `maxint - 1`: `maxint` itself is the
+    /// "infinite" sentinel and a real cost must never collide with it.
+    ///
+    /// # Errors
+    /// [`MatrixError::WeightOverflow`] naming the first offending edge.
+    pub fn try_saturated_vec(&self, maxint: Weight) -> Result<Vec<Weight>, MatrixError> {
         self.w
             .iter()
-            .map(|&w| {
+            .enumerate()
+            .map(|(idx, &w)| {
                 if w == INF {
-                    maxint
+                    Ok(maxint)
+                } else if w < maxint {
+                    Ok(w)
                 } else {
-                    assert!(
-                        w < maxint,
-                        "weight {w} does not fit below the machine MAXINT {maxint}"
-                    );
-                    w
+                    Err(MatrixError::WeightOverflow {
+                        from: idx / self.n,
+                        to: idx % self.n,
+                        weight: w,
+                        maxint,
+                    })
                 }
             })
             .collect()
@@ -289,6 +432,84 @@ mod tests {
     fn to_saturated_vec_checks_fit() {
         let m = WeightMatrix::from_edges(2, &[(0, 1, 20)]);
         let _ = m.to_saturated_vec(15);
+    }
+
+    #[test]
+    fn try_set_rejects_with_typed_errors() {
+        let mut m = WeightMatrix::new(3);
+        assert_eq!(
+            m.try_set(0, 3, 1),
+            Err(MatrixError::EdgeOutOfRange {
+                from: 0,
+                to: 3,
+                n: 3
+            })
+        );
+        assert_eq!(m.try_set(1, 1, 1), Err(MatrixError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            m.try_set(0, 1, -4),
+            Err(MatrixError::BadWeight {
+                from: 0,
+                to: 1,
+                weight: -4
+            })
+        );
+        assert_eq!(
+            m.try_set(0, 1, INF),
+            Err(MatrixError::BadWeight {
+                from: 0,
+                to: 1,
+                weight: INF
+            })
+        );
+        assert_eq!(m.edge_count(), 0, "rejections leave the matrix unchanged");
+        assert!(m.try_set(0, 1, 7).is_ok());
+        assert_eq!(m.get(0, 1), 7);
+    }
+
+    #[test]
+    fn try_from_edges_reports_first_offender() {
+        let err = WeightMatrix::try_from_edges(3, &[(0, 1, 2), (2, 2, 5)]).unwrap_err();
+        assert_eq!(err, MatrixError::SelfLoop { vertex: 2 });
+        let ok = WeightMatrix::try_from_edges(3, &[(0, 1, 2)]).unwrap();
+        assert_eq!(ok, WeightMatrix::from_edges(3, &[(0, 1, 2)]));
+    }
+
+    #[test]
+    fn try_saturated_vec_boundary_at_maxint() {
+        // maxint - 1 is the largest loadable weight; maxint collides with
+        // the "infinite" sentinel and is rejected with coordinates.
+        let maxint = 15;
+        let fits = WeightMatrix::from_edges(2, &[(0, 1, maxint - 1)]);
+        assert_eq!(
+            fits.try_saturated_vec(maxint).unwrap(),
+            vec![maxint, maxint - 1, maxint, maxint]
+        );
+        let mut collides = WeightMatrix::new(2);
+        collides.set(1, 0, maxint);
+        assert_eq!(
+            collides.try_saturated_vec(maxint),
+            Err(MatrixError::WeightOverflow {
+                from: 1,
+                to: 0,
+                weight: maxint,
+                maxint,
+            })
+        );
+    }
+
+    #[test]
+    fn matrix_error_display_names_the_edge() {
+        let e = MatrixError::WeightOverflow {
+            from: 1,
+            to: 2,
+            weight: 99,
+            maxint: 63,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(1,2)"), "{s}");
+        assert!(s.contains("99"), "{s}");
+        assert!(s.contains("63"), "{s}");
     }
 
     #[test]

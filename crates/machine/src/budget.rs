@@ -1,0 +1,92 @@
+//! Cooperative run budgets: cancellation tokens shared between a
+//! running controller program and its supervisor.
+//!
+//! The MCP solve loop is data-dependent: the paper's `O(p * h)` bound has
+//! `p` determined by the input graph, so a pathological (or adversarial)
+//! weight matrix can drive a controller program far past its expected
+//! step count. A serving layer therefore needs two cooperative brakes on
+//! a running [`Machine`](crate::Machine):
+//!
+//! * a **step budget** ([`Machine::limit_steps`](crate::Machine::limit_steps)):
+//!   the machine refuses to issue fallible instructions once the
+//!   controller's total step count reaches the cap, returning
+//!   [`MachineError::StepBudgetExhausted`](crate::MachineError::StepBudgetExhausted)
+//!   with all step counters intact;
+//! * a **cancel token** ([`Machine::attach_cancel`](crate::Machine::attach_cancel)):
+//!   a cloneable flag another thread can raise; the machine notices it at
+//!   the next fallible instruction and returns
+//!   [`MachineError::Cancelled`](crate::MachineError::Cancelled).
+//!
+//! Both are *cooperative*: nothing is interrupted mid-instruction, the
+//! machine simply declines to issue the next one. Because every solver
+//! loop iteration issues fallible primitives (bus transfers, masked
+//! assignments, the global-OR termination read), a runaway program is
+//! stopped within one iteration of the brake engaging.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag.
+///
+/// All clones share one flag: raising it through any clone cancels every
+/// machine the token is attached to, at that machine's next fallible
+/// instruction. Tokens start un-cancelled and are one-way — there is no
+/// reset; detach the token and attach a fresh one to re-arm a machine.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised (through any clone).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+impl fmt::Display for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_cancelled() {
+            write!(f, "cancelled")
+        } else {
+            write!(f, "armed")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.to_string(), "cancelled");
+        assert_eq!(CancelToken::new().to_string(), "armed");
+    }
+}

@@ -23,6 +23,20 @@ pub enum MachineError {
         /// Shape actually supplied.
         found: Dim,
     },
+    /// The cooperative step budget installed with
+    /// [`Machine::limit_steps`](crate::Machine::limit_steps) is spent: the
+    /// machine refused to issue the next fallible instruction. Step
+    /// counters are intact; the program unwound cleanly between
+    /// instructions, never mid-step.
+    StepBudgetExhausted {
+        /// The budget that was granted (steps the program was allowed to
+        /// issue past the point where the limit was installed).
+        budget: u64,
+    },
+    /// A [`CancelToken`](crate::CancelToken) attached to the machine was
+    /// raised; the machine refused to issue the next fallible
+    /// instruction.
+    Cancelled,
 }
 
 impl fmt::Display for MachineError {
@@ -38,6 +52,10 @@ impl fmt::Display for MachineError {
                     "plane dimension mismatch: machine is {expected}, plane is {found}"
                 )
             }
+            MachineError::StepBudgetExhausted { budget } => {
+                write!(f, "step budget exhausted: {budget} steps were granted")
+            }
+            MachineError::Cancelled => write!(f, "run cancelled via its cancel token"),
         }
     }
 }
@@ -67,5 +85,12 @@ mod tests {
         };
         assert!(e.to_string().contains("4x4"));
         assert!(e.to_string().contains("2x4"));
+    }
+
+    #[test]
+    fn display_mentions_budget() {
+        let e = MachineError::StepBudgetExhausted { budget: 42 };
+        assert!(e.to_string().contains("42"), "{e}");
+        assert!(MachineError::Cancelled.to_string().contains("cancel"));
     }
 }

@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod bus;
 pub mod controller;
 pub mod engine;
@@ -77,6 +78,7 @@ pub mod plane;
 pub mod render;
 pub mod switch;
 
+pub use budget::CancelToken;
 pub use controller::{Controller, Op, StepReport};
 pub use engine::ExecMode;
 pub use error::MachineError;

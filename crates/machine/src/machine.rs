@@ -9,6 +9,7 @@
 //! against this interface, so the controller's tallies are a faithful
 //! census of the simulated machine's time steps regardless of backend.
 
+use crate::budget::CancelToken;
 use crate::bus;
 use crate::controller::Controller;
 use crate::engine::ExecMode;
@@ -27,6 +28,9 @@ pub struct Machine<E: Executor = ScalarBackend> {
     controller: Controller,
     faults: FaultMap,
     transient: Option<TransientFaults>,
+    step_cap: Option<u64>,
+    budget_granted: u64,
+    cancel: Option<CancelToken>,
     exec: E,
 }
 
@@ -57,8 +61,74 @@ impl<E: Executor> Machine<E> {
             controller: Controller::new(),
             faults: FaultMap::new(),
             transient: None,
+            step_cap: None,
+            budget_granted: 0,
+            cancel: None,
             exec,
         }
+    }
+
+    // ----- cooperative budgets ---------------------------------------------
+
+    /// Grants the program `budget` further controller steps: once the
+    /// total step count reaches the current count plus `budget`, every
+    /// fallible primitive returns
+    /// [`MachineError::StepBudgetExhausted`] instead of issuing. The
+    /// brake is cooperative — nothing is interrupted mid-instruction and
+    /// all counters stay intact — and exact for programs built from
+    /// fallible primitives (every solver loop is). Replaces any earlier
+    /// limit.
+    pub fn limit_steps(&mut self, budget: u64) {
+        self.step_cap = Some(self.controller.total_steps() + budget);
+        self.budget_granted = budget;
+    }
+
+    /// Removes the step limit installed by [`Machine::limit_steps`].
+    pub fn clear_step_limit(&mut self) {
+        self.step_cap = None;
+        self.budget_granted = 0;
+    }
+
+    /// Steps left before the budget brake engages (`None` when no limit
+    /// is installed).
+    pub fn steps_remaining(&self) -> Option<u64> {
+        self.step_cap
+            .map(|cap| cap.saturating_sub(self.controller.total_steps()))
+    }
+
+    /// Attaches a cancellation token: once any clone of it is raised,
+    /// every fallible primitive returns [`MachineError::Cancelled`]
+    /// instead of issuing. Replaces any earlier token.
+    pub fn attach_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Detaches the cancellation token, returning it if one was attached.
+    pub fn take_cancel(&mut self) -> Option<CancelToken> {
+        self.cancel.take()
+    }
+
+    /// The cooperative brake checked before every fallible instruction:
+    /// cancellation first (a raised token wins even when budget remains),
+    /// then the step budget.
+    fn guard(&mut self) -> Result<(), MachineError> {
+        if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            if let Some(m) = self.controller.metrics_mut() {
+                m.inc("budget.cancelled", 1);
+            }
+            return Err(MachineError::Cancelled);
+        }
+        if let Some(cap) = self.step_cap {
+            if self.controller.total_steps() >= cap {
+                if let Some(m) = self.controller.metrics_mut() {
+                    m.inc("budget.exhausted", 1);
+                }
+                return Err(MachineError::StepBudgetExhausted {
+                    budget: self.budget_granted,
+                });
+            }
+        }
+        Ok(())
     }
 
     // ----- fault attachment ------------------------------------------------
@@ -276,6 +346,7 @@ impl<E: Executor> Machine<E> {
         dir: Direction,
         open: &Plane<bool>,
     ) -> Result<Plane<T>, MachineError> {
+        self.guard()?;
         let effective = self.effective_open(open);
         let open = effective.as_ref().unwrap_or(open);
         let (occ, clusters) = self.plane_activity(Some(dir), open);
@@ -290,6 +361,7 @@ impl<E: Executor> Machine<E> {
         dir: Direction,
         open: &Plane<bool>,
     ) -> Result<Plane<bool>, MachineError> {
+        self.guard()?;
         let effective = self.effective_open(open);
         let open = effective.as_ref().unwrap_or(open);
         let (occ, clusters) = self.plane_activity(Some(dir), open);
@@ -305,6 +377,7 @@ impl<E: Executor> Machine<E> {
         dir: Direction,
         open: &E::Mask,
     ) -> Result<Plane<T>, MachineError> {
+        self.guard()?;
         if !self.fault_routed() {
             let (occ, clusters) = self.mask_activity(Some(dir), open);
             self.issue(MicroOp::Broadcast(dir), occ, clusters);
@@ -330,6 +403,7 @@ impl<E: Executor> Machine<E> {
         dir: Direction,
         open: &E::Mask,
     ) -> Result<E::Mask, MachineError> {
+        self.guard()?;
         if !self.fault_routed() {
             let (occ, clusters) = self.mask_activity(Some(dir), open);
             self.issue(MicroOp::BusOr(dir), occ, clusters);
@@ -355,6 +429,7 @@ impl<E: Executor> Machine<E> {
         dir: Direction,
         fill: Fill<T>,
     ) -> Result<Plane<T>, MachineError> {
+        self.guard()?;
         self.issue(MicroOp::Shift(dir), None, None);
         self.exec.shift(self.mode, self.dim, src, dir, fill)
     }
@@ -383,6 +458,7 @@ impl<E: Executor> Machine<E> {
     /// This is the controller-side condition read used by data-dependent
     /// loops such as the MCP termination test (statement 20).
     pub fn global_or(&mut self, flags: &Plane<bool>) -> Result<bool, MachineError> {
+        self.guard()?;
         self.check(flags)?;
         let (occ, _) = self.plane_activity(None, flags);
         self.issue(MicroOp::GlobalOr, occ, None);
@@ -425,6 +501,7 @@ impl<E: Executor> Machine<E> {
     /// Copies a plane into a mask register: one step (the mask analogue of
     /// an identity [`Machine::map`]).
     pub fn load_mask(&mut self, src: &Plane<bool>) -> Result<E::Mask, MachineError> {
+        self.guard()?;
         self.check(src)?;
         self.issue(MicroOp::Map, None, None);
         Ok(self.exec.mask_from_plane(self.dim, src))
@@ -433,6 +510,7 @@ impl<E: Executor> Machine<E> {
     /// Extracts bit `j` of every (non-negative) PE value: one step.
     pub fn mask_bit(&mut self, src: &Plane<i64>, j: u32) -> Result<E::Mask, MachineError> {
         debug_assert!(j < 63, "i64 sign bit is not addressable");
+        self.guard()?;
         self.check(src)?;
         self.issue(MicroOp::Map, None, None);
         Ok(self.exec.bit_plane(self.mode, self.dim, src, j))
@@ -484,6 +562,14 @@ impl<E: Executor> Machine<E> {
     /// distinguishes the two. The controller steps the sweep consumes are
     /// returned in [`FaultReport::steps`].
     pub fn self_test(&mut self) -> FaultReport {
+        // The BIST is a bounded diagnostic (six patterns plus three setup
+        // steps) that recovery policies run precisely when a solve was
+        // aborted — including by a spent step budget or a raised cancel
+        // token. It is therefore exempt from the cooperative brake: the
+        // budget state is stashed for the sweep and restored afterwards.
+        let stashed_cap = self.step_cap.take();
+        let stashed_granted = std::mem::take(&mut self.budget_granted);
+        let stashed_cancel = self.cancel.take();
         let before = self.controller.report();
         let observed = self.controller.observing();
         if observed {
@@ -545,6 +631,9 @@ impl<E: Executor> Machine<E> {
         if observed {
             self.controller.exit_span();
         }
+        self.step_cap = stashed_cap;
+        self.budget_granted = stashed_granted;
+        self.cancel = stashed_cancel;
         report.steps = self.controller.report().since(&before);
         if let Some(m) = self.controller.metrics_mut() {
             m.inc("bist.runs", 1);
@@ -564,6 +653,7 @@ impl<E: Executor> Machine<E> {
         U: Send,
         F: Fn(&T) -> U + Sync,
     {
+        self.guard()?;
         self.check(src)?;
         self.issue(MicroOp::Map, None, None);
         let s = src.as_slice();
@@ -584,6 +674,7 @@ impl<E: Executor> Machine<E> {
         U: Send,
         F: Fn(&A, &B) -> U + Sync,
     {
+        self.guard()?;
         self.check(a)?;
         self.check(b)?;
         self.issue(MicroOp::Zip, None, None);
@@ -609,6 +700,7 @@ impl<E: Executor> Machine<E> {
         U: Send,
         F: Fn(&A, &B, &C) -> U + Sync,
     {
+        self.guard()?;
         self.check(a)?;
         self.check(b)?;
         self.check(c)?;
@@ -652,6 +744,7 @@ impl<E: Executor> Machine<E> {
     where
         T: Copy + Send + Sync,
     {
+        self.guard()?;
         self.check(dst)?;
         self.check(src)?;
         self.check(mask)?;
@@ -909,6 +1002,115 @@ mod tests {
             plain.controller().total_steps(),
             attached.controller().total_steps()
         );
+    }
+
+    #[test]
+    fn step_budget_stops_divergent_program_exactly_at_budget() {
+        let mut m = Machine::square(4);
+        let flags = m.imm(false);
+        m.reset_steps();
+        m.limit_steps(10);
+        // A deliberately divergent controller program: global-OR over an
+        // all-false plane never terminates the loop on its own.
+        let mut issued = 0u64;
+        let err = loop {
+            match m.global_or(&flags) {
+                Ok(_) => issued += 1,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, MachineError::StepBudgetExhausted { budget: 10 });
+        assert_eq!(issued, 10, "exactly the granted steps were issued");
+        assert_eq!(m.controller().total_steps(), 10, "counters intact");
+        assert_eq!(m.steps_remaining(), Some(0));
+        // The brake holds: further fallible instructions keep failing...
+        assert!(m.global_or(&flags).is_err());
+        // ...until the limit is lifted.
+        m.clear_step_limit();
+        assert_eq!(m.steps_remaining(), None);
+        assert!(m.global_or(&flags).is_ok());
+    }
+
+    #[test]
+    fn step_budget_is_relative_to_installation_point() {
+        let mut m = Machine::square(3);
+        let p = m.imm(1i64);
+        let _ = m.map(&p, |&v| v + 1).unwrap();
+        let spent = m.controller().total_steps();
+        m.limit_steps(3);
+        assert_eq!(m.steps_remaining(), Some(3));
+        for _ in 0..3 {
+            m.map(&p, |&v| v).unwrap();
+        }
+        assert!(matches!(
+            m.map(&p, |&v: &i64| v),
+            Err(MachineError::StepBudgetExhausted { budget: 3 })
+        ));
+        assert_eq!(m.controller().total_steps(), spent + 3);
+    }
+
+    #[test]
+    fn cancel_token_stops_machine_between_instructions() {
+        let mut m = Machine::square(3);
+        let token = crate::budget::CancelToken::new();
+        m.attach_cancel(token.clone());
+        let p = m.imm(2i64);
+        assert!(m.map(&p, |&v| v).is_ok(), "armed token does not fire");
+        token.cancel();
+        assert_eq!(m.map(&p, |&v: &i64| v), Err(MachineError::Cancelled));
+        let steps = m.controller().total_steps();
+        assert_eq!(steps, 2, "the refused instruction costs nothing");
+        // Detaching the token re-enables the machine.
+        let taken = m.take_cancel().expect("token was attached");
+        assert!(taken.is_cancelled());
+        assert!(m.map(&p, |&v| v).is_ok());
+    }
+
+    #[test]
+    fn cancellation_outranks_remaining_budget() {
+        let mut m = Machine::square(3);
+        m.limit_steps(1000);
+        let token = crate::budget::CancelToken::new();
+        m.attach_cancel(token.clone());
+        token.cancel();
+        let p = Plane::filled(m.dim(), false);
+        assert_eq!(m.global_or(&p), Err(MachineError::Cancelled));
+    }
+
+    #[test]
+    fn self_test_is_exempt_from_budget_and_cancel() {
+        let mut m = Machine::square(4);
+        m.limit_steps(0);
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        m.attach_cancel(token);
+        let report = m.self_test();
+        assert!(report.is_healthy(), "{report}");
+        assert_eq!(report.patterns_run, 6);
+        // The brake state survives the diagnostic.
+        let flags = Plane::filled(m.dim(), false);
+        assert_eq!(m.global_or(&flags), Err(MachineError::Cancelled));
+        m.take_cancel();
+        assert!(matches!(
+            m.global_or(&flags),
+            Err(MachineError::StepBudgetExhausted { budget: 0 })
+        ));
+    }
+
+    #[test]
+    fn budget_errors_are_counted_in_metrics() {
+        let mut m = Machine::square(3);
+        m.controller_mut().enable_metrics();
+        m.limit_steps(0);
+        let flags = Plane::filled(m.dim(), false);
+        assert!(m.global_or(&flags).is_err());
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        m.attach_cancel(token);
+        assert!(m.global_or(&flags).is_err());
+        let metrics = m.controller_mut().take_metrics();
+        assert_eq!(metrics.counter("budget.exhausted"), 1);
+        assert_eq!(metrics.counter("budget.cancelled"), 1);
     }
 
     #[test]

@@ -71,6 +71,32 @@ impl Histogram {
         }
     }
 
+    /// An upper bound on the `q`-quantile sample (`0.0 < q <= 1.0`) at
+    /// the histogram's log2 bucket resolution: the inclusive upper edge
+    /// of the first bucket where the cumulative count reaches
+    /// `ceil(q * count)`, clamped to the exact maximum. `None` when no
+    /// samples were recorded. Used by the serving layer to report p50 and
+    /// p99 latency straight from a metrics snapshot.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Some(edge.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Non-empty buckets as `(bucket_index, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -287,6 +313,23 @@ mod tests {
         assert!((h.mean() - 181.2).abs() < 1e-9);
         // 0 and 1 share bucket 0; 2 and 3 share bucket 1; 900 in bucket 9.
         assert_eq!(h.nonzero_buckets(), vec![(0, 2), (1, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn quantile_bound_tracks_bucket_edges() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_bound(0.5), None);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Median of 1..=100 is 50, inside bucket 5 (32..=63).
+        assert_eq!(h.quantile_bound(0.5), Some(63));
+        // p99 lands in the top bucket, clamped to the exact max.
+        assert_eq!(h.quantile_bound(0.99), Some(100));
+        assert_eq!(h.quantile_bound(1.0), Some(100));
+        let mut one = Histogram::default();
+        one.observe(7);
+        assert_eq!(one.quantile_bound(0.5), Some(7));
     }
 
     #[test]

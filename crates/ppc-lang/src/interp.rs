@@ -176,10 +176,17 @@ impl<'a> Interpreter<'a> {
                 (false, BaseType::Logical) => Value::Bool(false),
             }
         };
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .insert(d.name.clone(), value);
+        // The scope stack is structurally non-empty (the global scope is
+        // pushed at construction and every pop pairs a push), but a
+        // serving worker must never die on a malformed program: report
+        // the impossible state as a runtime diagnostic instead.
+        let Some(scope) = self.scopes.last_mut() else {
+            return Err(LangError::runtime(
+                d.span,
+                format!("declaration of `{}` outside any scope", d.name),
+            ));
+        };
+        scope.insert(d.name.clone(), value);
         Ok(())
     }
 

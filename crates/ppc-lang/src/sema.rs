@@ -98,10 +98,16 @@ impl Checker {
             let it = self.expr(init)?;
             self.check_assignable(ty, it, init.span())?;
         }
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .insert(decl.name.clone(), ty);
+        // Structurally the stack is never empty (the globals scope is
+        // pushed at construction), but a malformed program must surface
+        // as a diagnostic, never a panic in a serving worker.
+        let Some(scope) = self.scopes.last_mut() else {
+            return Err(LangError::sema(
+                decl.span,
+                format!("declaration of `{}` outside any scope", decl.name),
+            ));
+        };
+        scope.insert(decl.name.clone(), ty);
         Ok(())
     }
 

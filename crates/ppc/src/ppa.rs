@@ -153,6 +153,36 @@ impl<E: Executor> Ppa<E> {
         self.machine.reset_steps();
     }
 
+    /// Grants the program a cooperative step budget (see
+    /// [`Machine::limit_steps`]): once spent, machine primitives fail with
+    /// [`MachineError::StepBudgetExhausted`](ppa_machine::MachineError::StepBudgetExhausted)
+    /// instead of issuing, and the error surfaces through
+    /// [`PpcError::Machine`](crate::PpcError::Machine).
+    pub fn limit_steps(&mut self, budget: u64) {
+        self.machine.limit_steps(budget);
+    }
+
+    /// Removes the step limit installed by [`Ppa::limit_steps`].
+    pub fn clear_step_limit(&mut self) {
+        self.machine.clear_step_limit();
+    }
+
+    /// Steps left before the budget brake engages (`None` when unlimited).
+    pub fn steps_remaining(&self) -> Option<u64> {
+        self.machine.steps_remaining()
+    }
+
+    /// Attaches a cooperative cancellation token (see
+    /// [`Machine::attach_cancel`]).
+    pub fn attach_cancel(&mut self, token: ppa_machine::CancelToken) {
+        self.machine.attach_cancel(token);
+    }
+
+    /// Detaches the cancellation token, returning it if one was attached.
+    pub fn take_cancel(&mut self) -> Option<ppa_machine::CancelToken> {
+        self.machine.take_cancel()
+    }
+
     /// Enables instruction tracing on the controller.
     pub fn enable_trace(&mut self) {
         self.machine.controller_mut().enable_trace();

@@ -1,0 +1,257 @@
+//! APSP campaign checkpoints: completed destinations as a JSON document.
+//!
+//! An all-pairs campaign on an `n`-vertex graph is `n` independent
+//! per-destination solves executed in destination order. The checkpoint
+//! is simply the prefix of completed results, serialized through
+//! [`ppa_obs::Json`] — deterministic field order, so two campaigns that
+//! completed the same prefix produce byte-identical documents and a
+//! resumed campaign's final document is byte-identical to an
+//! uninterrupted one.
+
+use ppa_graph::Weight;
+use ppa_mcp::McpOutput;
+use ppa_obs::Json;
+
+/// The result of one completed destination, distilled to the fields that
+/// define the answer (step accounting stays in the service metrics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DestResult {
+    /// Destination vertex.
+    pub dest: usize,
+    /// `sow[i]` — minimum cost from `i` to `dest`.
+    pub sow: Vec<Weight>,
+    /// `ptn[i]` — successor of `i` on one optimal path.
+    pub ptn: Vec<usize>,
+    /// Do-while iterations the solve took.
+    pub iterations: usize,
+}
+
+impl DestResult {
+    fn from_output(out: &McpOutput) -> Self {
+        DestResult {
+            dest: out.dest,
+            sow: out.sow.clone(),
+            ptn: out.ptn.clone(),
+            iterations: out.iterations,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dest", (self.dest as u64).into()),
+            (
+                "sow",
+                Json::Array(self.sow.iter().map(|&v| v.into()).collect()),
+            ),
+            (
+                "ptn",
+                Json::Array(self.ptn.iter().map(|&v| (v as u64).into()).collect()),
+            ),
+            ("iterations", (self.iterations as u64).into()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("destination result: `{k}` missing or not a u64"))
+        };
+        let arr = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("destination result: `{k}` missing or not an array"))
+        };
+        let sow = arr("sow")?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .map(|u| u as Weight)
+                    .ok_or_else(|| "sow entry not a u64".to_owned())
+            })
+            .collect::<Result<_, _>>()?;
+        let ptn = arr("ptn")?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .map(|u| u as usize)
+                    .ok_or_else(|| "ptn entry not a u64".to_owned())
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(DestResult {
+            dest: num("dest")? as usize,
+            sow,
+            ptn,
+            iterations: num("iterations")? as usize,
+        })
+    }
+}
+
+/// The resumable state of an APSP campaign: results for destinations
+/// `0..completed.len()`, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApspCheckpoint {
+    n: usize,
+    completed: Vec<DestResult>,
+}
+
+impl ApspCheckpoint {
+    /// An empty campaign over an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        ApspCheckpoint {
+            n,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Vertices in the campaign's graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The next destination to solve (== completed count).
+    pub fn next_dest(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether every destination is done.
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.n
+    }
+
+    /// The completed results so far, in destination order.
+    pub fn completed(&self) -> &[DestResult] {
+        &self.completed
+    }
+
+    /// Records the next destination's output.
+    ///
+    /// # Panics
+    /// Panics if `out.dest` is not the expected next destination — the
+    /// campaign driver owns the ordering invariant.
+    pub fn record(&mut self, out: &McpOutput) {
+        assert_eq!(
+            out.dest,
+            self.next_dest(),
+            "APSP campaign must record destinations in order"
+        );
+        self.completed.push(DestResult::from_output(out));
+    }
+
+    /// Serializes the checkpoint. Deterministic: equal checkpoints
+    /// produce byte-identical documents.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", 1u64.into()),
+            ("n", (self.n as u64).into()),
+            (
+                "completed",
+                Json::Array(self.completed.iter().map(DestResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstructs a checkpoint from [`ApspCheckpoint::to_json`] output.
+    ///
+    /// # Errors
+    /// A description of the first malformed or inconsistent field
+    /// (including out-of-order destinations and completed count > n).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("checkpoint: missing `version`")?;
+        if version != 1 {
+            return Err(format!("checkpoint: unsupported version {version}"));
+        }
+        let n = v
+            .get("n")
+            .and_then(Json::as_u64)
+            .ok_or("checkpoint: missing `n`")? as usize;
+        let completed = v
+            .get("completed")
+            .and_then(Json::as_array)
+            .ok_or("checkpoint: missing `completed`")?
+            .iter()
+            .map(DestResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if completed.len() > n {
+            return Err(format!(
+                "checkpoint: {} completed destinations for an {n}-vertex graph",
+                completed.len()
+            ));
+        }
+        for (i, r) in completed.iter().enumerate() {
+            if r.dest != i {
+                return Err(format!(
+                    "checkpoint: completed[{i}] is destination {}, expected {i}",
+                    r.dest
+                ));
+            }
+            if r.sow.len() != n || r.ptn.len() != n {
+                return Err(format!(
+                    "checkpoint: destination {i} has {} costs / {} successors for n={n}",
+                    r.sow.len(),
+                    r.ptn.len()
+                ));
+            }
+        }
+        Ok(ApspCheckpoint { n, completed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_mcp::McpSession;
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let w = gen::ring(5);
+        let mut session = McpSession::new(&w).unwrap();
+        let mut cp = ApspCheckpoint::new(5);
+        for d in 0..3 {
+            cp.record(&session.solve(d).unwrap());
+        }
+        let doc = cp.to_json().to_string_compact();
+        let back = ApspCheckpoint::from_json(&Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.to_json().to_string_compact(), doc, "byte-identical");
+        assert_eq!(back.next_dest(), 3);
+        assert!(!back.is_complete());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(ApspCheckpoint::from_json(&Json::Null).is_err());
+        let doc = Json::obj(vec![
+            ("version", 1u64.into()),
+            ("n", 2u64.into()),
+            (
+                "completed",
+                Json::Array(vec![Json::obj(vec![
+                    ("dest", 1u64.into()), // out of order: expected 0
+                    ("sow", Json::Array(vec![0u64.into(), 0u64.into()])),
+                    ("ptn", Json::Array(vec![0u64.into(), 1u64.into()])),
+                    ("iterations", 1u64.into()),
+                ])]),
+            ),
+        ]);
+        let err = ApspCheckpoint::from_json(&doc).unwrap_err();
+        assert!(err.contains("expected 0"), "{err}");
+        let doc = Json::obj(vec![("version", 2u64.into())]);
+        assert!(ApspCheckpoint::from_json(&doc)
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_record_is_a_driver_bug() {
+        let w = gen::ring(4);
+        let mut session = McpSession::new(&w).unwrap();
+        let mut cp = ApspCheckpoint::new(4);
+        cp.record(&session.solve(2).unwrap());
+    }
+}

@@ -1,0 +1,48 @@
+//! `ppa-serve` — a hardened concurrent solve service over the PPA stack.
+//!
+//! The solver crates answer *"is the algorithm right?"*; this crate
+//! answers *"can it be operated?"*. A [`SolveService`] runs a pool of
+//! worker threads over [`McpSession`](ppa_mcp::McpSession)s and accepts
+//! MCP, widest-path, and all-pairs jobs through a **bounded** queue:
+//!
+//! * **Backpressure** — a full queue rejects the submission
+//!   ([`ServeError::Rejected`]) instead of buffering unboundedly.
+//! * **Deadlines & step budgets** — a watchdog cancels the machine
+//!   cooperatively ([`ppa_machine::CancelToken`]) when a job's deadline
+//!   passes, and every attempt runs under a controller step budget, so a
+//!   pathological input (the paper's `O(p·h)` loop with an adversarial
+//!   `p`) can never wedge a worker. Both surface as typed errors.
+//! * **Panic isolation** — a panicking job is caught, reported as
+//!   [`ServeError::WorkerPanicked`], and the worker is replaced by a
+//!   supervisor thread. No ticket is ever left hanging.
+//! * **Retries** — corruption-class failures (transient injected faults)
+//!   are retried on a fresh machine with exponential backoff + jitter
+//!   ([`RetryPolicy`]), reusing the recovery layer's failure taxonomy.
+//! * **Circuit breaking** — repeated packed-backend failures trip a
+//!   [`CircuitBreaker`] that falls back to the scalar reference backend
+//!   and only re-admits packed traffic after a live divergence probe
+//!   passes.
+//! * **Checkpoint/resume** — all-pairs campaigns flush an
+//!   [`ApspCheckpoint`] as they go; an interrupted campaign returns
+//!   [`ServeError::Interrupted`] with the last flushed document and can
+//!   be resumed to a byte-identical final result.
+//!
+//! Everything observable flows through [`ppa_obs::Metrics`] under
+//! `serve.*` names, so a client can reconcile what it saw (rejections,
+//! deadline misses, retries, panics) 1:1 against the service's own
+//! counters — the stress campaign in `ppa-bench` does exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod checkpoint;
+pub mod job;
+pub mod policy;
+pub mod service;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Route};
+pub use checkpoint::{ApspCheckpoint, DestResult};
+pub use job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
+pub use policy::RetryPolicy;
+pub use service::{JobTicket, ServeConfig, SolveService};

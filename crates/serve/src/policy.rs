@@ -1,0 +1,107 @@
+//! Retry policy: exponential backoff with seeded jitter.
+//!
+//! The classification of *what* to retry reuses the recovery layer's
+//! semantics ([`McpError::indicates_corruption`](ppa_mcp::McpError::indicates_corruption)):
+//! transient device faults clear on a fresh attempt, so they are worth a
+//! bounded number of retries; resource-limit outcomes (deadline, step
+//! budget) and input-validation failures are not. The *pacing* is the
+//! standard serving recipe — exponential backoff with full jitter — so
+//! a burst of correlated failures does not resynchronize the workers.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// Bounded retries with exponential backoff + jitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before retry `k` (1-based) is drawn uniformly from
+    /// `[0, base * 2^(k-1)]`, capped at `max_backoff` ("full jitter").
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is terminal.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered sleep before retry `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32, rng: &mut SmallRng) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let ceiling = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let nanos = ceiling.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.gen_range(0..=nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_is_jittered_within_the_exponential_ceiling() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(12),
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for attempt in 1..=6 {
+            let ceiling = Duration::from_millis(2u64 << (attempt - 1)).min(p.max_backoff);
+            for _ in 0..50 {
+                let b = p.backoff(attempt as u32, &mut rng);
+                assert!(b <= ceiling, "attempt {attempt}: {b:?} > {ceiling:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        let a: Vec<_> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (1..5).map(|k| p.backoff(k, &mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (1..5).map(|k| p.backoff(k, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_base_means_zero_sleep() {
+        let p = RetryPolicy {
+            max_retries: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(p.backoff(1, &mut rng), Duration::ZERO);
+    }
+}

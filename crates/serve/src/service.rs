@@ -1,0 +1,1122 @@
+//! The solve service: worker pool, bounded intake, deadlines, retries,
+//! circuit breaking, panic isolation, and graceful drain.
+//!
+//! # Lifecycle of a job
+//!
+//! ```text
+//! submit ──▶ bounded queue ──▶ worker ──▶ attempt loop ──▶ report
+//!    │            │               │            │
+//!    │ full:      │ deadline      │ panic:     │ corruption: retry with
+//!    │ Rejected   │ expired:      │ isolate +  │ backoff; packed failures
+//!    │            │ never run     │ replace    │ feed the circuit breaker
+//! ```
+//!
+//! Every attempt runs on a **fresh machine** (transient faults do not
+//! outlive an attempt), under a cooperative [`CancelToken`] armed by the
+//! deadline watchdog and a controller step budget
+//! ([`Ppa::limit_steps`](ppa_ppc::Ppa::limit_steps)) — so no input, fault
+//! pattern, or deadline can wedge a worker. Workers that panic are
+//! allowed to die: the panic is caught, the client still gets a typed
+//! [`ServeError::WorkerPanicked`] report, and a supervisor thread spawns
+//! a replacement. All of it is counted under `serve.*` metrics, which the
+//! stress campaign reconciles 1:1 against client-side observations.
+
+use crate::breaker::{BreakerState, CircuitBreaker, Route};
+use crate::checkpoint::ApspCheckpoint;
+use crate::job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
+use crate::policy::RetryPolicy;
+use crate::BreakerConfig;
+use ppa_graph::{Weight, WeightMatrix, INF};
+use ppa_machine::{CancelToken, Executor, PackedBackend, TransientFaults};
+use ppa_mcp::widest::{widest_path, WidestOutput};
+use ppa_mcp::{mcp, McpError, McpSession};
+use ppa_obs::{Json, Metrics};
+use ppa_ppc::Ppa;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Service tuning. `Default` is sized for tests and the CLI: a small
+/// pool with modest backpressure and the stock retry/breaker policies.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the pool (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded intake queue capacity; a full queue rejects submissions
+    /// with [`ServeError::Rejected`] (clamped to at least 1).
+    pub queue_capacity: usize,
+    /// Deadline applied when a job does not carry its own.
+    pub default_deadline: Option<Duration>,
+    /// Per-attempt step budget applied when a job does not carry its own.
+    pub default_step_budget: Option<u64>,
+    /// Retry pacing for corruption-class failures.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning for the packed backend.
+    pub breaker: BreakerConfig,
+    /// Route jobs to the packed backend when the breaker allows it;
+    /// `false` pins everything to the scalar reference backend.
+    pub prefer_packed: bool,
+    /// Seed for worker-local RNGs (retry jitter). Worker `k` derives its
+    /// stream from `seed` and `k`, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 16,
+            default_deadline: None,
+            default_step_budget: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            prefer_packed: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Locks a mutex, ignoring poisoning: a worker that panicked never holds
+/// these locks across the panic point, and the service must keep serving
+/// even after isolated panics.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A submitted job waiting in the intake queue.
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    submitted: Instant,
+    reply: Sender<JobReport>,
+}
+
+/// Supervisor mailbox messages.
+enum Supervise {
+    /// A worker died after an isolated panic; spawn a replacement.
+    Died,
+    /// Drain complete; the supervisor should exit.
+    Stop,
+}
+
+/// State shared by the service handle, every worker, and the supervisor.
+struct Shared {
+    config: ServeConfig,
+    metrics: Mutex<Metrics>,
+    breaker: Mutex<CircuitBreaker>,
+    accepting: AtomicBool,
+}
+
+/// Everything a worker thread needs; cloneable so the supervisor can
+/// spawn replacements.
+#[derive(Clone)]
+struct WorkerCtx {
+    shared: Arc<Shared>,
+    jobs: Arc<Mutex<Receiver<QueuedJob>>>,
+    watchdog_tx: Sender<(Instant, CancelToken)>,
+    death_tx: Sender<Supervise>,
+    worker_seq: Arc<AtomicU64>,
+}
+
+/// A handle to one submitted job's eventual report.
+#[derive(Debug)]
+pub struct JobTicket {
+    id: u64,
+    rx: Receiver<JobReport>,
+}
+
+impl JobTicket {
+    /// The id the service assigned at submission.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job's report arrives.
+    ///
+    /// Never loses a job: if the worker side vanished without reporting
+    /// (which the panic-isolation path prevents, but the client must not
+    /// have to trust that), a synthetic [`ServeError::WorkerPanicked`]
+    /// report is returned instead of hanging or dropping the job.
+    pub fn wait(self) -> JobReport {
+        match self.rx.recv() {
+            Ok(report) => report,
+            Err(_) => JobReport {
+                id: self.id,
+                outcome: Err(ServeError::WorkerPanicked {
+                    message: "worker lost before reporting".to_owned(),
+                }),
+                attempts: 0,
+                backend: None,
+                latency: Duration::ZERO,
+            },
+        }
+    }
+}
+
+/// The concurrent solve service (see module docs).
+pub struct SolveService {
+    shared: Arc<Shared>,
+    job_tx: Option<SyncSender<QueuedJob>>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    death_tx: Sender<Supervise>,
+    next_id: AtomicU64,
+}
+
+impl SolveService {
+    /// Starts the worker pool, supervisor, and deadline watchdog.
+    pub fn start(config: ServeConfig) -> SolveService {
+        let workers = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let breaker = CircuitBreaker::new(config.breaker);
+        let (job_tx, job_rx) = mpsc::sync_channel(capacity);
+        let (watchdog_tx, watchdog_rx) = mpsc::channel();
+        let (death_tx, death_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            config,
+            metrics: Mutex::new(Metrics::new()),
+            breaker: Mutex::new(breaker),
+            accepting: AtomicBool::new(true),
+        });
+        let ctx = WorkerCtx {
+            shared: Arc::clone(&shared),
+            jobs: Arc::new(Mutex::new(job_rx)),
+            watchdog_tx,
+            death_tx: death_tx.clone(),
+            worker_seq: Arc::new(AtomicU64::new(0)),
+        };
+        let handles = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut hs = lock(&handles);
+            for _ in 0..workers {
+                hs.push(spawn_worker(ctx.clone()));
+            }
+        }
+        let sup_handles = Arc::clone(&handles);
+        let supervisor = thread::spawn(move || supervisor_loop(death_rx, ctx, sup_handles));
+        let watchdog = thread::spawn(move || watchdog_loop(watchdog_rx));
+        SolveService {
+            shared,
+            job_tx: Some(job_tx),
+            handles,
+            supervisor: Some(supervisor),
+            watchdog: Some(watchdog),
+            death_tx,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a job. Never blocks: a full queue is backpressure
+    /// ([`ServeError::Rejected`]) and a draining service refuses new work
+    /// ([`ServeError::ShuttingDown`]); in both cases nothing was
+    /// enqueued and the caller may resubmit later.
+    ///
+    /// # Errors
+    /// [`ServeError::Rejected`] or [`ServeError::ShuttingDown`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, ServeError> {
+        lock(&self.shared.metrics).inc("serve.submitted", 1);
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            lock(&self.shared.metrics).inc("serve.rejected_shutdown", 1);
+            return Err(ServeError::ShuttingDown);
+        }
+        let Some(tx) = self.job_tx.as_ref() else {
+            lock(&self.shared.metrics).inc("serve.rejected_shutdown", 1);
+            return Err(ServeError::ShuttingDown);
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = QueuedJob {
+            id,
+            spec,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                lock(&self.shared.metrics).inc("serve.accepted", 1);
+                Ok(JobTicket { id, rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                lock(&self.shared.metrics).inc("serve.rejected_queue_full", 1);
+                Err(ServeError::Rejected {
+                    capacity: self.shared.config.queue_capacity.max(1),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                lock(&self.shared.metrics).inc("serve.rejected_shutdown", 1);
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// A snapshot of the service metrics so far.
+    pub fn metrics(&self) -> Metrics {
+        lock(&self.shared.metrics).clone()
+    }
+
+    /// The breaker's current state (drills and reports inspect this).
+    pub fn breaker_state(&self) -> BreakerState {
+        lock(&self.shared.breaker).state()
+    }
+
+    /// Graceful drain: stop accepting, let the workers finish every
+    /// accepted job, join all threads, and return the final metrics.
+    /// Every ticket issued before the drain still receives its report.
+    pub fn shutdown(mut self) -> Metrics {
+        self.drain();
+        lock(&self.shared.metrics).clone()
+    }
+
+    fn drain(&mut self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        // Closing the queue lets workers drain it and exit on recv error.
+        drop(self.job_tx.take());
+        self.join_workers();
+        let _ = self.death_tx.send(Supervise::Stop);
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        // The supervisor may have spawned a replacement between our last
+        // sweep and its Stop; it exits immediately, but must be joined.
+        self.join_workers();
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+
+    fn join_workers(&self) {
+        loop {
+            let batch: Vec<JoinHandle<()>> = lock(&self.handles).drain(..).collect();
+            if batch.is_empty() {
+                return;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
+    thread::spawn(move || worker_loop(ctx))
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    let index = ctx.worker_seq.fetch_add(1, Ordering::Relaxed);
+    // Golden-ratio stride keeps worker streams disjoint for nearby seeds.
+    let mut rng = SmallRng::seed_from_u64(
+        ctx.shared
+            .config
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index + 1)),
+    );
+    loop {
+        let next = lock(&ctx.jobs).recv();
+        let Ok(job) = next else {
+            return; // queue closed and drained: graceful exit
+        };
+        let (id, submitted, reply) = (job.id, job.submitted, job.reply.clone());
+        match catch_unwind(AssertUnwindSafe(|| run_job(&ctx, job, &mut rng))) {
+            Ok(report) => {
+                let _ = reply.send(report);
+            }
+            Err(payload) => {
+                let latency = submitted.elapsed();
+                let mut m = lock(&ctx.shared.metrics);
+                m.inc("serve.worker_panics", 1);
+                m.inc("serve.failed", 1);
+                m.observe("serve.latency_us", latency.as_micros() as u64);
+                drop(m);
+                let _ = reply.send(JobReport {
+                    id,
+                    outcome: Err(ServeError::WorkerPanicked {
+                        message: panic_message(payload),
+                    }),
+                    attempts: 1,
+                    backend: None,
+                    latency,
+                });
+                // A worker that panicked may hold corrupted thread state;
+                // report the death and let the supervisor replace it.
+                let _ = ctx.death_tx.send(Supervise::Died);
+                return;
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn supervisor_loop(
+    death_rx: Receiver<Supervise>,
+    ctx: WorkerCtx,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while let Ok(msg) = death_rx.recv() {
+        match msg {
+            Supervise::Died => {
+                lock(&ctx.shared.metrics).inc("serve.workers_replaced", 1);
+                lock(&handles).push(spawn_worker(ctx.clone()));
+            }
+            Supervise::Stop => return,
+        }
+    }
+}
+
+/// Fires cancel tokens when their deadlines pass. Exits when every
+/// sender (worker contexts) is gone.
+fn watchdog_loop(rx: Receiver<(Instant, CancelToken)>) {
+    let mut pending: Vec<(Instant, CancelToken)> = Vec::new();
+    loop {
+        let now = Instant::now();
+        pending.retain(|(at, token)| {
+            if *at <= now {
+                token.cancel();
+                false
+            } else {
+                true
+            }
+        });
+        let wait = pending
+            .iter()
+            .map(|(at, _)| at.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(entry) => pending.push(entry),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Executes one job to a report: deadline gate, backend routing, the
+/// attempt/retry loop, APSP checkpointing, and outcome metrics.
+fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
+    let shared = &ctx.shared;
+    let config = &shared.config;
+    let deadline = job.spec.deadline.or(config.default_deadline);
+
+    // Expired while queued: reject unrun (no machine was built).
+    let waited = job.submitted.elapsed();
+    if let Some(d) = deadline {
+        if waited >= d {
+            let mut m = lock(&shared.metrics);
+            m.inc("serve.failed", 1);
+            m.inc("serve.deadline_exceeded", 1);
+            m.inc("serve.expired_in_queue", 1);
+            m.observe("serve.latency_us", waited.as_micros() as u64);
+            drop(m);
+            return JobReport {
+                id: job.id,
+                outcome: Err(ServeError::DeadlineExpiredInQueue { waited }),
+                attempts: 0,
+                backend: None,
+                latency: waited,
+            };
+        }
+    }
+
+    // Chaos probes panic on purpose — before any lock is held, so the
+    // catch_unwind in the worker loop is the only thing that sees it.
+    if matches!(job.spec.kind, JobKind::Chaos) {
+        panic!("chaos job {}: deliberate worker panic", job.id);
+    }
+
+    // Validate a resume document before spending any solve time on it.
+    let mut last_flush: Option<Json> = None;
+    if let JobKind::Apsp {
+        resume_from: Some(doc),
+        ..
+    } = &job.spec.kind
+    {
+        match ApspCheckpoint::from_json(doc) {
+            Ok(cp) if cp.n() == job.spec.graph.n() => {
+                lock(&shared.metrics).inc("serve.resumes", 1);
+                last_flush = Some(cp.to_json());
+            }
+            Ok(cp) => {
+                return finish(
+                    ctx,
+                    &job,
+                    Err(ServeError::InvalidResume {
+                        reason: format!(
+                            "checkpoint is for an {}-vertex graph, job graph has {}",
+                            cp.n(),
+                            job.spec.graph.n()
+                        ),
+                    }),
+                    0,
+                    None,
+                    false,
+                    None,
+                );
+            }
+            Err(reason) => {
+                return finish(
+                    ctx,
+                    &job,
+                    Err(ServeError::InvalidResume { reason }),
+                    0,
+                    None,
+                    false,
+                    None,
+                );
+            }
+        }
+    }
+    let is_apsp = matches!(job.spec.kind, JobKind::Apsp { .. });
+
+    let token = CancelToken::new();
+    if let Some(d) = deadline {
+        let _ = ctx.watchdog_tx.send((job.submitted + d, token.clone()));
+    }
+    let budget = job.spec.step_budget.or(config.default_step_budget);
+    let word_bits = mcp::fit_word_bits(&job.spec.graph).clamp(2, 62);
+    let n = job.spec.graph.n();
+
+    let mut attempts = 0u32;
+    let mut backend;
+    let outcome = loop {
+        attempts += 1;
+        backend = route_backend(ctx);
+        let result = match backend {
+            BackendChoice::Packed => attempt_on(
+                Ppa::<PackedBackend>::packed(n).with_word_bits(word_bits),
+                &job.spec,
+                &token,
+                budget,
+                attempts,
+                &mut last_flush,
+                &shared.metrics,
+            ),
+            BackendChoice::Scalar => attempt_on(
+                Ppa::square(n).with_word_bits(word_bits),
+                &job.spec,
+                &token,
+                budget,
+                attempts,
+                &mut last_flush,
+                &shared.metrics,
+            ),
+        };
+        match result {
+            Ok(out) => {
+                if backend == BackendChoice::Packed {
+                    lock(&shared.breaker).record_success();
+                }
+                break Ok(out);
+            }
+            Err(e) if e.is_cancelled() => break Err(ServeError::DeadlineExceeded),
+            Err(e) if e.is_step_budget_exhausted() => {
+                break Err(ServeError::StepBudgetExhausted {
+                    budget: budget.unwrap_or_default(),
+                })
+            }
+            Err(e) if e.indicates_corruption() => {
+                if backend == BackendChoice::Packed && lock(&shared.breaker).record_failure() {
+                    lock(&shared.metrics).inc("serve.breaker.trips", 1);
+                }
+                if attempts <= config.retry.max_retries && !token.is_cancelled() {
+                    lock(&shared.metrics).inc("serve.retries", 1);
+                    thread::sleep(config.retry.backoff(attempts, rng));
+                    continue;
+                }
+                break Err(ServeError::Solver(e));
+            }
+            Err(e) => break Err(ServeError::Solver(e)),
+        }
+    };
+    finish(
+        ctx,
+        &job,
+        outcome,
+        attempts,
+        Some(backend),
+        is_apsp,
+        last_flush,
+    )
+}
+
+/// Wraps APSP interruptions around their checkpoint, records outcome
+/// metrics, and builds the report.
+fn finish(
+    ctx: &WorkerCtx,
+    job: &QueuedJob,
+    outcome: Result<JobOutcome, ServeError>,
+    attempts: u32,
+    backend: Option<BackendChoice>,
+    is_apsp: bool,
+    last_flush: Option<Json>,
+) -> JobReport {
+    let outcome = match (outcome, is_apsp, last_flush) {
+        (Err(cause), true, Some(checkpoint)) => Err(ServeError::Interrupted {
+            checkpoint,
+            cause: Box::new(cause),
+        }),
+        (other, _, _) => other,
+    };
+    let latency = job.submitted.elapsed();
+    let mut m = lock(&ctx.shared.metrics);
+    match &outcome {
+        Ok(_) => m.inc("serve.completed", 1),
+        Err(e) => {
+            m.inc("serve.failed", 1);
+            let root = match e {
+                ServeError::Interrupted { cause, .. } => cause.as_ref(),
+                other => other,
+            };
+            match root {
+                ServeError::DeadlineExceeded => m.inc("serve.deadline_exceeded", 1),
+                ServeError::StepBudgetExhausted { .. } => m.inc("serve.budget_exhausted", 1),
+                _ => {}
+            }
+        }
+    }
+    m.observe("serve.latency_us", latency.as_micros() as u64);
+    drop(m);
+    JobReport {
+        id: job.id,
+        outcome,
+        attempts,
+        backend,
+        latency,
+    }
+}
+
+/// Picks the backend for the next attempt via the circuit breaker,
+/// running the divergence probe when the breaker is half-open.
+fn route_backend(ctx: &WorkerCtx) -> BackendChoice {
+    if !ctx.shared.config.prefer_packed {
+        return BackendChoice::Scalar;
+    }
+    let route = lock(&ctx.shared.breaker).route();
+    match route {
+        Route::Packed => BackendChoice::Packed,
+        Route::Scalar => {
+            lock(&ctx.shared.metrics).inc("serve.breaker.scalar_fallback", 1);
+            BackendChoice::Scalar
+        }
+        Route::ProbeFirst => {
+            lock(&ctx.shared.metrics).inc("serve.breaker.probes", 1);
+            let passed = divergence_probe();
+            lock(&ctx.shared.breaker).probe_result(passed);
+            let mut m = lock(&ctx.shared.metrics);
+            if passed {
+                m.inc("serve.breaker.probe_pass", 1);
+                drop(m);
+                BackendChoice::Packed
+            } else {
+                m.inc("serve.breaker.probe_fail", 1);
+                m.inc("serve.breaker.trips", 1);
+                m.inc("serve.breaker.scalar_fallback", 1);
+                drop(m);
+                BackendChoice::Scalar
+            }
+        }
+    }
+}
+
+/// The half-open health check: solve a fixed reference graph on both
+/// backends (fresh, clean machines) and demand bit-identical results —
+/// the differential equivalence the test suites assert statically, run
+/// live before packed traffic resumes.
+fn divergence_probe() -> bool {
+    let w = ppa_graph::gen::random_connected(6, 0.5, 9, 0xD1FF);
+    let packed = McpSession::new_packed(&w).and_then(|mut s| s.solve(0));
+    let scalar = McpSession::new(&w).and_then(|mut s| s.solve(0));
+    match (packed, scalar) {
+        (Ok(a), Ok(b)) => a.sow == b.sow && a.ptn == b.ptn && a.iterations == b.iterations,
+        _ => false,
+    }
+}
+
+/// One solve attempt on a fresh runtime: arms the cancel token, step
+/// budget, and fault injection, then dispatches on the job kind. APSP
+/// campaigns restart from the last *flushed* checkpoint and flush every
+/// `checkpoint_every` completed destinations.
+/// Host-side verification of a widest-path result, mirroring what
+/// [`McpSession::solve_verified`] does for shortest paths: a silently
+/// corrupted run must surface as corruption-class [`McpError`] so the
+/// retry/breaker machinery sees it.
+///
+/// Two invariants together pin the result exactly. The capacity vector
+/// must be a Bellman fixed point (`cap[i] = max_j min(edge(i,j),
+/// cap[j])` with the destination unlimited), which bounds every entry
+/// from *below* by the true optimum; and walking the returned pointer
+/// tree from each reachable vertex must hit the destination within `n`
+/// hops with a bottleneck equal to the claimed capacity, which bounds it
+/// from *above* (a claimed width is only real if some concrete path
+/// achieves it). A spurious fixed point inflated by a cycle fails the
+/// walk; a deflated tree fails the fixed point.
+fn verify_widest(w: &WeightMatrix, out: &WidestOutput) -> Result<(), McpError> {
+    let n = w.n();
+    let d = out.dest;
+    let edge = |i: usize, j: usize| -> Weight {
+        let e = w.get(i, j);
+        if e == INF {
+            0
+        } else {
+            e
+        }
+    };
+    let cap_to = |j: usize| -> Weight {
+        if j == d {
+            Weight::MAX
+        } else {
+            out.cap[j]
+        }
+    };
+    for i in 0..n {
+        if i == d {
+            continue;
+        }
+        let best = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| edge(i, j).min(cap_to(j)))
+            .max()
+            .unwrap_or(0);
+        if out.cap[i] != best {
+            return Err(McpError::InvariantViolation {
+                invariant: "widest capacities are not a Bellman fixed point",
+            });
+        }
+        if out.cap[i] > 0 {
+            let mut v = i;
+            let mut bottleneck = Weight::MAX;
+            for _ in 0..n {
+                let next = out.ptn[v];
+                if next >= n {
+                    return Err(McpError::InvariantViolation {
+                        invariant: "widest pointer tree escapes the vertex set",
+                    });
+                }
+                bottleneck = bottleneck.min(edge(v, next));
+                v = next;
+                if v == d {
+                    break;
+                }
+            }
+            if v != d || bottleneck != out.cap[i] {
+                return Err(McpError::InvariantViolation {
+                    invariant: "widest pointer tree does not achieve the claimed capacity",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn attempt_on<E: Executor>(
+    mut ppa: Ppa<E>,
+    spec: &JobSpec,
+    token: &CancelToken,
+    budget: Option<u64>,
+    attempt: u32,
+    last_flush: &mut Option<Json>,
+    metrics: &Mutex<Metrics>,
+) -> Result<JobOutcome, McpError> {
+    ppa.attach_cancel(token.clone());
+    if let Some(b) = budget {
+        ppa.limit_steps(b);
+    }
+    if let Some((p, seed)) = spec.transient_faults {
+        // Salting by attempt keeps faults transient: a retry sees a
+        // different (still deterministic) fault pattern.
+        ppa.machine_mut()
+            .attach_transient_faults(TransientFaults::new(p, seed.wrapping_add(attempt as u64)));
+    }
+    match &spec.kind {
+        JobKind::Shortest { dest } => {
+            let mut session = McpSession::from_ppa(ppa, &spec.graph)?;
+            Ok(JobOutcome::Shortest(session.solve_verified(*dest)?))
+        }
+        JobKind::Widest { dest } => {
+            let out = widest_path(&mut ppa, &spec.graph, *dest)?;
+            verify_widest(&spec.graph, &out)?;
+            Ok(JobOutcome::Widest(out))
+        }
+        JobKind::Apsp {
+            checkpoint_every, ..
+        } => {
+            let every = (*checkpoint_every).max(1);
+            let mut cp = match last_flush.as_ref() {
+                Some(doc) => {
+                    ApspCheckpoint::from_json(doc).expect("a flushed checkpoint always round-trips")
+                }
+                None => ApspCheckpoint::new(spec.graph.n()),
+            };
+            let mut session = McpSession::from_ppa(ppa, &spec.graph)?;
+            while !cp.is_complete() {
+                let out = session.solve_verified(cp.next_dest())?;
+                cp.record(&out);
+                if cp.next_dest() % every == 0 {
+                    *last_flush = Some(cp.to_json());
+                    lock(metrics).inc("serve.checkpoints", 1);
+                }
+            }
+            let doc = cp.to_json();
+            *last_flush = Some(doc.clone());
+            Ok(JobOutcome::Apsp(doc))
+        }
+        JobKind::Chaos => unreachable!("chaos jobs panic before the attempt loop"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            retry: RetryPolicy {
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_micros(500),
+                ..RetryPolicy::default()
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn mixed_batch_solves_to_reference_answers() {
+        let w = gen::random_connected(7, 0.4, 9, 11);
+        let svc = SolveService::start(quick_config());
+        let shortest = svc
+            .submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: 3 }))
+            .unwrap();
+        let widest = svc
+            .submit(JobSpec::new(w.clone(), JobKind::Widest { dest: 2 }))
+            .unwrap();
+        let short_report = shortest.wait();
+        let wide_report = widest.wait();
+        let metrics = svc.shutdown();
+
+        let want_short = McpSession::new(&w).unwrap().solve_verified(3).unwrap();
+        match short_report.outcome.unwrap() {
+            JobOutcome::Shortest(out) => {
+                assert_eq!(out.sow, want_short.sow);
+                assert_eq!(out.ptn, want_short.ptn);
+            }
+            other => panic!("wrong outcome kind: {other:?}"),
+        }
+        let mut ppa = Ppa::square(7).with_word_bits(mcp::fit_word_bits(&w).clamp(2, 62));
+        let want_wide = widest_path(&mut ppa, &w, 2).unwrap();
+        match wide_report.outcome.unwrap() {
+            JobOutcome::Widest(out) => assert_eq!(out.cap, want_wide.cap),
+            other => panic!("wrong outcome kind: {other:?}"),
+        }
+        assert_eq!(metrics.counter("serve.accepted"), 2);
+        assert_eq!(metrics.counter("serve.completed"), 2);
+        assert_eq!(metrics.counter("serve.failed"), 0);
+        assert_eq!(metrics.histogram("serve.latency_us").unwrap().count, 2);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let w = gen::random_connected(10, 0.4, 9, 5);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..quick_config()
+        });
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for _ in 0..6 {
+            match svc.submit(JobSpec::new(
+                w.clone(),
+                JobKind::Apsp {
+                    resume_from: None,
+                    checkpoint_every: 4,
+                },
+            )) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Rejected { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "one worker + capacity 1 must shed load");
+        for t in tickets {
+            assert!(t.wait().outcome.is_ok());
+        }
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.rejected_queue_full"), rejected);
+        assert_eq!(
+            metrics.counter("serve.accepted") + rejected,
+            metrics.counter("serve.submitted")
+        );
+    }
+
+    #[test]
+    fn step_budget_failure_is_typed_and_not_retried() {
+        let w = gen::random_connected(8, 0.4, 9, 2);
+        let svc = SolveService::start(quick_config());
+        let mut spec = JobSpec::new(w, JobKind::Shortest { dest: 0 });
+        spec.step_budget = Some(10);
+        let report = svc.submit(spec).unwrap().wait();
+        assert_eq!(
+            report.outcome.unwrap_err(),
+            ServeError::StepBudgetExhausted { budget: 10 }
+        );
+        assert_eq!(report.attempts, 1, "resource limits are not retried");
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.budget_exhausted"), 1);
+        assert_eq!(metrics.counter("serve.retries"), 0);
+    }
+
+    #[test]
+    fn deadline_cancels_cooperatively() {
+        let w = gen::random_connected(32, 0.4, 9, 8);
+        let svc = SolveService::start(quick_config());
+        let mut spec = JobSpec::new(
+            w,
+            JobKind::Apsp {
+                resume_from: None,
+                checkpoint_every: 1,
+            },
+        );
+        spec.deadline = Some(Duration::from_micros(500));
+        let report = svc.submit(spec).unwrap().wait();
+        let err = report.outcome.unwrap_err();
+        let root = match &err {
+            ServeError::Interrupted { cause, .. } => cause.as_ref(),
+            other => other,
+        };
+        assert!(
+            matches!(
+                root,
+                ServeError::DeadlineExceeded | ServeError::DeadlineExpiredInQueue { .. }
+            ),
+            "expected a deadline-class failure, got {err}"
+        );
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.deadline_exceeded"), 1);
+        assert_eq!(metrics.counter("serve.failed"), 1);
+    }
+
+    #[test]
+    fn chaos_panic_is_isolated_and_worker_replaced() {
+        let w = gen::ring(5);
+        let svc = SolveService::start(quick_config());
+        let report = svc
+            .submit(JobSpec::new(w.clone(), JobKind::Chaos))
+            .unwrap()
+            .wait();
+        match report.outcome.unwrap_err() {
+            ServeError::WorkerPanicked { message } => {
+                assert!(message.contains("chaos"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        // The pool still serves after the panic.
+        let after = svc
+            .submit(JobSpec::new(w, JobKind::Shortest { dest: 1 }))
+            .unwrap()
+            .wait();
+        assert!(after.outcome.is_ok(), "service must survive a worker panic");
+        // The supervisor replaces the dead worker asynchronously.
+        let mut replaced = 0;
+        for _ in 0..200 {
+            replaced = svc.metrics().counter("serve.workers_replaced");
+            if replaced == 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(replaced, 1);
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.worker_panics"), 1);
+    }
+
+    #[test]
+    fn corruption_is_retried_with_backoff_until_exhausted() {
+        let w = gen::random_connected(6, 0.5, 9, 4);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            prefer_packed: false, // keep the breaker out of this test
+            ..quick_config()
+        });
+        let mut spec = JobSpec::new(w, JobKind::Shortest { dest: 0 });
+        spec.transient_faults = Some((1.0, 99)); // every transfer corrupted
+        let report = svc.submit(spec).unwrap().wait();
+        assert!(matches!(report.outcome.unwrap_err(), ServeError::Solver(_)));
+        let want_attempts = 1 + RetryPolicy::default().max_retries;
+        assert_eq!(report.attempts, want_attempts);
+        let metrics = svc.shutdown();
+        assert_eq!(
+            metrics.counter("serve.retries"),
+            u64::from(RetryPolicy::default().max_retries)
+        );
+    }
+
+    #[test]
+    fn breaker_trips_to_scalar_then_probe_recovers_packed() {
+        let w = gen::random_connected(6, 0.5, 9, 4);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            prefer_packed: true,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_jobs: 1,
+            },
+            ..quick_config()
+        });
+        // Attempt 1+2 fail packed (trips at threshold 2); attempt 3 routes
+        // scalar (burning the 1-job cooldown -> HalfOpen) and also fails.
+        let mut faulty = JobSpec::new(w.clone(), JobKind::Shortest { dest: 0 });
+        faulty.transient_faults = Some((1.0, 7));
+        let report = svc.submit(faulty).unwrap().wait();
+        assert!(report.outcome.is_err());
+        assert_eq!(report.backend, Some(BackendChoice::Scalar));
+        // Clean job: half-open -> divergence probe passes -> packed again.
+        let clean = svc
+            .submit(JobSpec::new(w, JobKind::Shortest { dest: 0 }))
+            .unwrap()
+            .wait();
+        assert!(clean.outcome.is_ok());
+        assert_eq!(clean.backend, Some(BackendChoice::Packed));
+        assert_eq!(svc.breaker_state(), BreakerState::Closed);
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.breaker.trips"), 1);
+        assert_eq!(metrics.counter("serve.breaker.scalar_fallback"), 1);
+        assert_eq!(metrics.counter("serve.breaker.probes"), 1);
+        assert_eq!(metrics.counter("serve.breaker.probe_pass"), 1);
+    }
+
+    #[test]
+    fn apsp_interrupts_with_checkpoint_and_resumes_byte_identically() {
+        let w = gen::random_connected(6, 0.5, 9, 31);
+
+        // Reference: the uninterrupted campaign document.
+        let svc = SolveService::start(quick_config());
+        let full = svc
+            .submit(JobSpec::new(
+                w.clone(),
+                JobKind::Apsp {
+                    resume_from: None,
+                    checkpoint_every: 1,
+                },
+            ))
+            .unwrap()
+            .wait();
+        let JobOutcome::Apsp(reference) = full.outcome.unwrap() else {
+            panic!("expected an APSP outcome");
+        };
+
+        // Measure the full campaign's step cost, then grant half of it.
+        let mut session = McpSession::new(&w).unwrap();
+        session.ppa_mut().limit_steps(1_000_000);
+        session.all_pairs().unwrap();
+        let used = 1_000_000 - session.ppa_mut().steps_remaining().unwrap();
+
+        let mut partial = JobSpec::new(
+            w.clone(),
+            JobKind::Apsp {
+                resume_from: None,
+                checkpoint_every: 1,
+            },
+        );
+        partial.step_budget = Some(used / 2);
+        let interrupted = svc.submit(partial).unwrap().wait();
+        let ServeError::Interrupted { checkpoint, cause } = interrupted.outcome.unwrap_err() else {
+            panic!("half the steps must interrupt mid-campaign");
+        };
+        assert!(matches!(*cause, ServeError::StepBudgetExhausted { .. }));
+        let flushed = ApspCheckpoint::from_json(&checkpoint).unwrap();
+        assert!(
+            flushed.next_dest() > 0,
+            "some destination must have flushed"
+        );
+        assert!(!flushed.is_complete());
+
+        // Resume from the flushed checkpoint; no budget this time.
+        let resumed = svc
+            .submit(JobSpec::new(
+                w,
+                JobKind::Apsp {
+                    resume_from: Some(checkpoint),
+                    checkpoint_every: 1,
+                },
+            ))
+            .unwrap()
+            .wait();
+        let JobOutcome::Apsp(resumed_doc) = resumed.outcome.unwrap() else {
+            panic!("resumed campaign must complete");
+        };
+        assert_eq!(
+            resumed_doc.to_string_compact(),
+            reference.to_string_compact(),
+            "resumed campaign must be byte-identical to the uninterrupted one"
+        );
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.resumes"), 1);
+        assert!(metrics.counter("serve.checkpoints") > 0);
+    }
+
+    #[test]
+    fn invalid_resume_document_is_a_typed_error() {
+        let svc = SolveService::start(quick_config());
+        let report = svc
+            .submit(JobSpec::new(
+                gen::ring(4),
+                JobKind::Apsp {
+                    resume_from: Some(Json::Null),
+                    checkpoint_every: 1,
+                },
+            ))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            report.outcome.unwrap_err(),
+            ServeError::InvalidResume { .. }
+        ));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn drain_reports_every_accepted_job() {
+        let w = gen::random_connected(6, 0.4, 9, 13);
+        let svc = SolveService::start(ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..quick_config()
+        });
+        let tickets: Vec<_> = (0..10)
+            .map(|d| {
+                svc.submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: d % 6 }))
+                    .unwrap()
+            })
+            .collect();
+        let metrics = svc.shutdown(); // drain first, then collect
+        for t in tickets {
+            assert!(t.wait().outcome.is_ok(), "drained job lost its report");
+        }
+        assert_eq!(metrics.counter("serve.accepted"), 10);
+        assert_eq!(metrics.counter("serve.completed"), 10);
+    }
+}

@@ -1,0 +1,167 @@
+//! Seeded soak: a random mix of jobs — including deliberate worker
+//! panics, injected faults, and tight step budgets — through a small
+//! pool, then a graceful drain. The service's own `serve.*` counters
+//! must reconcile 1:1 against what the client observed: no job lost,
+//! none double-reported, every rejection and panic accounted for.
+
+use ppa_graph::{gen, WeightMatrix};
+use ppa_serve::{
+    ApspCheckpoint, JobKind, JobOutcome, JobSpec, RetryPolicy, ServeConfig, ServeError,
+    SolveService,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Duration;
+
+fn soak_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity: 8,
+        retry: RetryPolicy {
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+            ..RetryPolicy::default()
+        },
+        seed: 17,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn seeded_soak_reconciles_client_counts_with_service_metrics() {
+    let mut rng = SmallRng::seed_from_u64(0x50AB);
+    let graphs: Vec<WeightMatrix> = (0..4)
+        .map(|s| gen::random_connected(5 + s, 0.45, 9, s as u64))
+        .collect();
+    let svc = SolveService::start(soak_config(4));
+
+    const JOBS: usize = 120;
+    let mut tickets = Vec::new();
+    let mut client_rejected = 0u64;
+    for i in 0..JOBS {
+        let g = graphs[rng.gen_range(0..graphs.len())].clone();
+        let n = g.n();
+        let kind = match rng.gen_range(0..10) {
+            0 => JobKind::Chaos,
+            1 | 2 => JobKind::Widest {
+                dest: rng.gen_range(0..n),
+            },
+            3 => JobKind::Apsp {
+                resume_from: None,
+                checkpoint_every: 2,
+            },
+            _ => JobKind::Shortest {
+                dest: rng.gen_range(0..n),
+            },
+        };
+        let mut spec = JobSpec::new(g, kind);
+        if rng.gen_range(0..6) == 0 {
+            spec.transient_faults = Some((0.002, i as u64));
+        }
+        if rng.gen_range(0..8) == 0 {
+            spec.step_budget = Some(rng.gen_range(20..400u64));
+        }
+        match svc.submit(spec) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Rejected { .. }) => client_rejected += 1,
+            Err(other) => panic!("unexpected submit failure: {other}"),
+        }
+    }
+    let client_accepted = tickets.len() as u64;
+
+    // Graceful drain: every accepted job must still be reported.
+    let metrics = svc.shutdown();
+
+    let mut seen_ids = HashSet::new();
+    let (mut ok, mut failed, mut panicked) = (0u64, 0u64, 0u64);
+    for t in tickets {
+        let id = t.id();
+        let report = t.wait();
+        assert_eq!(report.id, id, "report routed to the wrong ticket");
+        assert!(seen_ids.insert(report.id), "job {id} reported twice");
+        match &report.outcome {
+            Ok(_) => ok += 1,
+            Err(ServeError::WorkerPanicked { .. }) => {
+                panicked += 1;
+                failed += 1;
+            }
+            Err(_) => failed += 1,
+        }
+    }
+
+    assert_eq!(ok + failed, client_accepted, "a drained job went missing");
+    assert_eq!(metrics.counter("serve.submitted"), JOBS as u64);
+    assert_eq!(metrics.counter("serve.accepted"), client_accepted);
+    assert_eq!(
+        metrics.counter("serve.rejected_queue_full"),
+        client_rejected
+    );
+    assert_eq!(metrics.counter("serve.completed"), ok);
+    assert_eq!(metrics.counter("serve.failed"), failed);
+    assert_eq!(metrics.counter("serve.worker_panics"), panicked);
+    assert_eq!(
+        metrics.counter("serve.workers_replaced"),
+        panicked,
+        "every panicked worker must have been replaced before Stop"
+    );
+    assert_eq!(
+        metrics.histogram("serve.latency_us").map(|h| h.count),
+        Some(client_accepted),
+        "every accepted job contributes exactly one latency sample"
+    );
+    assert!(panicked > 0, "seed must exercise the chaos path");
+    assert!(client_rejected > 0, "seed must exercise backpressure");
+}
+
+#[test]
+fn killed_campaign_resumes_on_a_fresh_service_byte_identically() {
+    let w = gen::random_connected(7, 0.4, 9, 23);
+    let apsp = |resume_from| JobKind::Apsp {
+        resume_from,
+        checkpoint_every: 1,
+    };
+
+    // Reference document from an uninterrupted campaign.
+    let svc = SolveService::start(soak_config(1));
+    let full = svc
+        .submit(JobSpec::new(w.clone(), apsp(None)))
+        .unwrap()
+        .wait();
+    let JobOutcome::Apsp(reference) = full.outcome.unwrap() else {
+        panic!("expected an APSP outcome");
+    };
+    svc.shutdown();
+
+    // Measure the campaign's step cost so the kill lands mid-way.
+    let mut session = ppa_mcp::McpSession::new(&w).unwrap();
+    session.ppa_mut().limit_steps(1_000_000);
+    session.all_pairs().unwrap();
+    let used = 1_000_000 - session.ppa_mut().steps_remaining().unwrap();
+
+    // "Kill" a campaign partway: a step budget interrupts it, and the
+    // whole service is torn down — only the checkpoint document survives.
+    let svc = SolveService::start(soak_config(1));
+    let mut spec = JobSpec::new(w.clone(), apsp(None));
+    spec.step_budget = Some(used / 2);
+    let report = svc.submit(spec).unwrap().wait();
+    let ServeError::Interrupted { checkpoint, .. } = report.outcome.unwrap_err() else {
+        panic!("half the campaign's steps must interrupt it mid-way");
+    };
+    svc.shutdown();
+    let progress = ApspCheckpoint::from_json(&checkpoint).unwrap();
+    assert!(progress.next_dest() > 0 && !progress.is_complete());
+
+    // A brand-new service (fresh machines, fresh pool) finishes it.
+    let svc = SolveService::start(soak_config(1));
+    let resumed = svc
+        .submit(JobSpec::new(w, apsp(Some(checkpoint))))
+        .unwrap()
+        .wait();
+    let JobOutcome::Apsp(final_doc) = resumed.outcome.unwrap() else {
+        panic!("resumed campaign must complete");
+    };
+    let metrics = svc.shutdown();
+    assert_eq!(final_doc.to_string_compact(), reference.to_string_compact());
+    assert_eq!(metrics.counter("serve.resumes"), 1);
+}
