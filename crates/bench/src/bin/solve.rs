@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! solve <graph-file> --dest <d> [--problem shortest|widest|hops|reach]
-//!                                [--backend scalar|packed]
+//!                                [--backend scalar|packed|threaded]
+//!                                [--threads K]
 //!                                [--source] [--steps] [--paths]
 //!                                [--trace FILE] [--metrics FILE]
 //! solve <graph-file> --dest <d> --serve [--workers N] [--deadline-ms D]
@@ -17,9 +18,10 @@
 //! `--trace FILE` writes a Chrome `trace_event` document of the run
 //! (load in Perfetto; timestamps are controller step indices) and
 //! `--metrics FILE` a metrics snapshot JSON. `--backend` selects the
-//! execution backend: `scalar` (the reference) or `packed` (u64 bit-plane
-//! masks with bus-plan caching) — results and step counts are identical,
-//! only host wall-clock differs.
+//! execution backend: `scalar` (the reference), `packed` (u64 bit-plane
+//! masks with bus-plan caching), or `threaded` (packed word rows sharded
+//! across a `--threads K` worker pool) — results and step counts are
+//! identical on all three, only host wall-clock differs.
 //!
 //! `--serve` routes the job through the hardened [`ppa_serve`] service
 //! instead of solving inline: a worker pool with deadlines (cooperative
@@ -29,7 +31,7 @@
 //! prints the job report plus the service's `serve.*` counters.
 
 use ppa_graph::{gen, io, WeightMatrix, INF};
-use ppa_machine::{Executor, PackedBackend};
+use ppa_machine::{Executor, PackedBackend, ThreadedBackend};
 use ppa_mcp::closure::{hop_levels, reachability};
 use ppa_mcp::mcp::fit_word_bits;
 use ppa_mcp::path::extract_path;
@@ -45,6 +47,7 @@ struct Options {
     problem: String,
     source_mode: bool,
     backend: String,
+    threads: usize,
     show_steps: bool,
     show_paths: bool,
     trace_file: Option<String>,
@@ -58,7 +61,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: solve <graph-file | --demo> --dest <d> \
-         [--problem shortest|widest|hops|reach] [--backend scalar|packed] \
+         [--problem shortest|widest|hops|reach] \
+         [--backend scalar|packed|threaded] [--threads K] \
          [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE] \
          [--serve [--workers N] [--deadline-ms D] [--budget STEPS]]"
     );
@@ -73,6 +77,7 @@ fn parse_args() -> Options {
         problem: "shortest".into(),
         source_mode: false,
         backend: "scalar".into(),
+        threads: 4,
         show_steps: false,
         show_paths: false,
         trace_file: None,
@@ -92,6 +97,14 @@ fn parse_args() -> Options {
             }
             "--problem" => opts.problem = args.next().unwrap_or_else(|| usage()),
             "--backend" => opts.backend = args.next().unwrap_or_else(|| usage()),
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.threads = v.parse().unwrap_or_else(|_| usage());
+                if opts.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    usage()
+                }
+            }
             "--source" => opts.source_mode = true,
             "--steps" => opts.show_steps = true,
             "--paths" => opts.show_paths = true,
@@ -206,59 +219,69 @@ fn main() {
         opts.problem
     );
 
-    let packed = match opts.backend.as_str() {
-        "scalar" => false,
-        "packed" => true,
+    let backend = match opts.backend.as_str() {
+        "scalar" => Backend::Scalar,
+        "packed" => Backend::Packed,
+        "threaded" => Backend::Threaded,
         other => {
             eprintln!("unknown backend `{other}`");
             usage()
         }
     };
     if opts.serve {
-        run_serve(w, d, packed, &opts);
+        run_serve(w, d, backend, &opts);
         return;
     }
+    let k = opts.threads;
     match opts.problem.as_str() {
         "shortest" => {
             let h = fit_word_bits(&w).clamp(2, 62);
-            if packed {
-                run_shortest(
+            match backend {
+                Backend::Scalar => run_shortest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts),
+                Backend::Packed => run_shortest(
                     Ppa::<PackedBackend>::packed(w.n()).with_word_bits(h),
                     &w,
                     d,
                     &opts,
-                );
-            } else {
-                run_shortest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts);
+                ),
+                Backend::Threaded => run_shortest(
+                    Ppa::<ThreadedBackend>::threaded(w.n(), k).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                ),
             }
         }
         "widest" => {
             let h = w.required_word_bits().clamp(4, 62);
-            if packed {
-                run_widest(
+            match backend {
+                Backend::Scalar => run_widest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts),
+                Backend::Packed => run_widest(
                     Ppa::<PackedBackend>::packed(w.n()).with_word_bits(h),
                     &w,
                     d,
                     &opts,
-                );
-            } else {
-                run_widest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts);
+                ),
+                Backend::Threaded => run_widest(
+                    Ppa::<ThreadedBackend>::threaded(w.n(), k).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                ),
             }
         }
-        "hops" => {
-            if packed {
-                run_hops(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts);
-            } else {
-                run_hops(Ppa::square(w.n()), &w, d, &opts);
+        "hops" => match backend {
+            Backend::Scalar => run_hops(Ppa::square(w.n()), &w, d, &opts),
+            Backend::Packed => run_hops(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts),
+            Backend::Threaded => run_hops(Ppa::<ThreadedBackend>::threaded(w.n(), k), &w, d, &opts),
+        },
+        "reach" => match backend {
+            Backend::Scalar => run_reach(Ppa::square(w.n()), &w, d, &opts),
+            Backend::Packed => run_reach(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts),
+            Backend::Threaded => {
+                run_reach(Ppa::<ThreadedBackend>::threaded(w.n(), k), &w, d, &opts)
             }
-        }
-        "reach" => {
-            if packed {
-                run_reach(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts);
-            } else {
-                run_reach(Ppa::square(w.n()), &w, d, &opts);
-            }
-        }
+        },
         other => {
             eprintln!("unknown problem `{other}`");
             usage()
@@ -266,9 +289,17 @@ fn main() {
     }
 }
 
+/// The execution backend selected by `--backend`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Scalar,
+    Packed,
+    Threaded,
+}
+
 /// Serve-mode runner: one job through a [`ppa_serve::SolveService`]
 /// worker pool, then the job report and the service's own counters.
-fn run_serve(w: WeightMatrix, d: usize, packed: bool, opts: &Options) {
+fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
     use ppa_serve::{ApspCheckpoint, JobKind, JobOutcome, JobSpec, ServeConfig, SolveService};
     use std::time::Duration;
 
@@ -286,7 +317,9 @@ fn run_serve(w: WeightMatrix, d: usize, packed: bool, opts: &Options) {
     };
     let svc = SolveService::start(ServeConfig {
         workers: opts.workers.max(1),
-        prefer_packed: packed,
+        prefer_packed: backend == Backend::Packed,
+        prefer_threaded: backend == Backend::Threaded,
+        threads: opts.threads,
         ..ServeConfig::default()
     });
     let mut spec = JobSpec::new(w.clone(), kind);

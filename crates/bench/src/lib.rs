@@ -408,6 +408,108 @@ pub fn backend_table() -> Table {
     t
 }
 
+/// SC — thread-scaling grid: the threaded backend across an n ×
+/// thread-count grid, with the packed backend as the single-core
+/// baseline. Before any timing is reported, every (n, threads) cell is
+/// asserted bit-identical to the scalar reference — outputs, PTN/SOW,
+/// and per-class step reports — and the backend's `ppa-obs` metrics
+/// counters are reconciled exactly against its execution statistics.
+pub fn scale_table() -> Table {
+    use ppa_machine::{PackedBackend, ThreadedBackend};
+    use ppa_mcp::McpSession;
+    let mut t = Table::new(
+        "SC",
+        "threaded-backend scaling, single-destination MCP (T6 workload: random connected, density 0.2, h >= 16)",
+        vec![
+            "n".into(),
+            "threads".into(),
+            "steps".into(),
+            "wall ms (best of 5)".into(),
+            "speedup vs packed".into(),
+            "plan hit rate".into(),
+        ],
+    );
+    let mut all_identical = true;
+    for &n in &[16usize, 32, 64] {
+        let w = gen::random_connected(n, 0.2, 25, 99);
+        let h = 16.max(fit_word_bits(&w)).clamp(2, 62);
+
+        let mut scalar = Ppa::square(n).with_word_bits(h);
+        let want = minimum_cost_path(&mut scalar, &w, 0).unwrap();
+
+        let mut packed_wall = f64::INFINITY;
+        for _ in 0..5 {
+            let mut ppa = Ppa::<PackedBackend>::packed(n).with_word_bits(h);
+            let start = Instant::now();
+            let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+            packed_wall = packed_wall.min(start.elapsed().as_secs_f64());
+            assert_eq!(out.sow, want.sow, "n = {n}: packed SOW diverged");
+        }
+        t.row(vec![
+            n.to_string(),
+            "packed".into(),
+            want.stats.total.total().to_string(),
+            format!("{:.2}", packed_wall * 1e3),
+            "1.00x".into(),
+            "-".into(),
+        ]);
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut wall = f64::INFINITY;
+            let mut stats = ppa_machine::ExecStats::default();
+            for _ in 0..5 {
+                let mut ppa = Ppa::<ThreadedBackend>::threaded(n, threads).with_word_bits(h);
+                let start = Instant::now();
+                let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
+                wall = wall.min(start.elapsed().as_secs_f64());
+                stats = ppa.exec_stats();
+                all_identical &= out.sow == want.sow
+                    && out.ptn == want.ptn
+                    && out.stats.total == want.stats.total;
+                assert_eq!(out.sow, want.sow, "n = {n} x {threads}: SOW diverged");
+                assert_eq!(out.ptn, want.ptn, "n = {n} x {threads}: PTN diverged");
+                assert_eq!(
+                    out.stats.total, want.stats.total,
+                    "n = {n} x {threads}: step reports diverged"
+                );
+            }
+            // Reconcile the metrics the session publishes to ppa-obs
+            // against the backend's own execution statistics.
+            let mut session = McpSession::new_threaded(&w, threads).unwrap();
+            session.ppa_mut().enable_metrics();
+            let before = session.exec_stats();
+            session.solve(0).unwrap();
+            let delta = session.exec_stats().since(&before);
+            let m = session.ppa_mut().take_metrics();
+            assert_eq!(
+                m.counter("backend.plan_hits") + m.counter("backend.plan_misses"),
+                delta.plan_hits + delta.plan_misses,
+                "n = {n} x {threads}: ppa-obs counters diverged from exec stats"
+            );
+            assert_eq!(
+                m.counter("backend.arena_fresh"),
+                delta.arena_fresh,
+                "n = {n} x {threads}: arena counters diverged from exec stats"
+            );
+            t.row(vec![
+                n.to_string(),
+                threads.to_string(),
+                want.stats.total.total().to_string(),
+                format!("{:.2}", wall * 1e3),
+                format!("{:.2}x", packed_wall / wall),
+                format!("{:.1}%", stats.plan_hit_rate() * 100.0),
+            ]);
+        }
+    }
+    t.note(format!("threaded_bit_identical: {all_identical}"));
+    t.note("every (n, threads) cell is asserted bit-identical to the scalar reference");
+    t.note("(SOW, PTN, per-class step report) before its wall-clock is reported, and the");
+    t.note("backend.* ppa-obs counters are reconciled exactly against the exec stats;");
+    t.note("speedup over packed requires multiple host cores — on a single-core host the");
+    t.note("rendezvous overhead makes threaded <= packed at every width (see EXPERIMENTS.md).");
+    t
+}
+
 /// A1 — bus-model ablation: circular vs linear buses.
 pub fn a1_bus_ablation() -> Table {
     let mut t = Table::new(
@@ -1334,6 +1436,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("a1", a1_bus_ablation),
         ("a2", a2_min_ablation),
         ("backend", backend_table),
+        ("scale", scale_table),
         // The report binary intercepts this entry to also write the trace
         // and metrics artifacts from the same run (see `profile_run`).
         ("profile", || profile_run().table),

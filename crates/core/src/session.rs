@@ -22,7 +22,7 @@ use crate::apsp::AllPairs;
 use crate::mcp::{self, McpOutput, Prepared};
 use crate::Result;
 use ppa_graph::WeightMatrix;
-use ppa_machine::{ExecStats, Executor, PackedBackend, ScalarBackend};
+use ppa_machine::{ExecStats, Executor, PackedBackend, ScalarBackend, ThreadedBackend};
 use ppa_ppc::Ppa;
 
 /// A minimum-cost-path solver session: a runtime plus the prepared
@@ -55,6 +55,20 @@ impl McpSession<PackedBackend> {
     pub fn new_packed(w: &WeightMatrix) -> Result<Self> {
         let ppa =
             Ppa::<PackedBackend>::packed(w.n()).with_word_bits(mcp::fit_word_bits(w).clamp(2, 62));
+        Self::from_ppa(ppa, w)
+    }
+}
+
+impl McpSession<ThreadedBackend> {
+    /// Builds a threaded-backend session sized and word-fitted for `w`,
+    /// sharding each bit-plane micro-op over a `threads`-wide pool.
+    ///
+    /// # Errors
+    /// Propagates the solver's size/word-width contract checks (which
+    /// cannot fire for the auto-fitted machine built here).
+    pub fn new_threaded(w: &WeightMatrix, threads: usize) -> Result<Self> {
+        let ppa = Ppa::<ThreadedBackend>::threaded(w.n(), threads)
+            .with_word_bits(mcp::fit_word_bits(w).clamp(2, 62));
         Self::from_ppa(ppa, w)
     }
 }

@@ -198,7 +198,11 @@ pub trait Executor: std::fmt::Debug + Clone {
     ) -> Result<Self::Mask, MachineError>;
 
     /// Cluster-head broadcast with the switch pattern given as a plane.
-    fn broadcast<T: Copy + Send + Sync>(
+    ///
+    /// `T: 'static` (here and on the other plane-moving micro-ops) lets a
+    /// backend hand the plane's shared storage to persistent worker
+    /// threads; every plane in the instruction set holds owned values.
+    fn broadcast<T: Copy + Send + Sync + 'static>(
         &mut self,
         mode: ExecMode,
         dim: Dim,
@@ -211,7 +215,7 @@ pub trait Executor: std::fmt::Debug + Clone {
 
     /// Cluster-head broadcast with the switch pattern given as a backend
     /// mask.
-    fn broadcast_masked<T: Copy + Send + Sync>(
+    fn broadcast_masked<T: Copy + Send + Sync + 'static>(
         &mut self,
         mode: ExecMode,
         dim: Dim,
@@ -233,7 +237,7 @@ pub trait Executor: std::fmt::Debug + Clone {
     }
 
     /// Nearest-neighbour shift with an edge fill policy.
-    fn shift<T: Copy + Send + Sync>(
+    fn shift<T: Copy + Send + Sync + 'static>(
         &mut self,
         mode: ExecMode,
         dim: Dim,
@@ -346,7 +350,7 @@ impl Executor for ScalarBackend {
         bus::bus_or(mode, dim, values, dir, open)
     }
 
-    fn broadcast_masked<T: Copy + Send + Sync>(
+    fn broadcast_masked<T: Copy + Send + Sync + 'static>(
         &mut self,
         mode: ExecMode,
         dim: Dim,

@@ -77,6 +77,7 @@ pub mod packed;
 pub mod plane;
 pub mod render;
 pub mod switch;
+pub mod threaded;
 
 pub use budget::CancelToken;
 pub use controller::{Controller, Op, StepReport};
@@ -90,3 +91,4 @@ pub use packed::{PackedBackend, PackedMask};
 pub use plane::Plane;
 pub use ppa_obs::OccupancySampling;
 pub use switch::SwitchConfig;
+pub use threaded::{SharedMask, ThreadedBackend};

@@ -340,7 +340,7 @@ impl<E: Executor> Machine<E> {
 
     /// `broadcast(src, dir, L)`: one controller step; every PE receives the
     /// `src` value of the Open node heading its bus cluster.
-    pub fn broadcast<T: Copy + Send + Sync>(
+    pub fn broadcast<T: Copy + Send + Sync + 'static>(
         &mut self,
         src: &Plane<T>,
         dir: Direction,
@@ -371,7 +371,7 @@ impl<E: Executor> Machine<E> {
 
     /// `broadcast` with the switch pattern held as a backend mask; same
     /// step cost, fault routing, and observability as the plane form.
-    pub fn broadcast_open<T: Copy + Send + Sync>(
+    pub fn broadcast_open<T: Copy + Send + Sync + 'static>(
         &mut self,
         src: &Plane<T>,
         dir: Direction,
@@ -423,7 +423,7 @@ impl<E: Executor> Machine<E> {
 
     /// `shift(src, dir)` with an explicit edge fill policy: one controller
     /// step; data moves one PE towards `dir`.
-    pub fn shift_with<T: Copy + Send + Sync>(
+    pub fn shift_with<T: Copy + Send + Sync + 'static>(
         &mut self,
         src: &Plane<T>,
         dir: Direction,
@@ -436,7 +436,7 @@ impl<E: Executor> Machine<E> {
 
     /// `shift(src, dir)`: one controller step; upstream-edge PEs receive
     /// `fill`.
-    pub fn shift<T: Copy + Send + Sync>(
+    pub fn shift<T: Copy + Send + Sync + 'static>(
         &mut self,
         src: &Plane<T>,
         dir: Direction,
@@ -446,7 +446,7 @@ impl<E: Executor> Machine<E> {
     }
 
     /// Toroidal `shift`: one controller step.
-    pub fn shift_wrapping<T: Copy + Send + Sync>(
+    pub fn shift_wrapping<T: Copy + Send + Sync + 'static>(
         &mut self,
         src: &Plane<T>,
         dir: Direction,

@@ -30,12 +30,12 @@ use crate::isa::{ExecStats, Executor};
 use crate::machine::Machine;
 use crate::plane::Plane;
 
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
 /// Retained bus plans; the MCP loop needs ~5 distinct configurations, so a
 /// small LRU never evicts a live plan while tolerating mask churn.
-const PLAN_CACHE_CAP: usize = 32;
+pub(crate) const PLAN_CACHE_CAP: usize = 32;
 
-fn words_for(dim: Dim) -> usize {
+pub(crate) fn words_for(dim: Dim) -> usize {
     dim.len().div_ceil(WORD_BITS)
 }
 
@@ -76,17 +76,139 @@ fn set_range(words: &mut [u64], start: usize, end: usize) {
     }
 }
 
+// ----- word kernels ---------------------------------------------------
+//
+// The per-word mechanics of every packed mask micro-op, written over a
+// word range `w0..w0 + out.len()` so the threaded backend can shard the
+// same kernels across its worker pool. The packed backend always calls
+// them with the full range; bit-identity across the two backends is
+// therefore structural, not coincidental.
+
+/// Packs the booleans backing words `w0..` of a flat plane into `out`.
+pub(crate) fn pack_range(src: &[bool], w0: usize, out: &mut [u64]) {
+    for (k, w) in out.iter_mut().enumerate() {
+        let base = (w0 + k) * WORD_BITS;
+        let top = WORD_BITS.min(src.len() - base);
+        let mut word = 0u64;
+        for (b, &v) in src[base..base + top].iter().enumerate() {
+            word |= (v as u64) << b;
+        }
+        *w = word;
+    }
+}
+
+/// Extracts bit `j` of the values backing words `w0..` into `out`.
+pub(crate) fn bit_plane_range(src: &[i64], j: u32, w0: usize, out: &mut [u64]) {
+    for (k, w) in out.iter_mut().enumerate() {
+        let base = (w0 + k) * WORD_BITS;
+        let top = WORD_BITS.min(src.len() - base);
+        let mut word = 0u64;
+        for (b, &x) in src[base..base + top].iter().enumerate() {
+            debug_assert!(x >= 0, "bit-serial scan expects non-negative values");
+            word |= (((x >> j) & 1) as u64) << b;
+        }
+        *w = word;
+    }
+}
+
+/// The voting step over words `w0..`: Min rule `e & !b`, Max rule `e & b`.
+/// `enable` has zero trailing bits, so the negation preserves the trim
+/// invariant.
+pub(crate) fn vote_range(e: &[u64], b: &[u64], keep_low: bool, w0: usize, out: &mut [u64]) {
+    for (k, w) in out.iter_mut().enumerate() {
+        let (ew, bw) = (e[w0 + k], b[w0 + k]);
+        *w = if keep_low { ew & !bw } else { ew & bw };
+    }
+}
+
+/// The knockout step over words `w0..`: Min rule `e & !(p & b)`, Max rule
+/// `e & (!p | b)`.
+pub(crate) fn knockout_range(
+    e: &[u64],
+    p: &[u64],
+    b: &[u64],
+    keep_low: bool,
+    w0: usize,
+    out: &mut [u64],
+) {
+    for (k, w) in out.iter_mut().enumerate() {
+        let (ew, pw, bw) = (e[w0 + k], p[w0 + k], b[w0 + k]);
+        *w = if keep_low {
+            ew & !(pw & bw)
+        } else {
+            ew & (!pw | bw)
+        };
+    }
+}
+
+/// Wired-OR pass 1 over row-run segments: deposits a bit at the cluster
+/// key of every segment that contains a set value bit.
+pub(crate) fn bus_or_deposit_segs(values: &[u64], segs: &[(u32, u32, u32)], acc: &mut [u64]) {
+    for &(s, e, k) in segs {
+        if range_any(values, s as usize, e as usize) {
+            let k = k as usize;
+            acc[k / WORD_BITS] |= 1u64 << (k % WORD_BITS);
+        }
+    }
+}
+
+/// Wired-OR pass 2 over row-run segments: fills every segment whose
+/// cluster key is lit in `acc`.
+pub(crate) fn bus_or_fill_segs(acc: &[u64], segs: &[(u32, u32, u32)], out: &mut [u64]) {
+    for &(s, e, k) in segs {
+        let k = k as usize;
+        if (acc[k / WORD_BITS] >> (k % WORD_BITS)) & 1 == 1 {
+            set_range(out, s as usize, e as usize);
+        }
+    }
+}
+
+/// Wired-OR pass 1, general axis: deposits the set bits of `values`
+/// words `w0..w0 + nwords` at their cluster keys.
+pub(crate) fn bus_or_deposit_keys(
+    values: &[u64],
+    keys: &[u32],
+    w0: usize,
+    nwords: usize,
+    acc: &mut [u64],
+) {
+    for wi in w0..w0 + nwords {
+        let mut bits = values[wi];
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            let key = keys[wi * WORD_BITS + b] as usize;
+            acc[key / WORD_BITS] |= 1u64 << (key % WORD_BITS);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Wired-OR pass 2, general axis: words `w0..` of the result, each PE
+/// reading its cluster key back from `acc` (`len` is the PE count).
+pub(crate) fn bus_or_read_keys(acc: &[u64], keys: &[u32], len: usize, w0: usize, out: &mut [u64]) {
+    for (k, w) in out.iter_mut().enumerate() {
+        let base = (w0 + k) * WORD_BITS;
+        let top = WORD_BITS.min(len - base);
+        let mut word = 0u64;
+        for b in 0..top {
+            let key = keys[base + b] as usize;
+            word |= ((acc[key / WORD_BITS] >> (key % WORD_BITS)) & 1) << b;
+        }
+        *w = word;
+    }
+}
+
 /// The shared mask arena: spent word buffers waiting to be reissued.
 #[derive(Debug, Default)]
-struct WordPool {
+pub(crate) struct WordPool {
     free: Vec<Vec<u64>>,
-    fresh: u64,
-    reused: u64,
+    pub(crate) fresh: u64,
+    pub(crate) reused: u64,
 }
 
 impl WordPool {
     /// A zeroed buffer of exactly `words` words, recycled when possible.
-    fn get(&mut self, words: usize) -> Vec<u64> {
+    pub(crate) fn get(&mut self, words: usize) -> Vec<u64> {
         while let Some(mut buf) = self.free.pop() {
             if buf.len() == words {
                 self.reused += 1;
@@ -99,7 +221,7 @@ impl WordPool {
         vec![0u64; words]
     }
 
-    fn put(&mut self, buf: Vec<u64>) {
+    pub(crate) fn put(&mut self, buf: Vec<u64>) {
         if !buf.is_empty() {
             self.free.push(buf);
         }
@@ -123,11 +245,6 @@ impl PackedMask {
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
-    }
-
-    #[inline]
-    fn set_bit(&mut self, i: usize) {
-        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
     /// Number of set PEs (a popcount per word).
@@ -186,18 +303,50 @@ impl std::fmt::Debug for PackedMask {
 
 /// A cached bus-cluster resolution for one (direction, Open mask) pair.
 #[derive(Debug)]
-struct BusPlan {
+pub(crate) struct BusPlan {
     /// Flat index of the driving Open node, per PE (floating-segment key on
     /// driverless lines — see [`bus::cluster_keys`]).
-    keys: Vec<u32>,
+    pub(crate) keys: Vec<u32>,
     /// Lines with no Open node (broadcast faults on these; wired-OR spans).
-    driverless: Vec<usize>,
+    pub(crate) driverless: Vec<usize>,
     /// Maximal runs of equal key as `(start, end, key)` flat-index ranges —
     /// populated only for row-axis plans, where each line's positions are
     /// contiguous in row-major order. A cluster that wraps around its line
     /// contributes two runs with the same key; the wired-OR fast path
     /// accumulates per key, so that is handled naturally.
-    segs: Vec<(u32, u32, u32)>,
+    pub(crate) segs: Vec<(u32, u32, u32)>,
+}
+
+/// Derives the cluster plan for a packed Open mask from scratch — the
+/// cache-miss path shared by the packed and threaded backends.
+pub(crate) fn compute_plan(dim: Dim, dir: Direction, words: &[u64]) -> BusPlan {
+    let mut open = vec![false; dim.len()];
+    for (i, o) in open.iter_mut().enumerate() {
+        *o = (words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1;
+    }
+    let (keys, driverless) = bus::cluster_keys(dim, dir, &open);
+    let segs = if dir.axis() == Axis::Row {
+        let mut segs = Vec::new();
+        for r in 0..dim.rows {
+            let base = r * dim.cols;
+            let mut s = base;
+            for p in base + 1..base + dim.cols {
+                if keys[p] != keys[s] {
+                    segs.push((s as u32, p as u32, keys[s]));
+                    s = p;
+                }
+            }
+            segs.push((s as u32, (base + dim.cols) as u32, keys[s]));
+        }
+        segs
+    } else {
+        Vec::new()
+    };
+    BusPlan {
+        keys,
+        driverless,
+        segs,
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -208,7 +357,7 @@ struct PlanEntry {
     plan: Rc<BusPlan>,
 }
 
-fn fingerprint(dir: Direction, words: &[u64]) -> u64 {
+pub(crate) fn fingerprint(dir: Direction, words: &[u64]) -> u64 {
     // FNV-1a over the packed words, seeded with the direction.
     let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (dir as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     for &w in words {
@@ -264,33 +413,7 @@ impl PackedBackend {
             return plan;
         }
         self.plan_misses += 1;
-        let mut open = vec![false; dim.len()];
-        for (i, o) in open.iter_mut().enumerate() {
-            *o = (words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1;
-        }
-        let (keys, driverless) = bus::cluster_keys(dim, dir, &open);
-        let segs = if dir.axis() == Axis::Row {
-            let mut segs = Vec::new();
-            for r in 0..dim.rows {
-                let base = r * dim.cols;
-                let mut s = base;
-                for p in base + 1..base + dim.cols {
-                    if keys[p] != keys[s] {
-                        segs.push((s as u32, p as u32, keys[s]));
-                        s = p;
-                    }
-                }
-                segs.push((s as u32, (base + dim.cols) as u32, keys[s]));
-            }
-            segs
-        } else {
-            Vec::new()
-        };
-        let plan = Rc::new(BusPlan {
-            keys,
-            driverless,
-            segs,
-        });
+        let plan = Rc::new(compute_plan(dim, dir, words));
         if self.plans.len() >= PLAN_CACHE_CAP {
             self.plans.remove(0);
         }
@@ -330,11 +453,7 @@ impl Executor for PackedBackend {
 
     fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> PackedMask {
         let mut mask = self.alloc_mask(dim);
-        for (i, &b) in plane.as_slice().iter().enumerate() {
-            if b {
-                mask.set_bit(i);
-            }
-        }
+        pack_range(plane.as_slice(), 0, &mut mask.words);
         mask
     }
 
@@ -357,14 +476,7 @@ impl Executor for PackedBackend {
 
     fn bit_plane(&mut self, _mode: ExecMode, dim: Dim, src: &Plane<i64>, j: u32) -> PackedMask {
         let mut mask = self.alloc_mask(dim);
-        for (wi, chunk) in src.as_slice().chunks(WORD_BITS).enumerate() {
-            let mut word = 0u64;
-            for (b, &x) in chunk.iter().enumerate() {
-                debug_assert!(x >= 0, "bit-serial scan expects non-negative values");
-                word |= (((x >> j) & 1) as u64) << b;
-            }
-            mask.words[wi] = word;
-        }
+        bit_plane_range(src.as_slice(), j, 0, &mut mask.words);
         mask
     }
 
@@ -377,15 +489,7 @@ impl Executor for PackedBackend {
         keep_low: bool,
     ) -> PackedMask {
         let mut out = self.alloc_mask(dim);
-        for (o, (&e, &b)) in out
-            .words
-            .iter_mut()
-            .zip(enable.words.iter().zip(bit.words.iter()))
-        {
-            // `enable` has zero trailing bits, so `e & ...` preserves the
-            // trim invariant even through the negation.
-            *o = if keep_low { e & !b } else { e & b };
-        }
+        vote_range(&enable.words, &bit.words, keep_low, 0, &mut out.words);
         out
     }
 
@@ -399,10 +503,14 @@ impl Executor for PackedBackend {
         keep_low: bool,
     ) -> PackedMask {
         let mut out = self.alloc_mask(dim);
-        for (i, o) in out.words.iter_mut().enumerate() {
-            let (e, p, b) = (enable.words[i], present.words[i], bit.words[i]);
-            *o = if keep_low { e & !(p & b) } else { e & (!p | b) };
-        }
+        knockout_range(
+            &enable.words,
+            &present.words,
+            &bit.words,
+            keep_low,
+            0,
+            &mut out.words,
+        );
         out
     }
 
@@ -424,45 +532,17 @@ impl Executor for PackedBackend {
             // Row-axis fast path: each cluster is a handful of contiguous
             // runs, so both passes are word-masked range ops instead of
             // per-PE bit walks.
-            for &(s, e, k) in &plan.segs {
-                if range_any(&values.words, s as usize, e as usize) {
-                    let k = k as usize;
-                    acc[k / WORD_BITS] |= 1u64 << (k % WORD_BITS);
-                }
-            }
-            for &(s, e, k) in &plan.segs {
-                let k = k as usize;
-                if (acc[k / WORD_BITS] >> (k % WORD_BITS)) & 1 == 1 {
-                    set_range(&mut out.words, s as usize, e as usize);
-                }
-            }
+            bus_or_deposit_segs(&values.words, &plan.segs, &mut acc);
+            bus_or_fill_segs(&acc, &plan.segs, &mut out.words);
         } else {
-            for (wi, &w) in values.words.iter().enumerate() {
-                let mut bits = w;
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    let k = plan.keys[wi * WORD_BITS + b] as usize;
-                    acc[k / WORD_BITS] |= 1u64 << (k % WORD_BITS);
-                    bits &= bits - 1;
-                }
-            }
-            let len = dim.len();
-            for wi in 0..nwords {
-                let base = wi * WORD_BITS;
-                let top = WORD_BITS.min(len - base);
-                let mut word = 0u64;
-                for b in 0..top {
-                    let k = plan.keys[base + b] as usize;
-                    word |= ((acc[k / WORD_BITS] >> (k % WORD_BITS)) & 1) << b;
-                }
-                out.words[wi] = word;
-            }
+            bus_or_deposit_keys(&values.words, &plan.keys, 0, nwords, &mut acc);
+            bus_or_read_keys(&acc, &plan.keys, dim.len(), 0, &mut out.words);
         }
         self.pool.borrow_mut().put(acc);
         Ok(out)
     }
 
-    fn broadcast<T: Copy + Send + Sync>(
+    fn broadcast<T: Copy + Send + Sync + 'static>(
         &mut self,
         mode: ExecMode,
         dim: Dim,
@@ -495,7 +575,7 @@ impl Executor for PackedBackend {
         Ok(Plane::from_vec(dim, data))
     }
 
-    fn broadcast_masked<T: Copy + Send + Sync>(
+    fn broadcast_masked<T: Copy + Send + Sync + 'static>(
         &mut self,
         mode: ExecMode,
         dim: Dim,

@@ -9,12 +9,27 @@
 
 use crate::geometry::{Coord, Dim};
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense plane of values, one per PE, stored row-major.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Storage is shared copy-on-write: cloning a plane is an `Arc` bump (the
+/// backends lean on this — the threaded backend ships plane data to its
+/// persistent workers without copying), and the mutating helpers
+/// ([`Plane::set`], [`Plane::as_mut_slice`]) unshare the buffer first.
+#[derive(PartialEq, Eq)]
 pub struct Plane<T> {
     dim: Dim,
-    data: Vec<T>,
+    data: Arc<Vec<T>>,
+}
+
+impl<T> Clone for Plane<T> {
+    fn clone(&self) -> Self {
+        Plane {
+            dim: self.dim,
+            data: Arc::clone(&self.data),
+        }
+    }
 }
 
 impl<T> Plane<T> {
@@ -26,7 +41,10 @@ impl<T> Plane<T> {
                 data.push(f(Coord::new(row, col)));
             }
         }
-        Plane { dim, data }
+        Plane {
+            dim,
+            data: Arc::new(data),
+        }
     }
 
     /// Wraps an existing row-major vector.
@@ -41,7 +59,10 @@ impl<T> Plane<T> {
             data.len(),
             dim
         );
-        Plane { dim, data }
+        Plane {
+            dim,
+            data: Arc::new(data),
+        }
     }
 
     /// The dimensions of the plane.
@@ -54,14 +75,10 @@ impl<T> Plane<T> {
         &self.data
     }
 
-    /// Mutably borrow the underlying row-major storage.
-    pub fn as_mut_slice(&mut self) -> &mut [T] {
-        &mut self.data
-    }
-
-    /// Consumes the plane, returning its row-major storage.
-    pub fn into_vec(self) -> Vec<T> {
-        self.data
+    /// The shared handle to the row-major storage — how backends hand
+    /// plane data to worker threads without copying.
+    pub(crate) fn shared(&self) -> Arc<Vec<T>> {
+        Arc::clone(&self.data)
     }
 
     /// Reference to the value at `c`.
@@ -74,13 +91,6 @@ impl<T> Plane<T> {
     #[inline]
     pub fn at(&self, row: usize, col: usize) -> &T {
         self.get(Coord::new(row, col))
-    }
-
-    /// Sets the value at `c`.
-    #[inline]
-    pub fn set(&mut self, c: Coord, value: T) {
-        let idx = self.dim.index(c);
-        self.data[idx] = value;
     }
 
     /// Iterates over all values row-major.
@@ -108,7 +118,7 @@ impl<T> Plane<T> {
     pub fn map_free<U>(&self, f: impl FnMut(&T) -> U) -> Plane<U> {
         Plane {
             dim: self.dim,
-            data: self.data.iter().map(f).collect(),
+            data: Arc::new(self.data.iter().map(f).collect()),
         }
     }
 }
@@ -118,8 +128,27 @@ impl<T: Clone> Plane<T> {
     pub fn filled(dim: Dim, value: T) -> Self {
         Plane {
             dim,
-            data: vec![value; dim.len()],
+            data: Arc::new(vec![value; dim.len()]),
         }
+    }
+
+    /// Mutably borrow the underlying row-major storage, unsharing it
+    /// first if other clones exist.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Consumes the plane, returning its row-major storage (cloned only
+    /// if other handles to the buffer are still alive).
+    pub fn into_vec(self) -> Vec<T> {
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Sets the value at `c`.
+    #[inline]
+    pub fn set(&mut self, c: Coord, value: T) {
+        let idx = self.dim.index(c);
+        Arc::make_mut(&mut self.data)[idx] = value;
     }
 
     /// Collects one column as a vector (rows top to bottom).
@@ -222,6 +251,20 @@ mod tests {
         assert_eq!(p.count_true(), 2);
         assert!(p.any());
         assert!(!p.all());
+    }
+
+    #[test]
+    fn clone_shares_storage_and_mutation_unshares() {
+        let a = Plane::filled(d23(), 1i64);
+        let mut b = a.clone();
+        assert!(
+            Arc::ptr_eq(&a.shared(), &b.shared()),
+            "clone is an Arc bump"
+        );
+        b.set(Coord::new(0, 0), 9);
+        assert_eq!(*a.at(0, 0), 1, "copy-on-write leaves the original alone");
+        assert_eq!(*b.at(0, 0), 9);
+        assert_eq!(b.clone().into_vec()[0], 9, "shared into_vec clones out");
     }
 
     #[test]

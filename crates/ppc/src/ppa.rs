@@ -5,7 +5,7 @@ use crate::error::PpcError;
 use crate::Result;
 use ppa_machine::{
     Dim, Direction, ExecMode, ExecStats, Executor, Machine, OccupancySampling, PackedBackend,
-    Plane, ScalarBackend, StepReport,
+    Plane, ScalarBackend, StepReport, ThreadedBackend,
 };
 
 /// A PPC `parallel` variable: one value per PE.
@@ -61,6 +61,14 @@ impl Ppa<PackedBackend> {
             mode,
             PackedBackend::new(),
         ))
+    }
+}
+
+impl Ppa<ThreadedBackend> {
+    /// Creates a square `n x n` runtime on the threaded bit-plane backend
+    /// with a `threads`-shard worker pool.
+    pub fn threaded(n: usize, threads: usize) -> Self {
+        Ppa::from_machine(Machine::threaded_square(n, threads))
     }
 }
 
@@ -356,7 +364,7 @@ impl<E: Executor> Ppa<E> {
     /// The PPC `shift(src, dir)` primitive (one step). Upstream-edge PEs
     /// receive `fill` (PPC leaves them implementation-defined; the
     /// algorithms in this suite never read them).
-    pub fn shift<T: Copy + Send + Sync>(
+    pub fn shift<T: Copy + Send + Sync + 'static>(
         &mut self,
         src: &Parallel<T>,
         dir: Direction,
@@ -369,7 +377,7 @@ impl<E: Executor> Ppa<E> {
     /// parallel logical variable whose `true` elements configure their
     /// switch boxes Open; every PE receives the value injected by the Open
     /// head of its bus cluster.
-    pub fn broadcast<T: Copy + Send + Sync>(
+    pub fn broadcast<T: Copy + Send + Sync + 'static>(
         &mut self,
         src: &Parallel<T>,
         dir: Direction,

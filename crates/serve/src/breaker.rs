@@ -1,6 +1,7 @@
-//! Per-backend circuit breaker: packed fast path with scalar fallback.
+//! Per-backend circuit breaker: fast path with scalar fallback.
 //!
-//! The packed backend is ~4x faster but shares one plan cache and arena
+//! The fast backend — packed by default, threaded when the service is
+//! configured with `prefer_threaded` — shares one plan cache and arena
 //! across every job a worker runs; if it ever misbehaves (a corruption
 //! burst that survives retries, or a divergence from the scalar
 //! reference), the service must stop routing traffic to it *without*
@@ -17,7 +18,8 @@
 //!
 //! While Open (and HalfOpen, until the probe passes) every job runs on
 //! the scalar backend. The probe is *differential*: solve a fixed
-//! reference graph on both backends and compare results bit-for-bit —
+//! reference graph on the fast and scalar backends and compare results
+//! bit-for-bit —
 //! the same equivalence PR 3's differential suites assert statically,
 //! run here as a live health check. Every transition is recorded by the
 //! service under `serve.breaker.*` counters.
@@ -25,23 +27,23 @@
 /// Breaker states (see module docs for the transition diagram).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BreakerState {
-    /// Packed backend trusted: consecutive failures are counted.
+    /// Fast backend trusted: consecutive failures are counted.
     Closed,
-    /// Packed backend banned; `cooldown_left` more jobs run scalar
+    /// Fast backend banned; `cooldown_left` more jobs run scalar
     /// before the breaker half-opens.
     Open {
         /// Jobs left before probing is allowed.
         cooldown_left: u32,
     },
     /// Cooldown over: the next routing decision asks for a divergence
-    /// probe before packed traffic resumes.
+    /// probe before fast traffic resumes.
     HalfOpen,
 }
 
 /// Breaker tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerConfig {
-    /// Consecutive packed-attempt failures that trip Closed -> Open.
+    /// Consecutive fast-attempt failures that trip Closed -> Open.
     pub failure_threshold: u32,
     /// Jobs routed scalar before Open -> HalfOpen.
     pub cooldown_jobs: u32,
@@ -56,7 +58,7 @@ impl Default for BreakerConfig {
     }
 }
 
-/// The circuit breaker guarding the packed backend.
+/// The circuit breaker guarding the configured fast backend.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
     config: BreakerConfig,
@@ -67,7 +69,7 @@ pub struct CircuitBreaker {
 /// What the breaker wants for the next job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
-    /// Run the job on the packed backend.
+    /// Run the job on the configured fast backend (packed or threaded).
     Packed,
     /// Run the job on the scalar backend.
     Scalar,

@@ -18,10 +18,11 @@
 //! * **Retries** — corruption-class failures (transient injected faults)
 //!   are retried on a fresh machine with exponential backoff + jitter
 //!   ([`RetryPolicy`]), reusing the recovery layer's failure taxonomy.
-//! * **Circuit breaking** — repeated packed-backend failures trip a
-//!   [`CircuitBreaker`] that falls back to the scalar reference backend
-//!   and only re-admits packed traffic after a live divergence probe
-//!   passes.
+//! * **Circuit breaking** — repeated failures on the fast backend
+//!   (packed by default, threaded when [`ServeConfig::prefer_threaded`]
+//!   is set) trip a [`CircuitBreaker`] that falls back to the scalar
+//!   reference backend and only re-admits fast traffic after a live
+//!   divergence probe passes.
 //! * **Checkpoint/resume** — all-pairs campaigns flush an
 //!   [`ApspCheckpoint`] as they go; an interrupted campaign returns
 //!   [`ServeError::Interrupted`] with the last flushed document and can

@@ -27,7 +27,7 @@ use crate::job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeEr
 use crate::policy::RetryPolicy;
 use crate::BreakerConfig;
 use ppa_graph::{Weight, WeightMatrix, INF};
-use ppa_machine::{CancelToken, Executor, PackedBackend, TransientFaults};
+use ppa_machine::{CancelToken, Executor, PackedBackend, ThreadedBackend, TransientFaults};
 use ppa_mcp::widest::{widest_path, WidestOutput};
 use ppa_mcp::{mcp, McpError, McpSession};
 use ppa_obs::{Json, Metrics};
@@ -61,6 +61,12 @@ pub struct ServeConfig {
     /// Route jobs to the packed backend when the breaker allows it;
     /// `false` pins everything to the scalar reference backend.
     pub prefer_packed: bool,
+    /// Route jobs to the threaded backend (takes precedence over
+    /// `prefer_packed`); guarded by the same circuit breaker, so a
+    /// divergence-probe failure downgrades threaded jobs to scalar too.
+    pub prefer_threaded: bool,
+    /// Pool width for threaded-backend attempts (clamped to at least 1).
+    pub threads: usize,
     /// Seed for worker-local RNGs (retry jitter). Worker `k` derives its
     /// stream from `seed` and `k`, so runs are reproducible.
     pub seed: u64,
@@ -76,6 +82,8 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             prefer_packed: true,
+            prefer_threaded: false,
+            threads: 2,
             seed: 0x5eed,
         }
     }
@@ -510,6 +518,16 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
                 &mut last_flush,
                 &shared.metrics,
             ),
+            BackendChoice::Threaded => attempt_on(
+                Ppa::<ThreadedBackend>::threaded(n, config.threads.max(1))
+                    .with_word_bits(word_bits),
+                &job.spec,
+                &token,
+                budget,
+                attempts,
+                &mut last_flush,
+                &shared.metrics,
+            ),
             BackendChoice::Scalar => attempt_on(
                 Ppa::square(n).with_word_bits(word_bits),
                 &job.spec,
@@ -522,7 +540,7 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
         };
         match result {
             Ok(out) => {
-                if backend == BackendChoice::Packed {
+                if backend.is_fast() {
                     lock(&shared.breaker).record_success();
                 }
                 break Ok(out);
@@ -534,7 +552,7 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
                 })
             }
             Err(e) if e.indicates_corruption() => {
-                if backend == BackendChoice::Packed && lock(&shared.breaker).record_failure() {
+                if backend.is_fast() && lock(&shared.breaker).record_failure() {
                     lock(&shared.metrics).inc("serve.breaker.trips", 1);
                 }
                 if attempts <= config.retry.max_retries && !token.is_cancelled() {
@@ -607,25 +625,30 @@ fn finish(
 /// Picks the backend for the next attempt via the circuit breaker,
 /// running the divergence probe when the breaker is half-open.
 fn route_backend(ctx: &WorkerCtx) -> BackendChoice {
-    if !ctx.shared.config.prefer_packed {
+    let config = &ctx.shared.config;
+    let fast = if config.prefer_threaded {
+        BackendChoice::Threaded
+    } else if config.prefer_packed {
+        BackendChoice::Packed
+    } else {
         return BackendChoice::Scalar;
-    }
+    };
     let route = lock(&ctx.shared.breaker).route();
     match route {
-        Route::Packed => BackendChoice::Packed,
+        Route::Packed => fast,
         Route::Scalar => {
             lock(&ctx.shared.metrics).inc("serve.breaker.scalar_fallback", 1);
             BackendChoice::Scalar
         }
         Route::ProbeFirst => {
             lock(&ctx.shared.metrics).inc("serve.breaker.probes", 1);
-            let passed = divergence_probe();
+            let passed = divergence_probe(fast, config.threads.max(1));
             lock(&ctx.shared.breaker).probe_result(passed);
             let mut m = lock(&ctx.shared.metrics);
             if passed {
                 m.inc("serve.breaker.probe_pass", 1);
                 drop(m);
-                BackendChoice::Packed
+                fast
             } else {
                 m.inc("serve.breaker.probe_fail", 1);
                 m.inc("serve.breaker.trips", 1);
@@ -637,15 +660,22 @@ fn route_backend(ctx: &WorkerCtx) -> BackendChoice {
     }
 }
 
-/// The half-open health check: solve a fixed reference graph on both
-/// backends (fresh, clean machines) and demand bit-identical results —
-/// the differential equivalence the test suites assert statically, run
-/// live before packed traffic resumes.
-fn divergence_probe() -> bool {
+/// The half-open health check: solve a fixed reference graph on the fast
+/// backend under probe and on the scalar reference (fresh, clean
+/// machines) and demand bit-identical results — the differential
+/// equivalence the test suites assert statically, run live before fast
+/// traffic resumes.
+fn divergence_probe(fast: BackendChoice, threads: usize) -> bool {
     let w = ppa_graph::gen::random_connected(6, 0.5, 9, 0xD1FF);
-    let packed = McpSession::new_packed(&w).and_then(|mut s| s.solve(0));
+    let probed = match fast {
+        BackendChoice::Packed => McpSession::new_packed(&w).and_then(|mut s| s.solve(0)),
+        BackendChoice::Threaded => {
+            McpSession::new_threaded(&w, threads).and_then(|mut s| s.solve(0))
+        }
+        BackendChoice::Scalar => return true,
+    };
     let scalar = McpSession::new(&w).and_then(|mut s| s.solve(0));
-    match (packed, scalar) {
+    match (probed, scalar) {
         (Ok(a), Ok(b)) => a.sow == b.sow && a.ptn == b.ptn && a.iterations == b.iterations,
         _ => false,
     }
@@ -1005,6 +1035,53 @@ mod tests {
         assert_eq!(metrics.counter("serve.breaker.trips"), 1);
         assert_eq!(metrics.counter("serve.breaker.scalar_fallback"), 1);
         assert_eq!(metrics.counter("serve.breaker.probes"), 1);
+        assert_eq!(metrics.counter("serve.breaker.probe_pass"), 1);
+    }
+
+    #[test]
+    fn breaker_downgrades_threaded_to_scalar_and_probe_recovers() {
+        let w = gen::random_connected(6, 0.5, 9, 4);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            prefer_threaded: true,
+            threads: 3,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_jobs: 1,
+            },
+            ..quick_config()
+        });
+        // Attempts 1+2 fail on the threaded backend (tripping at
+        // threshold 2); attempt 3 routes scalar — the breaker guards the
+        // threaded fast path exactly as it guards packed.
+        let mut faulty = JobSpec::new(w.clone(), JobKind::Shortest { dest: 0 });
+        faulty.transient_faults = Some((1.0, 7));
+        let report = svc.submit(faulty).unwrap().wait();
+        assert!(report.outcome.is_err());
+        assert_eq!(report.backend, Some(BackendChoice::Scalar));
+        assert_ne!(svc.breaker_state(), BreakerState::Closed);
+        // Clean job: half-open -> threaded-vs-scalar divergence probe
+        // passes -> threaded traffic resumes.
+        let clean = svc
+            .submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: 0 }))
+            .unwrap()
+            .wait();
+        assert!(clean.outcome.is_ok());
+        assert_eq!(clean.backend, Some(BackendChoice::Threaded));
+        assert_eq!(svc.breaker_state(), BreakerState::Closed);
+        // The threaded answer that came back is the scalar answer: the
+        // soak campaign's silent_wrong: 0 invariant has teeth here too.
+        let want = McpSession::new(&w).unwrap().solve_verified(0).unwrap();
+        match clean.outcome.unwrap() {
+            JobOutcome::Shortest(out) => {
+                assert_eq!(out.sow, want.sow);
+                assert_eq!(out.ptn, want.ptn);
+            }
+            other => panic!("wrong outcome kind: {other:?}"),
+        }
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.breaker.trips"), 1);
+        assert_eq!(metrics.counter("serve.breaker.scalar_fallback"), 1);
         assert_eq!(metrics.counter("serve.breaker.probe_pass"), 1);
     }
 
