@@ -7,25 +7,56 @@
 //! cargo run -p ppa-bench --bin report --release -- profile --trace-out target/experiments
 //! cargo run -p ppa-bench --bin report --release -- faults --seed 7
 //! cargo run -p ppa-bench --bin report --release -- serve --seed 7
+//! cargo run -p ppa-bench --bin report --release -- bench
+//! cargo run -p ppa-bench --bin report --release -- bench --check
 //! cargo run -p ppa-bench --bin report --release -- --list
 //! ```
 //!
 //! Renders the requested experiment tables to stdout and writes
-//! `.txt`/`.csv`/`.json` artifacts under `target/experiments/`. The
-//! `profile` experiment additionally writes `profile.trace.json` (Chrome
-//! `trace_event`, Perfetto-loadable) and `profile.json` (metrics
-//! snapshot) to the `--trace-out` directory (default: the artifact dir).
-//! The `faults` experiment honours `--seed N` (default 7) to re-roll the
-//! fault campaign deterministically.
+//! `.txt`/`.csv`/`.json` artifacts under `target/experiments/`. Every
+//! table JSON artifact is stamped with a `provenance` object (host
+//! fingerprint + `git describe`) so a downloaded CI artifact identifies
+//! the build that produced it.
+//!
+//! The `profile` experiment additionally writes `profile.trace.json`
+//! (Chrome `trace_event`, Perfetto-loadable), `profile.json` (metrics
+//! snapshot), and `profile.folded.txt` (inferno-compatible folded-stack
+//! micro-op time attribution) to the `--trace-out` directory (default:
+//! the artifact dir). The `faults` and `serve` experiments honour
+//! `--seed N` (default 7); `serve` also writes `serve.introspect.json`,
+//! the live introspection snapshots taken at the end of each scenario.
+//!
+//! The `backend`, `scale`, and `serve` experiments each write a
+//! `BENCH_<name>.json` measured baseline next to their table artifacts.
+//! The `bench` pseudo-experiment runs all three plus `profile`, writes
+//! the candidate baselines, and with `--check` gates them against the
+//! committed `BENCH_*.json` files in `--baseline-dir` (default: the
+//! repository root, `.`): step-count or counter drift exits nonzero
+//! always; wall-clock regressions beyond the MAD-scaled tolerance exit
+//! nonzero only when the host fingerprint matches the committed one.
 //!
 //! Experiment names are validated *before* anything runs: a typo exits
 //! with status 2 immediately instead of after minutes of computation.
 
-use ppa_bench::{all_experiments, faults_campaign, profile_run, serve_campaign, Table};
+use ppa_bench::baseline::{bench_file_name, compare, git_describe};
+use ppa_bench::{
+    all_experiments, backend_run, faults_campaign, profile_run, scale_run, serve_run, Baseline,
+    HostFingerprint, Table,
+};
+use ppa_obs::Json;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-fn write_table(dir: &Path, name: &str, table: &Table) -> String {
+/// `{fingerprint, git_describe}` stamp appended to every table JSON
+/// artifact, so an artifact pulled off CI identifies its build.
+fn provenance() -> Json {
+    Json::obj(vec![
+        ("fingerprint", HostFingerprint::detect().to_json()),
+        ("git_describe", Json::Str(git_describe())),
+    ])
+}
+
+fn write_table(dir: &Path, name: &str, table: &Table, provenance: &Json) -> String {
     let rendered = table.render();
     fs::write(dir.join(format!("{name}.txt")), &rendered).expect("write txt");
     fs::write(dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
@@ -36,8 +67,130 @@ fn write_table(dir: &Path, name: &str, table: &Table) -> String {
     } else {
         format!("{name}.json")
     };
-    fs::write(dir.join(json_name), table.to_json()).expect("write json");
+    let mut doc = table.to_json_value();
+    if let Json::Object(pairs) = &mut doc {
+        pairs.push(("provenance".to_owned(), provenance.clone()));
+    }
+    fs::write(dir.join(json_name), doc.to_string_pretty()).expect("write json");
     rendered
+}
+
+/// Writes a measured baseline as `BENCH_<name>.json` in `dir`.
+fn write_baseline(dir: &Path, baseline: &Baseline) -> PathBuf {
+    let path = dir.join(bench_file_name(&baseline.name));
+    fs::write(&path, baseline.to_json().to_string_pretty()).expect("write baseline");
+    path
+}
+
+/// Writes the profile run's extra artifacts (trace, metrics snapshot,
+/// folded stacks) to `trace_dir`.
+fn write_profile_artifacts(trace_dir: &Path, run: &ppa_bench::ProfileRun) {
+    fs::write(
+        trace_dir.join("profile.trace.json"),
+        run.chrome_trace.to_string_pretty(),
+    )
+    .expect("write chrome trace");
+    fs::write(
+        trace_dir.join("profile.json"),
+        run.metrics.to_json().to_string_pretty(),
+    )
+    .expect("write metrics");
+    fs::write(
+        trace_dir.join("profile.folded.txt"),
+        run.micro.folded_lines(),
+    )
+    .expect("write folded stacks");
+    eprintln!(
+        "profile artifacts: {}, {} and {}",
+        trace_dir.join("profile.trace.json").display(),
+        trace_dir.join("profile.json").display(),
+        trace_dir.join("profile.folded.txt").display(),
+    );
+}
+
+/// The `bench` pseudo-experiment: measure every baselined grid (and the
+/// profile artifacts), write the candidates, and optionally gate them
+/// against the committed `BENCH_*.json` files.
+fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp: &Json) {
+    eprintln!("running bench (backend + scale + serve + profile)...");
+    let backend = backend_run();
+    let scale = scale_run();
+    let serve = serve_run(seed);
+    let profile = profile_run();
+
+    for (name, table) in [
+        ("backend", &backend.table),
+        ("scale", &scale.table),
+        ("serve", &serve.table),
+        ("profile", &profile.table),
+    ] {
+        let rendered = write_table(out_dir, name, table, stamp);
+        println!("{rendered}");
+    }
+    write_profile_artifacts(out_dir, &profile);
+    fs::write(
+        out_dir.join("serve.introspect.json"),
+        serve.introspection.to_string_pretty(),
+    )
+    .expect("write serve introspection");
+
+    let candidates = [&backend.baseline, &scale.baseline, &serve.baseline];
+    for candidate in candidates {
+        let path = write_baseline(out_dir, candidate);
+        eprintln!("candidate baseline: {}", path.display());
+    }
+    if !check {
+        eprintln!(
+            "bench candidates written to {} (copy them to the repo root to re-baseline; \
+             run with --check to gate against the committed files)",
+            out_dir.display()
+        );
+        return;
+    }
+
+    let mut failures = 0usize;
+    for candidate in candidates {
+        let file = baseline_dir.join(bench_file_name(&candidate.name));
+        let committed = fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))
+            .and_then(|text| {
+                Json::parse(&text).map_err(|e| format!("{} is not JSON: {e}", file.display()))
+            })
+            .and_then(|doc| {
+                Baseline::from_json(&doc)
+                    .map_err(|e| format!("{} is malformed: {e}", file.display()))
+            });
+        let committed = match committed {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("FAIL {}: {msg}", candidate.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let report = compare(&committed, candidate);
+        for warning in &report.warnings {
+            eprintln!("warn {}: {warning}", candidate.name);
+        }
+        for failure in &report.failures {
+            eprintln!("FAIL {}: {failure}", candidate.name);
+        }
+        if report.passed() {
+            eprintln!(
+                "ok   {}: {} cells within tolerance of committed {} ({})",
+                candidate.name,
+                candidate.entries.len(),
+                bench_file_name(&candidate.name),
+                committed.git_describe,
+            );
+        }
+        failures += report.failures.len();
+    }
+    if failures > 0 {
+        eprintln!("bench gate FAILED with {failures} hard failure(s)");
+        std::process::exit(1);
+    }
+    eprintln!("bench gate passed");
 }
 
 fn main() {
@@ -49,12 +202,15 @@ fn main() {
         for (name, _) in &experiments {
             println!("  {name}");
         }
+        println!("  bench");
         println!("  all");
         return;
     }
 
     let mut trace_out: Option<PathBuf> = None;
     let mut seed: u64 = 7;
+    let mut check = false;
+    let mut baseline_dir = PathBuf::from(".");
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -79,12 +235,39 @@ fn main() {
                     }
                 };
             }
+            "--check" => check = true,
+            "--baseline-dir" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--baseline-dir requires a directory argument");
+                    std::process::exit(2);
+                };
+                baseline_dir = PathBuf::from(dir);
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other} (try --list)");
                 std::process::exit(2);
             }
             other => names.push(other.to_owned()),
         }
+    }
+
+    let out_dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&out_dir).expect("create target/experiments");
+    let trace_dir = trace_out.unwrap_or_else(|| out_dir.clone());
+    fs::create_dir_all(&trace_dir).expect("create trace-out directory");
+    let stamp = provenance();
+
+    if names.iter().any(|a| a == "bench") {
+        if names.len() > 1 {
+            eprintln!("`bench` runs its own fixed set; don't combine it with other names");
+            std::process::exit(2);
+        }
+        run_bench(check, &baseline_dir, seed, &out_dir, &stamp);
+        return;
+    }
+    if check {
+        eprintln!("--check only applies to the `bench` pseudo-experiment");
+        std::process::exit(2);
     }
 
     let wanted: Vec<&str> = if names.is_empty() || names.iter().any(|a| a == "all") {
@@ -104,11 +287,6 @@ fn main() {
         std::process::exit(2);
     }
 
-    let out_dir = PathBuf::from("target/experiments");
-    fs::create_dir_all(&out_dir).expect("create target/experiments");
-    let trace_dir = trace_out.unwrap_or_else(|| out_dir.clone());
-    fs::create_dir_all(&trace_dir).expect("create trace-out directory");
-
     for name in wanted {
         eprintln!("running {name}...");
         if name == "profile" {
@@ -116,37 +294,45 @@ fn main() {
             // artifacts (running the registered closure would profile a
             // second, unrelated run).
             let run = profile_run();
-            let rendered = write_table(&out_dir, name, &run.table);
+            let rendered = write_table(&out_dir, name, &run.table, &stamp);
             println!("{rendered}");
-            fs::write(
-                trace_dir.join("profile.trace.json"),
-                run.chrome_trace.to_string_pretty(),
-            )
-            .expect("write chrome trace");
-            fs::write(
-                trace_dir.join("profile.json"),
-                run.metrics.to_json().to_string_pretty(),
-            )
-            .expect("write metrics");
-            eprintln!(
-                "profile artifacts: {} and {}",
-                trace_dir.join("profile.trace.json").display(),
-                trace_dir.join("profile.json").display()
-            );
+            write_profile_artifacts(&trace_dir, &run);
             continue;
         }
         if name == "faults" {
             // The registered closure runs the default seed; honour --seed.
             let table = faults_campaign(seed);
-            let rendered = write_table(&out_dir, name, &table);
+            let rendered = write_table(&out_dir, name, &table, &stamp);
             println!("{rendered}");
             continue;
         }
         if name == "serve" {
-            // Same: the serving stress campaign honours --seed.
-            let table = serve_campaign(seed);
-            let rendered = write_table(&out_dir, name, &table);
+            // Same: the serving stress campaign honours --seed. The one
+            // run also yields the measured baseline and the per-scenario
+            // introspection snapshots.
+            let run = serve_run(seed);
+            let rendered = write_table(&out_dir, name, &run.table, &stamp);
             println!("{rendered}");
+            write_baseline(&out_dir, &run.baseline);
+            fs::write(
+                out_dir.join("serve.introspect.json"),
+                run.introspection.to_string_pretty(),
+            )
+            .expect("write serve introspection");
+            continue;
+        }
+        if name == "backend" {
+            let run = backend_run();
+            let rendered = write_table(&out_dir, name, &run.table, &stamp);
+            println!("{rendered}");
+            write_baseline(&out_dir, &run.baseline);
+            continue;
+        }
+        if name == "scale" {
+            let run = scale_run();
+            let rendered = write_table(&out_dir, name, &run.table, &stamp);
+            println!("{rendered}");
+            write_baseline(&out_dir, &run.baseline);
             continue;
         }
         let run = experiments
@@ -155,7 +341,7 @@ fn main() {
             .map(|(_, f)| f)
             .expect("validated above");
         let table = run();
-        let rendered = write_table(&out_dir, name, &table);
+        let rendered = write_table(&out_dir, name, &table, &stamp);
         println!("{rendered}");
     }
 

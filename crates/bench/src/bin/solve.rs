@@ -56,6 +56,7 @@ struct Options {
     workers: usize,
     deadline_ms: Option<u64>,
     budget: Option<u64>,
+    status_every_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -64,7 +65,8 @@ fn usage() -> ! {
          [--problem shortest|widest|hops|reach] \
          [--backend scalar|packed|threaded] [--threads K] \
          [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE] \
-         [--serve [--workers N] [--deadline-ms D] [--budget STEPS]]"
+         [--serve [--workers N] [--deadline-ms D] [--budget STEPS] \
+         [--status-every MS]]"
     );
     exit(2)
 }
@@ -86,6 +88,7 @@ fn parse_args() -> Options {
         workers: 3,
         deadline_ms: None,
         budget: None,
+        status_every_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,6 +125,15 @@ fn parse_args() -> Options {
             "--budget" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--status-every" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let ms: u64 = v.parse().unwrap_or_else(|_| usage());
+                if ms == 0 {
+                    eprintln!("--status-every must be at least 1 ms");
+                    usage()
+                }
+                opts.status_every_ms = Some(ms);
             }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
@@ -301,6 +313,8 @@ enum Backend {
 /// worker pool, then the job report and the service's own counters.
 fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
     use ppa_serve::{ApspCheckpoint, JobKind, JobOutcome, JobSpec, ServeConfig, SolveService};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
     use std::time::Duration;
 
     let kind = match opts.problem.as_str() {
@@ -315,23 +329,59 @@ fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
             exit(2)
         }
     };
-    let svc = SolveService::start(ServeConfig {
+    let svc = Arc::new(SolveService::start(ServeConfig {
         workers: opts.workers.max(1),
         prefer_packed: backend == Backend::Packed,
         prefer_threaded: backend == Backend::Threaded,
         threads: opts.threads,
         ..ServeConfig::default()
+    }));
+    // `--status-every MS`: a sidecar thread dumps a full introspection
+    // snapshot (compact JSON, one line, `status:` prefix) to stderr at
+    // the requested period until the job settles.
+    let status = opts.status_every_ms.map(|ms| {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let period = Duration::from_millis(ms);
+            loop {
+                let snap = svc.introspect();
+                eprintln!("status: {}", snap.to_json().to_string_compact());
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(period);
+            }
+        });
+        (stop, handle)
     });
+    let stop_status = move || {
+        if let Some((stop, handle)) = status {
+            stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+    };
+    // Stops the dumper, then drains the pool and returns final metrics.
+    let finish = move |svc: Arc<SolveService>| -> ppa_obs::Metrics {
+        stop_status();
+        match Arc::try_unwrap(svc) {
+            Ok(s) => s.shutdown(),
+            Err(arc) => arc.metrics(), // unreachable: the dumper was joined
+        }
+    };
     let mut spec = JobSpec::new(w.clone(), kind);
     spec.deadline = opts.deadline_ms.map(Duration::from_millis);
     spec.step_budget = opts.budget;
-    let report = svc
-        .submit(spec)
-        .unwrap_or_else(|e| {
+    let ticket = match svc.submit(spec) {
+        Ok(t) => t,
+        Err(e) => {
             eprintln!("submit failed: {e}");
+            finish(svc);
             exit(1)
-        })
-        .wait();
+        }
+    };
+    let report = ticket.wait();
     println!(
         "job {}: {} attempt(s), backend {}, latency {:?}",
         report.id,
@@ -384,12 +434,12 @@ fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
         },
         Err(e) => {
             eprintln!("job failed: {e}");
-            let metrics = svc.shutdown();
+            let metrics = finish(svc);
             print_serve_counters(&metrics);
             exit(1)
         }
     }
-    let metrics = svc.shutdown();
+    let metrics = finish(svc);
     print_serve_counters(&metrics);
 }
 

@@ -14,8 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod table;
 
+pub use baseline::{Baseline, BaselineEntry, CheckReport, HostFingerprint, WallStats};
 pub use table::Table;
 
 use ppa_baselines::{Gcn, Hypercube, McpSolver, PlainMesh, SequentialBf};
@@ -322,14 +324,35 @@ pub fn t6_engine() -> Table {
     t
 }
 
+/// One perf experiment's full output: the human-readable [`Table`] plus
+/// the machine-readable [`Baseline`] (grid cells with deterministic step
+/// counts/counters and median/MAD wall-clock) that `report` persists as
+/// `BENCH_<name>.json` and `report bench --check` gates against.
+pub struct BenchRun {
+    /// Summary table, rendered like any other experiment.
+    pub table: Table,
+    /// The measured baseline for this run.
+    pub baseline: Baseline,
+}
+
+/// BK — execution-backend comparison: the scalar reference backend vs the
+/// packed u64 bit-plane backend on the T6 MCP workload (table only; see
+/// [`backend_run`] for the baseline-producing form).
+pub fn backend_table() -> Table {
+    backend_run().table
+}
+
 /// BK — execution-backend comparison: the scalar reference backend vs the
 /// packed u64 bit-plane backend on the T6 MCP workload. Both backends run
 /// the same micro-op stream; the table asserts they produce identical
 /// outputs and identical controller step reports, then compares host
 /// wall-clock and shows the packed backend's bus-plan cache and mask
-/// arena counters.
-pub fn backend_table() -> Table {
+/// arena counters. Every (n, backend) cell also becomes a [`Baseline`]
+/// entry: deterministic step count, plan/arena counters, and median/MAD
+/// wall-clock over the five repetitions.
+pub fn backend_run() -> BenchRun {
     use ppa_machine::PackedBackend;
+    let mut entries: Vec<BaselineEntry> = Vec::new();
     let mut t = Table::new(
         "BK",
         "execution backends, single-destination MCP (T6 workload: random connected, density 0.2, h >= 16)",
@@ -348,29 +371,51 @@ pub fn backend_table() -> Table {
         let w = gen::random_connected(n, 0.2, 25, 99);
         let h = 16.max(fit_word_bits(&w)).clamp(2, 62);
 
-        let mut scalar_wall = f64::INFINITY;
+        let mut scalar_samples: Vec<u64> = Vec::new();
         let mut scalar_out = None;
         for _ in 0..5 {
             let mut ppa = Ppa::square(n).with_word_bits(h);
             let start = Instant::now();
             let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
-            scalar_wall = scalar_wall.min(start.elapsed().as_secs_f64());
+            scalar_samples.push(start.elapsed().as_nanos() as u64);
             scalar_out = Some(out);
         }
         let scalar_out = scalar_out.unwrap();
+        let scalar_wall = scalar_samples.iter().min().copied().unwrap() as f64 / 1e9;
 
-        let mut packed_wall = f64::INFINITY;
+        let mut packed_samples: Vec<u64> = Vec::new();
         let mut packed_out = None;
         let mut packed_stats = ppa_machine::ExecStats::default();
         for _ in 0..5 {
             let mut ppa = Ppa::<PackedBackend>::packed(n).with_word_bits(h);
             let start = Instant::now();
             let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
-            packed_wall = packed_wall.min(start.elapsed().as_secs_f64());
+            packed_samples.push(start.elapsed().as_nanos() as u64);
             packed_stats = ppa.exec_stats();
             packed_out = Some(out);
         }
         let packed_out = packed_out.unwrap();
+        let packed_wall = packed_samples.iter().min().copied().unwrap() as f64 / 1e9;
+
+        entries.push(BaselineEntry {
+            cell: format!("n={n}/scalar"),
+            steps: scalar_out.stats.total.total(),
+            wall: WallStats::from_samples(&scalar_samples),
+            counters: std::collections::BTreeMap::new(),
+        });
+        entries.push(BaselineEntry {
+            cell: format!("n={n}/packed"),
+            steps: packed_out.stats.total.total(),
+            wall: WallStats::from_samples(&packed_samples),
+            counters: [
+                ("plan_hits".to_owned(), packed_stats.plan_hits),
+                ("plan_misses".to_owned(), packed_stats.plan_misses),
+                ("arena_fresh".to_owned(), packed_stats.arena_fresh),
+                ("arena_reused".to_owned(), packed_stats.arena_reused),
+            ]
+            .into_iter()
+            .collect(),
+        });
 
         // The backends must be observationally identical: same outputs,
         // same controller step report down to the per-class counts.
@@ -405,7 +450,10 @@ pub fn backend_table() -> Table {
     t.note("outputs and per-class step reports are asserted identical before timing is");
     t.note("reported; the packed backend executes mask logic 64 PEs per u64 word and");
     t.note("reuses cached bus plans keyed by (switch-pattern fingerprint, direction).");
-    t
+    BenchRun {
+        table: t,
+        baseline: Baseline::new("backend", entries),
+    }
 }
 
 /// SC — thread-scaling grid: the threaded backend across an n ×
@@ -415,8 +463,17 @@ pub fn backend_table() -> Table {
 /// and per-class step reports — and the backend's `ppa-obs` metrics
 /// counters are reconciled exactly against its execution statistics.
 pub fn scale_table() -> Table {
+    scale_run().table
+}
+
+/// SC — thread-scaling grid with its measured [`Baseline`]: every
+/// (n, threads) cell records the deterministic step count, the
+/// plan-cache counters, and median/MAD wall-clock over five repetitions
+/// (see [`scale_table`] for the full grid semantics).
+pub fn scale_run() -> BenchRun {
     use ppa_machine::{PackedBackend, ThreadedBackend};
     use ppa_mcp::McpSession;
+    let mut entries: Vec<BaselineEntry> = Vec::new();
     let mut t = Table::new(
         "SC",
         "threaded-backend scaling, single-destination MCP (T6 workload: random connected, density 0.2, h >= 16)",
@@ -437,14 +494,28 @@ pub fn scale_table() -> Table {
         let mut scalar = Ppa::square(n).with_word_bits(h);
         let want = minimum_cost_path(&mut scalar, &w, 0).unwrap();
 
-        let mut packed_wall = f64::INFINITY;
+        let mut packed_samples: Vec<u64> = Vec::new();
+        let mut packed_stats = ppa_machine::ExecStats::default();
         for _ in 0..5 {
             let mut ppa = Ppa::<PackedBackend>::packed(n).with_word_bits(h);
             let start = Instant::now();
             let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
-            packed_wall = packed_wall.min(start.elapsed().as_secs_f64());
+            packed_samples.push(start.elapsed().as_nanos() as u64);
+            packed_stats = ppa.exec_stats();
             assert_eq!(out.sow, want.sow, "n = {n}: packed SOW diverged");
         }
+        let packed_wall = packed_samples.iter().min().copied().unwrap() as f64 / 1e9;
+        entries.push(BaselineEntry {
+            cell: format!("n={n}/packed"),
+            steps: want.stats.total.total(),
+            wall: WallStats::from_samples(&packed_samples),
+            counters: [
+                ("plan_hits".to_owned(), packed_stats.plan_hits),
+                ("plan_misses".to_owned(), packed_stats.plan_misses),
+            ]
+            .into_iter()
+            .collect(),
+        });
         t.row(vec![
             n.to_string(),
             "packed".into(),
@@ -455,13 +526,13 @@ pub fn scale_table() -> Table {
         ]);
 
         for threads in [1usize, 2, 4, 8] {
-            let mut wall = f64::INFINITY;
+            let mut samples: Vec<u64> = Vec::new();
             let mut stats = ppa_machine::ExecStats::default();
             for _ in 0..5 {
                 let mut ppa = Ppa::<ThreadedBackend>::threaded(n, threads).with_word_bits(h);
                 let start = Instant::now();
                 let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
-                wall = wall.min(start.elapsed().as_secs_f64());
+                samples.push(start.elapsed().as_nanos() as u64);
                 stats = ppa.exec_stats();
                 all_identical &= out.sow == want.sow
                     && out.ptn == want.ptn
@@ -491,6 +562,18 @@ pub fn scale_table() -> Table {
                 delta.arena_fresh,
                 "n = {n} x {threads}: arena counters diverged from exec stats"
             );
+            let wall = samples.iter().min().copied().unwrap() as f64 / 1e9;
+            entries.push(BaselineEntry {
+                cell: format!("n={n}/threads={threads}"),
+                steps: want.stats.total.total(),
+                wall: WallStats::from_samples(&samples),
+                counters: [
+                    ("plan_hits".to_owned(), stats.plan_hits),
+                    ("plan_misses".to_owned(), stats.plan_misses),
+                ]
+                .into_iter()
+                .collect(),
+            });
             t.row(vec![
                 n.to_string(),
                 threads.to_string(),
@@ -507,7 +590,10 @@ pub fn scale_table() -> Table {
     t.note("backend.* ppa-obs counters are reconciled exactly against the exec stats;");
     t.note("speedup over packed requires multiple host cores — on a single-core host the");
     t.note("rendezvous overhead makes threaded <= packed at every width (see EXPERIMENTS.md).");
-    t
+    BenchRun {
+        table: t,
+        baseline: Baseline::new("scale", entries),
+    }
 }
 
 /// A1 — bus-model ablation: circular vs linear buses.
@@ -805,6 +891,9 @@ pub struct ProfileRun {
     pub report: StepReport,
     /// Host wall-clock engine profile of the run.
     pub engine: Option<ppa_obs::EngineProfile>,
+    /// Micro-op-class wall-clock attribution of the run; rendered as
+    /// `profile.folded.txt` (inferno folded-stack lines) by `report`.
+    pub micro: ppa_obs::MicroProfile,
 }
 
 /// The `profile` experiment (supersedes the text-only T9 attribution):
@@ -819,10 +908,14 @@ pub fn profile_run() -> ProfileRun {
     let chrome = ppa_obs::ChromeTraceSink::new();
     ppa.install_sink(chrome.clone());
     ppa.enable_metrics();
+    ppa.enable_micro_profile();
     ppa_machine::engine::enable_profiling();
     let out = minimum_cost_path(&mut ppa, &w, 0).expect("profile workload solves");
     let engine = ppa_machine::engine::take_profile();
     let _ = ppa.take_sink();
+    // Take the micro profile *before* the metrics snapshot so its
+    // exec.<backend>.<class>.{ns,count} counters fold into the registry.
+    let micro = ppa.take_micro_profile();
     let metrics = ppa.take_metrics();
     let report = out.stats.total;
     let chrome_trace = chrome.finish(report.total());
@@ -873,6 +966,13 @@ pub fn profile_run() -> ProfileRun {
             format!("{:.1}", out.stats.steps_per_iteration()),
         ]);
     }
+    for (class, wall) in micro.classes() {
+        t.row(vec![
+            format!("exec.{}.{class}.ns", micro.backend()),
+            wall.nanos.to_string(),
+            format!("count {} (= steps.{class})", wall.count),
+        ]);
+    }
     if let Some(p) = &engine {
         t.note(format!(
             "engine wall-clock: {} build + {} reduce calls, {:.2} ms sequential, {:.2} ms threaded",
@@ -882,6 +982,13 @@ pub fn profile_run() -> ProfileRun {
             p.threaded_nanos as f64 / 1e6,
         ));
     }
+    t.note(format!(
+        "micro-op attribution ({} backend): {} timed instructions, {:.2} ms attributed; \
+         folded-stack artifact profile.folded.txt (inferno format: `backend;class nanos`)",
+        micro.backend(),
+        micro.total().count,
+        micro.total().nanos as f64 / 1e6,
+    ));
     t.note("artifacts: profile.trace.json (Chrome trace_event, load in Perfetto; ts = step");
     t.note("index) and profile.json (metrics snapshot). Every `steps.*` counter must equal");
     t.note("the controller report column exactly — the integration tests assert it.");
@@ -892,6 +999,7 @@ pub fn profile_run() -> ProfileRun {
         metrics,
         report,
         engine,
+        micro,
     }
 }
 
@@ -1059,9 +1167,32 @@ pub fn faults_campaign(seed: u64) -> Table {
 /// resumes the checkpoint on a fresh pool — the resumed document must be
 /// byte-identical to an uninterrupted run (`resume_byte_identical`).
 pub fn serve_campaign(seed: u64) -> Table {
+    serve_run(seed).table
+}
+
+/// Everything the `serve` experiment produces: the campaign [`Table`],
+/// the measured [`Baseline`] (per-scenario wall-clock with the
+/// deterministic job count as the step dimension), and a JSON document
+/// of per-scenario [`ppa_serve::Introspection`] snapshots taken on the
+/// idle-but-live service after every ticket reported — each snapshot is
+/// round-trip-verified and reconciled 1:1 against the client tallies
+/// (the `introspect_reconciled` note CI greps for).
+pub struct ServeRun {
+    /// Campaign summary table.
+    pub table: Table,
+    /// Per-scenario wall-clock baseline.
+    pub baseline: Baseline,
+    /// `{campaign_seed, scenarios: [{scenario, snapshot}, ...]}`.
+    pub introspection: ppa_obs::Json,
+}
+
+/// The serving stress campaign with baseline and introspection artifacts
+/// (see [`serve_campaign`] for the campaign semantics).
+pub fn serve_run(seed: u64) -> ServeRun {
+    use ppa_obs::Json;
     use ppa_serve::{
-        ApspCheckpoint, JobKind, JobOutcome, JobSpec, JobTicket, RetryPolicy, ServeConfig,
-        ServeError, SolveService,
+        ApspCheckpoint, Introspection, JobKind, JobOutcome, JobSpec, JobTicket, RetryPolicy,
+        ServeConfig, ServeError, SolveService,
     };
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
@@ -1175,6 +1306,9 @@ pub fn serve_campaign(seed: u64) -> Table {
 
     let mut lost_jobs = 0u64;
     let mut silent_wrong = 0u64;
+    let mut introspect_ok = true;
+    let mut snapshots: Vec<Json> = Vec::new();
+    let mut entries: Vec<BaselineEntry> = Vec::new();
     for (si, sc) in scenarios.iter().enumerate() {
         let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(1_000_003).wrapping_add(si as u64));
         let svc = SolveService::start(ServeConfig {
@@ -1237,8 +1371,6 @@ pub fn serve_campaign(seed: u64) -> Table {
             let _ = submitted;
         }
         let accepted = pending.len() as u64;
-        let metrics = svc.shutdown();
-        let wall = start.elapsed();
 
         let (mut completed, mut failed) = (0u64, 0u64);
         let (mut dl_miss, mut budget_out, mut panics, mut retries) = (0u64, 0u64, 0u64, 0u64);
@@ -1267,6 +1399,44 @@ pub fn serve_campaign(seed: u64) -> Table {
             }
         }
         lost_jobs += accepted - reports;
+        let wall = start.elapsed();
+
+        // Introspect the still-live (now idle) service: every client
+        // tally must reconcile 1:1 with the snapshot's counters, the
+        // pool must be visibly quiescent, and the snapshot must survive
+        // an exact JSON round trip.
+        let snap = svc.introspect();
+        let snap_doc = snap.to_json();
+        let round_trips = Introspection::from_json(&snap_doc)
+            .map(|back| {
+                back == snap && back.to_json().to_string_compact() == snap_doc.to_string_compact()
+            })
+            .unwrap_or(false);
+        let snap_ok = round_trips
+            && snap.queue_depth == 0
+            && snap.inflight.is_empty()
+            && snap.metrics.counter("serve.accepted") == accepted
+            && snap.metrics.counter("serve.rejected_queue_full") == rejected
+            && snap.metrics.counter("serve.completed") == completed
+            && snap.metrics.counter("serve.failed") == failed
+            && snap.metrics.counter("serve.deadline_exceeded") == dl_miss
+            && snap.metrics.counter("serve.budget_exhausted") == budget_out
+            && snap.metrics.counter("serve.worker_panics") == panics
+            && snap.metrics.counter("serve.retries") == retries
+            && snap.retries == retries;
+        introspect_ok &= snap_ok;
+        snapshots.push(Json::obj(vec![
+            ("scenario", Json::Str(sc.name.to_owned())),
+            ("reconciled", Json::Bool(snap_ok)),
+            ("snapshot", snap_doc),
+        ]));
+        entries.push(BaselineEntry {
+            cell: sc.name.to_owned(),
+            steps: sc.jobs as u64,
+            wall: WallStats::from_samples(&[wall.as_nanos() as u64]),
+            counters: std::collections::BTreeMap::new(),
+        });
+        let metrics = svc.shutdown();
 
         let reconciled = metrics.counter("serve.accepted") == accepted
             && metrics.counter("serve.rejected_queue_full") == rejected
@@ -1360,10 +1530,22 @@ pub fn serve_campaign(seed: u64) -> Table {
         "resume_byte_identical: {resume_identical} (kill mid-campaign via step budget, resume \
          checkpoint on a fresh service, compare to an uninterrupted run)"
     ));
+    t.note(format!(
+        "introspect_reconciled: {introspect_ok} (live snapshot taken while idle round-trips \
+         byte-identically and its counters equal the client-side tallies)"
+    ));
     t.note("`reconciled` = every failure-class count observed on client tickets equals the");
     t.note("corresponding serve.* metrics counter exactly; latency quantiles are log2-bucket");
     t.note("upper bounds from the serve.latency_us histogram.");
-    t
+    ServeRun {
+        table: t,
+        baseline: Baseline::new("serve", entries),
+        introspection: Json::obj(vec![
+            ("campaign_seed", Json::Num(seed as f64)),
+            ("reconciled", Json::Bool(introspect_ok)),
+            ("scenarios", Json::Array(snapshots)),
+        ]),
+    }
 }
 
 /// Host-side refutation check for a completed serve job.

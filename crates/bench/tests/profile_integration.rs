@@ -56,4 +56,98 @@ fn profile_artifacts_reconcile_and_validate() {
         .expect("engine profiling enabled during profile_run");
     assert!(engine.build_calls > 0);
     assert!(engine.reduce_calls > 0);
+
+    // Micro-op attribution observed the same run: per-class counts equal
+    // the controller report, and the exec.* counters folded into the
+    // metrics snapshot agree.
+    assert!(!run.micro.is_empty(), "micro profile recorded nothing");
+    for op in Op::ALL {
+        assert_eq!(
+            run.micro.class(op.label()).map_or(0, |w| w.count),
+            run.report.count(op),
+            "micro class {}",
+            op.label()
+        );
+        assert_eq!(
+            run.metrics.counter(&format!(
+                "exec.{}.{}.count",
+                run.micro.backend(),
+                op.label()
+            )),
+            run.report.count(op),
+            "exec counter {}",
+            op.label()
+        );
+    }
+    assert_eq!(run.micro.total().count, run.report.total());
+
+    // The folded-stack artifact is valid inferno input: every line is
+    // `backend;class <nanos>` and the frame set matches the profile.
+    let folded = run.micro.folded_lines();
+    let stacks = ppa_obs::parse_folded(&folded).expect("folded lines parse");
+    assert!(!stacks.is_empty(), "folded artifact is empty");
+    for (frames, _) in &stacks {
+        assert_eq!(frames.len(), 2, "stack depth is backend;class");
+        assert_eq!(frames[0], run.micro.backend());
+    }
+}
+
+// The micro profile must reconcile 1:1 with the controller's step
+// counters on *every* backend, not just the scalar reference (which
+// `ppa-machine`'s own tests cover).
+
+#[test]
+fn micro_profile_reconciles_on_packed_backend() {
+    let w = ppa_graph::gen::ring(6);
+    let mut ppa = ppa_ppc::Ppa::packed(6).with_word_bits(10);
+    ppa.enable_metrics();
+    ppa.enable_micro_profile();
+    let out = ppa_mcp::mcp::minimum_cost_path(&mut ppa, &w, 0).expect("packed MCP solves");
+    let micro = ppa.take_micro_profile();
+    let metrics = ppa.take_metrics();
+    assert_eq!(micro.backend(), "packed");
+    let report = out.stats.total;
+    for op in Op::ALL {
+        assert_eq!(
+            micro.class(op.label()).map_or(0, |w| w.count),
+            report.count(op),
+            "packed micro class {}",
+            op.label()
+        );
+        assert_eq!(
+            metrics.counter(&format!("exec.packed.{}.count", op.label())),
+            report.count(op),
+            "packed exec counter {}",
+            op.label()
+        );
+    }
+    assert_eq!(micro.total().count, report.total());
+}
+
+#[test]
+fn micro_profile_reconciles_on_threaded_backend() {
+    let w = ppa_graph::gen::ring(6);
+    let mut ppa = ppa_ppc::Ppa::threaded(6, 2).with_word_bits(10);
+    ppa.enable_metrics();
+    ppa.enable_micro_profile();
+    let out = ppa_mcp::mcp::minimum_cost_path(&mut ppa, &w, 0).expect("threaded MCP solves");
+    let micro = ppa.take_micro_profile();
+    let metrics = ppa.take_metrics();
+    assert_eq!(micro.backend(), "threaded");
+    let report = out.stats.total;
+    for op in Op::ALL {
+        assert_eq!(
+            micro.class(op.label()).map_or(0, |w| w.count),
+            report.count(op),
+            "threaded micro class {}",
+            op.label()
+        );
+        assert_eq!(
+            metrics.counter(&format!("exec.threaded.{}.count", op.label())),
+            report.count(op),
+            "threaded exec counter {}",
+            op.label()
+        );
+    }
+    assert_eq!(micro.total().count, report.total());
 }

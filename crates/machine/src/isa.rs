@@ -146,6 +146,11 @@ pub trait Executor: std::fmt::Debug + Clone {
     /// Backend representation of a boolean mask plane.
     type Mask: Clone + std::fmt::Debug + PartialEq;
 
+    /// Short backend name used to key wall-clock attribution
+    /// (`exec.<NAME>.<class>.ns` metrics, folded-stack frames). The three
+    /// built-in backends report `"scalar"`, `"packed"`, `"threaded"`.
+    const NAME: &'static str = "custom";
+
     /// Converts a plane into the backend mask representation (uncosted
     /// mechanics; the machine charges the step where conversion is an
     /// instruction).
@@ -277,6 +282,8 @@ pub struct ScalarBackend;
 
 impl Executor for ScalarBackend {
     type Mask = Plane<bool>;
+
+    const NAME: &'static str = "scalar";
 
     fn mask_from_plane(&mut self, _dim: Dim, plane: &Plane<bool>) -> Plane<bool> {
         plane.clone()

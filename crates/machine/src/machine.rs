@@ -11,13 +11,15 @@
 
 use crate::budget::CancelToken;
 use crate::bus;
-use crate::controller::Controller;
+use crate::controller::{Controller, Op};
 use crate::engine::ExecMode;
 use crate::error::MachineError;
 use crate::faults::{bist_sweep, FaultMap, FaultReport, SwitchFault, TransientFaults};
 use crate::geometry::{Axis, Dim, Direction};
 use crate::isa::{ExecStats, Executor, Fill, MicroOp, ScalarBackend};
 use crate::plane::Plane;
+use ppa_obs::MicroProfile;
+use std::time::Instant;
 
 /// A Polymorphic Processor Array instance, parameterized over its
 /// execution backend (the scalar reference backend by default).
@@ -31,6 +33,7 @@ pub struct Machine<E: Executor = ScalarBackend> {
     step_cap: Option<u64>,
     budget_granted: u64,
     cancel: Option<CancelToken>,
+    micro: Option<MicroProfile>,
     exec: E,
 }
 
@@ -64,7 +67,71 @@ impl<E: Executor> Machine<E> {
             step_cap: None,
             budget_granted: 0,
             cancel: None,
+            micro: None,
             exec,
+        }
+    }
+
+    // ----- micro-op wall-clock attribution ---------------------------------
+
+    /// Starts attributing host wall-clock to instruction classes: every
+    /// costed primitive from now on times its execution mechanics (the
+    /// work after the step is recorded) and buckets the nanoseconds under
+    /// its controller [`Op`] class, keyed by the backend name
+    /// ([`Executor::NAME`]). Each class's invocation count reconciles 1:1
+    /// with the `steps.<class>` counters, since both are driven by the
+    /// same issue choke point. No-op if already profiling.
+    pub fn enable_micro_profile(&mut self) {
+        if self.micro.is_none() {
+            self.micro = Some(MicroProfile::new(E::NAME));
+        }
+    }
+
+    /// Stops micro-op profiling and returns the profile gathered so far.
+    /// When metrics are also being collected, the profile is folded into
+    /// the registry as `exec.<backend>.<class>.ns` / `.count` counters,
+    /// so one snapshot carries both step counts and time attribution.
+    pub fn take_micro_profile(&mut self) -> MicroProfile {
+        let p = self
+            .micro
+            .take()
+            .unwrap_or_else(|| MicroProfile::new(E::NAME));
+        if let Some(m) = self.controller.metrics_mut() {
+            p.emit(m);
+        }
+        p
+    }
+
+    /// The live micro-op profile, if collecting.
+    pub fn micro_profile(&self) -> Option<&MicroProfile> {
+        self.micro.as_ref()
+    }
+
+    /// Records a controller-only step of `class` — one with no executor
+    /// mechanics to time (e.g. the PPC layer's activity-bit write, or a
+    /// modeled cost in an ablation comparator). Keeps the micro profile's
+    /// per-class counts reconciled with the `steps.<class>` counters by
+    /// attributing the instruction at zero nanoseconds.
+    pub fn record_step(&mut self, class: Op) {
+        self.controller.record(class);
+        if let Some(p) = self.micro.as_mut() {
+            p.record(class.label(), 0);
+        }
+    }
+
+    /// Timer start for one instruction's mechanics (`None` when micro
+    /// profiling is off, so the hot path costs one branch).
+    #[inline]
+    fn micro_start(&self) -> Option<Instant> {
+        self.micro.as_ref().map(|_| Instant::now())
+    }
+
+    /// Closes the timing window opened by [`Machine::micro_start`],
+    /// attributing the elapsed nanoseconds to `class`.
+    #[inline]
+    fn micro_stop(&mut self, class: Op, t: Option<Instant>) {
+        if let (Some(p), Some(t)) = (self.micro.as_mut(), t) {
+            p.record(class.label(), t.elapsed().as_nanos() as u64);
         }
     }
 
@@ -351,7 +418,10 @@ impl<E: Executor> Machine<E> {
         let open = effective.as_ref().unwrap_or(open);
         let (occ, clusters) = self.plane_activity(Some(dir), open);
         self.issue(MicroOp::Broadcast(dir), occ, clusters);
-        self.exec.broadcast(self.mode, self.dim, src, dir, open)
+        let t = self.micro_start();
+        let out = self.exec.broadcast(self.mode, self.dim, src, dir, open);
+        self.micro_stop(Op::Broadcast, t);
+        out
     }
 
     /// Wired-OR over bus clusters: one controller step.
@@ -366,7 +436,10 @@ impl<E: Executor> Machine<E> {
         let open = effective.as_ref().unwrap_or(open);
         let (occ, clusters) = self.plane_activity(Some(dir), open);
         self.issue(MicroOp::BusOr(dir), occ, clusters);
-        self.exec.bus_or(self.mode, self.dim, values, dir, open)
+        let t = self.micro_start();
+        let out = self.exec.bus_or(self.mode, self.dim, values, dir, open);
+        self.micro_stop(Op::BusOr, t);
+        out
     }
 
     /// `broadcast` with the switch pattern held as a backend mask; same
@@ -381,17 +454,24 @@ impl<E: Executor> Machine<E> {
         if !self.fault_routed() {
             let (occ, clusters) = self.mask_activity(Some(dir), open);
             self.issue(MicroOp::Broadcast(dir), occ, clusters);
-            return self
+            let t = self.micro_start();
+            let out = self
                 .exec
                 .broadcast_masked(self.mode, self.dim, src, dir, open);
+            self.micro_stop(Op::Broadcast, t);
+            return out;
         }
         let intended = self.exec.mask_to_plane(self.dim, open);
         let effective = self.effective_open(&intended);
         let open_plane = effective.as_ref().unwrap_or(&intended);
         let (occ, clusters) = self.plane_activity(Some(dir), open_plane);
         self.issue(MicroOp::Broadcast(dir), occ, clusters);
-        self.exec
-            .broadcast(self.mode, self.dim, src, dir, open_plane)
+        let t = self.micro_start();
+        let out = self
+            .exec
+            .broadcast(self.mode, self.dim, src, dir, open_plane);
+        self.micro_stop(Op::Broadcast, t);
+        out
     }
 
     /// Wired-OR with both the value set and the switch pattern held as
@@ -407,18 +487,25 @@ impl<E: Executor> Machine<E> {
         if !self.fault_routed() {
             let (occ, clusters) = self.mask_activity(Some(dir), open);
             self.issue(MicroOp::BusOr(dir), occ, clusters);
-            return self
+            let t = self.micro_start();
+            let out = self
                 .exec
                 .mask_bus_or(self.mode, self.dim, values, dir, open);
+            self.micro_stop(Op::BusOr, t);
+            return out;
         }
         let intended = self.exec.mask_to_plane(self.dim, open);
         let effective = self.effective_open(&intended);
         let open_plane = effective.as_ref().unwrap_or(&intended);
         let (occ, clusters) = self.plane_activity(Some(dir), open_plane);
         self.issue(MicroOp::BusOr(dir), occ, clusters);
+        let t = self.micro_start();
         let routed = self.exec.mask_from_plane(self.dim, open_plane);
-        self.exec
-            .mask_bus_or(self.mode, self.dim, values, dir, &routed)
+        let out = self
+            .exec
+            .mask_bus_or(self.mode, self.dim, values, dir, &routed);
+        self.micro_stop(Op::BusOr, t);
+        out
     }
 
     /// `shift(src, dir)` with an explicit edge fill policy: one controller
@@ -431,7 +518,10 @@ impl<E: Executor> Machine<E> {
     ) -> Result<Plane<T>, MachineError> {
         self.guard()?;
         self.issue(MicroOp::Shift(dir), None, None);
-        self.exec.shift(self.mode, self.dim, src, dir, fill)
+        let t = self.micro_start();
+        let out = self.exec.shift(self.mode, self.dim, src, dir, fill);
+        self.micro_stop(Op::Shift, t);
+        out
     }
 
     /// `shift(src, dir)`: one controller step; upstream-edge PEs receive
@@ -462,14 +552,11 @@ impl<E: Executor> Machine<E> {
         self.check(flags)?;
         let (occ, _) = self.plane_activity(None, flags);
         self.issue(MicroOp::GlobalOr, occ, None);
+        let t = self.micro_start();
         let f = flags.as_slice();
-        Ok(crate::engine::reduce(
-            self.mode,
-            self.dim.len(),
-            false,
-            |i| f[i],
-            |a, b| a || b,
-        ))
+        let any = crate::engine::reduce(self.mode, self.dim.len(), false, |i| f[i], |a, b| a || b);
+        self.micro_stop(Op::GlobalOr, t);
+        Ok(any)
     }
 
     // ----- mask instructions (bit-serial scan support) ---------------------
@@ -495,7 +582,10 @@ impl<E: Executor> Machine<E> {
     /// Loads an immediate into every PE of a mask register: one step.
     pub fn mask_imm(&mut self, value: bool) -> E::Mask {
         self.issue(MicroOp::Imm, None, None);
-        self.exec.mask_filled(self.dim, value)
+        let t = self.micro_start();
+        let out = self.exec.mask_filled(self.dim, value);
+        self.micro_stop(Op::Alu, t);
+        out
     }
 
     /// Copies a plane into a mask register: one step (the mask analogue of
@@ -504,7 +594,10 @@ impl<E: Executor> Machine<E> {
         self.guard()?;
         self.check(src)?;
         self.issue(MicroOp::Map, None, None);
-        Ok(self.exec.mask_from_plane(self.dim, src))
+        let t = self.micro_start();
+        let out = self.exec.mask_from_plane(self.dim, src);
+        self.micro_stop(Op::Alu, t);
+        Ok(out)
     }
 
     /// Extracts bit `j` of every (non-negative) PE value: one step.
@@ -513,14 +606,20 @@ impl<E: Executor> Machine<E> {
         self.guard()?;
         self.check(src)?;
         self.issue(MicroOp::Map, None, None);
-        Ok(self.exec.bit_plane(self.mode, self.dim, src, j))
+        let t = self.micro_start();
+        let out = self.exec.bit_plane(self.mode, self.dim, src, j);
+        self.micro_stop(Op::Alu, t);
+        Ok(out)
     }
 
     /// The bit-serial voting step (`keep_low` selects the Min rule
     /// `enable && !bit`, otherwise the Max rule `enable && bit`): one step.
     pub fn mask_vote(&mut self, enable: &E::Mask, bit: &E::Mask, keep_low: bool) -> E::Mask {
         self.issue(MicroOp::Zip, None, None);
-        self.exec.vote(self.mode, self.dim, enable, bit, keep_low)
+        let t = self.micro_start();
+        let out = self.exec.vote(self.mode, self.dim, enable, bit, keep_low);
+        self.micro_stop(Op::Alu, t);
+        out
     }
 
     /// The bit-serial knockout step (`keep_low` selects the Min rule
@@ -534,8 +633,12 @@ impl<E: Executor> Machine<E> {
         keep_low: bool,
     ) -> E::Mask {
         self.issue(MicroOp::Zip3, None, None);
-        self.exec
-            .knockout(self.mode, self.dim, enable, present, bit, keep_low)
+        let t = self.micro_start();
+        let out = self
+            .exec
+            .knockout(self.mode, self.dim, enable, present, bit, keep_low);
+        self.micro_stop(Op::Alu, t);
+        out
     }
 
     // ----- runtime self-test ----------------------------------------------
@@ -656,9 +759,12 @@ impl<E: Executor> Machine<E> {
         self.guard()?;
         self.check(src)?;
         self.issue(MicroOp::Map, None, None);
+        let t = self.micro_start();
         let s = src.as_slice();
         let data = self.exec.build(self.mode, self.dim.len(), |i| f(&s[i]));
-        Ok(Plane::from_vec(self.dim, data))
+        let out = Plane::from_vec(self.dim, data);
+        self.micro_stop(Op::Alu, t);
+        Ok(out)
     }
 
     /// Elementwise binary operation: one controller step.
@@ -678,11 +784,14 @@ impl<E: Executor> Machine<E> {
         self.check(a)?;
         self.check(b)?;
         self.issue(MicroOp::Zip, None, None);
+        let t = self.micro_start();
         let (sa, sb) = (a.as_slice(), b.as_slice());
         let data = self
             .exec
             .build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i]));
-        Ok(Plane::from_vec(self.dim, data))
+        let out = Plane::from_vec(self.dim, data);
+        self.micro_stop(Op::Alu, t);
+        Ok(out)
     }
 
     /// Elementwise ternary operation: one controller step.
@@ -705,30 +814,42 @@ impl<E: Executor> Machine<E> {
         self.check(b)?;
         self.check(c)?;
         self.issue(MicroOp::Zip3, None, None);
+        let t = self.micro_start();
         let (sa, sb, sc) = (a.as_slice(), b.as_slice(), c.as_slice());
         let data = self
             .exec
             .build(self.mode, self.dim.len(), |i| f(&sa[i], &sb[i], &sc[i]));
-        Ok(Plane::from_vec(self.dim, data))
+        let out = Plane::from_vec(self.dim, data);
+        self.micro_stop(Op::Alu, t);
+        Ok(out)
     }
 
     /// Loads an immediate into every PE: one controller step.
     pub fn imm<T: Clone + Send + Sync>(&mut self, value: T) -> Plane<T> {
         self.issue(MicroOp::Imm, None, None);
-        Plane::filled(self.dim, value)
+        let t = self.micro_start();
+        let out = Plane::filled(self.dim, value);
+        self.micro_stop(Op::Alu, t);
+        out
     }
 
     /// The hardwired `ROW` register (each PE knows its row index):
     /// one controller step to copy it into a plane.
     pub fn row_index(&mut self) -> Plane<i64> {
         self.issue(MicroOp::Index(Axis::Row), None, None);
-        Plane::from_fn(self.dim, |c| c.row as i64)
+        let t = self.micro_start();
+        let out = Plane::from_fn(self.dim, |c| c.row as i64);
+        self.micro_stop(Op::Alu, t);
+        out
     }
 
     /// The hardwired `COL` register: one controller step.
     pub fn col_index(&mut self) -> Plane<i64> {
         self.issue(MicroOp::Index(Axis::Col), None, None);
-        Plane::from_fn(self.dim, |c| c.col as i64)
+        let t = self.micro_start();
+        let out = Plane::from_fn(self.dim, |c| c.col as i64);
+        self.micro_stop(Op::Alu, t);
+        out
     }
 
     /// Masked assignment `where (mask) dst = src`: one controller step.
@@ -750,6 +871,7 @@ impl<E: Executor> Machine<E> {
         self.check(mask)?;
         let (occ, _) = self.plane_activity(None, mask);
         self.issue(MicroOp::AssignMasked, occ, None);
+        let t = self.micro_start();
         let (d, s, m) = (dst.as_slice(), src.as_slice(), mask.as_slice());
         let data = self.exec.build(
             self.mode,
@@ -757,6 +879,7 @@ impl<E: Executor> Machine<E> {
             |i| if m[i] { s[i] } else { d[i] },
         );
         *dst = Plane::from_vec(self.dim, data);
+        self.micro_stop(Op::Alu, t);
         Ok(())
     }
 }
@@ -1111,6 +1234,78 @@ mod tests {
         let metrics = m.controller_mut().take_metrics();
         assert_eq!(metrics.counter("budget.exhausted"), 1);
         assert_eq!(metrics.counter("budget.cancelled"), 1);
+    }
+
+    #[test]
+    fn micro_profile_counts_reconcile_with_step_counters() {
+        let mut m = Machine::square(4);
+        m.controller_mut().enable_metrics();
+        m.enable_micro_profile();
+        // Touch every instruction class, including the ones with no
+        // executor call (imm, index registers, global-OR).
+        let p = m.imm(1i64);
+        let open = m.imm(true);
+        let _ = m.row_index();
+        let _ = m.col_index();
+        let _ = m.broadcast(&p, Direction::East, &open).unwrap();
+        let flags = m.map(&p, |&v| v > 0).unwrap();
+        let _ = m.bus_or(&flags, Direction::South, &open).unwrap();
+        let _ = m.shift(&p, Direction::West, 0).unwrap();
+        let _ = m.global_or(&flags).unwrap();
+        let e = m.load_mask(&flags).unwrap();
+        let b = m.mask_bit(&p, 0).unwrap();
+        let v = m.mask_vote(&e, &b, true);
+        let _ = m.mask_knockout(&e, &v, &b, true);
+        let mut dst = Plane::filled(m.dim(), 0i64);
+        m.assign_masked(&mut dst, &p, &flags).unwrap();
+        let l = m.pack_mask(&flags).unwrap();
+        let _ = m.mask_bus_or(&v, Direction::West, &l).unwrap();
+        let _ = m.broadcast_open(&p, Direction::East, &l).unwrap();
+        let _ = m.mask_imm(false);
+
+        let report = m.controller().report();
+        let profile = m.take_micro_profile();
+        assert_eq!(profile.backend(), "scalar");
+        for op in Op::ALL {
+            let count = profile.class(op.label()).map_or(0, |w| w.count);
+            assert_eq!(count, report.count(op), "class {}", op.label());
+        }
+        assert_eq!(profile.total().count, report.total());
+        // take_micro_profile folded the same tallies into the registry.
+        let metrics = m.controller_mut().take_metrics();
+        for op in Op::ALL {
+            assert_eq!(
+                metrics.counter(&format!("exec.scalar.{}.count", op.label())),
+                report.count(op),
+                "exec counter for {}",
+                op.label()
+            );
+        }
+    }
+
+    #[test]
+    fn micro_profile_covers_fault_routed_transfers() {
+        let mut m = Machine::square(4);
+        m.enable_micro_profile();
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(0, 2), SwitchFault::StuckShort);
+        m.attach_faults(fm);
+        let src = m.imm(1i64);
+        let open_plane = m.imm(true);
+        let open = m.pack_mask(&open_plane).unwrap();
+        let _ = m.broadcast_open(&src, Direction::East, &open).unwrap();
+        let v = m.pack_mask(&open_plane).unwrap();
+        let _ = m.mask_bus_or(&v, Direction::East, &open).unwrap();
+        let report = m.controller().report();
+        let profile = m.take_micro_profile();
+        assert_eq!(
+            profile.class("broadcast").map_or(0, |w| w.count),
+            report.count(Op::Broadcast)
+        );
+        assert_eq!(
+            profile.class("bus-or").map_or(0, |w| w.count),
+            report.count(Op::BusOr)
+        );
     }
 
     #[test]

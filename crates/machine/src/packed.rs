@@ -451,6 +451,8 @@ impl Default for PackedBackend {
 impl Executor for PackedBackend {
     type Mask = PackedMask;
 
+    const NAME: &'static str = "packed";
+
     fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> PackedMask {
         let mut mask = self.alloc_mask(dim);
         pack_range(plane.as_slice(), 0, &mut mask.words);

@@ -514,6 +514,8 @@ impl std::fmt::Debug for ThreadedBackend {
 impl Executor for ThreadedBackend {
     type Mask = SharedMask;
 
+    const NAME: &'static str = "threaded";
+
     fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> SharedMask {
         let src = plane.shared();
         self.run_word_shards(dim, dim.len(), move |w0, w1| {

@@ -31,7 +31,7 @@ pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, Metrics};
-pub use profile::{EngineProfile, PhaseWall, WallProfile};
+pub use profile::{parse_folded, ClassWall, EngineProfile, MicroProfile, PhaseWall, WallProfile};
 pub use recorder::Recorder;
 pub use sampling::OccupancySampling;
 pub use trace::{

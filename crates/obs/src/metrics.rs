@@ -74,11 +74,17 @@ impl Histogram {
     /// An upper bound on the `q`-quantile sample (`0.0 < q <= 1.0`) at
     /// the histogram's log2 bucket resolution: the inclusive upper edge
     /// of the first bucket where the cumulative count reaches
-    /// `ceil(q * count)`, clamped to the exact maximum. `None` when no
-    /// samples were recorded. Used by the serving layer to report p50 and
-    /// p99 latency straight from a metrics snapshot.
+    /// `ceil(q * count)`, clamped to the exact maximum. Used by the
+    /// serving layer to report p50 and p99 latency straight from a
+    /// metrics snapshot.
+    ///
+    /// Edge cases are typed, never sentinel values: an **empty**
+    /// histogram returns `None` for every `q` (an idle service has no
+    /// latency, not latency 0), a **single-sample** histogram returns
+    /// exactly that sample for every `q`, and a non-finite `q` returns
+    /// `None` rather than whatever a saturating float cast would pick.
     pub fn quantile_bound(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || !q.is_finite() {
             return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
@@ -95,6 +101,19 @@ impl Histogram {
             }
         }
         Some(self.max)
+    }
+
+    /// Smallest sample as a typed value: `None` when the histogram is
+    /// empty (the raw `min` field holds a `u64::MAX` sentinel in that
+    /// state, which must never leak into a snapshot).
+    pub fn min_sample(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample: `None` when the histogram is empty (the raw `max`
+    /// field reads 0, indistinguishable from a real 0 sample).
+    pub fn max_sample(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
     }
 
     /// Non-empty buckets as `(bucket_index, count)` pairs.
@@ -368,6 +387,105 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 12);
+    }
+
+    #[test]
+    fn empty_and_single_sample_quantiles_are_typed() {
+        // Idle-service introspection snapshots hit exactly these edges:
+        // no latency samples yet, or a single one.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile_bound(q), None, "q = {q}");
+        }
+        assert_eq!(empty.min_sample(), None);
+        assert_eq!(empty.max_sample(), None);
+        assert_eq!(empty.mean(), 0.0);
+
+        let mut one = Histogram::default();
+        one.observe(0);
+        assert_eq!(one.quantile_bound(0.5), Some(0));
+        assert_eq!(one.quantile_bound(1.0), Some(0));
+        assert_eq!(one.min_sample(), Some(0));
+        assert_eq!(one.max_sample(), Some(0));
+
+        let mut seven = Histogram::default();
+        seven.observe(7);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(seven.quantile_bound(q), Some(7), "q = {q}");
+        }
+        assert_eq!(seven.quantile_bound(f64::NAN), None);
+        assert_eq!(seven.quantile_bound(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn merge_collision_equals_interleaved_observation() {
+        // Merging two registries that share counter and histogram keys
+        // must equal having observed everything in one registry.
+        let mut left = Metrics::new();
+        let mut right = Metrics::new();
+        let mut reference = Metrics::new();
+        for (target, key, v) in [
+            (0, "serve.latency_us", 3u64),
+            (1, "serve.latency_us", 900),
+            (0, "serve.latency_us", 900),
+            (1, "queue.wait", 0),
+            (0, "serve.latency_us", 17),
+        ] {
+            let m = if target == 0 { &mut left } else { &mut right };
+            m.observe(key, v);
+            reference.observe(key, v);
+        }
+        for (target, key, by) in [
+            (0, "serve.accepted", 5u64),
+            (1, "serve.accepted", 7),
+            (1, "serve.retries", 2),
+        ] {
+            let m = if target == 0 { &mut left } else { &mut right };
+            m.inc(key, by);
+            reference.inc(key, by);
+        }
+        left.merge(&right);
+        assert_eq!(left, reference);
+        // The collided histogram is sample-exact on all summary stats.
+        let h = left.histogram("serve.latency_us").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (4, 1820, 3, 900));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_commutes_on_disjoint_keys() {
+        let mut a = Metrics::new();
+        a.inc("x", 3);
+        a.observe("h", 12);
+        let snapshot = a.clone();
+        a.merge(&Metrics::new());
+        assert_eq!(a, snapshot);
+
+        let mut empty = Metrics::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+
+        let mut b = Metrics::new();
+        b.inc("y", 1);
+        b.observe("g", 4);
+        let mut ab = snapshot.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&snapshot);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merged_registry_still_round_trips_exactly() {
+        let mut a = Metrics::new();
+        a.inc("k", 1);
+        a.observe("h", 2);
+        let mut b = Metrics::new();
+        b.inc("k", 9);
+        b.observe("h", 1 << 40);
+        a.merge(&b);
+        let back =
+            Metrics::from_json(&Json::parse(&a.to_json().to_string_compact()).unwrap()).unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]

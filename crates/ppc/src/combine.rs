@@ -190,13 +190,13 @@ impl<E: Executor> Ppa<E> {
             })
         })?;
         // One combining pass over each sub-bus...
-        self.machine_mut().controller_mut().record(Op::BusOr);
+        self.machine_mut().record_step(Op::BusOr);
         let mut best: Vec<i64> = vec![i64::MAX; dim.len()];
         for (i, &hd) in heads.iter().enumerate() {
             best[hd] = best[hd].min(src.as_slice()[i]);
         }
         // ...and one distribution step.
-        self.machine_mut().controller_mut().record(Op::Broadcast);
+        self.machine_mut().record_step(Op::Broadcast);
         let out = Plane::from_fn(dim, |c| best[heads[dim.index(c)]]);
         Ok(out)
     }

@@ -237,6 +237,20 @@ impl<E: Executor> Ppa<E> {
         self.machine.controller_mut().metrics_mut()
     }
 
+    /// Starts attributing host wall-clock to instruction classes (see
+    /// `Machine::enable_micro_profile`): every costed primitive buckets
+    /// its execution time under its step class, keyed by backend name.
+    pub fn enable_micro_profile(&mut self) {
+        self.machine.enable_micro_profile();
+    }
+
+    /// Stops micro-op profiling and returns the profile; when metrics
+    /// are also collecting, the tallies are folded into the registry as
+    /// `exec.<backend>.<class>.ns` / `.count` counters first.
+    pub fn take_micro_profile(&mut self) -> ppa_obs::MicroProfile {
+        self.machine.take_micro_profile()
+    }
+
     /// Opens a named span (`"mcp"`, `"iteration[3]"`, ...) at the current
     /// step. Free when no sink is installed.
     pub fn enter_span(&mut self, name: &str) {
@@ -299,7 +313,7 @@ impl<E: Executor> Ppa<E> {
     fn push_mask(&mut self, cond: &Parallel<bool>) -> Result<()> {
         let effective = match self.masks.last() {
             None => {
-                self.machine.controller_mut().record(ppa_machine::Op::Alu);
+                self.machine.record_step(ppa_machine::Op::Alu);
                 cond.clone()
             }
             Some(parent) => self.machine.zip(parent, cond, |&a, &b| a && b)?,

@@ -1,0 +1,361 @@
+//! Point-in-time service introspection: a JSON-round-trippable snapshot
+//! of everything a live [`SolveService`](crate::SolveService) knows
+//! about itself — queue depth, in-flight jobs with their age and
+//! deadline, per-worker state, breaker state, the retry/replacement
+//! counters, and the full merged metrics registry.
+//!
+//! The snapshot is *exact*: [`Introspection::from_json`] of
+//! [`Introspection::to_json`] reproduces the value (and its JSON bytes)
+//! identically, so a snapshot persisted by `report serve` or dumped by
+//! `solve --serve --status-every` can be diffed, archived, and
+//! reconciled against client-side tallies without loss.
+
+use crate::breaker::BreakerState;
+use ppa_obs::{Json, Metrics};
+
+/// One job the pool is executing right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InflightJob {
+    /// Job id (matches the ticket and the eventual report).
+    pub id: u64,
+    /// Job kind label (`shortest`, `widest`, `apsp`, `chaos`).
+    pub kind: String,
+    /// Microseconds since the job was submitted.
+    pub age_us: u64,
+    /// Effective deadline in microseconds from submission (per-job
+    /// deadline, else the service default), when one applies.
+    pub deadline_us: Option<u64>,
+    /// Index of the worker executing the job.
+    pub worker: u64,
+}
+
+impl InflightJob {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Num(self.id as f64)),
+            ("kind", Json::Str(self.kind.clone())),
+            ("age_us", Json::Num(self.age_us as f64)),
+            (
+                "deadline_us",
+                match self.deadline_us {
+                    Some(d) => Json::Num(d as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("worker", Json::Num(self.worker as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<InflightJob, String> {
+        Ok(InflightJob {
+            id: field_u64(v, "id")?,
+            kind: field_str(v, "kind")?,
+            age_us: field_u64(v, "age_us")?,
+            deadline_us: match v.get("deadline_us") {
+                Some(Json::Null) | None => None,
+                Some(d) => Some(
+                    d.as_f64()
+                        .ok_or_else(|| "inflight deadline_us is not a number".to_owned())?
+                        as u64,
+                ),
+            },
+            worker: field_u64(v, "worker")?,
+        })
+    }
+}
+
+/// One worker thread's state at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerView {
+    /// Worker index (monotonically assigned; replacements get new
+    /// indices, so gaps mean panics happened).
+    pub index: u64,
+    /// The id of the job this worker is executing, `None` when idle
+    /// (blocked on the intake queue).
+    pub job: Option<u64>,
+}
+
+impl WorkerView {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("index", Json::Num(self.index as f64)),
+            (
+                "state",
+                Json::Str(
+                    if self.job.is_some() {
+                        "running"
+                    } else {
+                        "idle"
+                    }
+                    .to_owned(),
+                ),
+            ),
+            (
+                "job",
+                match self.job {
+                    Some(id) => Json::Num(id as f64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WorkerView, String> {
+        let job = match v.get("job") {
+            Some(Json::Null) | None => None,
+            Some(j) => Some(
+                j.as_f64()
+                    .ok_or_else(|| "worker job is not a number".to_owned())? as u64,
+            ),
+        };
+        let state = field_str(v, "state")?;
+        let want = if job.is_some() { "running" } else { "idle" };
+        if state != want {
+            return Err(format!(
+                "worker state {state:?} contradicts its job field (expected {want:?})"
+            ));
+        }
+        Ok(WorkerView {
+            index: field_u64(v, "index")?,
+            job,
+        })
+    }
+}
+
+/// The circuit breaker's state, flattened for JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerView {
+    /// `closed`, `open`, or `half-open`.
+    pub state: String,
+    /// Jobs left in the Open-state cooldown (0 unless `state == open`).
+    pub cooldown_left: u64,
+}
+
+impl BreakerView {
+    /// Flattens a live [`BreakerState`].
+    pub fn from_state(s: BreakerState) -> BreakerView {
+        match s {
+            BreakerState::Closed => BreakerView {
+                state: "closed".to_owned(),
+                cooldown_left: 0,
+            },
+            BreakerState::Open { cooldown_left } => BreakerView {
+                state: "open".to_owned(),
+                cooldown_left: u64::from(cooldown_left),
+            },
+            BreakerState::HalfOpen => BreakerView {
+                state: "half-open".to_owned(),
+                cooldown_left: 0,
+            },
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("state", Json::Str(self.state.clone())),
+            ("cooldown_left", Json::Num(self.cooldown_left as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BreakerView, String> {
+        let view = BreakerView {
+            state: field_str(v, "state")?,
+            cooldown_left: field_u64(v, "cooldown_left")?,
+        };
+        match view.state.as_str() {
+            "closed" | "open" | "half-open" => Ok(view),
+            other => Err(format!("unknown breaker state {other:?}")),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a running [`SolveService`]
+/// (see [`SolveService::introspect`](crate::SolveService::introspect)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Introspection {
+    /// Jobs accepted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Whether the intake is open (`false` once a drain began).
+    pub accepting: bool,
+    /// Jobs currently executing, ordered by id.
+    pub inflight: Vec<InflightJob>,
+    /// Live workers, ordered by index.
+    pub workers: Vec<WorkerView>,
+    /// Circuit-breaker state.
+    pub breaker: BreakerView,
+    /// Convenience mirror of the `serve.retries` counter.
+    pub retries: u64,
+    /// Convenience mirror of the `serve.workers_replaced` counter.
+    pub workers_replaced: u64,
+    /// The full metrics registry at snapshot time.
+    pub metrics: Metrics,
+}
+
+impl Introspection {
+    /// Serializes the snapshot. The field order is fixed, so equal
+    /// snapshots always produce byte-identical JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queue_depth", Json::Num(self.queue_depth as f64)),
+            ("accepting", Json::Bool(self.accepting)),
+            ("breaker", self.breaker.to_json()),
+            (
+                "workers",
+                Json::Array(self.workers.iter().map(|w| w.to_json()).collect()),
+            ),
+            (
+                "inflight",
+                Json::Array(self.inflight.iter().map(InflightJob::to_json).collect()),
+            ),
+            ("retries", Json::Num(self.retries as f64)),
+            ("workers_replaced", Json::Num(self.workers_replaced as f64)),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+
+    /// Parses a snapshot serialized by [`Introspection::to_json`].
+    ///
+    /// # Errors
+    /// A message naming the first malformed field.
+    pub fn from_json(v: &Json) -> Result<Introspection, String> {
+        let workers = match v.get("workers") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(WorkerView::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing workers array".to_owned()),
+        };
+        let inflight = match v.get("inflight") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(InflightJob::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing inflight array".to_owned()),
+        };
+        Ok(Introspection {
+            queue_depth: field_u64(v, "queue_depth")?,
+            accepting: match v.get("accepting") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("missing accepting flag".to_owned()),
+            },
+            inflight,
+            workers,
+            breaker: BreakerView::from_json(
+                v.get("breaker")
+                    .ok_or_else(|| "missing breaker".to_owned())?,
+            )?,
+            retries: field_u64(v, "retries")?,
+            workers_replaced: field_u64(v, "workers_replaced")?,
+            metrics: Metrics::from_json(
+                v.get("metrics")
+                    .ok_or_else(|| "missing metrics".to_owned())?,
+            )?,
+        })
+    }
+}
+
+fn field_u64(v: &Json, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(Json::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing numeric field {name:?}"))
+}
+
+fn field_str(v: &Json, name: &str) -> Result<String, String> {
+    match v.get(name) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {name:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Introspection {
+        let mut metrics = Metrics::new();
+        metrics.inc("serve.accepted", 5);
+        metrics.observe("serve.latency_us", 1234);
+        Introspection {
+            queue_depth: 2,
+            accepting: true,
+            inflight: vec![InflightJob {
+                id: 7,
+                kind: "apsp".to_owned(),
+                age_us: 431,
+                deadline_us: Some(9000),
+                worker: 1,
+            }],
+            workers: vec![
+                WorkerView {
+                    index: 0,
+                    job: None,
+                },
+                WorkerView {
+                    index: 1,
+                    job: Some(7),
+                },
+            ],
+            breaker: BreakerView::from_state(BreakerState::Open { cooldown_left: 3 }),
+            retries: 4,
+            workers_replaced: 1,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let snap = sample();
+        let doc = snap.to_json();
+        let back = Introspection::from_json(&doc).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(
+            back.to_json().to_string_compact(),
+            doc.to_string_compact(),
+            "round-tripped snapshot must re-serialize byte-identically"
+        );
+    }
+
+    #[test]
+    fn parse_survives_json_text_round_trip() {
+        let snap = sample();
+        let text = snap.to_json().to_string_pretty();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(Introspection::from_json(&doc).unwrap(), snap);
+    }
+
+    #[test]
+    fn breaker_states_flatten_distinctly() {
+        let closed = BreakerView::from_state(BreakerState::Closed);
+        let open = BreakerView::from_state(BreakerState::Open { cooldown_left: 8 });
+        let half = BreakerView::from_state(BreakerState::HalfOpen);
+        assert_eq!(closed.state, "closed");
+        assert_eq!(open.state, "open");
+        assert_eq!(open.cooldown_left, 8);
+        assert_eq!(half.state, "half-open");
+    }
+
+    #[test]
+    fn malformed_fields_are_named_in_errors() {
+        let mut doc = sample().to_json();
+        // Corrupt the worker state so it contradicts the job field.
+        if let Json::Object(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "workers" {
+                    if let Json::Array(ws) = v {
+                        if let Json::Object(w) = &mut ws[0] {
+                            for (wk, wv) in w.iter_mut() {
+                                if wk == "state" {
+                                    *wv = Json::Str("running".to_owned());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = Introspection::from_json(&doc).unwrap_err();
+        assert!(err.contains("contradicts"), "{err}");
+        assert!(Introspection::from_json(&Json::Null).is_err());
+    }
+}

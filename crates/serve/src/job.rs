@@ -40,6 +40,18 @@ pub enum JobKind {
     Chaos,
 }
 
+impl JobKind {
+    /// Short label used by introspection snapshots and status dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Shortest { .. } => "shortest",
+            JobKind::Widest { .. } => "widest",
+            JobKind::Apsp { .. } => "apsp",
+            JobKind::Chaos => "chaos",
+        }
+    }
+}
+
 /// A job submitted to the service: the graph, what to solve, and the
 /// per-job resource limits.
 #[derive(Debug, Clone)]

@@ -38,12 +38,14 @@
 
 pub mod breaker;
 pub mod checkpoint;
+pub mod introspect;
 pub mod job;
 pub mod policy;
 pub mod service;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Route};
 pub use checkpoint::{ApspCheckpoint, DestResult};
+pub use introspect::{BreakerView, InflightJob, Introspection, WorkerView};
 pub use job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
 pub use policy::RetryPolicy;
 pub use service::{JobTicket, ServeConfig, SolveService};

@@ -23,6 +23,7 @@
 
 use crate::breaker::{BreakerState, CircuitBreaker, Route};
 use crate::checkpoint::ApspCheckpoint;
+use crate::introspect::{BreakerView, InflightJob, Introspection, WorkerView};
 use crate::job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
 use crate::policy::RetryPolicy;
 use crate::BreakerConfig;
@@ -34,6 +35,7 @@ use ppa_obs::{Json, Metrics};
 use ppa_ppc::Ppa;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -112,12 +114,30 @@ enum Supervise {
     Stop,
 }
 
+/// What the pool knows about one executing job (introspection state;
+/// keyed by job id in [`Shared::inflight`]).
+struct InflightEntry {
+    kind: &'static str,
+    submitted: Instant,
+    deadline: Option<Duration>,
+    worker: u64,
+}
+
 /// State shared by the service handle, every worker, and the supervisor.
 struct Shared {
     config: ServeConfig,
     metrics: Mutex<Metrics>,
     breaker: Mutex<CircuitBreaker>,
     accepting: AtomicBool,
+    /// Jobs accepted into the intake queue and not yet picked up by a
+    /// worker. Incremented *before* `try_send` (and rolled back on
+    /// rejection) so a racing worker can never observe an underflow.
+    queue_depth: AtomicU64,
+    /// Jobs currently executing, keyed by job id.
+    inflight: Mutex<BTreeMap<u64, InflightEntry>>,
+    /// Live workers: index -> id of the job it is running (`None` =
+    /// idle). Entries are removed when a worker exits or panics.
+    workers: Mutex<BTreeMap<u64, Option<u64>>>,
 }
 
 /// Everything a worker thread needs; cloneable so the supervisor can
@@ -191,6 +211,9 @@ impl SolveService {
             metrics: Mutex::new(Metrics::new()),
             breaker: Mutex::new(breaker),
             accepting: AtomicBool::new(true),
+            queue_depth: AtomicU64::new(0),
+            inflight: Mutex::new(BTreeMap::new()),
+            workers: Mutex::new(BTreeMap::new()),
         });
         let ctx = WorkerCtx {
             shared: Arc::clone(&shared),
@@ -245,18 +268,21 @@ impl SolveService {
             submitted: Instant::now(),
             reply: reply_tx,
         };
+        self.shared.queue_depth.fetch_add(1, Ordering::AcqRel);
         match tx.try_send(job) {
             Ok(()) => {
                 lock(&self.shared.metrics).inc("serve.accepted", 1);
                 Ok(JobTicket { id, rx: reply_rx })
             }
             Err(TrySendError::Full(_)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
                 lock(&self.shared.metrics).inc("serve.rejected_queue_full", 1);
                 Err(ServeError::Rejected {
                     capacity: self.shared.config.queue_capacity.max(1),
                 })
             }
             Err(TrySendError::Disconnected(_)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
                 lock(&self.shared.metrics).inc("serve.rejected_shutdown", 1);
                 Err(ServeError::ShuttingDown)
             }
@@ -271,6 +297,42 @@ impl SolveService {
     /// The breaker's current state (drills and reports inspect this).
     pub fn breaker_state(&self) -> BreakerState {
         lock(&self.shared.breaker).state()
+    }
+
+    /// A point-in-time snapshot of the whole service: queue depth,
+    /// in-flight jobs with their age and effective deadline, per-worker
+    /// state, breaker state, retry/replacement counters, and the full
+    /// metrics registry. The snapshot is consistent enough to reconcile:
+    /// on an idle service (`queue_depth == 0`, no in-flight jobs) every
+    /// counter is final. Serializes exactly via
+    /// [`Introspection::to_json`]/[`Introspection::from_json`].
+    pub fn introspect(&self) -> Introspection {
+        let now = Instant::now();
+        let inflight: Vec<InflightJob> = lock(&self.shared.inflight)
+            .iter()
+            .map(|(&id, e)| InflightJob {
+                id,
+                kind: e.kind.to_owned(),
+                age_us: now.saturating_duration_since(e.submitted).as_micros() as u64,
+                deadline_us: e.deadline.map(|d| d.as_micros() as u64),
+                worker: e.worker,
+            })
+            .collect();
+        let workers: Vec<WorkerView> = lock(&self.shared.workers)
+            .iter()
+            .map(|(&index, &job)| WorkerView { index, job })
+            .collect();
+        let metrics = lock(&self.shared.metrics).clone();
+        Introspection {
+            queue_depth: self.shared.queue_depth.load(Ordering::Acquire),
+            accepting: self.shared.accepting.load(Ordering::Acquire),
+            inflight,
+            workers,
+            breaker: BreakerView::from_state(lock(&self.shared.breaker).state()),
+            retries: metrics.counter("serve.retries"),
+            workers_replaced: metrics.counter("serve.workers_replaced"),
+            metrics,
+        }
     }
 
     /// Graceful drain: stop accepting, let the workers finish every
@@ -323,6 +385,7 @@ fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
 
 fn worker_loop(ctx: WorkerCtx) {
     let index = ctx.worker_seq.fetch_add(1, Ordering::Relaxed);
+    lock(&ctx.shared.workers).insert(index, None);
     // Golden-ratio stride keeps worker streams disjoint for nearby seeds.
     let mut rng = SmallRng::seed_from_u64(
         ctx.shared
@@ -333,14 +396,33 @@ fn worker_loop(ctx: WorkerCtx) {
     loop {
         let next = lock(&ctx.jobs).recv();
         let Ok(job) = next else {
-            return; // queue closed and drained: graceful exit
+            // Queue closed and drained: graceful exit.
+            lock(&ctx.shared.workers).remove(&index);
+            return;
         };
+        ctx.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
         let (id, submitted, reply) = (job.id, job.submitted, job.reply.clone());
-        match catch_unwind(AssertUnwindSafe(|| run_job(&ctx, job, &mut rng))) {
+        lock(&ctx.shared.inflight).insert(
+            id,
+            InflightEntry {
+                kind: job.spec.kind.label(),
+                submitted,
+                deadline: job.spec.deadline.or(ctx.shared.config.default_deadline),
+                worker: index,
+            },
+        );
+        lock(&ctx.shared.workers).insert(index, Some(id));
+        let verdict = catch_unwind(AssertUnwindSafe(|| run_job(&ctx, job, &mut rng)));
+        lock(&ctx.shared.inflight).remove(&id);
+        match verdict {
             Ok(report) => {
+                lock(&ctx.shared.workers).insert(index, None);
                 let _ = reply.send(report);
             }
             Err(payload) => {
+                // The dying worker disappears from introspection; its
+                // replacement registers itself under a fresh index.
+                lock(&ctx.shared.workers).remove(&index);
                 let latency = submitted.elapsed();
                 let mut m = lock(&ctx.shared.metrics);
                 m.inc("serve.worker_panics", 1);
@@ -1195,5 +1277,112 @@ mod tests {
         }
         assert_eq!(metrics.counter("serve.accepted"), 10);
         assert_eq!(metrics.counter("serve.completed"), 10);
+    }
+
+    #[test]
+    fn introspection_reconciles_on_an_idle_service() {
+        let w = gen::random_connected(6, 0.4, 9, 17);
+        let svc = SolveService::start(quick_config());
+        let tickets: Vec<_> = (0..4)
+            .map(|d| {
+                svc.submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: d % 6 }))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().outcome.is_ok());
+        }
+        let snap = svc.introspect();
+        assert_eq!(snap.queue_depth, 0, "all tickets reported: queue empty");
+        assert!(snap.inflight.is_empty(), "no job can still be running");
+        assert!(snap.accepting);
+        assert_eq!(snap.workers.len(), 2, "quick_config starts two workers");
+        assert!(snap.workers.iter().all(|w| w.job.is_none()));
+        assert_eq!(snap.breaker.state, "closed");
+        assert_eq!(snap.retries, 0);
+        assert_eq!(snap.workers_replaced, 0);
+        assert_eq!(snap.metrics.counter("serve.accepted"), 4);
+        assert_eq!(snap.metrics.counter("serve.completed"), 4);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn live_snapshot_round_trips_exactly_and_sees_running_jobs() {
+        let w = gen::random_connected(24, 0.4, 9, 23);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..quick_config()
+        });
+        let mut spec = JobSpec::new(
+            w,
+            JobKind::Apsp {
+                resume_from: None,
+                checkpoint_every: 1,
+            },
+        );
+        spec.deadline = Some(Duration::from_secs(60));
+        let ticket = svc.submit(spec).unwrap();
+        // Poll until the single worker has picked the job up.
+        let mut seen_running = None;
+        for _ in 0..400 {
+            let snap = svc.introspect();
+            if let Some(job) = snap.inflight.first() {
+                seen_running = Some(snap.clone());
+                let _ = job;
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        let snap = seen_running.expect("a 24-vertex APSP must be observable in flight");
+        let job = &snap.inflight[0];
+        assert_eq!(job.id, ticket.id());
+        assert_eq!(job.kind, "apsp");
+        assert_eq!(job.deadline_us, Some(60_000_000));
+        let running = snap
+            .workers
+            .iter()
+            .find(|v| v.job == Some(job.id))
+            .expect("the worker executing the job must be marked running");
+        assert_eq!(running.index, job.worker);
+        // The live snapshot round-trips exactly, bytes and all.
+        let doc = snap.to_json();
+        let back = Introspection::from_json(&doc).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json().to_string_compact(), doc.to_string_compact());
+        assert!(ticket.wait().outcome.is_ok());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn introspection_tracks_panic_replacement_and_drain() {
+        let svc = SolveService::start(quick_config());
+        let report = svc
+            .submit(JobSpec::new(gen::ring(5), JobKind::Chaos))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            report.outcome.unwrap_err(),
+            ServeError::WorkerPanicked { .. }
+        ));
+        // Wait for the supervisor to install the replacement worker.
+        let mut snap = svc.introspect();
+        for _ in 0..200 {
+            snap = svc.introspect();
+            if snap.workers_replaced == 1 && snap.workers.len() == 2 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(snap.workers_replaced, 1);
+        assert_eq!(snap.workers.len(), 2, "replacement registered");
+        assert!(
+            snap.workers.iter().any(|w| w.index >= 2),
+            "the replacement gets a fresh index: {:?}",
+            snap.workers
+        );
+        assert!(snap.inflight.is_empty(), "the chaos job is gone");
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.worker_panics"), 1);
     }
 }
