@@ -40,8 +40,8 @@
 
 use ppa_bench::baseline::{bench_file_name, compare, git_describe};
 use ppa_bench::{
-    all_experiments, backend_run, faults_campaign, profile_run, scale_run, serve_run, Baseline,
-    HostFingerprint, Table,
+    all_experiments, backend_run, faults_campaign, net_run, profile_run, scale_run, serve_run,
+    Baseline, HostFingerprint, Table,
 };
 use ppa_obs::Json;
 use std::fs;
@@ -112,16 +112,20 @@ fn write_profile_artifacts(trace_dir: &Path, run: &ppa_bench::ProfileRun) {
 /// profile artifacts), write the candidates, and optionally gate them
 /// against the committed `BENCH_*.json` files.
 fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp: &Json) {
-    eprintln!("running bench (backend + scale + serve + profile)...");
+    eprintln!("running bench (backend + scale + serve + net + profile)...");
     let backend = backend_run();
     let scale = scale_run();
     let serve = serve_run(seed);
+    // Bench mode stays subprocess-free: the kill -9 shard drill is the
+    // `net` experiment's job, the baseline cells are identical without it.
+    let net = net_run(seed, false);
     let profile = profile_run();
 
     for (name, table) in [
         ("backend", &backend.table),
         ("scale", &scale.table),
         ("serve", &serve.table),
+        ("net", &net.table),
         ("profile", &profile.table),
     ] {
         let rendered = write_table(out_dir, name, table, stamp);
@@ -134,7 +138,12 @@ fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp:
     )
     .expect("write serve introspection");
 
-    let candidates = [&backend.baseline, &scale.baseline, &serve.baseline];
+    let candidates = [
+        &backend.baseline,
+        &scale.baseline,
+        &serve.baseline,
+        &net.baseline,
+    ];
     for candidate in candidates {
         let path = write_baseline(out_dir, candidate);
         eprintln!("candidate baseline: {}", path.display());
@@ -304,6 +313,15 @@ fn main() {
             let table = faults_campaign(seed);
             let rendered = write_table(&out_dir, name, &table, &stamp);
             println!("{rendered}");
+            continue;
+        }
+        if name == "net" {
+            // The network-edge campaign honours --seed and runs the full
+            // drill, including the kill -9 shard subprocess exercise.
+            let run = net_run(seed, true);
+            let rendered = write_table(&out_dir, name, &run.table, &stamp);
+            println!("{rendered}");
+            write_baseline(&out_dir, &run.baseline);
             continue;
         }
         if name == "serve" {

@@ -29,6 +29,23 @@
 //! packed→scalar circuit breaker. Serve mode handles `shortest`,
 //! `widest`, and `apsp` (all destinations, with checkpointing); it
 //! prints the job report plus the service's `serve.*` counters.
+//!
+//! Network modes:
+//!
+//! * `solve --listen ADDR [--workers N] [--status-every MS]` — serve
+//!   the wire protocol over TCP (plus HTTP `GET /metrics` and
+//!   `/status` on the same port). Prints `listening: <addr>` and runs
+//!   until stdin reaches EOF, then drains gracefully and prints the
+//!   final counters.
+//! * `solve <graph> --dest <d> --connect ADDR` — submit the job to a
+//!   remote `--listen` server instead of solving locally.
+//! * `solve shard-worker <graph> --shard I --of N --checkpoint PATH`
+//!   — run one destination-range shard of an all-pairs campaign with a
+//!   crash-tolerant resumable checkpoint (kill -9 safe).
+//! * `solve shard-merge --out PATH <shard.json>...` — validate that
+//!   shard checkpoints cover every destination exactly once and merge
+//!   them into one campaign document, byte-identical to a
+//!   single-process run.
 
 use ppa_graph::{gen, io, WeightMatrix, INF};
 use ppa_machine::{Executor, PackedBackend, ThreadedBackend};
@@ -57,6 +74,8 @@ struct Options {
     deadline_ms: Option<u64>,
     budget: Option<u64>,
     status_every_ms: Option<u64>,
+    listen: Option<String>,
+    connect: Option<String>,
 }
 
 fn usage() -> ! {
@@ -66,7 +85,12 @@ fn usage() -> ! {
          [--backend scalar|packed|threaded] [--threads K] \
          [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE] \
          [--serve [--workers N] [--deadline-ms D] [--budget STEPS] \
-         [--status-every MS]]"
+         [--status-every MS]] [--connect ADDR]\n       \
+         solve --listen ADDR [--workers N] [--threads K] \
+         [--backend scalar|packed|threaded] [--status-every MS]\n       \
+         solve shard-worker <graph-file> --shard I --of N \
+         --checkpoint PATH [--every K] [--workers N] [--stall-ms MS]\n       \
+         solve shard-merge --out PATH <shard.json>..."
     );
     exit(2)
 }
@@ -89,6 +113,8 @@ fn parse_args() -> Options {
         deadline_ms: None,
         budget: None,
         status_every_ms: None,
+        listen: None,
+        connect: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,6 +161,8 @@ fn parse_args() -> Options {
                 }
                 opts.status_every_ms = Some(ms);
             }
+            "--listen" => opts.listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--connect" => opts.connect = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_owned());
@@ -206,7 +234,19 @@ fn write_observations<E: Executor>(
 }
 
 fn main() {
+    // Subcommands are intercepted before flag parsing: they have their
+    // own argument grammars (and no `--dest`).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("shard-worker") => return run_shard_worker_cli(&argv[1..]),
+        Some("shard-merge") => return run_shard_merge_cli(&argv[1..]),
+        _ => {}
+    }
     let opts = parse_args();
+    if let Some(addr) = &opts.listen {
+        run_listen(addr, &opts);
+        return;
+    }
     let mut w = load(&opts);
     let Some(d) = opts.dest else { usage() };
     if d >= w.n() {
@@ -240,6 +280,10 @@ fn main() {
             usage()
         }
     };
+    if let Some(addr) = &opts.connect {
+        run_connect(addr, &w, d, &opts);
+        return;
+    }
     if opts.serve {
         run_serve(w, d, backend, &opts);
         return;
@@ -313,7 +357,6 @@ enum Backend {
 /// worker pool, then the job report and the service's own counters.
 fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
     use ppa_serve::{ApspCheckpoint, JobKind, JobOutcome, JobSpec, ServeConfig, SolveService};
-    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -336,30 +379,17 @@ fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
         threads: opts.threads,
         ..ServeConfig::default()
     }));
-    // `--status-every MS`: a sidecar thread dumps a full introspection
-    // snapshot (compact JSON, one line, `status:` prefix) to stderr at
-    // the requested period until the job settles.
-    let status = opts.status_every_ms.map(|ms| {
-        let svc = Arc::clone(&svc);
-        let stop = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || {
-            let period = Duration::from_millis(ms);
-            loop {
-                let snap = svc.introspect();
-                eprintln!("status: {}", snap.to_json().to_string_compact());
-                if flag.load(Ordering::Acquire) {
-                    return;
-                }
-                std::thread::sleep(period);
-            }
-        });
-        (stop, handle)
-    });
+    // `--status-every MS`: a StatusReporter dumps introspection
+    // snapshots (compact JSON, one line, `status:` prefix) to stderr at
+    // the requested period, and guarantees one `status-final:` snapshot
+    // taken *after* the job settles — the periodic thread alone could
+    // miss the terminal state and leave the last line stale.
+    let status = opts
+        .status_every_ms
+        .map(|ms| start_status_reporter(Arc::clone(&svc), ms));
     let stop_status = move || {
-        if let Some((stop, handle)) = status {
-            stop.store(true, Ordering::Release);
-            let _ = handle.join();
+        if let Some(reporter) = status {
+            reporter.finish();
         }
     };
     // Stops the dumper, then drains the pool and returns final metrics.
@@ -444,13 +474,308 @@ fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
 }
 
 fn print_serve_counters(metrics: &ppa_obs::Metrics) {
+    print_counters(metrics, "serve.");
+}
+
+fn print_counters(metrics: &ppa_obs::Metrics, prefix: &str) {
     let mut counters: Vec<(&str, u64)> = metrics
         .counters()
-        .filter(|(name, _)| name.starts_with("serve."))
+        .filter(|(name, _)| name.starts_with(prefix))
         .collect();
     counters.sort();
     for (name, value) in counters {
         println!("  {name}: {value}");
+    }
+}
+
+/// Starts the `--status-every` sidecar: periodic `status:` lines plus a
+/// guaranteed `status-final:` snapshot taken after the drain signal.
+fn start_status_reporter(
+    svc: std::sync::Arc<ppa_serve::SolveService>,
+    every_ms: u64,
+) -> ppa_serve::StatusReporter {
+    ppa_serve::StatusReporter::start(
+        svc,
+        std::time::Duration::from_millis(every_ms),
+        |snap, is_final| {
+            let prefix = if is_final { "status-final" } else { "status" };
+            eprintln!("{prefix}: {}", snap.to_json().to_string_compact());
+        },
+    )
+}
+
+/// `--listen ADDR`: run the wire protocol over TCP (plus HTTP `GET
+/// /metrics` / `/status` on the same port) until stdin reaches EOF,
+/// then drain gracefully. The bound address is printed on stdout so a
+/// parent that asked for an OS-assigned port (`--listen 127.0.0.1:0`)
+/// can discover where to connect.
+fn run_listen(addr: &str, opts: &Options) {
+    use ppa_serve::{NetConfig, NetServer, ServeConfig, SolveService};
+    use std::io::{BufRead, Write};
+    use std::sync::Arc;
+
+    let svc = Arc::new(SolveService::start(ServeConfig {
+        workers: opts.workers.max(1),
+        prefer_packed: opts.backend == "packed",
+        prefer_threaded: opts.backend == "threaded",
+        threads: opts.threads,
+        ..ServeConfig::default()
+    }));
+    let server = NetServer::start(
+        Arc::clone(&svc),
+        NetConfig {
+            addr: addr.to_owned(),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot listen on {addr}: {e}");
+        exit(1)
+    });
+    println!("listening: {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let status = opts
+        .status_every_ms
+        .map(|ms| start_status_reporter(Arc::clone(&svc), ms));
+    // Graceful-drain signal: the parent closing our stdin. (kill -9 is
+    // the ungraceful path — that one is covered by shard checkpoints.)
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    while stdin
+        .lock()
+        .read_line(&mut line)
+        .map(|n| n > 0)
+        .unwrap_or(false)
+    {
+        line.clear();
+    }
+    let net_metrics = server.shutdown();
+    if let Some(reporter) = status {
+        reporter.finish();
+    }
+    let mut metrics = match Arc::try_unwrap(svc) {
+        Ok(s) => s.shutdown(),
+        Err(arc) => arc.metrics(), // unreachable: the server and reporter were joined
+    };
+    metrics.merge(&net_metrics);
+    print_serve_counters(&metrics);
+    print_counters(&metrics, "net.");
+}
+
+/// `--connect ADDR`: submit this job to a remote `--listen` server over
+/// the wire protocol and print the report, mirroring serve-mode output.
+fn run_connect(addr: &str, w: &WeightMatrix, d: usize, opts: &Options) {
+    use ppa_serve::wire::outcome_from_json;
+    use ppa_serve::{ApspCheckpoint, JobOutcome, NetClient, Request, Response, SubmitRequest};
+
+    match opts.problem.as_str() {
+        "shortest" | "widest" | "apsp" => {}
+        other => {
+            eprintln!("problem `{other}` is not served (--connect handles shortest|widest|apsp)");
+            exit(2)
+        }
+    }
+    let mut client = NetClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1)
+    });
+    let req = Request::Submit(SubmitRequest {
+        graph: io::to_edge_list(w),
+        kind: opts.problem.clone(),
+        dest: d,
+        checkpoint_every: 1,
+        resume_from: None,
+        deadline_ms: opts.deadline_ms,
+        step_budget: opts.budget,
+        transient_faults: None,
+        wait: true,
+    });
+    let response = client.call(&req).unwrap_or_else(|e| {
+        eprintln!("wire error talking to {addr}: {e}");
+        exit(1)
+    });
+    match response {
+        Response::Report {
+            id,
+            outcome,
+            attempts,
+            backend,
+            latency_us,
+        } => {
+            println!(
+                "job {id}: {attempts} attempt(s), backend {}, latency {latency_us}us (remote)",
+                backend.as_deref().unwrap_or("-"),
+            );
+            match outcome_from_json(&outcome) {
+                Ok(JobOutcome::Shortest(out)) => {
+                    for i in 0..w.n() {
+                        if out.sow[i] == INF {
+                            println!("  {i}: unreachable");
+                        } else {
+                            println!("  {i}: cost {:5}  next {}", out.sow[i], out.ptn[i]);
+                        }
+                    }
+                }
+                Ok(JobOutcome::Widest(out)) => {
+                    for i in 0..w.n() {
+                        if i == d {
+                            continue;
+                        }
+                        if out.cap[i] == 0 {
+                            println!("  {i}: unreachable");
+                        } else {
+                            println!("  {i}: capacity {:5}  next {}", out.cap[i], out.ptn[i]);
+                        }
+                    }
+                }
+                Ok(JobOutcome::Apsp(doc)) => match ApspCheckpoint::from_json(&doc) {
+                    Ok(cp) => println!(
+                        "  all-pairs campaign complete: {} destinations",
+                        cp.completed().len()
+                    ),
+                    Err(e) => {
+                        eprintln!("malformed campaign document: {e}");
+                        exit(1)
+                    }
+                },
+                Err(e) => {
+                    eprintln!("malformed outcome document: {e}");
+                    exit(1)
+                }
+            }
+        }
+        Response::Error(failure) => {
+            eprintln!("job failed: {} ({})", failure.message, failure.kind);
+            if let Some(ms) = failure.retry_after_ms {
+                eprintln!("  retry after {ms} ms");
+            }
+            exit(1)
+        }
+        other => {
+            eprintln!("unexpected response: {:?}", other.to_json());
+            exit(1)
+        }
+    }
+}
+
+/// `solve shard-worker <graph> --shard I --of N --checkpoint PATH`:
+/// one destination-range shard of an all-pairs campaign, checkpointing
+/// atomically as it goes. Safe to kill -9 and re-run: a restart resumes
+/// from the persisted prefix and refuses a checkpoint that belongs to a
+/// different campaign.
+fn run_shard_worker_cli(args: &[String]) {
+    use ppa_serve::{run_shard_worker, ServeConfig};
+    use std::time::Duration;
+
+    let mut file = None;
+    let mut shard = None;
+    let mut of = None;
+    let mut checkpoint = None;
+    let mut every = 1usize;
+    let mut workers = 2usize;
+    let mut stall_ms = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shard" => shard = it.next().and_then(|v| v.parse().ok()),
+            "--of" => of = it.next().and_then(|v| v.parse().ok()),
+            "--checkpoint" => checkpoint = it.next().cloned(),
+            "--every" => {
+                every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--stall-ms" => stall_ms = it.next().and_then(|v| v.parse().ok()),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let (Some(file), Some(shard), Some(of), Some(checkpoint)) = (file, shard, of, checkpoint)
+    else {
+        usage()
+    };
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1)
+    });
+    let w = io::parse_auto(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {file}: {e}");
+        exit(1)
+    });
+    let config = ServeConfig {
+        workers: workers.max(1),
+        ..ServeConfig::default()
+    };
+    let stall = stall_ms.map(Duration::from_millis);
+    match run_shard_worker(
+        &w,
+        shard,
+        of,
+        std::path::Path::new(&checkpoint),
+        every,
+        config,
+        stall,
+    ) {
+        Ok(cp) => {
+            let (start, end) = cp.range();
+            println!(
+                "shard-worker: shard {shard}/{of} complete, destinations {start}..{end} \
+                 ({} results) -> {checkpoint}",
+                cp.completed().len()
+            );
+        }
+        Err(e) => {
+            eprintln!("shard-worker failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// `solve shard-merge --out PATH <shard.json>...`: validate that the
+/// shard checkpoints cover every destination exactly once and merge
+/// them into one campaign document (byte-identical to a single-process
+/// run over the same graph).
+fn run_shard_merge_cli(args: &[String]) {
+    use ppa_serve::merge_shard_files;
+
+    let mut out = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().cloned(),
+            other if !other.starts_with('-') => files.push(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+    if files.is_empty() {
+        usage()
+    }
+    match merge_shard_files(&files) {
+        Ok(merged) => {
+            merged.save(std::path::Path::new(&out)).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            println!(
+                "shard-merge: {} shard(s) -> {} destinations, n={} -> {out}",
+                files.len(),
+                merged.completed().len(),
+                merged.n()
+            );
+        }
+        Err(e) => {
+            eprintln!("shard-merge failed: {e}");
+            exit(1)
+        }
     }
 }
 

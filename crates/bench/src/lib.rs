@@ -1575,6 +1575,815 @@ fn serve_outcome_is_correct(spec: &ppa_serve::JobSpec, out: &ppa_serve::JobOutco
     }
 }
 
+/// NET — the network-edge chaos campaign: wire-protocol fuzzing,
+/// admission-control flooding, dropped connections, deadline/cancel
+/// over the wire, resumable network campaigns, and a kill -9 shard
+/// drill that spawns real `solve shard-worker` processes.
+pub fn net_campaign(seed: u64) -> Table {
+    net_run(seed, true).table
+}
+
+/// Everything the `net` experiment produces: the campaign [`Table`] and
+/// the measured [`Baseline`] (the shard drill is excluded from the
+/// baseline cells so bench mode — which must stay subprocess-free —
+/// measures the same grid).
+pub struct NetRun {
+    /// Campaign summary table.
+    pub table: Table,
+    /// Per-scenario wall-clock baseline.
+    pub baseline: Baseline,
+}
+
+/// The network-edge campaign (see [`net_campaign`]). `with_shard_drill`
+/// additionally runs the crash drill: three `solve shard-worker`
+/// processes over a split destination range, one killed with SIGKILL
+/// mid-campaign and restarted, their checkpoints merged and compared
+/// byte-for-byte against a single-process run.
+pub fn net_run(seed: u64, with_shard_drill: bool) -> NetRun {
+    use ppa_obs::Json;
+    use ppa_serve::wire::{read_incoming, write_frame, CampaignRequest, Incoming};
+    use ppa_serve::{
+        ApspCheckpoint, JobKind, JobOutcome, JobSpec, NetClient, NetConfig, NetServer, Request,
+        Response, ServeConfig, SolveService, SubmitRequest,
+    };
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    let mut t = Table::new(
+        "net",
+        format!(
+            "network edge chaos campaign (seed {seed}): wire fuzzing, admission flood, dropped \
+             connections, deadline/cancel over the wire, resumable campaigns; every count \
+             reconciled against the server's net.* / serve.* counters"
+        ),
+        vec![
+            "scenario".into(),
+            "ops".into(),
+            "accepted".into(),
+            "rejected".into(),
+            "typed errors".into(),
+            "completed".into(),
+            "lost".into(),
+            "reconciled".into(),
+        ],
+    );
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    let mut lost_jobs = 0u64;
+    let mut silent_wrong = 0u64;
+
+    let submit = |graph: &WeightMatrix, dest: usize, wait: bool| SubmitRequest {
+        graph: ppa_graph::io::to_edge_list(graph),
+        kind: "shortest".into(),
+        dest,
+        checkpoint_every: 1,
+        resume_from: None,
+        deadline_ms: None,
+        step_budget: None,
+        transient_faults: None,
+        wait,
+    };
+    let drain_service = |svc: Arc<SolveService>| {
+        if let Ok(s) = Arc::try_unwrap(svc) {
+            s.shutdown();
+        }
+    };
+    let mut push_cell = |name: &str, ops: u64, wall: std::time::Duration| {
+        entries.push(BaselineEntry {
+            cell: name.to_owned(),
+            steps: ops,
+            wall: WallStats::from_samples(&[wall.as_nanos() as u64]),
+            counters: std::collections::BTreeMap::new(),
+        });
+    };
+
+    // --- wire fuzz: malformed bytes get typed errors, never hangs ----
+    {
+        let start = Instant::now();
+        let svc = Arc::new(SolveService::start(ServeConfig {
+            workers: 2,
+            seed,
+            ..ServeConfig::default()
+        }));
+        let server = NetServer::start(
+            Arc::clone(&svc),
+            NetConfig {
+                max_frame: 4096,
+                ..NetConfig::default()
+            },
+        )
+        .expect("fuzz server binds");
+        let addr = server.local_addr();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF022);
+        let ops = 40u64;
+        let (mut oversized, mut garbage, mut unknown, mut truncated, mut http) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut typed_errors = 0u64;
+        let mut all_typed = true;
+        let read_response = |stream: &TcpStream| -> Option<Response> {
+            let mut r = stream;
+            match read_incoming(&mut r, 1 << 20) {
+                Ok(Incoming::Frame(doc)) => Response::from_json(&doc).ok(),
+                _ => None,
+            }
+        };
+        let error_kind = |resp: Option<Response>| -> Option<String> {
+            match resp {
+                Some(Response::Error(f)) => Some(f.kind),
+                _ => None,
+            }
+        };
+        for i in 0..ops {
+            let mut stream = TcpStream::connect(addr).expect("fuzz connect");
+            match i % 5 {
+                0 => {
+                    // A length prefix far beyond the server's cap: the
+                    // payload must be rejected *before* allocation.
+                    let len = 4097 + rng.gen_range(0..1_000_000u32);
+                    stream.write_all(&len.to_be_bytes()).expect("write prefix");
+                    oversized += 1;
+                    let kind = error_kind(read_response(&stream));
+                    all_typed &= kind.as_deref() == Some("frame_too_large");
+                    typed_errors += u64::from(kind.is_some());
+                }
+                1 => {
+                    // A well-framed payload of non-UTF-8 bytes (every
+                    // byte has the high bit set, so it can never start a
+                    // JSON value).
+                    let len = rng.gen_range(1..64usize);
+                    let payload: Vec<u8> = (0..len)
+                        .map(|_| rng.gen_range(0x80..0x100u32) as u8)
+                        .collect();
+                    stream
+                        .write_all(&(len as u32).to_be_bytes())
+                        .expect("write prefix");
+                    stream.write_all(&payload).expect("write payload");
+                    garbage += 1;
+                    let kind = error_kind(read_response(&stream));
+                    all_typed &= kind.as_deref() == Some("malformed");
+                    typed_errors += u64::from(kind.is_some());
+                }
+                2 => {
+                    // Valid JSON, unknown op: typed error and the stream
+                    // stays usable for a follow-up request.
+                    let doc = Json::obj(vec![("op", Json::Str("bogus".into()))]);
+                    write_frame(&mut stream, &doc).expect("write frame");
+                    unknown += 1;
+                    let kind = error_kind(read_response(&stream));
+                    all_typed &= kind.as_deref() == Some("unknown_op");
+                    typed_errors += u64::from(kind.is_some());
+                    write_frame(&mut stream, &Request::Status.to_json()).expect("write status");
+                    all_typed &= matches!(read_response(&stream), Some(Response::Status(_)));
+                }
+                3 => {
+                    // A truncated frame: the prefix promises more bytes
+                    // than ever arrive, then the client vanishes.
+                    stream
+                        .write_all(&100u32.to_be_bytes())
+                        .expect("write prefix");
+                    stream
+                        .write_all(&[0x7b; 10])
+                        .expect("write partial payload");
+                    truncated += 1;
+                }
+                _ => {
+                    // An HTTP GET for a bogus path shares the port.
+                    stream
+                        .write_all(b"GET /nope HTTP/1.1\r\n\r\n")
+                        .expect("write http");
+                    http += 1;
+                    let mut buf = Vec::new();
+                    let mut r = &stream;
+                    let _ = r.read_to_end(&mut buf);
+                    all_typed &= buf.starts_with(b"HTTP/1.1 404");
+                }
+            }
+        }
+        // After the abuse, a legitimate job must still go through.
+        let probe_graph = gen::random_connected(10, 0.4, 9, seed ^ 1);
+        let mut client = NetClient::connect(addr).expect("probe connects");
+        let probe_ok = matches!(
+            client.call(&Request::Submit(submit(&probe_graph, 0, true))),
+            Ok(Response::Report { .. })
+        );
+        drop(client);
+        let net_metrics = server.shutdown();
+        drain_service(svc);
+        // Truncated frames race the hangup: the server sees either a
+        // truncated payload (counted malformed) or a bare reset.
+        let malformed = net_metrics.counter("net.malformed");
+        let reconciled = all_typed
+            && probe_ok
+            && net_metrics.counter("net.oversized") == oversized
+            && net_metrics.counter("net.unknown_op") == unknown
+            && malformed >= garbage
+            && malformed <= garbage + truncated
+            && net_metrics.counter("net.http_gets") == http;
+        push_cell("wire fuzz", ops, start.elapsed());
+        t.row(vec![
+            "wire fuzz".into(),
+            ops.to_string(),
+            "1".into(),
+            "0".into(),
+            typed_errors.to_string(),
+            "1".into(),
+            "0".into(),
+            if reconciled {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+
+    // --- admission flood: shed at the edge, nothing lost -------------
+    {
+        let start = Instant::now();
+        let graph = gen::random_connected(18, 0.3, 9, seed ^ 2);
+        let svc = Arc::new(SolveService::start(ServeConfig {
+            workers: 2,
+            queue_capacity: 4,
+            seed,
+            ..ServeConfig::default()
+        }));
+        let server =
+            NetServer::start(Arc::clone(&svc), NetConfig::default()).expect("flood server binds");
+        let addr = server.local_addr();
+        const CLIENTS: usize = 4;
+        const PER_CLIENT: usize = 25;
+        let ops = (CLIENTS * PER_CLIENT) as u64;
+        // (accepted (id, dest) pairs, rejection count, retry hints all sane)
+        type ClientTally = (Vec<(u64, usize)>, u64, bool);
+        let per_client: Vec<ClientTally> = std::thread::scope(|scope| {
+            let submit = &submit;
+            let graph = &graph;
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = NetClient::connect(addr).expect("flood connect");
+                        let mut accepted = Vec::new();
+                        let mut rejected = 0u64;
+                        let mut hints_ok = true;
+                        for j in 0..PER_CLIENT {
+                            let dest = (c * PER_CLIENT + j) % graph.n();
+                            match client.call(&Request::Submit(submit(graph, dest, false))) {
+                                Ok(Response::Accepted { id }) => accepted.push((id, dest)),
+                                Ok(Response::Error(f)) => {
+                                    rejected += 1;
+                                    hints_ok &= f.kind == "rejected"
+                                        && f.retry_after_ms.is_some_and(|ms| ms >= 1);
+                                }
+                                other => panic!("unexpected flood response: {other:?}"),
+                            }
+                        }
+                        (accepted, rejected, hints_ok)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flood client"))
+                .collect()
+        });
+        let mut ids: Vec<(u64, usize)> = Vec::new();
+        let mut rejected = 0u64;
+        let mut hints_ok = true;
+        for (a, r, h) in per_client {
+            ids.extend(a);
+            rejected += r;
+            hints_ok &= h;
+        }
+        let accepted = ids.len() as u64;
+        // Every accepted job must yield exactly one fetchable report,
+        // and every completed answer must survive the reference check.
+        let mut client = NetClient::connect(addr).expect("fetch connect");
+        let (mut completed, mut failed, mut fetched) = (0u64, 0u64, 0u64);
+        for &(id, dest) in &ids {
+            match client.call(&Request::Result { id }) {
+                Ok(Response::Report { outcome, .. }) => {
+                    fetched += 1;
+                    match ppa_serve::wire::outcome_from_json(&outcome) {
+                        Ok(JobOutcome::Shortest(out)) => {
+                            completed += 1;
+                            if !validate::is_valid_solution(&graph, dest, &out.sow, &out.ptn) {
+                                silent_wrong += 1;
+                            }
+                        }
+                        _ => failed += 1,
+                    }
+                }
+                Ok(Response::Error(f)) if f.kind != "unknown_job" => {
+                    fetched += 1;
+                    failed += 1;
+                }
+                _ => {}
+            }
+        }
+        let metrics = match client.call(&Request::Metrics) {
+            Ok(Response::MetricsDoc(doc)) => ppa_obs::Metrics::from_json(&doc).ok(),
+            _ => None,
+        };
+        drop(client);
+        server.shutdown();
+        drain_service(svc);
+        lost_jobs += accepted - fetched;
+        let reconciled = hints_ok
+            && completed + failed == fetched
+            && metrics.is_some_and(|m| {
+                m.counter("serve.accepted") == accepted
+                    && m.counter("serve.rejected_queue_full") == rejected
+                    && m.counter("serve.completed") + m.counter("serve.failed") == accepted
+                    && m.counter("net.submitted") == accepted
+                    && m.counter("net.submit_rejected") == rejected
+            });
+        push_cell("admission flood", ops, start.elapsed());
+        t.row(vec![
+            "admission flood".into(),
+            ops.to_string(),
+            accepted.to_string(),
+            rejected.to_string(),
+            rejected.to_string(),
+            completed.to_string(),
+            (accepted - fetched).to_string(),
+            if reconciled {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+
+    // --- dropped connections: orphaned jobs still settle -------------
+    {
+        let start = Instant::now();
+        let graph = gen::random_connected(14, 0.35, 9, seed ^ 3);
+        let svc = Arc::new(SolveService::start(ServeConfig {
+            workers: 2,
+            seed,
+            ..ServeConfig::default()
+        }));
+        let server =
+            NetServer::start(Arc::clone(&svc), NetConfig::default()).expect("drop server binds");
+        let addr = server.local_addr();
+        let conns = 8u64;
+        let mut ids: Vec<(u64, usize)> = Vec::new();
+        for i in 0..conns as usize {
+            if i % 2 == 0 {
+                // Submit asynchronously, then vanish without fetching.
+                let mut client = NetClient::connect(addr).expect("drop connect");
+                let dest = i % graph.n();
+                match client.call(&Request::Submit(submit(&graph, dest, false))) {
+                    Ok(Response::Accepted { id }) => ids.push((id, dest)),
+                    other => panic!("unexpected drop response: {other:?}"),
+                }
+            } else {
+                // Hang up mid-frame.
+                let mut stream = TcpStream::connect(addr).expect("drop connect raw");
+                stream
+                    .write_all(&64u32.to_be_bytes())
+                    .expect("write prefix");
+                stream.write_all(b"{\"op\":").expect("write partial");
+            }
+        }
+        let submitted = ids.len() as u64;
+        let mut client = NetClient::connect(addr).expect("reap connect");
+        let (mut completed, mut fetched) = (0u64, 0u64);
+        for &(id, dest) in &ids {
+            if let Ok(Response::Report { outcome, .. }) = client.call(&Request::Result { id }) {
+                fetched += 1;
+                if let Ok(JobOutcome::Shortest(out)) = ppa_serve::wire::outcome_from_json(&outcome)
+                {
+                    completed += 1;
+                    if !validate::is_valid_solution(&graph, dest, &out.sow, &out.ptn) {
+                        silent_wrong += 1;
+                    }
+                }
+            }
+        }
+        let status_ok = matches!(client.call(&Request::Status), Ok(Response::Status(_)));
+        drop(client);
+        server.shutdown();
+        drain_service(svc);
+        lost_jobs += submitted - fetched;
+        let reconciled = status_ok && fetched == submitted && completed == submitted;
+        push_cell("dropped connections", conns, start.elapsed());
+        t.row(vec![
+            "dropped connections".into(),
+            conns.to_string(),
+            submitted.to_string(),
+            "0".into(),
+            "0".into(),
+            completed.to_string(),
+            (submitted - fetched).to_string(),
+            if reconciled {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+
+    // --- deadline + cancel travel the wire ---------------------------
+    {
+        let start = Instant::now();
+        let graph = gen::random_connected(16, 0.3, 9, seed ^ 4);
+        let svc = Arc::new(SolveService::start(ServeConfig {
+            workers: 2,
+            seed,
+            ..ServeConfig::default()
+        }));
+        let server = NetServer::start(Arc::clone(&svc), NetConfig::default())
+            .expect("deadline server binds");
+        let addr = server.local_addr();
+        let mut client = NetClient::connect(addr).expect("deadline connect");
+        let ops = 5u64;
+        let mut typed = 0u64;
+        let mut ok = true;
+        // An already-expired deadline fails with the deadline taxonomy.
+        let mut req = submit(&graph, 0, true);
+        req.deadline_ms = Some(0);
+        match client.call(&Request::Submit(req)) {
+            Ok(Response::Error(f)) => {
+                typed += 1;
+                ok &= f.kind == "deadline" || f.kind == "deadline_in_queue";
+            }
+            _ => ok = false,
+        }
+        // A mid-campaign step budget hands back a parseable resume
+        // checkpoint with the error. Half the measured full-campaign
+        // cost lands between destinations, like `serve_run`'s drill.
+        let mut session = ppa_mcp::McpSession::new(&graph).expect("session builds");
+        session.ppa_mut().limit_steps(1_000_000);
+        session.all_pairs().expect("campaign solves");
+        let used = 1_000_000 - session.ppa_mut().steps_remaining().expect("budget armed");
+        let mut req = submit(&graph, 0, true);
+        req.kind = "apsp".into();
+        req.step_budget = Some(used / 2);
+        match client.call(&Request::Submit(req)) {
+            Ok(Response::Error(f)) => {
+                typed += 1;
+                ok &= f.kind == "interrupted:budget"
+                    && f.checkpoint
+                        .as_ref()
+                        .is_some_and(|doc| ApspCheckpoint::from_json(doc).is_ok());
+            }
+            _ => ok = false,
+        }
+        // Cancelling an unknown id is answered, not ignored.
+        match client.call(&Request::Cancel { id: 424_242 }) {
+            Ok(Response::CancelResult { known, .. }) => ok &= !known,
+            _ => ok = false,
+        }
+        // Cancel a live submission: whatever wins the race, the report
+        // must settle as either a result or a typed cancellation.
+        let id = match client.call(&Request::Submit(submit(&graph, 1, false))) {
+            Ok(Response::Accepted { id }) => id,
+            _ => {
+                ok = false;
+                u64::MAX
+            }
+        };
+        ok &= matches!(
+            client.call(&Request::Cancel { id }),
+            Ok(Response::CancelResult { .. })
+        );
+        match client.call(&Request::Result { id }) {
+            Ok(Response::Report { .. }) => {}
+            Ok(Response::Error(f)) => {
+                typed += 1;
+                ok &= f.kind == "cancelled";
+            }
+            _ => ok = false,
+        }
+        drop(client);
+        server.shutdown();
+        drain_service(svc);
+        push_cell("deadline + cancel", ops, start.elapsed());
+        t.row(vec![
+            "deadline + cancel".into(),
+            ops.to_string(),
+            "3".into(),
+            "0".into(),
+            typed.to_string(),
+            "-".into(),
+            "0".into(),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    // --- resumable campaigns over the network ------------------------
+    {
+        let start = Instant::now();
+        let w = gen::random_connected(9, 0.4, 9, seed ^ 5);
+        let n = w.n();
+        // Host-side reference: the same campaign in one process.
+        let svc0 = SolveService::start(ServeConfig {
+            seed,
+            ..ServeConfig::default()
+        });
+        let reference = match svc0
+            .submit(JobSpec::new(
+                w.clone(),
+                JobKind::Apsp {
+                    resume_from: None,
+                    checkpoint_every: 1,
+                },
+            ))
+            .expect("reference campaign accepted")
+            .wait()
+            .outcome
+        {
+            Ok(JobOutcome::Apsp(doc)) => doc.to_string_compact(),
+            other => panic!("reference campaign must complete, got {other:?}"),
+        };
+        svc0.shutdown();
+        // A half-done checkpoint built host-side from verified solves.
+        let mut partial = ApspCheckpoint::new(n);
+        for d in 0..n / 2 {
+            let out = ppa_mcp::McpSession::new(&w)
+                .expect("session builds")
+                .solve(d)
+                .expect("prefix dest solves");
+            partial.record(&out);
+        }
+        let resumed_prefix = partial.next_dest();
+        let svc = Arc::new(SolveService::start(ServeConfig {
+            seed,
+            ..ServeConfig::default()
+        }));
+        let server = NetServer::start(Arc::clone(&svc), NetConfig::default())
+            .expect("campaign server binds");
+        let addr = server.local_addr();
+        let mut client = NetClient::connect(addr).expect("campaign connect");
+        let campaign = |resume_from: Option<Json>| CampaignRequest {
+            graph: ppa_graph::io::to_edge_list(&w),
+            checkpoint_every: 1,
+            deadline_ms: None,
+            step_budget: None,
+            resume_from,
+        };
+        let mut resumed_progress = 0u64;
+        let resumed = client.campaign(campaign(Some(partial.to_json())), |_, _| {
+            resumed_progress += 1;
+        });
+        let resumed_identical = matches!(&resumed, Ok(doc) if doc.to_string_compact() == reference);
+        let mut full_progress = 0u64;
+        let full = client.campaign(campaign(None), |_, _| full_progress += 1);
+        let full_identical = matches!(&full, Ok(doc) if doc.to_string_compact() == reference);
+        if resumed.is_ok() && !resumed_identical {
+            silent_wrong += 1;
+        }
+        if full.is_ok() && !full_identical {
+            silent_wrong += 1;
+        }
+        drop(client);
+        server.shutdown();
+        drain_service(svc);
+        let ops = (n + (n - resumed_prefix)) as u64;
+        let reconciled = resumed_identical
+            && full_identical
+            && resumed_progress == (n - resumed_prefix) as u64
+            && full_progress == n as u64;
+        push_cell("resumable campaign", ops, start.elapsed());
+        t.row(vec![
+            "resumable campaign".into(),
+            ops.to_string(),
+            "2".into(),
+            "0".into(),
+            "0".into(),
+            (2 * n).to_string(),
+            "0".into(),
+            if reconciled {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+
+    // --- shard kill -9 drill (real worker processes) -----------------
+    let mut sharded_byte_identical = false;
+    let mut drill_note = String::new();
+    if with_shard_drill {
+        match shard_drill(seed) {
+            Ok(d) => {
+                sharded_byte_identical = d.byte_identical;
+                drill_note = format!(
+                    "3 worker processes over {} destinations; victim {} with {} destination(s) \
+                     persisted, restarted, merged",
+                    d.n,
+                    if d.victim_killed {
+                        "killed -9 mid-campaign"
+                    } else {
+                        "finished before the kill landed"
+                    },
+                    d.resumed_prefix,
+                );
+                t.row(vec![
+                    "shard kill -9 drill".into(),
+                    "4".into(),
+                    "3".into(),
+                    "0".into(),
+                    "0".into(),
+                    d.n.to_string(),
+                    "0".into(),
+                    if d.byte_identical {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
+                ]);
+            }
+            Err(e) => {
+                drill_note = format!("drill failed: {e}");
+                t.row(vec![
+                    "shard kill -9 drill".into(),
+                    "4".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "NO".into(),
+                ]);
+            }
+        }
+    }
+
+    t.note(format!(
+        "lost_jobs: {lost_jobs} (accepted submissions whose report could not be fetched back)"
+    ));
+    t.note(format!(
+        "silent_wrong: {silent_wrong} (completed network answers refuted by the host-side \
+         reference)"
+    ));
+    if with_shard_drill {
+        t.note(format!(
+            "sharded_byte_identical: {sharded_byte_identical} ({drill_note})"
+        ));
+    } else {
+        t.note(
+            "shard drill skipped (bench mode runs no subprocesses); run `report net` for the \
+             kill -9 drill",
+        );
+    }
+    t.note("`reconciled` = client-side tallies equal the server's counters exactly and every");
+    t.note("protocol violation drew a typed error frame (never a hang or a dropped job).");
+    NetRun {
+        table: t,
+        baseline: Baseline::new("net", entries),
+    }
+}
+
+/// What the kill -9 shard drill observed.
+struct ShardDrillOutcome {
+    byte_identical: bool,
+    victim_killed: bool,
+    resumed_prefix: usize,
+    n: usize,
+}
+
+/// Runs the crash drill: three `solve shard-worker` processes split an
+/// all-pairs campaign by destination range, shard 1 is killed with
+/// SIGKILL mid-run (its `--stall-ms` widens the window), restarted, and
+/// the merged checkpoints are compared byte-for-byte against a
+/// single-process campaign. Also exercises the `solve shard-merge` CLI
+/// on the same files.
+fn shard_drill(seed: u64) -> Result<ShardDrillOutcome, String> {
+    use ppa_serve::{merge_shard_files, JobKind, JobOutcome, JobSpec, ServeConfig, SolveService};
+    use std::process::{Command, Stdio};
+    use std::time::Duration;
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("current_exe has no parent")?;
+    let name = format!("solve{}", std::env::consts::EXE_SUFFIX);
+    // Sibling of the report binary; one level up when running from a
+    // test harness in target/<profile>/deps/.
+    let solve = [dir.join(&name), dir.join("..").join(&name)]
+        .into_iter()
+        .find(|p| p.exists())
+        .ok_or("solve binary not found next to this binary (build -p ppa-bench first)")?;
+
+    let tmp = std::env::temp_dir().join(format!("ppa-net-drill-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    let graph_path = tmp.join("graph.txt");
+    let w = gen::random_connected(12, 0.3, 9, seed ^ 6);
+    let n = w.n();
+    std::fs::write(&graph_path, ppa_graph::io::to_edge_list(&w))
+        .map_err(|e| format!("write graph: {e}"))?;
+
+    // Single-process reference document.
+    let svc = SolveService::start(ServeConfig::default());
+    let reference = match svc
+        .submit(JobSpec::new(
+            w,
+            JobKind::Apsp {
+                resume_from: None,
+                checkpoint_every: 1,
+            },
+        ))
+        .map_err(|e| format!("reference submit: {e}"))?
+        .wait()
+        .outcome
+    {
+        Ok(JobOutcome::Apsp(doc)) => doc.to_string_compact(),
+        other => return Err(format!("reference campaign did not complete: {other:?}")),
+    };
+    svc.shutdown();
+
+    let spawn = |shard: usize, stall_ms: Option<u64>| {
+        let mut cmd = Command::new(&solve);
+        cmd.arg("shard-worker")
+            .arg(&graph_path)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--of")
+            .arg("3")
+            .arg("--checkpoint")
+            .arg(tmp.join(format!("shard{shard}.json")))
+            .arg("--every")
+            .arg("1")
+            .arg("--workers")
+            .arg("2")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if let Some(ms) = stall_ms {
+            cmd.arg("--stall-ms").arg(ms.to_string());
+        }
+        cmd.spawn().map_err(|e| format!("spawn shard {shard}: {e}"))
+    };
+    let mut survivor0 = spawn(0, None)?;
+    let mut survivor2 = spawn(2, None)?;
+    // The victim stalls after every checkpoint flush, so the kill lands
+    // mid-campaign with a persisted prefix on disk.
+    let mut victim = spawn(1, Some(40))?;
+    let victim_path = tmp.join("shard1.json");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !victim_path.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if !victim_path.exists() {
+        let _ = victim.kill();
+        return Err("victim shard never persisted a checkpoint".into());
+    }
+    let _ = victim.kill(); // SIGKILL: no destructors, no atexit flushes
+    let status = victim.wait().map_err(|e| format!("reap victim: {e}"))?;
+    let victim_killed = !status.success();
+    // The surviving file must already be a loadable prefix — the atomic
+    // write discipline means a torn document is impossible.
+    let prefix = ppa_serve::ShardCheckpoint::load(&victim_path)
+        .map_err(|e| format!("killed worker left an unreadable checkpoint: {e}"))?;
+    let resumed_prefix = prefix.completed().len();
+    // Restart the victim without the stall: it must resume the prefix.
+    let status = spawn(1, None)?
+        .wait()
+        .map_err(|e| format!("wait restarted victim: {e}"))?;
+    if !status.success() {
+        return Err(format!("restarted shard worker failed: {status}"));
+    }
+    for (shard, child) in [(0usize, &mut survivor0), (2, &mut survivor2)] {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait shard {shard}: {e}"))?;
+        if !status.success() {
+            return Err(format!("shard worker {shard} failed: {status}"));
+        }
+    }
+
+    let shard_paths: Vec<std::path::PathBuf> =
+        (0..3).map(|s| tmp.join(format!("shard{s}.json"))).collect();
+    let merged = merge_shard_files(&shard_paths).map_err(|e| format!("merge: {e}"))?;
+    let in_process_identical = merged.to_json().to_string_compact() == reference;
+    // The CLI merge must agree with the library merge.
+    let merged_path = tmp.join("merged.json");
+    let mut cmd = Command::new(&solve);
+    cmd.arg("shard-merge").arg("--out").arg(&merged_path);
+    for p in &shard_paths {
+        cmd.arg(p);
+    }
+    let status = cmd
+        .stdout(Stdio::null())
+        .status()
+        .map_err(|e| format!("run shard-merge: {e}"))?;
+    if !status.success() {
+        return Err(format!("shard-merge CLI failed: {status}"));
+    }
+    let cli_identical = std::fs::read_to_string(&merged_path)
+        .ok()
+        .and_then(|text| ppa_obs::Json::parse(&text).ok())
+        .and_then(|doc| ppa_serve::ApspCheckpoint::from_json(&doc).ok())
+        .is_some_and(|cp| cp.to_json().to_string_compact() == reference);
+    let _ = std::fs::remove_dir_all(&tmp);
+    Ok(ShardDrillOutcome {
+        byte_identical: in_process_identical && cli_identical,
+        victim_killed,
+        resumed_prefix,
+        n,
+    })
+}
+
 /// Host-side check that a degraded result is exact for the induced
 /// healthy subgraph (excluded vertices report [`INF`]).
 fn degraded_matches_reference(w: &WeightMatrix, d: usize, r: &ppa_mcp::RecoveredMcp) -> bool {
@@ -1627,6 +2436,8 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("faults", || faults_campaign(7)),
         // Likewise intercepted for `--seed` (see `serve_campaign`).
         ("serve", || serve_campaign(7)),
+        // Likewise intercepted for `--seed` (see `net_campaign`).
+        ("net", || net_campaign(7)),
     ]
 }
 

@@ -231,6 +231,56 @@ impl Metrics {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Renders the registry in the Prometheus text exposition format:
+    /// counters as `counter` samples, histograms as cumulative
+    /// `_bucket{le="..."}` series over the log2 bucket upper edges
+    /// (`2^(i+1) - 1`) plus `_sum`/`_count`. Metric names are sanitized
+    /// to the Prometheus charset (`.` and anything else outside
+    /// `[a-zA-Z0-9_:]` becomes `_`), so `serve.latency_us` scrapes as
+    /// `serve_latency_us`.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, c) in h.nonzero_buckets() {
+                cumulative += c;
+                let le = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
     /// Folds another registry into this one (counters add, histograms
     /// merge sample-exactly at bucket resolution).
     pub fn merge(&mut self, other: &Metrics) {
@@ -332,6 +382,43 @@ mod tests {
         assert!((h.mean() - 181.2).abs() < 1e-9);
         // 0 and 1 share bucket 0; 2 and 3 share bucket 1; 900 in bucket 9.
         assert_eq!(h.nonzero_buckets(), vec![(0, 2), (1, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_names_and_cumulates_buckets() {
+        let mut m = Metrics::new();
+        m.inc("serve.completed", 3);
+        m.inc("net.conn_accepted", 1);
+        for v in [0u64, 1, 2, 3, 900] {
+            m.observe("serve.latency_us", v);
+        }
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE serve_completed counter\nserve_completed 3\n"));
+        assert!(text.contains("net_conn_accepted 1\n"));
+        assert!(text.contains("# TYPE serve_latency_us histogram\n"));
+        // Buckets cumulate: 0,1 -> le=1; 2,3 -> le=3; 900 -> le=1023.
+        assert!(
+            text.contains("serve_latency_us_bucket{le=\"1\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_bucket{le=\"3\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_bucket{le=\"1023\"} 5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_bucket{le=\"+Inf\"} 5\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_latency_us_sum 906\n"));
+        assert!(text.contains("serve_latency_us_count 5\n"));
+        // The histograms iterator exposes the same registry view.
+        let names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["serve.latency_us"]);
+        assert!(Metrics::new().render_prometheus().is_empty());
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! resumed campaign's final document is byte-identical to an
 //! uninterrupted one.
 
+use crate::job::ServeError;
 use ppa_graph::Weight;
 use ppa_mcp::McpOutput;
 use ppa_obs::Json;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The result of one completed destination, distilled to the fields that
 /// define the answer (step accounting stays in the service metrics).
@@ -27,7 +32,9 @@ pub struct DestResult {
 }
 
 impl DestResult {
-    fn from_output(out: &McpOutput) -> Self {
+    /// Distills a verified solver output (the shard worker's entry
+    /// point; the in-process campaign driver uses [`ApspCheckpoint::record`]).
+    pub fn from_output(out: &McpOutput) -> Self {
         DestResult {
             dest: out.dest,
             sow: out.sow.clone(),
@@ -36,7 +43,7 @@ impl DestResult {
         }
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj(vec![
             ("dest", (self.dest as u64).into()),
             (
@@ -51,7 +58,7 @@ impl DestResult {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self, String> {
         let num = |k: &str| {
             v.get(k)
                 .and_then(Json::as_u64)
@@ -198,6 +205,112 @@ impl ApspCheckpoint {
         }
         Ok(ApspCheckpoint { n, completed })
     }
+
+    /// Builds a checkpoint from already-distilled parts (the shard
+    /// merger's entry point), applying the same consistency checks as
+    /// [`ApspCheckpoint::from_json`]: destinations in order from 0 and
+    /// every vector sized `n`.
+    ///
+    /// # Errors
+    /// A description of the first inconsistent entry.
+    pub fn from_parts(n: usize, completed: Vec<DestResult>) -> Result<Self, String> {
+        if completed.len() > n {
+            return Err(format!(
+                "checkpoint: {} completed destinations for an {n}-vertex graph",
+                completed.len()
+            ));
+        }
+        for (i, r) in completed.iter().enumerate() {
+            if r.dest != i {
+                return Err(format!(
+                    "checkpoint: completed[{i}] is destination {}, expected {i}",
+                    r.dest
+                ));
+            }
+            if r.sow.len() != n || r.ptn.len() != n {
+                return Err(format!(
+                    "checkpoint: destination {i} has {} costs / {} successors for n={n}",
+                    r.sow.len(),
+                    r.ptn.len()
+                ));
+            }
+        }
+        Ok(ApspCheckpoint { n, completed })
+    }
+
+    /// Atomically persists the checkpoint as compact JSON (see
+    /// [`write_atomic`]): a crash — even a kill -9 — mid-save can never
+    /// leave a truncated document at `path`; readers see either the
+    /// previous complete checkpoint or the new one.
+    ///
+    /// # Errors
+    /// The underlying filesystem error.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, self.to_json().to_string_compact().as_bytes())
+    }
+
+    /// Loads a checkpoint persisted by [`ApspCheckpoint::save`].
+    ///
+    /// # Errors
+    /// Every failure — unreadable file, non-UTF-8 or torn bytes,
+    /// malformed JSON, inconsistent document — is a typed
+    /// [`ServeError::InvalidResume`]; this function never panics on
+    /// untrusted file contents.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let text = fs::read_to_string(path).map_err(|e| ServeError::InvalidResume {
+            reason: format!("cannot read checkpoint {}: {e}", path.display()),
+        })?;
+        let doc = Json::parse(&text).map_err(|e| ServeError::InvalidResume {
+            reason: format!("checkpoint {} is not valid JSON: {e}", path.display()),
+        })?;
+        ApspCheckpoint::from_json(&doc).map_err(|reason| ServeError::InvalidResume { reason })
+    }
+}
+
+/// Distinguishes concurrent writers' temp files (process id alone is not
+/// enough: shard tests run several savers inside one process).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: a uniquely-named temp file in
+/// the same directory, flushed and fsynced, then renamed over `path`
+/// (and the directory fsynced best-effort so the rename itself is
+/// durable). A crash at any instruction leaves either the old file or
+/// the new one — never a torn hybrid.
+///
+/// # Errors
+/// The underlying filesystem error; the temp file is cleaned up.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "checkpoint".into());
+    name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp: PathBuf = match parent {
+        Some(d) => d.join(&name),
+        None => PathBuf::from(&name),
+    };
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        if let Some(d) = parent {
+            if let Ok(dir) = fs::File::open(d) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -244,6 +357,88 @@ mod tests {
         assert!(ApspCheckpoint::from_json(&doc)
             .unwrap_err()
             .contains("version"));
+    }
+
+    #[test]
+    fn save_load_round_trips_and_failures_are_typed() {
+        let w = gen::ring(4);
+        let mut session = McpSession::new(&w).unwrap();
+        let mut cp = ApspCheckpoint::new(4);
+        for d in 0..4 {
+            cp.record(&session.solve(d).unwrap());
+        }
+        let dir = std::env::temp_dir().join(format!("ppa-ckpt-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        cp.save(&path).unwrap();
+        let back = ApspCheckpoint::load(&path).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(
+            back.to_json().to_string_compact(),
+            cp.to_json().to_string_compact()
+        );
+        // Overwrite via the same atomic path: still the new content.
+        let cp2 = ApspCheckpoint::new(4);
+        cp2.save(&path).unwrap();
+        assert_eq!(ApspCheckpoint::load(&path).unwrap(), cp2);
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive a save");
+        // Missing file and garbage bytes are typed, not panics.
+        assert!(matches!(
+            ApspCheckpoint::load(&dir.join("absent.json")),
+            Err(ServeError::InvalidResume { .. })
+        ));
+        fs::write(&path, b"not json at all").unwrap();
+        assert!(matches!(
+            ApspCheckpoint::load(&path),
+            Err(ServeError::InvalidResume { .. })
+        ));
+        fs::write(&path, [0xFF, 0xFE, 0x00]).unwrap();
+        assert!(matches!(
+            ApspCheckpoint::load(&path),
+            Err(ServeError::InvalidResume { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_parts_validates_like_from_json() {
+        let w = gen::ring(3);
+        let mut session = McpSession::new(&w).unwrap();
+        let parts: Vec<DestResult> = (0..3)
+            .map(|d| DestResult::from_output(&session.solve(d).unwrap()))
+            .collect();
+        let cp = ApspCheckpoint::from_parts(3, parts.clone()).unwrap();
+        assert!(cp.is_complete());
+        let mut driver = ApspCheckpoint::new(3);
+        let mut session2 = McpSession::new(&w).unwrap();
+        for d in 0..3 {
+            driver.record(&session2.solve(d).unwrap());
+        }
+        assert_eq!(
+            cp.to_json().to_string_compact(),
+            driver.to_json().to_string_compact(),
+            "from_parts and record produce identical documents"
+        );
+        // Out of order, oversized, and mis-shaped parts are rejected.
+        let mut shuffled = parts.clone();
+        shuffled.swap(0, 2);
+        assert!(ApspCheckpoint::from_parts(3, shuffled)
+            .unwrap_err()
+            .contains("expected 0"));
+        assert!(ApspCheckpoint::from_parts(2, parts.clone())
+            .unwrap_err()
+            .contains("completed destinations"));
+        let mut short = parts;
+        short[1].sow.pop();
+        assert!(ApspCheckpoint::from_parts(3, short)
+            .unwrap_err()
+            .contains("costs"));
     }
 
     #[test]

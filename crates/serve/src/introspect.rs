@@ -11,7 +11,12 @@
 //! reconciled against client-side tallies without loss.
 
 use crate::breaker::BreakerState;
+use crate::service::SolveService;
 use ppa_obs::{Json, Metrics};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// One job the pool is executing right now.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -254,6 +259,75 @@ impl Introspection {
     }
 }
 
+/// A periodic status dumper with a **guaranteed final snapshot**: the
+/// sink receives an [`Introspection`] every `period` while the service
+/// runs, and exactly one more — flagged `final` — taken strictly
+/// *after* [`StatusReporter::finish`] was called. Because the caller
+/// finishes the reporter only after its last ticket reported, the
+/// final snapshot's counters are settled and reconcile 1:1 against
+/// client-side tallies (`solve --serve --status-every` relies on this;
+/// the raw sidecar thread it replaced could take its last snapshot
+/// before the report landed and miss the job's own counters).
+pub struct StatusReporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatusReporter {
+    /// Starts the reporter thread. `sink` is called as
+    /// `sink(snapshot, is_final)`; `is_final` is `true` on exactly the
+    /// last call, which happens after `finish` (or drop) requested the
+    /// stop.
+    pub fn start(
+        svc: Arc<SolveService>,
+        period: Duration,
+        mut sink: impl FnMut(Introspection, bool) + Send + 'static,
+    ) -> StatusReporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Acquire) {
+                sink(svc.introspect(), false);
+                // Sleep in slices so a finish() mid-period is observed
+                // promptly instead of after a full period.
+                let mut slept = Duration::ZERO;
+                while slept < period && !flag.load(Ordering::Acquire) {
+                    let slice = (period - slept).min(Duration::from_millis(10));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+            // The guaranteed final snapshot: taken only after the stop
+            // request, so every counter the caller could have observed
+            // is already in it.
+            sink(svc.introspect(), true);
+        });
+        StatusReporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the reporter and blocks until the final snapshot has been
+    /// delivered to the sink.
+    pub fn finish(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatusReporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
 fn field_u64(v: &Json, name: &str) -> Result<u64, String> {
     v.get(name)
         .and_then(Json::as_f64)
@@ -333,6 +407,72 @@ mod tests {
         assert_eq!(open.state, "open");
         assert_eq!(open.cooldown_left, 8);
         assert_eq!(half.state, "half-open");
+    }
+
+    #[test]
+    fn the_final_snapshot_reconciles_with_client_tallies() {
+        use crate::job::{JobKind, JobSpec};
+        use crate::service::ServeConfig;
+        use std::sync::Mutex;
+
+        let svc = Arc::new(SolveService::start(ServeConfig {
+            workers: 2,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        }));
+        let snaps: Arc<Mutex<Vec<(Introspection, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_snaps = Arc::clone(&snaps);
+        let reporter = StatusReporter::start(
+            Arc::clone(&svc),
+            Duration::from_millis(5),
+            move |snap, is_final| sink_snaps.lock().unwrap().push((snap, is_final)),
+        );
+
+        // Client-side tallies: submissions, rejections, completions.
+        let w = ppa_graph::gen::random_connected(16, 0.4, 9, 0x57A7);
+        let (mut submitted, mut rejected, mut completed) = (0u64, 0u64, 0u64);
+        let mut tickets = Vec::new();
+        for _ in 0..12 {
+            submitted += 1;
+            match svc.submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: 0 })) {
+                Ok(t) => tickets.push(t),
+                Err(_) => rejected += 1,
+            }
+        }
+        for t in tickets {
+            assert!(t.wait().outcome.is_ok());
+            completed += 1;
+        }
+
+        // Finish only after the last report: the final snapshot must
+        // contain every counter the client observed.
+        reporter.finish();
+        let snaps = snaps.lock().unwrap();
+        let finals: Vec<&(Introspection, bool)> = snaps.iter().filter(|(_, f)| *f).collect();
+        assert_eq!(finals.len(), 1, "exactly one final snapshot");
+        assert!(
+            std::ptr::eq(finals[0], snaps.last().unwrap()),
+            "the final snapshot is the last one delivered"
+        );
+        let last = &finals[0].0;
+        assert_eq!(last.metrics.counter("serve.submitted"), submitted);
+        assert_eq!(last.metrics.counter("serve.rejected_queue_full"), rejected);
+        assert_eq!(last.metrics.counter("serve.completed"), completed);
+        assert_eq!(
+            last.metrics.counter("serve.accepted"),
+            completed,
+            "accepted == completed once every ticket reported"
+        );
+        assert_eq!(last.queue_depth, 0, "final snapshot sees a drained queue");
+        assert!(last.inflight.is_empty(), "nothing may still be running");
+        // Without the guaranteed final snapshot, a fast run could end
+        // with NO snapshot containing the settled counters; the
+        // periodic ones are allowed to be mid-flight.
+        for (snap, is_final) in snaps.iter() {
+            if !is_final {
+                assert!(snap.metrics.counter("serve.completed") <= completed);
+            }
+        }
     }
 
     #[test]

@@ -149,6 +149,10 @@ pub enum ServeError {
     /// The deadline expired mid-solve; the machine was cancelled
     /// cooperatively between instructions.
     DeadlineExceeded,
+    /// The client cancelled the job (`SolveService::cancel`). A queued
+    /// job is dropped unrun; a running job's machine is cancelled
+    /// cooperatively between instructions.
+    Cancelled,
     /// The per-attempt controller step budget ran out — the input drove
     /// the solve loop past its allowance (the runaway-job brake).
     StepBudgetExhausted {
@@ -192,6 +196,7 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline expired after {waited:?} in the queue")
             }
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded mid-solve"),
+            ServeError::Cancelled => write!(f, "cancelled by the client"),
             ServeError::StepBudgetExhausted { budget } => {
                 write!(f, "step budget exhausted ({budget} steps granted)")
             }

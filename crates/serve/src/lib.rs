@@ -40,12 +40,20 @@ pub mod breaker;
 pub mod checkpoint;
 pub mod introspect;
 pub mod job;
+pub mod net;
 pub mod policy;
 pub mod service;
+pub mod shard;
+pub mod wire;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Route};
 pub use checkpoint::{ApspCheckpoint, DestResult};
-pub use introspect::{BreakerView, InflightJob, Introspection, WorkerView};
+pub use introspect::{BreakerView, InflightJob, Introspection, StatusReporter, WorkerView};
 pub use job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
+pub use net::{ClientError, NetClient, NetConfig, NetServer};
 pub use policy::RetryPolicy;
 pub use service::{JobTicket, ServeConfig, SolveService};
+pub use shard::{
+    merge_shard_files, merge_shards, run_shard_worker, shard_ranges, ShardCheckpoint, ShardError,
+};
+pub use wire::{Request, Response, SubmitRequest, WireError, WireFailure};

@@ -35,7 +35,7 @@ use ppa_obs::{Json, Metrics};
 use ppa_ppc::Ppa;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -104,6 +104,10 @@ struct QueuedJob {
     spec: JobSpec,
     submitted: Instant,
     reply: Sender<JobReport>,
+    /// The job's cancel token, created at submission so
+    /// [`SolveService::cancel`] can fire it while the job is still
+    /// queued (the deadline watchdog arms the same token later).
+    token: CancelToken,
 }
 
 /// Supervisor mailbox messages.
@@ -138,6 +142,14 @@ struct Shared {
     /// Live workers: index -> id of the job it is running (`None` =
     /// idle). Entries are removed when a worker exits or panics.
     workers: Mutex<BTreeMap<u64, Option<u64>>>,
+    /// Cancel tokens for every job between submission and report, keyed
+    /// by job id, so [`SolveService::cancel`] can reach queued *and*
+    /// running jobs. Entries are removed when the job reports.
+    cancels: Mutex<BTreeMap<u64, CancelToken>>,
+    /// Ids whose token was fired by a *client* cancel (as opposed to the
+    /// deadline watchdog), so the worker maps the cooperative stop to
+    /// [`ServeError::Cancelled`] instead of `DeadlineExceeded`.
+    client_cancelled: Mutex<BTreeSet<u64>>,
 }
 
 /// Everything a worker thread needs; cloneable so the supervisor can
@@ -214,6 +226,8 @@ impl SolveService {
             queue_depth: AtomicU64::new(0),
             inflight: Mutex::new(BTreeMap::new()),
             workers: Mutex::new(BTreeMap::new()),
+            cancels: Mutex::new(BTreeMap::new()),
+            client_cancelled: Mutex::new(BTreeSet::new()),
         });
         let ctx = WorkerCtx {
             shared: Arc::clone(&shared),
@@ -262,12 +276,17 @@ impl SolveService {
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = mpsc::channel();
+        let token = CancelToken::new();
         let job = QueuedJob {
             id,
             spec,
             submitted: Instant::now(),
             reply: reply_tx,
+            token: token.clone(),
         };
+        // Register the token before enqueueing so a cancel can never
+        // race past a job that a worker already picked up.
+        lock(&self.shared.cancels).insert(id, token);
         self.shared.queue_depth.fetch_add(1, Ordering::AcqRel);
         match tx.try_send(job) {
             Ok(()) => {
@@ -276,6 +295,7 @@ impl SolveService {
             }
             Err(TrySendError::Full(_)) => {
                 self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                lock(&self.shared.cancels).remove(&id);
                 lock(&self.shared.metrics).inc("serve.rejected_queue_full", 1);
                 Err(ServeError::Rejected {
                     capacity: self.shared.config.queue_capacity.max(1),
@@ -283,15 +303,45 @@ impl SolveService {
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                lock(&self.shared.cancels).remove(&id);
                 lock(&self.shared.metrics).inc("serve.rejected_shutdown", 1);
                 Err(ServeError::ShuttingDown)
             }
         }
     }
 
+    /// Cancels a job by id. Returns `true` when the job was still known
+    /// to the service (queued or executing) and the cancel was
+    /// delivered; `false` when the id already reported (or never
+    /// existed), in which case nothing changes.
+    ///
+    /// A queued job is dropped unrun; a running job's machine stops
+    /// cooperatively between instructions. Either way the ticket still
+    /// receives a report — with [`ServeError::Cancelled`] (wrapped in
+    /// [`ServeError::Interrupted`] for an APSP campaign that already
+    /// flushed a checkpoint).
+    pub fn cancel(&self, id: u64) -> bool {
+        lock(&self.shared.metrics).inc("serve.cancel_requests", 1);
+        let token = lock(&self.shared.cancels).get(&id).cloned();
+        match token {
+            Some(token) => {
+                lock(&self.shared.client_cancelled).insert(id);
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// A snapshot of the service metrics so far.
     pub fn metrics(&self) -> Metrics {
         lock(&self.shared.metrics).clone()
+    }
+
+    /// How many accepted jobs are waiting in the queue right now. The
+    /// network edge scales its rejection `retry_after_ms` hint by this.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queue_depth.load(Ordering::Acquire)
     }
 
     /// The breaker's current state (drills and reports inspect this).
@@ -414,6 +464,8 @@ fn worker_loop(ctx: WorkerCtx) {
         lock(&ctx.shared.workers).insert(index, Some(id));
         let verdict = catch_unwind(AssertUnwindSafe(|| run_job(&ctx, job, &mut rng)));
         lock(&ctx.shared.inflight).remove(&id);
+        lock(&ctx.shared.cancels).remove(&id);
+        lock(&ctx.shared.client_cancelled).remove(&id);
         match verdict {
             Ok(report) => {
                 lock(&ctx.shared.workers).insert(index, None);
@@ -507,6 +559,11 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
     let config = &shared.config;
     let deadline = job.spec.deadline.or(config.default_deadline);
 
+    // Cancelled while queued: drop unrun (no machine was built).
+    if job.token.is_cancelled() && lock(&shared.client_cancelled).contains(&job.id) {
+        return finish(ctx, &job, Err(ServeError::Cancelled), 0, None, false, None);
+    }
+
     // Expired while queued: reject unrun (no machine was built).
     let waited = job.submitted.elapsed();
     if let Some(d) = deadline {
@@ -577,7 +634,7 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
     }
     let is_apsp = matches!(job.spec.kind, JobKind::Apsp { .. });
 
-    let token = CancelToken::new();
+    let token = job.token.clone();
     if let Some(d) = deadline {
         let _ = ctx.watchdog_tx.send((job.submitted + d, token.clone()));
     }
@@ -627,7 +684,14 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
                 }
                 break Ok(out);
             }
-            Err(e) if e.is_cancelled() => break Err(ServeError::DeadlineExceeded),
+            Err(e) if e.is_cancelled() => {
+                // The same token serves the deadline watchdog and client
+                // cancels; the client-cancel ledger disambiguates.
+                if lock(&shared.client_cancelled).contains(&job.id) {
+                    break Err(ServeError::Cancelled);
+                }
+                break Err(ServeError::DeadlineExceeded);
+            }
             Err(e) if e.is_step_budget_exhausted() => {
                 break Err(ServeError::StepBudgetExhausted {
                     budget: budget.unwrap_or_default(),
@@ -689,6 +753,7 @@ fn finish(
             match root {
                 ServeError::DeadlineExceeded => m.inc("serve.deadline_exceeded", 1),
                 ServeError::StepBudgetExhausted { .. } => m.inc("serve.budget_exhausted", 1),
+                ServeError::Cancelled => m.inc("serve.cancelled", 1),
                 _ => {}
             }
         }
@@ -1029,6 +1094,94 @@ mod tests {
         let metrics = svc.shutdown();
         assert_eq!(metrics.counter("serve.deadline_exceeded"), 1);
         assert_eq!(metrics.counter("serve.failed"), 1);
+    }
+
+    #[test]
+    fn client_cancel_stops_a_running_job_with_a_typed_error() {
+        let w = gen::random_connected(32, 0.4, 9, 8);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            ..quick_config()
+        });
+        let ticket = svc
+            .submit(JobSpec::new(
+                w,
+                JobKind::Apsp {
+                    resume_from: None,
+                    checkpoint_every: 1,
+                },
+            ))
+            .unwrap();
+        // Wait until the worker has picked the campaign up, then cancel.
+        for _ in 0..400 {
+            if !svc.introspect().inflight.is_empty() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(svc.cancel(ticket.id()), "a running job must be known");
+        let report = ticket.wait();
+        let err = report.outcome.unwrap_err();
+        let root = match &err {
+            ServeError::Interrupted { cause, .. } => cause.as_ref(),
+            other => other,
+        };
+        assert!(
+            matches!(root, ServeError::Cancelled),
+            "expected a client-cancel failure, got {err}"
+        );
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.cancelled"), 1);
+        assert_eq!(metrics.counter("serve.cancel_requests"), 1);
+        assert_eq!(metrics.counter("serve.deadline_exceeded"), 0);
+    }
+
+    #[test]
+    fn client_cancel_drops_a_queued_job_unrun() {
+        let w = gen::random_connected(24, 0.4, 9, 9);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..quick_config()
+        });
+        // One long campaign occupies the single worker; the next job
+        // waits in the queue where the cancel must reach it.
+        let busy = svc
+            .submit(JobSpec::new(
+                w.clone(),
+                JobKind::Apsp {
+                    resume_from: None,
+                    checkpoint_every: 1,
+                },
+            ))
+            .unwrap();
+        let queued = svc
+            .submit(JobSpec::new(w, JobKind::Shortest { dest: 0 }))
+            .unwrap();
+        assert!(svc.cancel(queued.id()), "a queued job must be known");
+        let report = queued.wait();
+        assert_eq!(report.outcome.unwrap_err(), ServeError::Cancelled);
+        assert_eq!(report.attempts, 0, "cancelled in queue: never started");
+        assert!(busy.wait().outcome.is_ok());
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.cancelled"), 1);
+    }
+
+    #[test]
+    fn cancel_of_a_finished_or_unknown_job_is_a_no_op() {
+        let w = gen::ring(5);
+        let svc = SolveService::start(quick_config());
+        let ticket = svc
+            .submit(JobSpec::new(w, JobKind::Shortest { dest: 1 }))
+            .unwrap();
+        let id = ticket.id();
+        assert!(ticket.wait().outcome.is_ok());
+        assert!(!svc.cancel(id), "a reported job is no longer cancellable");
+        assert!(!svc.cancel(9999), "an unknown id is not cancellable");
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.cancelled"), 0);
+        assert_eq!(metrics.counter("serve.cancel_requests"), 2);
+        assert_eq!(metrics.counter("serve.completed"), 1);
     }
 
     #[test]

@@ -1,0 +1,664 @@
+//! Sharded all-pairs campaigns: split by destination range across N
+//! independent service processes, each with its own crash-tolerant
+//! checkpoint, merged back into one campaign document.
+//!
+//! # Why shard
+//!
+//! An all-pairs campaign is `n` independent per-destination solves —
+//! embarrassingly partitionable. [`shard_ranges`] cuts `0..n` into
+//! contiguous near-equal ranges; each range is owned by one *shard
+//! worker* ([`run_shard_worker`], exposed as the `solve shard-worker`
+//! CLI mode) running its own in-process [`SolveService`] and writing
+//! its own [`ShardCheckpoint`] through the same atomic
+//! temp-fsync-rename path as campaign checkpoints. A host-side merger
+//! ([`merge_shard_files`], the `solve shard-merge` CLI mode) validates
+//! that the shard documents form an **exact cover** of `0..n` and
+//! emits the merged [`ApspCheckpoint`].
+//!
+//! # Crash tolerance
+//!
+//! A shard worker killed at any instruction — including kill -9 mid
+//! checkpoint save — leaves either its previous complete checkpoint or
+//! the new one on disk, never a torn file. Restarting the worker
+//! resumes from the persisted prefix and re-solves at most
+//! `checkpoint_every - 1` destinations. Because each destination's
+//! verified solve is deterministic, the merged result after any number
+//! of crashes and restarts is **byte-identical** to a single-process
+//! uninterrupted campaign — the chaos drill in `ppa-bench`'s `net`
+//! report kills live worker processes to prove exactly that.
+
+use crate::checkpoint::{write_atomic, ApspCheckpoint, DestResult};
+use crate::job::{JobKind, JobOutcome, JobSpec, ServeError};
+use crate::service::{ServeConfig, SolveService};
+use ppa_graph::WeightMatrix;
+use ppa_obs::Json;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use std::time::Duration;
+
+/// Cuts `0..n` into `shards` contiguous ranges whose sizes differ by at
+/// most one (the first `n % shards` ranges take the extra destination).
+/// `shards` is clamped to `1..=n.max(1)`, so no range is ever empty.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Why a shard-level operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// A persisted shard document was unusable (unreadable, torn,
+    /// malformed, or inconsistent with the requested campaign) — the
+    /// shard-level analogue of [`ServeError::InvalidResume`].
+    Resume {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Persisting a checkpoint failed (disk full, permissions, ...).
+    Persist {
+        /// The filesystem error.
+        reason: String,
+    },
+    /// One destination's solve failed with a typed service error.
+    Job(ServeError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Resume { reason } => write!(f, "invalid shard checkpoint: {reason}"),
+            ShardError::Persist { reason } => {
+                write!(f, "cannot persist shard checkpoint: {reason}")
+            }
+            ShardError::Job(e) => write!(f, "shard job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Job(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The resumable state of one shard of a campaign: results for the
+/// destinations `range.0 .. range.0 + completed.len()`, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    n: usize,
+    shard: usize,
+    of: usize,
+    completed: Vec<DestResult>,
+}
+
+impl ShardCheckpoint {
+    /// An empty checkpoint for shard `shard` of `of` over an `n`-vertex
+    /// graph.
+    ///
+    /// # Panics
+    /// Panics if `shard >= of` — shard identity is driver-owned.
+    pub fn new(n: usize, shard: usize, of: usize) -> Self {
+        assert!(shard < of, "shard {shard} of {of} does not exist");
+        ShardCheckpoint {
+            n,
+            shard,
+            of,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Vertices in the campaign's graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total shards in the campaign.
+    pub fn of(&self) -> usize {
+        self.of
+    }
+
+    /// The destination range `[start, end)` this shard owns.
+    pub fn range(&self) -> (usize, usize) {
+        shard_ranges(self.n, self.of)[self.shard]
+    }
+
+    /// The next destination to solve (absolute vertex index).
+    pub fn next_dest(&self) -> usize {
+        self.range().0 + self.completed.len()
+    }
+
+    /// Whether every destination in the shard's range is done.
+    pub fn is_complete(&self) -> bool {
+        let (start, end) = self.range();
+        start + self.completed.len() == end
+    }
+
+    /// The completed results so far, in destination order.
+    pub fn completed(&self) -> &[DestResult] {
+        &self.completed
+    }
+
+    /// Records the next destination's output.
+    ///
+    /// # Panics
+    /// Panics if `out.dest` is not the expected next destination — the
+    /// shard driver owns the ordering invariant.
+    pub fn record(&mut self, out: &ppa_mcp::McpOutput) {
+        assert_eq!(
+            out.dest,
+            self.next_dest(),
+            "shard must record destinations in order"
+        );
+        self.completed.push(DestResult::from_output(out));
+    }
+
+    /// Serializes the shard document. Deterministic: equal checkpoints
+    /// produce byte-identical documents.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", 1u64.into()),
+            ("kind", Json::Str("shard".to_owned())),
+            ("n", (self.n as u64).into()),
+            ("shard", (self.shard as u64).into()),
+            ("of", (self.of as u64).into()),
+            (
+                "completed",
+                Json::Array(self.completed.iter().map(DestResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstructs a shard document from [`ShardCheckpoint::to_json`]
+    /// output, checking version, shard identity, range membership, and
+    /// per-destination shape.
+    ///
+    /// # Errors
+    /// A description of the first malformed or inconsistent field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("shard checkpoint: `{k}` missing or not a u64"))
+        };
+        let version = num("version")?;
+        if version != 1 {
+            return Err(format!("shard checkpoint: unsupported version {version}"));
+        }
+        match v.get("kind") {
+            Some(Json::Str(k)) if k == "shard" => {}
+            other => return Err(format!("shard checkpoint: kind {other:?} is not \"shard\"")),
+        }
+        let n = num("n")? as usize;
+        let shard = num("shard")? as usize;
+        let of = num("of")? as usize;
+        if of == 0 || shard >= of {
+            return Err(format!(
+                "shard checkpoint: shard {shard} of {of} does not exist"
+            ));
+        }
+        let completed = v
+            .get("completed")
+            .and_then(Json::as_array)
+            .ok_or("shard checkpoint: missing `completed`")?
+            .iter()
+            .map(DestResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let (start, end) = shard_ranges(n, of)
+            .get(shard)
+            .copied()
+            .ok_or_else(|| format!("shard checkpoint: no range for shard {shard} of {of}"))?;
+        if completed.len() > end - start {
+            return Err(format!(
+                "shard checkpoint: {} completed destinations for a range of {}",
+                completed.len(),
+                end - start
+            ));
+        }
+        for (i, r) in completed.iter().enumerate() {
+            if r.dest != start + i {
+                return Err(format!(
+                    "shard checkpoint: completed[{i}] is destination {}, expected {}",
+                    r.dest,
+                    start + i
+                ));
+            }
+            if r.sow.len() != n || r.ptn.len() != n {
+                return Err(format!(
+                    "shard checkpoint: destination {} has {} costs / {} successors for n={n}",
+                    r.dest,
+                    r.sow.len(),
+                    r.ptn.len()
+                ));
+            }
+        }
+        Ok(ShardCheckpoint {
+            n,
+            shard,
+            of,
+            completed,
+        })
+    }
+
+    /// Atomically persists the shard document (same crash guarantees as
+    /// [`ApspCheckpoint::save`]).
+    ///
+    /// # Errors
+    /// [`ShardError::Persist`] with the filesystem error.
+    pub fn save(&self, path: &Path) -> Result<(), ShardError> {
+        write_atomic(path, self.to_json().to_string_compact().as_bytes()).map_err(|e| {
+            ShardError::Persist {
+                reason: format!("{}: {e}", path.display()),
+            }
+        })
+    }
+
+    /// Loads a shard document persisted by [`ShardCheckpoint::save`].
+    ///
+    /// # Errors
+    /// Every failure — unreadable file, torn bytes, malformed JSON,
+    /// inconsistent document — is a typed [`ShardError::Resume`]; this
+    /// function never panics on untrusted file contents.
+    pub fn load(path: &Path) -> Result<Self, ShardError> {
+        let text = fs::read_to_string(path).map_err(|e| ShardError::Resume {
+            reason: format!("cannot read {}: {e}", path.display()),
+        })?;
+        let doc = Json::parse(&text).map_err(|e| ShardError::Resume {
+            reason: format!("{} is not valid JSON: {e}", path.display()),
+        })?;
+        ShardCheckpoint::from_json(&doc).map_err(|reason| ShardError::Resume { reason })
+    }
+}
+
+/// Runs one shard of a campaign to completion: an in-process
+/// [`SolveService`], one verified per-destination solve at a time, the
+/// checkpoint at `path` flushed atomically every `checkpoint_every`
+/// destinations (clamped to at least 1) and at completion.
+///
+/// If `path` already holds a checkpoint for this exact shard (same `n`,
+/// `shard`, `of`), the run resumes after its last persisted
+/// destination — the restart-after-kill path. A checkpoint for a
+/// *different* campaign is a typed error, never silently overwritten.
+///
+/// `stall` inserts a pause after every persisted destination; chaos
+/// drills use it to widen the kill window without changing results.
+///
+/// # Errors
+/// [`ShardError::Resume`] for an unusable persisted checkpoint,
+/// [`ShardError::Persist`] for save failures, [`ShardError::Job`] when
+/// a destination's solve fails.
+pub fn run_shard_worker(
+    graph: &WeightMatrix,
+    shard: usize,
+    of: usize,
+    path: &Path,
+    checkpoint_every: usize,
+    config: ServeConfig,
+    stall: Option<Duration>,
+) -> Result<ShardCheckpoint, ShardError> {
+    let n = graph.n();
+    if of == 0 || shard >= of {
+        return Err(ShardError::Resume {
+            reason: format!("shard {shard} of {of} does not exist"),
+        });
+    }
+    let mut cp = if path.exists() {
+        let cp = ShardCheckpoint::load(path)?;
+        if cp.n() != n || cp.shard() != shard || cp.of() != of {
+            return Err(ShardError::Resume {
+                reason: format!(
+                    "checkpoint at {} is shard {}/{} of an n={} campaign, not shard {shard}/{of} of n={n}",
+                    path.display(),
+                    cp.shard(),
+                    cp.of(),
+                    cp.n()
+                ),
+            });
+        }
+        cp
+    } else {
+        ShardCheckpoint::new(n, shard, of)
+    };
+    let every = checkpoint_every.max(1);
+    let svc = SolveService::start(config);
+    let mut since_flush = 0usize;
+    while !cp.is_complete() {
+        let dest = cp.next_dest();
+        let spec = JobSpec::new(graph.clone(), JobKind::Shortest { dest });
+        let ticket = match svc.submit(spec) {
+            Ok(t) => t,
+            Err(ServeError::Rejected { .. }) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => return Err(ShardError::Job(e)),
+        };
+        match ticket.wait().outcome {
+            Ok(JobOutcome::Shortest(out)) => cp.record(&out),
+            Ok(_) => {
+                return Err(ShardError::Job(ServeError::WorkerPanicked {
+                    message: "shard destination returned a non-shortest outcome".to_owned(),
+                }))
+            }
+            Err(e) => return Err(ShardError::Job(e)),
+        }
+        since_flush += 1;
+        if since_flush >= every || cp.is_complete() {
+            cp.save(path)?;
+            since_flush = 0;
+            if let Some(pause) = stall {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+    Ok(cp)
+}
+
+/// Merges complete shard documents into one campaign checkpoint,
+/// validating an **exact cover**: same `n` and shard count everywhere,
+/// exactly one document per shard index, every shard complete. The
+/// merged document is byte-identical to the [`ApspCheckpoint`] a
+/// single-process campaign over the same graph produces.
+///
+/// # Errors
+/// [`ShardError::Resume`] naming the first violation.
+pub fn merge_shards(mut shards: Vec<ShardCheckpoint>) -> Result<ApspCheckpoint, ShardError> {
+    let bad = |reason: String| ShardError::Resume { reason };
+    let first = shards
+        .first()
+        .ok_or_else(|| bad("no shard checkpoints to merge".to_owned()))?;
+    let (n, of) = (first.n(), first.of());
+    if shards.len() != of {
+        return Err(bad(format!(
+            "campaign declares {of} shards but {} documents were given",
+            shards.len()
+        )));
+    }
+    shards.sort_by_key(ShardCheckpoint::shard);
+    let mut parts: Vec<DestResult> = Vec::with_capacity(n);
+    for (index, shard) in shards.iter().enumerate() {
+        if shard.n() != n || shard.of() != of {
+            return Err(bad(format!(
+                "shard {} belongs to a different campaign (n={} of={}, expected n={n} of={of})",
+                shard.shard(),
+                shard.n(),
+                shard.of()
+            )));
+        }
+        if shard.shard() != index {
+            return Err(bad(format!(
+                "shard index {index} is covered {} times",
+                if shard.shard() < index { 2 } else { 0 }
+            )));
+        }
+        if !shard.is_complete() {
+            let (start, end) = shard.range();
+            return Err(bad(format!(
+                "shard {index} is incomplete: {} of {} destinations ({start}..{end})",
+                shard.completed().len(),
+                end - start
+            )));
+        }
+        parts.extend_from_slice(shard.completed());
+    }
+    ApspCheckpoint::from_parts(n, parts).map_err(bad)
+}
+
+/// Loads every path as a [`ShardCheckpoint`] and merges (see
+/// [`merge_shards`]).
+///
+/// # Errors
+/// [`ShardError::Resume`] from loading or from cover validation.
+pub fn merge_shard_files(paths: &[impl AsRef<Path>]) -> Result<ApspCheckpoint, ShardError> {
+    let shards = paths
+        .iter()
+        .map(|p| ShardCheckpoint::load(p.as_ref()))
+        .collect::<Result<Vec<_>, _>>()?;
+    merge_shards(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_graph::gen;
+    use ppa_mcp::McpSession;
+    use std::path::PathBuf;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppa-shard-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn single_process_checkpoint(w: &WeightMatrix) -> ApspCheckpoint {
+        let mut session = McpSession::new(w).unwrap();
+        let mut cp = ApspCheckpoint::new(w.n());
+        for d in 0..w.n() {
+            cp.record(&session.solve(d).unwrap());
+        }
+        cp
+    }
+
+    #[test]
+    fn ranges_cover_exactly_with_near_equal_sizes() {
+        for n in 1..40 {
+            for shards in 1..9 {
+                let ranges = shard_ranges(n, shards);
+                assert_eq!(ranges.len(), shards.min(n));
+                let mut expected_start = 0;
+                let (mut min_len, mut max_len) = (usize::MAX, 0);
+                for &(start, end) in &ranges {
+                    assert_eq!(start, expected_start, "contiguous cover of 0..{n}");
+                    assert!(end > start, "no empty ranges");
+                    min_len = min_len.min(end - start);
+                    max_len = max_len.max(end - start);
+                    expected_start = end;
+                }
+                assert_eq!(expected_start, n, "ranges end at n");
+                assert!(
+                    max_len - min_len <= 1,
+                    "near-equal split of {n} into {shards}"
+                );
+            }
+        }
+        assert_eq!(shard_ranges(0, 3), vec![(0, 0)], "degenerate empty graph");
+    }
+
+    #[test]
+    fn shard_documents_round_trip_and_reject_foreign_or_mangled_ones() {
+        let w = gen::random_connected(10, 0.4, 9, 0x5A4D);
+        let mut session = McpSession::new(&w).unwrap();
+        let mut cp = ShardCheckpoint::new(10, 1, 3);
+        let (start, end) = cp.range();
+        assert_eq!((start, end), (4, 7), "middle shard of 10 into 3+3+... ");
+        for d in start..end - 1 {
+            cp.record(&session.solve(d).unwrap());
+        }
+        assert!(!cp.is_complete());
+        assert_eq!(cp.next_dest(), end - 1);
+        let text = cp.to_json().to_string_compact();
+        let back = ShardCheckpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.to_json().to_string_compact(), text, "byte-identical");
+
+        // A campaign checkpoint is not a shard checkpoint.
+        let apsp = ApspCheckpoint::new(10).to_json();
+        assert!(ShardCheckpoint::from_json(&apsp)
+            .unwrap_err()
+            .contains("kind"));
+        // Wrong shard identity and out-of-range destinations are named.
+        let doc = Json::parse(&text.replace("\"shard\":1", "\"shard\":7")).unwrap();
+        assert!(ShardCheckpoint::from_json(&doc)
+            .unwrap_err()
+            .contains("does not exist"));
+        let doc = Json::parse(&text.replace("\"dest\":4", "\"dest\":5")).unwrap();
+        assert!(ShardCheckpoint::from_json(&doc)
+            .unwrap_err()
+            .contains("expected 4"));
+    }
+
+    #[test]
+    fn sharded_run_merges_byte_identical_to_single_process() {
+        let dir = scratch_dir("merge");
+        let w = gen::random_connected(11, 0.4, 9, 0xC0FE);
+        let expected = single_process_checkpoint(&w);
+        let paths: Vec<PathBuf> = (0..3)
+            .map(|s| dir.join(format!("shard-{s}.json")))
+            .collect();
+        for (s, path) in paths.iter().enumerate() {
+            let cp = run_shard_worker(
+                &w,
+                s,
+                3,
+                path,
+                2,
+                ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                },
+                None,
+            )
+            .unwrap();
+            assert!(cp.is_complete());
+            // The worker's return value and the persisted file agree.
+            assert_eq!(ShardCheckpoint::load(path).unwrap(), cp);
+        }
+        let merged = merge_shard_files(&paths).unwrap();
+        assert_eq!(
+            merged.to_json().to_string_compact(),
+            expected.to_json().to_string_compact(),
+            "sharded campaign must merge byte-identical to the single-process run"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_restarted_worker_resumes_from_the_persisted_prefix() {
+        let dir = scratch_dir("resume");
+        let w = gen::random_connected(10, 0.4, 9, 0xFA57);
+        let path = dir.join("shard-0.json");
+        // Simulate a worker killed after persisting two destinations.
+        let mut partial = ShardCheckpoint::new(10, 0, 2);
+        let mut session = McpSession::new(&w).unwrap();
+        for d in 0..2 {
+            partial.record(&session.solve(d).unwrap());
+        }
+        partial.save(&path).unwrap();
+
+        let cp = run_shard_worker(&w, 0, 2, &path, 1, ServeConfig::default(), None).unwrap();
+        assert!(cp.is_complete());
+        // The resumed shard equals a from-scratch shard, byte for byte.
+        let clean_path = dir.join("clean-0.json");
+        let clean =
+            run_shard_worker(&w, 0, 2, &clean_path, 1, ServeConfig::default(), None).unwrap();
+        assert_eq!(
+            cp.to_json().to_string_compact(),
+            clean.to_json().to_string_compact()
+        );
+        // A checkpoint for a different campaign is refused, not clobbered.
+        let err = run_shard_worker(&w, 1, 2, &path, 1, ServeConfig::default(), None).unwrap_err();
+        assert!(matches!(err, ShardError::Resume { .. }), "{err}");
+        assert_eq!(
+            ShardCheckpoint::load(&path).unwrap().shard(),
+            0,
+            "the mismatched file must be left untouched"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_names_cover_violations() {
+        let w = gen::random_connected(9, 0.5, 9, 0xABCD);
+        let dir = scratch_dir("cover");
+        let paths: Vec<PathBuf> = (0..3).map(|s| dir.join(format!("s{s}.json"))).collect();
+        for (s, path) in paths.iter().enumerate() {
+            run_shard_worker(&w, s, 3, path, 1, ServeConfig::default(), None).unwrap();
+        }
+        // Missing shard.
+        let err = merge_shard_files(&paths[..2]).unwrap_err();
+        assert!(err.to_string().contains("3 shards but 2"), "{err}");
+        // Duplicate shard.
+        let dup = vec![paths[0].clone(), paths[1].clone(), paths[1].clone()];
+        let err = merge_shard_files(&dup).unwrap_err();
+        assert!(err.to_string().contains("covered"), "{err}");
+        // Incomplete shard.
+        let mut partial = ShardCheckpoint::new(9, 2, 3);
+        let mut session = McpSession::new(&w).unwrap();
+        let (start, _) = partial.range();
+        let mut s2 = McpSession::new(&w).unwrap();
+        for d in 0..start {
+            let _ = s2.solve(d);
+        }
+        partial.record(&session.solve(start).unwrap());
+        partial.save(&paths[2]).unwrap();
+        let err = merge_shard_files(&paths).unwrap_err();
+        assert!(err.to_string().contains("incomplete"), "{err}");
+        // Mismatched campaign.
+        let other = gen::random_connected(12, 0.5, 9, 0xEF01);
+        fs::remove_file(&paths[2]).unwrap();
+        run_shard_worker(&other, 2, 3, &paths[2], 1, ServeConfig::default(), None).unwrap();
+        let err = merge_shard_files(&paths).unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+        // Garbage on disk is typed, not a panic.
+        fs::write(&paths[2], b"\xFF\xFEnot a checkpoint").unwrap();
+        assert!(matches!(
+            merge_shard_files(&paths).unwrap_err(),
+            ShardError::Resume { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stall_widens_the_window_without_changing_results() {
+        let dir = scratch_dir("stall");
+        let w = gen::random_connected(6, 0.5, 9, 0x57A1);
+        let stalled = run_shard_worker(
+            &w,
+            0,
+            1,
+            &dir.join("stalled.json"),
+            1,
+            ServeConfig::default(),
+            Some(Duration::from_millis(1)),
+        )
+        .unwrap();
+        let plain = run_shard_worker(
+            &w,
+            0,
+            1,
+            &dir.join("plain.json"),
+            3,
+            ServeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            stalled.to_json().to_string_compact(),
+            plain.to_json().to_string_compact()
+        );
+        // A single shard merges to the whole campaign.
+        let merged = merge_shards(vec![plain]).unwrap();
+        assert_eq!(
+            merged.to_json().to_string_compact(),
+            single_process_checkpoint(&w).to_json().to_string_compact()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

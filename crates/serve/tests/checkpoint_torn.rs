@@ -1,0 +1,131 @@
+//! Torn-write regression: a checkpoint truncated at *every* byte offset
+//! must surface as a typed [`ServeError::InvalidResume`] — never a
+//! panic, and never a silent re-run (an `Ok` with fewer destinations
+//! than were actually completed would make the resumed campaign redo —
+//! and re-report — work the durable record already covered).
+//!
+//! The atomic save path (temp + fsync + rename) makes torn files
+//! unreachable through [`ApspCheckpoint::save`]; this suite proves the
+//! *reader* is also safe against them, because operators can hand the
+//! service arbitrary files.
+
+use ppa_graph::gen;
+use ppa_mcp::McpSession;
+use ppa_serve::{ApspCheckpoint, ServeError};
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppa-torn-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn full_checkpoint(n: usize) -> ApspCheckpoint {
+    let w = gen::random_connected(n, 0.5, 9, 0x70AA);
+    let mut session = McpSession::new(&w).unwrap();
+    let mut cp = ApspCheckpoint::new(n);
+    for d in 0..n {
+        cp.record(&session.solve(d).unwrap());
+    }
+    cp
+}
+
+#[test]
+fn every_truncation_offset_is_a_typed_invalid_resume() {
+    let dir = scratch_dir("prefix");
+    let cp = full_checkpoint(5);
+    let path = dir.join("cp.json");
+    cp.save(&path).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    let complete = cp.completed().len();
+
+    let torn = dir.join("torn.json");
+    for cut in 0..bytes.len() {
+        fs::write(&torn, &bytes[..cut]).unwrap();
+        let verdict = catch_unwind(AssertUnwindSafe(|| ApspCheckpoint::load(&torn)));
+        let loaded = verdict
+            .unwrap_or_else(|_| panic!("load panicked on a checkpoint truncated at byte {cut}"));
+        match loaded {
+            Err(ServeError::InvalidResume { .. }) => {}
+            Err(other) => panic!("truncation at byte {cut}: wrong error class {other}"),
+            Ok(back) => panic!(
+                "truncation at byte {cut} silently loaded {} of {complete} destinations",
+                back.completed().len()
+            ),
+        }
+    }
+    // The untruncated file still loads, so the loop above really was
+    // exercising the parser and not a broken fixture.
+    assert_eq!(ApspCheckpoint::load(&path).unwrap(), cp);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_file_corruption_is_typed_too() {
+    // Truncation is the kill -9 shape; flipped bytes are the bitrot
+    // shape. Both must stay typed.
+    let dir = scratch_dir("flip");
+    let cp = full_checkpoint(4);
+    let path = dir.join("cp.json");
+    cp.save(&path).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    let mangled = dir.join("mangled.json");
+    for (stride, flip) in [(7usize, 0xFFu8), (13, 0x20), (29, 0x01)] {
+        let mut b = bytes.clone();
+        for i in (0..b.len()).step_by(stride) {
+            b[i] ^= flip;
+        }
+        fs::write(&mangled, &b).unwrap();
+        let verdict = catch_unwind(AssertUnwindSafe(|| ApspCheckpoint::load(&mangled)));
+        let loaded = verdict.expect("load must not panic on corrupted bytes");
+        if let Ok(back) = loaded {
+            // Astronomically unlikely, but if the mangled bytes still
+            // parse they must describe a *consistent* checkpoint.
+            assert!(back.completed().len() <= back.n());
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn save_is_atomic_under_concurrent_readers() {
+    // Hammer save/load concurrently: readers must only ever observe a
+    // complete document (either generation), never a torn one.
+    let dir = scratch_dir("atomic");
+    let path = dir.join("cp.json");
+    let a = full_checkpoint(4);
+    let mut b = full_checkpoint(4);
+    // Make generation B textually different from A (drop one result).
+    let parts = b.completed()[..3].to_vec();
+    b = ApspCheckpoint::from_parts(4, parts).unwrap();
+    a.save(&path).unwrap();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let (path, stop) = (path.clone(), stop.clone());
+        let (wa, wb) = (
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact(),
+        );
+        std::thread::spawn(move || {
+            let mut seen = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let back = ApspCheckpoint::load(&path).expect("reader saw a torn checkpoint");
+                let text = back.to_json().to_string_compact();
+                assert!(text == wa || text == wb, "reader saw a hybrid document");
+                seen += 1;
+            }
+            seen
+        })
+    };
+    for _ in 0..200 {
+        a.save(&path).unwrap();
+        b.save(&path).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let seen = reader.join().unwrap();
+    assert!(seen > 0, "the reader must have observed at least one load");
+    let _ = fs::remove_dir_all(&dir);
+}

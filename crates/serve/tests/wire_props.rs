@@ -1,0 +1,191 @@
+//! Property tests of the wire codec on attacker-controlled bytes: the
+//! decoder must never panic, every failure must be a typed
+//! [`WireError`], and well-formed documents must round-trip exactly —
+//! on random streams, on mutated valid frames, and on every strict
+//! truncation of a valid frame.
+
+use ppa_obs::Json;
+use ppa_serve::wire::{
+    read_incoming, write_frame, Incoming, Request, Response, SubmitRequest, WireError, WireFailure,
+    DEFAULT_MAX_FRAME,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::io::Cursor;
+
+const FUZZ_MAX_FRAME: usize = 64 << 10;
+
+fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    (0..max_len)
+        .prop_flat_map(|len| proptest::collection::vec((0u32..256).prop_map(|b| b as u8), len))
+}
+
+fn json_doc() -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (0u64..1_000_000_000).prop_map(Json::from),
+        "[a-z ]{0,12}".prop_map(Json::Str),
+    ]
+    .boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
+            (proptest::collection::vec("[a-z]{1,6}", 0..4), Just(())).prop_flat_map(
+                move |(keys, ())| {
+                    let inner = inner.clone();
+                    proptest::collection::vec(inner, keys.len()).prop_map(move |vals| {
+                        Json::Object(keys.clone().into_iter().zip(vals).collect())
+                    })
+                }
+            ),
+        ]
+    })
+}
+
+fn submit_request() -> impl Strategy<Value = Request> {
+    (
+        "[0-9a-z \n]{0,24}",
+        prop_oneof![
+            Just("shortest"),
+            Just("widest"),
+            Just("apsp"),
+            Just("chaos")
+        ],
+        0usize..64,
+        1usize..8,
+        any::<bool>(),
+        (
+            prop_oneof![Just(None), (0u64..100_000).prop_map(Some)],
+            prop_oneof![Just(None), (0u64..1_000_000).prop_map(Some)],
+        ),
+    )
+        .prop_map(
+            |(graph, kind, dest, every, wait, (deadline_ms, step_budget))| {
+                Request::Submit(SubmitRequest {
+                    graph,
+                    kind: kind.to_owned(),
+                    dest,
+                    checkpoint_every: every,
+                    resume_from: None,
+                    deadline_ms,
+                    step_budget,
+                    transient_faults: None,
+                    wait,
+                })
+            },
+        )
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        submit_request().boxed(),
+        (0u64..1000).prop_map(|id| Request::Result { id }).boxed(),
+        (0u64..1000).prop_map(|id| Request::Cancel { id }).boxed(),
+        Just(Request::Status).boxed(),
+        Just(Request::Metrics).boxed(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_streams_never_panic_and_errors_stay_typed(stream in bytes(512)) {
+        let mut r = Cursor::new(stream);
+        // Drain the stream: every step is Ok(..) or a typed WireError;
+        // a panic would fail the property outright.
+        for _ in 0..64 {
+            match read_incoming(&mut r, FUZZ_MAX_FRAME) {
+                Ok(Incoming::Eof) => break,
+                Ok(_) => continue,
+                Err(
+                    WireError::Truncated
+                    | WireError::FrameTooLarge { .. }
+                    | WireError::Malformed { .. },
+                ) => break,
+                Err(WireError::Io { .. }) => {
+                    prop_assert!(false, "a Cursor cannot fail transport i/o");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_valid_frames_never_panic(doc in json_doc(), flips in bytes(8), cut in 0usize..512) {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &doc).unwrap();
+        // Byte flips at positions derived from the fuzz input.
+        let mut mutated = frame.clone();
+        for (i, b) in flips.iter().enumerate() {
+            if !mutated.is_empty() {
+                let pos = (*b as usize + i * 131) % mutated.len();
+                mutated[pos] ^= b.wrapping_add(1);
+            }
+        }
+        let mut r = Cursor::new(mutated);
+        let _ = read_incoming(&mut r, FUZZ_MAX_FRAME);
+        // Truncations at an arbitrary offset.
+        let cut = cut.min(frame.len());
+        let mut r = Cursor::new(frame[..cut].to_vec());
+        match read_incoming(&mut r, FUZZ_MAX_FRAME) {
+            Ok(Incoming::Frame(back)) => {
+                // Only the untruncated frame may decode.
+                prop_assert_eq!(cut, frame.len());
+                prop_assert_eq!(back.to_string_compact(), doc.to_string_compact());
+            }
+            Ok(other) => prop_assert!(
+                matches!(other, Incoming::Eof) && cut == 0,
+                "unexpected decode of a truncated frame: {:?}", other
+            ),
+            Err(_) => prop_assert!(cut < frame.len()),
+        }
+    }
+
+    #[test]
+    fn well_formed_documents_round_trip_exactly(doc in json_doc()) {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &doc).unwrap();
+        let mut r = Cursor::new(frame);
+        let Ok(Incoming::Frame(back)) = read_incoming(&mut r, DEFAULT_MAX_FRAME) else {
+            return Err(TestCaseError::fail("valid frame failed to decode"));
+        };
+        prop_assert_eq!(back.to_string_compact(), doc.to_string_compact());
+        prop_assert_eq!(read_incoming(&mut r, DEFAULT_MAX_FRAME).unwrap(), Incoming::Eof);
+    }
+
+    #[test]
+    fn requests_survive_the_full_wire_path(req in any_request()) {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &req.to_json()).unwrap();
+        let mut r = Cursor::new(frame);
+        let Ok(Incoming::Frame(doc)) = read_incoming(&mut r, DEFAULT_MAX_FRAME) else {
+            return Err(TestCaseError::fail("request frame failed to decode"));
+        };
+        prop_assert_eq!(Request::from_json(&doc).unwrap(), req);
+    }
+
+    #[test]
+    fn random_json_never_panics_request_or_response_parsers(doc in json_doc()) {
+        // Any JSON document — almost never a valid protocol message —
+        // must produce Ok or Err(String), never a panic.
+        let _ = Request::from_json(&doc);
+        let _ = Response::from_json(&doc);
+        let _ = ppa_serve::wire::outcome_from_json(&doc);
+    }
+
+    #[test]
+    fn error_responses_round_trip(kind in "[a-z_]{1,16}", msg in "[a-z :]{0,32}",
+                                  retry in prop_oneof![Just(None), (0u64..10_000).prop_map(Some)]) {
+        let resp = Response::Error(WireFailure {
+            kind,
+            message: msg,
+            id: None,
+            retry_after_ms: retry,
+            checkpoint: None,
+        });
+        let text = resp.to_json().to_string_compact();
+        let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+}
