@@ -26,9 +26,9 @@
 //! `--seed N` (default 7); `serve` also writes `serve.introspect.json`,
 //! the live introspection snapshots taken at the end of each scenario.
 //!
-//! The `backend`, `scale`, and `serve` experiments each write a
+//! The `backend`, `scale`, `batch`, and `serve` experiments each write a
 //! `BENCH_<name>.json` measured baseline next to their table artifacts.
-//! The `bench` pseudo-experiment runs all three plus `profile`, writes
+//! The `bench` pseudo-experiment runs them all plus `net` and `profile`, writes
 //! the candidate baselines, and with `--check` gates them against the
 //! committed `BENCH_*.json` files in `--baseline-dir` (default: the
 //! repository root, `.`): step-count or counter drift exits nonzero
@@ -40,8 +40,8 @@
 
 use ppa_bench::baseline::{bench_file_name, compare, git_describe};
 use ppa_bench::{
-    all_experiments, backend_run, faults_campaign, net_run, profile_run, scale_run, serve_run,
-    Baseline, HostFingerprint, Table,
+    all_experiments, backend_run, batch_run, faults_campaign, net_run, profile_run, scale_run,
+    serve_run, Baseline, HostFingerprint, Table,
 };
 use ppa_obs::Json;
 use std::fs;
@@ -112,9 +112,10 @@ fn write_profile_artifacts(trace_dir: &Path, run: &ppa_bench::ProfileRun) {
 /// profile artifacts), write the candidates, and optionally gate them
 /// against the committed `BENCH_*.json` files.
 fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp: &Json) {
-    eprintln!("running bench (backend + scale + serve + net + profile)...");
+    eprintln!("running bench (backend + scale + batch + serve + net + profile)...");
     let backend = backend_run();
     let scale = scale_run();
+    let batch = batch_run();
     let serve = serve_run(seed);
     // Bench mode stays subprocess-free: the kill -9 shard drill is the
     // `net` experiment's job, the baseline cells are identical without it.
@@ -124,6 +125,7 @@ fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp:
     for (name, table) in [
         ("backend", &backend.table),
         ("scale", &scale.table),
+        ("batch", &batch.table),
         ("serve", &serve.table),
         ("net", &net.table),
         ("profile", &profile.table),
@@ -141,6 +143,7 @@ fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp:
     let candidates = [
         &backend.baseline,
         &scale.baseline,
+        &batch.baseline,
         &serve.baseline,
         &net.baseline,
     ];
@@ -348,6 +351,13 @@ fn main() {
         }
         if name == "scale" {
             let run = scale_run();
+            let rendered = write_table(&out_dir, name, &run.table, &stamp);
+            println!("{rendered}");
+            write_baseline(&out_dir, &run.baseline);
+            continue;
+        }
+        if name == "batch" {
+            let run = batch_run();
             let rendered = write_table(&out_dir, name, &run.table, &stamp);
             println!("{rendered}");
             write_baseline(&out_dir, &run.baseline);

@@ -23,6 +23,13 @@
 //! across a `--threads K` worker pool) — results and step counts are
 //! identical on all three, only host wall-clock differs.
 //!
+//! `--batch L` turns on lane batching. Inline (`--problem shortest`) it
+//! solves a wavefront of `L` destinations — `d`, `d+1`, … mod `n` — on
+//! one lane-concatenated machine in a single micro-op stream, printing
+//! lane 0 exactly like a solo run plus a batch summary. With `--serve`
+//! or `--listen` it enables the service's coalescer, which groups
+//! compatible pending shortest jobs into waves of up to `L` lanes.
+//!
 //! `--serve` routes the job through the hardened [`ppa_serve`] service
 //! instead of solving inline: a worker pool with deadlines (cooperative
 //! cancellation), controller step budgets, retry-with-backoff, and a
@@ -70,6 +77,7 @@ struct Options {
     trace_file: Option<String>,
     metrics_file: Option<String>,
     serve: bool,
+    batch: Option<usize>,
     workers: usize,
     deadline_ms: Option<u64>,
     budget: Option<u64>,
@@ -82,11 +90,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: solve <graph-file | --demo> --dest <d> \
          [--problem shortest|widest|hops|reach] \
-         [--backend scalar|packed|threaded] [--threads K] \
+         [--backend scalar|packed|threaded] [--threads K] [--batch L] \
          [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE] \
          [--serve [--workers N] [--deadline-ms D] [--budget STEPS] \
          [--status-every MS]] [--connect ADDR]\n       \
-         solve --listen ADDR [--workers N] [--threads K] \
+         solve --listen ADDR [--workers N] [--threads K] [--batch L] \
          [--backend scalar|packed|threaded] [--status-every MS]\n       \
          solve shard-worker <graph-file> --shard I --of N \
          --checkpoint PATH [--every K] [--workers N] [--stall-ms MS]\n       \
@@ -109,6 +117,7 @@ fn parse_args() -> Options {
         trace_file: None,
         metrics_file: None,
         serve: false,
+        batch: None,
         workers: 3,
         deadline_ms: None,
         budget: None,
@@ -140,6 +149,15 @@ fn parse_args() -> Options {
             "--trace" => opts.trace_file = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics" => opts.metrics_file = Some(args.next().unwrap_or_else(|| usage())),
             "--serve" => opts.serve = true,
+            "--batch" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let lanes: usize = v.parse().unwrap_or_else(|_| usage());
+                if lanes == 0 {
+                    eprintln!("--batch must be at least 1 lane");
+                    usage()
+                }
+                opts.batch = Some(lanes);
+            }
             "--workers" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.workers = v.parse().unwrap_or_else(|_| usage());
@@ -289,8 +307,15 @@ fn main() {
         return;
     }
     let k = opts.threads;
+    if opts.batch.is_some() && opts.problem != "shortest" {
+        eprintln!("--batch without --serve supports only --problem shortest");
+        exit(2);
+    }
     match opts.problem.as_str() {
         "shortest" => {
+            if let Some(lanes) = opts.batch {
+                return run_shortest_batched(backend, &w, d, lanes, &opts);
+            }
             let h = fit_word_bits(&w).clamp(2, 62);
             match backend {
                 Backend::Scalar => run_shortest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts),
@@ -372,13 +397,18 @@ fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
             exit(2)
         }
     };
-    let svc = Arc::new(SolveService::start(ServeConfig {
+    let mut config = ServeConfig {
         workers: opts.workers.max(1),
         prefer_packed: backend == Backend::Packed,
         prefer_threaded: backend == Backend::Threaded,
         threads: opts.threads,
         ..ServeConfig::default()
-    }));
+    };
+    if let Some(lanes) = opts.batch {
+        config.batching.enabled = true;
+        config.batching.max_lanes = lanes;
+    }
+    let svc = Arc::new(SolveService::start(config));
     // `--status-every MS`: a StatusReporter dumps introspection
     // snapshots (compact JSON, one line, `status:` prefix) to stderr at
     // the requested period, and guarantees one `status-final:` snapshot
@@ -514,13 +544,18 @@ fn run_listen(addr: &str, opts: &Options) {
     use std::io::{BufRead, Write};
     use std::sync::Arc;
 
-    let svc = Arc::new(SolveService::start(ServeConfig {
+    let mut config = ServeConfig {
         workers: opts.workers.max(1),
         prefer_packed: opts.backend == "packed",
         prefer_threaded: opts.backend == "threaded",
         threads: opts.threads,
         ..ServeConfig::default()
-    }));
+    };
+    if let Some(lanes) = opts.batch {
+        config.batching.enabled = true;
+        config.batching.max_lanes = lanes;
+    }
+    let svc = Arc::new(SolveService::start(config));
     let server = NetServer::start(
         Arc::clone(&svc),
         NetConfig {
@@ -792,11 +827,22 @@ fn run_shortest<E: Executor>(ppa: Ppa<E>, w: &WeightMatrix, d: usize, opts: &Opt
         eprintln!("solver error: {e}");
         exit(1)
     });
-    for i in 0..w.n() {
+    print_shortest_rows(&out, w.n(), opts);
+    if opts.show_steps {
+        println!("{}", out.stats);
+    }
+    write_observations(session.ppa_mut(), sink, opts);
+}
+
+/// Per-vertex output rows for a shortest-path solution; shared between
+/// the solo and lane-batched runners so `--batch` prints lane 0 exactly
+/// like a solo run.
+fn print_shortest_rows(out: &ppa_mcp::McpOutput, n: usize, opts: &Options) {
+    for i in 0..n {
         if out.sow[i] == INF {
             println!("  {i}: unreachable");
         } else if opts.show_paths {
-            let p = extract_path(&out, i)
+            let p = extract_path(out, i)
                 .map(|p| {
                     p.iter()
                         .map(|v| v.to_string())
@@ -809,10 +855,88 @@ fn run_shortest<E: Executor>(ppa: Ppa<E>, w: &WeightMatrix, d: usize, opts: &Opt
             println!("  {i}: cost {:5}  next {}", out.sow[i], out.ptn[i]);
         }
     }
-    if opts.show_steps {
-        println!("{}", out.stats);
+}
+
+/// `--batch L` without `--serve`: replicate the graph into `L` lanes of
+/// one [`BatchSession`](ppa_mcp::BatchSession) and solve the wavefront
+/// of destinations `d`, `d+1`, … (mod `n`) in a single micro-op stream.
+/// Lane 0 is the requested destination and prints exactly like a solo
+/// run; the extra lanes ride along to demonstrate amortization and are
+/// summarized on one line.
+fn run_shortest_batched(
+    backend: Backend,
+    w: &WeightMatrix,
+    d: usize,
+    lanes: usize,
+    opts: &Options,
+) {
+    use ppa_mcp::batch::replicate;
+    use ppa_mcp::BatchSession;
+
+    let lanes = lanes.min(64).min(w.n());
+    let graphs = replicate(w, lanes);
+    let dests: Vec<usize> = (0..lanes).map(|l| (d + l) % w.n()).collect();
+    let die = |e: ppa_mcp::McpError| -> ! {
+        eprintln!("solver error: {e}");
+        exit(1)
+    };
+    match backend {
+        Backend::Scalar => drive_batch(
+            BatchSession::new(&graphs).unwrap_or_else(|e| die(e)),
+            &dests,
+            w,
+            opts,
+        ),
+        Backend::Packed => drive_batch(
+            BatchSession::new_packed(&graphs).unwrap_or_else(|e| die(e)),
+            &dests,
+            w,
+            opts,
+        ),
+        Backend::Threaded => drive_batch(
+            BatchSession::new_threaded(&graphs, opts.threads).unwrap_or_else(|e| die(e)),
+            &dests,
+            w,
+            opts,
+        ),
     }
-    write_observations(session.ppa_mut(), sink, opts);
+}
+
+/// Solves one wavefront on an already-built batch session and prints
+/// lane 0 plus the batch summary.
+fn drive_batch<E: Executor>(
+    mut batch: ppa_mcp::BatchSession<E>,
+    dests: &[usize],
+    w: &WeightMatrix,
+    opts: &Options,
+) {
+    let sink = attach_observers(batch.ppa_mut(), opts);
+    let wave = batch.solve(dests).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1)
+    });
+    let lane0 = match &wave[0] {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("solver error: {e}");
+            exit(1)
+        }
+    };
+    print_shortest_rows(lane0, w.n(), opts);
+    let converged = wave.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "  batch: {}/{} lane(s) converged on a {}x{} machine ({}-bit words), destinations {:?}",
+        converged,
+        batch.lanes(),
+        batch.n(),
+        batch.n() * batch.lanes(),
+        batch.word_bits(),
+        dests
+    );
+    if opts.show_steps {
+        println!("{}", lane0.stats);
+    }
+    write_observations(batch.ppa_mut(), sink, opts);
 }
 
 /// Widest-path runner, generic over the execution backend.

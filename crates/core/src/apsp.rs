@@ -69,6 +69,21 @@ impl AllPairs {
             .collect()
     }
 
+    /// The distance matrix as one flat row-major vector:
+    /// `result[i * n + j] = dist(i, j)`. One allocation instead of
+    /// `n + 1` — the form comparison harnesses and campaign merges
+    /// want for bulk equality checks and hashing.
+    pub fn matrix_flat(&self) -> Vec<Weight> {
+        let n = self.runs.len();
+        let mut out = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for run in &self.runs {
+                out.push(run.sow[i]);
+            }
+        }
+        out
+    }
+
     /// Total do-while iterations across all runs.
     pub fn total_iterations(&self) -> usize {
         self.runs.iter().map(|r| r.iterations).sum()
@@ -153,5 +168,20 @@ mod tests {
         assert_eq!(ap.dist(0, 3), 3);
         assert_eq!(ap.dist(3, 0), INF);
         assert!(ap.total_iterations() >= 4);
+    }
+
+    #[test]
+    fn matrix_flat_is_the_row_major_matrix() {
+        let w = gen::random_digraph(6, 0.4, 8, 2);
+        let mut ppa = machine_for(&w);
+        let ap = all_pairs(&mut ppa, &w).unwrap();
+        let nested = ap.matrix();
+        let flat = ap.matrix_flat();
+        assert_eq!(flat.len(), 36);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(flat[i * 6 + j], nested[i][j], "({i},{j})");
+            }
+        }
     }
 }

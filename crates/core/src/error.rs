@@ -54,6 +54,13 @@ pub enum McpError {
     /// malformed (see [`MatrixError`]). Raised instead of a panic so
     /// untrusted job payloads can never abort a serving worker.
     InvalidWeights(MatrixError),
+    /// A lane batch was malformed: no lanes, more lanes than a machine
+    /// word has bits (64), graphs of mixed sizes, or a destination
+    /// wavefront that does not cover every lane.
+    BatchShape {
+        /// What was wrong with the requested batch.
+        detail: String,
+    },
     /// The array is faulty and the recovery policy could not produce a
     /// verified result (self-test localization attached).
     FaultyArray {
@@ -86,6 +93,7 @@ impl fmt::Display for McpError {
                 write!(f, "destination {d} out of range for {n} vertices")
             }
             McpError::InvalidWeights(e) => write!(f, "invalid weight matrix: {e}"),
+            McpError::BatchShape { detail } => write!(f, "malformed lane batch: {detail}"),
             McpError::FaultyArray { located } => {
                 if located.is_empty() {
                     write!(f, "faulty array: corruption detected but not localized")

@@ -68,6 +68,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod apsp;
+pub mod batch;
 pub mod closure;
 pub mod error;
 pub mod kernels;
@@ -79,6 +80,7 @@ pub mod stats;
 pub mod variants;
 pub mod widest;
 
+pub use batch::{BatchSession, LaneLimit};
 pub use error::McpError;
 pub use mcp::{minimum_cost_path, minimum_cost_path_verified, McpOutput};
 pub use recovery::{solve_with_recovery, RecoveredMcp, RecoveryPolicy, RecoveryStats};

@@ -182,54 +182,72 @@ mod tests {
     use super::*;
     use crate::apsp;
     use crate::mcp::minimum_cost_path;
+    use crate::Result;
     use ppa_graph::gen;
 
+    // These tests return `Result` so a failing destination propagates a
+    // typed error with `?` instead of panicking context-free; assertion
+    // messages carry the seed/destination/lane being compared.
+
     #[test]
-    fn session_solve_matches_one_shot_outputs() {
+    fn session_solve_matches_one_shot_outputs() -> Result<()> {
         for seed in 0..5 {
             let w = gen::random_digraph(8, 0.35, 12, seed);
-            let mut session = McpSession::new(&w).unwrap();
+            let mut session = McpSession::new(&w)?;
             let mut ppa = Ppa::square(8).with_word_bits(session.ppa().word_bits());
             for d in [0usize, 3, 7] {
-                let a = session.solve(d).unwrap();
-                let b = minimum_cost_path(&mut ppa, &w, d).unwrap();
-                assert_eq!(a.sow, b.sow, "seed {seed} d {d}");
-                assert_eq!(a.ptn, b.ptn, "seed {seed} d {d}");
-                assert_eq!(a.iterations, b.iterations, "seed {seed} d {d}");
+                let a = session.solve(d)?;
+                let b = minimum_cost_path(&mut ppa, &w, d)?;
+                assert_eq!(a.sow, b.sow, "seed {seed} destination {d}");
+                assert_eq!(a.ptn, b.ptn, "seed {seed} destination {d}");
+                assert_eq!(a.iterations, b.iterations, "seed {seed} destination {d}");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn session_all_pairs_matches_apsp_driver() {
+    fn session_all_pairs_matches_apsp_driver() -> Result<()> {
         let w = gen::random_digraph(7, 0.4, 9, 21);
-        let mut session = McpSession::new(&w).unwrap();
-        let by_session = session.all_pairs().unwrap();
+        let mut session = McpSession::new(&w)?;
+        let by_session = session.all_pairs()?;
         let mut ppa = Ppa::square(7).with_word_bits(session.ppa().word_bits());
-        let by_driver = apsp::all_pairs(&mut ppa, &w).unwrap();
-        assert_eq!(by_session.matrix(), by_driver.matrix());
+        let by_driver = apsp::all_pairs(&mut ppa, &w)?;
+        assert_eq!(
+            by_session.matrix_flat(),
+            by_driver.matrix_flat(),
+            "session vs driver distance matrices"
+        );
         assert_eq!(by_session.total_iterations(), by_driver.total_iterations());
+        Ok(())
     }
 
     #[test]
-    fn packed_session_matches_scalar_session() {
+    fn packed_session_matches_scalar_session() -> Result<()> {
         let w = gen::random_connected(9, 0.3, 14, 5);
-        let scalar = McpSession::new(&w).unwrap().all_pairs().unwrap();
-        let packed = McpSession::new_packed(&w).unwrap().all_pairs().unwrap();
-        assert_eq!(scalar.matrix(), packed.matrix());
+        let scalar = McpSession::new(&w)?.all_pairs()?;
+        let packed = McpSession::new_packed(&w)?.all_pairs()?;
+        assert_eq!(
+            scalar.matrix_flat(),
+            packed.matrix_flat(),
+            "scalar vs packed distance matrices"
+        );
         assert_eq!(scalar.total_iterations(), packed.total_iterations());
+        Ok(())
     }
 
     #[test]
-    fn packed_session_reuses_plans_and_planes_across_destinations() {
+    fn packed_session_reuses_plans_and_planes_across_destinations() -> Result<()> {
         let w = gen::random_connected(8, 0.35, 10, 3);
         let ppa = Ppa::<PackedBackend>::packed(8).with_word_bits(16);
-        let mut session = McpSession::from_ppa(ppa, &w).unwrap();
-        session.solve(0).unwrap();
+        let mut session = McpSession::from_ppa(ppa, &w)?;
+        session.solve(0)?;
         let after_first = session.exec_stats();
         assert!(after_first.arena_fresh > 0);
         for d in 1..8 {
-            session.solve(d).unwrap();
+            session
+                .solve(d)
+                .inspect_err(|_| eprintln!("destination {d} failed after a clean first solve"))?;
         }
         let after_all = session.exec_stats();
         // Every mask buffer needed by later destinations was already in
@@ -239,17 +257,19 @@ mod tests {
             "later destinations must recycle, not allocate"
         );
         assert!(after_all.plan_hit_rate() > 0.9, "{after_all:?}");
+        Ok(())
     }
 
     #[test]
-    fn session_publishes_backend_metrics() {
+    fn session_publishes_backend_metrics() -> Result<()> {
         let w = gen::ring(6);
-        let mut session = McpSession::new_packed(&w).unwrap();
+        let mut session = McpSession::new_packed(&w)?;
         session.ppa_mut().enable_metrics();
-        session.solve(2).unwrap();
+        session.solve(2)?;
         let m = session.ppa_mut().take_metrics();
         assert!(m.counter("backend.plan_hits") > 0);
         assert!(m.counter("backend.arena_reused") > 0);
+        Ok(())
     }
 
     #[test]

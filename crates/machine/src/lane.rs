@@ -1,0 +1,161 @@
+//! Lane geometry for batched solving.
+//!
+//! A lane-batched machine packs `L` independent `n x n` problems side by
+//! side into one `n x (n * L)` mesh: lane `l` owns the column window
+//! `l*n .. (l+1)*n`. Column buses never cross a lane boundary (each
+//! column belongs to exactly one lane), and west/east bus operations
+//! whose Open heads sit at per-lane columns partition at lane
+//! boundaries because a cluster runs from its head up to the *next*
+//! head — with one head per lane-row segment, no cluster can leak into
+//! a neighbour lane.
+//!
+//! [`LaneLayout`] is the pure geometry: it owns no storage and issues
+//! no instructions, it just maps between per-lane `n x n` coordinates
+//! and the composite plane.
+
+use crate::geometry::{Coord, Dim};
+use crate::plane::Plane;
+use std::ops::Range;
+
+/// Geometry of a lane-batched `n x (n * lanes)` machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneLayout {
+    n: usize,
+    lanes: usize,
+}
+
+impl LaneLayout {
+    /// A layout of `lanes` independent `n x n` problems.
+    ///
+    /// # Panics
+    /// If `n` or `lanes` is zero.
+    pub fn new(n: usize, lanes: usize) -> Self {
+        assert!(n > 0, "lane size must be positive");
+        assert!(lanes > 0, "lane count must be positive");
+        LaneLayout { n, lanes }
+    }
+
+    /// Per-lane problem size (rows of the machine, columns per lane).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes packed side by side.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Dimensions of the composite machine: `n` rows, `n * lanes` columns.
+    pub fn dim(&self) -> Dim {
+        Dim::new(self.n, self.n * self.lanes)
+    }
+
+    /// The composite-plane column window owned by `lane`.
+    ///
+    /// # Panics
+    /// If `lane` is out of range.
+    pub fn col_range(&self, lane: usize) -> Range<usize> {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        lane * self.n..(lane + 1) * self.n
+    }
+
+    /// Which lane a composite column belongs to.
+    pub fn lane_of_col(&self, col: usize) -> usize {
+        col / self.n
+    }
+
+    /// Maps a composite coordinate to `(lane, row, col-within-lane)`.
+    pub fn split(&self, c: Coord) -> (usize, usize, usize) {
+        (c.col / self.n, c.row, c.col % self.n)
+    }
+
+    /// Builds a composite plane from a per-lane generator
+    /// `f(lane, row, col)` where `row`/`col` are lane-local.
+    pub fn compose<T>(&self, mut f: impl FnMut(usize, usize, usize) -> T) -> Plane<T> {
+        let n = self.n;
+        Plane::from_fn(self.dim(), |c| f(c.col / n, c.row, c.col % n))
+    }
+
+    /// Builds the composite plane's row-major backing vector from a
+    /// per-lane generator — same values as [`LaneLayout::compose`], for
+    /// callers that feed `Parallel::from_vec`-style constructors.
+    pub fn compose_vec<T>(&self, mut f: impl FnMut(usize, usize, usize) -> T) -> Vec<T> {
+        let n = self.n;
+        let dim = self.dim();
+        let mut out = Vec::with_capacity(dim.len());
+        for row in 0..dim.rows {
+            for col in 0..dim.cols {
+                out.push(f(col / n, row, col % n));
+            }
+        }
+        out
+    }
+
+    /// Extracts one lane's `n x n` sub-plane as a row-major vector.
+    pub fn extract<T: Clone>(&self, plane: &Plane<T>, lane: usize) -> Vec<T> {
+        assert_eq!(plane.dim(), self.dim(), "plane does not match this layout");
+        let cols = self.col_range(lane);
+        let mut out = Vec::with_capacity(self.n * self.n);
+        for row in 0..self.n {
+            out.extend_from_slice(&plane.row(row)[cols.clone()]);
+        }
+        out
+    }
+
+    /// Reads one lane-local row (`n` values) of a composite plane.
+    pub fn lane_row<T: Clone>(&self, plane: &Plane<T>, lane: usize, row: usize) -> Vec<T> {
+        assert_eq!(plane.dim(), self.dim(), "plane does not match this layout");
+        plane.row(row)[self.col_range(lane)].to_vec()
+    }
+
+    /// Reads one lane-local cell of a composite plane.
+    pub fn lane_at<'a, T>(
+        &self,
+        plane: &'a Plane<T>,
+        lane: usize,
+        row: usize,
+        col: usize,
+    ) -> &'a T {
+        assert_eq!(plane.dim(), self.dim(), "plane does not match this layout");
+        assert!(col < self.n, "lane-local column {col} out of range");
+        plane.at(row, lane * self.n + col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_round_trips() {
+        let l = LaneLayout::new(4, 3);
+        assert_eq!(l.dim(), Dim::new(4, 12));
+        assert_eq!(l.col_range(1), 4..8);
+        assert_eq!(l.lane_of_col(11), 2);
+        assert_eq!(l.split(Coord { row: 2, col: 9 }), (2, 2, 1));
+    }
+
+    #[test]
+    fn compose_then_extract_is_identity() {
+        let l = LaneLayout::new(3, 4);
+        let plane = l.compose(|lane, r, c| (lane * 100 + r * 10 + c) as i64);
+        for lane in 0..4 {
+            let sub = l.extract(&plane, lane);
+            for r in 0..3 {
+                for c in 0..3 {
+                    assert_eq!(sub[r * 3 + c], (lane * 100 + r * 10 + c) as i64);
+                    assert_eq!(*l.lane_at(&plane, lane, r, c), sub[r * 3 + c]);
+                }
+            }
+            assert_eq!(l.lane_row(&plane, lane, 1), &sub[3..6]);
+        }
+    }
+
+    #[test]
+    fn compose_vec_matches_compose() {
+        let l = LaneLayout::new(2, 5);
+        let a = l.compose(|lane, r, c| lane * 7 + r * 3 + c);
+        let b = l.compose_vec(|lane, r, c| lane * 7 + r * 3 + c);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

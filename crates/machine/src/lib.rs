@@ -72,6 +72,7 @@ pub mod error;
 pub mod faults;
 pub mod geometry;
 pub mod isa;
+pub mod lane;
 pub mod machine;
 pub mod packed;
 pub mod plane;
@@ -86,6 +87,7 @@ pub use error::MachineError;
 pub use faults::{FaultMap, FaultReport, SwitchFault, TransientFaults};
 pub use geometry::{Axis, Coord, Dim, Direction};
 pub use isa::{ExecStats, Executor, Fill, MicroOp, ScalarBackend};
+pub use lane::LaneLayout;
 pub use machine::Machine;
 pub use packed::{PackedBackend, PackedMask};
 pub use plane::Plane;

@@ -852,6 +852,57 @@ impl<E: Executor> Machine<E> {
         out
     }
 
+    /// Per-lane immediate: lane `l` (columns `l*lane_cols ..
+    /// (l+1)*lane_cols`) receives `values[l]` at every PE. On a
+    /// lane-batched machine each lane has its own sub-controller
+    /// issuing its immediate in lockstep, so the whole load is one
+    /// controller step — exactly like [`Machine::imm`].
+    ///
+    /// # Panics
+    /// If `lane_cols` is zero, does not divide the column count, or
+    /// `values` does not cover every lane.
+    pub fn lane_imm<T: Clone + Send + Sync>(&mut self, values: &[T], lane_cols: usize) -> Plane<T> {
+        assert!(lane_cols > 0, "lane_cols must be positive");
+        assert_eq!(
+            self.dim.cols % lane_cols,
+            0,
+            "lane_cols {lane_cols} must divide the column count {}",
+            self.dim.cols
+        );
+        assert_eq!(
+            values.len(),
+            self.dim.cols / lane_cols,
+            "one immediate per lane"
+        );
+        self.issue(MicroOp::Imm, None, None);
+        let t = self.micro_start();
+        let out = Plane::from_fn(self.dim, |c| values[c.col / lane_cols].clone());
+        self.micro_stop(Op::Alu, t);
+        out
+    }
+
+    /// Per-lane `COL` register: the column index *within* the PE's lane
+    /// (`col % lane_cols`). A lane-batched machine wires each lane's
+    /// column register relative to the lane origin, so the copy is one
+    /// controller step — exactly like [`Machine::col_index`].
+    ///
+    /// # Panics
+    /// If `lane_cols` is zero or does not divide the column count.
+    pub fn lane_col_index(&mut self, lane_cols: usize) -> Plane<i64> {
+        assert!(lane_cols > 0, "lane_cols must be positive");
+        assert_eq!(
+            self.dim.cols % lane_cols,
+            0,
+            "lane_cols {lane_cols} must divide the column count {}",
+            self.dim.cols
+        );
+        self.issue(MicroOp::Index(Axis::Col), None, None);
+        let t = self.micro_start();
+        let out = Plane::from_fn(self.dim, |c| (c.col % lane_cols) as i64);
+        self.micro_stop(Op::Alu, t);
+        out
+    }
+
     /// Masked assignment `where (mask) dst = src`: one controller step.
     /// PEs where `mask` is false keep their previous `dst` value — the
     /// SIMD `where` construct gates register *writes*, not instruction

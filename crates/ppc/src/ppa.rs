@@ -373,6 +373,22 @@ impl<E: Executor> Ppa<E> {
         self.machine.imm(value)
     }
 
+    /// Per-lane scalar broadcast: lane `l` (columns `l*lane_cols ..
+    /// (l+1)*lane_cols`) receives `values[l]` (one step — each lane's
+    /// sub-controller issues its immediate in lockstep).
+    pub fn lane_constant<T: Clone + Send + Sync>(
+        &mut self,
+        values: &[T],
+        lane_cols: usize,
+    ) -> Parallel<T> {
+        self.machine.lane_imm(values, lane_cols)
+    }
+
+    /// The per-lane `COL` register, `col % lane_cols` (one step).
+    pub fn lane_col_index(&mut self, lane_cols: usize) -> Parallel<i64> {
+        self.machine.lane_col_index(lane_cols)
+    }
+
     // ----- communication ----------------------------------------------------
 
     /// The PPC `shift(src, dir)` primitive (one step). Upstream-edge PEs

@@ -52,7 +52,7 @@ pub use introspect::{BreakerView, InflightJob, Introspection, StatusReporter, Wo
 pub use job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
 pub use net::{ClientError, NetClient, NetConfig, NetServer};
 pub use policy::RetryPolicy;
-pub use service::{JobTicket, ServeConfig, SolveService};
+pub use service::{BatchingConfig, JobTicket, ServeConfig, SolveService};
 pub use shard::{
     merge_shard_files, merge_shards, run_shard_worker, shard_ranges, ShardCheckpoint, ShardError,
 };

@@ -29,8 +29,9 @@ use crate::policy::RetryPolicy;
 use crate::BreakerConfig;
 use ppa_graph::{Weight, WeightMatrix, INF};
 use ppa_machine::{CancelToken, Executor, PackedBackend, ThreadedBackend, TransientFaults};
+use ppa_mcp::batch::replicate;
 use ppa_mcp::widest::{widest_path, WidestOutput};
-use ppa_mcp::{mcp, McpError, McpSession};
+use ppa_mcp::{mcp, BatchSession, LaneLimit, McpError, McpSession};
 use ppa_obs::{Json, Metrics};
 use ppa_ppc::Ppa;
 use rand::rngs::SmallRng;
@@ -72,6 +73,11 @@ pub struct ServeConfig {
     /// Seed for worker-local RNGs (retry jitter). Worker `k` derives its
     /// stream from `seed` and `k`, so runs are reproducible.
     pub seed: u64,
+    /// Lane-batched solving: coalesce compatible shortest-path jobs into
+    /// one [`BatchSession`] wave and run APSP campaigns in destination
+    /// wavefronts. Off by default — batching changes latency shape, not
+    /// results (every lane is bit-identical to its solo run).
+    pub batching: BatchingConfig,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +93,32 @@ impl Default for ServeConfig {
             prefer_threaded: false,
             threads: 2,
             seed: 0x5eed,
+            batching: BatchingConfig::default(),
+        }
+    }
+}
+
+/// Tuning for the coalescing stage between intake and the worker pool.
+#[derive(Debug, Clone)]
+pub struct BatchingConfig {
+    /// Enable the coalescer. When `false` (the default) every job flows
+    /// straight to a worker exactly as before batching existed.
+    pub enabled: bool,
+    /// Most jobs coalesced into one wave (clamped to `1..=64`, the
+    /// simulator's lane ceiling). A full wave flushes immediately.
+    pub max_lanes: usize,
+    /// How long a partial wave may wait for batchmates before flushing.
+    /// The hold is deadline-aware: it is shortened so no held job can
+    /// expire while waiting.
+    pub hold_window: Duration,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig {
+            enabled: false,
+            max_lanes: 16,
+            hold_window: Duration::from_millis(2),
         }
     }
 }
@@ -108,6 +140,38 @@ struct QueuedJob {
     /// [`SolveService::cancel`] can fire it while the job is still
     /// queued (the deadline watchdog arms the same token later).
     token: CancelToken,
+}
+
+/// What a worker picks up: one job, or a coalesced wave of compatible
+/// shortest-path jobs to solve as lanes of one [`BatchSession`].
+enum Work {
+    Single(QueuedJob),
+    Batch(Vec<QueuedJob>),
+}
+
+/// The submission side of the intake: straight to the workers'
+/// [`Work`] channel when batching is off, or through the coalescer's
+/// own bounded queue when it is on. Both are bounded by
+/// `queue_capacity`, so backpressure semantics survive the extra stage.
+enum IntakeTx {
+    Direct(SyncSender<Work>),
+    Coalesced(SyncSender<QueuedJob>),
+}
+
+impl IntakeTx {
+    fn try_send(&self, job: QueuedJob) -> Result<(), TrySendError<()>> {
+        match self {
+            IntakeTx::Direct(tx) => tx.try_send(Work::Single(job)).map_err(strip),
+            IntakeTx::Coalesced(tx) => tx.try_send(job).map_err(strip),
+        }
+    }
+}
+
+fn strip<T>(e: TrySendError<T>) -> TrySendError<()> {
+    match e {
+        TrySendError::Full(_) => TrySendError::Full(()),
+        TrySendError::Disconnected(_) => TrySendError::Disconnected(()),
+    }
 }
 
 /// Supervisor mailbox messages.
@@ -150,6 +214,11 @@ struct Shared {
     /// deadline watchdog), so the worker maps the cooperative stop to
     /// [`ServeError::Cancelled`] instead of `DeadlineExceeded`.
     client_cancelled: Mutex<BTreeSet<u64>>,
+    /// Jobs the coalescer is holding for batchmates right now (also
+    /// counted in `queue_depth`; introspection shows both).
+    batch_pending: AtomicU64,
+    /// Lanes of coalesced batches currently executing on workers.
+    batch_lanes_inflight: AtomicU64,
 }
 
 /// Everything a worker thread needs; cloneable so the supervisor can
@@ -157,7 +226,7 @@ struct Shared {
 #[derive(Clone)]
 struct WorkerCtx {
     shared: Arc<Shared>,
-    jobs: Arc<Mutex<Receiver<QueuedJob>>>,
+    jobs: Arc<Mutex<Receiver<Work>>>,
     watchdog_tx: Sender<(Instant, CancelToken)>,
     death_tx: Sender<Supervise>,
     worker_seq: Arc<AtomicU64>,
@@ -201,8 +270,9 @@ impl JobTicket {
 /// The concurrent solve service (see module docs).
 pub struct SolveService {
     shared: Arc<Shared>,
-    job_tx: Option<SyncSender<QueuedJob>>,
+    job_tx: Option<IntakeTx>,
     handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    coalescer: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     death_tx: Sender<Supervise>,
@@ -215,9 +285,10 @@ impl SolveService {
         let workers = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
         let breaker = CircuitBreaker::new(config.breaker);
-        let (job_tx, job_rx) = mpsc::sync_channel(capacity);
+        let (work_tx, work_rx) = mpsc::sync_channel::<Work>(capacity);
         let (watchdog_tx, watchdog_rx) = mpsc::channel();
         let (death_tx, death_rx) = mpsc::channel();
+        let batching = config.batching.enabled;
         let shared = Arc::new(Shared {
             config,
             metrics: Mutex::new(Metrics::new()),
@@ -228,10 +299,22 @@ impl SolveService {
             workers: Mutex::new(BTreeMap::new()),
             cancels: Mutex::new(BTreeMap::new()),
             client_cancelled: Mutex::new(BTreeSet::new()),
+            batch_pending: AtomicU64::new(0),
+            batch_lanes_inflight: AtomicU64::new(0),
         });
+        // With batching on, submissions pass through the coalescer's own
+        // bounded queue first; otherwise they go straight to the workers.
+        let (job_tx, coalescer) = if batching {
+            let (in_tx, in_rx) = mpsc::sync_channel::<QueuedJob>(capacity);
+            let co_shared = Arc::clone(&shared);
+            let handle = thread::spawn(move || coalescer_loop(&co_shared, &in_rx, &work_tx));
+            (IntakeTx::Coalesced(in_tx), Some(handle))
+        } else {
+            (IntakeTx::Direct(work_tx), None)
+        };
         let ctx = WorkerCtx {
             shared: Arc::clone(&shared),
-            jobs: Arc::new(Mutex::new(job_rx)),
+            jobs: Arc::new(Mutex::new(work_rx)),
             watchdog_tx,
             death_tx: death_tx.clone(),
             worker_seq: Arc::new(AtomicU64::new(0)),
@@ -250,6 +333,7 @@ impl SolveService {
             shared,
             job_tx: Some(job_tx),
             handles,
+            coalescer,
             supervisor: Some(supervisor),
             watchdog: Some(watchdog),
             death_tx,
@@ -293,7 +377,7 @@ impl SolveService {
                 lock(&self.shared.metrics).inc("serve.accepted", 1);
                 Ok(JobTicket { id, rx: reply_rx })
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(())) => {
                 self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
                 lock(&self.shared.cancels).remove(&id);
                 lock(&self.shared.metrics).inc("serve.rejected_queue_full", 1);
@@ -301,7 +385,7 @@ impl SolveService {
                     capacity: self.shared.config.queue_capacity.max(1),
                 })
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(TrySendError::Disconnected(())) => {
                 self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
                 lock(&self.shared.cancels).remove(&id);
                 lock(&self.shared.metrics).inc("serve.rejected_shutdown", 1);
@@ -376,6 +460,8 @@ impl SolveService {
         Introspection {
             queue_depth: self.shared.queue_depth.load(Ordering::Acquire),
             accepting: self.shared.accepting.load(Ordering::Acquire),
+            batch_pending: self.shared.batch_pending.load(Ordering::Acquire),
+            batch_lanes_inflight: self.shared.batch_lanes_inflight.load(Ordering::Acquire),
             inflight,
             workers,
             breaker: BreakerView::from_state(lock(&self.shared.breaker).state()),
@@ -397,6 +483,12 @@ impl SolveService {
         self.shared.accepting.store(false, Ordering::Release);
         // Closing the queue lets workers drain it and exit on recv error.
         drop(self.job_tx.take());
+        // The coalescer flushes its held wave and exits once the intake
+        // closes; its exit drops the Work sender, which releases the
+        // workers in turn.
+        if let Some(c) = self.coalescer.take() {
+            let _ = c.join();
+        }
         self.join_workers();
         let _ = self.death_tx.send(Supervise::Stop);
         if let Some(s) = self.supervisor.take() {
@@ -445,10 +537,21 @@ fn worker_loop(ctx: WorkerCtx) {
     );
     loop {
         let next = lock(&ctx.jobs).recv();
-        let Ok(job) = next else {
+        let Ok(work) = next else {
             // Queue closed and drained: graceful exit.
             lock(&ctx.shared.workers).remove(&index);
             return;
+        };
+        let job = match work {
+            Work::Single(job) => job,
+            Work::Batch(jobs) => {
+                if run_batch_on_worker(&ctx, index, jobs, &mut rng) {
+                    continue;
+                }
+                // The batch panicked; this worker is done (the
+                // supervisor was already asked for a replacement).
+                return;
+            }
         };
         ctx.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
         let (id, submitted, reply) = (job.id, job.submitted, job.reply.clone());
@@ -507,6 +610,373 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_owned()
     }
+}
+
+/// Runs a coalesced wave on this worker with the same bookkeeping and
+/// panic isolation as a single job: every lane gets its own inflight
+/// entry and its own report, and a panic anywhere in the wave reports
+/// [`ServeError::WorkerPanicked`] to *every* lane's ticket. Returns
+/// `false` when the worker must die (panic path).
+fn run_batch_on_worker(
+    ctx: &WorkerCtx,
+    index: u64,
+    jobs: Vec<QueuedJob>,
+    rng: &mut SmallRng,
+) -> bool {
+    let lanes = jobs.len() as u64;
+    ctx.shared.queue_depth.fetch_sub(lanes, Ordering::AcqRel);
+    let meta: Vec<(u64, Instant, Sender<JobReport>)> = jobs
+        .iter()
+        .map(|j| (j.id, j.submitted, j.reply.clone()))
+        .collect();
+    {
+        let mut inflight = lock(&ctx.shared.inflight);
+        for job in &jobs {
+            inflight.insert(
+                job.id,
+                InflightEntry {
+                    kind: job.spec.kind.label(),
+                    submitted: job.submitted,
+                    deadline: job.spec.deadline.or(ctx.shared.config.default_deadline),
+                    worker: index,
+                },
+            );
+        }
+    }
+    lock(&ctx.shared.workers).insert(index, Some(meta[0].0));
+    ctx.shared
+        .batch_lanes_inflight
+        .fetch_add(lanes, Ordering::AcqRel);
+    let verdict = catch_unwind(AssertUnwindSafe(|| run_batch(ctx, jobs, rng)));
+    ctx.shared
+        .batch_lanes_inflight
+        .fetch_sub(lanes, Ordering::AcqRel);
+    for (id, _, _) in &meta {
+        lock(&ctx.shared.inflight).remove(id);
+        lock(&ctx.shared.cancels).remove(id);
+        lock(&ctx.shared.client_cancelled).remove(id);
+    }
+    match verdict {
+        Ok(reports) => {
+            lock(&ctx.shared.workers).insert(index, None);
+            for ((_, _, reply), report) in meta.into_iter().zip(reports) {
+                let _ = reply.send(report);
+            }
+            true
+        }
+        Err(payload) => {
+            lock(&ctx.shared.workers).remove(&index);
+            let message = panic_message(payload);
+            {
+                let mut m = lock(&ctx.shared.metrics);
+                m.inc("serve.worker_panics", 1);
+                m.inc("serve.failed", lanes);
+                for (_, submitted, _) in &meta {
+                    m.observe("serve.latency_us", submitted.elapsed().as_micros() as u64);
+                }
+            }
+            for (id, submitted, reply) in meta {
+                let _ = reply.send(JobReport {
+                    id,
+                    outcome: Err(ServeError::WorkerPanicked {
+                        message: message.clone(),
+                    }),
+                    attempts: 1,
+                    backend: None,
+                    latency: submitted.elapsed(),
+                });
+            }
+            let _ = ctx.death_tx.send(Supervise::Died);
+            false
+        }
+    }
+}
+
+/// Whether the coalescer may hold this job for batchmates. Only
+/// shortest-path jobs without per-job fault injection batch; everything
+/// else flows straight through as a single.
+fn batch_eligible(job: &QueuedJob) -> bool {
+    matches!(job.spec.kind, JobKind::Shortest { .. }) && job.spec.transient_faults.is_none()
+}
+
+/// Jobs coalesce only when their lanes would be indistinguishable from
+/// solo runs: same machine size and the same fitted word width (the
+/// batch runs at the max lane width, so mixing widths would change a
+/// narrower job's step counts).
+fn batch_key(spec: &JobSpec) -> (usize, u32) {
+    (spec.graph.n(), mcp::fit_word_bits(&spec.graph).clamp(2, 62))
+}
+
+/// The coalescing stage: holds eligible shortest-path jobs for up to
+/// the (deadline-aware) hold window, flushing a wave when it fills, the
+/// window expires, the key changes, or the intake closes. Ineligible
+/// jobs overtake the held wave — ordering across job kinds was never
+/// guaranteed.
+fn coalescer_loop(shared: &Arc<Shared>, intake: &Receiver<QueuedJob>, work_tx: &SyncSender<Work>) {
+    let max_lanes = shared.config.batching.max_lanes.clamp(1, 64);
+    let hold = shared.config.batching.hold_window;
+    let mut held: Vec<QueuedJob> = Vec::new();
+    let mut key: Option<(usize, u32)> = None;
+    let mut flush_at: Option<Instant> = None;
+    loop {
+        let next = match flush_at {
+            Some(at) => match intake.recv_timeout(at.saturating_duration_since(Instant::now())) {
+                Ok(job) => Some(job),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    flush_held(shared, &mut held, &mut key, &mut flush_at, work_tx, "hold");
+                    return;
+                }
+            },
+            None => match intake.recv() {
+                Ok(job) => Some(job),
+                Err(_) => return, // nothing held, intake closed
+            },
+        };
+        let Some(job) = next else {
+            // Hold window expired with no new arrivals.
+            flush_held(shared, &mut held, &mut key, &mut flush_at, work_tx, "hold");
+            continue;
+        };
+        if !batch_eligible(&job) {
+            if work_tx.send(Work::Single(job)).is_err() {
+                return;
+            }
+            continue;
+        }
+        let k = batch_key(&job.spec);
+        if key.is_some_and(|have| have != k) {
+            flush_held(shared, &mut held, &mut key, &mut flush_at, work_tx, "key");
+        }
+        key = Some(k);
+        // Deadline-aware hold: never let the window push a held job past
+        // its own deadline.
+        let flush_by = job
+            .spec
+            .deadline
+            .or(shared.config.default_deadline)
+            .map(|d| job.submitted + d);
+        held.push(job);
+        shared
+            .batch_pending
+            .store(held.len() as u64, Ordering::Release);
+        let target = flush_at.unwrap_or_else(|| Instant::now() + hold);
+        flush_at = Some(match flush_by {
+            Some(by) => target.min(by),
+            None => target,
+        });
+        if held.len() >= max_lanes {
+            flush_held(shared, &mut held, &mut key, &mut flush_at, work_tx, "full");
+        }
+    }
+}
+
+/// Dispatches the held wave (if any) to the workers, recording why it
+/// flushed and how full it was. A wave of one is dispatched as a plain
+/// single job — the batch machinery only engages for two lanes or more.
+fn flush_held(
+    shared: &Arc<Shared>,
+    held: &mut Vec<QueuedJob>,
+    key: &mut Option<(usize, u32)>,
+    flush_at: &mut Option<Instant>,
+    work_tx: &SyncSender<Work>,
+    cause: &str,
+) {
+    *key = None;
+    *flush_at = None;
+    if held.is_empty() {
+        return;
+    }
+    let wave = std::mem::take(held);
+    shared.batch_pending.store(0, Ordering::Release);
+    {
+        let mut m = lock(&shared.metrics);
+        m.inc("serve.batch.flushed", 1);
+        m.inc(&format!("serve.batch.{cause}_flush"), 1);
+        m.observe("serve.batch.occupancy", wave.len() as u64);
+        if wave.len() >= 2 {
+            m.inc("serve.batch.jobs", wave.len() as u64);
+        }
+    }
+    let work = if wave.len() == 1 {
+        let job = wave.into_iter().next().expect("wave has one job");
+        Work::Single(job)
+    } else {
+        Work::Batch(wave)
+    };
+    let _ = work_tx.send(work);
+}
+
+/// Executes a coalesced wave: per-lane queued gates, one
+/// [`BatchSession`] solve on the routed backend with each job's budget
+/// and cancel token as its lane limit, then per-lane error mapping
+/// identical to the solo path. A corrupted lane (or a whole-wave
+/// machine failure) falls back to [`run_job`] so the retry/breaker
+/// machinery treats it exactly like a solo corruption.
+fn run_batch(ctx: &WorkerCtx, jobs: Vec<QueuedJob>, rng: &mut SmallRng) -> Vec<JobReport> {
+    let shared = &ctx.shared;
+    let config = &shared.config;
+    let total = jobs.len();
+    let mut slots: Vec<Option<QueuedJob>> = jobs.into_iter().map(Some).collect();
+    let mut reports: Vec<Option<JobReport>> = (0..total).map(|_| None).collect();
+
+    // Queued gates, per lane: client cancels and queue expiry resolve a
+    // lane before any machine is built — identically to the solo path.
+    let mut live: Vec<usize> = Vec::new();
+    for i in 0..total {
+        let job = slots[i].as_ref().expect("unresolved slot");
+        let deadline = job.spec.deadline.or(config.default_deadline);
+        if job.token.is_cancelled() && lock(&shared.client_cancelled).contains(&job.id) {
+            let job = slots[i].take().expect("unresolved slot");
+            reports[i] = Some(finish(
+                ctx,
+                &job,
+                Err(ServeError::Cancelled),
+                0,
+                None,
+                false,
+                None,
+            ));
+            continue;
+        }
+        let waited = job.submitted.elapsed();
+        if let Some(d) = deadline {
+            if waited >= d {
+                let job = slots[i].take().expect("unresolved slot");
+                let mut m = lock(&shared.metrics);
+                m.inc("serve.failed", 1);
+                m.inc("serve.deadline_exceeded", 1);
+                m.inc("serve.expired_in_queue", 1);
+                m.observe("serve.latency_us", waited.as_micros() as u64);
+                drop(m);
+                reports[i] = Some(JobReport {
+                    id: job.id,
+                    outcome: Err(ServeError::DeadlineExpiredInQueue { waited }),
+                    attempts: 0,
+                    backend: None,
+                    latency: waited,
+                });
+                continue;
+            }
+            let _ = ctx.watchdog_tx.send((job.submitted + d, job.token.clone()));
+        }
+        live.push(i);
+    }
+
+    if !live.is_empty() {
+        let backend = route_backend(ctx);
+        let graphs: Vec<WeightMatrix> = live
+            .iter()
+            .map(|&i| slots[i].as_ref().expect("live slot").spec.graph.clone())
+            .collect();
+        let dests: Vec<usize> = live
+            .iter()
+            .map(|&i| match slots[i].as_ref().expect("live slot").spec.kind {
+                JobKind::Shortest { dest } => dest,
+                _ => unreachable!("the coalescer only batches shortest jobs"),
+            })
+            .collect();
+        let limits: Vec<LaneLimit> = live
+            .iter()
+            .map(|&i| {
+                let job = slots[i].as_ref().expect("live slot");
+                LaneLimit {
+                    step_budget: job.spec.step_budget.or(config.default_step_budget),
+                    cancel: Some(job.token.clone()),
+                }
+            })
+            .collect();
+        let wave = match backend {
+            BackendChoice::Packed => BatchSession::new_packed(&graphs)
+                .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
+            BackendChoice::Threaded => BatchSession::new_threaded(&graphs, config.threads.max(1))
+                .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
+            BackendChoice::Scalar => {
+                BatchSession::new(&graphs).and_then(|mut b| b.solve_verified_with(&dests, &limits))
+            }
+        };
+        match wave {
+            Err(_whole_wave) => {
+                // A machine-global failure takes down every lane at once;
+                // rather than inventing per-lane results, each job re-runs
+                // on the solo path with its full retry/breaker treatment.
+                if backend.is_fast() && lock(&shared.breaker).record_failure() {
+                    lock(&shared.metrics).inc("serve.breaker.trips", 1);
+                }
+                lock(&shared.metrics).inc("serve.batch.fallback_single", live.len() as u64);
+                for &i in &live {
+                    let job = slots[i].take().expect("live slot");
+                    reports[i] = Some(run_job(ctx, job, rng));
+                }
+            }
+            Ok(wave) => {
+                let mut fast_success = false;
+                for (&i, lane) in live.iter().zip(wave) {
+                    let job = slots[i].take().expect("live slot");
+                    let report = match lane {
+                        Ok(out) => {
+                            fast_success = true;
+                            finish(
+                                ctx,
+                                &job,
+                                Ok(JobOutcome::Shortest(out)),
+                                1,
+                                Some(backend),
+                                false,
+                                None,
+                            )
+                        }
+                        Err(e) if e.is_cancelled() => {
+                            let cause = if lock(&shared.client_cancelled).contains(&job.id) {
+                                ServeError::Cancelled
+                            } else {
+                                ServeError::DeadlineExceeded
+                            };
+                            finish(ctx, &job, Err(cause), 1, Some(backend), false, None)
+                        }
+                        Err(e) if e.is_step_budget_exhausted() => {
+                            let budget = job.spec.step_budget.or(config.default_step_budget);
+                            finish(
+                                ctx,
+                                &job,
+                                Err(ServeError::StepBudgetExhausted {
+                                    budget: budget.unwrap_or_default(),
+                                }),
+                                1,
+                                Some(backend),
+                                false,
+                                None,
+                            )
+                        }
+                        Err(e) if e.indicates_corruption() => {
+                            if backend.is_fast() && lock(&shared.breaker).record_failure() {
+                                lock(&shared.metrics).inc("serve.breaker.trips", 1);
+                            }
+                            lock(&shared.metrics).inc("serve.batch.fallback_single", 1);
+                            run_job(ctx, job, rng)
+                        }
+                        Err(e) => finish(
+                            ctx,
+                            &job,
+                            Err(ServeError::Solver(e)),
+                            1,
+                            Some(backend),
+                            false,
+                            None,
+                        ),
+                    };
+                    reports[i] = Some(report);
+                }
+                if fast_success && backend.is_fast() {
+                    lock(&shared.breaker).record_success();
+                }
+            }
+        }
+    }
+    reports
+        .into_iter()
+        .map(|r| r.expect("every lane resolves to a report"))
+        .collect()
 }
 
 fn supervisor_loop(
@@ -642,40 +1112,64 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
     let word_bits = mcp::fit_word_bits(&job.spec.graph).clamp(2, 62);
     let n = job.spec.graph.n();
 
+    // With batching enabled, an APSP campaign retires destinations in
+    // wavefronts of up to `max_lanes` per batched solve. Fault-injected
+    // campaigns stay on the solo path: transient faults on a wide
+    // machine would not reproduce the solo fault pattern.
+    let apsp_lanes = match &job.spec.kind {
+        JobKind::Apsp { .. } if config.batching.enabled && job.spec.transient_faults.is_none() => {
+            Some(config.batching.max_lanes.clamp(1, 64).min(n.max(1)))
+        }
+        _ => None,
+    };
+
     let mut attempts = 0u32;
     let mut backend;
     let outcome = loop {
         attempts += 1;
         backend = route_backend(ctx);
-        let result = match backend {
-            BackendChoice::Packed => attempt_on(
-                Ppa::<PackedBackend>::packed(n).with_word_bits(word_bits),
+        let result = if let Some(lanes) = apsp_lanes {
+            attempt_apsp_batched(
+                backend,
                 &job.spec,
                 &token,
                 budget,
-                attempts,
+                lanes,
                 &mut last_flush,
                 &shared.metrics,
-            ),
-            BackendChoice::Threaded => attempt_on(
-                Ppa::<ThreadedBackend>::threaded(n, config.threads.max(1))
-                    .with_word_bits(word_bits),
-                &job.spec,
-                &token,
-                budget,
-                attempts,
-                &mut last_flush,
-                &shared.metrics,
-            ),
-            BackendChoice::Scalar => attempt_on(
-                Ppa::square(n).with_word_bits(word_bits),
-                &job.spec,
-                &token,
-                budget,
-                attempts,
-                &mut last_flush,
-                &shared.metrics,
-            ),
+                config.threads.max(1),
+            )
+        } else {
+            match backend {
+                BackendChoice::Packed => attempt_on(
+                    Ppa::<PackedBackend>::packed(n).with_word_bits(word_bits),
+                    &job.spec,
+                    &token,
+                    budget,
+                    attempts,
+                    &mut last_flush,
+                    &shared.metrics,
+                ),
+                BackendChoice::Threaded => attempt_on(
+                    Ppa::<ThreadedBackend>::threaded(n, config.threads.max(1))
+                        .with_word_bits(word_bits),
+                    &job.spec,
+                    &token,
+                    budget,
+                    attempts,
+                    &mut last_flush,
+                    &shared.metrics,
+                ),
+                BackendChoice::Scalar => attempt_on(
+                    Ppa::square(n).with_word_bits(word_bits),
+                    &job.spec,
+                    &token,
+                    budget,
+                    attempts,
+                    &mut last_flush,
+                    &shared.metrics,
+                ),
+            }
         };
         match result {
             Ok(out) => {
@@ -958,6 +1452,102 @@ fn attempt_on<E: Executor>(
         }
         JobKind::Chaos => unreachable!("chaos jobs panic before the attempt loop"),
     }
+}
+
+/// One batched APSP attempt: the campaign's destinations are retired in
+/// wavefronts of `lanes` per [`BatchSession`] solve instead of one at a
+/// time. Checkpoints are recorded in destination order and flushed at
+/// exactly the same destination boundaries as the solo campaign, so an
+/// interrupted-and-resumed batched campaign produces a byte-identical
+/// final checkpoint (outputs per destination are bit-identical anyway).
+#[allow(clippy::too_many_arguments)]
+fn attempt_apsp_batched(
+    backend: BackendChoice,
+    spec: &JobSpec,
+    token: &CancelToken,
+    budget: Option<u64>,
+    lanes: usize,
+    last_flush: &mut Option<Json>,
+    metrics: &Mutex<Metrics>,
+    threads: usize,
+) -> Result<JobOutcome, McpError> {
+    let graphs = replicate(&spec.graph, lanes);
+    match backend {
+        BackendChoice::Packed => drive_apsp_batch(
+            BatchSession::new_packed(&graphs)?,
+            spec,
+            token,
+            budget,
+            last_flush,
+            metrics,
+        ),
+        BackendChoice::Threaded => drive_apsp_batch(
+            BatchSession::new_threaded(&graphs, threads)?,
+            spec,
+            token,
+            budget,
+            last_flush,
+            metrics,
+        ),
+        BackendChoice::Scalar => drive_apsp_batch(
+            BatchSession::new(&graphs)?,
+            spec,
+            token,
+            budget,
+            last_flush,
+            metrics,
+        ),
+    }
+}
+
+fn drive_apsp_batch<E: Executor>(
+    mut batch: BatchSession<E>,
+    spec: &JobSpec,
+    token: &CancelToken,
+    budget: Option<u64>,
+    last_flush: &mut Option<Json>,
+    metrics: &Mutex<Metrics>,
+) -> Result<JobOutcome, McpError> {
+    // The campaign is one job: deadline/cancel and the step budget apply
+    // machine-wide, exactly like the solo campaign's session machine.
+    batch.ppa_mut().attach_cancel(token.clone());
+    if let Some(b) = budget {
+        batch.ppa_mut().limit_steps(b);
+    }
+    let every = match &spec.kind {
+        JobKind::Apsp {
+            checkpoint_every, ..
+        } => (*checkpoint_every).max(1),
+        _ => unreachable!("batched campaigns are APSP jobs"),
+    };
+    let n = spec.graph.n();
+    let lanes = batch.lanes();
+    let mut cp = match last_flush.as_ref() {
+        Some(doc) => {
+            ApspCheckpoint::from_json(doc).expect("a flushed checkpoint always round-trips")
+        }
+        None => ApspCheckpoint::new(n),
+    };
+    while !cp.is_complete() {
+        let start = cp.next_dest();
+        // Ragged final wave: padding lanes re-solve `n - 1` and are
+        // discarded, mirroring `BatchSession::all_pairs`.
+        let dests: Vec<usize> = (0..lanes).map(|l| (start + l).min(n - 1)).collect();
+        let wave = batch.solve_verified(&dests)?;
+        for (l, out) in wave.into_iter().enumerate() {
+            if start + l >= n {
+                break;
+            }
+            cp.record(&out?);
+            if cp.next_dest() % every == 0 {
+                *last_flush = Some(cp.to_json());
+                lock(metrics).inc("serve.checkpoints", 1);
+            }
+        }
+    }
+    let doc = cp.to_json();
+    *last_flush = Some(doc.clone());
+    Ok(JobOutcome::Apsp(doc))
 }
 
 #[cfg(test)]

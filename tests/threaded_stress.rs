@@ -159,7 +159,11 @@ fn threaded_session_matches_scalar_all_pairs() {
             .unwrap()
             .all_pairs()
             .unwrap();
-        assert_eq!(scalar.matrix(), threaded.matrix(), "threads={threads}");
+        assert_eq!(
+            scalar.matrix_flat(),
+            threaded.matrix_flat(),
+            "threads={threads}"
+        );
         assert_eq!(
             scalar.total_iterations(),
             threaded.total_iterations(),
