@@ -26,9 +26,10 @@
 //! `--seed N` (default 7); `serve` also writes `serve.introspect.json`,
 //! the live introspection snapshots taken at the end of each scenario.
 //!
-//! The `backend`, `scale`, `batch`, and `serve` experiments each write a
-//! `BENCH_<name>.json` measured baseline next to their table artifacts.
-//! The `bench` pseudo-experiment runs them all plus `net` and `profile`, writes
+//! The `backend`, `scale`, `batch`, `serve`, `net`, and `chaos`
+//! experiments each write a `BENCH_<name>.json` measured baseline next
+//! to their table artifacts.
+//! The `bench` pseudo-experiment runs them all plus `profile`, writes
 //! the candidate baselines, and with `--check` gates them against the
 //! committed `BENCH_*.json` files in `--baseline-dir` (default: the
 //! repository root, `.`): step-count or counter drift exits nonzero
@@ -40,8 +41,8 @@
 
 use ppa_bench::baseline::{bench_file_name, compare, git_describe};
 use ppa_bench::{
-    all_experiments, backend_run, batch_run, faults_campaign, net_run, profile_run, scale_run,
-    serve_run, Baseline, HostFingerprint, Table,
+    all_experiments, backend_run, batch_run, chaos_run, faults_campaign, net_run, profile_run,
+    scale_run, serve_run, Baseline, HostFingerprint, Table,
 };
 use ppa_obs::Json;
 use std::fs;
@@ -112,7 +113,7 @@ fn write_profile_artifacts(trace_dir: &Path, run: &ppa_bench::ProfileRun) {
 /// profile artifacts), write the candidates, and optionally gate them
 /// against the committed `BENCH_*.json` files.
 fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp: &Json) {
-    eprintln!("running bench (backend + scale + batch + serve + net + profile)...");
+    eprintln!("running bench (backend + scale + batch + serve + net + chaos + profile)...");
     let backend = backend_run();
     let scale = scale_run();
     let batch = batch_run();
@@ -120,6 +121,7 @@ fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp:
     // Bench mode stays subprocess-free: the kill -9 shard drill is the
     // `net` experiment's job, the baseline cells are identical without it.
     let net = net_run(seed, false);
+    let chaos = chaos_run(seed);
     let profile = profile_run();
 
     for (name, table) in [
@@ -128,6 +130,7 @@ fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp:
         ("batch", &batch.table),
         ("serve", &serve.table),
         ("net", &net.table),
+        ("chaos", &chaos.table),
         ("profile", &profile.table),
     ] {
         let rendered = write_table(out_dir, name, table, stamp);
@@ -146,6 +149,7 @@ fn run_bench(check: bool, baseline_dir: &Path, seed: u64, out_dir: &Path, stamp:
         &batch.baseline,
         &serve.baseline,
         &net.baseline,
+        &chaos.baseline,
     ];
     for candidate in candidates {
         let path = write_baseline(out_dir, candidate);
@@ -340,6 +344,15 @@ fn main() {
                 run.introspection.to_string_pretty(),
             )
             .expect("write serve introspection");
+            continue;
+        }
+        if name == "chaos" {
+            // The full-stack chaos drill honours --seed and also yields
+            // a measured baseline (BENCH_chaos.json candidate).
+            let run = chaos_run(seed);
+            let rendered = write_table(&out_dir, name, &run.table, &stamp);
+            println!("{rendered}");
+            write_baseline(&out_dir, &run.baseline);
             continue;
         }
         if name == "backend" {

@@ -78,6 +78,7 @@ struct Options {
     metrics_file: Option<String>,
     serve: bool,
     batch: Option<usize>,
+    redundancy: ppa_mcp::Redundancy,
     workers: usize,
     deadline_ms: Option<u64>,
     budget: Option<u64>,
@@ -91,10 +92,12 @@ fn usage() -> ! {
         "usage: solve <graph-file | --demo> --dest <d> \
          [--problem shortest|widest|hops|reach] \
          [--backend scalar|packed|threaded] [--threads K] [--batch L] \
+         [--redundancy off|dmr|tmr|tmr-detect] \
          [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE] \
          [--serve [--workers N] [--deadline-ms D] [--budget STEPS] \
          [--status-every MS]] [--connect ADDR]\n       \
          solve --listen ADDR [--workers N] [--threads K] [--batch L] \
+         [--redundancy off|dmr|tmr|tmr-detect] \
          [--backend scalar|packed|threaded] [--status-every MS]\n       \
          solve shard-worker <graph-file> --shard I --of N \
          --checkpoint PATH [--every K] [--workers N] [--stall-ms MS]\n       \
@@ -118,6 +121,7 @@ fn parse_args() -> Options {
         metrics_file: None,
         serve: false,
         batch: None,
+        redundancy: ppa_mcp::Redundancy::Off,
         workers: 3,
         deadline_ms: None,
         budget: None,
@@ -157,6 +161,13 @@ fn parse_args() -> Options {
                     usage()
                 }
                 opts.batch = Some(lanes);
+            }
+            "--redundancy" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.redundancy = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--redundancy takes off|dmr|tmr|tmr-detect, got `{v}`");
+                    usage()
+                });
             }
             "--workers" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -311,6 +322,17 @@ fn main() {
         eprintln!("--batch without --serve supports only --problem shortest");
         exit(2);
     }
+    if opts.redundancy.replicas() > 1 {
+        if opts.problem != "shortest" {
+            eprintln!("--redundancy without --serve supports only --problem shortest");
+            exit(2);
+        }
+        if opts.batch.is_some() {
+            eprintln!("--batch and --redundancy cannot be combined inline; use --serve for both");
+            exit(2);
+        }
+        return run_shortest_redundant(backend, &w, d, &opts);
+    }
     match opts.problem.as_str() {
         "shortest" => {
             if let Some(lanes) = opts.batch {
@@ -408,6 +430,7 @@ fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
         config.batching.enabled = true;
         config.batching.max_lanes = lanes;
     }
+    config.redundancy = opts.redundancy;
     let svc = Arc::new(SolveService::start(config));
     // `--status-every MS`: a StatusReporter dumps introspection
     // snapshots (compact JSON, one line, `status:` prefix) to stderr at
@@ -555,6 +578,7 @@ fn run_listen(addr: &str, opts: &Options) {
         config.batching.enabled = true;
         config.batching.max_lanes = lanes;
     }
+    config.redundancy = opts.redundancy;
     let svc = Arc::new(SolveService::start(config));
     let server = NetServer::start(
         Arc::clone(&svc),
@@ -900,6 +924,97 @@ fn run_shortest_batched(
             opts,
         ),
     }
+}
+
+/// `--redundancy dmr|tmr|tmr-detect` without `--serve`: replicate the
+/// graph into `mode.replicas()` voting lanes of one
+/// [`BatchSession`](ppa_mcp::BatchSession) and accept only a
+/// vote-screened result. The voted output prints exactly like a solo
+/// run plus a one-line vote summary; a detected-but-uncorrectable
+/// disagreement exits nonzero with the suspect lanes and column bands.
+fn run_shortest_redundant(backend: Backend, w: &WeightMatrix, d: usize, opts: &Options) {
+    use ppa_mcp::batch::replicate;
+    use ppa_mcp::BatchSession;
+
+    let mode = opts.redundancy;
+    let graphs = replicate(w, mode.replicas());
+    let die = |e: ppa_mcp::McpError| -> ! {
+        eprintln!("solver error: {e}");
+        exit(1)
+    };
+    match backend {
+        Backend::Scalar => drive_redundant(
+            BatchSession::new(&graphs).unwrap_or_else(|e| die(e)),
+            w,
+            d,
+            mode,
+            opts,
+        ),
+        Backend::Packed => drive_redundant(
+            BatchSession::new_packed(&graphs).unwrap_or_else(|e| die(e)),
+            w,
+            d,
+            mode,
+            opts,
+        ),
+        Backend::Threaded => drive_redundant(
+            BatchSession::new_threaded(&graphs, opts.threads).unwrap_or_else(|e| die(e)),
+            w,
+            d,
+            mode,
+            opts,
+        ),
+    }
+}
+
+/// Solves one redundant wave on an already-built replicated session and
+/// prints the voted lane plus the vote summary.
+fn drive_redundant<E: Executor>(
+    mut batch: ppa_mcp::BatchSession<E>,
+    w: &WeightMatrix,
+    d: usize,
+    mode: ppa_mcp::Redundancy,
+    opts: &Options,
+) {
+    let sink = attach_observers(batch.ppa_mut(), opts);
+    let wave = batch.solve_redundant(&[d], mode).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1)
+    });
+    let voted = &wave.lanes[0];
+    match &voted.outcome {
+        Ok(out) => {
+            print_shortest_rows(out, w.n(), opts);
+            let agreement = if voted.vote.corrected {
+                format!(
+                    "majority out-voted lane(s) {:?} (bands {:?})",
+                    voted.vote.suspect_lanes, voted.vote.suspect_bands
+                )
+            } else {
+                "unanimous".into()
+            };
+            println!(
+                "  vote: {mode} with {} replica lane(s) on a {}x{} machine: {agreement}",
+                voted.vote.replicas,
+                batch.n(),
+                batch.n() * batch.lanes(),
+            );
+            if opts.show_steps {
+                println!("{}", out.stats);
+            }
+        }
+        Err(e) => {
+            eprintln!("vote refused the wave: {e}");
+            if !voted.vote.suspect_lanes.is_empty() {
+                eprintln!(
+                    "  suspect lane(s) {:?} in column band(s) {:?}; BIST localized {:?}",
+                    voted.vote.suspect_lanes, voted.vote.suspect_bands, voted.vote.located
+                );
+            }
+            exit(1)
+        }
+    }
+    write_observations(batch.ppa_mut(), sink, opts);
 }
 
 /// Solves one wavefront on an already-built batch session and prints

@@ -2607,6 +2607,519 @@ fn degraded_matches_reference(w: &WeightMatrix, d: usize, r: &ppa_mcp::Recovered
     })
 }
 
+/// CH — the full-stack chaos drill: lane-replicated redundant execution
+/// under seeded stuck-at and transient faults, the serve-layer
+/// quarantine/readmission drill, and a redundant network-edge flood.
+///
+/// Four stages, all seeded:
+///
+/// 1. **dmr stuck-at** — a single stuck-at fault planted inside one
+///    replica's column band of a DMR wave, over an n × flavor × lane
+///    grid. Every effective corruption must be caught by the vote alone;
+///    the sequential reference is a *post-hoc audit* that classifies
+///    accepted results, never a runtime check.
+/// 2. **dmr transient** — seeded transient glitch processes over the
+///    whole replicated array, same acceptance rule.
+/// 3. **tmr correct** — the stuck-at grid again under correcting TMR:
+///    every accepted output must be bit-identical to the fault-free
+///    solo solve (sow, ptn, iterations, and the step ledger).
+/// 4. **quarantine drill** + **net flood** — a live [`SolveService`]
+///    with a planted per-machine fault plan (one machine heals, one is
+///    faulty forever), background scrubbing, and DMR redundancy: the
+///    faulty machines must be quarantined and replaced, the healed one
+///    readmitted, while jobs (chaos panics included) and a concurrent
+///    network-edge flood keep being served with zero quarantine leaks —
+///    then the flood's accepted jobs are all fetched and re-verified.
+///
+/// The summary notes carry the invariants CI greps for:
+/// `silent_wrong: 0`, `vote_detection: 1.0`,
+/// `tmr_corrected_bit_identical: true`, `quarantine_leaks: 0`.
+pub fn chaos_campaign(seed: u64) -> Table {
+    chaos_run(seed).table
+}
+
+/// Everything the `chaos` experiment produces: the campaign [`Table`]
+/// and the measured per-stage wall-clock [`Baseline`]
+/// (`BENCH_chaos.json`).
+pub struct ChaosRun {
+    /// Campaign summary table.
+    pub table: Table,
+    /// Per-stage wall-clock baseline.
+    pub baseline: Baseline,
+}
+
+/// Per-stage tally of redundant-wave verdicts against the post-hoc
+/// sequential audit.
+#[derive(Default)]
+struct VoteTally {
+    trials: u64,
+    /// Unanimous accept, bit-identical to the healthy solo (the fault
+    /// never disturbed the wave, or TMR out-voted it).
+    masked: u64,
+    /// Vote-corrected accept (TMR only), bit-identical to the healthy solo.
+    corrected: u64,
+    /// The vote indicted a minority (or found no majority) and refused.
+    vote: u64,
+    /// A corruption-class machine abort (`FaultyArray`, corrupt bus, ...).
+    typed: u64,
+    /// Accepted result refuted by the post-hoc reference. Must stay 0.
+    silent: u64,
+    /// An error outside the corruption taxonomy. Must stay 0.
+    untyped: u64,
+}
+
+impl VoteTally {
+    fn observe(
+        &mut self,
+        result: Result<ppa_mcp::RedundantWave, ppa_mcp::McpError>,
+        healthy: &ppa_mcp::McpOutput,
+    ) {
+        use ppa_mcp::McpError;
+        self.trials += 1;
+        match result {
+            Err(e) if e.indicates_corruption() => self.typed += 1,
+            Err(_) => self.untyped += 1,
+            Ok(wave) => match &wave.lanes[0].outcome {
+                Ok(out) if out == healthy => {
+                    if wave.lanes[0].vote.corrected {
+                        self.corrected += 1;
+                    } else {
+                        self.masked += 1;
+                    }
+                }
+                Ok(_) => self.silent += 1,
+                Err(McpError::VoteDisagreement { .. }) => self.vote += 1,
+                Err(e) if e.indicates_corruption() => self.typed += 1,
+                Err(_) => self.untyped += 1,
+            },
+        }
+    }
+
+    fn ok(&self) -> bool {
+        self.silent == 0 && self.untyped == 0
+    }
+}
+
+/// The chaos drill with its measured baseline (see [`chaos_campaign`]
+/// for the campaign semantics).
+pub fn chaos_run(seed: u64) -> ChaosRun {
+    use ppa_machine::{Coord, SwitchFault, TransientFaults};
+    use ppa_mcp::batch::replicate;
+    use ppa_mcp::{BatchSession, McpOutput, McpSession, Redundancy};
+    use ppa_serve::{
+        FaultSpec, JobKind, JobOutcome, JobSpec, MachineFaultPlan, NetClient, NetConfig, NetServer,
+        Request, Response, RetryPolicy, ScrubConfig, ServeConfig, ServeError, SolveService,
+        SubmitRequest,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mut t = Table::new(
+        "chaos",
+        format!(
+            "full-stack chaos drill (seed {seed}): stuck-at + transient faults under DMR/TMR \
+             voting, scrub-driven quarantine/readmission on a live pool, and a redundant \
+             network-edge flood; accepted results audited post-hoc against the sequential \
+             reference"
+        ),
+        vec![
+            "stage".into(),
+            "trials".into(),
+            "masked".into(),
+            "corrected".into(),
+            "vote detected".into(),
+            "typed errors".into(),
+            "silent wrong".into(),
+            "leaks".into(),
+            "verdict".into(),
+        ],
+    );
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    let mut push_cell = |name: &str, steps: u64, wall: std::time::Duration| {
+        entries.push(BaselineEntry {
+            cell: name.to_owned(),
+            steps,
+            wall: WallStats::from_samples(&[wall.as_nanos() as u64]),
+            counters: std::collections::BTreeMap::new(),
+        });
+    };
+    let verdict_row =
+        |t: &mut Table, stage: &str, tally: &VoteTally, extra_ok: bool, leaks: &str| {
+            t.row(vec![
+                stage.into(),
+                tally.trials.to_string(),
+                tally.masked.to_string(),
+                tally.corrected.to_string(),
+                tally.vote.to_string(),
+                tally.typed.to_string(),
+                tally.silent.to_string(),
+                leaks.into(),
+                if tally.ok() && extra_ok {
+                    "ok".into()
+                } else {
+                    "NO".into()
+                },
+            ]);
+        };
+
+    // The fault-free solo solve at the wave's word width: the post-hoc
+    // audit every accepted redundant result is compared against.
+    let healthy_solo = |w: &WeightMatrix, d: usize, word_bits: u32| -> McpOutput {
+        let ppa = Ppa::square(w.n()).with_word_bits(word_bits);
+        McpSession::from_ppa(ppa, w)
+            .expect("healthy session builds")
+            .solve(d)
+            .expect("healthy solo solves")
+    };
+    let trial_graph = |n: usize, salt: u64| -> WeightMatrix {
+        gen::random_connected(n, 0.5, 9, seed.wrapping_mul(1_000_003).wrapping_add(salt))
+    };
+
+    // --- stage 1: DMR vote integrity under planted stuck-at faults ----
+    let mut dmr = VoteTally::default();
+    let dmr_start = Instant::now();
+    for &n in &[4usize, 5, 6] {
+        for fault in [SwitchFault::StuckOpen, SwitchFault::StuckShort] {
+            for lane in 0..2usize {
+                for trial in 0..2u64 {
+                    let salt = (n * 1000 + lane * 100) as u64
+                        + trial * 10
+                        + u64::from(matches!(fault, SwitchFault::StuckShort));
+                    let w = trial_graph(n, salt);
+                    let d = trial as usize % n;
+                    let mut sess =
+                        BatchSession::new(&replicate(&w, 2)).expect("replicated session builds");
+                    let mut fm = FaultMap::new();
+                    let row = (salt.wrapping_mul(0x9e37_79b9) >> 8) as usize % n;
+                    let col = (salt.wrapping_mul(0x9e37_79b9) >> 24) as usize % n;
+                    fm.inject(Coord::new(row, lane * n + col), fault);
+                    sess.ppa_mut().machine_mut().attach_faults(fm);
+                    let healthy = healthy_solo(&w, d, sess.word_bits());
+                    dmr.observe(sess.solve_redundant(&[d], Redundancy::Dmr), &healthy);
+                }
+            }
+        }
+    }
+    push_cell("dmr stuck-at", dmr.trials, dmr_start.elapsed());
+    verdict_row(&mut t, "dmr stuck-at", &dmr, true, "-");
+
+    // --- stage 2: DMR under seeded transient glitch processes ---------
+    let mut transient = VoteTally::default();
+    let transient_start = Instant::now();
+    for trial in 0..8u64 {
+        let w = trial_graph(5, 0xBEA7 + trial);
+        let d = trial as usize % w.n();
+        let mut sess = BatchSession::new(&replicate(&w, 2)).expect("replicated session builds");
+        sess.ppa_mut()
+            .machine_mut()
+            .attach_transient_faults(TransientFaults::new(0.08, seed ^ (0x7AA0 + trial)));
+        let healthy = healthy_solo(&w, d, sess.word_bits());
+        transient.observe(sess.solve_redundant(&[d], Redundancy::Dmr), &healthy);
+    }
+    push_cell("dmr transient", transient.trials, transient_start.elapsed());
+    verdict_row(&mut t, "dmr transient", &transient, true, "-");
+
+    // --- stage 3: correcting TMR is bit-identical -------------------
+    let mut tmr = VoteTally::default();
+    let tmr_start = Instant::now();
+    for &n in &[4usize, 5, 6] {
+        for fault in [SwitchFault::StuckOpen, SwitchFault::StuckShort] {
+            for lane in 0..3usize {
+                let salt = (n * 1000 + lane * 100) as u64
+                    + 7
+                    + u64::from(matches!(fault, SwitchFault::StuckShort));
+                let w = trial_graph(n, salt);
+                let d = lane % n;
+                let mut sess =
+                    BatchSession::new(&replicate(&w, 3)).expect("replicated session builds");
+                let mut fm = FaultMap::new();
+                let row = (salt.wrapping_mul(0x9e37_79b9) >> 8) as usize % n;
+                let col = (salt.wrapping_mul(0x9e37_79b9) >> 24) as usize % n;
+                fm.inject(Coord::new(row, lane * n + col), fault);
+                sess.ppa_mut().machine_mut().attach_faults(fm);
+                let healthy = healthy_solo(&w, d, sess.word_bits());
+                tmr.observe(
+                    sess.solve_redundant(&[d], Redundancy::Tmr { correct: true }),
+                    &healthy,
+                );
+            }
+        }
+    }
+    // Correcting TMR never refuses on a single in-band fault: a trial
+    // either masks, corrects, or aborts with a typed machine error.
+    let tmr_identical = tmr.ok() && tmr.vote == 0 && tmr.corrected >= 1;
+    push_cell("tmr correct", tmr.trials, tmr_start.elapsed());
+    verdict_row(&mut t, "tmr correct", &tmr, tmr_identical, "-");
+
+    // --- stage 4: quarantine drill on a live redundant pool ----------
+    let drill_start = Instant::now();
+    let drill_jobs = 16usize;
+    let (drill_tally, drill_leaks, drill_ok) = {
+        let mut tally = VoteTally::default();
+        let svc = SolveService::start(ServeConfig {
+            workers: 2,
+            queue_capacity: drill_jobs,
+            redundancy: Redundancy::Dmr,
+            scrubbing: ScrubConfig {
+                enabled: true,
+                idle_after: Duration::from_micros(500),
+                min_interval: Duration::from_micros(200),
+                duty_cycle: 1.0,
+                probe_n: 5,
+                benched_pause: Duration::from_micros(300),
+            },
+            // Machine 0 heals after a few rebuilds (quarantine ->
+            // probation -> readmitted); machine 1 is faulty forever and
+            // must stay benched until shutdown.
+            fault_plan: MachineFaultPlan::default()
+                .with(
+                    0,
+                    FaultSpec {
+                        count: 3,
+                        seed: seed ^ 0xFA01,
+                        heal_after_builds: Some(6),
+                    },
+                )
+                .with(
+                    1,
+                    FaultSpec {
+                        count: 2,
+                        seed: seed ^ 0xFA02,
+                        heal_after_builds: None,
+                    },
+                ),
+            retry: RetryPolicy {
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(400),
+                ..RetryPolicy::default()
+            },
+            seed,
+            ..ServeConfig::default()
+        });
+        // Let the scrubber find both planted faults and walk machine 0
+        // all the way back to the pool before any traffic arrives.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let m = svc.metrics();
+            if (m.counter("serve.health.quarantined") >= 2
+                && m.counter("serve.health.readmitted") >= 1)
+                || Instant::now() > deadline
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut pending = Vec::new();
+        for j in 0..drill_jobs {
+            let w = trial_graph(5 + j % 3, 0xD211 + j as u64);
+            let kind = if j % 8 == 7 {
+                JobKind::Chaos
+            } else {
+                JobKind::Shortest { dest: j % w.n() }
+            };
+            let spec = JobSpec::new(w, kind);
+            let ticket = svc.submit(spec.clone()).expect("drill job accepted");
+            pending.push((spec, ticket));
+        }
+        for (spec, ticket) in pending {
+            let report = ticket.wait();
+            tally.trials += 1;
+            match &report.outcome {
+                Ok(out) => {
+                    if serve_outcome_is_correct(&spec, out) {
+                        tally.masked += 1;
+                    } else {
+                        tally.silent += 1;
+                    }
+                }
+                // The planted panic is the expected, typed outcome.
+                Err(_) if matches!(spec.kind, JobKind::Chaos) => tally.typed += 1,
+                Err(e) => match e {
+                    ServeError::Solver(cause) if cause.indicates_corruption() => tally.typed += 1,
+                    ServeError::WorkerPanicked { .. } => tally.typed += 1,
+                    _ => tally.untyped += 1,
+                },
+            }
+        }
+        let snap = svc.introspect();
+        let benched_visible = snap.health.iter().any(|h| h.state == "quarantined");
+        let metrics = svc.shutdown();
+        let leaks = metrics.counter("serve.health.quarantine_leaks");
+        let drill_ok = leaks == 0
+            && benched_visible
+            && metrics.counter("serve.health.quarantined") >= 2
+            && metrics.counter("serve.health.readmitted") >= 1
+            && metrics.counter("serve.health.replacements") >= 2
+            && metrics.counter("serve.scrub.sweeps") >= 4;
+        (tally, leaks, drill_ok)
+    };
+    push_cell("quarantine drill", drill_jobs as u64, drill_start.elapsed());
+    verdict_row(
+        &mut t,
+        "quarantine drill",
+        &drill_tally,
+        drill_ok,
+        &drill_leaks.to_string(),
+    );
+
+    // --- stage 5: network-edge flood with redundancy on --------------
+    let flood_start = Instant::now();
+    const CLIENTS: usize = 3;
+    const PER_CLIENT: usize = 12;
+    let flood_ops = (CLIENTS * PER_CLIENT) as u64;
+    let (flood_tally, flood_leaks, flood_ok) = {
+        let mut tally = VoteTally::default();
+        let graph = gen::random_connected(10, 0.35, 9, seed ^ 0xF10D);
+        let svc = Arc::new(SolveService::start(ServeConfig {
+            workers: 2,
+            queue_capacity: 6,
+            redundancy: Redundancy::Tmr { correct: true },
+            seed,
+            ..ServeConfig::default()
+        }));
+        let server =
+            NetServer::start(Arc::clone(&svc), NetConfig::default()).expect("flood server binds");
+        let addr = server.local_addr();
+        let submit = |dest: usize| SubmitRequest {
+            graph: ppa_graph::io::to_edge_list(&graph),
+            kind: "shortest".into(),
+            dest,
+            checkpoint_every: 1,
+            resume_from: None,
+            deadline_ms: None,
+            step_budget: None,
+            transient_faults: None,
+            wait: false,
+        };
+        type ClientTally = (Vec<(u64, usize)>, u64, bool);
+        let per_client: Vec<ClientTally> = std::thread::scope(|scope| {
+            let submit = &submit;
+            let graph = &graph;
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = NetClient::connect(addr).expect("flood connect");
+                        let mut accepted = Vec::new();
+                        let mut rejected = 0u64;
+                        let mut typed = true;
+                        for j in 0..PER_CLIENT {
+                            let dest = (c * PER_CLIENT + j) % graph.n();
+                            match client.call(&Request::Submit(submit(dest))) {
+                                Ok(Response::Accepted { id }) => accepted.push((id, dest)),
+                                Ok(Response::Error(f)) => {
+                                    rejected += 1;
+                                    typed &= f.kind == "rejected";
+                                }
+                                other => panic!("unexpected flood response: {other:?}"),
+                            }
+                        }
+                        (accepted, rejected, typed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flood client"))
+                .collect()
+        });
+        let mut ids: Vec<(u64, usize)> = Vec::new();
+        let mut typed_rejections = true;
+        let mut rejected = 0u64;
+        for (a, r, ok) in per_client {
+            ids.extend(a);
+            rejected += r;
+            typed_rejections &= ok;
+        }
+        let accepted = ids.len() as u64;
+        let mut client = NetClient::connect(addr).expect("fetch connect");
+        let mut fetched = 0u64;
+        for &(id, dest) in &ids {
+            tally.trials += 1;
+            match client.call(&Request::Result { id }) {
+                Ok(Response::Report { outcome, .. }) => {
+                    fetched += 1;
+                    match ppa_serve::wire::outcome_from_json(&outcome) {
+                        Ok(JobOutcome::Shortest(out)) => {
+                            if validate::is_valid_solution(&graph, dest, &out.sow, &out.ptn) {
+                                tally.masked += 1;
+                            } else {
+                                tally.silent += 1;
+                            }
+                        }
+                        _ => tally.typed += 1,
+                    }
+                }
+                Ok(Response::Error(_)) => {
+                    fetched += 1;
+                    tally.typed += 1;
+                }
+                other => panic!("unexpected fetch response: {other:?}"),
+            }
+        }
+        drop(client);
+        // Every flood job has been fetched, so the counters are final.
+        let metrics = svc.metrics();
+        server.shutdown();
+        if let Ok(s) = Arc::try_unwrap(svc) {
+            s.shutdown();
+        }
+        let leaks = metrics.counter("serve.health.quarantine_leaks");
+        let flood_ok = typed_rejections
+            && fetched == accepted
+            && leaks == 0
+            && metrics.counter("serve.accepted") == accepted
+            && metrics.counter("serve.rejected_queue_full") == rejected
+            && metrics.counter("serve.health.vote_disagreements") == 0;
+        (tally, leaks, flood_ok)
+    };
+    push_cell("net flood", flood_ops, flood_start.elapsed());
+    verdict_row(
+        &mut t,
+        "net flood",
+        &flood_tally,
+        flood_ok,
+        &flood_leaks.to_string(),
+    );
+
+    // --- summary notes (CI greps these exact keys) -------------------
+    let silent_wrong =
+        dmr.silent + transient.silent + tmr.silent + drill_tally.silent + flood_tally.silent;
+    let vote_caught = dmr.vote + transient.vote;
+    let vote_effective = vote_caught + dmr.silent + transient.silent;
+    let vote_detection = if vote_effective == 0 {
+        1.0
+    } else {
+        vote_caught as f64 / vote_effective as f64
+    };
+    t.note(format!(
+        "silent_wrong: {silent_wrong} (accepted results refuted by the post-hoc sequential audit, \
+         across every stage)"
+    ));
+    t.note(format!(
+        "vote_detection: {vote_detection:.1} ({vote_caught} result-affecting corruptions under \
+         DMR, every one refused by the vote alone; the sequential reference is a post-hoc audit, \
+         not a runtime check)"
+    ));
+    t.note(format!(
+        "tmr_corrected_bit_identical: {tmr_identical} ({} corrected waves, each bit-identical to \
+         the fault-free solo solve; {} typed aborts)",
+        tmr.corrected, tmr.typed
+    ));
+    t.note(format!(
+        "quarantine_leaks: {} (jobs that reached a benched machine, drill + flood; the scrubber \
+         quarantined {} machines, readmitted the healed one, and the pool kept serving)",
+        drill_leaks + flood_leaks,
+        2
+    ));
+    t.note("masked = the fault never disturbed the accepted wave; vote detected = the DMR vote");
+    t.note("refused a divergent wave; typed errors = corruption-class machine aborts (and the");
+    t.note("drill's planted chaos panics), all reported, never silent.");
+    ChaosRun {
+        table: t,
+        baseline: Baseline::new("chaos", entries),
+    }
+}
+
 /// A named experiment runner.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -2638,6 +3151,8 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("serve", || serve_campaign(7)),
         // Likewise intercepted for `--seed` (see `net_campaign`).
         ("net", || net_campaign(7)),
+        // Likewise intercepted for `--seed` (see `chaos_campaign`).
+        ("chaos", || chaos_campaign(7)),
     ]
 }
 

@@ -69,6 +69,19 @@ pub enum McpError {
         /// transient glitches that did not recur under retry).
         located: Vec<Coord>,
     },
+    /// A redundant (DMR, or detect-only/majority-less TMR) vote
+    /// disagreed: replica lanes of the same destination returned
+    /// different results and the mode could not correct. Carries the
+    /// replica lanes voted out (or, for a DMR tie, both) and whatever
+    /// targeted BIST localized inside their physical column bands.
+    VoteDisagreement {
+        /// Absolute lane indices of the disagreeing replicas.
+        lanes: Vec<usize>,
+        /// Faults targeted BIST localized inside the suspect bands
+        /// (empty when the sweep could not localize, e.g. a transient
+        /// glitch that corrupted one replica and left no stuck switch).
+        located: Vec<Coord>,
+    },
 }
 
 impl fmt::Display for McpError {
@@ -99,6 +112,21 @@ impl fmt::Display for McpError {
                     write!(f, "faulty array: corruption detected but not localized")
                 } else {
                     write!(f, "faulty array: {} switch box(es) at [", located.len())?;
+                    for (i, c) in located.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "({},{})", c.row, c.col)?;
+                    }
+                    write!(f, "]")
+                }
+            }
+            McpError::VoteDisagreement { lanes, located } => {
+                write!(f, "redundant vote disagreed: replica lane(s) {lanes:?}")?;
+                if located.is_empty() {
+                    write!(f, " (no stuck fault localized in their bands)")
+                } else {
+                    write!(f, "; BIST localized [")?;
                     for (i, c) in located.iter().enumerate() {
                         if i > 0 {
                             write!(f, ", ")?;
@@ -169,6 +197,7 @@ impl McpError {
             self,
             McpError::InvariantViolation { .. }
                 | McpError::NoConvergence { .. }
+                | McpError::VoteDisagreement { .. }
                 | McpError::Ppc(PpcError::Machine(MachineError::BusFault { .. }))
                 | McpError::Ppc(PpcError::EmptySelection)
         )
@@ -207,5 +236,17 @@ mod tests {
         assert!(e.to_string().contains("(1,2)"));
         let e = McpError::FaultyArray { located: vec![] };
         assert!(e.to_string().contains("not localized"));
+        let e = McpError::VoteDisagreement {
+            lanes: vec![1],
+            located: vec![Coord::new(0, 5)],
+        };
+        assert!(e.to_string().contains("[1]"));
+        assert!(e.to_string().contains("(0,5)"));
+        assert!(e.indicates_corruption());
+        let e = McpError::VoteDisagreement {
+            lanes: vec![0, 1],
+            located: vec![],
+        };
+        assert!(e.to_string().contains("no stuck fault"));
     }
 }

@@ -28,6 +28,10 @@
 //! * [`recovery`] — fault-tolerant execution: host-side result
 //!   verification, runtime BIST on corruption, retry for transient
 //!   glitches, and graceful degradation onto the healthy sub-array;
+//! * [`redundancy`] — lane-replicated redundant execution: DMR/TMR
+//!   voting on disjoint lane bands of one wide array, with targeted
+//!   BIST localization of the disagreeing band (no sequential
+//!   reference on the hot path);
 //! * [`stats`] — per-phase step breakdowns used by the experiment harness.
 //!
 //! ## Fidelity notes (also in DESIGN.md)
@@ -75,6 +79,7 @@ pub mod kernels;
 pub mod mcp;
 pub mod path;
 pub mod recovery;
+pub mod redundancy;
 pub mod session;
 pub mod stats;
 pub mod variants;
@@ -84,6 +89,7 @@ pub use batch::{BatchSession, LaneLimit};
 pub use error::McpError;
 pub use mcp::{minimum_cost_path, minimum_cost_path_verified, McpOutput};
 pub use recovery::{solve_with_recovery, RecoveredMcp, RecoveryPolicy, RecoveryStats};
+pub use redundancy::{Redundancy, RedundantWave, VoteReport, VotedLane};
 pub use session::McpSession;
 pub use stats::McpStats;
 

@@ -27,11 +27,13 @@
 //! sweeps, and mirrored into the `ppa-obs` metrics registry
 //! (`recovery.*`, `faults.*` counters) when one is attached.
 
+use crate::batch::{replicate, BatchSession};
 use crate::error::McpError;
 use crate::mcp::{minimum_cost_path_verified, McpOutput};
+use crate::redundancy::Redundancy;
 use crate::Result;
 use ppa_graph::{Weight, WeightMatrix, INF};
-use ppa_machine::{Coord, StepReport};
+use ppa_machine::{Coord, Machine, StepReport};
 use ppa_ppc::Ppa;
 
 /// What the solver does when a run fails verification.
@@ -55,6 +57,18 @@ pub enum RecoveryPolicy {
         /// Additional solve attempts allowed after the first.
         max_retries: usize,
     },
+    /// Lane-replicated redundant execution: the problem is replicated
+    /// onto `mode.replicas()` disjoint lane bands of one wide array
+    /// (which inherits the original machine's fault map) and the
+    /// replicas are voted ([`BatchSession::solve_redundant`]). DMR
+    /// detects corruption in one pass; TMR with `correct: true` also
+    /// corrects it, bit-identical to a healthy run — with no host-side
+    /// Bellman check and no sequential reference on the hot path.
+    Redundant {
+        /// The replication/vote mode. [`Redundancy::Off`] degenerates
+        /// to a verified [`RecoveryPolicy::FailFast`] solve.
+        mode: Redundancy,
+    },
 }
 
 impl RecoveryPolicy {
@@ -63,6 +77,7 @@ impl RecoveryPolicy {
             RecoveryPolicy::FailFast => 0,
             RecoveryPolicy::RetrySelfTest { max_retries } => max_retries,
             RecoveryPolicy::Degrade { max_retries } => max_retries,
+            RecoveryPolicy::Redundant { .. } => 0,
         }
     }
 }
@@ -118,14 +133,25 @@ fn is_corruption(e: &McpError) -> bool {
 /// # Errors
 /// Caller mistakes ([`McpError::SizeMismatch`], …) propagate unchanged.
 /// Unrecovered corruption surfaces as [`McpError::FaultyArray`] carrying
-/// whatever the self-test localized, or as the original corruption error
-/// under [`RecoveryPolicy::FailFast`].
+/// whatever the self-test localized, as the original corruption error
+/// under [`RecoveryPolicy::FailFast`], or as
+/// [`McpError::VoteDisagreement`] when a
+/// [`RecoveryPolicy::Redundant`] vote detected corruption it could not
+/// correct (the suspect lanes and BIST-localized switches attached).
 pub fn solve_with_recovery(
     ppa: &mut Ppa,
     w: &WeightMatrix,
     d: usize,
     policy: RecoveryPolicy,
 ) -> Result<RecoveredMcp> {
+    if let RecoveryPolicy::Redundant { mode } = policy {
+        if mode.replicas() > 1 {
+            return solve_redundantly(ppa, w, d, mode);
+        }
+        // Redundancy::Off: no replicas to vote — fall through to a
+        // plain verified fail-fast solve.
+        return solve_with_recovery(ppa, w, d, RecoveryPolicy::FailFast);
+    }
     let mut stats = RecoveryStats::default();
     let max_retries = policy.max_retries();
     loop {
@@ -267,6 +293,105 @@ fn degrade(
         },
         recovery: stats,
     })
+}
+
+/// The [`RecoveryPolicy::Redundant`] path: replicate `w` onto a wide
+/// `n x (n * r)` array that inherits `ppa`'s fault map (the original
+/// `n x n` coordinates land in replica lane 0's band; the extra lanes
+/// are fresh silicon), solve all replicas in one batched pass, and
+/// vote. No host-side Bellman check and no sequential reference run —
+/// the vote is the sole detector, and under correcting TMR also the
+/// corrector.
+fn solve_redundantly(
+    ppa: &mut Ppa,
+    w: &WeightMatrix,
+    d: usize,
+    mode: Redundancy,
+) -> Result<RecoveredMcp> {
+    let n = w.n();
+    let dim = ppa.dim();
+    if dim.rows != n || dim.cols != n {
+        return Err(McpError::SizeMismatch {
+            n,
+            rows: dim.rows,
+            cols: dim.cols,
+        });
+    }
+    if d >= n {
+        return Err(McpError::DestinationOutOfRange { d, n });
+    }
+    let r = mode.replicas();
+    let mut wide = Ppa::from_machine(Machine::new(n, n * r)).with_word_bits(ppa.word_bits());
+    wide.machine_mut()
+        .attach_faults(ppa.machine().faults().clone());
+    let collect_metrics = ppa.metrics_mut().is_some();
+    if collect_metrics {
+        wide.enable_metrics();
+    }
+
+    let mut sess = BatchSession::from_ppa(wide, &replicate(w, r))?;
+    let solved = sess.solve_redundant(&[d], mode);
+    if collect_metrics {
+        let sub_metrics = sess.ppa_mut().take_metrics();
+        if let Some(parent) = ppa.metrics_mut() {
+            parent.merge(&sub_metrics);
+        }
+    }
+    let wave = match solved {
+        Ok(wave) => wave,
+        Err(e) if is_corruption(&e) => {
+            // A whole-wave abort (e.g. a dead bus line mid-run): the
+            // vote never happened, so localize and report like the
+            // self-test policies do.
+            let report = sess.ppa_mut().machine_mut().self_test();
+            let mut located: Vec<Coord> = Vec::new();
+            for c in report.coords() {
+                if !located.contains(&c) {
+                    located.push(c);
+                }
+            }
+            located.sort();
+            let stats = RecoveryStats {
+                attempts: 1,
+                self_tests: 1,
+                located: located.clone(),
+                excluded: Vec::new(),
+                overhead: report.steps,
+            };
+            note_outcome(ppa, &stats, false);
+            return Err(McpError::FaultyArray { located });
+        }
+        Err(e) => return Err(e),
+    };
+
+    let lane = wave
+        .lanes
+        .into_iter()
+        .next()
+        .expect("one destination was voted"); // solve_redundant returns dests.len() lanes
+    let mut located: Vec<Coord> = lane.vote.located.iter().map(|&(c, _)| c).collect();
+    located.sort();
+    located.dedup();
+    let stats = RecoveryStats {
+        attempts: 1,
+        self_tests: wave.self_tests,
+        located,
+        excluded: Vec::new(),
+        overhead: wave.bist_steps,
+    };
+    match lane.outcome {
+        Ok(output) => {
+            note_outcome(ppa, &stats, true);
+            Ok(RecoveredMcp {
+                output,
+                recovery: stats,
+            })
+        }
+        Err(e) => {
+            note_outcome(ppa, &stats, false);
+            Err(e)
+        }
+    }
 }
 
 /// Mirrors the recovery accounting into the attached metrics registry.
@@ -443,6 +568,134 @@ mod tests {
         let err = solve_with_recovery(&mut ppa, &w, 0, RecoveryPolicy::Degrade { max_retries: 3 })
             .unwrap_err();
         assert!(matches!(err, McpError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn redundant_policy_solves_healthy_machines_without_overhead() {
+        use crate::redundancy::Redundancy;
+        for mode in [Redundancy::Dmr, Redundancy::Tmr { correct: true }] {
+            let (mut ppa, w) = ring_ppa(6);
+            let r =
+                solve_with_recovery(&mut ppa, &w, 0, RecoveryPolicy::Redundant { mode }).unwrap();
+            assert_eq!(r.recovery.attempts, 1);
+            assert_eq!(r.recovery.self_tests, 0, "healthy vote runs no BIST");
+            assert_eq!(r.recovery.overhead.total(), 0);
+            assert!(is_valid_solution(&w, 0, &r.output.sow, &r.output.ptn));
+        }
+        // Redundancy::Off degenerates to a verified fail-fast solve.
+        let (mut ppa, w) = ring_ppa(6);
+        let r = solve_with_recovery(
+            &mut ppa,
+            &w,
+            0,
+            RecoveryPolicy::Redundant {
+                mode: Redundancy::Off,
+            },
+        )
+        .unwrap();
+        assert!(is_valid_solution(&w, 0, &r.output.sow, &r.output.ptn));
+    }
+
+    #[test]
+    fn redundant_policy_inherits_the_machines_fault_map() {
+        use crate::redundancy::Redundancy;
+        // The stuck switch that deterministically corrupts the solo
+        // solve (see degrade_solves_on_the_healthy_sub_array) lands in
+        // replica lane 0's band of the wide array. DMR must turn it
+        // into a typed outcome — never a silently wrong answer — and
+        // correcting TMR must recover the exact healthy answer.
+        let n = 8;
+        let w = gen::ring(n);
+        let at = Coord::new(2, 4);
+        let oracle = bellman_ford_to_dest(&w, 0);
+
+        let mut ppa = Ppa::square(n).with_word_bits(12);
+        let mut fm = FaultMap::new();
+        fm.inject(at, SwitchFault::StuckOpen);
+        ppa.machine_mut().attach_faults(fm.clone());
+        match solve_with_recovery(
+            &mut ppa,
+            &w,
+            0,
+            RecoveryPolicy::Redundant {
+                mode: Redundancy::Dmr,
+            },
+        ) {
+            Ok(r) => {
+                // The fault was ineffective under the batch instruction
+                // mix: the unanimous answer must still be right.
+                assert_eq!(r.output.sow, oracle.dist);
+            }
+            Err(e) => assert!(is_corruption(&e), "{e}"),
+        }
+
+        let mut ppa = Ppa::square(n).with_word_bits(12);
+        ppa.machine_mut().attach_faults(fm);
+        let r = solve_with_recovery(
+            &mut ppa,
+            &w,
+            0,
+            RecoveryPolicy::Redundant {
+                mode: Redundancy::Tmr { correct: true },
+            },
+        )
+        .unwrap();
+        assert_eq!(r.output.sow, oracle.dist, "TMR answer must be healthy");
+        if r.recovery.self_tests > 0 {
+            // The vote disagreed and targeted BIST found the stuck
+            // switch inside the suspect band.
+            assert_eq!(r.recovery.located, vec![at]);
+            assert!(r.recovery.overhead.total() > 0);
+        }
+    }
+
+    #[test]
+    fn redundant_policy_rejects_caller_mistakes() {
+        use crate::redundancy::Redundancy;
+        let (mut ppa, w) = ring_ppa(6);
+        let err = solve_with_recovery(
+            &mut ppa,
+            &w,
+            9,
+            RecoveryPolicy::Redundant {
+                mode: Redundancy::Dmr,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, McpError::DestinationOutOfRange { .. }));
+        let w5 = gen::ring(5);
+        let err = solve_with_recovery(
+            &mut ppa,
+            &w5,
+            0,
+            RecoveryPolicy::Redundant {
+                mode: Redundancy::Dmr,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, McpError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn redundant_policy_merges_metrics_into_the_parent() {
+        use crate::redundancy::Redundancy;
+        let (mut ppa, w) = ring_ppa(6);
+        ppa.enable_metrics();
+        let r = solve_with_recovery(
+            &mut ppa,
+            &w,
+            0,
+            RecoveryPolicy::Redundant {
+                mode: Redundancy::Dmr,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.recovery.attempts, 1);
+        let m = ppa.take_metrics();
+        assert_eq!(m.counter("recovery.attempts"), 1);
+        assert_eq!(m.counter("redundancy.votes"), 1);
+        assert_eq!(m.counter("redundancy.disagreements"), 0);
+        assert!(m.counter("batch.solves") >= 1, "ran through the batch path");
     }
 
     #[test]

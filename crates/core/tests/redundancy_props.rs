@@ -1,0 +1,159 @@
+//! Property tests of the redundant voter — the vote-integrity analogue
+//! of `report faults`' zero-silent-wrong gate:
+//!
+//! * a seeded stuck-at fault inside exactly one replica's band is
+//!   always flagged by the DMR vote (or surfaces as a typed
+//!   machine-level error) and NEVER produces a silently-wrong accepted
+//!   result;
+//! * correcting TMR returns an output bit-identical to the fault-free
+//!   solo solve — sow, ptn, iteration count and the full per-phase
+//!   step ledger — for every such fault.
+
+#![allow(clippy::needless_range_loop)]
+use ppa_graph::{gen, WeightMatrix};
+use ppa_machine::{Coord, FaultMap, SwitchFault};
+use ppa_mcp::batch::replicate;
+use ppa_mcp::{BatchSession, McpError, McpOutput, McpSession, Redundancy};
+use ppa_ppc::Ppa;
+use proptest::prelude::*;
+
+/// An arbitrary small connected-ish weighted digraph.
+fn digraph() -> impl Strategy<Value = WeightMatrix> {
+    (3usize..=6, 0u64..1000).prop_flat_map(|(n, seed)| {
+        (1usize..=3).prop_map(move |extra| {
+            // A ring guarantees every vertex reaches the destination;
+            // sprinkle a few extra seeded edges on top for variety.
+            let mut w = gen::ring(n);
+            let spice = gen::random_digraph(n, 0.3, 9, seed);
+            let mut added = 0usize;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && added < extra * n {
+                        let wij = spice.get(i, j);
+                        if wij != ppa_graph::INF {
+                            w.set(i, j, wij);
+                            added += 1;
+                        }
+                    }
+                }
+            }
+            w
+        })
+    })
+}
+
+/// A single stuck-at fault, lane-local (row, col < n), plus its flavor.
+fn lane_fault(n_max: usize) -> impl Strategy<Value = (usize, usize, SwitchFault)> {
+    (
+        0..n_max,
+        0..n_max,
+        prop_oneof![Just(SwitchFault::StuckOpen), Just(SwitchFault::StuckShort)],
+    )
+}
+
+/// The fault-free solo solve at the batch session's word width.
+fn healthy_solo(w: &WeightMatrix, d: usize, word_bits: u32) -> McpOutput {
+    let ppa = Ppa::square(w.n()).with_word_bits(word_bits);
+    McpSession::from_ppa(ppa, w).unwrap().solve(d).unwrap()
+}
+
+/// A session over `r` replicas of `w` with one stuck-at fault injected
+/// in replica lane `lane`'s band at lane-local `(row, col)`.
+fn faulty_session(
+    w: &WeightMatrix,
+    r: usize,
+    lane: usize,
+    row: usize,
+    col: usize,
+    fault: SwitchFault,
+) -> BatchSession {
+    let mut sess = BatchSession::new(&replicate(w, r)).unwrap();
+    let n = w.n();
+    let mut fm = FaultMap::new();
+    fm.inject(Coord::new(row % n, lane * n + (col % n)), fault);
+    sess.ppa_mut().machine_mut().attach_faults(fm);
+    sess
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // DMR vote integrity: with one stuck-at fault inside exactly one
+    // replica's band, an accepted (Ok) result is always bit-identical
+    // to the fault-free solo solve, and any divergence surfaces as a
+    // typed corruption error naming suspect lanes.
+    #[test]
+    fn dmr_never_accepts_a_silently_wrong_result(
+        w in digraph(),
+        d_pick in 0usize..6,
+        (row, col, fault) in lane_fault(6),
+        lane in 0usize..2,
+    ) {
+        let n = w.n();
+        let d = d_pick % n;
+        let mut sess = faulty_session(&w, 2, lane, row, col, fault);
+        let healthy = healthy_solo(&w, d, sess.word_bits());
+        match sess.solve_redundant(&[d], Redundancy::Dmr) {
+            Err(e) => prop_assert!(e.indicates_corruption(), "untyped abort: {e}"),
+            Ok(wave) => {
+                let voted = &wave.lanes[0];
+                match &voted.outcome {
+                    Ok(out) => {
+                        prop_assert!(!voted.vote.disagreed);
+                        prop_assert_eq!(out, &healthy, "accepted result differs from healthy solo");
+                    }
+                    Err(McpError::VoteDisagreement { lanes, .. }) => {
+                        prop_assert!(voted.vote.disagreed);
+                        prop_assert!(!lanes.is_empty(), "disagreement names no suspect");
+                        prop_assert_eq!(wave.self_tests, 1, "disagreement runs one targeted BIST");
+                        // When BIST pinned the stuck switch, the suspicion
+                        // narrowed to the faulty replica's band.
+                        if !voted.vote.located.is_empty() {
+                            prop_assert_eq!(&voted.vote.suspect_lanes, &vec![lane]);
+                        }
+                    }
+                    Err(e) => prop_assert!(e.indicates_corruption(), "untyped lane error: {e}"),
+                }
+            }
+        }
+    }
+
+    // TMR correction: with one stuck-at fault inside exactly one
+    // replica's band, correcting TMR always returns Ok with an output
+    // bit-identical to the fault-free solo solve (stats included).
+    #[test]
+    fn tmr_correction_is_bit_identical_to_the_healthy_solo(
+        w in digraph(),
+        d_pick in 0usize..6,
+        (row, col, fault) in lane_fault(6),
+        lane in 0usize..3,
+    ) {
+        let n = w.n();
+        let d = d_pick % n;
+        let mode = Redundancy::Tmr { correct: true };
+        let mut sess = faulty_session(&w, 3, lane, row, col, fault);
+        let healthy = healthy_solo(&w, d, sess.word_bits());
+        match sess.solve_redundant(&[d], mode) {
+            // A whole-wave machine abort is a reported outcome, not a
+            // wrong answer; single-fault TMR must otherwise correct.
+            Err(e) => prop_assert!(e.indicates_corruption(), "untyped abort: {e}"),
+            Ok(wave) => {
+                let voted = &wave.lanes[0];
+                match &voted.outcome {
+                    Ok(out) => {
+                        prop_assert_eq!(out, &healthy, "TMR output not bit-identical");
+                        prop_assert_eq!(voted.vote.corrected, voted.vote.disagreed);
+                        if voted.vote.disagreed {
+                            prop_assert_eq!(&voted.vote.suspect_lanes, &vec![lane],
+                                "majority must out-vote exactly the faulty replica");
+                        }
+                    }
+                    Err(e) => prop_assert!(
+                        e.indicates_corruption(),
+                        "TMR failed without a corruption signal: {e}"
+                    ),
+                }
+            }
+        }
+    }
+}

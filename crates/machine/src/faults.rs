@@ -145,6 +145,19 @@ impl FaultMap {
         cols
     }
 
+    /// The faults whose column lies inside `cols` (sorted by
+    /// coordinate) — the physical column band a lane-replicated vote
+    /// indicts when one replica disagrees (see `LaneLayout::band`).
+    /// Targeted BIST localization intersects its sweep verdict with
+    /// this window to name the switch boxes behind a vote disagreement.
+    pub fn faults_in_cols(&self, cols: std::ops::Range<usize>) -> Vec<(Coord, SwitchFault)> {
+        self.faults
+            .iter()
+            .filter(|(c, _)| cols.contains(&c.col))
+            .copied()
+            .collect()
+    }
+
     /// Rewrites an intended Open mask into the mask the faulty hardware
     /// actually realizes.
     pub fn apply(&self, intended: &Plane<bool>) -> Plane<bool> {
@@ -469,6 +482,36 @@ mod tests {
             .inject(Coord::new(3, 2), SwitchFault::StuckOpen);
         assert_eq!(fm.faulty_rows(), vec![1, 3]);
         assert_eq!(fm.faulty_cols(), vec![2, 3]);
+    }
+
+    #[test]
+    fn faults_in_cols_windows_a_single_fault_map() {
+        // A lone fault lands in exactly one band of a 3-lane n=4 layout.
+        let mut fm = FaultMap::new();
+        fm.inject(Coord::new(2, 5), SwitchFault::StuckOpen);
+        assert_eq!(
+            fm.faults_in_cols(4..8),
+            vec![(Coord::new(2, 5), SwitchFault::StuckOpen)]
+        );
+        assert!(fm.faults_in_cols(0..4).is_empty());
+        assert!(fm.faults_in_cols(8..12).is_empty());
+    }
+
+    #[test]
+    fn faults_in_cols_windows_a_seeded_multi_fault_map() {
+        let wide = Dim::new(4, 12);
+        let fm = FaultMap::random(wide, 7, 0x5eed);
+        let mut seen = 0usize;
+        for band in [0..4usize, 4..8, 8..12] {
+            let in_band = fm.faults_in_cols(band.clone());
+            seen += in_band.len();
+            // Exactly the map's faults whose column is in the window,
+            // in the map's own (sorted) order.
+            let expect: Vec<_> = fm.iter().filter(|(c, _)| band.contains(&c.col)).collect();
+            assert_eq!(in_band, expect);
+        }
+        assert_eq!(seen, fm.len(), "the three bands partition the array");
+        assert!(fm.faults_in_cols(12..16).is_empty());
     }
 
     #[test]

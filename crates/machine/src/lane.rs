@@ -59,6 +59,19 @@ impl LaneLayout {
         lane * self.n..(lane + 1) * self.n
     }
 
+    /// The physical column band of `lane` — the same window as
+    /// [`LaneLayout::col_range`], named for the fault-mapping direction:
+    /// a redundant vote that flags lane `l` indicts exactly the switch
+    /// boxes whose column lies in `band(l)`, which is what targeted BIST
+    /// localization (see `FaultMap::faults_in_cols` in this crate's
+    /// `faults` module) takes as its search window.
+    ///
+    /// # Panics
+    /// If `lane` is out of range.
+    pub fn band(&self, lane: usize) -> Range<usize> {
+        self.col_range(lane)
+    }
+
     /// Which lane a composite column belongs to.
     pub fn lane_of_col(&self, col: usize) -> usize {
         col / self.n
@@ -133,6 +146,24 @@ mod tests {
         assert_eq!(l.col_range(1), 4..8);
         assert_eq!(l.lane_of_col(11), 2);
         assert_eq!(l.split(Coord { row: 2, col: 9 }), (2, 2, 1));
+    }
+
+    #[test]
+    fn band_is_the_lane_column_window() {
+        let l = LaneLayout::new(5, 4);
+        for lane in 0..4 {
+            assert_eq!(l.band(lane), l.col_range(lane));
+            // Every column of the band maps back to its lane.
+            for col in l.band(lane) {
+                assert_eq!(l.lane_of_col(col), lane);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn band_rejects_out_of_range_lanes() {
+        let _ = LaneLayout::new(4, 3).band(3);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Per-machine health ledger and the quarantine state machine.
+//!
+//! Machine identity is the worker index: every machine a worker builds
+//! (job attempts, scrub sweeps, probation probes) stands for the same
+//! physical array, so evidence about one worker's machines accumulates
+//! in one [`HealthRecord`]. The ledger is pure bookkeeping — it decides
+//! *state*, while the service decides what each state means for
+//! dispatch (benched workers stop pulling jobs) and mirrors every
+//! transition into `serve.health.*` metrics.
+//!
+//! ```text
+//!            sighting (corruption / vote disagreement)
+//!   Healthy ──────────────────────────────▶ Suspect
+//!      ▲                                      │
+//!      │ clean streak ≥ policy                │ scrub BIST localizes faults
+//!      └──────────────────────────────────────┤ (from any serving state)
+//!                                             ▼
+//!   Probation ◀──────────────────────── Quarantined
+//!      │            clean scrub sweep         ▲
+//!      │ N clean probe solves ──▶ Healthy     │
+//!      └── failed probe ──────────────────────┘
+//! ```
+//!
+//! A *sighting* is soft evidence (a corruption-class failure or a
+//! redundant-vote disagreement observed while serving); a faulty BIST
+//! sweep is definitive physical evidence and benches the machine from
+//! any serving state. Re-admission is earned, never assumed: a
+//! quarantined machine must first pass a clean sweep (→ Probation) and
+//! then [`HealthPolicy::probation_probes`] consecutive clean probe
+//! solves before it serves again.
+
+use std::collections::BTreeMap;
+
+/// Where a machine stands in the quarantine state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MachineHealth {
+    /// Serving normally; no open evidence against it.
+    #[default]
+    Healthy,
+    /// Serving, but corruption-class failures or vote disagreements
+    /// were sighted; a clean streak clears it, a faulty sweep benches
+    /// it.
+    Suspect,
+    /// Benched: BIST localized stuck switches (or a probation probe
+    /// failed). The worker stops pulling jobs and scrubs itself until a
+    /// sweep comes back clean.
+    Quarantined,
+    /// Benched but recovering: the last sweep was clean; the machine
+    /// must pass N consecutive probe solves to be re-admitted.
+    Probation,
+}
+
+impl MachineHealth {
+    /// Stable lowercase label (introspection JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineHealth::Healthy => "healthy",
+            MachineHealth::Suspect => "suspect",
+            MachineHealth::Quarantined => "quarantined",
+            MachineHealth::Probation => "probation",
+        }
+    }
+
+    /// Parses [`MachineHealth::label`] output.
+    pub fn from_label(s: &str) -> Option<MachineHealth> {
+        match s {
+            "healthy" => Some(MachineHealth::Healthy),
+            "suspect" => Some(MachineHealth::Suspect),
+            "quarantined" => Some(MachineHealth::Quarantined),
+            "probation" => Some(MachineHealth::Probation),
+            _ => None,
+        }
+    }
+
+    /// Whether this state keeps the worker out of job dispatch.
+    pub fn is_benched(self) -> bool {
+        matches!(self, MachineHealth::Quarantined | MachineHealth::Probation)
+    }
+}
+
+/// Thresholds of the quarantine state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Sightings (corruption-class failures or vote disagreements)
+    /// before a Healthy machine turns Suspect (clamped to at least 1).
+    pub suspect_after: u64,
+    /// Consecutive clean observations (scrub sweeps) that clear a
+    /// Suspect machine back to Healthy (clamped to at least 1).
+    pub clear_streak: u64,
+    /// Consecutive clean probe solves a Probation machine must pass to
+    /// be re-admitted (clamped to at least 1).
+    pub probation_probes: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            suspect_after: 1,
+            clear_streak: 2,
+            probation_probes: 3,
+        }
+    }
+}
+
+/// Everything the ledger knows about one machine (one worker index).
+/// Counters are cumulative for the machine's lifetime; only
+/// `clean_streak` resets on state changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthRecord {
+    /// Current quarantine state.
+    pub state: MachineHealth,
+    /// Corruption-class failures observed while serving (includes vote
+    /// disagreements).
+    pub fault_sightings: u64,
+    /// Redundant-vote disagreements among the sightings.
+    pub vote_disagreements: u64,
+    /// BIST sweeps run against this machine (scrubs, all states).
+    pub scrubs: u64,
+    /// Sweeps that localized at least one stuck switch.
+    pub bist_faults: u64,
+    /// Probe solves run while on probation.
+    pub probes: u64,
+    /// Consecutive clean observations in the current state.
+    pub clean_streak: u64,
+    /// Machines built on behalf of this worker (drill fault plans use
+    /// this to model faults that clear after a repair).
+    pub builds: u64,
+}
+
+/// The persistent per-machine health ledger (see module docs). Records
+/// outlive their workers: a replaced or exited worker keeps its fault
+/// history, so introspection can always answer "what happened to
+/// machine 3?".
+#[derive(Debug, Clone)]
+pub struct HealthLedger {
+    policy: HealthPolicy,
+    records: BTreeMap<u64, HealthRecord>,
+}
+
+impl HealthLedger {
+    /// An empty ledger under `policy`.
+    pub fn new(policy: HealthPolicy) -> HealthLedger {
+        HealthLedger {
+            policy,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Ensures `worker` has a (Healthy) record.
+    pub fn register(&mut self, worker: u64) {
+        self.records.entry(worker).or_default();
+    }
+
+    /// The worker's current state (Healthy when never registered).
+    pub fn state(&self, worker: u64) -> MachineHealth {
+        self.records
+            .get(&worker)
+            .map(|r| r.state)
+            .unwrap_or_default()
+    }
+
+    /// Whether the worker is benched (quarantined or on probation).
+    pub fn is_benched(&self, worker: u64) -> bool {
+        self.state(worker).is_benched()
+    }
+
+    /// Counts a machine build for `worker` and returns the new total.
+    pub fn count_build(&mut self, worker: u64) -> u64 {
+        let rec = self.records.entry(worker).or_default();
+        rec.builds += 1;
+        rec.builds
+    }
+
+    /// Records a corruption-class failure sighted while serving.
+    /// `vote` marks it as a redundant-vote disagreement. Returns the
+    /// new state when the sighting caused a transition.
+    pub fn sighting(&mut self, worker: u64, vote: bool) -> Option<MachineHealth> {
+        let suspect_after = self.policy.suspect_after.max(1);
+        let rec = self.records.entry(worker).or_default();
+        rec.fault_sightings += 1;
+        if vote {
+            rec.vote_disagreements += 1;
+        }
+        rec.clean_streak = 0;
+        if rec.state == MachineHealth::Healthy && rec.fault_sightings >= suspect_after {
+            rec.state = MachineHealth::Suspect;
+            return Some(MachineHealth::Suspect);
+        }
+        None
+    }
+
+    /// Records a BIST sweep verdict. A faulty sweep benches the machine
+    /// from any serving state; a clean sweep builds the streak that
+    /// clears Suspect, and moves Quarantined to Probation. Returns the
+    /// new state on a transition.
+    pub fn scrub(&mut self, worker: u64, healthy: bool) -> Option<MachineHealth> {
+        let clear_streak = self.policy.clear_streak.max(1);
+        let rec = self.records.entry(worker).or_default();
+        rec.scrubs += 1;
+        if !healthy {
+            rec.bist_faults += 1;
+            rec.clean_streak = 0;
+            if rec.state != MachineHealth::Quarantined {
+                rec.state = MachineHealth::Quarantined;
+                return Some(MachineHealth::Quarantined);
+            }
+            return None;
+        }
+        match rec.state {
+            MachineHealth::Suspect => {
+                rec.clean_streak += 1;
+                if rec.clean_streak >= clear_streak {
+                    rec.state = MachineHealth::Healthy;
+                    rec.clean_streak = 0;
+                    // A cleared machine starts from a blank sighting
+                    // slate; its cumulative history stays on record.
+                    rec.fault_sightings = 0;
+                    return Some(MachineHealth::Healthy);
+                }
+                None
+            }
+            MachineHealth::Quarantined => {
+                rec.state = MachineHealth::Probation;
+                rec.clean_streak = 0;
+                Some(MachineHealth::Probation)
+            }
+            _ => {
+                rec.clean_streak += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a probation probe solve. `clean` probes build toward
+    /// re-admission; a failed probe re-quarantines. Returns the new
+    /// state on a transition (probes outside Probation only count).
+    pub fn probe(&mut self, worker: u64, clean: bool) -> Option<MachineHealth> {
+        let needed = self.policy.probation_probes.max(1);
+        let rec = self.records.entry(worker).or_default();
+        rec.probes += 1;
+        if rec.state != MachineHealth::Probation {
+            return None;
+        }
+        if !clean {
+            rec.state = MachineHealth::Quarantined;
+            rec.clean_streak = 0;
+            return Some(MachineHealth::Quarantined);
+        }
+        rec.clean_streak += 1;
+        if rec.clean_streak >= needed {
+            rec.state = MachineHealth::Healthy;
+            rec.clean_streak = 0;
+            rec.fault_sightings = 0;
+            return Some(MachineHealth::Healthy);
+        }
+        None
+    }
+
+    /// A snapshot of every record, ordered by worker index.
+    pub fn snapshot(&self) -> Vec<(u64, HealthRecord)> {
+        self.records.iter().map(|(&w, r)| (w, r.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> HealthLedger {
+        HealthLedger::new(HealthPolicy {
+            suspect_after: 2,
+            clear_streak: 2,
+            probation_probes: 2,
+        })
+    }
+
+    #[test]
+    fn sightings_escalate_to_suspect_at_the_threshold() {
+        let mut l = ledger();
+        l.register(0);
+        assert_eq!(l.sighting(0, false), None, "first sighting: still healthy");
+        assert_eq!(l.state(0), MachineHealth::Healthy);
+        assert_eq!(l.sighting(0, true), Some(MachineHealth::Suspect));
+        assert!(!l.is_benched(0), "suspects keep serving");
+        let rec = &l.snapshot()[0].1;
+        assert_eq!(rec.fault_sightings, 2);
+        assert_eq!(rec.vote_disagreements, 1);
+    }
+
+    #[test]
+    fn clean_scrubs_clear_a_suspect() {
+        let mut l = ledger();
+        l.sighting(3, false);
+        l.sighting(3, false);
+        assert_eq!(l.state(3), MachineHealth::Suspect);
+        assert_eq!(l.scrub(3, true), None, "one clean sweep is not a streak");
+        assert_eq!(l.scrub(3, true), Some(MachineHealth::Healthy));
+        assert_eq!(
+            l.snapshot()[0].1.fault_sightings,
+            0,
+            "a cleared machine starts from a blank sighting slate"
+        );
+    }
+
+    #[test]
+    fn a_faulty_sweep_benches_from_any_serving_state() {
+        let mut l = ledger();
+        l.register(1);
+        assert_eq!(l.scrub(1, false), Some(MachineHealth::Quarantined));
+        assert!(l.is_benched(1));
+        // Repeat faulty sweeps keep it benched without re-transitioning.
+        assert_eq!(l.scrub(1, false), None);
+        assert_eq!(l.state(1), MachineHealth::Quarantined);
+    }
+
+    #[test]
+    fn readmission_takes_a_clean_sweep_then_n_clean_probes() {
+        let mut l = ledger();
+        l.scrub(2, false);
+        assert_eq!(l.state(2), MachineHealth::Quarantined);
+        assert_eq!(l.scrub(2, true), Some(MachineHealth::Probation));
+        assert!(l.is_benched(2), "probation is still benched");
+        assert_eq!(l.probe(2, true), None);
+        assert_eq!(l.probe(2, true), Some(MachineHealth::Healthy));
+        assert!(!l.is_benched(2));
+        assert_eq!(l.snapshot()[0].1.probes, 2);
+    }
+
+    #[test]
+    fn a_failed_probe_requarantines_and_resets_the_streak() {
+        let mut l = ledger();
+        l.scrub(4, false);
+        l.scrub(4, true); // Probation
+        assert_eq!(l.probe(4, true), None);
+        assert_eq!(l.probe(4, false), Some(MachineHealth::Quarantined));
+        // Back through the full drill: clean sweep, then both probes.
+        assert_eq!(l.scrub(4, true), Some(MachineHealth::Probation));
+        assert_eq!(l.probe(4, true), None, "the old streak must not count");
+        assert_eq!(l.probe(4, true), Some(MachineHealth::Healthy));
+    }
+
+    #[test]
+    fn records_persist_and_labels_round_trip() {
+        let mut l = HealthLedger::new(HealthPolicy::default());
+        l.register(7);
+        assert_eq!(l.count_build(7), 1);
+        assert_eq!(l.count_build(7), 2);
+        assert_eq!(l.snapshot().len(), 1);
+        for s in [
+            MachineHealth::Healthy,
+            MachineHealth::Suspect,
+            MachineHealth::Quarantined,
+            MachineHealth::Probation,
+        ] {
+            assert_eq!(MachineHealth::from_label(s.label()), Some(s));
+        }
+        assert_eq!(MachineHealth::from_label("benched"), None);
+    }
+}

@@ -76,25 +76,30 @@ pub struct WorkerView {
     /// indices, so gaps mean panics happened).
     pub index: u64,
     /// The id of the job this worker is executing, `None` when idle
-    /// (blocked on the intake queue).
+    /// (blocked on the intake queue) or scrubbing.
     pub job: Option<u64>,
+    /// Whether the worker is sweeping/probing its machine right now
+    /// (background scrub, quarantine sweep, or probation probe). A
+    /// scrubbing worker is deliberately *not* "idle", so client tallies
+    /// reconcile 1:1 against snapshots.
+    pub scrubbing: bool,
 }
 
 impl WorkerView {
+    fn state_label(self) -> &'static str {
+        if self.job.is_some() {
+            "running"
+        } else if self.scrubbing {
+            "scrubbing"
+        } else {
+            "idle"
+        }
+    }
+
     fn to_json(self) -> Json {
         Json::obj(vec![
             ("index", Json::Num(self.index as f64)),
-            (
-                "state",
-                Json::Str(
-                    if self.job.is_some() {
-                        "running"
-                    } else {
-                        "idle"
-                    }
-                    .to_owned(),
-                ),
-            ),
+            ("state", Json::Str(self.state_label().to_owned())),
             (
                 "job",
                 match self.job {
@@ -114,16 +119,82 @@ impl WorkerView {
             ),
         };
         let state = field_str(v, "state")?;
-        let want = if job.is_some() { "running" } else { "idle" };
-        if state != want {
-            return Err(format!(
-                "worker state {state:?} contradicts its job field (expected {want:?})"
-            ));
-        }
-        Ok(WorkerView {
+        let scrubbing = match state.as_str() {
+            "running" | "idle" => false,
+            "scrubbing" => true,
+            other => return Err(format!("unknown worker state {other:?}")),
+        };
+        let view = WorkerView {
             index: field_u64(v, "index")?,
             job,
-        })
+            scrubbing,
+        };
+        if state != view.state_label() {
+            return Err(format!(
+                "worker state {state:?} contradicts its job field (expected {:?})",
+                view.state_label()
+            ));
+        }
+        Ok(view)
+    }
+}
+
+/// One machine's health-ledger record at snapshot time (see
+/// [`crate::health::HealthLedger`]). Records outlive their workers, so
+/// a snapshot may show machines whose worker already exited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthView {
+    /// Worker index the machine belongs to.
+    pub worker: u64,
+    /// Quarantine state label: `healthy`, `suspect`, `quarantined`, or
+    /// `probation`.
+    pub state: String,
+    /// Corruption-class failures sighted while serving.
+    pub fault_sightings: u64,
+    /// Redundant-vote disagreements among the sightings.
+    pub vote_disagreements: u64,
+    /// BIST sweeps run against this machine.
+    pub scrubs: u64,
+    /// Sweeps that localized at least one stuck switch.
+    pub bist_faults: u64,
+    /// Probation probe solves.
+    pub probes: u64,
+    /// Consecutive clean observations in the current state.
+    pub clean_streak: u64,
+}
+
+impl HealthView {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worker", Json::Num(self.worker as f64)),
+            ("state", Json::Str(self.state.clone())),
+            ("fault_sightings", Json::Num(self.fault_sightings as f64)),
+            (
+                "vote_disagreements",
+                Json::Num(self.vote_disagreements as f64),
+            ),
+            ("scrubs", Json::Num(self.scrubs as f64)),
+            ("bist_faults", Json::Num(self.bist_faults as f64)),
+            ("probes", Json::Num(self.probes as f64)),
+            ("clean_streak", Json::Num(self.clean_streak as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<HealthView, String> {
+        let view = HealthView {
+            worker: field_u64(v, "worker")?,
+            state: field_str(v, "state")?,
+            fault_sightings: field_u64(v, "fault_sightings")?,
+            vote_disagreements: field_u64(v, "vote_disagreements")?,
+            scrubs: field_u64(v, "scrubs")?,
+            bist_faults: field_u64(v, "bist_faults")?,
+            probes: field_u64(v, "probes")?,
+            clean_streak: field_u64(v, "clean_streak")?,
+        };
+        match view.state.as_str() {
+            "healthy" | "suspect" | "quarantined" | "probation" => Ok(view),
+            other => Err(format!("unknown machine health state {other:?}")),
+        }
     }
 }
 
@@ -192,12 +263,19 @@ pub struct Introspection {
     pub inflight: Vec<InflightJob>,
     /// Live workers, ordered by index.
     pub workers: Vec<WorkerView>,
+    /// Per-machine health records, ordered by worker index (persistent:
+    /// includes machines whose worker already exited).
+    pub health: Vec<HealthView>,
     /// Circuit-breaker state.
     pub breaker: BreakerView,
     /// Convenience mirror of the `serve.retries` counter.
     pub retries: u64,
     /// Convenience mirror of the `serve.workers_replaced` counter.
     pub workers_replaced: u64,
+    /// Convenience mirror of the `serve.health.quarantine_leaks`
+    /// counter — the chaos drill's "no job ever reached a benched
+    /// machine" audit; always 0 unless the health gate is broken.
+    pub quarantine_leaks: u64,
     /// The full metrics registry at snapshot time.
     pub metrics: Metrics,
 }
@@ -220,11 +298,16 @@ impl Introspection {
                 Json::Array(self.workers.iter().map(|w| w.to_json()).collect()),
             ),
             (
+                "health",
+                Json::Array(self.health.iter().map(HealthView::to_json).collect()),
+            ),
+            (
                 "inflight",
                 Json::Array(self.inflight.iter().map(InflightJob::to_json).collect()),
             ),
             ("retries", Json::Num(self.retries as f64)),
             ("workers_replaced", Json::Num(self.workers_replaced as f64)),
+            ("quarantine_leaks", Json::Num(self.quarantine_leaks as f64)),
             ("metrics", self.metrics.to_json()),
         ])
     }
@@ -240,6 +323,13 @@ impl Introspection {
                 .map(WorkerView::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("missing workers array".to_owned()),
+        };
+        let health = match v.get("health") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(HealthView::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing health array".to_owned()),
         };
         let inflight = match v.get("inflight") {
             Some(Json::Array(items)) => items
@@ -258,12 +348,14 @@ impl Introspection {
             batch_lanes_inflight: field_u64(v, "batch_lanes_inflight")?,
             inflight,
             workers,
+            health,
             breaker: BreakerView::from_json(
                 v.get("breaker")
                     .ok_or_else(|| "missing breaker".to_owned())?,
             )?,
             retries: field_u64(v, "retries")?,
             workers_replaced: field_u64(v, "workers_replaced")?,
+            quarantine_leaks: field_u64(v, "quarantine_leaks")?,
             metrics: Metrics::from_json(
                 v.get("metrics")
                     .ok_or_else(|| "missing metrics".to_owned())?,
@@ -379,15 +471,45 @@ mod tests {
                 WorkerView {
                     index: 0,
                     job: None,
+                    scrubbing: false,
                 },
                 WorkerView {
                     index: 1,
                     job: Some(7),
+                    scrubbing: false,
+                },
+                WorkerView {
+                    index: 2,
+                    job: None,
+                    scrubbing: true,
+                },
+            ],
+            health: vec![
+                HealthView {
+                    worker: 0,
+                    state: "healthy".to_owned(),
+                    fault_sightings: 0,
+                    vote_disagreements: 0,
+                    scrubs: 3,
+                    bist_faults: 0,
+                    probes: 0,
+                    clean_streak: 3,
+                },
+                HealthView {
+                    worker: 2,
+                    state: "quarantined".to_owned(),
+                    fault_sightings: 2,
+                    vote_disagreements: 1,
+                    scrubs: 4,
+                    bist_faults: 2,
+                    probes: 1,
+                    clean_streak: 0,
                 },
             ],
             breaker: BreakerView::from_state(BreakerState::Open { cooldown_left: 3 }),
             retries: 4,
             workers_replaced: 1,
+            quarantine_leaks: 0,
             metrics,
         }
     }
@@ -512,5 +634,62 @@ mod tests {
         let err = Introspection::from_json(&doc).unwrap_err();
         assert!(err.contains("contradicts"), "{err}");
         assert!(Introspection::from_json(&Json::Null).is_err());
+
+        // A scrubbing worker claiming a job contradicts too.
+        let mut doc = sample().to_json();
+        if let Json::Object(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "workers" {
+                    if let Json::Array(ws) = v {
+                        if let Json::Object(w) = &mut ws[2] {
+                            for (wk, wv) in w.iter_mut() {
+                                if wk == "job" {
+                                    *wv = Json::Num(9.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = Introspection::from_json(&doc).unwrap_err();
+        assert!(err.contains("contradicts"), "{err}");
+
+        // An unknown machine-health state is named.
+        let mut doc = sample().to_json();
+        if let Json::Object(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "health" {
+                    if let Json::Array(hs) = v {
+                        if let Json::Object(h) = &mut hs[0] {
+                            for (hk, hv) in h.iter_mut() {
+                                if hk == "state" {
+                                    *hv = Json::Str("benched".to_owned());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = Introspection::from_json(&doc).unwrap_err();
+        assert!(err.contains("machine health"), "{err}");
+    }
+
+    #[test]
+    fn scrubbing_workers_are_not_idle_in_snapshots() {
+        let snap = sample();
+        let doc = snap.to_json();
+        let text = doc.to_string_compact();
+        assert!(text.contains("\"scrubbing\""), "{text}");
+        let back = Introspection::from_json(&doc).unwrap();
+        let scrubbing = back.workers.iter().filter(|w| w.scrubbing).count();
+        let idle = back
+            .workers
+            .iter()
+            .filter(|w| w.job.is_none() && !w.scrubbing)
+            .count();
+        assert_eq!(scrubbing, 1);
+        assert_eq!(idle, 1, "the scrubbing worker must not count as idle");
     }
 }

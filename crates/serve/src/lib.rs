@@ -23,6 +23,13 @@
 //!   is set) trip a [`CircuitBreaker`] that falls back to the scalar
 //!   reference backend and only re-admits fast traffic after a live
 //!   divergence probe passes.
+//! * **Self-healing** — shortest-path jobs can run lane-replicated
+//!   under DMR/TMR voting ([`ServeConfig::redundancy`]); a background
+//!   scrubber runs six-pattern BIST on idle workers under a duty-cycle
+//!   budget, and a persistent per-machine [`HealthLedger`] quarantines
+//!   machines with localized faults (routing jobs away, spinning up
+//!   replacements) and re-admits them only after a clean sweep plus N
+//!   clean probe solves.
 //! * **Checkpoint/resume** — all-pairs campaigns flush an
 //!   [`ApspCheckpoint`] as they go; an interrupted campaign returns
 //!   [`ServeError::Interrupted`] with the last flushed document and can
@@ -38,6 +45,7 @@
 
 pub mod breaker;
 pub mod checkpoint;
+pub mod health;
 pub mod introspect;
 pub mod job;
 pub mod net;
@@ -48,11 +56,16 @@ pub mod wire;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Route};
 pub use checkpoint::{ApspCheckpoint, DestResult};
-pub use introspect::{BreakerView, InflightJob, Introspection, StatusReporter, WorkerView};
+pub use health::{HealthLedger, HealthPolicy, HealthRecord, MachineHealth};
+pub use introspect::{
+    BreakerView, HealthView, InflightJob, Introspection, StatusReporter, WorkerView,
+};
 pub use job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
 pub use net::{ClientError, NetClient, NetConfig, NetServer};
 pub use policy::RetryPolicy;
-pub use service::{BatchingConfig, JobTicket, ServeConfig, SolveService};
+pub use service::{
+    BatchingConfig, FaultSpec, JobTicket, MachineFaultPlan, ScrubConfig, ServeConfig, SolveService,
+};
 pub use shard::{
     merge_shard_files, merge_shards, run_shard_worker, shard_ranges, ShardCheckpoint, ShardError,
 };

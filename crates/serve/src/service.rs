@@ -23,15 +23,18 @@
 
 use crate::breaker::{BreakerState, CircuitBreaker, Route};
 use crate::checkpoint::ApspCheckpoint;
-use crate::introspect::{BreakerView, InflightJob, Introspection, WorkerView};
+use crate::health::{HealthLedger, HealthPolicy, MachineHealth};
+use crate::introspect::{BreakerView, HealthView, InflightJob, Introspection, WorkerView};
 use crate::job::{BackendChoice, JobKind, JobOutcome, JobReport, JobSpec, ServeError};
 use crate::policy::RetryPolicy;
 use crate::BreakerConfig;
 use ppa_graph::{Weight, WeightMatrix, INF};
-use ppa_machine::{CancelToken, Executor, PackedBackend, ThreadedBackend, TransientFaults};
+use ppa_machine::{
+    CancelToken, Dim, Executor, FaultMap, Machine, PackedBackend, ThreadedBackend, TransientFaults,
+};
 use ppa_mcp::batch::replicate;
 use ppa_mcp::widest::{widest_path, WidestOutput};
-use ppa_mcp::{mcp, BatchSession, LaneLimit, McpError, McpSession};
+use ppa_mcp::{mcp, BatchSession, LaneLimit, McpError, McpOutput, McpSession, Redundancy};
 use ppa_obs::{Json, Metrics};
 use ppa_ppc::Ppa;
 use rand::rngs::SmallRng;
@@ -78,6 +81,20 @@ pub struct ServeConfig {
     /// wavefronts. Off by default — batching changes latency shape, not
     /// results (every lane is bit-identical to its solo run).
     pub batching: BatchingConfig,
+    /// Lane-replicated redundant execution for shortest-path jobs:
+    /// `Dmr` detects a corrupted replica by vote alone, `Tmr` can also
+    /// out-vote it — no sequential reference runs on the hot path.
+    /// Redundant waves count every replica lane against
+    /// [`BatchingConfig::max_lanes`].
+    pub redundancy: Redundancy,
+    /// Background BIST scrubbing of idle workers (and the bench/probe
+    /// loop of quarantined machines).
+    pub scrubbing: ScrubConfig,
+    /// Deterministic per-worker fault injection for drills; empty in
+    /// production.
+    pub fault_plan: MachineFaultPlan,
+    /// Quarantine state-machine thresholds.
+    pub health: HealthPolicy,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +111,10 @@ impl Default for ServeConfig {
             threads: 2,
             seed: 0x5eed,
             batching: BatchingConfig::default(),
+            redundancy: Redundancy::Off,
+            scrubbing: ScrubConfig::default(),
+            fault_plan: MachineFaultPlan::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -121,6 +142,72 @@ impl Default for BatchingConfig {
             hold_window: Duration::from_millis(2),
         }
     }
+}
+
+/// Background scrubber tuning: idle workers run the machine's
+/// six-pattern BIST between jobs, under a duty-cycle budget so
+/// scrubbing can never crowd out serving. The same knobs pace the
+/// maintenance loop of benched (quarantined/probation) workers.
+#[derive(Debug, Clone)]
+pub struct ScrubConfig {
+    /// Enable background scrubbing. Off by default — the quarantine
+    /// ledger still records sightings either way, but nothing sweeps.
+    pub enabled: bool,
+    /// How long a worker must sit idle before it starts a sweep.
+    pub idle_after: Duration,
+    /// Minimum spacing between two idle sweeps on one worker.
+    pub min_interval: Duration,
+    /// Greatest fraction of a worker's wall-clock lifetime that may go
+    /// to scrubbing (clamped to `0.0..=1.0`); over-budget sweeps are
+    /// skipped and counted under `serve.scrub.skipped_budget`.
+    pub duty_cycle: f64,
+    /// Mesh size of scrub/probe machines (clamped to at least 2).
+    pub probe_n: usize,
+    /// Pause between maintenance rounds on a benched worker.
+    pub benched_pause: Duration,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            enabled: false,
+            idle_after: Duration::from_millis(1),
+            min_interval: Duration::from_millis(2),
+            duty_cycle: 0.25,
+            probe_n: 6,
+            benched_pause: Duration::from_micros(500),
+        }
+    }
+}
+
+/// A deterministic per-worker fault plan for drills: every machine
+/// worker `k` builds (job attempts, scrub sweeps, probation probes)
+/// carries `FaultMap::random(dim, count, seed)` until — if set —
+/// `heal_after_builds` machines have been built, modeling a field
+/// repair so quarantine re-admission can be exercised end to end.
+#[derive(Debug, Clone, Default)]
+pub struct MachineFaultPlan {
+    /// Worker index -> its planted fault spec.
+    pub faulty: BTreeMap<u64, FaultSpec>,
+}
+
+impl MachineFaultPlan {
+    /// Plants `spec` on every machine worker `worker` builds.
+    pub fn with(mut self, worker: u64, spec: FaultSpec) -> Self {
+        self.faulty.insert(worker, spec);
+        self
+    }
+}
+
+/// One worker's planted fault (see [`MachineFaultPlan`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Stuck switches per machine (clamped to at least 1).
+    pub count: usize,
+    /// Seed of the deterministic fault placement.
+    pub seed: u64,
+    /// Machines built before the fault clears (`None` = permanent).
+    pub heal_after_builds: Option<u64>,
 }
 
 /// Locks a mutex, ignoring poisoning: a worker that panicked never holds
@@ -178,8 +265,24 @@ fn strip<T>(e: TrySendError<T>) -> TrySendError<()> {
 enum Supervise {
     /// A worker died after an isolated panic; spawn a replacement.
     Died,
+    /// A worker's machine was quarantined; spawn a replacement so
+    /// serving capacity survives the bench. The benched worker lives
+    /// on, scrubbing toward re-admission.
+    Benched,
     /// Drain complete; the supervisor should exit.
     Stop,
+}
+
+/// What a worker thread is doing right now (introspection state).
+#[derive(Clone, Copy)]
+enum WorkerState {
+    Idle,
+    /// Running the job with this id (a batch shows its first lane's id).
+    Running(u64),
+    /// Sweeping or probing its machine (idle scrub, quarantine sweep,
+    /// probation probe) — deliberately distinct from `Idle` so client
+    /// tallies reconcile 1:1 against snapshots.
+    Scrubbing,
 }
 
 /// What the pool knows about one executing job (introspection state;
@@ -203,9 +306,12 @@ struct Shared {
     queue_depth: AtomicU64,
     /// Jobs currently executing, keyed by job id.
     inflight: Mutex<BTreeMap<u64, InflightEntry>>,
-    /// Live workers: index -> id of the job it is running (`None` =
-    /// idle). Entries are removed when a worker exits or panics.
-    workers: Mutex<BTreeMap<u64, Option<u64>>>,
+    /// Live workers: index -> what the worker is doing right now.
+    /// Entries are removed when a worker exits or panics.
+    workers: Mutex<BTreeMap<u64, WorkerState>>,
+    /// The persistent per-machine health ledger (records outlive their
+    /// workers).
+    health: Mutex<HealthLedger>,
     /// Cancel tokens for every job between submission and report, keyed
     /// by job id, so [`SolveService::cancel`] can reach queued *and*
     /// running jobs. Entries are removed when the job reports.
@@ -219,6 +325,21 @@ struct Shared {
     batch_pending: AtomicU64,
     /// Lanes of coalesced batches currently executing on workers.
     batch_lanes_inflight: AtomicU64,
+}
+
+impl Shared {
+    /// The drill fault plan's faults for the next machine worker
+    /// `index` builds, if any. Every call with a planted spec counts a
+    /// build, so `heal_after_builds` models a repair that lands after a
+    /// fixed number of faulty builds.
+    fn plan_faults(&self, index: u64, dim: Dim) -> Option<FaultMap> {
+        let spec = *self.config.fault_plan.faulty.get(&index)?;
+        let builds = lock(&self.health).count_build(index);
+        if spec.heal_after_builds.is_some_and(|h| builds > h) {
+            return None;
+        }
+        Some(FaultMap::random(dim, spec.count.max(1), spec.seed))
+    }
 }
 
 /// Everything a worker thread needs; cloneable so the supervisor can
@@ -289,6 +410,7 @@ impl SolveService {
         let (watchdog_tx, watchdog_rx) = mpsc::channel();
         let (death_tx, death_rx) = mpsc::channel();
         let batching = config.batching.enabled;
+        let ledger = HealthLedger::new(config.health);
         let shared = Arc::new(Shared {
             config,
             metrics: Mutex::new(Metrics::new()),
@@ -297,6 +419,7 @@ impl SolveService {
             queue_depth: AtomicU64::new(0),
             inflight: Mutex::new(BTreeMap::new()),
             workers: Mutex::new(BTreeMap::new()),
+            health: Mutex::new(ledger),
             cancels: Mutex::new(BTreeMap::new()),
             client_cancelled: Mutex::new(BTreeSet::new()),
             batch_pending: AtomicU64::new(0),
@@ -454,7 +577,32 @@ impl SolveService {
             .collect();
         let workers: Vec<WorkerView> = lock(&self.shared.workers)
             .iter()
-            .map(|(&index, &job)| WorkerView { index, job })
+            .map(|(&index, &state)| {
+                let (job, scrubbing) = match state {
+                    WorkerState::Running(id) => (Some(id), false),
+                    WorkerState::Scrubbing => (None, true),
+                    WorkerState::Idle => (None, false),
+                };
+                WorkerView {
+                    index,
+                    job,
+                    scrubbing,
+                }
+            })
+            .collect();
+        let health: Vec<HealthView> = lock(&self.shared.health)
+            .snapshot()
+            .into_iter()
+            .map(|(worker, rec)| HealthView {
+                worker,
+                state: rec.state.label().to_owned(),
+                fault_sightings: rec.fault_sightings,
+                vote_disagreements: rec.vote_disagreements,
+                scrubs: rec.scrubs,
+                bist_faults: rec.bist_faults,
+                probes: rec.probes,
+                clean_streak: rec.clean_streak,
+            })
             .collect();
         let metrics = lock(&self.shared.metrics).clone();
         Introspection {
@@ -464,9 +612,11 @@ impl SolveService {
             batch_lanes_inflight: self.shared.batch_lanes_inflight.load(Ordering::Acquire),
             inflight,
             workers,
+            health,
             breaker: BreakerView::from_state(lock(&self.shared.breaker).state()),
             retries: metrics.counter("serve.retries"),
             workers_replaced: metrics.counter("serve.workers_replaced"),
+            quarantine_leaks: metrics.counter("serve.health.quarantine_leaks"),
             metrics,
         }
     }
@@ -527,7 +677,10 @@ fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
 
 fn worker_loop(ctx: WorkerCtx) {
     let index = ctx.worker_seq.fetch_add(1, Ordering::Relaxed);
-    lock(&ctx.shared.workers).insert(index, None);
+    lock(&ctx.shared.workers).insert(index, WorkerState::Idle);
+    lock(&ctx.shared.health).register(index);
+    let scrub = ctx.shared.config.scrubbing.clone();
+    let mut clock = ScrubClock::new();
     // Golden-ratio stride keeps worker streams disjoint for nearby seeds.
     let mut rng = SmallRng::seed_from_u64(
         ctx.shared
@@ -536,12 +689,65 @@ fn worker_loop(ctx: WorkerCtx) {
             .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index + 1)),
     );
     loop {
-        let next = lock(&ctx.jobs).recv();
+        // Benched machines never pull jobs: a quarantined worker scrubs
+        // itself toward a clean sweep, a probation worker earns
+        // re-admission with probe solves. Health transitions for worker
+        // `index` only ever happen on this thread, so the gate cannot
+        // race with a later state change.
+        // Bind the state first: a `match` on the locked expression
+        // would hold the health mutex across the arms and deadlock the
+        // scrub/probe calls below.
+        let health_state = lock(&ctx.shared.health).state(index);
+        match health_state {
+            MachineHealth::Quarantined => {
+                if !ctx.shared.accepting.load(Ordering::Acquire) {
+                    lock(&ctx.shared.workers).remove(&index);
+                    return;
+                }
+                run_scrub(&ctx, index);
+                thread::sleep(scrub.benched_pause);
+                continue;
+            }
+            MachineHealth::Probation => {
+                if !ctx.shared.accepting.load(Ordering::Acquire) {
+                    lock(&ctx.shared.workers).remove(&index);
+                    return;
+                }
+                run_probe(&ctx, index);
+                thread::sleep(scrub.benched_pause);
+                continue;
+            }
+            _ => {}
+        }
+        let next = if scrub.enabled {
+            // Idle scrubbing: when no work arrives within the idle
+            // window, release the receiver and sweep under the
+            // duty-cycle budget.
+            // Ditto: drop the receiver lock before scrubbing, so an
+            // idle sweep never stalls job pickup on other workers.
+            let received = lock(&ctx.jobs).recv_timeout(scrub.idle_after);
+            match received {
+                Ok(work) => Ok(work),
+                Err(RecvTimeoutError::Timeout) => {
+                    maybe_idle_scrub(&ctx, index, &mut clock);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => Err(()),
+            }
+        } else {
+            lock(&ctx.jobs).recv().map_err(|_| ())
+        };
         let Ok(work) = next else {
             // Queue closed and drained: graceful exit.
             lock(&ctx.shared.workers).remove(&index);
             return;
         };
+        // Audit: a benched machine must never receive work. The health
+        // gate above makes that impossible by construction; this
+        // counter exists so the chaos drill can prove it stayed zero.
+        if lock(&ctx.shared.health).is_benched(index) {
+            lock(&ctx.shared.metrics).inc("serve.health.quarantine_leaks", 1);
+        }
         let job = match work {
             Work::Single(job) => job,
             Work::Batch(jobs) => {
@@ -564,14 +770,14 @@ fn worker_loop(ctx: WorkerCtx) {
                 worker: index,
             },
         );
-        lock(&ctx.shared.workers).insert(index, Some(id));
-        let verdict = catch_unwind(AssertUnwindSafe(|| run_job(&ctx, job, &mut rng)));
+        lock(&ctx.shared.workers).insert(index, WorkerState::Running(id));
+        let verdict = catch_unwind(AssertUnwindSafe(|| run_job(&ctx, index, job, &mut rng)));
         lock(&ctx.shared.inflight).remove(&id);
         lock(&ctx.shared.cancels).remove(&id);
         lock(&ctx.shared.client_cancelled).remove(&id);
         match verdict {
             Ok(report) => {
-                lock(&ctx.shared.workers).insert(index, None);
+                lock(&ctx.shared.workers).insert(index, WorkerState::Idle);
                 let _ = reply.send(report);
             }
             Err(payload) => {
@@ -612,6 +818,141 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Worker-local duty-cycle accounting for idle scrubbing.
+struct ScrubClock {
+    started: Instant,
+    spent: Duration,
+    last: Option<Instant>,
+}
+
+impl ScrubClock {
+    fn new() -> ScrubClock {
+        ScrubClock {
+            started: Instant::now(),
+            spent: Duration::ZERO,
+            last: None,
+        }
+    }
+}
+
+/// Runs an idle BIST sweep if pacing and the duty-cycle budget allow
+/// it; over-budget sweeps are skipped (and counted) rather than queued.
+fn maybe_idle_scrub(ctx: &WorkerCtx, index: u64, clock: &mut ScrubClock) {
+    let cfg = &ctx.shared.config.scrubbing;
+    if clock.last.is_some_and(|at| at.elapsed() < cfg.min_interval) {
+        return;
+    }
+    let alive = clock.started.elapsed().max(Duration::from_micros(1));
+    if clock.spent.as_secs_f64() > cfg.duty_cycle.clamp(0.0, 1.0) * alive.as_secs_f64() {
+        lock(&ctx.shared.metrics).inc("serve.scrub.skipped_budget", 1);
+        return;
+    }
+    let began = Instant::now();
+    run_scrub(ctx, index);
+    clock.spent += began.elapsed();
+    clock.last = Some(Instant::now());
+}
+
+/// One BIST sweep of this worker's machine: builds a scrub machine the
+/// way the worker builds job machines (drill fault plans included),
+/// runs the six-pattern self test, and feeds the verdict to the health
+/// ledger. A fault-localizing sweep quarantines the machine from any
+/// serving state and asks the supervisor for a replacement; a clean
+/// sweep builds the streak that clears a suspect, or moves a
+/// quarantined machine to probation.
+fn run_scrub(ctx: &WorkerCtx, index: u64) -> bool {
+    let shared = &ctx.shared;
+    lock(&shared.workers).insert(index, WorkerState::Scrubbing);
+    let n = shared.config.scrubbing.probe_n.max(2);
+    let mut machine = Machine::square(n);
+    if let Some(fm) = shared.plan_faults(index, machine.dim()) {
+        machine.attach_faults(fm);
+    }
+    let report = machine.self_test();
+    let healthy = report.is_healthy();
+    {
+        let mut m = lock(&shared.metrics);
+        m.inc("serve.scrub.sweeps", 1);
+        m.inc("serve.scrub.steps", report.steps.total());
+        m.inc(
+            if healthy {
+                "serve.scrub.clean"
+            } else {
+                "serve.scrub.faulty"
+            },
+            1,
+        );
+    }
+    let transition = lock(&shared.health).scrub(index, healthy);
+    match transition {
+        Some(MachineHealth::Quarantined) => {
+            lock(&shared.metrics).inc("serve.health.quarantined", 1);
+            let _ = ctx.death_tx.send(Supervise::Benched);
+        }
+        Some(MachineHealth::Probation) => {
+            lock(&shared.metrics).inc("serve.health.probation", 1);
+        }
+        Some(MachineHealth::Healthy) => {
+            lock(&shared.metrics).inc("serve.health.cleared", 1);
+        }
+        _ => {}
+    }
+    lock(&shared.workers).insert(index, WorkerState::Idle);
+    healthy
+}
+
+/// One probation probe: a verified solve of a fixed reference graph on
+/// a machine built exactly as this worker builds job machines. Clean
+/// probes build toward re-admission; a failed probe re-quarantines.
+/// Off the serving hot path, so host verification is fine here.
+fn run_probe(ctx: &WorkerCtx, index: u64) {
+    let shared = &ctx.shared;
+    lock(&shared.workers).insert(index, WorkerState::Scrubbing);
+    let n = shared.config.scrubbing.probe_n.max(4);
+    let w = ppa_graph::gen::random_connected(n, 0.5, 9, 0x09ED);
+    let word_bits = mcp::fit_word_bits(&w).clamp(2, 62);
+    let mut ppa = Ppa::square(n).with_word_bits(word_bits);
+    if let Some(fm) = shared.plan_faults(index, ppa.machine().dim()) {
+        ppa.machine_mut().attach_faults(fm);
+    }
+    let clean = McpSession::from_ppa(ppa, &w)
+        .and_then(|mut s| s.solve_verified(0))
+        .is_ok();
+    {
+        let mut m = lock(&shared.metrics);
+        m.inc("serve.health.probes", 1);
+        if !clean {
+            m.inc("serve.health.probe_failures", 1);
+        }
+    }
+    let transition = lock(&shared.health).probe(index, clean);
+    match transition {
+        Some(MachineHealth::Healthy) => {
+            lock(&shared.metrics).inc("serve.health.readmitted", 1);
+        }
+        Some(MachineHealth::Quarantined) => {
+            lock(&shared.metrics).inc("serve.health.quarantined", 1);
+        }
+        _ => {}
+    }
+    lock(&shared.workers).insert(index, WorkerState::Idle);
+}
+
+/// Records a corruption-class failure against this worker's machine.
+/// `vote` marks a redundant-vote disagreement (already known to be a
+/// replica-level divergence, the strongest soft evidence we have).
+fn note_sighting(ctx: &WorkerCtx, index: u64, vote: bool) {
+    let transition = lock(&ctx.shared.health).sighting(index, vote);
+    let mut m = lock(&ctx.shared.metrics);
+    m.inc("serve.health.sightings", 1);
+    if vote {
+        m.inc("serve.health.vote_disagreements", 1);
+    }
+    if transition == Some(MachineHealth::Suspect) {
+        m.inc("serve.health.suspect", 1);
+    }
+}
+
 /// Runs a coalesced wave on this worker with the same bookkeeping and
 /// panic isolation as a single job: every lane gets its own inflight
 /// entry and its own report, and a panic anywhere in the wave reports
@@ -643,11 +984,11 @@ fn run_batch_on_worker(
             );
         }
     }
-    lock(&ctx.shared.workers).insert(index, Some(meta[0].0));
+    lock(&ctx.shared.workers).insert(index, WorkerState::Running(meta[0].0));
     ctx.shared
         .batch_lanes_inflight
         .fetch_add(lanes, Ordering::AcqRel);
-    let verdict = catch_unwind(AssertUnwindSafe(|| run_batch(ctx, jobs, rng)));
+    let verdict = catch_unwind(AssertUnwindSafe(|| run_batch(ctx, index, jobs, rng)));
     ctx.shared
         .batch_lanes_inflight
         .fetch_sub(lanes, Ordering::AcqRel);
@@ -658,7 +999,7 @@ fn run_batch_on_worker(
     }
     match verdict {
         Ok(reports) => {
-            lock(&ctx.shared.workers).insert(index, None);
+            lock(&ctx.shared.workers).insert(index, WorkerState::Idle);
             for ((_, _, reply), report) in meta.into_iter().zip(reports) {
                 let _ = reply.send(report);
             }
@@ -713,7 +1054,10 @@ fn batch_key(spec: &JobSpec) -> (usize, u32) {
 /// jobs overtake the held wave — ordering across job kinds was never
 /// guaranteed.
 fn coalescer_loop(shared: &Arc<Shared>, intake: &Receiver<QueuedJob>, work_tx: &SyncSender<Work>) {
-    let max_lanes = shared.config.batching.max_lanes.clamp(1, 64);
+    // Redundant waves replicate every job into `replicas` lanes, so the
+    // wave size shrinks to keep the physical lane count within bounds.
+    let replicas = shared.config.redundancy.replicas().max(1);
+    let max_lanes = (shared.config.batching.max_lanes.clamp(1, 64) / replicas).max(1);
     let hold = shared.config.batching.hold_window;
     let mut held: Vec<QueuedJob> = Vec::new();
     let mut key: Option<(usize, u32)> = None;
@@ -787,7 +1131,7 @@ fn flush_held(
     if held.is_empty() {
         return;
     }
-    let wave = std::mem::take(held);
+    let mut wave = std::mem::take(held);
     shared.batch_pending.store(0, Ordering::Release);
     {
         let mut m = lock(&shared.metrics);
@@ -799,8 +1143,10 @@ fn flush_held(
         }
     }
     let work = if wave.len() == 1 {
-        let job = wave.into_iter().next().expect("wave has one job");
-        Work::Single(job)
+        match wave.pop() {
+            Some(job) => Work::Single(job),
+            None => return,
+        }
     } else {
         Work::Batch(wave)
     };
@@ -813,7 +1159,12 @@ fn flush_held(
 /// identical to the solo path. A corrupted lane (or a whole-wave
 /// machine failure) falls back to [`run_job`] so the retry/breaker
 /// machinery treats it exactly like a solo corruption.
-fn run_batch(ctx: &WorkerCtx, jobs: Vec<QueuedJob>, rng: &mut SmallRng) -> Vec<JobReport> {
+fn run_batch(
+    ctx: &WorkerCtx,
+    index: u64,
+    jobs: Vec<QueuedJob>,
+    rng: &mut SmallRng,
+) -> Vec<JobReport> {
     let shared = &ctx.shared;
     let config = &shared.config;
     let total = jobs.len();
@@ -886,13 +1237,26 @@ fn run_batch(ctx: &WorkerCtx, jobs: Vec<QueuedJob>, rng: &mut SmallRng) -> Vec<J
                 }
             })
             .collect();
-        let wave = match backend {
-            BackendChoice::Packed => BatchSession::new_packed(&graphs)
-                .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
-            BackendChoice::Threaded => BatchSession::new_threaded(&graphs, config.threads.max(1))
-                .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
-            BackendChoice::Scalar => {
-                BatchSession::new(&graphs).and_then(|mut b| b.solve_verified_with(&dests, &limits))
+        let wave = if config.redundancy.replicas() > 1 {
+            run_redundant_batch(
+                ctx,
+                index,
+                backend,
+                &graphs,
+                &dests,
+                &limits,
+                config.redundancy,
+            )
+        } else {
+            match backend {
+                BackendChoice::Packed => BatchSession::new_packed(&graphs)
+                    .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
+                BackendChoice::Threaded => {
+                    BatchSession::new_threaded(&graphs, config.threads.max(1))
+                        .and_then(|mut b| b.solve_verified_with(&dests, &limits))
+                }
+                BackendChoice::Scalar => BatchSession::new(&graphs)
+                    .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
             }
         };
         match wave {
@@ -906,7 +1270,7 @@ fn run_batch(ctx: &WorkerCtx, jobs: Vec<QueuedJob>, rng: &mut SmallRng) -> Vec<J
                 lock(&shared.metrics).inc("serve.batch.fallback_single", live.len() as u64);
                 for &i in &live {
                     let job = slots[i].take().expect("live slot");
-                    reports[i] = Some(run_job(ctx, job, rng));
+                    reports[i] = Some(run_job(ctx, index, job, rng));
                 }
             }
             Ok(wave) => {
@@ -953,7 +1317,7 @@ fn run_batch(ctx: &WorkerCtx, jobs: Vec<QueuedJob>, rng: &mut SmallRng) -> Vec<J
                                 lock(&shared.metrics).inc("serve.breaker.trips", 1);
                             }
                             lock(&shared.metrics).inc("serve.batch.fallback_single", 1);
-                            run_job(ctx, job, rng)
+                            run_job(ctx, index, job, rng)
                         }
                         Err(e) => finish(
                             ctx,
@@ -979,6 +1343,73 @@ fn run_batch(ctx: &WorkerCtx, jobs: Vec<QueuedJob>, rng: &mut SmallRng) -> Vec<J
         .collect()
 }
 
+/// Solves a coalesced wave redundantly: every job's graph is replicated
+/// into `mode.replicas()` adjacent lanes of one wide session, voted per
+/// destination, and mapped back to one outcome per job — vote-only, no
+/// sequential reference on the hot path. Vote disagreements are
+/// recorded against this worker's health record.
+fn run_redundant_batch(
+    ctx: &WorkerCtx,
+    index: u64,
+    backend: BackendChoice,
+    graphs: &[WeightMatrix],
+    dests: &[usize],
+    limits: &[LaneLimit],
+    mode: Redundancy,
+) -> Result<Vec<Result<McpOutput, McpError>>, McpError> {
+    let rep = mode.expand(graphs);
+    let threads = ctx.shared.config.threads.max(1);
+    match backend {
+        BackendChoice::Packed => drive_redundant_wave(
+            ctx,
+            index,
+            BatchSession::new_packed(&rep)?,
+            dests,
+            limits,
+            mode,
+        ),
+        BackendChoice::Threaded => drive_redundant_wave(
+            ctx,
+            index,
+            BatchSession::new_threaded(&rep, threads)?,
+            dests,
+            limits,
+            mode,
+        ),
+        BackendChoice::Scalar => {
+            drive_redundant_wave(ctx, index, BatchSession::new(&rep)?, dests, limits, mode)
+        }
+    }
+}
+
+fn drive_redundant_wave<E: Executor>(
+    ctx: &WorkerCtx,
+    index: u64,
+    mut sess: BatchSession<E>,
+    dests: &[usize],
+    limits: &[LaneLimit],
+    mode: Redundancy,
+) -> Result<Vec<Result<McpOutput, McpError>>, McpError> {
+    if let Some(fm) = ctx
+        .shared
+        .plan_faults(index, sess.ppa_mut().machine().dim())
+    {
+        sess.ppa_mut().machine_mut().attach_faults(fm);
+    }
+    let wave = sess.solve_redundant_with(dests, limits, mode)?;
+    let mut outcomes = Vec::with_capacity(wave.lanes.len());
+    for voted in wave.lanes {
+        if voted.vote.disagreed {
+            note_sighting(ctx, index, true);
+            if voted.vote.corrected {
+                lock(&ctx.shared.metrics).inc("serve.health.vote_corrected", 1);
+            }
+        }
+        outcomes.push(voted.outcome);
+    }
+    Ok(outcomes)
+}
+
 fn supervisor_loop(
     death_rx: Receiver<Supervise>,
     ctx: WorkerCtx,
@@ -988,6 +1419,10 @@ fn supervisor_loop(
         match msg {
             Supervise::Died => {
                 lock(&ctx.shared.metrics).inc("serve.workers_replaced", 1);
+                lock(&handles).push(spawn_worker(ctx.clone()));
+            }
+            Supervise::Benched => {
+                lock(&ctx.shared.metrics).inc("serve.health.replacements", 1);
                 lock(&handles).push(spawn_worker(ctx.clone()));
             }
             Supervise::Stop => return,
@@ -1024,7 +1459,7 @@ fn watchdog_loop(rx: Receiver<(Instant, CancelToken)>) {
 
 /// Executes one job to a report: deadline gate, backend routing, the
 /// attempt/retry loop, APSP checkpointing, and outcome metrics.
-fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
+fn run_job(ctx: &WorkerCtx, index: u64, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
     let shared = &ctx.shared;
     let config = &shared.config;
     let deadline = job.spec.deadline.or(config.default_deadline);
@@ -1123,6 +1558,12 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
         _ => None,
     };
 
+    // Shortest-path jobs run lane-replicated under the configured
+    // redundancy mode: the vote replaces the host reference check on
+    // the hot path (DMR detects, TMR can correct).
+    let redundant_shortest =
+        matches!(job.spec.kind, JobKind::Shortest { .. }) && config.redundancy.replicas() > 1;
+
     let mut attempts = 0u32;
     let mut backend;
     let outcome = loop {
@@ -1130,27 +1571,32 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
         backend = route_backend(ctx);
         let result = if let Some(lanes) = apsp_lanes {
             attempt_apsp_batched(
+                ctx,
+                index,
                 backend,
                 &job.spec,
                 &token,
                 budget,
                 lanes,
                 &mut last_flush,
-                &shared.metrics,
-                config.threads.max(1),
             )
+        } else if redundant_shortest {
+            attempt_shortest_redundant(ctx, index, backend, &job.spec, &token, budget, attempts)
         } else {
             match backend {
                 BackendChoice::Packed => attempt_on(
+                    ctx,
+                    index,
                     Ppa::<PackedBackend>::packed(n).with_word_bits(word_bits),
                     &job.spec,
                     &token,
                     budget,
                     attempts,
                     &mut last_flush,
-                    &shared.metrics,
                 ),
                 BackendChoice::Threaded => attempt_on(
+                    ctx,
+                    index,
                     Ppa::<ThreadedBackend>::threaded(n, config.threads.max(1))
                         .with_word_bits(word_bits),
                     &job.spec,
@@ -1158,16 +1604,16 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
                     budget,
                     attempts,
                     &mut last_flush,
-                    &shared.metrics,
                 ),
                 BackendChoice::Scalar => attempt_on(
+                    ctx,
+                    index,
                     Ppa::square(n).with_word_bits(word_bits),
                     &job.spec,
                     &token,
                     budget,
                     attempts,
                     &mut last_flush,
-                    &shared.metrics,
                 ),
             }
         };
@@ -1192,6 +1638,11 @@ fn run_job(ctx: &WorkerCtx, job: QueuedJob, rng: &mut SmallRng) -> JobReport {
                 })
             }
             Err(e) if e.indicates_corruption() => {
+                // Vote disagreements were already recorded (with their
+                // vote flavor) inside the redundant attempt.
+                if !matches!(e, McpError::VoteDisagreement { .. }) {
+                    note_sighting(ctx, index, false);
+                }
                 if backend.is_fast() && lock(&shared.breaker).record_failure() {
                     lock(&shared.metrics).inc("serve.breaker.trips", 1);
                 }
@@ -1398,18 +1849,135 @@ fn verify_widest(w: &WeightMatrix, out: &WidestOutput) -> Result<(), McpError> {
     Ok(())
 }
 
+/// One redundant shortest-path attempt: the job's graph is replicated
+/// into `replicas` disjoint lanes of one wide session, solved
+/// vote-only (no sequential reference on the hot path), and the voted
+/// outcome of the single destination is the job's outcome. TMR with
+/// correction can succeed despite a corrupted replica; an unresolved
+/// disagreement surfaces as corruption-class
+/// [`McpError::VoteDisagreement`] and flows into the ordinary
+/// retry/breaker machinery.
+fn attempt_shortest_redundant(
+    ctx: &WorkerCtx,
+    index: u64,
+    backend: BackendChoice,
+    spec: &JobSpec,
+    token: &CancelToken,
+    budget: Option<u64>,
+    attempt: u32,
+) -> Result<JobOutcome, McpError> {
+    let mode = ctx.shared.config.redundancy;
+    let dest = match spec.kind {
+        JobKind::Shortest { dest } => dest,
+        _ => {
+            return Err(McpError::InvariantViolation {
+                invariant: "only shortest-path jobs run redundantly",
+            })
+        }
+    };
+    let graphs = replicate(&spec.graph, mode.replicas());
+    let threads = ctx.shared.config.threads.max(1);
+    match backend {
+        BackendChoice::Packed => drive_redundant_solo(
+            ctx,
+            index,
+            BatchSession::new_packed(&graphs)?,
+            dest,
+            spec,
+            token,
+            budget,
+            attempt,
+            mode,
+        ),
+        BackendChoice::Threaded => drive_redundant_solo(
+            ctx,
+            index,
+            BatchSession::new_threaded(&graphs, threads)?,
+            dest,
+            spec,
+            token,
+            budget,
+            attempt,
+            mode,
+        ),
+        BackendChoice::Scalar => drive_redundant_solo(
+            ctx,
+            index,
+            BatchSession::new(&graphs)?,
+            dest,
+            spec,
+            token,
+            budget,
+            attempt,
+            mode,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_redundant_solo<E: Executor>(
+    ctx: &WorkerCtx,
+    index: u64,
+    mut sess: BatchSession<E>,
+    dest: usize,
+    spec: &JobSpec,
+    token: &CancelToken,
+    budget: Option<u64>,
+    attempt: u32,
+    mode: Redundancy,
+) -> Result<JobOutcome, McpError> {
+    if let Some(fm) = ctx
+        .shared
+        .plan_faults(index, sess.ppa_mut().machine().dim())
+    {
+        sess.ppa_mut().machine_mut().attach_faults(fm);
+    }
+    if let Some((p, seed)) = spec.transient_faults {
+        sess.ppa_mut()
+            .machine_mut()
+            .attach_transient_faults(TransientFaults::new(p, seed.wrapping_add(attempt as u64)));
+    }
+    // The budget is per destination (solo-equivalent semantics), so a
+    // redundant run keeps the caller's budget meaning unchanged.
+    let limits = [LaneLimit {
+        step_budget: budget,
+        cancel: Some(token.clone()),
+    }];
+    let wave = sess.solve_redundant_with(&[dest], &limits, mode)?;
+    let voted = wave
+        .lanes
+        .into_iter()
+        .next()
+        .ok_or(McpError::InvariantViolation {
+            invariant: "a redundant wave returns one voted lane per destination",
+        })?;
+    if voted.vote.disagreed {
+        note_sighting(ctx, index, true);
+        if voted.vote.corrected {
+            lock(&ctx.shared.metrics).inc("serve.health.vote_corrected", 1);
+        }
+    }
+    Ok(JobOutcome::Shortest(voted.outcome?))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn attempt_on<E: Executor>(
+    ctx: &WorkerCtx,
+    index: u64,
     mut ppa: Ppa<E>,
     spec: &JobSpec,
     token: &CancelToken,
     budget: Option<u64>,
     attempt: u32,
     last_flush: &mut Option<Json>,
-    metrics: &Mutex<Metrics>,
 ) -> Result<JobOutcome, McpError> {
+    let metrics = &ctx.shared.metrics;
     ppa.attach_cancel(token.clone());
     if let Some(b) = budget {
         ppa.limit_steps(b);
+    }
+    if let Some(fm) = ctx.shared.plan_faults(index, ppa.machine().dim()) {
+        ppa.machine_mut().attach_faults(fm);
     }
     if let Some((p, seed)) = spec.transient_faults {
         // Salting by attempt keeps faults transient: a retry sees a
@@ -1431,9 +1999,14 @@ fn attempt_on<E: Executor>(
             checkpoint_every, ..
         } => {
             let every = (*checkpoint_every).max(1);
+            // A flushed checkpoint always round-trips; degrade to a
+            // typed error rather than panicking the worker if that
+            // invariant is ever broken.
             let mut cp = match last_flush.as_ref() {
                 Some(doc) => {
-                    ApspCheckpoint::from_json(doc).expect("a flushed checkpoint always round-trips")
+                    ApspCheckpoint::from_json(doc).map_err(|_| McpError::InvariantViolation {
+                        invariant: "a flushed APSP checkpoint failed to round-trip",
+                    })?
                 }
                 None => ApspCheckpoint::new(spec.graph.n()),
             };
@@ -1462,57 +2035,70 @@ fn attempt_on<E: Executor>(
 /// final checkpoint (outputs per destination are bit-identical anyway).
 #[allow(clippy::too_many_arguments)]
 fn attempt_apsp_batched(
+    ctx: &WorkerCtx,
+    index: u64,
     backend: BackendChoice,
     spec: &JobSpec,
     token: &CancelToken,
     budget: Option<u64>,
     lanes: usize,
     last_flush: &mut Option<Json>,
-    metrics: &Mutex<Metrics>,
-    threads: usize,
 ) -> Result<JobOutcome, McpError> {
     let graphs = replicate(&spec.graph, lanes);
+    let threads = ctx.shared.config.threads.max(1);
     match backend {
         BackendChoice::Packed => drive_apsp_batch(
+            ctx,
+            index,
             BatchSession::new_packed(&graphs)?,
             spec,
             token,
             budget,
             last_flush,
-            metrics,
         ),
         BackendChoice::Threaded => drive_apsp_batch(
+            ctx,
+            index,
             BatchSession::new_threaded(&graphs, threads)?,
             spec,
             token,
             budget,
             last_flush,
-            metrics,
         ),
         BackendChoice::Scalar => drive_apsp_batch(
+            ctx,
+            index,
             BatchSession::new(&graphs)?,
             spec,
             token,
             budget,
             last_flush,
-            metrics,
         ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive_apsp_batch<E: Executor>(
+    ctx: &WorkerCtx,
+    index: u64,
     mut batch: BatchSession<E>,
     spec: &JobSpec,
     token: &CancelToken,
     budget: Option<u64>,
     last_flush: &mut Option<Json>,
-    metrics: &Mutex<Metrics>,
 ) -> Result<JobOutcome, McpError> {
+    let metrics = &ctx.shared.metrics;
     // The campaign is one job: deadline/cancel and the step budget apply
     // machine-wide, exactly like the solo campaign's session machine.
     batch.ppa_mut().attach_cancel(token.clone());
     if let Some(b) = budget {
         batch.ppa_mut().limit_steps(b);
+    }
+    if let Some(fm) = ctx
+        .shared
+        .plan_faults(index, batch.ppa_mut().machine().dim())
+    {
+        batch.ppa_mut().machine_mut().attach_faults(fm);
     }
     let every = match &spec.kind {
         JobKind::Apsp {
@@ -1523,9 +2109,9 @@ fn drive_apsp_batch<E: Executor>(
     let n = spec.graph.n();
     let lanes = batch.lanes();
     let mut cp = match last_flush.as_ref() {
-        Some(doc) => {
-            ApspCheckpoint::from_json(doc).expect("a flushed checkpoint always round-trips")
-        }
+        Some(doc) => ApspCheckpoint::from_json(doc).map_err(|_| McpError::InvariantViolation {
+            invariant: "a flushed APSP checkpoint failed to round-trip",
+        })?,
         None => ApspCheckpoint::new(n),
     };
     while !cp.is_complete() {
@@ -2127,5 +2713,237 @@ mod tests {
         assert!(snap.inflight.is_empty(), "the chaos job is gone");
         let metrics = svc.shutdown();
         assert_eq!(metrics.counter("serve.worker_panics"), 1);
+    }
+
+    fn fast_scrub() -> ScrubConfig {
+        ScrubConfig {
+            enabled: true,
+            idle_after: Duration::from_micros(200),
+            min_interval: Duration::from_micros(100),
+            duty_cycle: 1.0,
+            probe_n: 5,
+            benched_pause: Duration::from_micros(200),
+        }
+    }
+
+    #[test]
+    fn idle_workers_scrub_between_jobs_and_stay_healthy() {
+        let svc = SolveService::start(ServeConfig {
+            workers: 2,
+            scrubbing: fast_scrub(),
+            ..quick_config()
+        });
+        // Let the idle pool sweep a few times.
+        let mut metrics = svc.metrics();
+        for _ in 0..500 {
+            metrics = svc.metrics();
+            if metrics.counter("serve.scrub.sweeps") >= 3 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            metrics.counter("serve.scrub.sweeps") >= 3,
+            "pool never scrubbed"
+        );
+        assert_eq!(
+            metrics.counter("serve.scrub.clean"),
+            metrics.counter("serve.scrub.sweeps"),
+            "clean machines must sweep clean"
+        );
+        assert!(metrics.counter("serve.scrub.steps") > 0, "BIST costs steps");
+        let snap = svc.introspect();
+        assert!(
+            snap.health.iter().all(|h| h.state == "healthy"),
+            "{:?}",
+            snap.health
+        );
+        assert_eq!(snap.quarantine_leaks, 0);
+        // Scrubbing never blocks serving: jobs still solve to reference.
+        let w = gen::random_connected(6, 0.4, 9, 31);
+        let report = svc
+            .submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: 1 }))
+            .unwrap()
+            .wait();
+        let want = McpSession::new(&w).unwrap().solve_verified(1).unwrap();
+        match report.outcome.unwrap() {
+            JobOutcome::Shortest(out) => assert_eq!(out.sow, want.sow),
+            other => panic!("wrong outcome kind: {other:?}"),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn a_planted_fault_is_quarantined_benched_and_readmitted() {
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            scrubbing: fast_scrub(),
+            // Worker 0's machines carry three stuck switches until two
+            // faulty machines have been built — then the "repair" lands
+            // and re-admission can be earned.
+            fault_plan: MachineFaultPlan::default().with(
+                0,
+                FaultSpec {
+                    count: 3,
+                    seed: 0xFA117,
+                    heal_after_builds: Some(2),
+                },
+            ),
+            ..quick_config()
+        });
+        // The full drill: scrub localizes the fault -> quarantine (+ a
+        // replacement worker) -> clean sweep -> probation -> clean
+        // probes -> readmitted.
+        let mut metrics = svc.metrics();
+        for _ in 0..2000 {
+            metrics = svc.metrics();
+            if metrics.counter("serve.health.readmitted") >= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            metrics.counter("serve.health.readmitted") >= 1,
+            "worker 0 was never readmitted: {metrics:?}"
+        );
+        assert!(metrics.counter("serve.scrub.faulty") >= 1);
+        assert!(metrics.counter("serve.health.quarantined") >= 1);
+        assert!(
+            metrics.counter("serve.health.replacements") >= 1,
+            "a benched machine must be replaced to keep capacity"
+        );
+        assert!(metrics.counter("serve.health.probes") >= 1);
+        assert_eq!(
+            metrics.counter("serve.health.quarantine_leaks"),
+            0,
+            "no job may ever reach a benched machine"
+        );
+        let snap = svc.introspect();
+        let rec = snap
+            .health
+            .iter()
+            .find(|h| h.worker == 0)
+            .expect("worker 0 keeps its ledger record");
+        assert_eq!(rec.state, "healthy", "{rec:?}");
+        assert!(rec.bist_faults >= 1);
+        // The healed, readmitted pool serves correctly.
+        let w = gen::random_connected(6, 0.4, 9, 37);
+        let report = svc
+            .submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: 0 }))
+            .unwrap()
+            .wait();
+        assert!(report.outcome.is_ok());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn redundant_shortest_solves_are_bit_identical_to_the_reference() {
+        for mode in [Redundancy::Dmr, Redundancy::Tmr { correct: true }] {
+            let w = gen::random_connected(6, 0.4, 9, 41);
+            let svc = SolveService::start(ServeConfig {
+                workers: 1,
+                redundancy: mode,
+                ..quick_config()
+            });
+            let report = svc
+                .submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: 2 }))
+                .unwrap()
+                .wait();
+            let want = McpSession::new(&w).unwrap().solve_verified(2).unwrap();
+            match report.outcome.unwrap() {
+                JobOutcome::Shortest(out) => {
+                    assert_eq!(out.sow, want.sow, "{mode}");
+                    assert_eq!(out.ptn, want.ptn, "{mode}");
+                    assert_eq!(out.iterations, want.iterations, "{mode}");
+                }
+                other => panic!("wrong outcome kind: {other:?}"),
+            }
+            let metrics = svc.shutdown();
+            assert_eq!(metrics.counter("serve.completed"), 1);
+            assert_eq!(metrics.counter("serve.health.vote_disagreements"), 0);
+        }
+    }
+
+    #[test]
+    fn redundant_batched_waves_match_the_reference() {
+        let w = gen::random_connected(6, 0.4, 9, 43);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            redundancy: Redundancy::Tmr { correct: true },
+            batching: BatchingConfig {
+                enabled: true,
+                max_lanes: 9,
+                hold_window: Duration::from_millis(5),
+            },
+            ..quick_config()
+        });
+        let tickets: Vec<_> = (0..4)
+            .map(|d| {
+                svc.submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: d % 6 }))
+                    .unwrap()
+            })
+            .collect();
+        for (d, t) in tickets.into_iter().enumerate() {
+            let want = McpSession::new(&w).unwrap().solve_verified(d % 6).unwrap();
+            match t.wait().outcome.unwrap() {
+                JobOutcome::Shortest(out) => {
+                    assert_eq!(out.sow, want.sow);
+                    assert_eq!(out.ptn, want.ptn);
+                }
+                other => panic!("wrong outcome kind: {other:?}"),
+            }
+        }
+        let metrics = svc.shutdown();
+        assert_eq!(metrics.counter("serve.completed"), 4);
+        assert_eq!(metrics.counter("serve.health.vote_disagreements"), 0);
+    }
+
+    #[test]
+    fn a_faulty_redundant_pool_never_returns_a_silent_wrong() {
+        // A permanently faulty worker under DMR: every job either
+        // returns the bit-identical reference answer or a typed
+        // corruption-class failure — never a silently wrong result.
+        let w = gen::random_connected(6, 0.4, 9, 47);
+        let svc = SolveService::start(ServeConfig {
+            workers: 1,
+            redundancy: Redundancy::Dmr,
+            fault_plan: MachineFaultPlan::default().with(
+                0,
+                FaultSpec {
+                    count: 2,
+                    seed: 0xBAD,
+                    heal_after_builds: None,
+                },
+            ),
+            ..quick_config()
+        });
+        let want = McpSession::new(&w).unwrap().solve_verified(1).unwrap();
+        let mut disagreements_seen = false;
+        for _ in 0..4 {
+            let report = svc
+                .submit(JobSpec::new(w.clone(), JobKind::Shortest { dest: 1 }))
+                .unwrap()
+                .wait();
+            match report.outcome {
+                Ok(JobOutcome::Shortest(out)) => {
+                    assert_eq!(out.sow, want.sow, "silent wrong accepted");
+                    assert_eq!(out.ptn, want.ptn, "silent wrong accepted");
+                }
+                Ok(other) => panic!("wrong outcome kind: {other:?}"),
+                Err(ServeError::Solver(e)) => {
+                    assert!(e.indicates_corruption(), "untyped failure: {e}");
+                }
+                Err(other) => panic!("unexpected serve error: {other}"),
+            }
+        }
+        let metrics = svc.shutdown();
+        if metrics.counter("serve.health.vote_disagreements") > 0 {
+            disagreements_seen = true;
+            assert!(metrics.counter("serve.health.sightings") > 0);
+        }
+        // The planted faults sit on real job machines; whether they
+        // disturb this workload is seed-dependent, but when they do the
+        // ledger must have seen it.
+        let _ = disagreements_seen;
     }
 }
