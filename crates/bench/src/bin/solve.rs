@@ -3,7 +3,7 @@
 //! ```text
 //! solve <graph-file> --dest <d> [--problem shortest|widest|hops|reach]
 //!                                [--backend scalar|packed|threaded]
-//!                                [--threads K]
+//!                                [--threads K] [--word 64|256]
 //!                                [--source] [--steps] [--paths]
 //!                                [--trace FILE] [--metrics FILE]
 //! solve <graph-file> --dest <d> --serve [--workers N] [--deadline-ms D]
@@ -21,7 +21,9 @@
 //! execution backend: `scalar` (the reference), `packed` (u64 bit-plane
 //! masks with bus-plan caching), or `threaded` (packed word rows sharded
 //! across a `--threads K` worker pool) — results and step counts are
-//! identical on all three, only host wall-clock differs.
+//! identical on all three, only host wall-clock differs. `--word 256`
+//! switches the packed/threaded backends from 64-bit machine words to
+//! 256-bit SWAR words (4×u64 limbs); results stay bit-identical.
 //!
 //! `--batch L` turns on lane batching. Inline (`--problem shortest`) it
 //! solves a wavefront of `L` destinations — `d`, `d+1`, … mod `n` — on
@@ -55,7 +57,7 @@
 //!   single-process run.
 
 use ppa_graph::{gen, io, WeightMatrix, INF};
-use ppa_machine::{Executor, PackedBackend, ThreadedBackend};
+use ppa_machine::{Executor, PackedBackend, ThreadedBackend, WordWidth, W256};
 use ppa_mcp::closure::{hop_levels, reachability};
 use ppa_mcp::mcp::fit_word_bits;
 use ppa_mcp::path::extract_path;
@@ -72,6 +74,7 @@ struct Options {
     source_mode: bool,
     backend: String,
     threads: usize,
+    word: WordWidth,
     show_steps: bool,
     show_paths: bool,
     trace_file: Option<String>,
@@ -91,13 +94,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: solve <graph-file | --demo> --dest <d> \
          [--problem shortest|widest|hops|reach] \
-         [--backend scalar|packed|threaded] [--threads K] [--batch L] \
-         [--redundancy off|dmr|tmr|tmr-detect] \
+         [--backend scalar|packed|threaded] [--threads K] [--word 64|256] \
+         [--batch L] [--redundancy off|dmr|tmr|tmr-detect] \
          [--source] [--steps] [--paths] [--trace FILE] [--metrics FILE] \
          [--serve [--workers N] [--deadline-ms D] [--budget STEPS] \
          [--status-every MS]] [--connect ADDR]\n       \
-         solve --listen ADDR [--workers N] [--threads K] [--batch L] \
-         [--redundancy off|dmr|tmr|tmr-detect] \
+         solve --listen ADDR [--workers N] [--threads K] [--word 64|256] \
+         [--batch L] [--redundancy off|dmr|tmr|tmr-detect] \
          [--backend scalar|packed|threaded] [--status-every MS]\n       \
          solve shard-worker <graph-file> --shard I --of N \
          --checkpoint PATH [--every K] [--workers N] [--stall-ms MS]\n       \
@@ -115,6 +118,7 @@ fn parse_args() -> Options {
         source_mode: false,
         backend: "scalar".into(),
         threads: 4,
+        word: WordWidth::W64,
         show_steps: false,
         show_paths: false,
         trace_file: None,
@@ -146,6 +150,13 @@ fn parse_args() -> Options {
                     eprintln!("--threads must be at least 1");
                     usage()
                 }
+            }
+            "--word" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.word = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--word takes 64 or 256, got `{v}`");
+                    usage()
+                });
             }
             "--source" => opts.source_mode = true,
             "--steps" => opts.show_steps = true,
@@ -339,16 +350,30 @@ fn main() {
                 return run_shortest_batched(backend, &w, d, lanes, &opts);
             }
             let h = fit_word_bits(&w).clamp(2, 62);
-            match backend {
-                Backend::Scalar => run_shortest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts),
-                Backend::Packed => run_shortest(
+            match (backend, opts.word) {
+                (Backend::Scalar, _) => {
+                    run_shortest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts)
+                }
+                (Backend::Packed, WordWidth::W64) => run_shortest(
                     Ppa::<PackedBackend>::packed(w.n()).with_word_bits(h),
                     &w,
                     d,
                     &opts,
                 ),
-                Backend::Threaded => run_shortest(
+                (Backend::Packed, WordWidth::W256) => run_shortest(
+                    Ppa::<PackedBackend<W256>>::packed_wide(w.n()).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                ),
+                (Backend::Threaded, WordWidth::W64) => run_shortest(
                     Ppa::<ThreadedBackend>::threaded(w.n(), k).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                ),
+                (Backend::Threaded, WordWidth::W256) => run_shortest(
+                    Ppa::<ThreadedBackend<W256>>::threaded_wide(w.n(), k).with_word_bits(h),
                     &w,
                     d,
                     &opts,
@@ -357,33 +382,71 @@ fn main() {
         }
         "widest" => {
             let h = w.required_word_bits().clamp(4, 62);
-            match backend {
-                Backend::Scalar => run_widest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts),
-                Backend::Packed => run_widest(
+            match (backend, opts.word) {
+                (Backend::Scalar, _) => {
+                    run_widest(Ppa::square(w.n()).with_word_bits(h), &w, d, &opts)
+                }
+                (Backend::Packed, WordWidth::W64) => run_widest(
                     Ppa::<PackedBackend>::packed(w.n()).with_word_bits(h),
                     &w,
                     d,
                     &opts,
                 ),
-                Backend::Threaded => run_widest(
+                (Backend::Packed, WordWidth::W256) => run_widest(
+                    Ppa::<PackedBackend<W256>>::packed_wide(w.n()).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                ),
+                (Backend::Threaded, WordWidth::W64) => run_widest(
                     Ppa::<ThreadedBackend>::threaded(w.n(), k).with_word_bits(h),
+                    &w,
+                    d,
+                    &opts,
+                ),
+                (Backend::Threaded, WordWidth::W256) => run_widest(
+                    Ppa::<ThreadedBackend<W256>>::threaded_wide(w.n(), k).with_word_bits(h),
                     &w,
                     d,
                     &opts,
                 ),
             }
         }
-        "hops" => match backend {
-            Backend::Scalar => run_hops(Ppa::square(w.n()), &w, d, &opts),
-            Backend::Packed => run_hops(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts),
-            Backend::Threaded => run_hops(Ppa::<ThreadedBackend>::threaded(w.n(), k), &w, d, &opts),
+        "hops" => match (backend, opts.word) {
+            (Backend::Scalar, _) => run_hops(Ppa::square(w.n()), &w, d, &opts),
+            (Backend::Packed, WordWidth::W64) => {
+                run_hops(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts)
+            }
+            (Backend::Packed, WordWidth::W256) => {
+                run_hops(Ppa::<PackedBackend<W256>>::packed_wide(w.n()), &w, d, &opts)
+            }
+            (Backend::Threaded, WordWidth::W64) => {
+                run_hops(Ppa::<ThreadedBackend>::threaded(w.n(), k), &w, d, &opts)
+            }
+            (Backend::Threaded, WordWidth::W256) => run_hops(
+                Ppa::<ThreadedBackend<W256>>::threaded_wide(w.n(), k),
+                &w,
+                d,
+                &opts,
+            ),
         },
-        "reach" => match backend {
-            Backend::Scalar => run_reach(Ppa::square(w.n()), &w, d, &opts),
-            Backend::Packed => run_reach(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts),
-            Backend::Threaded => {
+        "reach" => match (backend, opts.word) {
+            (Backend::Scalar, _) => run_reach(Ppa::square(w.n()), &w, d, &opts),
+            (Backend::Packed, WordWidth::W64) => {
+                run_reach(Ppa::<PackedBackend>::packed(w.n()), &w, d, &opts)
+            }
+            (Backend::Packed, WordWidth::W256) => {
+                run_reach(Ppa::<PackedBackend<W256>>::packed_wide(w.n()), &w, d, &opts)
+            }
+            (Backend::Threaded, WordWidth::W64) => {
                 run_reach(Ppa::<ThreadedBackend>::threaded(w.n(), k), &w, d, &opts)
             }
+            (Backend::Threaded, WordWidth::W256) => run_reach(
+                Ppa::<ThreadedBackend<W256>>::threaded_wide(w.n(), k),
+                &w,
+                d,
+                &opts,
+            ),
         },
         other => {
             eprintln!("unknown problem `{other}`");
@@ -424,6 +487,7 @@ fn run_serve(w: WeightMatrix, d: usize, backend: Backend, opts: &Options) {
         prefer_packed: backend == Backend::Packed,
         prefer_threaded: backend == Backend::Threaded,
         threads: opts.threads,
+        word: opts.word,
         ..ServeConfig::default()
     };
     if let Some(lanes) = opts.batch {
@@ -572,6 +636,7 @@ fn run_listen(addr: &str, opts: &Options) {
         prefer_packed: opts.backend == "packed",
         prefer_threaded: opts.backend == "threaded",
         threads: opts.threads,
+        word: opts.word,
         ..ServeConfig::default()
     };
     if let Some(lanes) = opts.batch {
@@ -904,21 +969,35 @@ fn run_shortest_batched(
         eprintln!("solver error: {e}");
         exit(1)
     };
-    match backend {
-        Backend::Scalar => drive_batch(
+    match (backend, opts.word) {
+        (Backend::Scalar, _) => drive_batch(
             BatchSession::new(&graphs).unwrap_or_else(|e| die(e)),
             &dests,
             w,
             opts,
         ),
-        Backend::Packed => drive_batch(
+        (Backend::Packed, WordWidth::W64) => drive_batch(
             BatchSession::new_packed(&graphs).unwrap_or_else(|e| die(e)),
             &dests,
             w,
             opts,
         ),
-        Backend::Threaded => drive_batch(
+        (Backend::Packed, WordWidth::W256) => drive_batch(
+            BatchSession::<PackedBackend<W256>>::new_packed_wide(&graphs)
+                .unwrap_or_else(|e| die(e)),
+            &dests,
+            w,
+            opts,
+        ),
+        (Backend::Threaded, WordWidth::W64) => drive_batch(
             BatchSession::new_threaded(&graphs, opts.threads).unwrap_or_else(|e| die(e)),
+            &dests,
+            w,
+            opts,
+        ),
+        (Backend::Threaded, WordWidth::W256) => drive_batch(
+            BatchSession::<ThreadedBackend<W256>>::new_threaded_wide(&graphs, opts.threads)
+                .unwrap_or_else(|e| die(e)),
             &dests,
             w,
             opts,
@@ -942,23 +1021,39 @@ fn run_shortest_redundant(backend: Backend, w: &WeightMatrix, d: usize, opts: &O
         eprintln!("solver error: {e}");
         exit(1)
     };
-    match backend {
-        Backend::Scalar => drive_redundant(
+    match (backend, opts.word) {
+        (Backend::Scalar, _) => drive_redundant(
             BatchSession::new(&graphs).unwrap_or_else(|e| die(e)),
             w,
             d,
             mode,
             opts,
         ),
-        Backend::Packed => drive_redundant(
+        (Backend::Packed, WordWidth::W64) => drive_redundant(
             BatchSession::new_packed(&graphs).unwrap_or_else(|e| die(e)),
             w,
             d,
             mode,
             opts,
         ),
-        Backend::Threaded => drive_redundant(
+        (Backend::Packed, WordWidth::W256) => drive_redundant(
+            BatchSession::<PackedBackend<W256>>::new_packed_wide(&graphs)
+                .unwrap_or_else(|e| die(e)),
+            w,
+            d,
+            mode,
+            opts,
+        ),
+        (Backend::Threaded, WordWidth::W64) => drive_redundant(
             BatchSession::new_threaded(&graphs, opts.threads).unwrap_or_else(|e| die(e)),
+            w,
+            d,
+            mode,
+            opts,
+        ),
+        (Backend::Threaded, WordWidth::W256) => drive_redundant(
+            BatchSession::<ThreadedBackend<W256>>::new_threaded_wide(&graphs, opts.threads)
+                .unwrap_or_else(|e| die(e)),
             w,
             d,
             mode,

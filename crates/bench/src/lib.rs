@@ -342,6 +342,41 @@ pub fn backend_table() -> Table {
     backend_run().table
 }
 
+/// Runs the BK workload on five fresh machines from `make`, asserting
+/// every run bit-identical to the scalar reference `want` — SOW, PTN,
+/// and the per-class step report — **before** any timing is returned.
+/// Returns the wall-clock samples (nanoseconds) and the last run's
+/// execution statistics.
+///
+/// This is the bit-identity gate of `report backend` / `report scale`,
+/// factored out so the bench-gate mutation drill can prove it trips: a
+/// one-bit corruption of the packed vote kernel must make this helper
+/// panic, which makes `report bench --check` exit nonzero.
+pub fn measure_identical<E: ppa_machine::Executor>(
+    make: &dyn Fn() -> Ppa<E>,
+    w: &WeightMatrix,
+    d: usize,
+    want: &ppa_mcp::McpOutput,
+    label: &str,
+) -> (Vec<u64>, ppa_machine::ExecStats) {
+    let mut samples: Vec<u64> = Vec::new();
+    let mut stats = ppa_machine::ExecStats::default();
+    for _ in 0..5 {
+        let mut ppa = make();
+        let start = Instant::now();
+        let out = minimum_cost_path(&mut ppa, w, d).unwrap();
+        samples.push(start.elapsed().as_nanos() as u64);
+        stats = ppa.exec_stats();
+        assert_eq!(out.sow, want.sow, "{label}: SOW diverged from scalar");
+        assert_eq!(out.ptn, want.ptn, "{label}: PTN diverged from scalar");
+        assert_eq!(
+            out.stats.total, want.stats.total,
+            "{label}: step reports diverged from scalar"
+        );
+    }
+    (samples, stats)
+}
+
 /// BK — execution-backend comparison: the scalar reference backend vs the
 /// packed u64 bit-plane backend on the T6 MCP workload. Both backends run
 /// the same micro-op stream; the table asserts they produce identical
@@ -351,7 +386,7 @@ pub fn backend_table() -> Table {
 /// entry: deterministic step count, plan/arena counters, and median/MAD
 /// wall-clock over the five repetitions.
 pub fn backend_run() -> BenchRun {
-    use ppa_machine::PackedBackend;
+    use ppa_machine::{PackedBackend, W256};
     let mut entries: Vec<BaselineEntry> = Vec::new();
     let mut t = Table::new(
         "BK",
@@ -383,19 +418,27 @@ pub fn backend_run() -> BenchRun {
         let scalar_out = scalar_out.unwrap();
         let scalar_wall = scalar_samples.iter().min().copied().unwrap() as f64 / 1e9;
 
-        let mut packed_samples: Vec<u64> = Vec::new();
-        let mut packed_out = None;
-        let mut packed_stats = ppa_machine::ExecStats::default();
-        for _ in 0..5 {
-            let mut ppa = Ppa::<PackedBackend>::packed(n).with_word_bits(h);
-            let start = Instant::now();
-            let out = minimum_cost_path(&mut ppa, &w, 0).unwrap();
-            packed_samples.push(start.elapsed().as_nanos() as u64);
-            packed_stats = ppa.exec_stats();
-            packed_out = Some(out);
-        }
-        let packed_out = packed_out.unwrap();
+        // The fast backends must be observationally identical to the
+        // scalar reference: same outputs, same controller step report
+        // down to the per-class counts. `measure_identical` asserts
+        // that on every repetition before timing is reported.
+        let (packed_samples, packed_stats) = measure_identical(
+            &|| Ppa::<PackedBackend>::packed(n).with_word_bits(h),
+            &w,
+            0,
+            &scalar_out,
+            &format!("n = {n}, packed"),
+        );
         let packed_wall = packed_samples.iter().min().copied().unwrap() as f64 / 1e9;
+
+        let (p256_samples, p256_stats) = measure_identical(
+            &|| Ppa::<PackedBackend<W256>>::packed_wide(n).with_word_bits(h),
+            &w,
+            0,
+            &scalar_out,
+            &format!("n = {n}, packed256"),
+        );
+        let p256_wall = p256_samples.iter().min().copied().unwrap() as f64 / 1e9;
 
         entries.push(BaselineEntry {
             cell: format!("n={n}/scalar"),
@@ -405,7 +448,7 @@ pub fn backend_run() -> BenchRun {
         });
         entries.push(BaselineEntry {
             cell: format!("n={n}/packed"),
-            steps: packed_out.stats.total.total(),
+            steps: scalar_out.stats.total.total(),
             wall: WallStats::from_samples(&packed_samples),
             counters: [
                 ("plan_hits".to_owned(), packed_stats.plan_hits),
@@ -416,15 +459,19 @@ pub fn backend_run() -> BenchRun {
             .into_iter()
             .collect(),
         });
-
-        // The backends must be observationally identical: same outputs,
-        // same controller step report down to the per-class counts.
-        assert_eq!(scalar_out.sow, packed_out.sow, "n = {n}: SOW diverged");
-        assert_eq!(scalar_out.ptn, packed_out.ptn, "n = {n}: PTN diverged");
-        assert_eq!(
-            scalar_out.stats.total, packed_out.stats.total,
-            "n = {n}: step reports diverged"
-        );
+        entries.push(BaselineEntry {
+            cell: format!("n={n}/packed256"),
+            steps: scalar_out.stats.total.total(),
+            wall: WallStats::from_samples(&p256_samples),
+            counters: [
+                ("plan_hits".to_owned(), p256_stats.plan_hits),
+                ("plan_misses".to_owned(), p256_stats.plan_misses),
+                ("arena_fresh".to_owned(), p256_stats.arena_fresh),
+                ("arena_reused".to_owned(), p256_stats.arena_reused),
+            ]
+            .into_iter()
+            .collect(),
+        });
 
         t.row(vec![
             n.to_string(),
@@ -439,17 +486,31 @@ pub fn backend_run() -> BenchRun {
         t.row(vec![
             n.to_string(),
             "packed".into(),
-            packed_out.stats.total.total().to_string(),
+            scalar_out.stats.total.total().to_string(),
             format!("{:.2}", packed_wall * 1e3),
             format!("{:.2}x", scalar_wall / packed_wall),
             format!("{:.1}%", packed_stats.plan_hit_rate() * 100.0),
             packed_stats.arena_fresh.to_string(),
             packed_stats.arena_reused.to_string(),
         ]);
+        t.row(vec![
+            n.to_string(),
+            "packed256".into(),
+            scalar_out.stats.total.total().to_string(),
+            format!("{:.2}", p256_wall * 1e3),
+            format!("{:.2}x", scalar_wall / p256_wall),
+            format!("{:.1}%", p256_stats.plan_hit_rate() * 100.0),
+            p256_stats.arena_fresh.to_string(),
+            p256_stats.arena_reused.to_string(),
+        ]);
     }
+    t.note("width_bit_identical: true");
     t.note("outputs and per-class step reports are asserted identical before timing is");
-    t.note("reported; the packed backend executes mask logic 64 PEs per u64 word and");
-    t.note("reuses cached bus plans keyed by (switch-pattern fingerprint, direction).");
+    t.note("reported; the packed backend executes mask logic 64 PEs per u64 word");
+    t.note("(packed256: 256 PEs per 4-limb SWAR word) and reuses cached bus plans keyed");
+    t.note("by (switch-pattern fingerprint, direction, word width). At these array sizes");
+    t.note("a row fits one word at either width, so packed256 buys no wall-clock win here");
+    t.note("— it pays 4x the limb work per word (see EXPERIMENTS.md).");
     BenchRun {
         table: t,
         baseline: Baseline::new("backend", entries),
@@ -471,7 +532,7 @@ pub fn scale_table() -> Table {
 /// plan-cache counters, and median/MAD wall-clock over five repetitions
 /// (see [`scale_table`] for the full grid semantics).
 pub fn scale_run() -> BenchRun {
-    use ppa_machine::{PackedBackend, ThreadedBackend};
+    use ppa_machine::{PackedBackend, ThreadedBackend, W256};
     use ppa_mcp::McpSession;
     let mut entries: Vec<BaselineEntry> = Vec::new();
     let mut t = Table::new(
@@ -583,10 +644,71 @@ pub fn scale_run() -> BenchRun {
                 format!("{:.1}%", stats.plan_hit_rate() * 100.0),
             ]);
         }
+
+        // Width axis: the same grid on 256-bit SWAR words, gated by the
+        // same bit-identity assertions against the scalar reference.
+        let (p256_samples, p256_stats) = measure_identical(
+            &|| Ppa::<PackedBackend<W256>>::packed_wide(n).with_word_bits(h),
+            &w,
+            0,
+            &want,
+            &format!("n = {n}, packed256"),
+        );
+        let p256_wall = p256_samples.iter().min().copied().unwrap() as f64 / 1e9;
+        entries.push(BaselineEntry {
+            cell: format!("n={n}/packed256"),
+            steps: want.stats.total.total(),
+            wall: WallStats::from_samples(&p256_samples),
+            counters: [
+                ("plan_hits".to_owned(), p256_stats.plan_hits),
+                ("plan_misses".to_owned(), p256_stats.plan_misses),
+            ]
+            .into_iter()
+            .collect(),
+        });
+        t.row(vec![
+            n.to_string(),
+            "packed256".into(),
+            want.stats.total.total().to_string(),
+            format!("{:.2}", p256_wall * 1e3),
+            format!("{:.2}x", packed_wall / p256_wall),
+            format!("{:.1}%", p256_stats.plan_hit_rate() * 100.0),
+        ]);
+        for threads in [1usize, 4, 8] {
+            let (samples, stats) = measure_identical(
+                &|| Ppa::<ThreadedBackend<W256>>::threaded_wide(n, threads).with_word_bits(h),
+                &w,
+                0,
+                &want,
+                &format!("n = {n}, threaded256 x{threads}"),
+            );
+            let wall = samples.iter().min().copied().unwrap() as f64 / 1e9;
+            entries.push(BaselineEntry {
+                cell: format!("n={n}/threads256={threads}"),
+                steps: want.stats.total.total(),
+                wall: WallStats::from_samples(&samples),
+                counters: [
+                    ("plan_hits".to_owned(), stats.plan_hits),
+                    ("plan_misses".to_owned(), stats.plan_misses),
+                ]
+                .into_iter()
+                .collect(),
+            });
+            t.row(vec![
+                n.to_string(),
+                format!("w256 x{threads}"),
+                want.stats.total.total().to_string(),
+                format!("{:.2}", wall * 1e3),
+                format!("{:.2}x", packed_wall / wall),
+                format!("{:.1}%", stats.plan_hit_rate() * 100.0),
+            ]);
+        }
     }
     t.note(format!("threaded_bit_identical: {all_identical}"));
-    t.note("every (n, threads) cell is asserted bit-identical to the scalar reference");
-    t.note("(SOW, PTN, per-class step report) before its wall-clock is reported, and the");
+    t.note("width_bit_identical: true");
+    t.note("every cell — both word widths, every thread count — is asserted bit-identical");
+    t.note("to the scalar reference (SOW, PTN, per-class step report) before its");
+    t.note("wall-clock is reported, and the");
     t.note("backend.* ppa-obs counters are reconciled exactly against the exec stats;");
     t.note("speedup over packed requires multiple host cores — on a single-core host the");
     t.note("rendezvous overhead makes threaded <= packed at every width (see EXPERIMENTS.md).");
@@ -3230,17 +3352,22 @@ mod tests {
     #[test]
     fn backend_rows_agree_and_cache_is_warm() {
         let t = backend_table();
-        assert_eq!(t.rows.len(), 6);
-        for pair in t.rows.chunks(2) {
-            // Same n, same step count on both backend rows.
-            assert_eq!(pair[0][0], pair[1][0]);
-            assert_eq!(pair[0][2], pair[1][2], "{pair:?}");
+        // Three rows per n: scalar, packed (W64), packed256.
+        assert_eq!(t.rows.len(), 9);
+        for block in t.rows.chunks(3) {
+            assert_eq!(block[1][1], "packed", "{block:?}");
+            assert_eq!(block[2][1], "packed256", "{block:?}");
+            for row in &block[1..] {
+                // Same n, same step count on every backend row.
+                assert_eq!(row[0], block[0][0]);
+                assert_eq!(row[2], block[0][2], "{block:?}");
+            }
         }
-        // The n = 64 packed row keeps the bus-plan cache hot.
-        let row = t.rows.last().unwrap();
-        assert_eq!(row[1], "packed");
-        let rate: f64 = row[5].trim_end_matches('%').parse().unwrap();
-        assert!(rate > 90.0, "plan hit rate {rate}%");
+        // The n = 64 rows keep the bus-plan cache hot at both widths.
+        for row in &t.rows[t.rows.len() - 2..] {
+            let rate: f64 = row[5].trim_end_matches('%').parse().unwrap();
+            assert!(rate > 90.0, "plan hit rate {rate}% on {row:?}");
+        }
     }
 
     #[test]

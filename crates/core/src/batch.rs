@@ -1,15 +1,17 @@
 //! Lane-batched solving: many independent MCP problems in one micro-op
 //! stream.
 //!
-//! The bit-plane representation is wider than one problem needs: a u64
-//! word of the packed backend holds 64 PEs of *one* solve. A
+//! The bit-plane representation is wider than one problem needs: one
+//! machine word of the packed backend (64 or 256 PEs, depending on the
+//! [`Word`] parameter) holds PEs of *one* solve. A
 //! [`BatchSession`] lifts that assumption by packing `L` independent
 //! `n x n` problems side by side into one `n x (n * L)` machine (lane
 //! `l` owns columns `l*n .. (l+1)*n`, see
 //! [`LaneLayout`](ppa_machine::LaneLayout)) and retiring all of them in
 //! a single replay of the paper's statement sequence. One batch solves
-//! a wavefront of `L` destinations of one graph, or up to 64
-//! independent same-size graphs — bus-plan lookups, arena traffic, and
+//! a wavefront of `L` destinations of one graph, or up to
+//! [`MAX_LANES`] independent same-size graphs — bus-plan lookups, arena
+//! traffic, and
 //! rendezvous overhead are paid once per *batch* instead of once per
 //! *problem*.
 //!
@@ -57,7 +59,7 @@ use crate::Result;
 use ppa_graph::{Weight, WeightMatrix, INF};
 use ppa_machine::{
     CancelToken, Direction, ExecStats, Executor, LaneLayout, Machine, MachineError, PackedBackend,
-    ScalarBackend, StepReport, ThreadedBackend,
+    ScalarBackend, StepReport, ThreadedBackend, Word,
 };
 use ppa_ppc::{Parallel, Ppa, PpcError};
 
@@ -68,8 +70,9 @@ use ppa_ppc::{Parallel, Ppa, PpcError};
 /// thing they mean on a fresh solo machine.
 const PREPARE_STEPS: u64 = 5;
 
-/// The most lanes a batch can hold: one per bit of the packed backend's
-/// machine word.
+/// The most lanes a batch can hold. A lane is a column band, not a word
+/// bit, so the cap is independent of the backend's word width; 64 bounds
+/// the composite machine at a size the admission layer is sized for.
 pub const MAX_LANES: usize = 64;
 
 /// Per-lane resource limits for [`BatchSession::solve_with`].
@@ -194,6 +197,34 @@ impl BatchSession<ThreadedBackend> {
     pub fn new_threaded(graphs: &[WeightMatrix], threads: usize) -> Result<Self> {
         let n = check_graphs(graphs)?;
         let ppa = Ppa::from_machine(Machine::new_threaded(n, n * graphs.len(), threads))
+            .with_word_bits(batch_word_bits(graphs));
+        Self::from_ppa(ppa, graphs)
+    }
+}
+
+impl<W: Word> BatchSession<PackedBackend<W>> {
+    /// [`BatchSession::new_packed`] with an explicit machine word `W`.
+    ///
+    /// # Errors
+    /// [`McpError::BatchShape`] for an empty, oversized, or mixed-size
+    /// batch.
+    pub fn new_packed_wide(graphs: &[WeightMatrix]) -> Result<Self> {
+        let n = check_graphs(graphs)?;
+        let ppa = Ppa::from_machine(Machine::new_packed_wide(n, n * graphs.len()))
+            .with_word_bits(batch_word_bits(graphs));
+        Self::from_ppa(ppa, graphs)
+    }
+}
+
+impl<W: Word> BatchSession<ThreadedBackend<W>> {
+    /// [`BatchSession::new_threaded`] with an explicit machine word `W`.
+    ///
+    /// # Errors
+    /// [`McpError::BatchShape`] for an empty, oversized, or mixed-size
+    /// batch.
+    pub fn new_threaded_wide(graphs: &[WeightMatrix], threads: usize) -> Result<Self> {
+        let n = check_graphs(graphs)?;
+        let ppa = Ppa::from_machine(Machine::new_threaded_wide(n, n * graphs.len(), threads))
             .with_word_bits(batch_word_bits(graphs));
         Self::from_ppa(ppa, graphs)
     }

@@ -22,7 +22,7 @@ use crate::apsp::AllPairs;
 use crate::mcp::{self, McpOutput, Prepared};
 use crate::Result;
 use ppa_graph::WeightMatrix;
-use ppa_machine::{ExecStats, Executor, PackedBackend, ScalarBackend, ThreadedBackend};
+use ppa_machine::{ExecStats, Executor, PackedBackend, ScalarBackend, ThreadedBackend, Word};
 use ppa_ppc::Ppa;
 
 /// A minimum-cost-path solver session: a runtime plus the prepared
@@ -68,6 +68,33 @@ impl McpSession<ThreadedBackend> {
     /// cannot fire for the auto-fitted machine built here).
     pub fn new_threaded(w: &WeightMatrix, threads: usize) -> Result<Self> {
         let ppa = Ppa::<ThreadedBackend>::threaded(w.n(), threads)
+            .with_word_bits(mcp::fit_word_bits(w).clamp(2, 62));
+        Self::from_ppa(ppa, w)
+    }
+}
+
+impl<W: Word> McpSession<PackedBackend<W>> {
+    /// [`McpSession::new_packed`] with an explicit machine word `W` (e.g.
+    /// `McpSession::<PackedBackend<W256>>::new_packed_wide`).
+    ///
+    /// # Errors
+    /// Propagates the solver's size/word-width contract checks (which
+    /// cannot fire for the auto-fitted machine built here).
+    pub fn new_packed_wide(w: &WeightMatrix) -> Result<Self> {
+        let ppa = Ppa::<PackedBackend<W>>::packed_wide(w.n())
+            .with_word_bits(mcp::fit_word_bits(w).clamp(2, 62));
+        Self::from_ppa(ppa, w)
+    }
+}
+
+impl<W: Word> McpSession<ThreadedBackend<W>> {
+    /// [`McpSession::new_threaded`] with an explicit machine word `W`.
+    ///
+    /// # Errors
+    /// Propagates the solver's size/word-width contract checks (which
+    /// cannot fire for the auto-fitted machine built here).
+    pub fn new_threaded_wide(w: &WeightMatrix, threads: usize) -> Result<Self> {
+        let ppa = Ppa::<ThreadedBackend<W>>::threaded_wide(w.n(), threads)
             .with_word_bits(mcp::fit_word_bits(w).clamp(2, 62));
         Self::from_ppa(ppa, w)
     }

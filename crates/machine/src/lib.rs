@@ -79,6 +79,7 @@ pub mod plane;
 pub mod render;
 pub mod switch;
 pub mod threaded;
+pub mod word;
 
 pub use budget::CancelToken;
 pub use controller::{Controller, Op, StepReport};
@@ -94,3 +95,4 @@ pub use plane::Plane;
 pub use ppa_obs::OccupancySampling;
 pub use switch::SwitchConfig;
 pub use threaded::{SharedMask, ThreadedBackend};
+pub use word::{Word, WordWidth, W256, W64};

@@ -1,23 +1,29 @@
-//! The packed execution backend: u64-word bitset masks, a recycling plane
+//! The packed execution backend: wide-word bitset masks, a recycling plane
 //! arena, and a bus-plan cache.
 //!
 //! [`PackedBackend`] implements [`Executor`] with three wall-clock levers
 //! the scalar reference backend lacks:
 //!
 //! * **Packed masks** — every `Plane<bool>` mask inside the bit-serial
-//!   `min`/`selected_min` loop is a [`PackedMask`]: 64 PEs per u64 word, so
-//!   votes, knockouts, bit-plane extraction and occupancy counting are word
-//!   ops and popcounts instead of per-PE byte walks.
+//!   `min`/`selected_min` loop is a [`PackedMask`]: `W::BITS` PEs per
+//!   machine word (see the [`Word`] seam), so votes, knockouts, bit-plane
+//!   extraction and occupancy counting are word ops and popcounts instead
+//!   of per-PE byte walks.
 //! * **Plane arena** — mask words are recycled through a shared
 //!   [`WordPool`]; after warm-up the O(h) scan loop allocates nothing.
 //! * **Bus-plan cache** — cluster resolution (`bus::cluster_keys`) is
 //!   computed once per distinct (direction, Open-mask) switch configuration
 //!   and reused; the MCP inner loop replays the same configuration across
 //!   all h bit passes, so nearly every bus instruction hits the cache.
+//!   Plans are fingerprinted per word width, so a 64-bit plan can never be
+//!   replayed against 256-bit masks.
 //!
-//! Semantics are bit-identical to [`ScalarBackend`](crate::ScalarBackend):
-//! the differential suite in `tests/backend_diff.rs` asserts values *and*
-//! step counts across backends.
+//! The backend is generic over the machine word: `PackedBackend<W64>` (the
+//! default) is the historical u64 backend, `PackedBackend<W256>` runs the
+//! same kernels over 256-bit SWAR words. Semantics are bit-identical to
+//! [`ScalarBackend`](crate::ScalarBackend) at every width: the differential
+//! suites in `tests/backend_diff.rs` and `tests/backend_width.rs` assert
+//! values *and* step counts across backends and widths.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -29,29 +35,26 @@ use crate::geometry::{Axis, Dim, Direction};
 use crate::isa::{ExecStats, Executor};
 use crate::machine::Machine;
 use crate::plane::Plane;
+use crate::word::{Word, W64};
 
-pub(crate) const WORD_BITS: usize = 64;
 /// Retained bus plans; the MCP loop needs ~5 distinct configurations, so a
 /// small LRU never evicts a live plan while tolerating mask churn.
 pub(crate) const PLAN_CACHE_CAP: usize = 32;
 
-pub(crate) fn words_for(dim: Dim) -> usize {
-    dim.len().div_ceil(WORD_BITS)
+/// Number of `W`-words needed to back one bit per PE of `dim` — the
+/// width-neutral stride every packed buffer is sized with.
+pub(crate) fn words_for<W: Word>(dim: Dim) -> usize {
+    dim.len().div_ceil(W::BITS)
 }
 
 /// Whether any bit in `start..end` of a flat bitset is set.
-fn range_any(words: &[u64], start: usize, end: usize) -> bool {
+pub(crate) fn range_any<W: Word>(words: &[W], start: usize, end: usize) -> bool {
     let mut i = start;
     while i < end {
-        let wi = i / WORD_BITS;
-        let off = i % WORD_BITS;
-        let take = (WORD_BITS - off).min(end - i);
-        let mask = if take == WORD_BITS {
-            !0u64
-        } else {
-            ((1u64 << take) - 1) << off
-        };
-        if words[wi] & mask != 0 {
+        let wi = i / W::BITS;
+        let off = i % W::BITS;
+        let take = (W::BITS - off).min(end - i);
+        if !(words[wi] & W::range_mask(off, off + take)).is_zero() {
             return true;
         }
         i += take;
@@ -60,18 +63,13 @@ fn range_any(words: &[u64], start: usize, end: usize) -> bool {
 }
 
 /// Sets every bit in `start..end` of a flat bitset.
-fn set_range(words: &mut [u64], start: usize, end: usize) {
+pub(crate) fn set_range<W: Word>(words: &mut [W], start: usize, end: usize) {
     let mut i = start;
     while i < end {
-        let wi = i / WORD_BITS;
-        let off = i % WORD_BITS;
-        let take = (WORD_BITS - off).min(end - i);
-        let mask = if take == WORD_BITS {
-            !0u64
-        } else {
-            ((1u64 << take) - 1) << off
-        };
-        words[wi] |= mask;
+        let wi = i / W::BITS;
+        let off = i % W::BITS;
+        let take = (W::BITS - off).min(end - i);
+        words[wi] |= W::range_mask(off, off + take);
         i += take;
     }
 }
@@ -82,30 +80,46 @@ fn set_range(words: &mut [u64], start: usize, end: usize) {
 // word range `w0..w0 + out.len()` so the threaded backend can shard the
 // same kernels across its worker pool. The packed backend always calls
 // them with the full range; bit-identity across the two backends is
-// therefore structural, not coincidental.
+// therefore structural, not coincidental. All kernels are generic over
+// the machine word and build output words limb-by-limb, so `W64` compiles
+// to exactly the historical u64 loops.
 
 /// Packs the booleans backing words `w0..` of a flat plane into `out`.
-pub(crate) fn pack_range(src: &[bool], w0: usize, out: &mut [u64]) {
+pub(crate) fn pack_range<W: Word>(src: &[bool], w0: usize, out: &mut [W]) {
     for (k, w) in out.iter_mut().enumerate() {
-        let base = (w0 + k) * WORD_BITS;
-        let top = WORD_BITS.min(src.len() - base);
-        let mut word = 0u64;
-        for (b, &v) in src[base..base + top].iter().enumerate() {
-            word |= (v as u64) << b;
+        let base = (w0 + k) * W::BITS;
+        let top = W::BITS.min(src.len() - base);
+        let mut word = W::zero();
+        let mut done = 0;
+        while done < top {
+            let take = 64.min(top - done);
+            let mut limb = 0u64;
+            for (b, &v) in src[base + done..base + done + take].iter().enumerate() {
+                limb |= (v as u64) << b;
+            }
+            word.set_limb(done / 64, limb);
+            done += take;
         }
         *w = word;
     }
 }
 
 /// Extracts bit `j` of the values backing words `w0..` into `out`.
-pub(crate) fn bit_plane_range(src: &[i64], j: u32, w0: usize, out: &mut [u64]) {
+pub(crate) fn bit_plane_range<W: Word>(src: &[i64], j: u32, w0: usize, out: &mut [W]) {
     for (k, w) in out.iter_mut().enumerate() {
-        let base = (w0 + k) * WORD_BITS;
-        let top = WORD_BITS.min(src.len() - base);
-        let mut word = 0u64;
-        for (b, &x) in src[base..base + top].iter().enumerate() {
-            debug_assert!(x >= 0, "bit-serial scan expects non-negative values");
-            word |= (((x >> j) & 1) as u64) << b;
+        let base = (w0 + k) * W::BITS;
+        let top = W::BITS.min(src.len() - base);
+        let mut word = W::zero();
+        let mut done = 0;
+        while done < top {
+            let take = 64.min(top - done);
+            let mut limb = 0u64;
+            for (b, &x) in src[base + done..base + done + take].iter().enumerate() {
+                debug_assert!(x >= 0, "bit-serial scan expects non-negative values");
+                limb |= (((x >> j) & 1) as u64) << b;
+            }
+            word.set_limb(done / 64, limb);
+            done += take;
         }
         *w = word;
     }
@@ -114,7 +128,7 @@ pub(crate) fn bit_plane_range(src: &[i64], j: u32, w0: usize, out: &mut [u64]) {
 /// The voting step over words `w0..`: Min rule `e & !b`, Max rule `e & b`.
 /// `enable` has zero trailing bits, so the negation preserves the trim
 /// invariant.
-pub(crate) fn vote_range(e: &[u64], b: &[u64], keep_low: bool, w0: usize, out: &mut [u64]) {
+pub(crate) fn vote_range<W: Word>(e: &[W], b: &[W], keep_low: bool, w0: usize, out: &mut [W]) {
     for (k, w) in out.iter_mut().enumerate() {
         let (ew, bw) = (e[w0 + k], b[w0 + k]);
         *w = if keep_low { ew & !bw } else { ew & bw };
@@ -123,13 +137,13 @@ pub(crate) fn vote_range(e: &[u64], b: &[u64], keep_low: bool, w0: usize, out: &
 
 /// The knockout step over words `w0..`: Min rule `e & !(p & b)`, Max rule
 /// `e & (!p | b)`.
-pub(crate) fn knockout_range(
-    e: &[u64],
-    p: &[u64],
-    b: &[u64],
+pub(crate) fn knockout_range<W: Word>(
+    e: &[W],
+    p: &[W],
+    b: &[W],
     keep_low: bool,
     w0: usize,
-    out: &mut [u64],
+    out: &mut [W],
 ) {
     for (k, w) in out.iter_mut().enumerate() {
         let (ew, pw, bw) = (e[w0 + k], p[w0 + k], b[w0 + k]);
@@ -143,21 +157,21 @@ pub(crate) fn knockout_range(
 
 /// Wired-OR pass 1 over row-run segments: deposits a bit at the cluster
 /// key of every segment that contains a set value bit.
-pub(crate) fn bus_or_deposit_segs(values: &[u64], segs: &[(u32, u32, u32)], acc: &mut [u64]) {
+pub(crate) fn bus_or_deposit_segs<W: Word>(values: &[W], segs: &[(u32, u32, u32)], acc: &mut [W]) {
     for &(s, e, k) in segs {
         if range_any(values, s as usize, e as usize) {
             let k = k as usize;
-            acc[k / WORD_BITS] |= 1u64 << (k % WORD_BITS);
+            acc[k / W::BITS] = acc[k / W::BITS].with_bit(k % W::BITS);
         }
     }
 }
 
 /// Wired-OR pass 2 over row-run segments: fills every segment whose
 /// cluster key is lit in `acc`.
-pub(crate) fn bus_or_fill_segs(acc: &[u64], segs: &[(u32, u32, u32)], out: &mut [u64]) {
+pub(crate) fn bus_or_fill_segs<W: Word>(acc: &[W], segs: &[(u32, u32, u32)], out: &mut [W]) {
     for &(s, e, k) in segs {
         let k = k as usize;
-        if (acc[k / WORD_BITS] >> (k % WORD_BITS)) & 1 == 1 {
+        if acc[k / W::BITS].bit(k % W::BITS) {
             set_range(out, s as usize, e as usize);
         }
     }
@@ -165,91 +179,112 @@ pub(crate) fn bus_or_fill_segs(acc: &[u64], segs: &[(u32, u32, u32)], out: &mut 
 
 /// Wired-OR pass 1, general axis: deposits the set bits of `values`
 /// words `w0..w0 + nwords` at their cluster keys.
-pub(crate) fn bus_or_deposit_keys(
-    values: &[u64],
+pub(crate) fn bus_or_deposit_keys<W: Word>(
+    values: &[W],
     keys: &[u32],
     w0: usize,
     nwords: usize,
-    acc: &mut [u64],
+    acc: &mut [W],
 ) {
     for wi in w0..w0 + nwords {
-        let mut bits = values[wi];
-        while bits != 0 {
-            let b = bits.trailing_zeros() as usize;
-            let key = keys[wi * WORD_BITS + b] as usize;
-            acc[key / WORD_BITS] |= 1u64 << (key % WORD_BITS);
-            bits &= bits - 1;
-        }
+        values[wi].for_each_set_bit(|b| {
+            let key = keys[wi * W::BITS + b] as usize;
+            acc[key / W::BITS] = acc[key / W::BITS].with_bit(key % W::BITS);
+        });
     }
 }
 
 /// Wired-OR pass 2, general axis: words `w0..` of the result, each PE
 /// reading its cluster key back from `acc` (`len` is the PE count).
-pub(crate) fn bus_or_read_keys(acc: &[u64], keys: &[u32], len: usize, w0: usize, out: &mut [u64]) {
+pub(crate) fn bus_or_read_keys<W: Word>(
+    acc: &[W],
+    keys: &[u32],
+    len: usize,
+    w0: usize,
+    out: &mut [W],
+) {
     for (k, w) in out.iter_mut().enumerate() {
-        let base = (w0 + k) * WORD_BITS;
-        let top = WORD_BITS.min(len - base);
-        let mut word = 0u64;
-        for b in 0..top {
-            let key = keys[base + b] as usize;
-            word |= ((acc[key / WORD_BITS] >> (key % WORD_BITS)) & 1) << b;
+        let base = (w0 + k) * W::BITS;
+        let top = W::BITS.min(len - base);
+        let mut word = W::zero();
+        let mut done = 0;
+        while done < top {
+            let take = 64.min(top - done);
+            let mut limb = 0u64;
+            for b in 0..take {
+                let key = keys[base + done + b] as usize;
+                limb |= (acc[key / W::BITS].bit(key % W::BITS) as u64) << b;
+            }
+            word.set_limb(done / 64, limb);
+            done += take;
         }
         *w = word;
     }
 }
 
 /// The shared mask arena: spent word buffers waiting to be reissued.
-#[derive(Debug, Default)]
-pub(crate) struct WordPool {
-    free: Vec<Vec<u64>>,
+#[derive(Debug)]
+pub(crate) struct WordPool<W> {
+    free: Vec<Vec<W>>,
     pub(crate) fresh: u64,
     pub(crate) reused: u64,
 }
 
-impl WordPool {
+impl<W> Default for WordPool<W> {
+    fn default() -> Self {
+        WordPool {
+            free: Vec::new(),
+            fresh: 0,
+            reused: 0,
+        }
+    }
+}
+
+impl<W: Word> WordPool<W> {
     /// A zeroed buffer of exactly `words` words, recycled when possible.
-    pub(crate) fn get(&mut self, words: usize) -> Vec<u64> {
+    pub(crate) fn get(&mut self, words: usize) -> Vec<W> {
         while let Some(mut buf) = self.free.pop() {
             if buf.len() == words {
                 self.reused += 1;
-                buf.fill(0);
+                buf.fill(W::zero());
                 return buf;
             }
             // Stale geometry (machine rebuilt with another dim): discard.
         }
         self.fresh += 1;
-        vec![0u64; words]
+        vec![W::zero(); words]
     }
 
-    pub(crate) fn put(&mut self, buf: Vec<u64>) {
+    pub(crate) fn put(&mut self, buf: Vec<W>) {
         if !buf.is_empty() {
             self.free.push(buf);
         }
     }
 }
 
-/// A boolean mask plane packed 64 PEs per u64 word (row-major flat order).
+/// A boolean mask plane packed `W::BITS` PEs per machine word (row-major
+/// flat order).
 ///
 /// Buffers are leased from the backend's [`WordPool`]: dropping or cloning
 /// a mask goes through the arena, so steady-state mask traffic allocates
 /// nothing. Bits at positions `>= dim.len()` in the last word are always
 /// zero (every producing operation maintains the invariant).
-pub struct PackedMask {
+pub struct PackedMask<W: Word = W64> {
     dim: Dim,
-    words: Vec<u64>,
-    pool: Rc<RefCell<WordPool>>,
+    words: Vec<W>,
+    pool: Rc<RefCell<WordPool<W>>>,
 }
 
-impl PackedMask {
+impl<W: Word> PackedMask<W> {
     /// Whether the bit for flat PE index `i` is set.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+        self.words[i / W::BITS].bit(i % W::BITS)
     }
 
     /// Number of set PEs (a popcount per word).
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words.iter().map(|w| w.count_ones()).sum()
     }
 
     /// The mask geometry.
@@ -259,22 +294,22 @@ impl PackedMask {
 
     /// Zeroes any bits at positions `>= dim.len()` in the last word.
     fn trim(&mut self) {
-        let rem = self.dim.len() % WORD_BITS;
+        let rem = self.dim.len() % W::BITS;
         if rem != 0 {
             if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << rem) - 1;
+                *last &= W::low_mask(rem);
             }
         }
     }
 }
 
-impl Drop for PackedMask {
+impl<W: Word> Drop for PackedMask<W> {
     fn drop(&mut self) {
         self.pool.borrow_mut().put(std::mem::take(&mut self.words));
     }
 }
 
-impl Clone for PackedMask {
+impl<W: Word> Clone for PackedMask<W> {
     fn clone(&self) -> Self {
         let mut words = self.pool.borrow_mut().get(self.words.len());
         words.copy_from_slice(&self.words);
@@ -286,16 +321,17 @@ impl Clone for PackedMask {
     }
 }
 
-impl PartialEq for PackedMask {
+impl<W: Word> PartialEq for PackedMask<W> {
     fn eq(&self, other: &Self) -> bool {
         self.dim == other.dim && self.words == other.words
     }
 }
 
-impl std::fmt::Debug for PackedMask {
+impl<W: Word> std::fmt::Debug for PackedMask<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PackedMask")
             .field("dim", &self.dim)
+            .field("word_bits", &W::BITS)
             .field("set", &self.count())
             .finish()
     }
@@ -319,10 +355,10 @@ pub(crate) struct BusPlan {
 
 /// Derives the cluster plan for a packed Open mask from scratch — the
 /// cache-miss path shared by the packed and threaded backends.
-pub(crate) fn compute_plan(dim: Dim, dir: Direction, words: &[u64]) -> BusPlan {
+pub(crate) fn compute_plan<W: Word>(dim: Dim, dir: Direction, words: &[W]) -> BusPlan {
     let mut open = vec![false; dim.len()];
     for (i, o) in open.iter_mut().enumerate() {
-        *o = (words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1;
+        *o = words[i / W::BITS].bit(i % W::BITS);
     }
     let (keys, driverless) = bus::cluster_keys(dim, dir, &open);
     let segs = if dir.axis() == Axis::Row {
@@ -350,34 +386,41 @@ pub(crate) fn compute_plan(dim: Dim, dir: Direction, words: &[u64]) -> BusPlan {
 }
 
 #[derive(Debug, Clone)]
-struct PlanEntry {
+struct PlanEntry<W> {
     dir: Direction,
     fp: u64,
-    words: Vec<u64>,
+    words: Vec<W>,
     plan: Rc<BusPlan>,
 }
 
-pub(crate) fn fingerprint(dir: Direction, words: &[u64]) -> u64 {
-    // FNV-1a over the packed words, seeded with the direction.
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (dir as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+/// FNV-1a over the packed words, seeded with the direction *and* the word
+/// width, so plans can never be confused across widths even if two mask
+/// encodings happen to share limb values.
+pub(crate) fn fingerprint<W: Word>(dir: Direction, words: &[W]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64
+        ^ (dir as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (W::BITS as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
     for &w in words {
-        h ^= w;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = w.fold_fnv(h);
     }
     h
 }
 
-/// The packed bit-plane execution backend (see module docs).
+/// The packed bit-plane execution backend (see module docs), generic over
+/// the machine word `W`.
 #[derive(Debug, Clone)]
-pub struct PackedBackend {
-    pool: Rc<RefCell<WordPool>>,
-    plans: Vec<PlanEntry>,
+pub struct PackedBackend<W: Word = W64> {
+    pool: Rc<RefCell<WordPool<W>>>,
+    plans: Vec<PlanEntry<W>>,
     plan_hits: u64,
     plan_misses: u64,
-    scratch: Vec<u64>,
+    scratch: Vec<W>,
+    /// Bench-gate mutation drill only: corrupt one bit of every vote.
+    #[cfg(any(test, feature = "mutation-drill"))]
+    perturb_vote: bool,
 }
 
-impl PackedBackend {
+impl<W: Word> PackedBackend<W> {
     /// A fresh backend with an empty arena and plan cache.
     pub fn new() -> Self {
         PackedBackend {
@@ -386,11 +429,24 @@ impl PackedBackend {
             plan_hits: 0,
             plan_misses: 0,
             scratch: Vec::new(),
+            #[cfg(any(test, feature = "mutation-drill"))]
+            perturb_vote: false,
         }
     }
 
-    fn alloc_mask(&mut self, dim: Dim) -> PackedMask {
-        let words = self.pool.borrow_mut().get(words_for(dim));
+    /// A deliberately broken backend whose `vote` flips bit 0 of its first
+    /// output word — the bench-gate mutation drill uses this to prove the
+    /// width differential actually fails on a one-bit kernel corruption.
+    /// Never compiled into release binaries.
+    #[cfg(any(test, feature = "mutation-drill"))]
+    pub fn with_perturbed_vote() -> Self {
+        let mut be = PackedBackend::new();
+        be.perturb_vote = true;
+        be
+    }
+
+    fn alloc_mask(&mut self, dim: Dim) -> PackedMask<W> {
+        let words = self.pool.borrow_mut().get(words_for::<W>(dim));
         PackedMask {
             dim,
             words,
@@ -399,7 +455,7 @@ impl PackedBackend {
     }
 
     /// The cached cluster plan for `open` given as packed words.
-    fn plan_for_words(&mut self, dim: Dim, dir: Direction, words: &[u64]) -> Rc<BusPlan> {
+    fn plan_for_words(&mut self, dim: Dim, dir: Direction, words: &[W]) -> Rc<BusPlan> {
         let fp = fingerprint(dir, words);
         if let Some(pos) = self
             .plans
@@ -430,53 +486,49 @@ impl PackedBackend {
     fn plan_for_plane(&mut self, dim: Dim, dir: Direction, open: &Plane<bool>) -> Rc<BusPlan> {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
-        scratch.resize(words_for(dim), 0);
-        for (i, &o) in open.as_slice().iter().enumerate() {
-            if o {
-                scratch[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-            }
-        }
+        scratch.resize(words_for::<W>(dim), W::zero());
+        pack_range(open.as_slice(), 0, &mut scratch);
         let plan = self.plan_for_words(dim, dir, &scratch);
         self.scratch = scratch;
         plan
     }
 }
 
-impl Default for PackedBackend {
+impl<W: Word> Default for PackedBackend<W> {
     fn default() -> Self {
         PackedBackend::new()
     }
 }
 
-impl Executor for PackedBackend {
-    type Mask = PackedMask;
+impl<W: Word> Executor for PackedBackend<W> {
+    type Mask = PackedMask<W>;
 
-    const NAME: &'static str = "packed";
+    const NAME: &'static str = W::PACKED_NAME;
 
-    fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> PackedMask {
+    fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> PackedMask<W> {
         let mut mask = self.alloc_mask(dim);
         pack_range(plane.as_slice(), 0, &mut mask.words);
         mask
     }
 
-    fn mask_to_plane(&self, dim: Dim, mask: &PackedMask) -> Plane<bool> {
+    fn mask_to_plane(&self, dim: Dim, mask: &PackedMask<W>) -> Plane<bool> {
         Plane::from_vec(dim, (0..dim.len()).map(|i| mask.bit(i)).collect())
     }
 
-    fn mask_filled(&mut self, dim: Dim, value: bool) -> PackedMask {
+    fn mask_filled(&mut self, dim: Dim, value: bool) -> PackedMask<W> {
         let mut mask = self.alloc_mask(dim);
         if value {
-            mask.words.fill(!0u64);
+            mask.words.fill(W::ones());
             mask.trim();
         }
         mask
     }
 
-    fn mask_count(&self, _dim: Dim, mask: &PackedMask) -> usize {
+    fn mask_count(&self, _dim: Dim, mask: &PackedMask<W>) -> usize {
         mask.count()
     }
 
-    fn bit_plane(&mut self, _mode: ExecMode, dim: Dim, src: &Plane<i64>, j: u32) -> PackedMask {
+    fn bit_plane(&mut self, _mode: ExecMode, dim: Dim, src: &Plane<i64>, j: u32) -> PackedMask<W> {
         let mut mask = self.alloc_mask(dim);
         bit_plane_range(src.as_slice(), j, 0, &mut mask.words);
         mask
@@ -486,12 +538,16 @@ impl Executor for PackedBackend {
         &mut self,
         _mode: ExecMode,
         dim: Dim,
-        enable: &PackedMask,
-        bit: &PackedMask,
+        enable: &PackedMask<W>,
+        bit: &PackedMask<W>,
         keep_low: bool,
-    ) -> PackedMask {
+    ) -> PackedMask<W> {
         let mut out = self.alloc_mask(dim);
         vote_range(&enable.words, &bit.words, keep_low, 0, &mut out.words);
+        #[cfg(any(test, feature = "mutation-drill"))]
+        if self.perturb_vote {
+            out.words[0] ^= W::zero().with_bit(0);
+        }
         out
     }
 
@@ -499,11 +555,11 @@ impl Executor for PackedBackend {
         &mut self,
         _mode: ExecMode,
         dim: Dim,
-        enable: &PackedMask,
-        present: &PackedMask,
-        bit: &PackedMask,
+        enable: &PackedMask<W>,
+        present: &PackedMask<W>,
+        bit: &PackedMask<W>,
         keep_low: bool,
-    ) -> PackedMask {
+    ) -> PackedMask<W> {
         let mut out = self.alloc_mask(dim);
         knockout_range(
             &enable.words,
@@ -520,12 +576,12 @@ impl Executor for PackedBackend {
         &mut self,
         _mode: ExecMode,
         dim: Dim,
-        values: &PackedMask,
+        values: &PackedMask<W>,
         dir: Direction,
-        open: &PackedMask,
-    ) -> Result<PackedMask, MachineError> {
+        open: &PackedMask<W>,
+    ) -> Result<PackedMask<W>, MachineError> {
         let plan = self.plan_for_words(dim, dir, &open.words);
-        let nwords = words_for(dim);
+        let nwords = words_for::<W>(dim);
         let mut out = self.alloc_mask(dim);
         // Accumulator bitset indexed by cluster key: pass 1 deposits set
         // value bits at their cluster key, pass 2 reads each PE's key back.
@@ -583,7 +639,7 @@ impl Executor for PackedBackend {
         dim: Dim,
         src: &Plane<T>,
         dir: Direction,
-        open: &PackedMask,
+        open: &PackedMask<W>,
     ) -> Result<Plane<T>, MachineError> {
         if src.dim() != dim {
             return Err(MachineError::DimMismatch {
@@ -657,8 +713,21 @@ impl Executor for PackedBackend {
 }
 
 impl Machine<PackedBackend> {
-    /// Creates a `rows x cols` machine on the packed backend.
+    /// Creates a `rows x cols` machine on the packed backend (64-bit words).
     pub fn new_packed(rows: usize, cols: usize) -> Self {
+        Machine::new_packed_wide(rows, cols)
+    }
+
+    /// Creates a square `n x n` machine on the packed backend (64-bit words).
+    pub fn packed_square(n: usize) -> Self {
+        Machine::new_packed(n, n)
+    }
+}
+
+impl<W: Word> Machine<PackedBackend<W>> {
+    /// Creates a `rows x cols` machine on the packed backend with machine
+    /// word `W`.
+    pub fn new_packed_wide(rows: usize, cols: usize) -> Self {
         Machine::with_backend(
             Dim::new(rows, cols),
             ExecMode::Sequential,
@@ -666,9 +735,10 @@ impl Machine<PackedBackend> {
         )
     }
 
-    /// Creates a square `n x n` machine on the packed backend.
-    pub fn packed_square(n: usize) -> Self {
-        Machine::new_packed(n, n)
+    /// Creates a square `n x n` machine on the packed backend with machine
+    /// word `W`.
+    pub fn packed_square_wide(n: usize) -> Self {
+        Machine::new_packed_wide(n, n)
     }
 }
 
@@ -676,6 +746,7 @@ impl Machine<PackedBackend> {
 mod tests {
     use super::*;
     use crate::isa::ScalarBackend;
+    use crate::word::W256;
 
     fn plane_of(dim: Dim, f: impl Fn(usize) -> bool) -> Plane<bool> {
         Plane::from_vec(dim, (0..dim.len()).map(f).collect())
@@ -685,7 +756,19 @@ mod tests {
     fn pack_roundtrip_preserves_bits() {
         let dim = Dim::new(5, 13); // 65 PEs: crosses a word boundary
         let plane = plane_of(dim, |i| i % 3 == 0 || i == 64);
-        let mut be = PackedBackend::new();
+        let mut be = PackedBackend::<W64>::new();
+        let mask = be.mask_from_plane(dim, &plane);
+        assert_eq!(mask.count(), plane.count_true());
+        assert_eq!(be.mask_to_plane(dim, &mask), plane);
+    }
+
+    #[test]
+    fn pack_roundtrip_preserves_bits_w256() {
+        // 300 PEs: crosses a 256-bit word boundary, with a partial
+        // trailing word (300 % 256 = 44 live bits in the last word).
+        let dim = Dim::new(15, 20);
+        let plane = plane_of(dim, |i| i % 3 == 0 || i == 255 || i == 256 || i == 299);
+        let mut be = PackedBackend::<W256>::new();
         let mask = be.mask_from_plane(dim, &plane);
         assert_eq!(mask.count(), plane.count_true());
         assert_eq!(be.mask_to_plane(dim, &mask), plane);
@@ -694,16 +777,77 @@ mod tests {
     #[test]
     fn filled_mask_trims_trailing_bits() {
         let dim = Dim::new(3, 3);
-        let mut be = PackedBackend::new();
+        let mut be = PackedBackend::<W64>::new();
         let mask = be.mask_filled(dim, true);
         assert_eq!(mask.count(), 9);
         assert_eq!(mask.words[0], 0x1ff);
     }
 
     #[test]
+    fn filled_mask_trims_partial_trailing_word_w256() {
+        // Trailing-word trim at each sub-word (limb) offset of the 256-bit
+        // word: dims whose `len % 256` falls in limb 0, 1, 2 and 3.
+        for (rows, cols) in [(1, 300), (1, 320), (1, 400), (1, 450), (2, 256)] {
+            let dim = Dim::new(rows, cols);
+            let mut be = PackedBackend::<W256>::new();
+            let mask = be.mask_filled(dim, true);
+            assert_eq!(mask.count(), dim.len(), "dim {dim:?}");
+            for i in 0..dim.len() {
+                assert!(mask.bit(i));
+            }
+            // Nothing past the live region in the last word.
+            let last = *mask.words.last().unwrap();
+            let rem = dim.len() % 256;
+            if rem != 0 {
+                assert_eq!(last & !W256::low_mask(rem), W256::zero(), "dim {dim:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_ops_cover_all_subword_offsets_w256() {
+        // `range_any`/`set_range` with boundaries at all four 64-bit limb
+        // offsets inside a 256-bit word, plus straddles and a full span.
+        let nwords = 3; // 768 bits
+        for (s, e) in [
+            (0, 64),
+            (64, 128),
+            (128, 192),
+            (192, 256),
+            (60, 70),
+            (120, 200),
+            (250, 300), // straddles the word boundary
+            (255, 257), // one bit each side of the boundary
+            (500, 768), // runs to the very end
+            (0, 768),   // everything
+            (300, 300), // empty
+        ] {
+            let mut words = vec![W256::zero(); nwords];
+            set_range(&mut words, s, e);
+            let mut count = 0;
+            for w in &words {
+                count += w.count_ones();
+            }
+            assert_eq!(count, e - s, "set_range {s}..{e}");
+            for probe in 0..768 {
+                let hit = range_any(&words, probe, probe + 1);
+                assert_eq!(hit, (s..e).contains(&probe), "range {s}..{e} probe {probe}");
+            }
+            // range_any over the exact range, just outside it, and empty.
+            assert_eq!(range_any(&words, s, e), s != e);
+            if s > 0 {
+                assert!(!range_any(&words, 0, s), "prefix clean {s}..{e}");
+            }
+            if e < 768 {
+                assert!(!range_any(&words, e, 768), "suffix clean {s}..{e}");
+            }
+        }
+    }
+
+    #[test]
     fn packed_bus_or_matches_scalar_reference() {
         let dim = Dim::square(9);
-        let mut packed = PackedBackend::new();
+        let mut packed = PackedBackend::<W64>::new();
         let mut scalar = ScalarBackend;
         for (seed, dir) in [(3usize, Direction::East), (7, Direction::South)] {
             let open = plane_of(dim, |i| (i * seed + 1) % 4 == 0);
@@ -721,9 +865,60 @@ mod tests {
     }
 
     #[test]
+    fn packed_bus_or_matches_scalar_reference_w256() {
+        // 21x21 = 441 PEs: row segments and column key walks both straddle
+        // the 256-bit word boundary.
+        let dim = Dim::square(21);
+        let mut packed = PackedBackend::<W256>::new();
+        let mut scalar = ScalarBackend;
+        for (seed, dir) in [
+            (3usize, Direction::East),
+            (7, Direction::South),
+            (11, Direction::West),
+            (5, Direction::North),
+        ] {
+            let open = plane_of(dim, |i| (i * seed + 1) % 4 == 0);
+            let vals = plane_of(dim, |i| (i * seed) % 5 == 0);
+            let pm = packed.mask_from_plane(dim, &open);
+            let pv = packed.mask_from_plane(dim, &vals);
+            let got = packed
+                .mask_bus_or(ExecMode::Sequential, dim, &pv, dir, &pm)
+                .unwrap();
+            let want = scalar
+                .mask_bus_or(ExecMode::Sequential, dim, &vals, dir, &open)
+                .unwrap();
+            assert_eq!(packed.mask_to_plane(dim, &got), want, "dir {dir:?}");
+        }
+    }
+
+    #[test]
+    fn vote_and_knockout_match_scalar_at_w256() {
+        let dim = Dim::new(9, 31); // 279 PEs: straddles the 256-bit boundary
+        let mut packed = PackedBackend::<W256>::new();
+        let mut scalar = ScalarBackend;
+        let enable = plane_of(dim, |i| i % 2 == 0);
+        let present = plane_of(dim, |i| i % 3 != 0);
+        let bit = plane_of(dim, |i| (i / 5) % 2 == 1);
+        let (pe, pp, pb) = (
+            packed.mask_from_plane(dim, &enable),
+            packed.mask_from_plane(dim, &present),
+            packed.mask_from_plane(dim, &bit),
+        );
+        for keep_low in [true, false] {
+            let got = packed.vote(ExecMode::Sequential, dim, &pe, &pb, keep_low);
+            let want = scalar.vote(ExecMode::Sequential, dim, &enable, &bit, keep_low);
+            assert_eq!(packed.mask_to_plane(dim, &got), want, "vote {keep_low}");
+            let got = packed.knockout(ExecMode::Sequential, dim, &pe, &pp, &pb, keep_low);
+            let want =
+                scalar.knockout(ExecMode::Sequential, dim, &enable, &present, &bit, keep_low);
+            assert_eq!(packed.mask_to_plane(dim, &got), want, "knockout {keep_low}");
+        }
+    }
+
+    #[test]
     fn plan_cache_hits_on_repeated_configurations() {
         let dim = Dim::square(8);
-        let mut be = PackedBackend::new();
+        let mut be = PackedBackend::<W64>::new();
         let open = plane_of(dim, |i| i % 8 == 0);
         let src = Plane::from_vec(dim, (0..dim.len() as i64).collect());
         for _ in 0..5 {
@@ -737,9 +932,26 @@ mod tests {
     }
 
     #[test]
+    fn fingerprints_are_width_keyed() {
+        // The same mask content packed at different widths must produce
+        // different plan fingerprints: a plan computed for W64 words can
+        // never be replayed against W256 masks.
+        let dim = Dim::square(8);
+        let plane = plane_of(dim, |i| i % 8 == 0);
+        let mut w64 = vec![W64::zero(); words_for::<W64>(dim)];
+        pack_range(plane.as_slice(), 0, &mut w64);
+        let mut w256 = vec![W256::zero(); words_for::<W256>(dim)];
+        pack_range(plane.as_slice(), 0, &mut w256);
+        assert_ne!(
+            fingerprint(Direction::East, &w64),
+            fingerprint(Direction::East, &w256),
+        );
+    }
+
+    #[test]
     fn arena_recycles_mask_buffers() {
         let dim = Dim::square(16);
-        let mut be = PackedBackend::new();
+        let mut be = PackedBackend::<W64>::new();
         for _ in 0..10 {
             let m = be.mask_filled(dim, true);
             drop(m);
@@ -752,12 +964,35 @@ mod tests {
     #[test]
     fn driverless_broadcast_faults_like_scalar() {
         let dim = Dim::square(4);
-        let mut be = PackedBackend::new();
+        let mut be = PackedBackend::<W64>::new();
         let open = plane_of(dim, |_| false);
         let src = Plane::filled(dim, 1i64);
         match be.broadcast(ExecMode::Sequential, dim, &src, Direction::East, &open) {
             Err(MachineError::BusFault { lines, .. }) => assert_eq!(lines, vec![0, 1, 2, 3]),
             other => panic!("expected BusFault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn perturbed_vote_differs_in_exactly_one_bit() {
+        let dim = Dim::square(6);
+        let enable = plane_of(dim, |i| i % 2 == 0);
+        let bit = plane_of(dim, |i| i % 3 == 0);
+        let mut clean = PackedBackend::<W256>::new();
+        let mut drilled = PackedBackend::<W256>::with_perturbed_vote();
+        let (ce, cb) = (
+            clean.mask_from_plane(dim, &enable),
+            clean.mask_from_plane(dim, &bit),
+        );
+        let (de, db) = (
+            drilled.mask_from_plane(dim, &enable),
+            drilled.mask_from_plane(dim, &bit),
+        );
+        let want = clean.vote(ExecMode::Sequential, dim, &ce, &cb, true);
+        let got = drilled.vote(ExecMode::Sequential, dim, &de, &db, true);
+        let diff: usize = (0..dim.len())
+            .filter(|&i| want.bit(i) != got.bit(i))
+            .count();
+        assert_eq!(diff, 1, "exactly PE 0 corrupted");
     }
 }

@@ -2,9 +2,9 @@
 //! persistent worker pool.
 //!
 //! [`ThreadedBackend`] is the third [`Executor`] over the micro-op ISA. It
-//! keeps the packed backend's representation — u64 bit-plane words, a
-//! recycling word arena, a fingerprint-keyed bus-plan cache — and attacks
-//! per-step wall-clock with host parallelism:
+//! keeps the packed backend's representation — wide bit-plane words behind
+//! the [`Word`] seam, a recycling word arena, a fingerprint-keyed bus-plan
+//! cache — and attacks per-step wall-clock with host parallelism:
 //!
 //! * **Persistent pool** — `threads - 1` workers are spawned once per
 //!   backend and barrier-synchronized per micro-op through a condvar
@@ -15,6 +15,9 @@
 //!   broadcast gathers) are split into `threads` contiguous shards; every
 //!   shard runs the *same* word kernels as [`PackedBackend`]
 //!   (`crate::packed`'s `pack_range`, `vote_range`, …), over its range.
+//!   `shard_ranges` is a pure function of the word count — itself a pure
+//!   function of array size and word width — so the decomposition, and with
+//!   it bit-identity, holds at every `(threads, width)` combination.
 //! * **Fixed-order combination** — shard partials are concatenated (or, for
 //!   the wired-OR accumulator, OR-merged) in ascending shard order on the
 //!   issuing thread, so results are deterministic and bit-identical to
@@ -25,7 +28,8 @@
 //! the cooperative brake fires between micro-ops on the issuing thread, so
 //! budget exhaustion and cancellation land on the same controller step for
 //! every thread count. The differential suites in
-//! `tests/backend_threaded.rs` assert all of this bit-for-bit.
+//! `tests/backend_threaded.rs` and `tests/backend_width.rs` assert all of
+//! this bit-for-bit.
 //!
 //! Masks and planes cross the shard boundary as `Arc` handles (see
 //! [`SharedMask`] and the copy-on-write `Plane`), never as borrowed
@@ -45,9 +49,10 @@ use crate::machine::Machine;
 use crate::packed::{
     bit_plane_range, bus_or_deposit_keys, bus_or_deposit_segs, bus_or_fill_segs, bus_or_read_keys,
     compute_plan, fingerprint, knockout_range, pack_range, vote_range, words_for, BusPlan,
-    WordPool, PLAN_CACHE_CAP, WORD_BITS,
+    WordPool, PLAN_CACHE_CAP,
 };
 use crate::plane::Plane;
+use crate::word::{Word, W64};
 
 /// Work items (source elements walked) below which a micro-op runs all its
 /// shards inline on the issuing thread: the rendezvous costs more than the
@@ -235,8 +240,9 @@ fn worker_loop(shared: Arc<PoolShared>, id: usize) {
 }
 
 /// Splits `len` items into `shards` contiguous ranges (the trailing ones
-/// may be empty). The decomposition is a pure function of `(len, shards)`,
-/// which the determinism argument leans on.
+/// may be empty). The decomposition is a pure function of `(len, shards)`
+/// — for word shards, `len` is itself the pure width-dependent
+/// [`words_for`] count — which the determinism argument leans on.
 fn shard_ranges(len: usize, shards: usize) -> Vec<(usize, usize)> {
     let chunk = len.div_ceil(shards.max(1)).max(1);
     (0..shards)
@@ -244,32 +250,32 @@ fn shard_ranges(len: usize, shards: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// A boolean mask plane packed 64 PEs per u64 word, held behind an `Arc`
-/// so shard workers can read it without copying.
+/// A boolean mask plane packed `W::BITS` PEs per machine word, held behind
+/// an `Arc` so shard workers can read it without copying.
 ///
 /// Masks are immutable once produced (every mask micro-op builds a fresh
 /// one), so clones share the buffer. When the last handle drops, the
 /// buffer returns to the backend's word arena.
-pub struct SharedMask {
+pub struct SharedMask<W: Word = W64> {
     dim: Dim,
-    words: Option<Arc<Vec<u64>>>,
-    arena: Arc<Mutex<WordPool>>,
+    words: Option<Arc<Vec<W>>>,
+    arena: Arc<Mutex<WordPool<W>>>,
 }
 
-impl SharedMask {
-    fn words(&self) -> &Arc<Vec<u64>> {
+impl<W: Word> SharedMask<W> {
+    fn words(&self) -> &Arc<Vec<W>> {
         self.words.as_ref().expect("mask words live until drop")
     }
 
     /// Whether the bit for flat PE index `i` is set.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        (self.words()[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+        self.words()[i / W::BITS].bit(i % W::BITS)
     }
 
     /// Number of set PEs (a popcount per word).
     pub fn count(&self) -> usize {
-        self.words().iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones()).sum()
     }
 
     /// The mask geometry.
@@ -278,7 +284,7 @@ impl SharedMask {
     }
 }
 
-impl Drop for SharedMask {
+impl<W: Word> Drop for SharedMask<W> {
     fn drop(&mut self) {
         if let Some(arc) = self.words.take() {
             if let Ok(buf) = Arc::try_unwrap(arc) {
@@ -288,7 +294,7 @@ impl Drop for SharedMask {
     }
 }
 
-impl Clone for SharedMask {
+impl<W: Word> Clone for SharedMask<W> {
     fn clone(&self) -> Self {
         SharedMask {
             dim: self.dim,
@@ -298,16 +304,17 @@ impl Clone for SharedMask {
     }
 }
 
-impl PartialEq for SharedMask {
+impl<W: Word> PartialEq for SharedMask<W> {
     fn eq(&self, other: &Self) -> bool {
         self.dim == other.dim && *self.words() == *other.words()
     }
 }
 
-impl std::fmt::Debug for SharedMask {
+impl<W: Word> std::fmt::Debug for SharedMask<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedMask")
             .field("dim", &self.dim)
+            .field("word_bits", &W::BITS)
             .field("set", &self.count())
             .finish()
     }
@@ -316,25 +323,26 @@ impl std::fmt::Debug for SharedMask {
 /// A cached cluster plan, `Arc`-shared so gather shards can read the key
 /// table directly.
 #[derive(Debug, Clone)]
-struct PlanEntry {
+struct PlanEntry<W> {
     dir: Direction,
     fp: u64,
-    words: Vec<u64>,
+    words: Vec<W>,
     plan: Arc<BusPlan>,
 }
 
-/// The threaded bit-plane execution backend (see module docs).
-pub struct ThreadedBackend {
+/// The threaded bit-plane execution backend (see module docs), generic
+/// over the machine word `W`.
+pub struct ThreadedBackend<W: Word = W64> {
     pool: Arc<WorkerPool>,
-    arena: Arc<Mutex<WordPool>>,
-    plans: Vec<PlanEntry>,
+    arena: Arc<Mutex<WordPool<W>>>,
+    plans: Vec<PlanEntry<W>>,
     plan_hits: u64,
     plan_misses: u64,
     min_parallel: usize,
-    scratch: Vec<u64>,
+    scratch: Vec<W>,
 }
 
-impl ThreadedBackend {
+impl<W: Word> ThreadedBackend<W> {
     /// A fresh backend whose pool spans `threads` shards (`threads - 1`
     /// spawned workers plus the issuing thread).
     ///
@@ -369,7 +377,7 @@ impl ThreadedBackend {
     }
 
     /// Wraps freshly computed words as a mask.
-    fn mask_of(&self, dim: Dim, words: Vec<u64>) -> SharedMask {
+    fn mask_of(&self, dim: Dim, words: Vec<W>) -> SharedMask<W> {
         SharedMask {
             dim,
             words: Some(Arc::new(words)),
@@ -377,8 +385,8 @@ impl ThreadedBackend {
         }
     }
 
-    fn alloc_words(&self, dim: Dim) -> Vec<u64> {
-        lock(&self.arena).get(words_for(dim))
+    fn alloc_words(&self, dim: Dim) -> Vec<W> {
+        lock(&self.arena).get(words_for::<W>(dim))
     }
 
     /// Runs a word-producing shard job over the word rows of `dim` and
@@ -390,9 +398,9 @@ impl ThreadedBackend {
         &mut self,
         dim: Dim,
         items: usize,
-        make: impl Fn(usize, usize) -> Vec<u64> + Send + Sync + 'static,
-    ) -> SharedMask {
-        let nwords = words_for(dim);
+        make: impl Fn(usize, usize) -> Vec<W> + Send + Sync + 'static,
+    ) -> SharedMask<W> {
+        let nwords = words_for::<W>(dim);
         let ranges = Arc::new(shard_ranges(nwords, self.pool.shards));
         let job_ranges = Arc::clone(&ranges);
         let job: ShardJob = Arc::new(move |s| {
@@ -402,7 +410,7 @@ impl ThreadedBackend {
         let outs = self.pool.run(self.parallel_for(items), &job);
         let mut words = self.alloc_words(dim);
         for (s, out) in outs.into_iter().enumerate() {
-            let part = *out.downcast::<Vec<u64>>().expect("word shard output");
+            let part = *out.downcast::<Vec<W>>().expect("word shard output");
             let (w0, w1) = ranges[s];
             words[w0..w1].copy_from_slice(&part);
         }
@@ -410,7 +418,7 @@ impl ThreadedBackend {
     }
 
     /// The cached cluster plan for `open` given as packed words.
-    fn plan_for_words(&mut self, dim: Dim, dir: Direction, words: &[u64]) -> Arc<BusPlan> {
+    fn plan_for_words(&mut self, dim: Dim, dir: Direction, words: &[W]) -> Arc<BusPlan> {
         let fp = fingerprint(dir, words);
         if let Some(pos) = self
             .plans
@@ -441,7 +449,7 @@ impl ThreadedBackend {
     fn plan_for_plane(&mut self, dim: Dim, dir: Direction, open: &Plane<bool>) -> Arc<BusPlan> {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
-        scratch.resize(words_for(dim), 0);
+        scratch.resize(words_for::<W>(dim), W::zero());
         pack_range(open.as_slice(), 0, &mut scratch);
         let plan = self.plan_for_words(dim, dir, &scratch);
         self.scratch = scratch;
@@ -485,7 +493,7 @@ impl ThreadedBackend {
     }
 }
 
-impl Clone for ThreadedBackend {
+impl<W: Word> Clone for ThreadedBackend<W> {
     /// Clones share the worker pool and the word arena (as packed clones
     /// share their arena); the plan cache is copied.
     fn clone(&self) -> Self {
@@ -501,56 +509,57 @@ impl Clone for ThreadedBackend {
     }
 }
 
-impl std::fmt::Debug for ThreadedBackend {
+impl<W: Word> std::fmt::Debug for ThreadedBackend<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadedBackend")
             .field("threads", &self.pool.shards)
+            .field("word_bits", &W::BITS)
             .field("plans", &self.plans.len())
             .field("min_parallel", &self.min_parallel)
             .finish()
     }
 }
 
-impl Executor for ThreadedBackend {
-    type Mask = SharedMask;
+impl<W: Word> Executor for ThreadedBackend<W> {
+    type Mask = SharedMask<W>;
 
-    const NAME: &'static str = "threaded";
+    const NAME: &'static str = W::THREADED_NAME;
 
-    fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> SharedMask {
+    fn mask_from_plane(&mut self, dim: Dim, plane: &Plane<bool>) -> SharedMask<W> {
         let src = plane.shared();
         self.run_word_shards(dim, dim.len(), move |w0, w1| {
-            let mut out = vec![0u64; w1 - w0];
+            let mut out = vec![W::zero(); w1 - w0];
             pack_range(&src, w0, &mut out);
             out
         })
     }
 
-    fn mask_to_plane(&self, dim: Dim, mask: &SharedMask) -> Plane<bool> {
+    fn mask_to_plane(&self, dim: Dim, mask: &SharedMask<W>) -> Plane<bool> {
         Plane::from_vec(dim, (0..dim.len()).map(|i| mask.bit(i)).collect())
     }
 
-    fn mask_filled(&mut self, dim: Dim, value: bool) -> SharedMask {
+    fn mask_filled(&mut self, dim: Dim, value: bool) -> SharedMask<W> {
         let mut words = self.alloc_words(dim);
         if value {
-            words.fill(!0u64);
-            let rem = dim.len() % WORD_BITS;
+            words.fill(W::ones());
+            let rem = dim.len() % W::BITS;
             if rem != 0 {
                 if let Some(last) = words.last_mut() {
-                    *last &= (1u64 << rem) - 1;
+                    *last &= W::low_mask(rem);
                 }
             }
         }
         self.mask_of(dim, words)
     }
 
-    fn mask_count(&self, _dim: Dim, mask: &SharedMask) -> usize {
+    fn mask_count(&self, _dim: Dim, mask: &SharedMask<W>) -> usize {
         mask.count()
     }
 
-    fn bit_plane(&mut self, _mode: ExecMode, dim: Dim, src: &Plane<i64>, j: u32) -> SharedMask {
+    fn bit_plane(&mut self, _mode: ExecMode, dim: Dim, src: &Plane<i64>, j: u32) -> SharedMask<W> {
         let s = src.shared();
         self.run_word_shards(dim, dim.len(), move |w0, w1| {
-            let mut out = vec![0u64; w1 - w0];
+            let mut out = vec![W::zero(); w1 - w0];
             bit_plane_range(&s, j, w0, &mut out);
             out
         })
@@ -560,14 +569,14 @@ impl Executor for ThreadedBackend {
         &mut self,
         _mode: ExecMode,
         dim: Dim,
-        enable: &SharedMask,
-        bit: &SharedMask,
+        enable: &SharedMask<W>,
+        bit: &SharedMask<W>,
         keep_low: bool,
-    ) -> SharedMask {
+    ) -> SharedMask<W> {
         let (e, b) = (Arc::clone(enable.words()), Arc::clone(bit.words()));
-        let items = words_for(dim);
+        let items = words_for::<W>(dim);
         self.run_word_shards(dim, items, move |w0, w1| {
-            let mut out = vec![0u64; w1 - w0];
+            let mut out = vec![W::zero(); w1 - w0];
             vote_range(&e, &b, keep_low, w0, &mut out);
             out
         })
@@ -577,19 +586,19 @@ impl Executor for ThreadedBackend {
         &mut self,
         _mode: ExecMode,
         dim: Dim,
-        enable: &SharedMask,
-        present: &SharedMask,
-        bit: &SharedMask,
+        enable: &SharedMask<W>,
+        present: &SharedMask<W>,
+        bit: &SharedMask<W>,
         keep_low: bool,
-    ) -> SharedMask {
+    ) -> SharedMask<W> {
         let (e, p, b) = (
             Arc::clone(enable.words()),
             Arc::clone(present.words()),
             Arc::clone(bit.words()),
         );
-        let items = words_for(dim);
+        let items = words_for::<W>(dim);
         self.run_word_shards(dim, items, move |w0, w1| {
-            let mut out = vec![0u64; w1 - w0];
+            let mut out = vec![W::zero(); w1 - w0];
             knockout_range(&e, &p, &b, keep_low, w0, &mut out);
             out
         })
@@ -599,12 +608,12 @@ impl Executor for ThreadedBackend {
         &mut self,
         _mode: ExecMode,
         dim: Dim,
-        values: &SharedMask,
+        values: &SharedMask<W>,
         dir: Direction,
-        open: &SharedMask,
-    ) -> Result<SharedMask, MachineError> {
+        open: &SharedMask<W>,
+    ) -> Result<SharedMask<W>, MachineError> {
         let plan = self.plan_for_words(dim, dir, open.words());
-        let nwords = words_for(dim);
+        let nwords = words_for::<W>(dim);
         let vals = Arc::clone(values.words());
         let parallel = self.parallel_for(nwords);
         let shards = self.pool.shards;
@@ -619,12 +628,12 @@ impl Executor for ThreadedBackend {
             let r1 = Arc::clone(&seg_ranges);
             let job: ShardJob = Arc::new(move |s| {
                 let (s0, s1) = r1[s];
-                let mut part = vec![0u64; v1.len()];
+                let mut part = vec![W::zero(); v1.len()];
                 bus_or_deposit_segs(&v1, &p1.segs[s0..s1], &mut part);
                 Box::new(part) as ShardOut
             });
             for out in self.pool.run(parallel, &job) {
-                let part = *out.downcast::<Vec<u64>>().expect("acc shard output");
+                let part = *out.downcast::<Vec<W>>().expect("acc shard output");
                 for (a, w) in acc.iter_mut().zip(part) {
                     *a |= w;
                 }
@@ -638,7 +647,7 @@ impl Executor for ThreadedBackend {
             let r2 = Arc::clone(&seg_ranges);
             let job: ShardJob = Arc::new(move |s| {
                 let (s0, s1) = r2[s];
-                let mut part = vec![0u64; p2.keys.len().div_ceil(WORD_BITS)];
+                let mut part = vec![W::zero(); p2.keys.len().div_ceil(W::BITS)];
                 bus_or_fill_segs(&a_job, &p2.segs[s0..s1], &mut part);
                 Box::new(part) as ShardOut
             });
@@ -646,7 +655,7 @@ impl Executor for ThreadedBackend {
             drop(job);
             let mut words = self.alloc_words(dim);
             for out in outs {
-                let part = *out.downcast::<Vec<u64>>().expect("fill shard output");
+                let part = *out.downcast::<Vec<W>>().expect("fill shard output");
                 for (w, p) in words.iter_mut().zip(part) {
                     *w |= p;
                 }
@@ -662,12 +671,12 @@ impl Executor for ThreadedBackend {
         let r1 = Arc::clone(&word_ranges);
         let job: ShardJob = Arc::new(move |s| {
             let (w0, w1) = r1[s];
-            let mut part = vec![0u64; v1.len()];
+            let mut part = vec![W::zero(); v1.len()];
             bus_or_deposit_keys(&v1, &p1.keys, w0, w1 - w0, &mut part);
             Box::new(part) as ShardOut
         });
         for out in self.pool.run(parallel, &job) {
-            let part = *out.downcast::<Vec<u64>>().expect("acc shard output");
+            let part = *out.downcast::<Vec<W>>().expect("acc shard output");
             for (a, w) in acc.iter_mut().zip(part) {
                 *a |= w;
             }
@@ -681,7 +690,7 @@ impl Executor for ThreadedBackend {
         let r2 = Arc::clone(&word_ranges);
         let job: ShardJob = Arc::new(move |s| {
             let (w0, w1) = r2[s];
-            let mut part = vec![0u64; w1 - w0];
+            let mut part = vec![W::zero(); w1 - w0];
             bus_or_read_keys(&a_job, &p2.keys, len, w0, &mut part);
             Box::new(part) as ShardOut
         });
@@ -689,7 +698,7 @@ impl Executor for ThreadedBackend {
         drop(job);
         let mut words = self.alloc_words(dim);
         for (s, out) in outs.into_iter().enumerate() {
-            let part = *out.downcast::<Vec<u64>>().expect("read shard output");
+            let part = *out.downcast::<Vec<W>>().expect("read shard output");
             let (w0, w1) = word_ranges[s];
             words[w0..w1].copy_from_slice(&part);
         }
@@ -725,7 +734,7 @@ impl Executor for ThreadedBackend {
         dim: Dim,
         src: &Plane<T>,
         dir: Direction,
-        open: &SharedMask,
+        open: &SharedMask<W>,
     ) -> Result<Plane<T>, MachineError> {
         Self::check_dim(dim, src)?;
         let plan = self.plan_for_words(dim, dir, open.words());
@@ -785,8 +794,22 @@ impl Executor for ThreadedBackend {
 
 impl Machine<ThreadedBackend> {
     /// Creates a `rows x cols` machine on the threaded backend with a
-    /// `threads`-shard pool.
+    /// `threads`-shard pool (64-bit words).
     pub fn new_threaded(rows: usize, cols: usize, threads: usize) -> Self {
+        Machine::new_threaded_wide(rows, cols, threads)
+    }
+
+    /// Creates a square `n x n` machine on the threaded backend (64-bit
+    /// words).
+    pub fn threaded_square(n: usize, threads: usize) -> Self {
+        Machine::new_threaded(n, n, threads)
+    }
+}
+
+impl<W: Word> Machine<ThreadedBackend<W>> {
+    /// Creates a `rows x cols` machine on the threaded backend with a
+    /// `threads`-shard pool and machine word `W`.
+    pub fn new_threaded_wide(rows: usize, cols: usize, threads: usize) -> Self {
         Machine::with_backend(
             Dim::new(rows, cols),
             ExecMode::Sequential,
@@ -794,9 +817,10 @@ impl Machine<ThreadedBackend> {
         )
     }
 
-    /// Creates a square `n x n` machine on the threaded backend.
-    pub fn threaded_square(n: usize, threads: usize) -> Self {
-        Machine::new_threaded(n, n, threads)
+    /// Creates a square `n x n` machine on the threaded backend with
+    /// machine word `W`.
+    pub fn threaded_square_wide(n: usize, threads: usize) -> Self {
+        Machine::new_threaded_wide(n, n, threads)
     }
 }
 
@@ -804,6 +828,7 @@ impl Machine<ThreadedBackend> {
 mod tests {
     use super::*;
     use crate::isa::ScalarBackend;
+    use crate::word::W256;
 
     fn plane_of(dim: Dim, f: impl Fn(usize) -> bool) -> Plane<bool> {
         Plane::from_vec(dim, (0..dim.len()).map(f).collect())
@@ -829,11 +854,53 @@ mod tests {
     }
 
     #[test]
+    fn pack_roundtrip_across_thread_counts_w256() {
+        // 300 PEs: two 256-bit words, the second only partially live, so
+        // shard seams and the trailing trim both cross limb boundaries.
+        let dim = Dim::new(15, 20);
+        let plane = plane_of(dim, |i| i % 3 == 0 || i == 255 || i == 256);
+        for threads in [1, 2, 3, 8] {
+            let mut be = ThreadedBackend::<W256>::with_min_parallel(threads, 0);
+            let mask = be.mask_from_plane(dim, &plane);
+            assert_eq!(mask.count(), plane.count_true(), "threads={threads}");
+            assert_eq!(be.mask_to_plane(dim, &mask), plane, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn wired_or_matches_scalar_for_every_thread_count() {
         let dim = Dim::square(9);
         let mut scalar = ScalarBackend;
         for threads in [1, 2, 3, 8] {
             let mut be = forced(threads);
+            for (seed, dir) in [(3usize, Direction::East), (7, Direction::South)] {
+                let open = plane_of(dim, |i| (i * seed + 1) % 4 == 0);
+                let vals = plane_of(dim, |i| (i * seed) % 5 == 0);
+                let om = be.mask_from_plane(dim, &open);
+                let vm = be.mask_from_plane(dim, &vals);
+                let got = be
+                    .mask_bus_or(ExecMode::Sequential, dim, &vm, dir, &om)
+                    .unwrap();
+                let want = scalar
+                    .mask_bus_or(ExecMode::Sequential, dim, &vals, dir, &open)
+                    .unwrap();
+                assert_eq!(
+                    be.mask_to_plane(dim, &got),
+                    want,
+                    "threads={threads} dir={dir:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wired_or_matches_scalar_for_every_thread_count_w256() {
+        // 441 PEs: both the segment fast path (East) and the key walk
+        // (South) straddle the 256-bit word boundary mid-row.
+        let dim = Dim::square(21);
+        let mut scalar = ScalarBackend;
+        for threads in [1, 2, 3, 8] {
+            let mut be = ThreadedBackend::<W256>::with_min_parallel(threads, 0);
             for (seed, dir) in [(3usize, Direction::East), (7, Direction::South)] {
                 let open = plane_of(dim, |i| (i * seed + 1) % 4 == 0);
                 let vals = plane_of(dim, |i| (i * seed) % 5 == 0);
@@ -954,6 +1021,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_threads_rejected() {
-        let _ = ThreadedBackend::new(0);
+        let _ = ThreadedBackend::<W64>::new(0);
     }
 }

@@ -5,7 +5,7 @@ use crate::error::PpcError;
 use crate::Result;
 use ppa_machine::{
     Dim, Direction, ExecMode, ExecStats, Executor, Machine, OccupancySampling, PackedBackend,
-    Plane, ScalarBackend, StepReport, ThreadedBackend,
+    Plane, ScalarBackend, StepReport, ThreadedBackend, Word,
 };
 
 /// A PPC `parallel` variable: one value per PE.
@@ -69,6 +69,22 @@ impl Ppa<ThreadedBackend> {
     /// with a `threads`-shard worker pool.
     pub fn threaded(n: usize, threads: usize) -> Self {
         Ppa::from_machine(Machine::threaded_square(n, threads))
+    }
+}
+
+impl<W: Word> Ppa<PackedBackend<W>> {
+    /// Creates a square `n x n` runtime on the packed backend with an
+    /// explicit machine word `W` (e.g. `Ppa::<PackedBackend<W256>>`).
+    pub fn packed_wide(n: usize) -> Self {
+        Ppa::from_machine(Machine::packed_square_wide(n))
+    }
+}
+
+impl<W: Word> Ppa<ThreadedBackend<W>> {
+    /// Creates a square `n x n` runtime on the threaded backend with an
+    /// explicit machine word `W`.
+    pub fn threaded_wide(n: usize, threads: usize) -> Self {
+        Ppa::from_machine(Machine::threaded_square_wide(n, threads))
     }
 }
 

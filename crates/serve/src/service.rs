@@ -31,6 +31,7 @@ use crate::BreakerConfig;
 use ppa_graph::{Weight, WeightMatrix, INF};
 use ppa_machine::{
     CancelToken, Dim, Executor, FaultMap, Machine, PackedBackend, ThreadedBackend, TransientFaults,
+    WordWidth, W256,
 };
 use ppa_mcp::batch::replicate;
 use ppa_mcp::widest::{widest_path, WidestOutput};
@@ -73,6 +74,10 @@ pub struct ServeConfig {
     pub prefer_threaded: bool,
     /// Pool width for threaded-backend attempts (clamped to at least 1).
     pub threads: usize,
+    /// Machine-word width for the fast (packed/threaded) backends: 64
+    /// PEs per word (`u64`, the default) or 256 (SWAR `W256`). Scalar
+    /// attempts ignore this — the reference backend has no word.
+    pub word: WordWidth,
     /// Seed for worker-local RNGs (retry jitter). Worker `k` derives its
     /// stream from `seed` and `k`, so runs are reproducible.
     pub seed: u64,
@@ -109,6 +114,7 @@ impl Default for ServeConfig {
             prefer_packed: true,
             prefer_threaded: false,
             threads: 2,
+            word: WordWidth::W64,
             seed: 0x5eed,
             batching: BatchingConfig::default(),
             redundancy: Redundancy::Off,
@@ -1248,14 +1254,25 @@ fn run_batch(
                 config.redundancy,
             )
         } else {
-            match backend {
-                BackendChoice::Packed => BatchSession::new_packed(&graphs)
+            match (backend, config.word) {
+                (BackendChoice::Packed, WordWidth::W64) => BatchSession::new_packed(&graphs)
                     .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
-                BackendChoice::Threaded => {
+                (BackendChoice::Packed, WordWidth::W256) => {
+                    BatchSession::<PackedBackend<W256>>::new_packed_wide(&graphs)
+                        .and_then(|mut b| b.solve_verified_with(&dests, &limits))
+                }
+                (BackendChoice::Threaded, WordWidth::W64) => {
                     BatchSession::new_threaded(&graphs, config.threads.max(1))
                         .and_then(|mut b| b.solve_verified_with(&dests, &limits))
                 }
-                BackendChoice::Scalar => BatchSession::new(&graphs)
+                (BackendChoice::Threaded, WordWidth::W256) => {
+                    BatchSession::<ThreadedBackend<W256>>::new_threaded_wide(
+                        &graphs,
+                        config.threads.max(1),
+                    )
+                    .and_then(|mut b| b.solve_verified_with(&dests, &limits))
+                }
+                (BackendChoice::Scalar, _) => BatchSession::new(&graphs)
                     .and_then(|mut b| b.solve_verified_with(&dests, &limits)),
             }
         };
@@ -1359,8 +1376,8 @@ fn run_redundant_batch(
 ) -> Result<Vec<Result<McpOutput, McpError>>, McpError> {
     let rep = mode.expand(graphs);
     let threads = ctx.shared.config.threads.max(1);
-    match backend {
-        BackendChoice::Packed => drive_redundant_wave(
+    match (backend, ctx.shared.config.word) {
+        (BackendChoice::Packed, WordWidth::W64) => drive_redundant_wave(
             ctx,
             index,
             BatchSession::new_packed(&rep)?,
@@ -1368,7 +1385,15 @@ fn run_redundant_batch(
             limits,
             mode,
         ),
-        BackendChoice::Threaded => drive_redundant_wave(
+        (BackendChoice::Packed, WordWidth::W256) => drive_redundant_wave(
+            ctx,
+            index,
+            BatchSession::<PackedBackend<W256>>::new_packed_wide(&rep)?,
+            dests,
+            limits,
+            mode,
+        ),
+        (BackendChoice::Threaded, WordWidth::W64) => drive_redundant_wave(
             ctx,
             index,
             BatchSession::new_threaded(&rep, threads)?,
@@ -1376,7 +1401,15 @@ fn run_redundant_batch(
             limits,
             mode,
         ),
-        BackendChoice::Scalar => {
+        (BackendChoice::Threaded, WordWidth::W256) => drive_redundant_wave(
+            ctx,
+            index,
+            BatchSession::<ThreadedBackend<W256>>::new_threaded_wide(&rep, threads)?,
+            dests,
+            limits,
+            mode,
+        ),
+        (BackendChoice::Scalar, _) => {
             drive_redundant_wave(ctx, index, BatchSession::new(&rep)?, dests, limits, mode)
         }
     }
@@ -1583,8 +1616,8 @@ fn run_job(ctx: &WorkerCtx, index: u64, job: QueuedJob, rng: &mut SmallRng) -> J
         } else if redundant_shortest {
             attempt_shortest_redundant(ctx, index, backend, &job.spec, &token, budget, attempts)
         } else {
-            match backend {
-                BackendChoice::Packed => attempt_on(
+            match (backend, config.word) {
+                (BackendChoice::Packed, WordWidth::W64) => attempt_on(
                     ctx,
                     index,
                     Ppa::<PackedBackend>::packed(n).with_word_bits(word_bits),
@@ -1594,7 +1627,17 @@ fn run_job(ctx: &WorkerCtx, index: u64, job: QueuedJob, rng: &mut SmallRng) -> J
                     attempts,
                     &mut last_flush,
                 ),
-                BackendChoice::Threaded => attempt_on(
+                (BackendChoice::Packed, WordWidth::W256) => attempt_on(
+                    ctx,
+                    index,
+                    Ppa::<PackedBackend<W256>>::packed_wide(n).with_word_bits(word_bits),
+                    &job.spec,
+                    &token,
+                    budget,
+                    attempts,
+                    &mut last_flush,
+                ),
+                (BackendChoice::Threaded, WordWidth::W64) => attempt_on(
                     ctx,
                     index,
                     Ppa::<ThreadedBackend>::threaded(n, config.threads.max(1))
@@ -1605,7 +1648,18 @@ fn run_job(ctx: &WorkerCtx, index: u64, job: QueuedJob, rng: &mut SmallRng) -> J
                     attempts,
                     &mut last_flush,
                 ),
-                BackendChoice::Scalar => attempt_on(
+                (BackendChoice::Threaded, WordWidth::W256) => attempt_on(
+                    ctx,
+                    index,
+                    Ppa::<ThreadedBackend<W256>>::threaded_wide(n, config.threads.max(1))
+                        .with_word_bits(word_bits),
+                    &job.spec,
+                    &token,
+                    budget,
+                    attempts,
+                    &mut last_flush,
+                ),
+                (BackendChoice::Scalar, _) => attempt_on(
                     ctx,
                     index,
                     Ppa::square(n).with_word_bits(word_bits),
@@ -1734,7 +1788,7 @@ fn route_backend(ctx: &WorkerCtx) -> BackendChoice {
         }
         Route::ProbeFirst => {
             lock(&ctx.shared.metrics).inc("serve.breaker.probes", 1);
-            let passed = divergence_probe(fast, config.threads.max(1));
+            let passed = divergence_probe(fast, config.threads.max(1), config.word);
             lock(&ctx.shared.breaker).probe_result(passed);
             let mut m = lock(&ctx.shared.metrics);
             if passed {
@@ -1757,14 +1811,23 @@ fn route_backend(ctx: &WorkerCtx) -> BackendChoice {
 /// machines) and demand bit-identical results — the differential
 /// equivalence the test suites assert statically, run live before fast
 /// traffic resumes.
-fn divergence_probe(fast: BackendChoice, threads: usize) -> bool {
+fn divergence_probe(fast: BackendChoice, threads: usize, word: WordWidth) -> bool {
     let w = ppa_graph::gen::random_connected(6, 0.5, 9, 0xD1FF);
-    let probed = match fast {
-        BackendChoice::Packed => McpSession::new_packed(&w).and_then(|mut s| s.solve(0)),
-        BackendChoice::Threaded => {
+    let probed = match (fast, word) {
+        (BackendChoice::Packed, WordWidth::W64) => {
+            McpSession::new_packed(&w).and_then(|mut s| s.solve(0))
+        }
+        (BackendChoice::Packed, WordWidth::W256) => {
+            McpSession::<PackedBackend<W256>>::new_packed_wide(&w).and_then(|mut s| s.solve(0))
+        }
+        (BackendChoice::Threaded, WordWidth::W64) => {
             McpSession::new_threaded(&w, threads).and_then(|mut s| s.solve(0))
         }
-        BackendChoice::Scalar => return true,
+        (BackendChoice::Threaded, WordWidth::W256) => {
+            McpSession::<ThreadedBackend<W256>>::new_threaded_wide(&w, threads)
+                .and_then(|mut s| s.solve(0))
+        }
+        (BackendChoice::Scalar, _) => return true,
     };
     let scalar = McpSession::new(&w).and_then(|mut s| s.solve(0));
     match (probed, scalar) {
@@ -1877,8 +1940,8 @@ fn attempt_shortest_redundant(
     };
     let graphs = replicate(&spec.graph, mode.replicas());
     let threads = ctx.shared.config.threads.max(1);
-    match backend {
-        BackendChoice::Packed => drive_redundant_solo(
+    match (backend, ctx.shared.config.word) {
+        (BackendChoice::Packed, WordWidth::W64) => drive_redundant_solo(
             ctx,
             index,
             BatchSession::new_packed(&graphs)?,
@@ -1889,7 +1952,18 @@ fn attempt_shortest_redundant(
             attempt,
             mode,
         ),
-        BackendChoice::Threaded => drive_redundant_solo(
+        (BackendChoice::Packed, WordWidth::W256) => drive_redundant_solo(
+            ctx,
+            index,
+            BatchSession::<PackedBackend<W256>>::new_packed_wide(&graphs)?,
+            dest,
+            spec,
+            token,
+            budget,
+            attempt,
+            mode,
+        ),
+        (BackendChoice::Threaded, WordWidth::W64) => drive_redundant_solo(
             ctx,
             index,
             BatchSession::new_threaded(&graphs, threads)?,
@@ -1900,7 +1974,18 @@ fn attempt_shortest_redundant(
             attempt,
             mode,
         ),
-        BackendChoice::Scalar => drive_redundant_solo(
+        (BackendChoice::Threaded, WordWidth::W256) => drive_redundant_solo(
+            ctx,
+            index,
+            BatchSession::<ThreadedBackend<W256>>::new_threaded_wide(&graphs, threads)?,
+            dest,
+            spec,
+            token,
+            budget,
+            attempt,
+            mode,
+        ),
+        (BackendChoice::Scalar, _) => drive_redundant_solo(
             ctx,
             index,
             BatchSession::new(&graphs)?,
@@ -2046,8 +2131,8 @@ fn attempt_apsp_batched(
 ) -> Result<JobOutcome, McpError> {
     let graphs = replicate(&spec.graph, lanes);
     let threads = ctx.shared.config.threads.max(1);
-    match backend {
-        BackendChoice::Packed => drive_apsp_batch(
+    match (backend, ctx.shared.config.word) {
+        (BackendChoice::Packed, WordWidth::W64) => drive_apsp_batch(
             ctx,
             index,
             BatchSession::new_packed(&graphs)?,
@@ -2056,7 +2141,16 @@ fn attempt_apsp_batched(
             budget,
             last_flush,
         ),
-        BackendChoice::Threaded => drive_apsp_batch(
+        (BackendChoice::Packed, WordWidth::W256) => drive_apsp_batch(
+            ctx,
+            index,
+            BatchSession::<PackedBackend<W256>>::new_packed_wide(&graphs)?,
+            spec,
+            token,
+            budget,
+            last_flush,
+        ),
+        (BackendChoice::Threaded, WordWidth::W64) => drive_apsp_batch(
             ctx,
             index,
             BatchSession::new_threaded(&graphs, threads)?,
@@ -2065,7 +2159,16 @@ fn attempt_apsp_batched(
             budget,
             last_flush,
         ),
-        BackendChoice::Scalar => drive_apsp_batch(
+        (BackendChoice::Threaded, WordWidth::W256) => drive_apsp_batch(
+            ctx,
+            index,
+            BatchSession::<ThreadedBackend<W256>>::new_threaded_wide(&graphs, threads)?,
+            spec,
+            token,
+            budget,
+            last_flush,
+        ),
+        (BackendChoice::Scalar, _) => drive_apsp_batch(
             ctx,
             index,
             BatchSession::new(&graphs)?,
